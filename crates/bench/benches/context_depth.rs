@@ -1,0 +1,38 @@
+//! §5.1: "up to four levels of calling context are required" — sweeps the
+//! specializer's context-depth bound and reports the resulting pointer-
+//! analysis work on jQuery-like 1.0. Depth 0 disables cloning entirely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use determinacy::AnalysisConfig;
+use mujs_pta::PtaConfig;
+use mujs_specialize::SpecConfig;
+
+fn spec_program(depth: usize) -> mujs_ir::Program {
+    let v = mujs_corpus::jquery_like::v1_0();
+    let mut h = determinacy::DetHarness::from_src(&v.src).expect("parses");
+    let mut a = h.analyze_dom(AnalysisConfig::default(), v.doc.clone(), &v.plan);
+    let cfg = SpecConfig {
+        max_context_depth: depth,
+        clone_functions: depth > 0,
+        ..Default::default()
+    };
+    mujs_specialize::specialize(&h.program, &a.facts, &mut a.ctxs, &cfg).program
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_depth");
+    g.sample_size(10);
+    for depth in [0usize, 1, 2, 4, 6] {
+        let prog = spec_program(depth);
+        let cfg = PtaConfig {
+            budget: 50_000_000,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &prog, |b, p| {
+            b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: cost of counterfactual execution as the nesting cut-off `k`
+//! varies, and with counterfactual execution disabled entirely
+//! (ĈNTRABORT-only, the paper's conservative fallback).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use determinacy::AnalysisConfig;
+use mujs_corpus::workload;
+
+fn analyze(src: &str, k: u32, enabled: bool) -> u32 {
+    let mut h = determinacy::DetHarness::from_src(src).expect("parses");
+    let cfg = AnalysisConfig {
+        cf_depth_k: k,
+        counterfactual: enabled,
+        flush_cap: None,
+        ..Default::default()
+    };
+    let out = h.analyze(cfg);
+    out.stats.heap_flushes
+}
+
+fn bench(c: &mut Criterion) {
+    let flat = workload::counterfactual_chain(40, 8);
+    let nested = workload::nested_counterfactuals(10);
+    let mut g = c.benchmark_group("counterfactual_depth");
+    g.sample_size(10);
+    for k in [0u32, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("nested_k", k), &nested, |b, s| {
+            b.iter(|| analyze(s, k, true))
+        });
+    }
+    g.bench_function("chain_counterfactual_on", |b| {
+        b.iter(|| analyze(&flat, 8, true))
+    });
+    g.bench_function("chain_counterfactual_off", |b| {
+        b.iter(|| analyze(&flat, 8, false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §5.2 pipeline cost: full analyze → specialize runs over representative
+//! eval benchmarks (one per outcome category).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use determinacy::AnalysisConfig;
+use mujs_specialize::SpecConfig;
+
+fn pipeline(b: &mujs_corpus::evalbench::EvalBenchmark) -> usize {
+    let mut h = determinacy::DetHarness::from_src(&b.src).expect("parses");
+    let mut out = if b.needs_dom {
+        h.analyze_dom(AnalysisConfig::default(), b.doc(), &b.plan())
+    } else {
+        h.analyze(AnalysisConfig::default())
+    };
+    let spec =
+        mujs_specialize::specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    spec.report.evals_eliminated
+}
+
+fn bench(c: &mut Criterion) {
+    let picks = ["concat-ivymap", "forin-dispatch", "bounded-loop", "dom-arg"];
+    let suite = mujs_corpus::evalbench::all();
+    let mut g = c.benchmark_group("eval_elim_pipeline");
+    g.sample_size(10);
+    for name in picks {
+        let b = suite.iter().find(|b| b.name == name).expect("exists");
+        g.bench_with_input(BenchmarkId::from_parameter(name), b, |bench, b| {
+            bench.iter(|| pipeline(b))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §4's epoch-counter heap flush is O(1) in heap size: flushing a heap of
+//! N objects costs the same as flushing an empty one. This bench sweeps
+//! the live-heap size while holding the flush count fixed; flat timings
+//! validate the design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use determinacy::AnalysisConfig;
+
+fn flush_heavy_src(n_objects: usize, n_flushes: usize) -> String {
+    format!(
+        "var store = [];\n\
+         for (var i = 0; i < {n_objects}; i++) {{ store.push({{ idx: i, even: i % 2 }}); }}\n\
+         for (var f = 0; f < {n_flushes}; f++) {{ __opaque(); }}\n\
+         console.log(store.length);"
+    )
+}
+
+fn analyze(src: &str) -> u32 {
+    let mut h = determinacy::DetHarness::from_src(src).expect("parses");
+    let out = h.analyze(AnalysisConfig {
+        flush_cap: None,
+        ..Default::default()
+    });
+    out.stats.heap_flushes
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flush_mechanism");
+    g.sample_size(10);
+    // Fixed flush count, growing heap: epoch flushes should stay ~flat
+    // after subtracting the (linear) allocation phase, which the
+    // "no_flushes" control measures.
+    for n in [100usize, 400, 1600] {
+        let with = flush_heavy_src(n, 200);
+        let without = flush_heavy_src(n, 0);
+        g.bench_with_input(BenchmarkId::new("with_200_flushes", n), &with, |b, s| {
+            b.iter(|| analyze(s))
+        });
+        g.bench_with_input(BenchmarkId::new("no_flushes", n), &without, |b, s| {
+            b.iter(|| analyze(s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Frontend throughput: lexing+parsing and lowering on generated sources
+//! of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mujs_corpus::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for n in [500usize, 2000, 8000] {
+        let src = workload::arithmetic_chain(n);
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse", n), &src, |b, s| {
+            b.iter(|| mujs_syntax::parse(s).expect("parses"))
+        });
+        let ast = mujs_syntax::parse(&src).expect("parses");
+        g.bench_with_input(BenchmarkId::new("lower", n), &ast, |b, a| {
+            b.iter(|| mujs_ir::lower_program(a))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

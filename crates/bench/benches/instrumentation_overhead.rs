@@ -1,0 +1,42 @@
+//! §4: "instrumented code is expected to run slower" — measures the
+//! instrumented machine against the concrete interpreter on the same
+//! workloads, quantifying the overhead factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use determinacy::{AnalysisConfig, AnalysisStatus};
+use mujs_corpus::workload;
+
+fn run_concrete(src: &str) {
+    let mut h = mujs_interp::Harness::from_src(src).expect("parses");
+    let out = h.run(mujs_interp::InterpOptions::default());
+    assert!(out.result.is_ok());
+}
+
+fn run_instrumented(src: &str) {
+    let mut h = determinacy::DetHarness::from_src(src).expect("parses");
+    let out = h.analyze(AnalysisConfig::default());
+    assert_eq!(out.status, AnalysisStatus::Completed);
+}
+
+fn bench(c: &mut Criterion) {
+    let cases = [
+        ("arith", workload::arithmetic_chain(400)),
+        ("objects", workload::object_graph(150)),
+        ("calls", workload::call_tree(14)),
+        ("strings", workload::string_workload(150)),
+    ];
+    let mut g = c.benchmark_group("instrumentation_overhead");
+    g.sample_size(10);
+    for (name, src) in &cases {
+        g.bench_with_input(BenchmarkId::new("concrete", name), src, |b, s| {
+            b.iter(|| run_concrete(s))
+        });
+        g.bench_with_input(BenchmarkId::new("instrumented", name), src, |b, s| {
+            b.iter(|| run_instrumented(s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

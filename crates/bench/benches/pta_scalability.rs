@@ -1,0 +1,45 @@
+//! Table 1's timing dimension: pointer-analysis work on the jQuery-like
+//! corpus, baseline vs determinacy-specialized, as wall time per solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use determinacy::AnalysisConfig;
+use mujs_pta::PtaConfig;
+use mujs_specialize::SpecConfig;
+
+fn programs() -> Vec<(&'static str, mujs_ir::Program, mujs_ir::Program)> {
+    let mut out = Vec::new();
+    for v in [
+        mujs_corpus::jquery_like::v1_0(),
+        mujs_corpus::jquery_like::v1_2(),
+    ] {
+        let mut h = determinacy::DetHarness::from_src(&v.src).expect("parses");
+        let mut a = h.analyze_dom(AnalysisConfig::default(), v.doc.clone(), &v.plan);
+        let spec =
+            mujs_specialize::specialize(&h.program, &a.facts, &mut a.ctxs, &SpecConfig::default());
+        out.push((v.version, h.program.clone(), spec.program));
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let progs = programs();
+    let cfg = PtaConfig {
+        budget: 50_000_000,
+    };
+    let mut g = c.benchmark_group("pta_scalability");
+    g.sample_size(10);
+    for (version, baseline, spec) in &progs {
+        g.bench_with_input(
+            BenchmarkId::new("baseline", version),
+            baseline,
+            |b, p| b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations),
+        );
+        g.bench_with_input(BenchmarkId::new("spec", version), spec, |b, p| {
+            b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

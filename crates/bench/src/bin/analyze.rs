@@ -1,0 +1,109 @@
+//! Command-line front door: run the dynamic determinacy analysis on a
+//! JavaScript file and print its facts (human-readable or JSON).
+//!
+//! ```console
+//! $ cargo run -p mujs-bench --bin analyze -- path/to/file.js
+//! $ cargo run -p mujs-bench --bin analyze -- file.js --json
+//! $ cargo run -p mujs-bench --bin analyze -- file.js --det-dom --seeds 1,2,3
+//! $ cargo run -p mujs-bench --bin analyze -- file.js --spec   # + specializer report
+//! ```
+
+use determinacy::multirun::{analyze_many_with, export_json};
+use determinacy::{AnalysisConfig, DetHarness};
+use mujs_dom::document::DocumentBuilder;
+use mujs_dom::events::EventPlan;
+use mujs_specialize::SpecConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: analyze <file.js> [--json] [--det-dom] [--spec] [--seeds a,b,c]");
+        std::process::exit(2);
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let det_dom = args.iter().any(|a| a == "--det-dom");
+    let spec = args.iter().any(|a| a == "--spec");
+    let seeds: Vec<u64> = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| vec![0xD5EA51DE]);
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut h = match DetHarness::from_src(&src) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("syntax error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cfg = AnalysisConfig {
+        det_dom,
+        ..Default::default()
+    };
+    let doc = DocumentBuilder::new().title("analyze-cli").build();
+    let mut combined =
+        analyze_many_with(&mut h, &seeds, cfg, Some(&doc), &EventPlan::new());
+
+    if json {
+        println!(
+            "{}",
+            export_json(&combined.facts, &h.program, &h.source, &combined.ctxs)
+        );
+    } else {
+        eprintln!(
+            "runs: {} | facts: {} ({} determinate) | conflicts: {}",
+            combined.runs.len(),
+            combined.facts.len(),
+            combined.facts.det_count(),
+            combined.conflicts
+        );
+        for run in &combined.runs {
+            eprintln!(
+                "  run: status={:?} flushes={} counterfactuals={} steps={}",
+                run.status, run.stats.heap_flushes, run.stats.counterfactuals, run.stats.steps
+            );
+        }
+        let mut lines: Vec<String> = combined
+            .facts
+            .iter()
+            .filter_map(|(k, p, c, _)| {
+                combined
+                    .facts
+                    .describe(k, p, c, &h.program, &h.source, &combined.ctxs)
+                    .map(|d| format!("{k:?}\t{d}"))
+            })
+            .collect();
+        lines.sort();
+        lines.dedup();
+        for l in lines {
+            println!("{l}");
+        }
+    }
+
+    if spec {
+        let s = mujs_specialize::specialize(
+            &h.program,
+            &combined.facts,
+            &mut combined.ctxs,
+            &SpecConfig::default(),
+        );
+        eprintln!(
+            "specializer: clones={} branchesPruned={} keysStatic={} loopsUnrolled={} evalsEliminated={} evalsRemaining={} redirects={}",
+            s.report.clones,
+            s.report.branches_pruned,
+            s.report.keys_staticized,
+            s.report.loops_unrolled,
+            s.report.evals_eliminated,
+            s.report.evals_remaining,
+            s.report.calls_redirected
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Regenerates the §5.2 eval-elimination study over the 24 runnable
+//! benchmarks: how many programs have *all* their `eval` uses specialized
+//! away, under the plain analysis and under DetDOM, with the failure
+//! breakdown.
+//!
+//! Run with `cargo run -p mujs-bench --bin eval_elim --release`.
+
+use determinacy::AnalysisConfig;
+use mujs_bench::analyze_page;
+use mujs_corpus::evalbench::{all, Expected};
+use mujs_specialize::SpecConfig;
+
+fn eliminate(b: &mujs_corpus::evalbench::EvalBenchmark, det_dom: bool) -> (bool, usize) {
+    let cfg = AnalysisConfig {
+        det_dom,
+        ..Default::default()
+    };
+    let doc = b.doc();
+    let plan = b.plan();
+    let (h, mut out) = analyze_page(&b.src, &doc, &plan, cfg);
+    let spec = mujs_specialize::specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
+    // Per-site aggregation over all rewrite visits: a site counts as
+    // specialized when every visit eliminated it or erased it with dead
+    // code; a site with no events was never reached by the dynamic run
+    // (the paper's "not covered" category) and counts as a failure.
+    use mujs_specialize::EvalStatus;
+    use std::collections::HashMap;
+    let mut per_site: HashMap<mujs_ir::StmtId, bool> = HashMap::new();
+    for (site, st) in &spec.report.eval_events {
+        let ok = matches!(st, EvalStatus::Eliminated | EvalStatus::DeadCode);
+        per_site
+            .entry(*site)
+            .and_modify(|v| *v = *v && ok)
+            .or_insert(ok);
+    }
+    let mut failures = 0usize;
+    let mut total_sites = 0usize;
+    for f in &h.program.funcs {
+        mujs_ir::Program::walk_block(&f.body, &mut |s| {
+            if matches!(s.kind, mujs_ir::StmtKind::Eval { .. }) {
+                total_sites += 1;
+                match per_site.get(&s.id) {
+                    Some(true) => {}
+                    _ => failures += 1,
+                }
+            }
+        });
+    }
+    let _ = out;
+    (failures == 0, failures)
+}
+
+fn main() {
+    let suite = all();
+    let runnable: Vec<_> = suite.iter().filter(|b| b.runnable).collect();
+    println!(
+        "§5.2 eval elimination — {} benchmarks, {} runnable ({} excluded as in the paper)",
+        suite.len(),
+        runnable.len(),
+        suite.len() - runnable.len()
+    );
+    println!();
+    println!(
+        "{:<24} {:<10} {:<10} {:<22} expected(DetDOM)",
+        "benchmark", "plain", "DetDOM", "expected(plain)"
+    );
+    let mut plain_ok = 0;
+    let mut detdom_ok = 0;
+    let mut mismatches = 0;
+    for b in &runnable {
+        let (p, _) = eliminate(b, false);
+        let (d, _) = eliminate(b, true);
+        if p {
+            plain_ok += 1;
+        }
+        if d {
+            detdom_ok += 1;
+        }
+        let exp_p = b.expected == Expected::Eliminated;
+        let exp_d = b.expected_detdom == Expected::Eliminated;
+        let marker = if p == exp_p && d == exp_d { "" } else { "  <-- MISMATCH" };
+        if !marker.is_empty() {
+            mismatches += 1;
+        }
+        println!(
+            "{:<24} {:<10} {:<10} {:<22} {:?}{}",
+            b.name,
+            if p { "handled" } else { "fails" },
+            if d { "handled" } else { "fails" },
+            format!("{:?}", b.expected),
+            b.expected_detdom,
+            marker
+        );
+    }
+    println!();
+    println!("plain analysis handles {plain_ok}/{} (paper: 14/24)", runnable.len());
+    println!("DetDOM handles        {detdom_ok}/{} (paper: 20/24)", runnable.len());
+    if mismatches > 0 {
+        println!("WARNING: {mismatches} benchmarks deviate from their expected outcome");
+        std::process::exit(1);
+    }
+}

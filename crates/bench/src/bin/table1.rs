@@ -1,0 +1,39 @@
+//! Regenerates Table 1: pointer-analysis scalability on the jQuery-like
+//! corpus under Baseline / Spec / Spec+DetDOM, with heap-flush counts.
+//!
+//! Run with `cargo run -p mujs-bench --bin table1 --release`.
+
+use mujs_bench::{run_table1, Table1Row, TABLE1_PTA_BUDGET};
+
+fn main() {
+    let budget = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(TABLE1_PTA_BUDGET);
+    println!("Table 1 reproduction — PTA budget {budget} propagations");
+    println!("(✓ = completes within budget, ✗ = budget exceeded; parentheses: heap flushes of the dynamic analysis)");
+    println!();
+    println!(
+        "{:<16} {:<12} {:<16} {:<16}   [PTA work: baseline / spec / detdom]",
+        "jQuery-like", "Baseline", "Spec", "Spec+DetDOM"
+    );
+    for v in mujs_corpus::jquery_like::all_versions() {
+        let row = run_table1(&v, budget);
+        println!(
+            "{:<16} {:<12} {:<16} {:<16}   [{} / {} / {}]",
+            row.version,
+            Table1Row::cell(row.baseline_ok, None),
+            Table1Row::cell(row.spec_ok, Some((row.spec_flushes, row.spec_capped))),
+            Table1Row::cell(row.detdom_ok, Some((row.detdom_flushes, row.detdom_capped))),
+            row.baseline_work,
+            row.spec_work,
+            row.detdom_work,
+        );
+    }
+    println!();
+    println!("Paper's Table 1 for reference:");
+    println!("  1.0   ✗   ✓ (82)      ✓ (2)");
+    println!("  1.1   ✗   ✗ (107)     ✓ (4)");
+    println!("  1.2   ✓   ✓ (>1000)   ✓ (0)");
+    println!("  1.3   ✗   ✗ (>1000)   ✗ (>1000)");
+}

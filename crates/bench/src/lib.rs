@@ -1,0 +1,19 @@
+//! # mujs-bench
+//!
+//! Experiment harnesses regenerating the paper's evaluation artifacts:
+//!
+//! * `table1` (binary) — pointer-analysis scalability on the jQuery-like
+//!   corpus: Baseline vs Spec vs Spec+DetDOM with heap-flush counts;
+//! * `eval_elim` (binary) — the §5.2 eval-elimination study;
+//! * Criterion benches — instrumentation overhead, counterfactual depth,
+//!   flush mechanism, context depth, frontend/PTA throughput.
+//!
+//! The [`pipeline`] module is the shared dynamic-analysis → specialize →
+//! PTA plumbing.
+
+pub mod pipeline;
+
+pub use pipeline::{
+    analyze_page, run_table1, spec_pipeline, EvalElimRow, PipelineResult, Table1Row,
+    TABLE1_PTA_BUDGET,
+};

@@ -1,0 +1,184 @@
+//! Shared experiment plumbing: dynamic analysis over a page (script +
+//! document + event plan), specialization, and budgeted pointer analysis.
+
+use determinacy::{AnalysisConfig, AnalysisOutcome, AnalysisStatus};
+use mujs_corpus::jquery_like::JQueryLike;
+use mujs_dom::document::Document;
+use mujs_dom::events::EventPlan;
+use mujs_ir::Program;
+use mujs_pta::{PtaConfig, PtaStatus};
+use mujs_specialize::{SpecConfig, SpecReport};
+use std::time::{Duration, Instant};
+
+/// The deterministic stand-in for the paper's 10-minute timeout: a
+/// propagation-work budget that separates the corpus's tractable and
+/// intractable configurations by a wide margin.
+pub const TABLE1_PTA_BUDGET: u64 = 150_000;
+
+/// Outcome of one full pipeline run.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// The dynamic analysis outcome.
+    pub analysis: AnalysisOutcome,
+    /// The specializer report (`None` for baseline runs).
+    pub spec_report: Option<SpecReport>,
+    /// The program handed to the pointer analysis.
+    pub pta_program: Program,
+    /// PTA completion status.
+    pub pta_status: PtaStatus,
+    /// PTA propagation work.
+    pub pta_work: u64,
+    /// PTA wall time.
+    pub pta_time: Duration,
+}
+
+/// Runs the instrumented analysis over a page.
+pub fn analyze_page(
+    src: &str,
+    doc: &Document,
+    plan: &EventPlan,
+    cfg: AnalysisConfig,
+) -> (determinacy::driver::DetHarness, AnalysisOutcome) {
+    let mut h =
+        determinacy::driver::DetHarness::from_src(src).expect("corpus program parses");
+    let out = h.analyze_dom(cfg, doc.clone(), plan);
+    (h, out)
+}
+
+/// Full Spec pipeline: instrumented run → specializer → budgeted PTA.
+/// With `spec: false` the specializer is skipped (Baseline).
+pub fn spec_pipeline(
+    src: &str,
+    doc: &Document,
+    plan: &EventPlan,
+    det_dom: bool,
+    spec: bool,
+    pta_budget: u64,
+) -> PipelineResult {
+    let cfg = AnalysisConfig {
+        det_dom,
+        ..Default::default()
+    };
+    let (h, mut analysis) = analyze_page(src, doc, plan, cfg);
+    let (pta_program, spec_report) = if spec {
+        let s = mujs_specialize::specialize(
+            &h.program,
+            &analysis.facts,
+            &mut analysis.ctxs,
+            &SpecConfig::default(),
+        );
+        (s.program, Some(s.report))
+    } else {
+        (h.program.clone(), None)
+    };
+    let t0 = Instant::now();
+    let pta = mujs_pta::solve(&pta_program, &PtaConfig { budget: pta_budget });
+    let pta_time = t0.elapsed();
+    PipelineResult {
+        analysis,
+        spec_report,
+        pta_program,
+        pta_status: pta.status,
+        pta_work: pta.stats.propagations,
+        pta_time,
+    }
+}
+
+/// One Table 1 row.
+#[derive(Debug)]
+pub struct Table1Row {
+    /// Version label.
+    pub version: &'static str,
+    /// Baseline PTA completed within budget.
+    pub baseline_ok: bool,
+    /// Baseline PTA work.
+    pub baseline_work: u64,
+    /// Spec PTA completed.
+    pub spec_ok: bool,
+    /// Spec PTA work.
+    pub spec_work: u64,
+    /// Heap flushes of the plain dynamic analysis.
+    pub spec_flushes: u32,
+    /// Whether the plain dynamic analysis hit the flush cap.
+    pub spec_capped: bool,
+    /// Spec+DetDOM PTA completed.
+    pub detdom_ok: bool,
+    /// Spec+DetDOM PTA work.
+    pub detdom_work: u64,
+    /// Heap flushes of the DetDOM dynamic analysis.
+    pub detdom_flushes: u32,
+    /// Whether the DetDOM analysis hit the flush cap.
+    pub detdom_capped: bool,
+}
+
+impl Table1Row {
+    /// Renders the paper's `3 (82)` / `7 (>1000)` cell format.
+    pub fn cell(ok: bool, flushes: Option<(u32, bool)>) -> String {
+        let mark = if ok { "✓" } else { "✗" };
+        match flushes {
+            Some((n, capped)) => {
+                if capped {
+                    format!("{mark} (>1000)")
+                } else {
+                    format!("{mark} ({n})")
+                }
+            }
+            None => mark.to_owned(),
+        }
+    }
+}
+
+/// Runs the full Table 1 experiment for one corpus version.
+pub fn run_table1(v: &JQueryLike, pta_budget: u64) -> Table1Row {
+    let baseline = spec_pipeline(&v.src, &v.doc, &v.plan, false, false, pta_budget);
+    let spec = spec_pipeline(&v.src, &v.doc, &v.plan, false, true, pta_budget);
+    let detdom = spec_pipeline(&v.src, &v.doc, &v.plan, true, true, pta_budget);
+    Table1Row {
+        version: v.version,
+        baseline_ok: baseline.pta_status == PtaStatus::Completed,
+        baseline_work: baseline.pta_work,
+        spec_ok: spec.pta_status == PtaStatus::Completed,
+        spec_work: spec.pta_work,
+        spec_flushes: spec.analysis.stats.heap_flushes,
+        spec_capped: spec.analysis.status == AnalysisStatus::FlushCapReached,
+        detdom_ok: detdom.pta_status == PtaStatus::Completed,
+        detdom_work: detdom.pta_work,
+        detdom_flushes: detdom.analysis.stats.heap_flushes,
+        detdom_capped: detdom.analysis.status == AnalysisStatus::FlushCapReached,
+    }
+}
+
+/// One row of the §5.2 eval study.
+#[derive(Debug)]
+pub struct EvalElimRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Whether all evals were eliminated (plain).
+    pub plain_ok: bool,
+    /// Whether all evals were eliminated (DetDOM).
+    pub detdom_ok: bool,
+    /// Evals surviving in the plain configuration.
+    pub plain_remaining: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_smoke_on_lazy_version() {
+        // jQuery-like 1.2 is the cheap one; exercise all three configs.
+        let v = mujs_corpus::jquery_like::v1_2();
+        let row = run_table1(&v, TABLE1_PTA_BUDGET);
+        assert!(row.baseline_ok && row.spec_ok && row.detdom_ok);
+        assert!(row.spec_capped, "1.2 plain hits the flush cap");
+        assert_eq!(row.detdom_flushes, 0);
+    }
+
+    #[test]
+    fn cell_rendering_matches_paper_format() {
+        assert_eq!(Table1Row::cell(true, Some((82, false))), "✓ (82)");
+        assert_eq!(Table1Row::cell(false, Some((1001, true))), "✗ (>1000)");
+        assert_eq!(Table1Row::cell(true, None), "✓");
+    }
+}

@@ -1,0 +1,55 @@
+//! # determinacy
+//!
+//! Dynamic determinacy analysis — a from-scratch Rust reproduction of
+//! *"Dynamic Determinacy Analysis"* (Schäfer, Sridharan, Dolby, Tip,
+//! PLDI 2013).
+//!
+//! The analysis observes a *single* execution of a JavaScript program under
+//! an instrumented semantics and infers **determinacy facts** — statements
+//! `J e K ctx = v` asserting that an expression has the same value at a
+//! program point (qualified by a full calling context) in *every*
+//! execution. Key ingredients, all implemented here:
+//!
+//! * instrumented values `v!` / `v?` and the rules of Figure 9
+//!   ([`machine`], [`exec`]);
+//! * O(1) heap flushes via an epoch counter (§4), with open/closed
+//!   records;
+//! * **counterfactual execution** of branches guarded by
+//!   indeterminate-false conditions, with undo logs and the nesting
+//!   cut-off `k` (rules ĈNTR / ĈNTRABORT);
+//! * hand-written native models and a DOM model with the optional
+//!   (unsound) `DetDOM` assumption of §5.1 ([`natives`], [`dom_models`]);
+//! * a fact database with full-call-stack contexts and per-activation
+//!   occurrence indices — the paper's `24₀→15` notation ([`facts`]);
+//! * an executable soundness harness for Theorem 1 ([`modeling`]).
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+//! use determinacy::driver::analyze_src;
+//! let out = analyze_src(
+//!     "var x = { f: 23 }, y = { f: Math.random() * 100 };",
+//! )?;
+//! // x.f is determinate, y.f is not; the database reflects both.
+//! assert!(out.facts.det_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod det;
+pub mod dom_models;
+pub mod driver;
+pub mod exec;
+pub mod facts;
+pub mod machine;
+pub mod modeling;
+pub mod multirun;
+pub mod natives;
+
+pub use config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
+pub use det::{DValue, Det, FactValue, SlotAnn};
+pub use driver::{analyze_src, AnalysisOutcome, DetHarness};
+pub use facts::{Fact, FactDb, FactKind, TripFact};
+pub use machine::{DErr, DFlow, DMachine, DObservation};

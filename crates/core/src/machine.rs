@@ -1,0 +1,853 @@
+//! State and plumbing of the instrumented machine: the annotated heap and
+//! scopes, the epoch-counter heap flush (§4), write logs for the
+//! conditional rules (Figure 9), and counterfactual rollback.
+//!
+//! Statement execution lives in [`crate::exec`]; native models in
+//! [`crate::natives`] and [`crate::dom_models`].
+
+use crate::config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
+use crate::det::{Det, DValue, SlotAnn};
+use crate::facts::FactDb;
+use mujs_dom::document::Document;
+use mujs_dom::events::EventRegistry;
+use mujs_interp::context::{ContextTable, CtxId};
+use mujs_interp::machine::Protos;
+use mujs_interp::{ObjClass, ObjId, Object, ScopeId, Slot, Value};
+use mujs_ir::{FuncId, Program, StmtId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Epoch sentinel for slots installed by the standard library setup: they
+/// stay determinate across flushes (documented assumption: unanalyzed code
+/// does not overwrite built-ins; user overwrites replace the sentinel with
+/// a normal epoch and are tracked precisely).
+pub const BUILTIN_EPOCH: u64 = u64::MAX;
+
+/// Abrupt, non-[`DFlow`] outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DErr {
+    /// A JavaScript exception; the flag records whether the throw is
+    /// control-dependent on indeterminate data (other executions may not
+    /// throw).
+    Thrown(DValue, bool),
+    /// Abort the innermost counterfactual execution (native with unknown
+    /// effects, exception, or budget exhaustion inside a counterfactual).
+    CfAbort,
+    /// Stop the whole analysis (step limit / flush cap).
+    Stop(AnalysisStatus),
+}
+
+/// Statement completions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DFlow {
+    /// Fall through.
+    Normal,
+    /// `break`; the flag is the indeterminate-control marker.
+    Break(bool),
+    /// `continue`; the flag is the indeterminate-control marker.
+    Continue(bool),
+    /// `return v`; the flag is the indeterminate-control marker.
+    Return(DValue, bool),
+}
+
+impl DFlow {
+    /// The indeterminate-control marker of an abrupt completion.
+    pub fn indet_ctl(&self) -> bool {
+        match self {
+            DFlow::Normal => false,
+            DFlow::Break(b) | DFlow::Continue(b) | DFlow::Return(_, b) => *b,
+        }
+    }
+
+    /// The same completion with the marker forced on.
+    #[must_use]
+    pub fn taint(self) -> DFlow {
+        match self {
+            DFlow::Normal => DFlow::Normal,
+            DFlow::Break(_) => DFlow::Break(true),
+            DFlow::Continue(_) => DFlow::Continue(true),
+            DFlow::Return(v, _) => DFlow::Return(v, true),
+        }
+    }
+}
+
+/// A scope with annotated bindings.
+#[derive(Debug, Clone)]
+pub struct DScope {
+    pub(crate) vars: HashMap<Rc<str>, (Value, SlotAnn)>,
+    pub(crate) parent: Option<ScopeId>,
+    /// The function whose activation this scope belongs to (for the
+    /// closure-written flush policy).
+    pub(crate) func: FuncId,
+    /// Captured scopes can be written by callees (closures), so heap
+    /// flushes must invalidate them; never-captured scopes are immune —
+    /// the paper's "local variables cannot possibly be written by any
+    /// called function".
+    pub(crate) captured: bool,
+}
+
+/// An activation record of the instrumented machine.
+#[derive(Debug)]
+pub struct DFrame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Scope for named lookups (`None` ⇒ global object).
+    pub scope: Option<ScopeId>,
+    /// Temporaries with flags.
+    pub temps: Vec<DValue>,
+    /// The `this` binding.
+    pub this_val: DValue,
+    /// This activation's calling context.
+    pub ctx: CtxId,
+    /// Per-site occurrence counters (must match the concrete machine's).
+    pub occurrences: HashMap<StmtId, u32>,
+    /// Unique id for temp-write logging across frame lifetimes.
+    pub serial: u64,
+}
+
+/// Per-object analysis state kept outside the shared [`Object`] struct.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjExtra {
+    /// Epoch at creation; a record created before the last flush is open.
+    pub created_epoch: u64,
+    /// Set by stores with indeterminate property names (rule ŜTO) and by
+    /// deletions under indeterminate control.
+    pub forced_open: bool,
+    /// Determinacy of the prototype link (from the `F.prototype` slot the
+    /// object was constructed with).
+    pub proto_det: Det,
+}
+
+/// One undoable/markable mutation.
+#[derive(Debug)]
+pub enum LogEntry {
+    /// A property write or delete; `old == None` means the property did
+    /// not exist before.
+    Prop {
+        /// Receiver.
+        obj: ObjId,
+        /// Key.
+        key: Rc<str>,
+        /// Previous slot.
+        old: Option<(Value, SlotAnn)>,
+    },
+    /// A named-variable write.
+    Var {
+        /// Owning scope.
+        scope: ScopeId,
+        /// Name.
+        name: Rc<str>,
+        /// Previous binding (a variable write never creates a binding —
+        /// declaration handles that — but eval hoisting can).
+        old: Option<(Value, SlotAnn)>,
+    },
+    /// A temp write in some activation.
+    Temp {
+        /// The activation's serial.
+        frame: u64,
+        /// Temp index.
+        idx: u32,
+        /// Previous value.
+        old: DValue,
+    },
+    /// A record's open flag transition.
+    Opened {
+        /// The record.
+        obj: ObjId,
+        /// Previous flag.
+        was: bool,
+    },
+}
+
+/// A write-log region (one per active Figure 9 conditional rule).
+#[derive(Debug, Default)]
+pub struct LogFrame {
+    pub(crate) entries: Vec<LogEntry>,
+}
+
+/// Instrumented observation for the soundness harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DObservation {
+    /// Program point.
+    pub point: StmtId,
+    /// Calling context.
+    pub ctx: CtxId,
+    /// Observed annotated value.
+    pub value: DValue,
+}
+
+/// Native model signature.
+pub type DNativeFn = fn(&mut DMachine<'_>, DValue, &[DValue]) -> Result<DValue, DErr>;
+
+/// Well-known constructor objects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DSpecials {
+    pub(crate) array_ctor: Option<ObjId>,
+    pub(crate) error_ctor: Option<ObjId>,
+    pub(crate) object_ctor: Option<ObjId>,
+    pub(crate) eval_fn: Option<ObjId>,
+}
+
+/// The instrumented determinacy machine.
+pub struct DMachine<'p> {
+    /// The program (mutable: `eval` appends chunks).
+    pub prog: &'p mut Program,
+    pub(crate) heap: Vec<Object<SlotAnn>>,
+    pub(crate) extras: Vec<ObjExtra>,
+    pub(crate) scopes: Vec<DScope>,
+    pub(crate) global: ObjId,
+    /// Built-in prototype objects.
+    pub protos: Protos,
+    pub(crate) specials: DSpecials,
+    pub(crate) natives: Vec<(&'static str, DNativeFn)>,
+    /// The emulated document, if installed.
+    pub doc: Option<Document>,
+    /// Registered event handlers.
+    pub events: EventRegistry<ObjId>,
+    pub(crate) dom_nodes: HashMap<mujs_dom::document::NodeId, ObjId>,
+    pub(crate) dom_document_obj: Option<ObjId>,
+    pub(crate) dom_element_proto: Option<ObjId>,
+    pub(crate) rng: StdRng,
+    pub(crate) now: f64,
+    /// The global epoch counter; incrementing it is the O(1) heap flush.
+    pub(crate) epoch: u64,
+    pub(crate) steps: u64,
+    pub(crate) cf_depth: u32,
+    pub(crate) cf_steps: u64,
+    pub(crate) next_frame_serial: u64,
+    pub(crate) logs: Vec<LogFrame>,
+    pub(crate) closure_writes: mujs_ir::closure_writes::ClosureWrites,
+    pub(crate) cw_funcs_len: usize,
+    /// Analysis configuration.
+    pub cfg: AnalysisConfig,
+    /// Run statistics (flush counts feed Table 1).
+    pub stats: AnalysisStats,
+    /// Captured output.
+    pub output: Vec<String>,
+    /// Interned contexts.
+    pub ctxs: ContextTable,
+    /// The fact database.
+    pub facts: FactDb,
+    /// Observations for the soundness harness (real execution only, no
+    /// counterfactual hits).
+    pub observations: Vec<DObservation>,
+    pub(crate) setup_mode: bool,
+}
+
+impl<'p> DMachine<'p> {
+    /// Creates a machine and installs the standard-library models.
+    pub fn new(prog: &'p mut Program, cfg: AnalysisConfig) -> Self {
+        let mut heap = Vec::new();
+        let mut extras = Vec::new();
+        let mut alloc = |class: ObjClass, proto: Option<ObjId>| {
+            let id = ObjId(heap.len() as u32);
+            heap.push(Object::new(class, proto));
+            extras.push(ObjExtra {
+                created_epoch: BUILTIN_EPOCH,
+                forced_open: false,
+                proto_det: Det::D,
+            });
+            id
+        };
+        let object = alloc(ObjClass::Plain, None);
+        let function = alloc(ObjClass::Plain, Some(object));
+        let array = alloc(ObjClass::Plain, Some(object));
+        let string = alloc(ObjClass::Plain, Some(object));
+        let number = alloc(ObjClass::Plain, Some(object));
+        let boolean = alloc(ObjClass::Plain, Some(object));
+        let error = alloc(ObjClass::Plain, Some(object));
+        let global = alloc(ObjClass::Plain, Some(object));
+        let max_facts = cfg.max_facts;
+        let mut m = DMachine {
+            prog,
+            heap,
+            extras,
+            scopes: Vec::new(),
+            global,
+            protos: Protos {
+                object,
+                function,
+                array,
+                string,
+                number,
+                boolean,
+                error,
+            },
+            specials: DSpecials::default(),
+            natives: Vec::new(),
+            doc: None,
+            events: EventRegistry::new(),
+            dom_nodes: HashMap::new(),
+            dom_document_obj: None,
+            dom_element_proto: None,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now: 1.6e12,
+            epoch: 0,
+            steps: 0,
+            cf_depth: 0,
+            cf_steps: 0,
+            next_frame_serial: 0,
+            logs: Vec::new(),
+            closure_writes: mujs_ir::closure_writes::ClosureWrites::default(),
+            cw_funcs_len: 0,
+            cfg,
+            stats: AnalysisStats::default(),
+            output: Vec::new(),
+            ctxs: ContextTable::new(),
+            facts: FactDb::new(max_facts),
+            observations: Vec::new(),
+            setup_mode: true,
+        };
+        crate::natives::install_models(&mut m);
+        m.setup_mode = false;
+        m.refresh_closure_writes();
+        m
+    }
+
+    /// Recomputes the closure-written-variable set; must be called after
+    /// `eval` appends new functions to the program.
+    pub(crate) fn refresh_closure_writes(&mut self) {
+        if self.prog.funcs.len() != self.cw_funcs_len {
+            self.closure_writes =
+                mujs_ir::closure_writes::ClosureWrites::compute(self.prog);
+            self.cw_funcs_len = self.prog.funcs.len();
+        }
+    }
+
+    // ---------------------------------------------------------- accessors
+
+    /// The global (`window`) object.
+    pub fn global(&self) -> ObjId {
+        self.global
+    }
+
+    /// Statements executed (including counterfactual ones).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The current epoch (number of heap flushes so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether execution is currently counterfactual.
+    pub fn in_counterfactual(&self) -> bool {
+        self.cf_depth > 0
+    }
+
+    /// Borrows an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn obj(&self, id: ObjId) -> &Object<SlotAnn> {
+        &self.heap[id.0 as usize]
+    }
+
+    /// Mutably borrows an object (bypasses logging; analysis internals
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn obj_mut(&mut self, id: ObjId) -> &mut Object<SlotAnn> {
+        &mut self.heap[id.0 as usize]
+    }
+
+    /// Allocates an object; its record is closed as of the current epoch.
+    pub fn alloc(&mut self, class: ObjClass, proto: Option<ObjId>, proto_det: Det) -> ObjId {
+        let id = ObjId(self.heap.len() as u32);
+        self.heap.push(Object::new(class, proto));
+        self.extras.push(ObjExtra {
+            created_epoch: if self.setup_mode {
+                BUILTIN_EPOCH
+            } else {
+                self.epoch
+            },
+            forced_open: false,
+            proto_det,
+        });
+        id
+    }
+
+    /// Whether the record is open (unknown properties may exist in other
+    /// executions). Setup-created objects (globals, prototypes) count as
+    /// created at epoch 0: their *slots* survive flushes via the sentinel
+    /// epoch, but once any flush has happened an unknown callee may have
+    /// added properties, so absent-property reads become indeterminate.
+    pub fn is_open(&self, id: ObjId) -> bool {
+        let e = &self.extras[id.0 as usize];
+        let created = if e.created_epoch == BUILTIN_EPOCH {
+            0
+        } else {
+            e.created_epoch
+        };
+        e.forced_open || created < self.epoch
+    }
+
+    /// The determinacy of the object's prototype link.
+    pub fn proto_det(&self, id: ObjId) -> Det {
+        self.extras[id.0 as usize].proto_det
+    }
+
+    /// Draws from the seeded RNG (`Math.random`) — must match the
+    /// concrete machine's stream for soundness testing.
+    pub fn random(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// `Date.now` tick.
+    pub fn now_tick(&mut self) -> f64 {
+        self.now += 1.0 + self.rng.gen::<f64>() * 10.0;
+        self.now
+    }
+
+    // ------------------------------------------------------------ flushes
+
+    /// The heap flush: one epoch increment invalidates every non-builtin
+    /// property slot and every captured-scope variable (§4).
+    pub fn flush_heap(&mut self) -> Result<(), DErr> {
+        self.epoch += 1;
+        self.stats.heap_flushes += 1;
+        if let Some(cap) = self.cfg.flush_cap {
+            if self.stats.heap_flushes > cap {
+                return Err(DErr::Stop(AnalysisStatus::FlushCapReached));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- slots
+
+    fn slot_flushable(ann: &SlotAnn) -> bool {
+        ann.epoch != BUILTIN_EPOCH
+    }
+
+    /// Effective determinacy of a property slot right now.
+    pub fn prop_slot_det(&self, ann: &SlotAnn) -> Det {
+        ann.effective(self.epoch, Self::slot_flushable(ann))
+    }
+
+    /// Reads an own property with its effective determinacy; absent
+    /// properties yield `undefined` flagged by the record's openness.
+    pub fn own_prop(&self, obj: ObjId, key: &str) -> DValue {
+        match self.heap[obj.0 as usize].props.get(key) {
+            Some(Slot { value, ann }) => DValue {
+                v: value.clone(),
+                d: self.prop_slot_det(ann),
+            },
+            None => {
+                if self.is_open(obj) {
+                    DValue::indet(Value::Undefined)
+                } else {
+                    DValue::det(Value::Undefined)
+                }
+            }
+        }
+    }
+
+    /// Whether the object has an own (live) property.
+    pub fn has_own(&self, obj: ObjId, key: &str) -> bool {
+        self.heap[obj.0 as usize].props.contains(key)
+    }
+
+    /// Writes a property slot, logging the old state for the active write
+    /// regions.
+    pub fn write_prop(&mut self, obj: ObjId, key: &str, dv: DValue) {
+        let key: Rc<str> = Rc::from(key);
+        let ann = SlotAnn {
+            det: dv.d,
+            epoch: if self.setup_mode {
+                BUILTIN_EPOCH
+            } else {
+                self.epoch
+            },
+        };
+        let old = self.heap[obj.0 as usize]
+            .props
+            .insert(key.clone(), Slot { value: dv.v, ann })
+            .map(|s| (s.value, s.ann));
+        if let Some(top) = self.logs.last_mut() {
+            top.entries.push(LogEntry::Prop { obj, key, old });
+        }
+    }
+
+    /// Deletes a property, logging it.
+    pub fn delete_prop(&mut self, obj: ObjId, key: &str) {
+        let old = self.heap[obj.0 as usize]
+            .props
+            .remove(key)
+            .map(|s| (s.value, s.ann));
+        if old.is_some() {
+            if let Some(top) = self.logs.last_mut() {
+                top.entries.push(LogEntry::Prop {
+                    obj,
+                    key: Rc::from(key),
+                    old,
+                });
+            }
+        }
+    }
+
+    /// Forces a record open (indeterminate-name store, rule ŜTO) and marks
+    /// all its properties indeterminate.
+    pub fn open_record(&mut self, obj: ObjId) {
+        let was = self.extras[obj.0 as usize].forced_open;
+        self.extras[obj.0 as usize].forced_open = true;
+        if let Some(top) = self.logs.last_mut() {
+            top.entries.push(LogEntry::Opened { obj, was });
+        }
+        // Mark every property indeterminate (these are *marks*, not value
+        // writes; counterfactual undo restores the slots wholesale via the
+        // Opened + Prop entries of actual writes, so marks need no log).
+        for (_, slot) in self.heap[obj.0 as usize].props.iter_mut() {
+            slot.ann.det = Det::I;
+        }
+    }
+
+    // -------------------------------------------------------- scope slots
+
+    pub(crate) fn new_scope(&mut self, parent: Option<ScopeId>, func: FuncId) -> ScopeId {
+        let id = ScopeId(self.scopes.len() as u32);
+        self.scopes.push(DScope {
+            vars: HashMap::new(),
+            parent,
+            func,
+            captured: false,
+        });
+        id
+    }
+
+    pub(crate) fn mark_captured(&mut self, scope: Option<ScopeId>) {
+        let mut cur = scope;
+        while let Some(sid) = cur {
+            let s = &mut self.scopes[sid.0 as usize];
+            if s.captured {
+                break;
+            }
+            s.captured = true;
+            cur = s.parent;
+        }
+    }
+
+    /// Declares a binding (not logged as a write: declarations happen at
+    /// activation entry, outside conditional regions; eval hoisting logs
+    /// via [`DMachine::assign_var`]).
+    pub(crate) fn declare(&mut self, scope: Option<ScopeId>, name: &Rc<str>, dv: DValue) {
+        match scope {
+            Some(sid) => {
+                let ann = SlotAnn {
+                    det: dv.d,
+                    epoch: self.epoch,
+                };
+                self.scopes[sid.0 as usize]
+                    .vars
+                    .insert(name.clone(), (dv.v, ann));
+            }
+            None => self.write_prop(self.global, name, dv),
+        }
+    }
+
+    /// Reads a variable through the scope chain; `None` if unbound.
+    pub(crate) fn lookup_var(&self, scope: Option<ScopeId>, name: &str) -> Option<DValue> {
+        let mut cur = scope;
+        while let Some(sid) = cur {
+            let s = &self.scopes[sid.0 as usize];
+            if let Some((v, ann)) = s.vars.get(name) {
+                // A flush models an unknown call; it can only have written
+                // this local if the scope is captured *and* some closure
+                // actually assigns the name (see `mujs_ir::closure_writes`).
+                let flushable = Self::slot_flushable(ann)
+                    && s.captured
+                    && self.closure_writes.is_written(s.func, name);
+                return Some(DValue {
+                    v: v.clone(),
+                    d: ann.effective(self.epoch, flushable),
+                });
+            }
+            cur = s.parent;
+        }
+        if self.has_own(self.global, name) {
+            Some(self.own_prop(self.global, name))
+        } else {
+            None
+        }
+    }
+
+    /// Assigns a variable through the scope chain (creates a global when
+    /// unbound), logging the write.
+    pub(crate) fn assign_var(&mut self, scope: Option<ScopeId>, name: &Rc<str>, dv: DValue) {
+        let mut cur = scope;
+        while let Some(sid) = cur {
+            if self.scopes[sid.0 as usize].vars.contains_key(name) {
+                let ann = SlotAnn {
+                    det: dv.d,
+                    epoch: self.epoch,
+                };
+                let old = self.scopes[sid.0 as usize]
+                    .vars
+                    .insert(name.clone(), (dv.v, ann));
+                if let Some(top) = self.logs.last_mut() {
+                    top.entries.push(LogEntry::Var {
+                        scope: sid,
+                        name: name.clone(),
+                        old,
+                    });
+                }
+                return;
+            }
+            cur = self.scopes[sid.0 as usize].parent;
+        }
+        self.write_prop(self.global, name, dv);
+    }
+
+    /// Writes a temp, logging it.
+    pub(crate) fn write_temp(&mut self, frame: &mut DFrame, idx: u32, dv: DValue) {
+        let old = std::mem::replace(&mut frame.temps[idx as usize], dv);
+        if let Some(top) = self.logs.last_mut() {
+            top.entries.push(LogEntry::Temp {
+                frame: frame.serial,
+                idx,
+                old,
+            });
+        }
+    }
+
+    // ------------------------------------------------------- log regions
+
+    /// Opens a write-log region.
+    pub(crate) fn push_log(&mut self, _counterfactual: bool) {
+        self.logs.push(LogFrame {
+            entries: Vec::new(),
+        });
+    }
+
+    /// Closes the current region, marking every written location
+    /// indeterminate (rule ÎF1 with `d = ?`), and propagates the entries
+    /// to the enclosing region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region is open.
+    pub(crate) fn pop_log_mark(&mut self, frame: &mut DFrame) {
+        let region = self.logs.pop().expect("log region open");
+        for e in &region.entries {
+            self.mark_entry(e, frame);
+        }
+        self.propagate_entries(region.entries);
+    }
+
+    /// Closes the current region, undoing every write in reverse order and
+    /// marking the (restored) locations indeterminate — rule ĈNTR's
+    /// `ρ̂′[vd(t̂) := ρ̂?]` / `ĥ′[pd(t̂) := ĥ?]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region is open.
+    pub(crate) fn pop_log_undo_mark(&mut self, frame: &mut DFrame) {
+        let region = self.logs.pop().expect("log region open");
+        for e in region.entries.iter().rev() {
+            self.undo_entry(e, frame);
+        }
+        for e in &region.entries {
+            self.mark_entry(e, frame);
+        }
+        self.propagate_entries(region.entries);
+    }
+
+    fn propagate_entries(&mut self, entries: Vec<LogEntry>) {
+        if let Some(parent) = self.logs.last_mut() {
+            parent.entries.extend(entries);
+        }
+    }
+
+    /// Marks the location of a log entry indeterminate in the current
+    /// state.
+    fn mark_entry(&mut self, e: &LogEntry, frame: &mut DFrame) {
+        match e {
+            LogEntry::Prop { obj, key, .. } => {
+                match self.heap[obj.0 as usize].props.get_mut(key) {
+                    Some(slot) => slot.ann.det = Det::I,
+                    // The property is now absent (deleted in the region, or
+                    // the undo removed it): other executions may have it,
+                    // so the record's contents are unknown.
+                    None => {
+                        self.extras[obj.0 as usize].forced_open = true;
+                    }
+                }
+            }
+            LogEntry::Var { scope, name, .. } => {
+                if let Some((_, ann)) = self.scopes[scope.0 as usize].vars.get_mut(name) {
+                    ann.det = Det::I;
+                }
+            }
+            LogEntry::Temp { frame: fs, idx, .. } => {
+                if *fs == frame.serial {
+                    frame.temps[*idx as usize].d = Det::I;
+                }
+            }
+            LogEntry::Opened { .. } => {}
+        }
+    }
+
+    /// Restores the pre-region state for one entry.
+    fn undo_entry(&mut self, e: &LogEntry, frame: &mut DFrame) {
+        match e {
+            LogEntry::Prop { obj, key, old } => match old {
+                Some((v, ann)) => {
+                    self.heap[obj.0 as usize].props.insert(
+                        key.clone(),
+                        Slot {
+                            value: v.clone(),
+                            ann: *ann,
+                        },
+                    );
+                }
+                None => {
+                    self.heap[obj.0 as usize].props.remove(key);
+                }
+            },
+            LogEntry::Var { scope, name, old } => match old {
+                Some((v, ann)) => {
+                    self.scopes[scope.0 as usize]
+                        .vars
+                        .insert(name.clone(), (v.clone(), *ann));
+                }
+                None => {
+                    self.scopes[scope.0 as usize].vars.remove(name);
+                }
+            },
+            LogEntry::Temp { frame: fs, idx, old } => {
+                if *fs == frame.serial {
+                    frame.temps[*idx as usize] = old.clone();
+                }
+            }
+            LogEntry::Opened { obj, was } => {
+                self.extras[obj.0 as usize].forced_open = *was;
+            }
+        }
+    }
+
+    /// The conservative ĈNTRABORT: flush the heap and mark the static
+    /// write domain of the unexecuted code indeterminate. With `eval`
+    /// inside, the whole visible scope chain is poisoned.
+    pub(crate) fn cntr_abort(
+        &mut self,
+        frame: &mut DFrame,
+        blocks: &[&[mujs_ir::Stmt]],
+    ) -> Result<(), DErr> {
+        self.stats.cf_aborts += 1;
+        self.flush_heap()?;
+        for block in blocks {
+            let wd = mujs_ir::vd::write_domain(block);
+            if wd.contains_eval {
+                self.mark_scope_chain_indet(frame.scope);
+            }
+            for place in &wd.places {
+                match place {
+                    mujs_ir::Place::Temp(t) => {
+                        if let Some(slot) = frame.temps.get_mut(t.0 as usize) {
+                            slot.d = Det::I;
+                        }
+                    }
+                    mujs_ir::Place::Named(name) => {
+                        self.mark_var_indet(frame.scope, name);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn mark_var_indet(&mut self, scope: Option<ScopeId>, name: &str) {
+        let mut cur = scope;
+        while let Some(sid) = cur {
+            if let Some((_, ann)) = self.scopes[sid.0 as usize].vars.get_mut(name) {
+                ann.det = Det::I;
+                return;
+            }
+            cur = self.scopes[sid.0 as usize].parent;
+        }
+        if let Some(slot) = self.heap[self.global.0 as usize].props.get_mut(name) {
+            slot.ann.det = Det::I;
+        }
+    }
+
+    fn mark_scope_chain_indet(&mut self, scope: Option<ScopeId>) {
+        let mut cur = scope;
+        while let Some(sid) = cur {
+            for (_, (_, ann)) in self.scopes[sid.0 as usize].vars.iter_mut() {
+                ann.det = Det::I;
+            }
+            cur = self.scopes[sid.0 as usize].parent;
+        }
+    }
+
+    // -------------------------------------------------------- registration
+
+    /// Registers a native model.
+    pub fn register_native(&mut self, name: &'static str, f: DNativeFn) -> ObjId {
+        let nid = mujs_interp::NativeId(self.natives.len() as u32);
+        self.natives.push((name, f));
+        let obj = self.alloc(
+            ObjClass::Native(nid),
+            Some(self.protos.function),
+            Det::D,
+        );
+        self.heap[obj.0 as usize].builtin = true;
+        obj
+    }
+
+    /// Raw determinate property install (library setup).
+    pub fn set_raw(&mut self, obj: ObjId, name: &str, v: Value) {
+        self.write_prop(obj, name, DValue::det(v));
+    }
+
+    /// Raw own-property read.
+    pub fn get_raw(&self, obj: ObjId, name: &str) -> Option<Value> {
+        self.heap[obj.0 as usize]
+            .props
+            .get(name)
+            .map(|s| s.value.clone())
+    }
+
+    /// Builds and throws a fresh error object. `indet_ctl` says whether
+    /// other executions might not throw here.
+    pub fn throw_error(&mut self, kind: &str, msg: &str, indet_ctl: bool) -> DErr {
+        let e = self.alloc(ObjClass::Plain, Some(self.protos.error), Det::D);
+        self.write_prop(e, "name", DValue::det(Value::Str(Rc::from(kind))));
+        self.write_prop(e, "message", DValue::det(Value::Str(Rc::from(msg))));
+        DErr::Thrown(DValue::det(Value::Object(e)), indet_ctl)
+    }
+
+    /// Renders a value for output capture (mirrors the concrete machine).
+    pub fn display(&self, v: &Value) -> String {
+        match v {
+            Value::Str(s) => s.to_string(),
+            Value::Object(id) => match &self.obj(*id).class {
+                ObjClass::Array => {
+                    let len = match self.get_raw(*id, "length") {
+                        Some(Value::Num(n)) => n as usize,
+                        _ => 0,
+                    };
+                    let items: Vec<String> = (0..len.min(100))
+                        .map(|i| {
+                            self.get_raw(*id, &i.to_string())
+                                .map(|v| self.display(&v))
+                                .unwrap_or_default()
+                        })
+                        .collect();
+                    items.join(",")
+                }
+                c if c.is_callable() => "function".to_owned(),
+                _ => "[object Object]".to_owned(),
+            },
+            other => mujs_interp::coerce::to_string(other)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|_| "[object]".to_owned()),
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Multi-execution fact combination — the paper's §7: "Running the
+//! determinacy analysis on different inputs yields more facts, which are
+//! all sound and hence can be used together."
+//!
+//! Each run's facts are individually sound; combining them point-wise via
+//! [`FactDb::absorb`] keeps determinate entries only where every run that
+//! recorded the entry agrees — so a combined database both *extends*
+//! coverage (contexts only some runs reached) and *sharpens* honesty
+//! (values that vary across inputs degrade to `?`, catching facts that
+//! looked determinate merely because a single run cannot witness the
+//! variation it is already flagging).
+//!
+//! Also here: the §7 "shallower calling contexts" exploration —
+//! projecting fully-qualified facts onto bounded context suffixes. The
+//! projection is a *heuristic*: a fact observed under every full context
+//! sharing a suffix is not thereby proven for unobserved contexts with
+//! the same suffix, so projected facts trade the soundness guarantee for
+//! reusability and must be consumed as hints (e.g. by optimizers that
+//! guard specialized code with runtime checks).
+
+use crate::config::AnalysisConfig;
+use crate::driver::{AnalysisOutcome, DetHarness};
+use crate::facts::FactDb;
+use mujs_dom::document::Document;
+use mujs_dom::events::EventPlan;
+use mujs_interp::context::{ContextTable, CtxId};
+use serde::Serialize;
+
+/// Result of combining several runs.
+#[derive(Debug)]
+pub struct MultiRunOutcome {
+    /// The combined (still sound) fact database, interned against
+    /// [`MultiRunOutcome::ctxs`].
+    pub facts: FactDb,
+    /// The master context table the combined facts are keyed by. Each
+    /// run's interned ids are translated through their frame chains
+    /// (context ids are per-run interning artifacts).
+    pub ctxs: ContextTable,
+    /// Per-run outcomes, for inspection.
+    pub runs: Vec<AnalysisOutcome>,
+    /// Determinate-vs-determinate conflicts seen while combining; nonzero
+    /// indicates an analysis bug (sound facts cannot disagree).
+    pub conflicts: u64,
+}
+
+/// Runs the analysis once per seed and combines the fact databases.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+/// use determinacy::driver::DetHarness;
+/// use determinacy::multirun::analyze_many;
+/// let mut h = DetHarness::from_src("var x = Math.random() < 0.5 ? 1 : 2;")?;
+/// let combined = analyze_many(&mut h, &[1, 2, 3, 4], Default::default());
+/// assert_eq!(combined.runs.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_many(
+    h: &mut DetHarness,
+    seeds: &[u64],
+    base_cfg: AnalysisConfig,
+) -> MultiRunOutcome {
+    analyze_many_with(h, seeds, base_cfg, None, &EventPlan::new())
+}
+
+/// [`analyze_many`] with a DOM page and event plan.
+pub fn analyze_many_with(
+    h: &mut DetHarness,
+    seeds: &[u64],
+    base_cfg: AnalysisConfig,
+    doc: Option<&Document>,
+    plan: &EventPlan,
+) -> MultiRunOutcome {
+    let mut combined = FactDb::new(base_cfg.max_facts);
+    let mut master = ContextTable::new();
+    let mut runs = Vec::with_capacity(seeds.len());
+    let mut conflicts = 0;
+    for &seed in seeds {
+        let cfg = AnalysisConfig { seed, ..base_cfg.clone() };
+        let out = match doc {
+            Some(d) => h.analyze_dom(cfg, d.clone(), plan),
+            None => h.analyze(cfg),
+        };
+        conflicts += combined.absorb_reinterned(&out.facts, &out.ctxs, &mut master);
+        runs.push(out);
+    }
+    MultiRunOutcome {
+        facts: combined,
+        ctxs: master,
+        runs,
+        conflicts,
+    }
+}
+
+/// Projects fully-qualified facts onto context suffixes of depth `k` —
+/// the §7 "shallower calling contexts" experiment. **Heuristic**: entries
+/// whose full contexts share a suffix merge (agreeing determinate values
+/// survive, disagreements degrade to `?`); the result over-claims for
+/// contexts the dynamic runs never observed and must not be used where
+/// the paper's soundness guarantee is required.
+pub fn project_to_depth(facts: &FactDb, ctxs: &mut ContextTable, k: usize) -> FactDb {
+    let mut out = FactDb::new(0);
+    for (kind, point, ctx, fact) in facts.iter() {
+        let suffix = ctxs.suffix(ctx, k);
+        out.record_merged(kind, point, suffix, fact.clone());
+    }
+    for (point, ctx, trip) in facts.iter_trips() {
+        let suffix = ctxs.suffix(ctx, k);
+        out.record_trip(point, suffix, trip);
+    }
+    out
+}
+
+/// One exported fact row (JSON).
+#[derive(Debug, Serialize)]
+pub struct FactRow {
+    /// Fact kind (`Define`, `Cond`, `EvalArg`, `Callee`, `PropKey`).
+    pub kind: String,
+    /// Source line of the program point.
+    pub line: u32,
+    /// The calling context as `line` or `line_occ` steps.
+    pub context: Vec<String>,
+    /// Rendered value, or `"?"`.
+    pub value: String,
+    /// Whether the fact is determinate.
+    pub determinate: bool,
+}
+
+/// Exports a fact database as pretty JSON for external clients (the
+/// paper's WALA integration consumed facts in a similar exchange form).
+///
+/// # Panics
+///
+/// Panics if JSON serialization fails (it cannot for these types).
+pub fn export_json(
+    facts: &FactDb,
+    prog: &mujs_ir::Program,
+    sf: &mujs_syntax::SourceFile,
+    ctxs: &ContextTable,
+) -> String {
+    let mut rows: Vec<FactRow> = facts
+        .iter()
+        .map(|(kind, point, ctx, fact)| {
+            let line = sf.line_col(prog.span_of(point)).line;
+            let context = render_ctx(ctx, prog, sf, ctxs);
+            FactRow {
+                kind: format!("{kind:?}"),
+                line,
+                context,
+                value: match fact.value() {
+                    Some(v) => v.to_string(),
+                    None => "?".to_owned(),
+                },
+                determinate: fact.is_det(),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (a.line, &a.kind, &a.context).cmp(&(b.line, &b.kind, &b.context))
+    });
+    serde_json::to_string_pretty(&rows).expect("fact rows serialize")
+}
+
+fn render_ctx(
+    ctx: CtxId,
+    prog: &mujs_ir::Program,
+    sf: &mujs_syntax::SourceFile,
+    ctxs: &ContextTable,
+) -> Vec<String> {
+    ctxs.frames(ctx)
+        .into_iter()
+        .map(|(site, occ)| {
+            let line = sf.line_col(prog.span_of(site)).line;
+            if occ == 0 {
+                format!("{line}")
+            } else {
+                format!("{line}_{occ}")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::FactKind;
+    use crate::Fact;
+
+    #[test]
+    fn multi_run_extends_branch_coverage() {
+        // A coin flip guards two different constants; a single run covers
+        // one arm, several seeds cover both, and the combined database has
+        // determinate facts from each arm's interior.
+        let src = r#"
+var coin = Math.random() < 0.5;
+var picked = 0;
+if (coin) { var a_inner = 11; picked = 1; } else { var b_inner = 22; picked = 2; }
+"#;
+        let mut h = DetHarness::from_src(src).unwrap();
+        let combined = analyze_many(&mut h, &[0, 1, 2, 3, 4, 5, 6, 7], Default::default());
+        let values: Vec<String> = combined
+            .facts
+            .iter()
+            .filter(|(k, _, _, _)| *k == FactKind::Define)
+            .filter_map(|(_, _, _, f)| f.value().map(|v| v.to_string()))
+            .collect();
+        assert!(values.contains(&"11".to_owned()), "{values:?}");
+        assert!(values.contains(&"22".to_owned()), "{values:?}");
+    }
+
+    #[test]
+    fn multi_run_degrades_disagreeing_facts() {
+        // `picked` is written differently per arm: whichever run observes
+        // it, the values disagree across runs at the same point, so the
+        // combination must not keep both as determinate.
+        let src = r#"
+if (Math.random() < 0.5) { var w = 1; } else { var w = 2; }
+var observed = w;
+"#;
+        let mut h = DetHarness::from_src(src).unwrap();
+        let combined = analyze_many(&mut h, &[0, 1, 2, 3, 4, 5], Default::default());
+        // Single-run facts already mark `observed` indeterminate (the
+        // branch writes are marked after the merge); combining runs must
+        // not resurrect determinacy anywhere.
+        let indet_preserved = combined
+            .facts
+            .iter()
+            .filter(|(k, _, _, _)| *k == FactKind::Define)
+            .all(|(_, p, c, f)| {
+                let single = combined.runs[0].facts.get(FactKind::Define, p, c);
+                !(matches!(single, Some(Fact::Indet)) && f.is_det())
+            });
+        assert!(indet_preserved);
+    }
+
+    #[test]
+    fn projection_merges_contexts() {
+        let src = r#"
+function id(v) { var echo = v; return echo; }
+id(1);
+id(1);
+id(2);
+"#;
+        let mut h = DetHarness::from_src(src).unwrap();
+        let mut out = h.analyze(Default::default());
+        // Fully qualified: three determinate facts for `echo` (one per
+        // call site). Projected to depth 0 (context-free), they collide:
+        // 1, 1, 2 → indeterminate.
+        let projected = project_to_depth(&out.facts, &mut out.ctxs, 0);
+        let echo_facts: Vec<&Fact> = projected
+            .iter()
+            .filter(|(k, _, _, _)| *k == FactKind::Define)
+            .map(|(_, _, _, f)| f)
+            .collect();
+        assert!(echo_facts.iter().any(|f| !f.is_det()));
+        // Depth 1 keeps the per-call-site facts distinct.
+        let projected1 = project_to_depth(&out.facts, &mut out.ctxs, 1);
+        assert!(projected1.det_count() >= out.facts.det_count() / 2);
+    }
+
+    #[test]
+    fn json_export_is_parseable_and_complete() {
+        let src = "var x = 1 + 2; var y = Math.random();";
+        let mut h = DetHarness::from_src(src).unwrap();
+        let out = h.analyze(Default::default());
+        let json = export_json(&out.facts, &h.program, &h.source, &out.ctxs);
+        let rows: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.len(), out.facts.len());
+        assert!(rows.iter().any(|r| r["value"] == "3" && r["determinate"] == true));
+        assert!(rows.iter().any(|r| r["value"] == "?" && r["determinate"] == false));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the analysis' core data structures: the
+//! determinacy lattice, the fact-merge semilattice, and the context
+//! interner.
+
+use determinacy::{Det, Fact, FactDb, FactKind, FactValue};
+use mujs_interp::context::{ContextTable, CtxId};
+use mujs_ir::StmtId;
+use proptest::prelude::*;
+
+fn arb_det() -> impl Strategy<Value = Det> {
+    prop_oneof![Just(Det::D), Just(Det::I)]
+}
+
+fn arb_fact_value() -> impl Strategy<Value = FactValue> {
+    prop_oneof![
+        Just(FactValue::Undefined),
+        Just(FactValue::Null),
+        any::<bool>().prop_map(FactValue::Bool),
+        any::<i32>().prop_map(|n| FactValue::Num(n as f64)),
+        Just(FactValue::Num(f64::NAN)),
+        "[a-z]{0,6}".prop_map(|s| FactValue::Str(s.as_str().into())),
+    ]
+}
+
+fn arb_fact() -> impl Strategy<Value = Fact> {
+    prop_oneof![
+        arb_fact_value().prop_map(Fact::Det),
+        Just(Fact::Indet),
+    ]
+}
+
+proptest! {
+    // ---------------- Det is a join-semilattice with top I --------------
+
+    #[test]
+    fn det_join_is_commutative_associative_idempotent(
+        a in arb_det(), b in arb_det(), c in arb_det()
+    ) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(Det::I), Det::I);
+        prop_assert_eq!(a.join(Det::D), a);
+    }
+
+    // ---------------- Fact merging is order-insensitive -----------------
+
+    #[test]
+    fn fact_merge_order_insensitive(facts in prop::collection::vec(arb_fact(), 1..8)) {
+        let point = StmtId(1);
+        let merge = |fs: &[Fact]| {
+            let mut db = FactDb::new(0);
+            for f in fs {
+                db.record_merged(FactKind::Define, point, CtxId::ROOT, f.clone());
+            }
+            db.get(FactKind::Define, point, CtxId::ROOT).cloned()
+        };
+        let forward = merge(&facts);
+        let mut rev = facts.clone();
+        rev.reverse();
+        let backward = merge(&rev);
+        // Same multiset ⇒ same merged fact (NaN compares bitwise in
+        // FactValue::same, making this well-defined).
+        match (forward, backward) {
+            (Some(Fact::Det(a)), Some(Fact::Det(b))) => prop_assert!(a.same(&b)),
+            (a, b) => prop_assert_eq!(
+                matches!(a, Some(Fact::Indet)),
+                matches!(b, Some(Fact::Indet))
+            ),
+        }
+    }
+
+    #[test]
+    fn fact_merge_determinate_only_when_all_agree(
+        v in arb_fact_value(),
+        facts in prop::collection::vec(arb_fact(), 0..6)
+    ) {
+        let point = StmtId(2);
+        let mut db = FactDb::new(0);
+        db.record_merged(FactKind::Define, point, CtxId::ROOT, Fact::Det(v.clone()));
+        for f in &facts {
+            db.record_merged(FactKind::Define, point, CtxId::ROOT, f.clone());
+        }
+        let merged = db.get(FactKind::Define, point, CtxId::ROOT).unwrap();
+        let all_same = facts
+            .iter()
+            .all(|f| matches!(f, Fact::Det(x) if x.same(&v)));
+        prop_assert_eq!(merged.is_det(), all_same);
+    }
+
+    #[test]
+    fn absorb_is_idempotent(facts in prop::collection::vec(
+        (0u32..20, arb_fact()), 0..20
+    )) {
+        let mut a = FactDb::new(0);
+        for (p, f) in &facts {
+            a.record_merged(FactKind::Define, StmtId(*p), CtxId::ROOT, f.clone());
+        }
+        let before: Vec<_> = {
+            let mut v: Vec<_> = a
+                .iter()
+                .map(|(k, p, c, f)| (k, p, c, f.clone()))
+                .collect();
+            v.sort_by_key(|(k, p, c, _)| (*k as u8, *p, *c));
+            v
+        };
+        let snapshot = FactDb::new(0);
+        let mut b = FactDb::new(0);
+        for (p, f) in &facts {
+            b.record_merged(FactKind::Define, StmtId(*p), CtxId::ROOT, f.clone());
+        }
+        a.absorb(&b); // same contents again
+        a.absorb(&snapshot); // empty
+        let after: Vec<_> = {
+            let mut v: Vec<_> = a
+                .iter()
+                .map(|(k, p, c, f)| (k, p, c, f.clone()))
+                .collect();
+            v.sort_by_key(|(k, p, c, _)| (*k as u8, *p, *c));
+            v
+        };
+        prop_assert_eq!(before.len(), after.len());
+        for ((k1, p1, c1, f1), (k2, p2, c2, f2)) in before.iter().zip(after.iter()) {
+            prop_assert_eq!((k1, p1, c1), (k2, p2, c2));
+            prop_assert_eq!(f1.is_det(), f2.is_det());
+        }
+    }
+
+    // ---------------- Context interning ---------------------------------
+
+    #[test]
+    fn context_frames_roundtrip(chain in prop::collection::vec((0u32..50, 0u32..5), 0..6)) {
+        let mut t = ContextTable::new();
+        let mut ctx = CtxId::ROOT;
+        for (site, occ) in &chain {
+            ctx = t.child(ctx, StmtId(*site), *occ);
+        }
+        let frames = t.frames(ctx);
+        let expected: Vec<(StmtId, u32)> =
+            chain.iter().map(|(s, o)| (StmtId(*s), *o)).collect();
+        prop_assert_eq!(frames, expected);
+        prop_assert_eq!(t.depth(ctx), chain.len());
+    }
+
+    #[test]
+    fn context_interning_is_injective(
+        a in prop::collection::vec((0u32..20, 0u32..3), 0..5),
+        b in prop::collection::vec((0u32..20, 0u32..3), 0..5),
+    ) {
+        let mut t = ContextTable::new();
+        let build = |t: &mut ContextTable, chain: &[(u32, u32)]| {
+            let mut ctx = CtxId::ROOT;
+            for (site, occ) in chain {
+                ctx = t.child(ctx, StmtId(*site), *occ);
+            }
+            ctx
+        };
+        let ca = build(&mut t, &a);
+        let cb = build(&mut t, &b);
+        prop_assert_eq!(ca == cb, a == b);
+    }
+
+    #[test]
+    fn context_suffix_is_suffix(
+        chain in prop::collection::vec((0u32..20, 0u32..3), 0..6),
+        k in 0usize..8,
+    ) {
+        let mut t = ContextTable::new();
+        let mut ctx = CtxId::ROOT;
+        for (site, occ) in &chain {
+            ctx = t.child(ctx, StmtId(*site), *occ);
+        }
+        let s = t.suffix(ctx, k);
+        let frames = t.frames(s);
+        let full: Vec<(StmtId, u32)> =
+            chain.iter().map(|(x, o)| (StmtId(*x), *o)).collect();
+        let start = full.len().saturating_sub(k);
+        prop_assert_eq!(frames, full[start..].to_vec());
+    }
+}

@@ -1,0 +1,315 @@
+//! Synthetic jQuery-like library versions for the Table 1 reproduction.
+//!
+//! We cannot ship jQuery, so each "version" is a generated library
+//! exhibiting the trait the paper attributes that version's Table 1 row
+//! to. The scalability-killing core is the `extend` pattern at the heart
+//! of real jQuery — `for (p in src) target[p] = src[p]` — which copies
+//! many syntactically distinct closures through a dynamic property access;
+//! a points-to analysis that cannot resolve `p` smears every method over
+//! every read of the namespace object, exploding the call graph \[30\].
+//! The determinacy analysis resolves `p` per loop iteration
+//! (occurrence-qualified facts), the specializer unrolls and staticizes,
+//! and the smearing disappears.
+//!
+//! Flush-count calibration (matching Table 1's parenthesized numbers):
+//! each DOM feature-probe iteration costs exactly two flushes without
+//! DetDOM (the `el.getAttribute` method lookup goes through an
+//! indeterminate element reference, and the dispatch callee is an
+//! indeterminate ternary), and each "hard" probe costs one
+//! (`Date.now()`-dependent dispatch, indeterminate even under DetDOM).
+//!
+//! * **1.0** — fully determinate definitions; 40 DOM probes + 2 hard
+//!   probes ⇒ 82 flushes plain, 2 under DetDOM.
+//! * **1.1** — extend keys and accessor names tainted by a DOM round-trip
+//!   (4 carrier calls ⇒ 4 flushes, plus 3 warmup and 2 probe calls through
+//!   the opened namespace), 47 DOM probes + 4 hard ⇒ 107 plain, 4 under
+//!   DetDOM; without DetDOM no key facts exist and Spec fails.
+//! * **1.2** — heavy code lazily registered and dead; 550 DOM probes ⇒
+//!   >1000 flushes plain, 0 under DetDOM; trivially analyzable.
+//! * **1.3** — heavy code inside a user-level "ready" handler (statically
+//!   reachable, dynamically uncovered) plus a >1000-dispatch handler storm
+//!   (each entry flushes, DetDOM or not).
+
+use mujs_dom::document::{Document, DocumentBuilder};
+use mujs_dom::events::EventPlan;
+use std::fmt::Write as _;
+
+/// A generated library version plus its page and event plan.
+#[derive(Debug)]
+pub struct JQueryLike {
+    /// Version label (`"1.0"`, ...).
+    pub version: &'static str,
+    /// The library + page script.
+    pub src: String,
+    /// The page's document.
+    pub doc: Document,
+    /// Events the driver fires after load.
+    pub plan: EventPlan,
+}
+
+/// Extend groups (number of `extend(jQ, {...})` calls).
+const N_GROUPS: usize = 20;
+/// Utilities per group (kept under the unroller's 32-iteration cap).
+const N_PER_GROUP: usize = 18;
+/// Dynamic accessor definitions (the paper's 21-times-unrolled loop).
+const N_ACCESSORS: usize = 21;
+
+fn property_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("prop{i}")).collect()
+}
+
+/// The utility library: `extend` plus `N_GROUPS × N_PER_GROUP` distinct
+/// utilities copied into the `jQ` namespace through dynamic property
+/// accesses. `key_expr` maps the for-in variable to the written key
+/// (versions 1.1+ taint it through the DOM).
+fn utils_section(key_expr: &str) -> String {
+    let n = N_GROUPS * N_PER_GROUP;
+    let mut s = String::new();
+    s.push_str("  var jQ = { version: \"x\" };\n");
+    s.push_str("  var registry = {};\n");
+    let _ = writeln!(
+        s,
+        "  function extend(target, src) {{ for (var p in src) {{ target[{key_expr}] = src[p]; }} return target; }}"
+    );
+    for g in 0..N_GROUPS {
+        s.push_str("  extend(jQ, {\n");
+        for j in 0..N_PER_GROUP {
+            let i = g * N_PER_GROUP + j;
+            let next = (i + 1) % n;
+            let other = (i + 7) % n;
+            let _ = writeln!(
+                s,
+                "    u{i}: function (a, b) {{\n      var d = {{ idx: {i}, left: a, right: b }};\n      registry.slot{i} = d;\n      var sib = jQ.u{next};\n      var alt = jQ.u{other};\n      if (a) {{ return sib; }}\n      if (b) {{ return alt; }}\n      return d;\n    }},"
+            );
+        }
+        s.push_str("  });\n");
+    }
+    // Exercise a handful of utilities so the run is realistic; their
+    // bodies need no facts.
+    s.push_str("  jQ.u0(false, false);\n  jQ.u1(false, false);\n  jQ.u2(false, false);\n");
+    s
+}
+
+/// The dynamic accessor-definition loop (the Figure 3 pattern at the
+/// paper's 21-iteration scale). `base_expr` computes the per-iteration
+/// property base name.
+fn accessor_section(base_expr: &str) -> String {
+    let names = property_names(N_ACCESSORS);
+    let list = names
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        r#"  var accessorNames = [{list}];
+  function defAccessors(base) {{
+    jQ["get_" + base] = function (o) {{ return o[base]; }};
+    jQ["set_" + base] = function (o, v) {{ o[base] = v; return o; }};
+  }}
+  for (var di = 0; di < accessorNames.length; di++) {{
+    defAccessors({base_expr});
+  }}
+  var probe = {{}};
+  jQ.set_prop0(probe, 11);
+  var got = jQ.get_prop0(probe);
+"#
+    )
+}
+
+/// DOM feature detection: `n_dom` DOM probes (2 flushes each without
+/// DetDOM, 0 with) and `n_hard` `Date.now`-driven dispatches (1 flush
+/// each, always).
+fn feature_detection_section(n_dom: usize, n_hard: usize) -> String {
+    format!(
+        r#"  var features = {{}};
+  function setFeature(name, v) {{ features[name] = v; }}
+  function clearFeature(name, v) {{ features[name] = false; }}
+  var fprobe = document.getElementById("probe");
+  for (var fi = 0; fi < {n_dom}; fi++) {{
+    var supported = fprobe.getAttribute("data-probe");
+    (supported ? setFeature : clearFeature)("feat" + fi, supported);
+  }}
+  for (var hi = 0; hi < {n_hard}; hi++) {{
+    var coin = Date.now() % 2;
+    (coin ? setFeature : clearFeature)("hard" + hi, coin);
+  }}
+"#
+    )
+}
+
+/// The DOM round-trip used by 1.1 to taint key computations: 4 method
+/// calls on an indeterminate element reference ⇒ 4 flushes without
+/// DetDOM, and `prefix` is indeterminate (concretely `""`).
+fn dom_prefix_section() -> String {
+    r#"  var carrier = document.createElement("span");
+  carrier.setAttribute("data-prefix", "");
+  var prefix = carrier.getAttribute("data-prefix");
+  prefix = carrier.getAttribute("data-prefix");
+  prefix = carrier.getAttribute("data-prefix");
+"#
+    .to_owned()
+}
+
+fn page_doc() -> Document {
+    let mut b = DocumentBuilder::new()
+        .title("corpus page")
+        .element("div", Some("probe"), &[("data-probe", "y")]);
+    for i in 0..8 {
+        let id = format!("button{i}");
+        b = b.element("button", Some(&id), &[]);
+    }
+    b.build()
+}
+
+/// jQuery-like 1.0: everything determinate except the feature probes.
+pub fn v1_0() -> JQueryLike {
+    let mut src = String::from("(function() {\n");
+    src.push_str(&utils_section("p"));
+    src.push_str(&accessor_section("accessorNames[di]"));
+    // 82 = 2 × 40 DOM + 2 hard.
+    src.push_str(&feature_detection_section(40, 2));
+    src.push_str("  window.jQuery = jQ;\n})();\n");
+    JQueryLike {
+        version: "1.0",
+        src,
+        doc: page_doc(),
+        plan: EventPlan::new(),
+    }
+}
+
+/// jQuery-like 1.1: keys tainted through the DOM.
+pub fn v1_1() -> JQueryLike {
+    let mut src = String::from("(function() {\n");
+    src.push_str(&dom_prefix_section());
+    src.push_str(&utils_section("prefix + p"));
+    src.push_str(&accessor_section("prefix + accessorNames[di]"));
+    // 107 = 4 carrier + 3 warmup + 2 probe + 2 × 47 DOM + 4 hard.
+    src.push_str(&feature_detection_section(47, 4));
+    src.push_str("  window.jQuery = jQ;\n})();\n");
+    JQueryLike {
+        version: "1.1",
+        src,
+        doc: page_doc(),
+        plan: EventPlan::new(),
+    }
+}
+
+/// jQuery-like 1.2: the heavy code is lazily registered and dead.
+pub fn v1_2() -> JQueryLike {
+    let mut src = String::from("(function() {\n");
+    src.push_str("  var jQ = { version: \"x\" };\n");
+    src.push_str("  function lazyInit() {\n");
+    src.push_str(&utils_section("p").replace("\n  ", "\n    "));
+    src.push_str(&accessor_section("accessorNames[di]").replace("\n  ", "\n    "));
+    src.push_str("  }\n");
+    src.push_str("  window.addEventListener(\"jq-boot\", lazyInit);\n");
+    // >1000 flushes: 2 × 550 DOM probes.
+    src.push_str(&feature_detection_section(550, 0));
+    src.push_str("  window.jQuery = jQ;\n})();\n");
+    JQueryLike {
+        version: "1.2",
+        src,
+        doc: page_doc(),
+        plan: EventPlan::new(),
+    }
+}
+
+/// jQuery-like 1.3: definitions happen inside a user-level event system.
+pub fn v1_3() -> JQueryLike {
+    let mut src = String::from("(function() {\n");
+    src.push_str("  var jQ = { version: \"x\" };\n");
+    src.push_str(
+        r#"  var handlerTypes = [];
+  var handlerFns = [];
+  function bind(type, fn) {
+    handlerTypes[handlerTypes.length] = type;
+    handlerFns[handlerFns.length] = fn;
+  }
+  function trigger(type) {
+    for (var ti = 0; ti < handlerFns.length; ti++) {
+      if (handlerTypes[ti] === type) { handlerFns[ti](type); }
+    }
+  }
+  jQ.bind = bind;
+  jQ.trigger = trigger;
+"#,
+    );
+    // The heavy definition code lives in a "ready" handler. It is
+    // statically reachable through trigger(), but its prelude reads
+    // configuration that only exists once the event storm has started —
+    // so the main-script counterfactual exploration aborts before any
+    // specialization-enabling fact is recorded, and the storm-time
+    // executions happen under freshly-flushed state (handler-entry
+    // flushes) on dispatch contexts the specializer cannot reach.
+    src.push_str("  bind(\"ready\", function() {\n");
+    src.push_str("    var cfgNames = window.jqConfig;\n");
+    src.push_str("    var cfgCount = cfgNames.length;\n");
+    src.push_str(&utils_section("p").replace("\n  ", "\n    "));
+    src.push_str(&accessor_section("accessorNames[di]").replace("\n  ", "\n    "));
+    src.push_str("  });\n");
+    // The main-script dispatch type is indeterminate (Date.now), so the
+    // dispatch conditional cannot be pruned in any configuration and the
+    // handler stays statically reachable.
+    src.push_str("  trigger(Date.now() % 2 ? \"boot\" : \"reboot\");\n");
+    // Native handlers that the plan will storm (each entry flushes); the
+    // first click publishes the configuration and re-triggers "ready".
+    src.push_str(
+        r#"  function onClick(ev) {
+    jQ.lastEvent = ev.type;
+    if (!window.jqConfig) { window.jqConfig = ["alpha", "beta"]; }
+    trigger("ready");
+  }
+  for (var bi = 0; bi < 8; bi++) {
+    document.getElementById("button" + bi).addEventListener("click", onClick);
+  }
+"#,
+    );
+    src.push_str("  window.jQuery = jQ;\n})();\n");
+    let mut plan = EventPlan::new();
+    for i in 0..1100 {
+        plan = plan.click(&format!("button{}", i % 8));
+    }
+    JQueryLike {
+        version: "1.3",
+        src,
+        doc: page_doc(),
+        plan,
+    }
+}
+
+/// All four versions in Table 1 order.
+pub fn all_versions() -> Vec<JQueryLike> {
+    vec![v1_0(), v1_1(), v1_2(), v1_3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_versions_generate_nonempty_sources() {
+        for v in all_versions() {
+            assert!(v.src.len() > 1000, "{} too small", v.version);
+        }
+    }
+
+    #[test]
+    fn v13_plan_is_a_handler_storm() {
+        assert!(v1_3().plan.steps().len() > 1000);
+        assert!(v1_0().plan.steps().is_empty());
+    }
+
+    #[test]
+    fn docs_have_buttons() {
+        let v = v1_3();
+        assert!(v.doc.get_element_by_id("button0").is_some());
+        assert!(v.doc.get_element_by_id("button7").is_some());
+    }
+
+    #[test]
+    fn utils_use_the_extend_pattern() {
+        let v = v1_0();
+        assert!(v.src.contains("function extend(target, src)"));
+        assert_eq!(v.src.matches("extend(jQ, {").count(), N_GROUPS);
+    }
+}

@@ -1,0 +1,89 @@
+//! Parameterized synthetic workload generators for benchmarks: scalable
+//! programs with known shape, used by the Criterion benches (interpreter
+//! throughput, instrumentation overhead, counterfactual depth sweeps).
+
+use std::fmt::Write as _;
+
+/// A straight-line arithmetic program with `n` statements.
+pub fn arithmetic_chain(n: usize) -> String {
+    let mut s = String::from("var acc = 1;\n");
+    for i in 0..n {
+        let _ = writeln!(s, "acc = (acc * {} + {}) % 100003;", (i % 7) + 2, i);
+    }
+    s.push_str("console.log(acc);\n");
+    s
+}
+
+/// A program building and traversing an object graph of `n` nodes.
+pub fn object_graph(n: usize) -> String {
+    let mut s = String::from("var nodes = [];\n");
+    let _ = writeln!(
+        s,
+        "for (var i = 0; i < {n}; i++) {{ nodes.push({{ id: i, next: null }}); }}"
+    );
+    s.push_str("for (var j = 0; j + 1 < nodes.length; j++) { nodes[j].next = nodes[j + 1]; }\n");
+    s.push_str("var cur = nodes[0];\nvar sum = 0;\nwhile (cur !== null) { sum += cur.id; cur = cur.next; }\nconsole.log(sum);\n");
+    s
+}
+
+/// A recursion-heavy workload (`fib`-style call tree of depth `n`).
+pub fn call_tree(n: usize) -> String {
+    format!(
+        "function fib(n) {{ return n < 2 ? n : fib(n - 1) + fib(n - 2); }}\nconsole.log(fib({n}));\n"
+    )
+}
+
+/// A program with `n` indeterminate-false conditionals guarding small
+/// branches — a counterfactual-execution stress test.
+pub fn counterfactual_chain(n: usize, branch_size: usize) -> String {
+    let mut s = String::from("var state = { x: 0 };\n");
+    for i in 0..n {
+        let _ = writeln!(s, "var c{i} = __indet(false);");
+        let _ = writeln!(s, "if (c{i}) {{");
+        for j in 0..branch_size {
+            let _ = writeln!(s, "  state.x = state.x + {j};");
+        }
+        s.push_str("}\n");
+    }
+    s.push_str("console.log(state.x);\n");
+    s
+}
+
+/// `depth`-nested indeterminate-false conditionals (exercises the
+/// counterfactual cut-off `k`).
+pub fn nested_counterfactuals(depth: usize) -> String {
+    let mut s = String::from("var o = { v: 0 };\n");
+    for i in 0..depth {
+        let _ = writeln!(s, "{}if (__indet(false)) {{", "  ".repeat(i));
+    }
+    let _ = writeln!(s, "{}o.v = 1;", "  ".repeat(depth));
+    for i in (0..depth).rev() {
+        let _ = writeln!(s, "{}}}", "  ".repeat(i));
+    }
+    s.push_str("console.log(o.v);\n");
+    s
+}
+
+/// A string-building workload (`n` concatenations + method calls).
+pub fn string_workload(n: usize) -> String {
+    let mut s = String::from("var out = \"\";\n");
+    let _ = writeln!(
+        s,
+        "for (var i = 0; i < {n}; i++) {{ out = (out + \"x\").substr(0, 50).toUpperCase().toLowerCase(); }}"
+    );
+    s.push_str("console.log(out.length);\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_scale() {
+        assert!(arithmetic_chain(100).lines().count() > 100);
+        assert!(object_graph(10).contains("10"));
+        assert!(counterfactual_chain(5, 3).matches("__indet").count() == 5);
+        assert!(nested_counterfactuals(4).matches("if").count() == 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! The DOM API surface specification.
+//!
+//! Both interpreters bind the same set of DOM natives; this module is the
+//! single source of truth for which functions exist, where they live, and
+//! how the *determinacy* analysis must treat them (§4 of the paper):
+//!
+//! * return values of DOM functions are indeterminate (unless the unsound
+//!   `DetDOM` assumption of §5.1 is enabled);
+//! * DOM functions "can only modify DOM data structures, so calling them
+//!   does not affect the determinacy of other heap locations" — i.e. they
+//!   never force a heap flush;
+//! * values read from DOM data structures are indeterminate (again modulo
+//!   `DetDOM`).
+
+/// Which host object a DOM function is installed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomHost {
+    /// The global `window` object (also the global object).
+    Window,
+    /// The `document` object.
+    Document,
+    /// Every element object.
+    Element,
+}
+
+/// How a DOM function behaves for the determinacy analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomEffect {
+    /// Reads DOM state only; result reflects the (indeterminate) document.
+    Read,
+    /// Mutates DOM state only; result is `undefined`/a DOM value.
+    Mutate,
+    /// Registers an event handler.
+    RegisterHandler,
+    /// Removes event handlers.
+    UnregisterHandler,
+    /// Output only (e.g. `alert`); no effect on program state.
+    Output,
+}
+
+/// Specification of one DOM native function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomFunctionSpec {
+    /// The property name under which it is installed.
+    pub name: &'static str,
+    /// The host object.
+    pub host: DomHost,
+    /// Its effect class.
+    pub effect: DomEffect,
+}
+
+/// All DOM functions both interpreters must bind.
+pub const DOM_FUNCTIONS: &[DomFunctionSpec] = &[
+    DomFunctionSpec {
+        name: "getElementById",
+        host: DomHost::Document,
+        effect: DomEffect::Read,
+    },
+    DomFunctionSpec {
+        name: "getElementsByTagName",
+        host: DomHost::Document,
+        effect: DomEffect::Read,
+    },
+    DomFunctionSpec {
+        name: "createElement",
+        host: DomHost::Document,
+        effect: DomEffect::Mutate,
+    },
+    DomFunctionSpec {
+        name: "addEventListener",
+        host: DomHost::Document,
+        effect: DomEffect::RegisterHandler,
+    },
+    DomFunctionSpec {
+        name: "appendChild",
+        host: DomHost::Element,
+        effect: DomEffect::Mutate,
+    },
+    DomFunctionSpec {
+        name: "removeChild",
+        host: DomHost::Element,
+        effect: DomEffect::Mutate,
+    },
+    DomFunctionSpec {
+        name: "setAttribute",
+        host: DomHost::Element,
+        effect: DomEffect::Mutate,
+    },
+    DomFunctionSpec {
+        name: "getAttribute",
+        host: DomHost::Element,
+        effect: DomEffect::Read,
+    },
+    DomFunctionSpec {
+        name: "addEventListener",
+        host: DomHost::Element,
+        effect: DomEffect::RegisterHandler,
+    },
+    DomFunctionSpec {
+        name: "removeEventListener",
+        host: DomHost::Element,
+        effect: DomEffect::UnregisterHandler,
+    },
+    DomFunctionSpec {
+        name: "alert",
+        host: DomHost::Window,
+        effect: DomEffect::Output,
+    },
+    DomFunctionSpec {
+        name: "addEventListener",
+        host: DomHost::Window,
+        effect: DomEffect::RegisterHandler,
+    },
+];
+
+/// Element properties surfaced on element objects. Reads of these are
+/// "values read from a DOM data structure" and hence indeterminate for the
+/// analysis unless `DetDOM` is on.
+pub const ELEMENT_PROPERTIES: &[&str] = &["tagName", "id", "className", "innerHTML", "parentNode"];
+
+/// Document properties with the same treatment.
+pub const DOCUMENT_PROPERTIES: &[&str] = &["title", "body", "documentElement"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_has_core_functions() {
+        let find = |host, name| {
+            DOM_FUNCTIONS
+                .iter()
+                .any(|f| f.host == host && f.name == name)
+        };
+        assert!(find(DomHost::Document, "getElementById"));
+        assert!(find(DomHost::Document, "createElement"));
+        assert!(find(DomHost::Element, "appendChild"));
+        assert!(find(DomHost::Window, "alert"));
+    }
+
+    #[test]
+    fn handler_registration_is_classified() {
+        let reg_count = DOM_FUNCTIONS
+            .iter()
+            .filter(|f| f.effect == DomEffect::RegisterHandler)
+            .count();
+        assert_eq!(reg_count, 3); // window, document, element
+    }
+}

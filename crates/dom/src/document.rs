@@ -1,0 +1,331 @@
+//! The emulated document tree.
+//!
+//! This is the reproduction's stand-in for ZombieJS (§4 of the paper): a
+//! minimal but real DOM model — elements with tags, attributes, ids, text,
+//! and a tree structure — that the interpreters surface to JavaScript code
+//! through native functions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node within a [`Document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An element node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Tag name, lowercase (`"div"`, `"body"`, ...).
+    pub tag: String,
+    /// Attributes, including `id` when present.
+    pub attrs: HashMap<String, String>,
+    /// Child elements in order.
+    pub children: Vec<NodeId>,
+    /// Parent element (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Concatenated text content directly under this node.
+    pub text: String,
+}
+
+/// An emulated HTML document.
+///
+/// # Examples
+///
+/// ```
+/// use mujs_dom::document::Document;
+/// let mut doc = Document::new();
+/// let div = doc.create_element("div");
+/// doc.set_attribute(div, "id", "main");
+/// doc.append_child(doc.body(), div);
+/// assert_eq!(doc.get_element_by_id("main"), Some(div));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+    body: NodeId,
+    head: NodeId,
+    by_id: HashMap<String, NodeId>,
+    /// The document title (`document.title`).
+    pub title: String,
+}
+
+impl Document {
+    /// Creates a document with `<html><head/><body/></html>`.
+    pub fn new() -> Self {
+        let mut doc = Document {
+            nodes: Vec::new(),
+            root: NodeId(0),
+            body: NodeId(0),
+            head: NodeId(0),
+            by_id: HashMap::new(),
+            title: String::new(),
+        };
+        let root = doc.create_element("html");
+        let head = doc.create_element("head");
+        let body = doc.create_element("body");
+        doc.root = root;
+        doc.append_child(root, head);
+        doc.append_child(root, body);
+        doc.head = head;
+        doc.body = body;
+        doc
+    }
+
+    /// The `<html>` element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The `<body>` element.
+    pub fn body(&self) -> NodeId {
+        self.body
+    }
+
+    /// The `<head>` element.
+    pub fn head(&self) -> NodeId {
+        self.head
+    }
+
+    /// Creates a detached element.
+    pub fn create_element(&mut self, tag: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            tag: tag.to_ascii_lowercase(),
+            attrs: HashMap::new(),
+            children: Vec::new(),
+            parent: None,
+            text: String::new(),
+        });
+        id
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutably borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this document.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Whether `id` is a valid node of this document.
+    pub fn contains(&self, id: NodeId) -> bool {
+        (id.0 as usize) < self.nodes.len()
+    }
+
+    /// Number of nodes (including detached ones).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Appends `child` to `parent`'s children, detaching it from its
+    /// previous parent if necessary.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        if let Some(old) = self.nodes[child.0 as usize].parent {
+            let siblings = &mut self.nodes[old.0 as usize].children;
+            siblings.retain(|c| *c != child);
+        }
+        self.nodes[child.0 as usize].parent = Some(parent);
+        self.nodes[parent.0 as usize].children.push(child);
+    }
+
+    /// Removes `child` from its parent, leaving it detached.
+    pub fn remove_child(&mut self, parent: NodeId, child: NodeId) {
+        let siblings = &mut self.nodes[parent.0 as usize].children;
+        siblings.retain(|c| *c != child);
+        self.nodes[child.0 as usize].parent = None;
+    }
+
+    /// Sets an attribute; maintains the id index for `id`.
+    pub fn set_attribute(&mut self, node: NodeId, name: &str, value: &str) {
+        if name == "id" {
+            if let Some(old) = self.nodes[node.0 as usize].attrs.get("id") {
+                self.by_id.remove(old);
+            }
+            self.by_id.insert(value.to_owned(), node);
+        }
+        self.nodes[node.0 as usize]
+            .attrs
+            .insert(name.to_owned(), value.to_owned());
+    }
+
+    /// Reads an attribute.
+    pub fn get_attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.nodes[node.0 as usize].attrs.get(name).map(|s| &**s)
+    }
+
+    /// `document.getElementById`.
+    pub fn get_element_by_id(&self, id: &str) -> Option<NodeId> {
+        self.by_id.get(id).copied()
+    }
+
+    /// `document.getElementsByTagName` — document order (pre-order walk
+    /// from the root; detached subtrees are not included).
+    pub fn get_elements_by_tag_name(&self, tag: &str) -> Vec<NodeId> {
+        let tag = tag.to_ascii_lowercase();
+        let mut out = Vec::new();
+        self.walk(self.root, &mut |id, node| {
+            if tag == "*" || node.tag == tag {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    fn walk(&self, id: NodeId, visit: &mut impl FnMut(NodeId, &Node)) {
+        let node = &self.nodes[id.0 as usize];
+        visit(id, node);
+        for c in node.children.clone() {
+            self.walk(c, visit);
+        }
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::new()
+    }
+}
+
+/// One element spec of a [`DocumentBuilder`]: tag, optional id,
+/// attributes.
+type ElementSpec = (String, Option<String>, Vec<(String, String)>);
+
+/// Convenience builder for test documents.
+///
+/// # Examples
+///
+/// ```
+/// use mujs_dom::document::DocumentBuilder;
+/// let doc = DocumentBuilder::new()
+///     .element("div", Some("banner"), &[("class", "top")])
+///     .element("span", Some("msg"), &[])
+///     .title("Test page")
+///     .build();
+/// assert!(doc.get_element_by_id("banner").is_some());
+/// assert_eq!(doc.title, "Test page");
+/// ```
+#[derive(Debug, Default)]
+pub struct DocumentBuilder {
+    elements: Vec<ElementSpec>,
+    title: String,
+}
+
+impl DocumentBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        DocumentBuilder::default()
+    }
+
+    /// Adds an element under `<body>` with an optional id and attributes.
+    pub fn element(mut self, tag: &str, id: Option<&str>, attrs: &[(&str, &str)]) -> Self {
+        self.elements.push((
+            tag.to_owned(),
+            id.map(str::to_owned),
+            attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Sets the document title.
+    pub fn title(mut self, t: &str) -> Self {
+        self.title = t.to_owned();
+        self
+    }
+
+    /// Builds the document.
+    pub fn build(self) -> Document {
+        let mut doc = Document::new();
+        doc.title = self.title;
+        for (tag, id, attrs) in self.elements {
+            let el = doc.create_element(&tag);
+            if let Some(id) = id {
+                doc.set_attribute(el, "id", &id);
+            }
+            for (k, v) in attrs {
+                doc.set_attribute(el, &k, &v);
+            }
+            doc.append_child(doc.body(), el);
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_document_has_html_head_body() {
+        let doc = Document::new();
+        assert_eq!(doc.node(doc.root()).tag, "html");
+        assert_eq!(doc.node(doc.head()).tag, "head");
+        assert_eq!(doc.node(doc.body()).tag, "body");
+        assert_eq!(doc.node(doc.body()).parent, Some(doc.root()));
+    }
+
+    #[test]
+    fn append_reparents() {
+        let mut doc = Document::new();
+        let a = doc.create_element("div");
+        let b = doc.create_element("div");
+        doc.append_child(doc.body(), a);
+        doc.append_child(doc.body(), b);
+        doc.append_child(a, b);
+        assert_eq!(doc.node(b).parent, Some(a));
+        assert_eq!(doc.node(doc.body()).children, vec![a]);
+    }
+
+    #[test]
+    fn id_index_follows_attribute_changes() {
+        let mut doc = Document::new();
+        let a = doc.create_element("div");
+        doc.set_attribute(a, "id", "x");
+        assert_eq!(doc.get_element_by_id("x"), Some(a));
+        doc.set_attribute(a, "id", "y");
+        assert_eq!(doc.get_element_by_id("x"), None);
+        assert_eq!(doc.get_element_by_id("y"), Some(a));
+    }
+
+    #[test]
+    fn tag_name_query_is_document_order_and_skips_detached() {
+        let mut doc = Document::new();
+        let a = doc.create_element("p");
+        let b = doc.create_element("p");
+        let detached = doc.create_element("p");
+        doc.append_child(doc.body(), a);
+        doc.append_child(a, b);
+        let _ = detached;
+        assert_eq!(doc.get_elements_by_tag_name("p"), vec![a, b]);
+        assert_eq!(doc.get_elements_by_tag_name("*").len(), 5);
+    }
+
+    #[test]
+    fn remove_child_detaches() {
+        let mut doc = Document::new();
+        let a = doc.create_element("div");
+        doc.append_child(doc.body(), a);
+        doc.remove_child(doc.body(), a);
+        assert_eq!(doc.node(a).parent, None);
+        assert!(doc.node(doc.body()).children.is_empty());
+    }
+}

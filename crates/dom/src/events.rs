@@ -1,0 +1,191 @@
+//! Event listeners and the post-load dispatch plan.
+//!
+//! The paper's driver model (§4): the main script runs to completion, then
+//! event handlers fire. Handlers are opaque tokens of type `H` supplied by
+//! the embedding interpreter (a closure handle). Since "DOM events can fire
+//! in any order", the instrumented interpreter performs a heap flush on
+//! every handler entry; that policy lives in the interpreter — this module
+//! only keeps the registry and ordering.
+
+use crate::document::NodeId;
+
+/// Where an event listener is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventTarget {
+    /// The `window` object.
+    Window,
+    /// The `document` object.
+    Document,
+    /// A specific element.
+    Element(NodeId),
+}
+
+/// A registered listener.
+#[derive(Debug, Clone)]
+pub struct Listener<H> {
+    /// Where it listens.
+    pub target: EventTarget,
+    /// The event type (`"load"`, `"click"`, ...).
+    pub event_type: String,
+    /// The embedding's handler token (e.g. a closure handle).
+    pub handler: H,
+}
+
+/// Registry of event listeners in registration order.
+#[derive(Debug, Clone)]
+pub struct EventRegistry<H> {
+    listeners: Vec<Listener<H>>,
+}
+
+impl<H> Default for EventRegistry<H> {
+    fn default() -> Self {
+        EventRegistry {
+            listeners: Vec::new(),
+        }
+    }
+}
+
+impl<H: Clone> EventRegistry<H> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a listener (`addEventListener`).
+    pub fn add(&mut self, target: EventTarget, event_type: &str, handler: H) {
+        self.listeners.push(Listener {
+            target,
+            event_type: event_type.to_owned(),
+            handler,
+        });
+    }
+
+    /// Removes all listeners for `(target, event_type)`.
+    pub fn remove(&mut self, target: EventTarget, event_type: &str) {
+        self.listeners
+            .retain(|l| !(l.target == target && l.event_type == event_type));
+    }
+
+    /// Handlers that fire for an event on `target`, in registration order.
+    /// Events on elements do not bubble in this model (the paper's
+    /// treatment of handlers is coarse enough that bubbling adds nothing).
+    pub fn handlers_for(&self, target: EventTarget, event_type: &str) -> Vec<H> {
+        self.listeners
+            .iter()
+            .filter(|l| l.target == target && l.event_type == event_type)
+            .map(|l| l.handler.clone())
+            .collect()
+    }
+
+    /// All listeners, in registration order.
+    pub fn all(&self) -> &[Listener<H>] {
+        &self.listeners
+    }
+
+    /// Number of registered listeners.
+    pub fn len(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// Whether no listeners are registered.
+    pub fn is_empty(&self) -> bool {
+        self.listeners.is_empty()
+    }
+}
+
+/// One step of a scripted post-load event sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventStep {
+    /// The event target, named by element id or as window/document.
+    pub target: EventTargetSel,
+    /// The event type to dispatch.
+    pub event_type: String,
+}
+
+/// Selects an [`EventTarget`] symbolically (resolved against the document
+/// at dispatch time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventTargetSel {
+    /// `window`.
+    Window,
+    /// `document`.
+    Document,
+    /// The element with the given id.
+    ById(String),
+}
+
+/// A dispatch plan: `load` on `window` first (implicit), then the given
+/// steps.
+///
+/// # Examples
+///
+/// ```
+/// use mujs_dom::events::{EventPlan, EventStep, EventTargetSel};
+/// let plan = EventPlan::new()
+///     .click("button1")
+///     .event(EventTargetSel::Document, "ready");
+/// assert_eq!(plan.steps().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventPlan {
+    steps: Vec<EventStep>,
+}
+
+impl EventPlan {
+    /// An empty plan (only the implicit `load` fires).
+    pub fn new() -> Self {
+        EventPlan::default()
+    }
+
+    /// Appends an arbitrary event.
+    pub fn event(mut self, target: EventTargetSel, event_type: &str) -> Self {
+        self.steps.push(EventStep {
+            target,
+            event_type: event_type.to_owned(),
+        });
+        self
+    }
+
+    /// Appends a click on the element with the given id.
+    pub fn click(self, element_id: &str) -> Self {
+        self.event(EventTargetSel::ById(element_id.to_owned()), "click")
+    }
+
+    /// The scripted steps (excluding the implicit `load`).
+    pub fn steps(&self) -> &[EventStep] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handlers_filter_by_target_and_type() {
+        let mut reg: EventRegistry<u32> = EventRegistry::new();
+        reg.add(EventTarget::Window, "load", 1);
+        reg.add(EventTarget::Element(NodeId(3)), "click", 2);
+        reg.add(EventTarget::Element(NodeId(3)), "click", 3);
+        reg.add(EventTarget::Element(NodeId(4)), "click", 4);
+        assert_eq!(
+            reg.handlers_for(EventTarget::Element(NodeId(3)), "click"),
+            vec![2, 3]
+        );
+        assert_eq!(reg.handlers_for(EventTarget::Window, "load"), vec![1]);
+        assert!(reg
+            .handlers_for(EventTarget::Document, "load")
+            .is_empty());
+    }
+
+    #[test]
+    fn remove_clears_matching_listeners() {
+        let mut reg: EventRegistry<u32> = EventRegistry::new();
+        reg.add(EventTarget::Window, "load", 1);
+        reg.add(EventTarget::Window, "load", 2);
+        reg.add(EventTarget::Window, "resize", 3);
+        reg.remove(EventTarget::Window, "load");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.handlers_for(EventTarget::Window, "resize"), vec![3]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Primitive coercions and operators — the `J⊕K` functions of the paper's
+//! Figure 8, shared verbatim by the concrete and instrumented machines so
+//! that both compute identical primitive results.
+//!
+//! Per §4 of the paper, implicit `toString`/`valueOf` conversions of
+//! objects are *not* modeled: coercing an object to a number or string
+//! yields an error, surfaced by the machines as a thrown `TypeError`.
+
+use crate::values::Value;
+use mujs_ir::{BinOp, UnOp};
+use std::rc::Rc;
+
+/// Why a primitive operation could not be carried out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoerceError {
+    /// An object flowed into a context requiring a primitive (the paper's
+    /// prototype does not model implicit conversions either).
+    ObjectToPrimitive,
+}
+
+/// `ToBoolean`.
+pub fn to_boolean(v: &Value) -> bool {
+    match v {
+        Value::Undefined | Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Num(n) => *n != 0.0 && !n.is_nan(),
+        Value::Str(s) => !s.is_empty(),
+        Value::Object(_) => true,
+    }
+}
+
+/// `ToNumber` for non-object values.
+///
+/// # Errors
+///
+/// [`CoerceError::ObjectToPrimitive`] when given an object.
+pub fn to_number(v: &Value) -> Result<f64, CoerceError> {
+    match v {
+        Value::Undefined => Ok(f64::NAN),
+        Value::Null => Ok(0.0),
+        Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+        Value::Num(n) => Ok(*n),
+        Value::Str(s) => Ok(str_to_number(s)),
+        Value::Object(_) => Err(CoerceError::ObjectToPrimitive),
+    }
+}
+
+/// String → number following JS rules for the common cases.
+pub fn str_to_number(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty() {
+        return 0.0;
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16)
+            .map(|v| v as f64)
+            .unwrap_or(f64::NAN);
+    }
+    if t == "Infinity" || t == "+Infinity" {
+        return f64::INFINITY;
+    }
+    if t == "-Infinity" {
+        return f64::NEG_INFINITY;
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// `ToString` for non-object values.
+///
+/// # Errors
+///
+/// [`CoerceError::ObjectToPrimitive`] when given an object.
+pub fn to_string(v: &Value) -> Result<Rc<str>, CoerceError> {
+    match v {
+        Value::Undefined => Ok(Rc::from("undefined")),
+        Value::Null => Ok(Rc::from("null")),
+        Value::Bool(b) => Ok(Rc::from(if *b { "true" } else { "false" })),
+        Value::Num(n) => Ok(Rc::from(mujs_syntax::pretty::num_to_str(*n).as_str())),
+        Value::Str(s) => Ok(s.clone()),
+        Value::Object(_) => Err(CoerceError::ObjectToPrimitive),
+    }
+}
+
+/// `ToInt32` (for bitwise operators).
+pub fn to_int32(n: f64) -> i32 {
+    if !n.is_finite() || n == 0.0 {
+        return 0;
+    }
+    let m = n.trunc() as i64;
+    (m & 0xffff_ffff) as u32 as i32
+}
+
+/// `ToUint32` (for `>>>`).
+pub fn to_uint32(n: f64) -> u32 {
+    to_int32(n) as u32
+}
+
+/// Strict equality (`===`).
+pub fn strict_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Undefined, Value::Undefined) | (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Num(x), Value::Num(y)) => x == y, // NaN != NaN, -0 == 0
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Object(x), Value::Object(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Loose equality (`==`), without object-to-primitive coercion (an object
+/// is `==` only to itself).
+pub fn loose_eq(a: &Value, b: &Value) -> Result<bool, CoerceError> {
+    use Value::*;
+    Ok(match (a, b) {
+        (Undefined | Null, Undefined | Null) => true,
+        (Num(_), Num(_))
+        | (Str(_), Str(_))
+        | (Bool(_), Bool(_))
+        | (Object(_), Object(_))
+        | (Undefined | Null, _)
+        | (_, Undefined | Null) => strict_eq(a, b),
+        (Num(x), Str(s)) => *x == str_to_number(s),
+        (Str(s), Num(y)) => str_to_number(s) == *y,
+        (Bool(x), _) => {
+            let n = if *x { 1.0 } else { 0.0 };
+            return loose_eq(&Num(n), b);
+        }
+        (_, Bool(y)) => {
+            let n = if *y { 1.0 } else { 0.0 };
+            return loose_eq(a, &Num(n));
+        }
+        // Object vs number/string would need ToPrimitive.
+        (Object(_), _) | (_, Object(_)) => return Err(CoerceError::ObjectToPrimitive),
+    })
+}
+
+/// Evaluates a binary primitive operator. Objects are only legal for the
+/// equality operators.
+///
+/// # Errors
+///
+/// [`CoerceError::ObjectToPrimitive`] when an object reaches an operator
+/// that needs a primitive.
+pub fn bin_op(op: BinOp, a: &Value, b: &Value) -> Result<Value, CoerceError> {
+    use BinOp::*;
+    Ok(match op {
+        Add => match (a, b) {
+            (Value::Str(_), _) | (_, Value::Str(_)) => {
+                let sa = to_string(a)?;
+                let sb = to_string(b)?;
+                let mut s = String::with_capacity(sa.len() + sb.len());
+                s.push_str(&sa);
+                s.push_str(&sb);
+                Value::Str(Rc::from(s.as_str()))
+            }
+            _ => Value::Num(to_number(a)? + to_number(b)?),
+        },
+        Sub => Value::Num(to_number(a)? - to_number(b)?),
+        Mul => Value::Num(to_number(a)? * to_number(b)?),
+        Div => Value::Num(to_number(a)? / to_number(b)?),
+        Rem => Value::Num(to_number(a)? % to_number(b)?),
+        Eq => Value::Bool(loose_eq(a, b)?),
+        NotEq => Value::Bool(!loose_eq(a, b)?),
+        StrictEq => Value::Bool(strict_eq(a, b)),
+        StrictNotEq => Value::Bool(!strict_eq(a, b)),
+        Lt | LtEq | Gt | GtEq => {
+            let r = match (a, b) {
+                (Value::Str(x), Value::Str(y)) => match op {
+                    Lt => x < y,
+                    LtEq => x <= y,
+                    Gt => x > y,
+                    GtEq => x >= y,
+                    _ => unreachable!(),
+                },
+                _ => {
+                    let x = to_number(a)?;
+                    let y = to_number(b)?;
+                    match op {
+                        Lt => x < y,
+                        LtEq => x <= y,
+                        Gt => x > y,
+                        GtEq => x >= y,
+                        _ => unreachable!(),
+                    }
+                }
+            };
+            Value::Bool(r)
+        }
+        BitAnd => Value::Num((to_int32(to_number(a)?) & to_int32(to_number(b)?)) as f64),
+        BitOr => Value::Num((to_int32(to_number(a)?) | to_int32(to_number(b)?)) as f64),
+        BitXor => Value::Num((to_int32(to_number(a)?) ^ to_int32(to_number(b)?)) as f64),
+        Shl => Value::Num(
+            (to_int32(to_number(a)?).wrapping_shl(to_uint32(to_number(b)?) & 31)) as f64,
+        ),
+        Shr => Value::Num(
+            (to_int32(to_number(a)?).wrapping_shr(to_uint32(to_number(b)?) & 31)) as f64,
+        ),
+        UShr => Value::Num(
+            (to_uint32(to_number(a)?).wrapping_shr(to_uint32(to_number(b)?) & 31)) as f64,
+        ),
+    })
+}
+
+/// Evaluates a unary primitive operator. `typeof` needs the object class,
+/// so the machines pass `typeof_override` for objects (`"function"` for
+/// callables).
+///
+/// # Errors
+///
+/// [`CoerceError::ObjectToPrimitive`] for numeric operators on objects.
+pub fn un_op(
+    op: UnOp,
+    v: &Value,
+    typeof_override: Option<&'static str>,
+) -> Result<Value, CoerceError> {
+    Ok(match op {
+        UnOp::Neg => Value::Num(-to_number(v)?),
+        UnOp::Pos => Value::Num(to_number(v)?),
+        UnOp::Not => Value::Bool(!to_boolean(v)),
+        UnOp::BitNot => Value::Num(!to_int32(to_number(v)?) as f64),
+        UnOp::Typeof => {
+            let s = match v {
+                Value::Undefined => "undefined",
+                Value::Null => "object",
+                Value::Bool(_) => "boolean",
+                Value::Num(_) => "number",
+                Value::Str(_) => "string",
+                Value::Object(_) => typeof_override.unwrap_or("object"),
+            };
+            Value::Str(Rc::from(s))
+        }
+        UnOp::Void => Value::Undefined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::ObjId;
+
+    #[test]
+    fn boolean_coercion_table() {
+        assert!(!to_boolean(&Value::Undefined));
+        assert!(!to_boolean(&Value::Null));
+        assert!(!to_boolean(&Value::Num(0.0)));
+        assert!(!to_boolean(&Value::Num(f64::NAN)));
+        assert!(!to_boolean(&Value::Str(Rc::from(""))));
+        assert!(to_boolean(&Value::Num(31.4)));
+        assert!(to_boolean(&Value::Str(Rc::from("0"))));
+        assert!(to_boolean(&Value::Object(ObjId(0))));
+    }
+
+    #[test]
+    fn string_to_number_cases() {
+        assert_eq!(str_to_number("42"), 42.0);
+        assert_eq!(str_to_number("  3.5 "), 3.5);
+        assert_eq!(str_to_number(""), 0.0);
+        assert_eq!(str_to_number("0x10"), 16.0);
+        assert!(str_to_number("abc").is_nan());
+    }
+
+    #[test]
+    fn add_concatenates_with_strings() {
+        let r = bin_op(BinOp::Add, &"get".into(), &"Width".into()).unwrap();
+        assert_eq!(r, Value::Str(Rc::from("getWidth")));
+        let r = bin_op(BinOp::Add, &Value::Num(1.0), &"2".into()).unwrap();
+        assert_eq!(r, Value::Str(Rc::from("12")));
+        let r = bin_op(BinOp::Add, &Value::Num(1.0), &Value::Num(2.0)).unwrap();
+        assert_eq!(r, Value::Num(3.0));
+    }
+
+    #[test]
+    fn comparison_on_strings_is_lexicographic() {
+        let r = bin_op(BinOp::Lt, &"abc".into(), &"abd".into()).unwrap();
+        assert_eq!(r, Value::Bool(true));
+        let r = bin_op(BinOp::Lt, &"10".into(), &Value::Num(9.0)).unwrap();
+        assert_eq!(r, Value::Bool(false)); // numeric comparison
+    }
+
+    #[test]
+    fn loose_and_strict_equality_disagree_across_types() {
+        assert!(loose_eq(&Value::Num(1.0), &"1".into()).unwrap());
+        assert!(!strict_eq(&Value::Num(1.0), &"1".into()));
+        assert!(loose_eq(&Value::Null, &Value::Undefined).unwrap());
+        assert!(!strict_eq(&Value::Null, &Value::Undefined));
+        assert!(!loose_eq(&Value::Num(f64::NAN), &Value::Num(f64::NAN)).unwrap());
+    }
+
+    #[test]
+    fn bitwise_ops_use_int32() {
+        assert_eq!(
+            bin_op(BinOp::BitOr, &Value::Num(2.5), &Value::Num(1.0)).unwrap(),
+            Value::Num(3.0)
+        );
+        assert_eq!(
+            bin_op(BinOp::UShr, &Value::Num(-1.0), &Value::Num(0.0)).unwrap(),
+            Value::Num(4294967295.0)
+        );
+    }
+
+    #[test]
+    fn typeof_strings() {
+        assert_eq!(
+            un_op(UnOp::Typeof, &Value::Object(ObjId(0)), Some("function")).unwrap(),
+            Value::Str(Rc::from("function"))
+        );
+        assert_eq!(
+            un_op(UnOp::Typeof, &Value::Null, None).unwrap(),
+            Value::Str(Rc::from("object"))
+        );
+    }
+
+    #[test]
+    fn objects_refuse_numeric_coercion() {
+        let o = Value::Object(ObjId(1));
+        assert!(bin_op(BinOp::Sub, &o, &Value::Num(1.0)).is_err());
+        assert_eq!(
+            bin_op(BinOp::StrictEq, &o, &o).unwrap(),
+            Value::Bool(true)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! High-level drivers: parse + lower + run, optionally with a DOM and a
+//! post-load event plan. This is the programmatic equivalent of loading an
+//! HTML page in the paper's ZombieJS harness.
+
+use crate::machine::{Interp, InterpOptions, Observation, RunError};
+use mujs_dom::document::Document;
+use mujs_dom::events::EventPlan;
+use mujs_ir::Program;
+use mujs_syntax::span::SourceFile;
+use mujs_syntax::SyntaxError;
+
+/// The result of a driven run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// `Ok` on normal completion.
+    pub result: Result<(), RunError>,
+    /// Captured `console.log`/`alert` lines.
+    pub output: Vec<String>,
+    /// Statements executed.
+    pub steps: u64,
+    /// Per-statement observations (when enabled in the options).
+    pub observations: Vec<Observation>,
+}
+
+impl Outcome {
+    /// Panics with diagnostics unless the run completed normally.
+    ///
+    /// # Panics
+    ///
+    /// When the run failed.
+    pub fn expect_ok(&self) -> &Self {
+        if let Err(e) = &self.result {
+            panic!("run failed: {e}; output so far: {:?}", self.output);
+        }
+        self
+    }
+}
+
+/// A parsed + lowered program ready to run (repeatedly, e.g. under
+/// different seeds).
+#[derive(Debug)]
+pub struct Harness {
+    /// The lowered program (grows if runs `eval` new code).
+    pub program: Program,
+    /// The source file, for line-number reporting.
+    pub source: SourceFile,
+}
+
+impl Harness {
+    /// Parses and lowers `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SyntaxError`] for malformed input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+    /// use mujs_interp::driver::Harness;
+    /// let mut h = Harness::from_src("console.log(1 + 2);")?;
+    /// let out = h.run(Default::default());
+    /// assert_eq!(out.output, vec!["3"]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_src(src: &str) -> Result<Self, SyntaxError> {
+        let ast = mujs_syntax::parse(src)?;
+        let program = mujs_ir::lower_program(&ast);
+        Ok(Harness {
+            program,
+            source: SourceFile::new("main.js", src),
+        })
+    }
+
+    /// Runs without a DOM.
+    pub fn run(&mut self, opts: InterpOptions) -> Outcome {
+        let mut interp = Interp::new(&mut self.program, opts);
+        let result = interp.run();
+        Outcome {
+            result,
+            output: std::mem::take(&mut interp.output),
+            steps: interp.steps(),
+            observations: std::mem::take(&mut interp.observations),
+        }
+    }
+
+    /// Runs with a DOM installed and fires `plan` afterwards.
+    pub fn run_dom(&mut self, opts: InterpOptions, doc: Document, plan: &EventPlan) -> Outcome {
+        let mut interp = Interp::new(&mut self.program, opts);
+        interp.install_dom(doc);
+        let result = interp.run().and_then(|()| interp.fire_events(plan));
+        Outcome {
+            result,
+            output: std::mem::take(&mut interp.output),
+            steps: interp.steps(),
+            observations: std::mem::take(&mut interp.observations),
+        }
+    }
+}
+
+/// One-shot convenience: run `src` and return its captured output.
+///
+/// # Errors
+///
+/// Syntax errors.
+///
+/// # Panics
+///
+/// Panics if the run itself fails (tests want the diagnostics).
+pub fn run_src(src: &str) -> Result<Vec<String>, SyntaxError> {
+    let mut h = Harness::from_src(src)?;
+    let out = h.run(InterpOptions::default());
+    out.expect_ok();
+    Ok(out.output)
+}

@@ -1,0 +1,39 @@
+//! # mujs-interp
+//!
+//! The concrete big-step interpreter for the muJS subset — the trace
+//! semantics of the paper's Figure 8, scaled up to the full subset
+//! (closures with scope chains, prototype chains, `this`/`new`,
+//! exceptions, `for-in`, direct and indirect `eval`, and DOM bindings over
+//! the [`mujs_dom`] substrate).
+//!
+//! The instrumented determinacy machine in the `determinacy` crate reuses
+//! this crate's value representation ([`values`]), primitive operator
+//! semantics ([`coerce`]), pure stdlib helpers ([`stdlib`]), and calling
+//! contexts ([`context`]), guaranteeing both machines agree on concrete
+//! behavior — the property the soundness theorem is stated over.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+//! let output = mujs_interp::driver::run_src(
+//!     "var x = { f: 23 }; x.g = x.f + 19; console.log(x.g);",
+//! )?;
+//! assert_eq!(output, vec!["42"]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod coerce;
+pub mod context;
+pub mod dom_binding;
+pub mod driver;
+pub mod machine;
+pub mod natives;
+pub mod stdlib;
+pub mod values;
+
+pub use context::{ContextTable, CtxId};
+pub use driver::{run_src, Harness, Outcome};
+pub use machine::{Flow, Frame, Interp, InterpOptions, Observation, RunError};
+pub use values::{NativeId, ObjClass, ObjId, Object, PropMap, ScopeId, Slot, Value};

@@ -1,0 +1,674 @@
+//! The standard library: `Math`, `String`/`Array`/`Object`/`Function`
+//! prototype methods, global utilities, `Error`, and indirect `eval`.
+//!
+//! The instrumented machine in the `determinacy` crate provides its own
+//! *models* of these functions (§4 of the paper: "for some of them, we
+//! provide hand-written models that conservatively approximate their
+//! effects on determinacy information"); pure string/number helpers are
+//! shared via [`crate::stdlib`].
+
+use crate::coerce::{self};
+use crate::machine::{Interp, RunError};
+use crate::stdlib;
+use crate::values::{ObjClass, ObjId, Slot, Value};
+use mujs_ir::FuncKind;
+use std::rc::Rc;
+
+/// Installs every global binding on a fresh machine.
+pub fn install_stdlib(interp: &mut Interp<'_>) {
+    let g = interp.global();
+    for p in [
+        interp.protos.object,
+        interp.protos.function,
+        interp.protos.array,
+        interp.protos.string,
+        interp.protos.number,
+        interp.protos.boolean,
+        interp.protos.error,
+    ] {
+        interp.obj_mut(p).builtin = true;
+    }
+    interp.obj_mut(g).builtin = true;
+
+    // window / globalThis self-references.
+    interp.set_raw(g, "window", Value::Object(g));
+    interp.set_raw(g, "globalThis", Value::Object(g));
+    interp.set_raw(g, "undefined", Value::Undefined);
+    interp.set_raw(g, "NaN", Value::Num(f64::NAN));
+    interp.set_raw(g, "Infinity", Value::Num(f64::INFINITY));
+
+    // ----- Math ---------------------------------------------------------
+    let math = interp.alloc(ObjClass::Plain, Some(interp.protos.object));
+    interp.obj_mut(math).builtin = true;
+    interp.set_raw(g, "Math", Value::Object(math));
+    interp.set_raw(math, "PI", Value::Num(std::f64::consts::PI));
+    interp.set_raw(math, "E", Value::Num(std::f64::consts::E));
+    let defs: &[(&'static str, crate::machine::NativeFn)] = &[
+        ("random", |it, _, _| Ok(Value::Num(it.random()))),
+        ("floor", |_, _, a| num1(a, f64::floor)),
+        ("ceil", |_, _, a| num1(a, f64::ceil)),
+        ("round", |_, _, a| num1(a, f64::round)),
+        ("abs", |_, _, a| num1(a, f64::abs)),
+        ("sqrt", |_, _, a| num1(a, f64::sqrt)),
+        ("pow", |_, _, a| num2(a, f64::powf)),
+        ("max", |_, _, a| num_fold(a, f64::NEG_INFINITY, f64::max)),
+        ("min", |_, _, a| num_fold(a, f64::INFINITY, f64::min)),
+    ];
+    for (name, f) in defs {
+        let n = interp.register_native(name, *f);
+        interp.set_raw(math, name, Value::Object(n));
+    }
+
+    // ----- Date ---------------------------------------------------------
+    let date = interp.register_native("Date", |it, this, _| {
+        // `new Date()`/`Date()`: an object carrying the current tick.
+        let t = it.now();
+        if let Value::Object(o) = &this {
+            it.set_raw(*o, "_time", Value::Num(t));
+        }
+        Ok(this)
+    });
+    let now = interp.register_native("now", |it, _, _| Ok(Value::Num(it.now())));
+    interp.set_raw(date, "now", Value::Object(now));
+    interp.set_raw(g, "Date", Value::Object(date));
+
+    // ----- console ------------------------------------------------------
+    let console = interp.alloc(ObjClass::Plain, Some(interp.protos.object));
+    interp.obj_mut(console).builtin = true;
+    let log = interp.register_native("log", |it, _, a| {
+        let parts: Vec<String> = a.iter().map(|v| it.display(v)).collect();
+        it.output.push(parts.join(" "));
+        Ok(Value::Undefined)
+    });
+    interp.set_raw(console, "log", Value::Object(log));
+    interp.set_raw(console, "error", Value::Object(log));
+    interp.set_raw(console, "warn", Value::Object(log));
+    interp.set_raw(g, "console", Value::Object(console));
+
+    // Analysis test hooks, concretely inert: `__indet` is the identity
+    // (the instrumented machine marks its result indeterminate) and
+    // `__opaque` returns `undefined` (the instrumented machine treats it
+    // as an unmodeled native: flush + indeterminate).
+    let indet = interp.register_native("__indet", |_, _, a| {
+        Ok(a.first().cloned().unwrap_or(Value::Undefined))
+    });
+    interp.set_raw(g, "__indet", Value::Object(indet));
+    let opaque = interp.register_native("__opaque", |_, _, _| Ok(Value::Undefined));
+    interp.set_raw(g, "__opaque", Value::Object(opaque));
+
+    // `alert` exists even without a DOM (browsers always have it); the DOM
+    // binding re-installs an identical implementation.
+    let alert = interp.register_native("alert", |it, _, a| {
+        let msg = match a.first() {
+            Some(v) => it.display(v),
+            None => String::new(),
+        };
+        it.output.push(format!("alert: {msg}"));
+        Ok(Value::Undefined)
+    });
+    interp.set_raw(g, "alert", Value::Object(alert));
+
+    // ----- global utilities ----------------------------------------------
+    let defs: &[(&'static str, crate::machine::NativeFn)] = &[
+        ("parseInt", |_, _, a| {
+            let s = match a.first() {
+                Some(Value::Str(s)) => s.to_string(),
+                Some(v) => coerce::to_string(v)
+                    .map(|s| s.to_string())
+                    .unwrap_or_default(),
+                None => String::new(),
+            };
+            let radix = match a.get(1) {
+                Some(v) => coerce::to_number(v).unwrap_or(10.0) as u32,
+                None => 10,
+            };
+            Ok(Value::Num(stdlib::parse_int(&s, radix)))
+        }),
+        ("parseFloat", |_, _, a| {
+            let s = match a.first() {
+                Some(Value::Str(s)) => s.to_string(),
+                Some(v) => coerce::to_string(v)
+                    .map(|s| s.to_string())
+                    .unwrap_or_default(),
+                None => String::new(),
+            };
+            Ok(Value::Num(stdlib::parse_float(&s)))
+        }),
+        ("isNaN", |_, _, a| {
+            let n = a
+                .first()
+                .map(|v| coerce::to_number(v).unwrap_or(f64::NAN))
+                .unwrap_or(f64::NAN);
+            Ok(Value::Bool(n.is_nan()))
+        }),
+        ("isFinite", |_, _, a| {
+            let n = a
+                .first()
+                .map(|v| coerce::to_number(v).unwrap_or(f64::NAN))
+                .unwrap_or(f64::NAN);
+            Ok(Value::Bool(n.is_finite()))
+        }),
+    ];
+    for (name, f) in defs {
+        let n = interp.register_native(name, *f);
+        interp.set_raw(g, name, Value::Object(n));
+    }
+
+    // ----- constructors ---------------------------------------------------
+    let object_ctor = interp.register_native("Object", |it, _, a| match a.first() {
+        Some(Value::Object(o)) => Ok(Value::Object(*o)),
+        _ => {
+            let o = it.alloc(ObjClass::Plain, Some(it.protos.object));
+            Ok(Value::Object(o))
+        }
+    });
+    interp.set_raw(object_ctor, "prototype", {
+        Value::Object(interp.protos.object)
+    });
+    interp.set_raw(g, "Object", Value::Object(object_ctor));
+    interp.specials.object_ctor = Some(object_ctor);
+
+    let array_ctor = interp.register_native("Array", |it, _, a| {
+        let arr = it.alloc(ObjClass::Array, Some(it.protos.array));
+        if a.len() == 1 {
+            if let Value::Num(n) = a[0] {
+                it.set_raw(arr, "length", Value::Num(n.trunc()));
+                return Ok(Value::Object(arr));
+            }
+        }
+        it.set_raw(arr, "length", Value::Num(a.len() as f64));
+        for (i, v) in a.iter().enumerate() {
+            it.set_raw(arr, &i.to_string(), v.clone());
+        }
+        Ok(Value::Object(arr))
+    });
+    interp.set_raw(array_ctor, "prototype", Value::Object(interp.protos.array));
+    interp.set_raw(g, "Array", Value::Object(array_ctor));
+    interp.specials.array_ctor = Some(array_ctor);
+
+    let string_ctor = interp.register_native("String", |it, _, a| {
+        let s = match a.first() {
+            Some(v) => it.value_to_string(v)?,
+            None => Rc::from(""),
+        };
+        Ok(Value::Str(s))
+    });
+    interp.set_raw(
+        string_ctor,
+        "prototype",
+        Value::Object(interp.protos.string),
+    );
+    interp.set_raw(g, "String", Value::Object(string_ctor));
+
+    let number_ctor = interp.register_native("Number", |_, _, a| {
+        let n = match a.first() {
+            Some(v) => coerce::to_number(v).unwrap_or(f64::NAN),
+            None => 0.0,
+        };
+        Ok(Value::Num(n))
+    });
+    interp.set_raw(
+        number_ctor,
+        "prototype",
+        Value::Object(interp.protos.number),
+    );
+    interp.set_raw(g, "Number", Value::Object(number_ctor));
+
+    let boolean_ctor = interp.register_native("Boolean", |_, _, a| {
+        Ok(Value::Bool(
+            a.first().map(coerce::to_boolean).unwrap_or(false),
+        ))
+    });
+    interp.set_raw(
+        boolean_ctor,
+        "prototype",
+        Value::Object(interp.protos.boolean),
+    );
+    interp.set_raw(g, "Boolean", Value::Object(boolean_ctor));
+
+    let error_ctor = interp.register_native("Error", |it, this, a| {
+        let msg = match a.first() {
+            Some(v) => it.value_to_string(v)?,
+            None => Rc::from(""),
+        };
+        if let Value::Object(o) = &this {
+            it.set_raw(*o, "message", Value::Str(msg));
+            it.set_raw(*o, "name", Value::Str(Rc::from("Error")));
+        }
+        Ok(Value::Undefined)
+    });
+    interp.set_raw(error_ctor, "prototype", Value::Object(interp.protos.error));
+    interp.set_raw(g, "Error", Value::Object(error_ctor));
+    interp.specials.error_ctor = Some(error_ctor);
+    interp.set_raw(
+        interp.protos.error,
+        "name",
+        Value::Str(Rc::from("Error")),
+    );
+    interp.set_raw(interp.protos.error, "message", Value::Str(Rc::from("")));
+
+    // ----- indirect eval ---------------------------------------------------
+    let eval_fn = interp.register_native("eval", |it, _, a| {
+        let Some(Value::Str(src)) = a.first() else {
+            return Ok(a.first().cloned().unwrap_or(Value::Undefined));
+        };
+        let parsed = match mujs_syntax::parse(src) {
+            Ok(p) => p,
+            Err(e) => return Err(it.throw_error("SyntaxError", &e.to_string())),
+        };
+        // Indirect eval runs in the global scope.
+        let entry = it.prog.entry().expect("program has an entry");
+        let chunk = mujs_ir::lower_chunk(it.prog, &parsed, FuncKind::EvalChunk, Some(entry));
+        let g = it.global();
+        let f = it.prog.func(chunk).clone();
+        let mut frame = crate::machine::Frame {
+            func: chunk,
+            scope: None,
+            temps: vec![Value::Undefined; f.n_temps as usize],
+            this_val: Value::Object(g),
+            ctx: crate::context::CtxId::ROOT,
+            occurrences: std::collections::HashMap::new(),
+        };
+        it.run_eval_chunk(&mut frame, chunk, crate::context::CtxId::ROOT)
+    });
+    interp.set_raw(g, "eval", Value::Object(eval_fn));
+    interp.specials.eval_fn = Some(eval_fn);
+
+    install_object_proto(interp);
+    install_function_proto(interp);
+    install_array_proto(interp);
+    install_string_proto(interp);
+    install_number_proto(interp);
+}
+
+impl Interp<'_> {
+    /// `ToString` that renders objects as `"[object Object]"` (explicit
+    /// stringification contexts like `String(x)` and `Array.join` allow
+    /// this even though implicit coercion of objects is an error).
+    pub fn value_to_string(&mut self, v: &Value) -> Result<Rc<str>, RunError> {
+        match v {
+            Value::Object(id) => match &self.obj(*id).class {
+                ObjClass::Array => {
+                    let s = self.display(v);
+                    Ok(Rc::from(s.as_str()))
+                }
+                c if c.is_callable() => Ok(Rc::from("function")),
+                _ => Ok(Rc::from("[object Object]")),
+            },
+            _ => Ok(coerce::to_string(v).expect("non-object")),
+        }
+    }
+}
+
+fn num1(args: &[Value], f: impl Fn(f64) -> f64) -> Result<Value, RunError> {
+    let n = args
+        .first()
+        .map(|v| coerce::to_number(v).unwrap_or(f64::NAN))
+        .unwrap_or(f64::NAN);
+    Ok(Value::Num(f(n)))
+}
+
+fn num2(args: &[Value], f: impl Fn(f64, f64) -> f64) -> Result<Value, RunError> {
+    let a = args
+        .first()
+        .map(|v| coerce::to_number(v).unwrap_or(f64::NAN))
+        .unwrap_or(f64::NAN);
+    let b = args
+        .get(1)
+        .map(|v| coerce::to_number(v).unwrap_or(f64::NAN))
+        .unwrap_or(f64::NAN);
+    Ok(Value::Num(f(a, b)))
+}
+
+fn num_fold(args: &[Value], init: f64, f: impl Fn(f64, f64) -> f64) -> Result<Value, RunError> {
+    let mut acc = init;
+    for v in args {
+        let n = coerce::to_number(v).unwrap_or(f64::NAN);
+        if n.is_nan() {
+            return Ok(Value::Num(f64::NAN));
+        }
+        acc = f(acc, n);
+    }
+    Ok(Value::Num(acc))
+}
+
+fn this_string(it: &mut Interp<'_>, this: &Value) -> Result<Rc<str>, RunError> {
+    match this {
+        Value::Str(s) => Ok(s.clone()),
+        other => it.value_to_string(other),
+    }
+}
+
+fn arg_string(it: &mut Interp<'_>, args: &[Value], i: usize) -> Result<Rc<str>, RunError> {
+    match args.get(i) {
+        Some(v) => it.value_to_string(v),
+        None => Ok(Rc::from("undefined")),
+    }
+}
+
+fn arg_num(args: &[Value], i: usize, default: f64) -> f64 {
+    args.get(i)
+        .map(|v| coerce::to_number(v).unwrap_or(f64::NAN))
+        .unwrap_or(default)
+}
+
+fn install_object_proto(it: &mut Interp<'_>) {
+    let proto = it.protos.object;
+    let defs: &[(&'static str, crate::machine::NativeFn)] = &[
+        ("hasOwnProperty", |it, this, a| {
+            let Value::Object(o) = this else {
+                return Ok(Value::Bool(false));
+            };
+            let key = arg_string(it, a, 0)?;
+            Ok(Value::Bool(it.obj(o).props.contains(&key)))
+        }),
+        ("toString", |_, _, _| {
+            Ok(Value::Str(Rc::from("[object Object]")))
+        }),
+    ];
+    for (name, f) in defs {
+        let n = it.register_native(name, *f);
+        it.set_raw(proto, name, Value::Object(n));
+    }
+}
+
+fn install_function_proto(it: &mut Interp<'_>) {
+    let proto = it.protos.function;
+    let call = it.register_native("call", |it, this, a| {
+        let bound_this = a.first().cloned().unwrap_or(Value::Undefined);
+        let rest = if a.is_empty() { &[] } else { &a[1..] };
+        it.call_value(&this, bound_this, rest, crate::context::CtxId::ROOT)
+    });
+    it.set_raw(proto, "call", Value::Object(call));
+    let apply = it.register_native("apply", |it, this, a| {
+        let bound_this = a.first().cloned().unwrap_or(Value::Undefined);
+        let mut argv = Vec::new();
+        if let Some(Value::Object(arr)) = a.get(1) {
+            let len = match it.get_raw(*arr, "length") {
+                Some(Value::Num(n)) => n as usize,
+                _ => 0,
+            };
+            for i in 0..len {
+                argv.push(
+                    it.get_raw(*arr, &i.to_string())
+                        .unwrap_or(Value::Undefined),
+                );
+            }
+        }
+        it.call_value(&this, bound_this, &argv, crate::context::CtxId::ROOT)
+    });
+    it.set_raw(proto, "apply", Value::Object(apply));
+}
+
+fn array_len(it: &Interp<'_>, arr: ObjId) -> usize {
+    match it.get_raw(arr, "length") {
+        Some(Value::Num(n)) if n >= 0.0 => n as usize,
+        _ => 0,
+    }
+}
+
+fn install_array_proto(it: &mut Interp<'_>) {
+    let proto = it.protos.array;
+    let defs: &[(&'static str, crate::machine::NativeFn)] = &[
+        ("push", |it, this, a| {
+            let Value::Object(arr) = this else {
+                return Ok(Value::Num(0.0));
+            };
+            let mut len = array_len(it, arr);
+            for v in a {
+                it.set_raw(arr, &len.to_string(), v.clone());
+                len += 1;
+            }
+            it.set_raw(arr, "length", Value::Num(len as f64));
+            Ok(Value::Num(len as f64))
+        }),
+        ("pop", |it, this, _| {
+            let Value::Object(arr) = this else {
+                return Ok(Value::Undefined);
+            };
+            let len = array_len(it, arr);
+            if len == 0 {
+                return Ok(Value::Undefined);
+            }
+            let key = (len - 1).to_string();
+            let v = it
+                .obj_mut(arr)
+                .props
+                .remove(&key)
+                .map(|s| s.value)
+                .unwrap_or(Value::Undefined);
+            it.set_raw(arr, "length", Value::Num(len as f64 - 1.0));
+            Ok(v)
+        }),
+        ("join", |it, this, a| {
+            let Value::Object(arr) = this else {
+                return Ok(Value::Str(Rc::from("")));
+            };
+            let sep = match a.first() {
+                Some(v) => it.value_to_string(v)?.to_string(),
+                None => ",".to_owned(),
+            };
+            let len = array_len(it, arr);
+            let mut parts = Vec::with_capacity(len);
+            for i in 0..len {
+                let v = it.get_raw(arr, &i.to_string()).unwrap_or(Value::Undefined);
+                parts.push(match v {
+                    Value::Undefined | Value::Null => String::new(),
+                    v => it.value_to_string(&v)?.to_string(),
+                });
+            }
+            Ok(Value::Str(Rc::from(parts.join(&sep).as_str())))
+        }),
+        ("indexOf", |it, this, a| {
+            let Value::Object(arr) = this else {
+                return Ok(Value::Num(-1.0));
+            };
+            let needle = a.first().cloned().unwrap_or(Value::Undefined);
+            let len = array_len(it, arr);
+            for i in 0..len {
+                let v = it.get_raw(arr, &i.to_string()).unwrap_or(Value::Undefined);
+                if coerce::strict_eq(&v, &needle) {
+                    return Ok(Value::Num(i as f64));
+                }
+            }
+            Ok(Value::Num(-1.0))
+        }),
+        ("slice", |it, this, a| {
+            let Value::Object(arr) = this else {
+                return Ok(Value::Undefined);
+            };
+            let len = array_len(it, arr) as f64;
+            let start = norm_index(arg_num(a, 0, 0.0), len);
+            let end = norm_index(arg_num(a, 1, len), len);
+            let out = it.alloc(ObjClass::Array, Some(it.protos.array));
+            let mut n = 0usize;
+            let mut i = start;
+            while i < end {
+                if let Some(v) = it.get_raw(arr, &(i as usize).to_string()) {
+                    it.set_raw(out, &n.to_string(), v);
+                }
+                n += 1;
+                i += 1.0;
+            }
+            it.set_raw(out, "length", Value::Num(n as f64));
+            Ok(Value::Object(out))
+        }),
+        ("concat", |it, this, a| {
+            let out = it.alloc(ObjClass::Array, Some(it.protos.array));
+            let mut n = 0usize;
+            let push_all = |it: &mut Interp<'_>, v: &Value, n: &mut usize| {
+                match v {
+                    Value::Object(src)
+                        if it.obj(*src).class == ObjClass::Array =>
+                    {
+                        let len = array_len(it, *src);
+                        for i in 0..len {
+                            let e = it
+                                .get_raw(*src, &i.to_string())
+                                .unwrap_or(Value::Undefined);
+                            it.set_raw(out, &n.to_string(), e);
+                            *n += 1;
+                        }
+                    }
+                    other => {
+                        it.set_raw(out, &n.to_string(), other.clone());
+                        *n += 1;
+                    }
+                }
+            };
+            push_all(it, &this, &mut n);
+            for v in a {
+                push_all(it, v, &mut n);
+            }
+            it.set_raw(out, "length", Value::Num(n as f64));
+            Ok(Value::Object(out))
+        }),
+        ("shift", |it, this, _| {
+            let Value::Object(arr) = this else {
+                return Ok(Value::Undefined);
+            };
+            let len = array_len(it, arr);
+            if len == 0 {
+                return Ok(Value::Undefined);
+            }
+            let first = it.get_raw(arr, "0").unwrap_or(Value::Undefined);
+            for i in 1..len {
+                let v = it.get_raw(arr, &i.to_string()).unwrap_or(Value::Undefined);
+                it.set_raw(arr, &(i - 1).to_string(), v);
+            }
+            it.obj_mut(arr).props.remove(&(len - 1).to_string());
+            it.set_raw(arr, "length", Value::Num(len as f64 - 1.0));
+            Ok(first)
+        }),
+        ("toString", |it, this, _| {
+            let s = it.display(&this);
+            Ok(Value::Str(Rc::from(s.as_str())))
+        }),
+    ];
+    for (name, f) in defs {
+        let n = it.register_native(name, *f);
+        it.set_raw(proto, name, Value::Object(n));
+    }
+}
+
+fn norm_index(i: f64, len: f64) -> f64 {
+    if i.is_nan() {
+        return 0.0;
+    }
+    if i < 0.0 {
+        (len + i).max(0.0)
+    } else {
+        i.min(len)
+    }
+}
+
+fn install_string_proto(it: &mut Interp<'_>) {
+    let proto = it.protos.string;
+    let defs: &[(&'static str, crate::machine::NativeFn)] = &[
+        ("charAt", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let i = arg_num(a, 0, 0.0);
+            Ok(Value::Str(Rc::from(stdlib::char_at(&s, i).as_str())))
+        }),
+        ("charCodeAt", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let i = arg_num(a, 0, 0.0);
+            Ok(Value::Num(stdlib::char_code_at(&s, i)))
+        }),
+        ("indexOf", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let needle = arg_string(it, a, 0)?;
+            Ok(Value::Num(stdlib::index_of(&s, &needle)))
+        }),
+        ("lastIndexOf", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let needle = arg_string(it, a, 0)?;
+            Ok(Value::Num(stdlib::last_index_of(&s, &needle)))
+        }),
+        ("substr", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let start = arg_num(a, 0, 0.0);
+            let len = arg_num(a, 1, f64::INFINITY);
+            Ok(Value::Str(Rc::from(stdlib::substr(&s, start, len).as_str())))
+        }),
+        ("substring", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let start = arg_num(a, 0, 0.0);
+            let end = arg_num(a, 1, f64::INFINITY);
+            Ok(Value::Str(Rc::from(
+                stdlib::substring(&s, start, end).as_str(),
+            )))
+        }),
+        ("slice", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let start = arg_num(a, 0, 0.0);
+            let end = arg_num(a, 1, f64::INFINITY);
+            Ok(Value::Str(Rc::from(
+                stdlib::str_slice(&s, start, end).as_str(),
+            )))
+        }),
+        ("toUpperCase", |it, this, _| {
+            let s = this_string(it, &this)?;
+            Ok(Value::Str(Rc::from(s.to_uppercase().as_str())))
+        }),
+        ("toLowerCase", |it, this, _| {
+            let s = this_string(it, &this)?;
+            Ok(Value::Str(Rc::from(s.to_lowercase().as_str())))
+        }),
+        ("trim", |it, this, _| {
+            let s = this_string(it, &this)?;
+            Ok(Value::Str(Rc::from(s.trim())))
+        }),
+        ("concat", |it, this, a| {
+            let mut s = this_string(it, &this)?.to_string();
+            for v in a {
+                s.push_str(&it.value_to_string(v)?);
+            }
+            Ok(Value::Str(Rc::from(s.as_str())))
+        }),
+        ("split", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let parts = match a.first() {
+                Some(Value::Str(sep)) => stdlib::split(&s, sep),
+                _ => vec![s.to_string()],
+            };
+            let arr = it.alloc(ObjClass::Array, Some(it.protos.array));
+            it.set_raw(arr, "length", Value::Num(parts.len() as f64));
+            for (i, p) in parts.iter().enumerate() {
+                it.set_raw(arr, &i.to_string(), Value::Str(Rc::from(p.as_str())));
+            }
+            Ok(Value::Object(arr))
+        }),
+        ("replace", |it, this, a| {
+            let s = this_string(it, &this)?;
+            let pat = arg_string(it, a, 0)?;
+            let rep = arg_string(it, a, 1)?;
+            Ok(Value::Str(Rc::from(
+                stdlib::replace_first(&s, &pat, &rep).as_str(),
+            )))
+        }),
+        ("toString", |it, this, _| {
+            let s = this_string(it, &this)?;
+            Ok(Value::Str(s))
+        }),
+    ];
+    for (name, f) in defs {
+        let n = it.register_native(name, *f);
+        it.set_raw(proto, name, Value::Object(n));
+    }
+}
+
+fn install_number_proto(it: &mut Interp<'_>) {
+    let proto = it.protos.number;
+    let to_string = it.register_native("toString", |it, this, _| {
+        let s = it.value_to_string(&this)?;
+        Ok(Value::Str(s))
+    });
+    it.set_raw(proto, "toString", Value::Object(to_string));
+    it.set_raw(it.protos.boolean, "toString", Value::Object(to_string));
+}
+
+/// Looks up a property slot on an object for tests.
+pub fn own_slot(it: &Interp<'_>, obj: ObjId, key: &str) -> Option<Slot<()>> {
+    it.obj(obj).props.get(key).cloned()
+}

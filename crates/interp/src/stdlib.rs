@@ -1,0 +1,253 @@
+//! Pure string/number helpers shared by the concrete natives and the
+//! instrumented machine's native *models* (both must compute identical
+//! results for the soundness property to be testable).
+
+/// `String.prototype.charAt`.
+pub fn char_at(s: &str, i: f64) -> String {
+    if i.is_nan() || i < 0.0 {
+        return String::new();
+    }
+    s.chars()
+        .nth(i as usize)
+        .map(|c| c.to_string())
+        .unwrap_or_default()
+}
+
+/// `String.prototype.charCodeAt`.
+pub fn char_code_at(s: &str, i: f64) -> f64 {
+    if i.is_nan() || i < 0.0 {
+        return f64::NAN;
+    }
+    s.chars()
+        .nth(i as usize)
+        .map(|c| c as u32 as f64)
+        .unwrap_or(f64::NAN)
+}
+
+/// `String.prototype.indexOf` (character indices).
+pub fn index_of(s: &str, needle: &str) -> f64 {
+    match s.find(needle) {
+        Some(byte_idx) => s[..byte_idx].chars().count() as f64,
+        None => -1.0,
+    }
+}
+
+/// `String.prototype.lastIndexOf` (character indices).
+pub fn last_index_of(s: &str, needle: &str) -> f64 {
+    match s.rfind(needle) {
+        Some(byte_idx) => s[..byte_idx].chars().count() as f64,
+        None => -1.0,
+    }
+}
+
+/// `String.prototype.substr(start, length)`.
+pub fn substr(s: &str, start: f64, len: f64) -> String {
+    let n = s.chars().count() as f64;
+    let start = if start < 0.0 {
+        (n + start).max(0.0)
+    } else {
+        start.min(n)
+    };
+    let len = if len.is_nan() { 0.0 } else { len.max(0.0) };
+    s.chars()
+        .skip(start as usize)
+        .take(len.min(n - start) as usize)
+        .collect()
+}
+
+/// `String.prototype.substring(start, end)` (swaps out-of-order args).
+pub fn substring(s: &str, start: f64, end: f64) -> String {
+    let n = s.chars().count() as f64;
+    let clamp = |x: f64| {
+        if x.is_nan() {
+            0.0
+        } else {
+            x.clamp(0.0, n)
+        }
+    };
+    let (mut a, mut b) = (clamp(start), clamp(end));
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    s.chars()
+        .skip(a as usize)
+        .take((b - a) as usize)
+        .collect()
+}
+
+/// `String.prototype.slice(start, end)` (negative indices from the end).
+pub fn str_slice(s: &str, start: f64, end: f64) -> String {
+    let n = s.chars().count() as f64;
+    let norm = |x: f64| {
+        if x.is_nan() {
+            0.0
+        } else if x < 0.0 {
+            (n + x).max(0.0)
+        } else {
+            x.min(n)
+        }
+    };
+    let a = norm(start);
+    let b = norm(end);
+    if a >= b {
+        return String::new();
+    }
+    s.chars()
+        .skip(a as usize)
+        .take((b - a) as usize)
+        .collect()
+}
+
+/// `String.prototype.split` with a string separator.
+pub fn split(s: &str, sep: &str) -> Vec<String> {
+    if sep.is_empty() {
+        return s.chars().map(|c| c.to_string()).collect();
+    }
+    s.split(sep).map(str::to_owned).collect()
+}
+
+/// `String.prototype.replace` with string pattern (first occurrence only).
+pub fn replace_first(s: &str, pat: &str, rep: &str) -> String {
+    match s.find(pat) {
+        Some(i) => {
+            let mut out = String::with_capacity(s.len());
+            out.push_str(&s[..i]);
+            out.push_str(rep);
+            out.push_str(&s[i + pat.len()..]);
+            out
+        }
+        None => s.to_owned(),
+    }
+}
+
+/// `parseInt` with a radix.
+pub fn parse_int(s: &str, radix: u32) -> f64 {
+    let t = s.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let (radix, t) = if (radix == 16 || radix == 0)
+        && (t.starts_with("0x") || t.starts_with("0X"))
+    {
+        (16, &t[2..])
+    } else if radix == 0 {
+        (10, t)
+    } else {
+        (radix, t)
+    };
+    if !(2..=36).contains(&radix) {
+        return f64::NAN;
+    }
+    let digits: String = t.chars().take_while(|c| c.is_digit(radix)).collect();
+    if digits.is_empty() {
+        return f64::NAN;
+    }
+    let mut acc = 0.0f64;
+    for c in digits.chars() {
+        acc = acc * radix as f64 + c.to_digit(radix).expect("checked") as f64;
+    }
+    if neg {
+        -acc
+    } else {
+        acc
+    }
+}
+
+/// `parseFloat`.
+pub fn parse_float(s: &str) -> f64 {
+    let t = s.trim();
+    // Take the longest numeric prefix.
+    let mut end = 0;
+    let bytes = t.as_bytes();
+    let mut seen_dot = false;
+    let mut seen_e = false;
+    let mut i = 0;
+    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+        i += 1;
+    }
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => {
+                i += 1;
+                end = i;
+            }
+            b'.' if !seen_dot && !seen_e => {
+                seen_dot = true;
+                i += 1;
+            }
+            b'e' | b'E' if !seen_e && end > 0 => {
+                seen_e = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    if end == 0 {
+        return f64::NAN;
+    }
+    t[..i.min(t.len())]
+        .trim_end_matches(['e', 'E', '+', '-'])
+        .parse()
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substr_substring_slice_disagree_properly() {
+        assert_eq!(substr("abcdef", 1.0, 3.0), "bcd");
+        assert_eq!(substring("abcdef", 3.0, 1.0), "bc"); // swapped
+        assert_eq!(str_slice("abcdef", -2.0, f64::INFINITY), "ef");
+        assert_eq!(substr("abcdef", -2.0, 10.0), "ef");
+    }
+
+    #[test]
+    fn index_of_variants() {
+        assert_eq!(index_of("hello", "ll"), 2.0);
+        assert_eq!(index_of("hello", "x"), -1.0);
+        assert_eq!(last_index_of("aXbXc", "X"), 3.0);
+    }
+
+    #[test]
+    fn split_cases() {
+        assert_eq!(split("a,b,c", ","), vec!["a", "b", "c"]);
+        assert_eq!(split("abc", ""), vec!["a", "b", "c"]);
+        assert_eq!(split("abc", "x"), vec!["abc"]);
+    }
+
+    #[test]
+    fn replace_first_only() {
+        assert_eq!(replace_first("a-b-c", "-", "+"), "a+b-c");
+        assert_eq!(replace_first("abc", "x", "y"), "abc");
+    }
+
+    #[test]
+    fn parse_int_radix() {
+        assert_eq!(parse_int("42px", 10), 42.0);
+        assert_eq!(parse_int("0xff", 16), 255.0);
+        assert_eq!(parse_int("0xff", 0), 255.0);
+        assert_eq!(parse_int("-7", 10), -7.0);
+        assert!(parse_int("zz", 10).is_nan());
+    }
+
+    #[test]
+    fn parse_float_prefix() {
+        assert_eq!(parse_float("3.5abc"), 3.5);
+        assert_eq!(parse_float("  -2e2  "), -200.0);
+        assert!(parse_float("abc").is_nan());
+    }
+
+    #[test]
+    fn char_ops() {
+        assert_eq!(char_at("abc", 1.0), "b");
+        assert_eq!(char_at("abc", 9.0), "");
+        assert_eq!(char_code_at("A", 0.0), 65.0);
+        assert!(char_code_at("A", 5.0).is_nan());
+    }
+}

@@ -1,0 +1,318 @@
+//! Runtime values, objects, and property maps shared by the concrete
+//! interpreter (and reused, with determinacy annotations layered on top of
+//! *slots*, by the instrumented interpreter in the `determinacy` crate).
+
+use mujs_dom::document::NodeId;
+use mujs_ir::FuncId;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of an object on an interpreter heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Identifier of a scope on an interpreter's scope arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScopeId(pub u32);
+
+/// Index into an interpreter's native-function table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NativeId(pub u32);
+
+/// A muJS runtime value. Functions, arrays and DOM nodes are all objects;
+/// the distinction lives in [`ObjClass`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `undefined`
+    Undefined,
+    /// `null`
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(Rc<str>),
+    /// A heap object.
+    Object(ObjId),
+}
+
+impl Value {
+    /// Whether the value is an object reference.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// A short type tag used in diagnostics (`typeof` semantics live in the
+    /// machines, which can inspect object classes).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Value::Undefined => "undefined",
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Rc::from(s))
+    }
+}
+
+/// What kind of object something is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjClass {
+    /// A plain object (`{}` or object literal).
+    Plain,
+    /// An array.
+    Array,
+    /// A user function: its code plus captured scope (`None` for
+    /// not-yet-activated global functions of the entry script).
+    Function {
+        /// The lowered function.
+        func: FuncId,
+        /// The captured scope chain.
+        env: Option<ScopeId>,
+    },
+    /// A built-in function.
+    Native(NativeId),
+    /// The `document` object.
+    DomDocument,
+    /// A DOM element wrapper.
+    DomElement(NodeId),
+}
+
+impl ObjClass {
+    /// Whether objects of this class are callable.
+    pub fn is_callable(&self) -> bool {
+        matches!(self, ObjClass::Function { .. } | ObjClass::Native(_))
+    }
+
+    /// Whether this is a DOM wrapper (document or element).
+    pub fn is_dom(&self) -> bool {
+        matches!(self, ObjClass::DomDocument | ObjClass::DomElement(_))
+    }
+}
+
+/// A property slot: the value plus the annotation payload `A` the machine
+/// attaches to slots (the concrete machine uses `()`, the instrumented
+/// machine uses determinacy flags and epochs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot<A> {
+    /// The stored value.
+    pub value: Value,
+    /// Machine-specific slot annotation.
+    pub ann: A,
+}
+
+/// An insertion-ordered property map (for-in enumerates in insertion
+/// order, which all major engines implement and the paper relies on for
+/// determinate iteration order, §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropMap<A> {
+    entries: Vec<(Rc<str>, Option<Slot<A>>)>,
+    index: std::collections::HashMap<Rc<str>, usize>,
+}
+
+impl<A> Default for PropMap<A> {
+    fn default() -> Self {
+        PropMap {
+            entries: Vec::new(),
+            index: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl<A> PropMap<A> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a live slot.
+    pub fn get(&self, key: &str) -> Option<&Slot<A>> {
+        let i = *self.index.get(key)?;
+        self.entries[i].1.as_ref()
+    }
+
+    /// Mutably looks up a live slot.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Slot<A>> {
+        let i = *self.index.get(key)?;
+        self.entries[i].1.as_mut()
+    }
+
+    /// Inserts or overwrites; returns the previous slot if the property was
+    /// live. A deleted property re-inserted moves to the end of the
+    /// enumeration order, as in real engines.
+    pub fn insert(&mut self, key: Rc<str>, slot: Slot<A>) -> Option<Slot<A>> {
+        match self.index.get(&key) {
+            Some(&i) if self.entries[i].1.is_some() => {
+                self.entries[i].1.replace(slot)
+            }
+            Some(&i) => {
+                // Tombstone: remove it and append fresh to restore
+                // insertion-order semantics.
+                self.entries[i].1 = None;
+                let _ = i;
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, Some(slot)));
+                None
+            }
+            None => {
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, Some(slot)));
+                None
+            }
+        }
+    }
+
+    /// Deletes a property; returns its slot if it was live.
+    pub fn remove(&mut self, key: &str) -> Option<Slot<A>> {
+        let i = *self.index.get(key)?;
+        self.entries[i].1.take()
+    }
+
+    /// Whether the property is live.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Live keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &Rc<str>> {
+        self.entries
+            .iter()
+            .filter(|(_, s)| s.is_some())
+            .map(|(k, _)| k)
+    }
+
+    /// Live `(key, slot)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Rc<str>, &Slot<A>)> {
+        self.entries
+            .iter()
+            .filter_map(|(k, s)| s.as_ref().map(|s| (k, s)))
+    }
+
+    /// Mutable iteration over live slots in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&Rc<str>, &mut Slot<A>)> {
+        self.entries
+            .iter_mut()
+            .filter_map(|(k, s)| s.as_mut().map(|s| (&*k, s)))
+    }
+
+    /// Number of live properties.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|(_, s)| s.is_some()).count()
+    }
+
+    /// Whether there are no live properties.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A heap object generic over the slot annotation `A`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object<A> {
+    /// The object's class.
+    pub class: ObjClass,
+    /// Own properties.
+    pub props: PropMap<A>,
+    /// Prototype link.
+    pub proto: Option<ObjId>,
+    /// Built-in library objects are skipped by `for-in` enumeration (their
+    /// properties play the role of non-enumerable descriptors).
+    pub builtin: bool,
+}
+
+impl<A> Object<A> {
+    /// Creates an object of the given class and prototype.
+    pub fn new(class: ObjClass, proto: Option<ObjId>) -> Self {
+        Object {
+            class,
+            props: PropMap::new(),
+            proto,
+            builtin: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(v: Value) -> Slot<()> {
+        Slot { value: v, ann: () }
+    }
+
+    #[test]
+    fn propmap_preserves_insertion_order() {
+        let mut m: PropMap<()> = PropMap::new();
+        m.insert(Rc::from("b"), slot(Value::Num(1.0)));
+        m.insert(Rc::from("a"), slot(Value::Num(2.0)));
+        m.insert(Rc::from("c"), slot(Value::Num(3.0)));
+        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
+        assert_eq!(keys, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn overwrite_keeps_position() {
+        let mut m: PropMap<()> = PropMap::new();
+        m.insert(Rc::from("a"), slot(Value::Num(1.0)));
+        m.insert(Rc::from("b"), slot(Value::Num(2.0)));
+        m.insert(Rc::from("a"), slot(Value::Num(9.0)));
+        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(m.get("a").unwrap().value, Value::Num(9.0));
+    }
+
+    #[test]
+    fn delete_then_reinsert_moves_to_end() {
+        let mut m: PropMap<()> = PropMap::new();
+        m.insert(Rc::from("a"), slot(Value::Num(1.0)));
+        m.insert(Rc::from("b"), slot(Value::Num(2.0)));
+        assert!(m.remove("a").is_some());
+        assert!(!m.contains("a"));
+        m.insert(Rc::from("a"), slot(Value::Num(3.0)));
+        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn len_counts_live_only() {
+        let mut m: PropMap<()> = PropMap::new();
+        m.insert(Rc::from("a"), slot(Value::Num(1.0)));
+        m.insert(Rc::from("b"), slot(Value::Num(2.0)));
+        m.remove("a");
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn value_kind_strings() {
+        assert_eq!(Value::Undefined.kind_str(), "undefined");
+        assert_eq!(Value::Num(1.0).kind_str(), "number");
+        assert_eq!(Value::Object(ObjId(0)).kind_str(), "object");
+    }
+}

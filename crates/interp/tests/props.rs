@@ -1,0 +1,162 @@
+//! Property-based tests on the shared runtime substrate: the
+//! insertion-ordered property map and the primitive coercion/operator
+//! semantics both machines rely on.
+
+use mujs_interp::coerce;
+use mujs_interp::{PropMap, Slot, Value};
+use mujs_ir::BinOp;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn slot(v: f64) -> Slot<()> {
+    Slot {
+        value: Value::Num(v),
+        ann: (),
+    }
+}
+
+fn arb_prim() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Undefined),
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i16>().prop_map(|n| Value::Num(n as f64)),
+        prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(0.5), Just(-0.0)]
+            .prop_map(Value::Num),
+        "[a-z0-9]{0,5}".prop_map(|s| Value::Str(Rc::from(s.as_str()))),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, i32),
+    Remove(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<i32>()).prop_map(|(k, v)| MapOp::Insert(k % 12, v)),
+            any::<u8>().prop_map(|k| MapOp::Remove(k % 12)),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    // ----------------- PropMap models a map + insertion order ------------
+
+    #[test]
+    fn propmap_agrees_with_model(ops in arb_ops()) {
+        let mut map: PropMap<()> = PropMap::new();
+        // Model: association list in JS enumeration order.
+        let mut model: Vec<(String, f64)> = Vec::new();
+        for op in &ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let key = format!("k{k}");
+                    let existed = map
+                        .insert(Rc::from(key.as_str()), slot(*v as f64))
+                        .is_some();
+                    match model.iter_mut().find(|(mk, _)| *mk == key) {
+                        Some((_, mv)) => {
+                            assert!(existed);
+                            *mv = *v as f64;
+                        }
+                        None => {
+                            assert!(!existed);
+                            model.push((key, *v as f64));
+                        }
+                    }
+                }
+                MapOp::Remove(k) => {
+                    let key = format!("k{k}");
+                    let removed = map.remove(&key).is_some();
+                    let had = model.iter().any(|(mk, _)| *mk == key);
+                    prop_assert_eq!(removed, had);
+                    model.retain(|(mk, _)| *mk != key);
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(map.len(), model.len());
+            let keys: Vec<String> = map.keys().map(|k| k.to_string()).collect();
+            let model_keys: Vec<String> =
+                model.iter().map(|(k, _)| k.clone()).collect();
+            prop_assert_eq!(keys, model_keys, "enumeration order must match");
+            for (k, v) in &model {
+                let got = map.get(k).map(|s| s.value.clone());
+                prop_assert_eq!(got, Some(Value::Num(*v)));
+            }
+        }
+    }
+
+    // ----------------- primitive operator algebra -----------------------
+
+    #[test]
+    fn strict_eq_is_reflexive_for_non_nan(v in arb_prim()) {
+        let is_nan = matches!(&v, Value::Num(n) if n.is_nan());
+        prop_assert_eq!(coerce::strict_eq(&v, &v), !is_nan);
+    }
+
+    #[test]
+    fn eq_ops_are_symmetric(a in arb_prim(), b in arb_prim()) {
+        prop_assert_eq!(coerce::strict_eq(&a, &b), coerce::strict_eq(&b, &a));
+        prop_assert_eq!(
+            coerce::loose_eq(&a, &b).unwrap(),
+            coerce::loose_eq(&b, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn strict_eq_implies_loose_eq(a in arb_prim(), b in arb_prim()) {
+        if coerce::strict_eq(&a, &b) {
+            prop_assert!(coerce::loose_eq(&a, &b).unwrap());
+        }
+    }
+
+    #[test]
+    fn add_concatenates_iff_a_string_is_involved(a in arb_prim(), b in arb_prim()) {
+        let r = coerce::bin_op(BinOp::Add, &a, &b).unwrap();
+        let has_str = matches!(a, Value::Str(_)) || matches!(b, Value::Str(_));
+        prop_assert_eq!(matches!(r, Value::Str(_)), has_str);
+    }
+
+    #[test]
+    fn comparisons_return_bools_and_exclusive(a in arb_prim(), b in arb_prim()) {
+        let lt = coerce::bin_op(BinOp::Lt, &a, &b).unwrap();
+        let gte = coerce::bin_op(BinOp::GtEq, &a, &b).unwrap();
+        let (Value::Bool(lt), Value::Bool(gte)) = (lt, gte) else {
+            return Err(TestCaseError::fail("non-bool comparison"));
+        };
+        // lt and gte are never both true; both false only via NaN.
+        prop_assert!(!(lt && gte));
+    }
+
+    #[test]
+    fn to_boolean_matches_not_not(v in arb_prim()) {
+        let b = coerce::to_boolean(&v);
+        let notted = coerce::un_op(mujs_ir::UnOp::Not, &v, None).unwrap();
+        prop_assert_eq!(notted, Value::Bool(!b));
+    }
+
+    #[test]
+    fn to_string_to_number_roundtrip_for_integers(n in -1_000_000i64..1_000_000) {
+        let v = Value::Num(n as f64);
+        let s = coerce::to_string(&v).unwrap();
+        let back = coerce::str_to_number(&s);
+        prop_assert_eq!(back, n as f64);
+    }
+
+    #[test]
+    fn bitwise_ops_produce_int32(a in any::<i32>(), b in any::<i32>()) {
+        for op in [BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor, BinOp::Shl, BinOp::Shr] {
+            let r = coerce::bin_op(op, &Value::Num(a as f64), &Value::Num(b as f64))
+                .unwrap();
+            let Value::Num(n) = r else {
+                return Err(TestCaseError::fail("non-num bitwise"));
+            };
+            prop_assert_eq!(n, n.trunc());
+            prop_assert!((i32::MIN as f64..=i32::MAX as f64).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Which variables can be written by closures other than their declaring
+//! function.
+//!
+//! A heap flush in the instrumented semantics models "an unknown function
+//! was called, it may have written anything it can reach". A captured
+//! local can only be written by such a call if *some* closure in the
+//! program assigns it (µJS makes this vacuous — callees can never write
+//! caller locals, the paper's footnote 4). This analysis computes the set
+//! of `(declaring function, name)` pairs assigned from a lexically nested
+//! function, so the flush policy can leave all other locals determinate —
+//! which is exactly what Figure 2 relies on (`checkf` stays callable with
+//! a determinate target after the line 21 flush).
+//!
+//! Functions containing a *direct* `eval` conservatively write every name
+//! visible to them.
+
+use crate::ir::{FuncId, FuncKind, Program};
+use crate::resolve::{Binding, Resolver};
+use crate::vd::write_domain;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// The set of closure-written variables of a program.
+#[derive(Debug, Default)]
+pub struct ClosureWrites {
+    written: HashSet<(FuncId, Rc<str>)>,
+}
+
+impl ClosureWrites {
+    /// Computes the set for every function currently in `prog`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+    /// use mujs_ir::closure_writes::ClosureWrites;
+    /// let ast = mujs_syntax::parse(
+    ///     "function f() { var a = 1, b = 2; return function() { b = 3; }; }",
+    /// )?;
+    /// let prog = mujs_ir::lower::lower_program(&ast);
+    /// let cw = ClosureWrites::compute(&prog);
+    /// let f = prog.funcs.iter().find(|x| x.name.as_deref() == Some("f")).unwrap().id;
+    /// assert!(!cw.is_written(f, "a"));
+    /// assert!(cw.is_written(f, "b"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(prog: &Program) -> Self {
+        let resolver = Resolver::new(prog);
+        let mut written = HashSet::new();
+        for g in &prog.funcs {
+            let wd = write_domain(&g.body);
+            // The writing scope: eval chunks write through their parent.
+            let writer = effective_scope(prog, g.id);
+            for place in &wd.places {
+                if let crate::ir::Place::Named(name) = place {
+                    if let Binding::Local(f) = resolver.resolve(prog, g.id, name) {
+                        if f != writer {
+                            written.insert((f, name.clone()));
+                        }
+                    }
+                }
+            }
+            if wd.contains_eval {
+                // Direct eval can assign any visible name.
+                let mut cur = Some(g.id);
+                while let Some(id) = cur {
+                    let func = prog.func(id);
+                    if func.kind == FuncKind::Function {
+                        if let Some(names) = resolver.declared(id) {
+                            for n in names {
+                                written.insert((id, n.clone()));
+                            }
+                        }
+                        // `arguments` is implicitly declared.
+                        written.insert((id, Rc::from("arguments")));
+                    }
+                    cur = func.parent;
+                }
+            }
+        }
+        ClosureWrites { written }
+    }
+
+    /// Whether some nested closure may assign `name` declared in `func`.
+    pub fn is_written(&self, func: FuncId, name: &str) -> bool {
+        // HashSet<(FuncId, Rc<str>)> cannot be queried by (FuncId, &str)
+        // without allocation; the set is small, so allocate.
+        self.written.contains(&(func, Rc::from(name)))
+    }
+
+    /// Number of closure-written pairs.
+    pub fn len(&self) -> usize {
+        self.written.len()
+    }
+
+    /// Whether no variable is closure-written.
+    pub fn is_empty(&self) -> bool {
+        self.written.is_empty()
+    }
+}
+
+/// The function whose activation actually owns writes made by `id`:
+/// eval chunks delegate to their nearest enclosing real function.
+fn effective_scope(prog: &Program, id: FuncId) -> FuncId {
+    let mut cur = id;
+    loop {
+        let f = prog.func(cur);
+        if f.kind != FuncKind::EvalChunk {
+            return cur;
+        }
+        match f.parent {
+            Some(p) => cur = p,
+            None => return cur,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use mujs_syntax::parse;
+
+    fn setup(src: &str) -> (Program, ClosureWrites) {
+        let prog = lower_program(&parse(src).unwrap());
+        let cw = ClosureWrites::compute(&prog);
+        (prog, cw)
+    }
+
+    fn fid(prog: &Program, name: &str) -> FuncId {
+        prog.funcs
+            .iter()
+            .find(|f| f.name.as_deref() == Some(name))
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn own_writes_do_not_count() {
+        let (p, cw) = setup("function f() { var a = 1; a = 2; }");
+        assert!(!cw.is_written(fid(&p, "f"), "a"));
+    }
+
+    #[test]
+    fn nested_writes_count() {
+        let (p, cw) = setup(
+            "function f() { var a; function g() { a = 1; } return g; }",
+        );
+        assert!(cw.is_written(fid(&p, "f"), "a"));
+    }
+
+    #[test]
+    fn deeply_nested_writes_count() {
+        let (p, cw) = setup(
+            "function f() { var a; return function() { return function() { a = 1; }; }; }",
+        );
+        assert!(cw.is_written(fid(&p, "f"), "a"));
+    }
+
+    #[test]
+    fn reads_do_not_count() {
+        let (p, cw) = setup("function f() { var a = 1; return function() { return a; }; }");
+        assert!(!cw.is_written(fid(&p, "f"), "a"));
+    }
+
+    #[test]
+    fn function_declarations_are_not_closure_written() {
+        // The Figure 2 situation: checkf/setg are only called, never
+        // reassigned, so a heap flush must not invalidate them.
+        let (p, cw) = setup(
+            "function outer() { function checkf() { setg(); } function setg() {} checkf(); }",
+        );
+        assert!(!cw.is_written(fid(&p, "outer"), "checkf"));
+        assert!(!cw.is_written(fid(&p, "outer"), "setg"));
+    }
+
+    #[test]
+    fn eval_poisons_visible_names() {
+        let (p, cw) = setup(
+            "function f(p) { var a; return function g() { eval(\"x\"); }; }",
+        );
+        assert!(cw.is_written(fid(&p, "f"), "a"));
+        assert!(cw.is_written(fid(&p, "f"), "p"));
+        assert!(cw.is_written(fid(&p, "f"), "arguments"));
+    }
+}

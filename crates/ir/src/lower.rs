@@ -1,0 +1,1589 @@
+//! Lowering from the AST to the structured three-address IR.
+//!
+//! The translation performs `var`/function-declaration hoisting, flattens
+//! expressions into temporaries, desugars `for`/`for-in`/`do-while` into
+//! the unified [`StmtKind::Loop`] form, desugars `switch` into an
+//! index-dispatch inside a [`StmtKind::Breakable`], and turns *direct*
+//! calls to `eval` into the dedicated [`StmtKind::Eval`] statement (§4 of
+//! the paper: "the program is first translated into a form similar to µJS
+//! with a small number of additional statement forms").
+
+use crate::ir::*;
+use mujs_syntax::ast::{self, ExprKind, ForInit, Lit, MemberKey, StmtKind as AstStmt};
+use mujs_syntax::span::Span;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Lowers a parsed program into a fresh [`Program`] whose entry function
+/// (id 0) is the top-level script.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+/// let ast = mujs_syntax::parse("var x = 1; function f() { return x; }")?;
+/// let prog = mujs_ir::lower::lower_program(&ast);
+/// assert_eq!(prog.funcs.len(), 2); // script + f
+/// # Ok(())
+/// # }
+/// ```
+pub fn lower_program(ast: &ast::Program) -> Program {
+    let mut prog = Program::new();
+    lower_chunk(&mut prog, ast, FuncKind::Script, None);
+    prog
+}
+
+/// Lowers a chunk (top-level script or `eval` code) into an existing
+/// program, returning the new chunk's function id. `parent` is the
+/// lexically enclosing function for eval chunks.
+pub fn lower_chunk(
+    prog: &mut Program,
+    ast: &ast::Program,
+    kind: FuncKind,
+    parent: Option<FuncId>,
+) -> FuncId {
+    let id = prog.reserve_func();
+    let mut cx = FuncCx::new(prog, id);
+    let f = cx.lower_function_body(None, &[], &ast.body, Span::synthetic(), kind, parent, false);
+    prog.set_func(f);
+    id
+}
+
+struct FuncCx<'p> {
+    prog: &'p mut Program,
+    func: FuncId,
+    n_temps: u32,
+}
+
+impl<'p> FuncCx<'p> {
+    fn new(prog: &'p mut Program, func: FuncId) -> Self {
+        FuncCx {
+            prog,
+            func,
+            n_temps: 0,
+        }
+    }
+
+    fn temp(&mut self) -> Place {
+        let t = TempId(self.n_temps);
+        self.n_temps += 1;
+        Place::Temp(t)
+    }
+
+    fn push(&mut self, out: &mut Block, span: Span, kind: StmtKind) -> StmtId {
+        let id = self.prog.fresh_stmt(span, self.func);
+        out.push(Stmt { id, span, kind });
+        id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_function_body(
+        &mut self,
+        name: Option<Rc<str>>,
+        params: &[Rc<str>],
+        body: &[ast::Stmt],
+        span: Span,
+        kind: FuncKind,
+        parent: Option<FuncId>,
+        bind_self: bool,
+    ) -> Function {
+        // Pass 1: hoist `var`s and function declarations.
+        let mut vars = Vec::new();
+        let mut seen: HashSet<Rc<str>> = params.iter().cloned().collect();
+        let mut fn_decls = Vec::new();
+        hoist(body, &mut |decl| match decl {
+            Hoisted::Var(n) => {
+                if seen.insert(n.clone()) {
+                    vars.push(n);
+                }
+            }
+            Hoisted::Func(f) => fn_decls.push(f),
+        });
+        // Lower the hoisted function declarations first so calls before the
+        // declaration site work.
+        let mut funcs = Vec::new();
+        for f in fn_decls {
+            let fname = f.name.clone().expect("declarations are named");
+            let fid = self.lower_nested_function(&f);
+            // Later declarations of the same name shadow earlier ones.
+            funcs.retain(|(n, _): &(Rc<str>, FuncId)| *n != fname);
+            funcs.push((fname.clone(), fid));
+            if !seen.contains(&fname) {
+                seen.insert(fname.clone());
+            } else {
+                vars.retain(|v| *v != fname);
+            }
+        }
+        // Pass 2: lower the statements. Eval chunks reserve temp 0 for the
+        // completion value (`eval` returns the value of the last expression
+        // statement), initialized to `undefined`.
+        let mut out = Vec::new();
+        if kind == FuncKind::EvalChunk {
+            let t0 = self.temp();
+            debug_assert_eq!(t0, Place::Temp(TempId(0)));
+            self.push(
+                &mut out,
+                span,
+                StmtKind::Const {
+                    dst: t0,
+                    lit: mujs_syntax::ast::Lit::Undefined,
+                },
+            );
+        }
+        for s in body {
+            if kind == FuncKind::EvalChunk {
+                if let AstStmt::Expr(e) = &s.kind {
+                    let p = self.expr(e, &mut out);
+                    self.push(
+                        &mut out,
+                        e.span,
+                        StmtKind::Copy {
+                            dst: Place::Temp(TempId(0)),
+                            src: p,
+                        },
+                    );
+                    continue;
+                }
+            }
+            self.stmt(s, &mut out);
+        }
+        Function {
+            id: self.func,
+            name,
+            params: params.to_vec(),
+            decls: Decls { vars, funcs },
+            n_temps: self.n_temps,
+            body: out,
+            span,
+            kind,
+            parent,
+            bind_self,
+            specialized_from: None,
+        }
+    }
+
+    fn lower_nested_function(&mut self, f: &ast::Function) -> FuncId {
+        let id = self.prog.reserve_func();
+        let mut cx = FuncCx::new(self.prog, id);
+        let bind_self = f.name.is_some();
+        let lowered = cx.lower_function_body(
+            f.name.clone(),
+            &f.params,
+            &f.body,
+            f.span,
+            FuncKind::Function,
+            Some(self.func),
+            bind_self,
+        );
+        self.prog.set_func(lowered);
+        id
+    }
+
+    // ------------------------------------------------------------- stmts
+
+    fn stmt(&mut self, s: &ast::Stmt, out: &mut Block) {
+        let span = s.span;
+        match &s.kind {
+            AstStmt::Expr(e) => {
+                self.expr(e, out);
+            }
+            AstStmt::Var(decls) => {
+                for (name, init) in decls {
+                    if let Some(e) = init {
+                        let p = self.expr(e, out);
+                        self.push(
+                            out,
+                            e.span,
+                            StmtKind::Copy {
+                                dst: Place::Named(name.clone()),
+                                src: p,
+                            },
+                        );
+                    }
+                }
+            }
+            AstStmt::FunctionDecl(_) => {
+                // Hoisted; nothing to do at the declaration site.
+            }
+            AstStmt::If(cond, then, els) => {
+                let c = self.expr(cond, out);
+                let mut then_blk = Vec::new();
+                self.stmt(then, &mut then_blk);
+                let mut else_blk = Vec::new();
+                if let Some(e) = els {
+                    self.stmt(e, &mut else_blk);
+                }
+                self.push(
+                    out,
+                    span,
+                    StmtKind::If {
+                        cond: c,
+                        then_blk,
+                        else_blk,
+                    },
+                );
+            }
+            AstStmt::While(cond, body) => {
+                let mut cond_blk = Vec::new();
+                let c = self.expr(cond, &mut cond_blk);
+                let mut body_blk = Vec::new();
+                self.stmt(body, &mut body_blk);
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Loop {
+                        cond_blk,
+                        cond: c,
+                        body: body_blk,
+                        update: Vec::new(),
+                        check_cond_first: true,
+                    },
+                );
+            }
+            AstStmt::DoWhile(body, cond) => {
+                let mut cond_blk = Vec::new();
+                let c = self.expr(cond, &mut cond_blk);
+                let mut body_blk = Vec::new();
+                self.stmt(body, &mut body_blk);
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Loop {
+                        cond_blk,
+                        cond: c,
+                        body: body_blk,
+                        update: Vec::new(),
+                        check_cond_first: false,
+                    },
+                );
+            }
+            AstStmt::For {
+                init,
+                test,
+                update,
+                body,
+            } => {
+                match init {
+                    Some(ForInit::Var(decls)) => {
+                        for (name, e) in decls {
+                            if let Some(e) = e {
+                                let p = self.expr(e, out);
+                                self.push(
+                                    out,
+                                    e.span,
+                                    StmtKind::Copy {
+                                        dst: Place::Named(name.clone()),
+                                        src: p,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => {
+                        self.expr(e, out);
+                    }
+                    None => {}
+                }
+                let mut cond_blk = Vec::new();
+                let c = match test {
+                    Some(t) => self.expr(t, &mut cond_blk),
+                    None => {
+                        let t = self.temp();
+                        self.push(
+                            &mut cond_blk,
+                            span,
+                            StmtKind::Const {
+                                dst: t.clone(),
+                                lit: Lit::Bool(true),
+                            },
+                        );
+                        t
+                    }
+                };
+                let mut body_blk = Vec::new();
+                self.stmt(body, &mut body_blk);
+                let mut update_blk = Vec::new();
+                if let Some(u) = update {
+                    self.expr(u, &mut update_blk);
+                }
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Loop {
+                        cond_blk,
+                        cond: c,
+                        body: body_blk,
+                        update: update_blk,
+                        check_cond_first: true,
+                    },
+                );
+            }
+            AstStmt::ForIn { var, obj, body, .. } => {
+                // t_keys = ownKeys(obj); i = 0;
+                // loop (i < t_keys.length) { var = t_keys[i]; body } { i++ }
+                let po = self.expr(obj, out);
+                let keys = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::EnumProps {
+                        dst: keys.clone(),
+                        obj: po,
+                    },
+                );
+                let idx = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Const {
+                        dst: idx.clone(),
+                        lit: Lit::Num(0.0),
+                    },
+                );
+                let mut cond_blk = Vec::new();
+                let len = self.temp();
+                self.push(
+                    &mut cond_blk,
+                    span,
+                    StmtKind::GetProp {
+                        dst: len.clone(),
+                        obj: keys.clone(),
+                        key: PropKey::Static(Rc::from("length")),
+                    },
+                );
+                let c = self.temp();
+                self.push(
+                    &mut cond_blk,
+                    span,
+                    StmtKind::BinOp {
+                        dst: c.clone(),
+                        op: BinOp::Lt,
+                        lhs: idx.clone(),
+                        rhs: len,
+                    },
+                );
+                let mut body_blk = Vec::new();
+                let key = self.temp();
+                self.push(
+                    &mut body_blk,
+                    span,
+                    StmtKind::GetProp {
+                        dst: key.clone(),
+                        obj: keys,
+                        key: PropKey::Dynamic(idx.clone()),
+                    },
+                );
+                self.push(
+                    &mut body_blk,
+                    span,
+                    StmtKind::Copy {
+                        dst: Place::Named(var.clone()),
+                        src: key,
+                    },
+                );
+                self.stmt(body, &mut body_blk);
+                let mut update_blk = Vec::new();
+                let one = self.temp();
+                self.push(
+                    &mut update_blk,
+                    span,
+                    StmtKind::Const {
+                        dst: one.clone(),
+                        lit: Lit::Num(1.0),
+                    },
+                );
+                self.push(
+                    &mut update_blk,
+                    span,
+                    StmtKind::BinOp {
+                        dst: idx.clone(),
+                        op: BinOp::Add,
+                        lhs: idx.clone(),
+                        rhs: one,
+                    },
+                );
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Loop {
+                        cond_blk,
+                        cond: c,
+                        body: body_blk,
+                        update: update_blk,
+                        check_cond_first: true,
+                    },
+                );
+            }
+            AstStmt::Return(arg) => {
+                let p = arg.as_ref().map(|e| self.expr(e, out));
+                self.push(out, span, StmtKind::Return { arg: p });
+            }
+            AstStmt::Break => {
+                self.push(out, span, StmtKind::Break);
+            }
+            AstStmt::Continue => {
+                self.push(out, span, StmtKind::Continue);
+            }
+            AstStmt::Throw(e) => {
+                let p = self.expr(e, out);
+                self.push(out, span, StmtKind::Throw { arg: p });
+            }
+            AstStmt::Try {
+                block,
+                catch,
+                finally,
+            } => {
+                let mut blk = Vec::new();
+                for s in block {
+                    self.stmt(s, &mut blk);
+                }
+                let catch = catch.as_ref().map(|(name, body)| {
+                    let mut b = Vec::new();
+                    for s in body {
+                        self.stmt(s, &mut b);
+                    }
+                    (name.clone(), b)
+                });
+                let finally = finally.as_ref().map(|body| {
+                    let mut b = Vec::new();
+                    for s in body {
+                        self.stmt(s, &mut b);
+                    }
+                    b
+                });
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Try {
+                        block: blk,
+                        catch,
+                        finally,
+                    },
+                );
+            }
+            AstStmt::Switch(disc, cases) => self.switch(disc, cases, span, out),
+            AstStmt::Block(body) => {
+                for s in body {
+                    self.stmt(s, out);
+                }
+            }
+            AstStmt::Empty => {}
+        }
+    }
+
+    /// Desugars `switch` into: compute the matching arm index (lazily
+    /// evaluating case tests in order), then run all arms from that index
+    /// on (fall-through) inside a `Breakable`.
+    fn switch(
+        &mut self,
+        disc: &ast::Expr,
+        cases: &[ast::SwitchCase],
+        span: Span,
+        out: &mut Block,
+    ) {
+        let d = self.expr(disc, out);
+        let n = cases.len() as f64;
+        let idx = self.temp();
+        self.push(
+            out,
+            span,
+            StmtKind::Const {
+                dst: idx.clone(),
+                lit: Lit::Num(n),
+            },
+        );
+        let sentinel = |cx: &mut Self, blk: &mut Block| {
+            let t = cx.temp();
+            cx.push(
+                blk,
+                span,
+                StmtKind::Const {
+                    dst: t.clone(),
+                    lit: Lit::Num(n),
+                },
+            );
+            t
+        };
+        // Matching pass over the non-default arms, in source order.
+        for (j, case) in cases.iter().enumerate() {
+            let Some(test) = &case.test else { continue };
+            // if (idx === n) { t = eval test; if (d === t) idx = j; }
+            let sn = sentinel(self, out);
+            let unmatched = self.temp();
+            self.push(
+                out,
+                test.span,
+                StmtKind::BinOp {
+                    dst: unmatched.clone(),
+                    op: BinOp::StrictEq,
+                    lhs: idx.clone(),
+                    rhs: sn,
+                },
+            );
+            let mut then_blk = Vec::new();
+            let t = self.expr(test, &mut then_blk);
+            let eq = self.temp();
+            self.push(
+                &mut then_blk,
+                test.span,
+                StmtKind::BinOp {
+                    dst: eq.clone(),
+                    op: BinOp::StrictEq,
+                    lhs: d.clone(),
+                    rhs: t,
+                },
+            );
+            let mut inner = Vec::new();
+            self.push(
+                &mut inner,
+                test.span,
+                StmtKind::Const {
+                    dst: idx.clone(),
+                    lit: Lit::Num(j as f64),
+                },
+            );
+            self.push(
+                &mut then_blk,
+                test.span,
+                StmtKind::If {
+                    cond: eq,
+                    then_blk: inner,
+                    else_blk: Vec::new(),
+                },
+            );
+            self.push(
+                out,
+                test.span,
+                StmtKind::If {
+                    cond: unmatched,
+                    then_blk,
+                    else_blk: Vec::new(),
+                },
+            );
+        }
+        // If nothing matched, jump to the default arm (if any).
+        if let Some(dpos) = cases.iter().position(|c| c.test.is_none()) {
+            let sn = sentinel(self, out);
+            let unmatched = self.temp();
+            self.push(
+                out,
+                span,
+                StmtKind::BinOp {
+                    dst: unmatched.clone(),
+                    op: BinOp::StrictEq,
+                    lhs: idx.clone(),
+                    rhs: sn,
+                },
+            );
+            let mut then_blk = Vec::new();
+            self.push(
+                &mut then_blk,
+                span,
+                StmtKind::Const {
+                    dst: idx.clone(),
+                    lit: Lit::Num(dpos as f64),
+                },
+            );
+            self.push(
+                out,
+                span,
+                StmtKind::If {
+                    cond: unmatched,
+                    then_blk,
+                    else_blk: Vec::new(),
+                },
+            );
+        }
+        // Execution pass with fall-through.
+        let mut body = Vec::new();
+        for (j, case) in cases.iter().enumerate() {
+            let jt = self.temp();
+            self.push(
+                &mut body,
+                span,
+                StmtKind::Const {
+                    dst: jt.clone(),
+                    lit: Lit::Num(j as f64),
+                },
+            );
+            let run = self.temp();
+            self.push(
+                &mut body,
+                span,
+                StmtKind::BinOp {
+                    dst: run.clone(),
+                    op: BinOp::LtEq,
+                    lhs: idx.clone(),
+                    rhs: jt,
+                },
+            );
+            let mut arm = Vec::new();
+            for s in &case.body {
+                self.stmt(s, &mut arm);
+            }
+            self.push(
+                &mut body,
+                span,
+                StmtKind::If {
+                    cond: run,
+                    then_blk: arm,
+                    else_blk: Vec::new(),
+                },
+            );
+        }
+        self.push(out, span, StmtKind::Breakable { body });
+    }
+
+    // ------------------------------------------------------------- exprs
+
+    /// Lowers an expression, emitting instructions into `out` and
+    /// returning the place holding its value.
+    fn expr(&mut self, e: &ast::Expr, out: &mut Block) -> Place {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Lit(l) => {
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Const {
+                        dst: t.clone(),
+                        lit: l.clone(),
+                    },
+                );
+                t
+            }
+            // Named reads are snapshotted into a temp at their evaluation
+            // position: later side effects in the same statement (e.g.
+            // `f(i++, i)`) must not be visible to earlier operands.
+            ExprKind::Ident(name) => {
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Copy {
+                        dst: t.clone(),
+                        src: Place::Named(name.clone()),
+                    },
+                );
+                t
+            }
+            ExprKind::This => {
+                let t = self.temp();
+                self.push(out, span, StmtKind::LoadThis { dst: t.clone() });
+                t
+            }
+            ExprKind::Array(items) => {
+                let arr = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::NewObject {
+                        dst: arr.clone(),
+                        is_array: true,
+                    },
+                );
+                for (i, item) in items.iter().enumerate() {
+                    let v = self.expr(item, out);
+                    self.push(
+                        out,
+                        item.span,
+                        StmtKind::SetProp {
+                            obj: arr.clone(),
+                            key: PropKey::Static(Rc::from(i.to_string().as_str())),
+                            val: v,
+                        },
+                    );
+                }
+                arr
+            }
+            ExprKind::Object(props) => {
+                let obj = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::NewObject {
+                        dst: obj.clone(),
+                        is_array: false,
+                    },
+                );
+                for (k, v) in props {
+                    let pv = self.expr(v, out);
+                    self.push(
+                        out,
+                        v.span,
+                        StmtKind::SetProp {
+                            obj: obj.clone(),
+                            key: PropKey::Static(k.clone()),
+                            val: pv,
+                        },
+                    );
+                }
+                obj
+            }
+            ExprKind::Function(f) => {
+                let fid = self.lower_nested_function(f);
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Closure {
+                        dst: t.clone(),
+                        func: fid,
+                    },
+                );
+                t
+            }
+            ExprKind::Unary(op, arg) => {
+                // `typeof unboundName` must not throw.
+                if *op == ast::UnOp::Typeof {
+                    if let ExprKind::Ident(name) = &arg.kind {
+                        let t = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::TypeofName {
+                                dst: t.clone(),
+                                name: name.clone(),
+                            },
+                        );
+                        return t;
+                    }
+                }
+                let p = self.expr(arg, out);
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::UnOp {
+                        dst: t.clone(),
+                        op: lower_unop(*op),
+                        src: p,
+                    },
+                );
+                t
+            }
+            ExprKind::Delete(obj, key) => {
+                let po = self.expr(obj, out);
+                let k = self.member_key(key, out);
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::DeleteProp {
+                        dst: t.clone(),
+                        obj: po,
+                        key: k,
+                    },
+                );
+                t
+            }
+            ExprKind::Binary(op, l, r) => {
+                use ast::BinOp as A;
+                match op {
+                    A::In => {
+                        let k = self.expr(l, out);
+                        let o = self.expr(r, out);
+                        let t = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::HasProp {
+                                dst: t.clone(),
+                                key: k,
+                                obj: o,
+                            },
+                        );
+                        t
+                    }
+                    A::Instanceof => {
+                        let v = self.expr(l, out);
+                        let c = self.expr(r, out);
+                        let t = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::InstanceOf {
+                                dst: t.clone(),
+                                val: v,
+                                ctor: c,
+                            },
+                        );
+                        t
+                    }
+                    _ => {
+                        let pl = self.expr(l, out);
+                        let pr = self.expr(r, out);
+                        let t = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::BinOp {
+                                dst: t.clone(),
+                                op: lower_binop(*op),
+                                lhs: pl,
+                                rhs: pr,
+                            },
+                        );
+                        t
+                    }
+                }
+            }
+            ExprKind::Logical(op, l, r) => {
+                // a && b  =>  t = a; if (t)  { t = b }
+                // a || b  =>  t = a; if (!t) { t = b }
+                let t = self.temp();
+                let pl = self.expr(l, out);
+                self.push(
+                    out,
+                    l.span,
+                    StmtKind::Copy {
+                        dst: t.clone(),
+                        src: pl,
+                    },
+                );
+                let cond = match op {
+                    ast::LogOp::And => t.clone(),
+                    ast::LogOp::Or => {
+                        let neg = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::UnOp {
+                                dst: neg.clone(),
+                                op: UnOp::Not,
+                                src: t.clone(),
+                            },
+                        );
+                        neg
+                    }
+                };
+                let mut then_blk = Vec::new();
+                let pr = self.expr(r, &mut then_blk);
+                self.push(
+                    &mut then_blk,
+                    r.span,
+                    StmtKind::Copy {
+                        dst: t.clone(),
+                        src: pr,
+                    },
+                );
+                self.push(
+                    out,
+                    span,
+                    StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk: Vec::new(),
+                    },
+                );
+                t
+            }
+            ExprKind::Assign(op, lhs, rhs) => self.assign(op, lhs, rhs, span, out),
+            ExprKind::Update(prefix, inc, arg) => self.update(*prefix, *inc, arg, span, out),
+            ExprKind::Cond(c, a, b) => {
+                let pc = self.expr(c, out);
+                let t = self.temp();
+                let mut then_blk = Vec::new();
+                let pa = self.expr(a, &mut then_blk);
+                self.push(
+                    &mut then_blk,
+                    a.span,
+                    StmtKind::Copy {
+                        dst: t.clone(),
+                        src: pa,
+                    },
+                );
+                let mut else_blk = Vec::new();
+                let pb = self.expr(b, &mut else_blk);
+                self.push(
+                    &mut else_blk,
+                    b.span,
+                    StmtKind::Copy {
+                        dst: t.clone(),
+                        src: pb,
+                    },
+                );
+                self.push(
+                    out,
+                    span,
+                    StmtKind::If {
+                        cond: pc,
+                        then_blk,
+                        else_blk,
+                    },
+                );
+                t
+            }
+            ExprKind::Call(callee, args) => self.call(callee, args, span, out),
+            ExprKind::New(callee, args) => {
+                let pc = self.expr(callee, out);
+                let pargs: Vec<Place> = args.iter().map(|a| self.expr(a, out)).collect();
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::New {
+                        dst: t.clone(),
+                        callee: pc,
+                        args: pargs,
+                    },
+                );
+                t
+            }
+            ExprKind::Member(obj, key) => {
+                let po = self.expr(obj, out);
+                let k = self.member_key(key, out);
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::GetProp {
+                        dst: t.clone(),
+                        obj: po,
+                        key: k,
+                    },
+                );
+                t
+            }
+            ExprKind::Seq(items) => {
+                let mut last = None;
+                for item in items {
+                    last = Some(self.expr(item, out));
+                }
+                last.unwrap_or_else(|| {
+                    let t = self.temp();
+                    self.push(
+                        out,
+                        span,
+                        StmtKind::Const {
+                            dst: t.clone(),
+                            lit: Lit::Undefined,
+                        },
+                    );
+                    t
+                })
+            }
+        }
+    }
+
+    fn member_key(&mut self, key: &MemberKey, out: &mut Block) -> PropKey {
+        match key {
+            MemberKey::Static(name) => PropKey::Static(name.clone()),
+            MemberKey::Computed(e) => PropKey::Dynamic(self.expr(e, out)),
+        }
+    }
+
+    fn assign(
+        &mut self,
+        op: &Option<ast::AssignOp>,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        span: Span,
+        out: &mut Block,
+    ) -> Place {
+        match &lhs.kind {
+            ExprKind::Ident(name) => {
+                let dst = Place::Named(name.clone());
+                let value = match op {
+                    None => self.expr(rhs, out),
+                    Some(op) => {
+                        // JS reads the LHS before evaluating the RHS.
+                        let old = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::Copy {
+                                dst: old.clone(),
+                                src: dst.clone(),
+                            },
+                        );
+                        let r = self.expr(rhs, out);
+                        let t = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::BinOp {
+                                dst: t.clone(),
+                                op: lower_binop(op.bin_op()),
+                                lhs: old,
+                                rhs: r,
+                            },
+                        );
+                        t
+                    }
+                };
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Copy {
+                        dst,
+                        src: value.clone(),
+                    },
+                );
+                value
+            }
+            ExprKind::Member(obj, key) => {
+                let po = self.expr(obj, out);
+                let k = self.member_key(key, out);
+                let value = match op {
+                    None => self.expr(rhs, out),
+                    Some(op) => {
+                        let cur = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::GetProp {
+                                dst: cur.clone(),
+                                obj: po.clone(),
+                                key: k.clone(),
+                            },
+                        );
+                        let r = self.expr(rhs, out);
+                        let t = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::BinOp {
+                                dst: t.clone(),
+                                op: lower_binop(op.bin_op()),
+                                lhs: cur,
+                                rhs: r,
+                            },
+                        );
+                        t
+                    }
+                };
+                self.push(
+                    out,
+                    span,
+                    StmtKind::SetProp {
+                        obj: po,
+                        key: k,
+                        val: value.clone(),
+                    },
+                );
+                value
+            }
+            _ => unreachable!("parser validates assignment targets"),
+        }
+    }
+
+    fn update(
+        &mut self,
+        prefix: bool,
+        inc: bool,
+        arg: &ast::Expr,
+        span: Span,
+        out: &mut Block,
+    ) -> Place {
+        let op = if inc { BinOp::Add } else { BinOp::Sub };
+        let one = self.temp();
+        match &arg.kind {
+            ExprKind::Ident(name) => {
+                let var = Place::Named(name.clone());
+                let old = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::UnOp {
+                        dst: old.clone(),
+                        op: UnOp::Pos,
+                        src: var.clone(),
+                    },
+                );
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Const {
+                        dst: one.clone(),
+                        lit: Lit::Num(1.0),
+                    },
+                );
+                let new = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::BinOp {
+                        dst: new.clone(),
+                        op,
+                        lhs: old.clone(),
+                        rhs: one,
+                    },
+                );
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Copy {
+                        dst: var,
+                        src: new.clone(),
+                    },
+                );
+                if prefix {
+                    new
+                } else {
+                    old
+                }
+            }
+            ExprKind::Member(obj, key) => {
+                let po = self.expr(obj, out);
+                let k = self.member_key(key, out);
+                let cur = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::GetProp {
+                        dst: cur.clone(),
+                        obj: po.clone(),
+                        key: k.clone(),
+                    },
+                );
+                let old = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::UnOp {
+                        dst: old.clone(),
+                        op: UnOp::Pos,
+                        src: cur,
+                    },
+                );
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Const {
+                        dst: one.clone(),
+                        lit: Lit::Num(1.0),
+                    },
+                );
+                let new = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::BinOp {
+                        dst: new.clone(),
+                        op,
+                        lhs: old.clone(),
+                        rhs: one,
+                    },
+                );
+                self.push(
+                    out,
+                    span,
+                    StmtKind::SetProp {
+                        obj: po,
+                        key: k,
+                        val: new.clone(),
+                    },
+                );
+                if prefix {
+                    new
+                } else {
+                    old
+                }
+            }
+            _ => unreachable!("parser validates update targets"),
+        }
+    }
+
+    fn call(
+        &mut self,
+        callee: &ast::Expr,
+        args: &[ast::Expr],
+        span: Span,
+        out: &mut Block,
+    ) -> Place {
+        // Direct eval: `eval(e)` with `eval` as a plain identifier.
+        if let ExprKind::Ident(name) = &callee.kind {
+            if &**name == "eval" {
+                let arg = match args.first() {
+                    Some(a) => self.expr(a, out),
+                    None => {
+                        let t = self.temp();
+                        self.push(
+                            out,
+                            span,
+                            StmtKind::Const {
+                                dst: t.clone(),
+                                lit: Lit::Undefined,
+                            },
+                        );
+                        t
+                    }
+                };
+                // Remaining arguments are evaluated for effect, as in JS.
+                for a in args.iter().skip(1) {
+                    self.expr(a, out);
+                }
+                let t = self.temp();
+                self.push(
+                    out,
+                    span,
+                    StmtKind::Eval {
+                        dst: t.clone(),
+                        arg,
+                    },
+                );
+                return t;
+            }
+        }
+        // Method call: bind `this` to the receiver.
+        if let ExprKind::Member(obj, key) = &callee.kind {
+            let po = self.expr(obj, out);
+            let k = self.member_key(key, out);
+            let f = self.temp();
+            self.push(
+                out,
+                callee.span,
+                StmtKind::GetProp {
+                    dst: f.clone(),
+                    obj: po.clone(),
+                    key: k,
+                },
+            );
+            let pargs: Vec<Place> = args.iter().map(|a| self.expr(a, out)).collect();
+            let t = self.temp();
+            self.push(
+                out,
+                span,
+                StmtKind::Call {
+                    dst: t.clone(),
+                    callee: f,
+                    this_arg: Some(po),
+                    args: pargs,
+                },
+            );
+            return t;
+        }
+        let pc = self.expr(callee, out);
+        let pargs: Vec<Place> = args.iter().map(|a| self.expr(a, out)).collect();
+        let t = self.temp();
+        self.push(
+            out,
+            span,
+            StmtKind::Call {
+                dst: t.clone(),
+                callee: pc,
+                this_arg: None,
+                args: pargs,
+            },
+        );
+        t
+    }
+}
+
+enum Hoisted {
+    Var(Rc<str>),
+    Func(Rc<ast::Function>),
+}
+
+/// Walks statements collecting hoisted declarations, without descending
+/// into nested functions.
+fn hoist(body: &[ast::Stmt], visit: &mut impl FnMut(Hoisted)) {
+    for s in body {
+        hoist_stmt(s, visit);
+    }
+}
+
+fn hoist_stmt(s: &ast::Stmt, visit: &mut impl FnMut(Hoisted)) {
+    match &s.kind {
+        AstStmt::Var(decls) => {
+            for (name, _) in decls {
+                visit(Hoisted::Var(name.clone()));
+            }
+        }
+        AstStmt::FunctionDecl(f) => visit(Hoisted::Func(f.clone())),
+        AstStmt::If(_, t, e) => {
+            hoist_stmt(t, visit);
+            if let Some(e) = e {
+                hoist_stmt(e, visit);
+            }
+        }
+        AstStmt::While(_, b) | AstStmt::DoWhile(b, _) => hoist_stmt(b, visit),
+        AstStmt::For { init, body, .. } => {
+            if let Some(ForInit::Var(decls)) = init {
+                for (name, _) in decls {
+                    visit(Hoisted::Var(name.clone()));
+                }
+            }
+            hoist_stmt(body, visit);
+        }
+        AstStmt::ForIn {
+            decl, var, body, ..
+        } => {
+            if *decl {
+                visit(Hoisted::Var(var.clone()));
+            }
+            hoist_stmt(body, visit);
+        }
+        AstStmt::Try {
+            block,
+            catch,
+            finally,
+        } => {
+            hoist(block, visit);
+            if let Some((_, b)) = catch {
+                hoist(b, visit);
+            }
+            if let Some(b) = finally {
+                hoist(b, visit);
+            }
+        }
+        AstStmt::Switch(_, cases) => {
+            for c in cases {
+                hoist(&c.body, visit);
+            }
+        }
+        AstStmt::Block(body) => hoist(body, visit),
+        _ => {}
+    }
+}
+
+fn lower_binop(op: ast::BinOp) -> BinOp {
+    use ast::BinOp as A;
+    match op {
+        A::Add => BinOp::Add,
+        A::Sub => BinOp::Sub,
+        A::Mul => BinOp::Mul,
+        A::Div => BinOp::Div,
+        A::Rem => BinOp::Rem,
+        A::Eq => BinOp::Eq,
+        A::NotEq => BinOp::NotEq,
+        A::StrictEq => BinOp::StrictEq,
+        A::StrictNotEq => BinOp::StrictNotEq,
+        A::Lt => BinOp::Lt,
+        A::LtEq => BinOp::LtEq,
+        A::Gt => BinOp::Gt,
+        A::GtEq => BinOp::GtEq,
+        A::BitAnd => BinOp::BitAnd,
+        A::BitOr => BinOp::BitOr,
+        A::BitXor => BinOp::BitXor,
+        A::Shl => BinOp::Shl,
+        A::Shr => BinOp::Shr,
+        A::UShr => BinOp::UShr,
+        A::In | A::Instanceof => unreachable!("lowered to dedicated statements"),
+    }
+}
+
+fn lower_unop(op: ast::UnOp) -> UnOp {
+    match op {
+        ast::UnOp::Neg => UnOp::Neg,
+        ast::UnOp::Pos => UnOp::Pos,
+        ast::UnOp::Not => UnOp::Not,
+        ast::UnOp::BitNot => UnOp::BitNot,
+        ast::UnOp::Typeof => UnOp::Typeof,
+        ast::UnOp::Void => UnOp::Void,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mujs_syntax::parse;
+
+    fn lower(src: &str) -> Program {
+        lower_program(&parse(src).unwrap())
+    }
+
+    fn entry_body(p: &Program) -> &Block {
+        &p.func(p.entry().unwrap()).body
+    }
+
+    #[test]
+    fn lowers_var_init_to_const_and_copy() {
+        let p = lower("var x = 1;");
+        let body = entry_body(&p);
+        assert!(matches!(body[0].kind, StmtKind::Const { .. }));
+        match &body[1].kind {
+            StmtKind::Copy { dst, .. } => assert_eq!(*dst, Place::Named(Rc::from("x"))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hoists_function_declarations() {
+        let p = lower("f(); function f() { return 1; }");
+        let entry = p.func(p.entry().unwrap());
+        assert_eq!(entry.decls.funcs.len(), 1);
+        assert_eq!(&*entry.decls.funcs[0].0, "f");
+    }
+
+    #[test]
+    fn hoists_vars_from_nested_blocks() {
+        let p = lower("if (a) { var x = 1; } while (b) { var y; }");
+        let entry = p.func(p.entry().unwrap());
+        let names: Vec<&str> = entry.decls.vars.iter().map(|v| &**v).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn method_call_binds_receiver() {
+        let p = lower("o.m(1);");
+        let body = entry_body(&p);
+        // The receiver temp used for `this` must be the same temp the
+        // method was loaded from.
+        let (getprop_obj, call_this) = body
+            .iter()
+            .find_map(|s| match &s.kind {
+                StmtKind::Call {
+                    this_arg: Some(t), ..
+                } => Some((None, Some(t.clone()))),
+                StmtKind::GetProp { obj, .. } => Some((Some(obj.clone()), None)),
+                _ => None,
+            })
+            .map(|_| {
+                let gp = body.iter().find_map(|s| match &s.kind {
+                    StmtKind::GetProp { obj, .. } => Some(obj.clone()),
+                    _ => None,
+                });
+                let ct = body.iter().find_map(|s| match &s.kind {
+                    StmtKind::Call {
+                        this_arg: Some(t), ..
+                    } => Some(t.clone()),
+                    _ => None,
+                });
+                (gp, ct)
+            })
+            .expect("a call");
+        assert_eq!(getprop_obj, call_this);
+        assert!(call_this.is_some());
+    }
+
+    #[test]
+    fn direct_eval_becomes_eval_stmt() {
+        let p = lower("eval(\"1+1\");");
+        let body = entry_body(&p);
+        assert!(body.iter().any(|s| matches!(s.kind, StmtKind::Eval { .. })));
+    }
+
+    #[test]
+    fn indirect_eval_is_a_plain_call() {
+        let p = lower("var e = eval; e(\"1+1\");");
+        let body = entry_body(&p);
+        assert!(!body.iter().any(|s| matches!(s.kind, StmtKind::Eval { .. })));
+        assert!(body.iter().any(|s| matches!(s.kind, StmtKind::Call { .. })));
+    }
+
+    #[test]
+    fn logical_and_lowered_to_if() {
+        let p = lower("var r = a && b;");
+        let body = entry_body(&p);
+        assert!(body.iter().any(|s| matches!(s.kind, StmtKind::If { .. })));
+    }
+
+    #[test]
+    fn for_loop_update_goes_to_update_block() {
+        let p = lower("for (var i = 0; i < 3; i++) { f(i); }");
+        let body = entry_body(&p);
+        let found = body.iter().find_map(|s| match &s.kind {
+            StmtKind::Loop { update, .. } => Some(!update.is_empty()),
+            _ => None,
+        });
+        assert_eq!(found, Some(true));
+    }
+
+    #[test]
+    fn for_in_uses_enum_props() {
+        let p = lower("for (var k in o) { f(k); }");
+        let mut saw_enum = false;
+        Program::walk_block(entry_body(&p), &mut |s| {
+            if matches!(s.kind, StmtKind::EnumProps { .. }) {
+                saw_enum = true;
+            }
+        });
+        assert!(saw_enum);
+    }
+
+    #[test]
+    fn switch_lowered_to_breakable() {
+        let p = lower("switch (x) { case 1: f(); default: g(); }");
+        let body = entry_body(&p);
+        assert!(body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::Breakable { .. })));
+    }
+
+    #[test]
+    fn in_operator_lowered_to_hasprop() {
+        let p = lower("var r = \"k\" in o;");
+        let body = entry_body(&p);
+        assert!(body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::HasProp { .. })));
+    }
+
+    #[test]
+    fn typeof_ident_uses_typeofname() {
+        let p = lower("var t = typeof zzz;");
+        let body = entry_body(&p);
+        assert!(body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::TypeofName { .. })));
+        // typeof of a non-identifier goes through UnOp.
+        let p2 = lower("var t = typeof (1 + 2);");
+        let body2 = entry_body(&p2);
+        assert!(body2
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::UnOp { op: UnOp::Typeof, .. })));
+    }
+
+    #[test]
+    fn named_function_expression_binds_self() {
+        let p = lower("var f = function g() { return g; };");
+        let g = p
+            .funcs
+            .iter()
+            .find(|f| f.name.as_deref() == Some("g"))
+            .unwrap();
+        assert!(g.bind_self);
+    }
+
+    #[test]
+    fn nested_function_parents_are_linked() {
+        let p = lower("function outer() { function inner() {} }");
+        let inner = p
+            .funcs
+            .iter()
+            .find(|f| f.name.as_deref() == Some("inner"))
+            .unwrap();
+        let outer = p
+            .funcs
+            .iter()
+            .find(|f| f.name.as_deref() == Some("outer"))
+            .unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, p.entry());
+    }
+
+    #[test]
+    fn compound_member_assignment_reads_then_writes() {
+        let p = lower("o.x += 2;");
+        let body = entry_body(&p);
+        let get = body
+            .iter()
+            .position(|s| matches!(s.kind, StmtKind::GetProp { .. }))
+            .unwrap();
+        let set = body
+            .iter()
+            .position(|s| matches!(s.kind, StmtKind::SetProp { .. }))
+            .unwrap();
+        assert!(get < set);
+    }
+
+    #[test]
+    fn array_literal_sets_indexed_props() {
+        let p = lower("var a = [10, 20];");
+        let body = entry_body(&p);
+        let keys: Vec<String> = body
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::SetProp {
+                    key: PropKey::Static(k),
+                    ..
+                } => Some(k.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(keys, vec!["0", "1"]);
+    }
+}

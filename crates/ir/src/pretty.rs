@@ -1,0 +1,265 @@
+//! Textual dump of the IR, for debugging, golden tests, and inspecting
+//! specializer output.
+
+use crate::ir::*;
+use std::fmt::Write as _;
+
+/// Renders every function of a program.
+pub fn print_program(prog: &Program) -> String {
+    let mut out = String::new();
+    for f in &prog.funcs {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a single function.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+/// let ast = mujs_syntax::parse("var x = 1;")?;
+/// let prog = mujs_ir::lower::lower_program(&ast);
+/// let text = mujs_ir::pretty::print_function(prog.func(prog.entry().unwrap()));
+/// assert!(text.contains("x = %0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_function(f: &Function) -> String {
+    let mut p = Printer {
+        out: String::new(),
+        indent: 1,
+    };
+    let name = f.name.as_deref().unwrap_or("<anon>");
+    let params: Vec<&str> = f.params.iter().map(|s| &**s).collect();
+    let _ = writeln!(
+        p.out,
+        "{} {name}({}) {{ // kind={:?} temps={}",
+        f.id,
+        params.join(", "),
+        f.kind,
+        f.n_temps
+    );
+    if !f.decls.vars.is_empty() {
+        let vars: Vec<&str> = f.decls.vars.iter().map(|s| &**s).collect();
+        let _ = writeln!(p.out, "  var {};", vars.join(", "));
+    }
+    for (n, fid) in &f.decls.funcs {
+        let _ = writeln!(p.out, "  hoist {n} = closure {fid};");
+    }
+    p.block(&f.body);
+    p.out.push_str("}\n");
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in b {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        let id = s.id;
+        match &s.kind {
+            StmtKind::Const { dst, lit } => {
+                self.line(&format!("{id}: {dst} = {}", fmt_lit(lit)))
+            }
+            StmtKind::Copy { dst, src } => self.line(&format!("{id}: {dst} = {src}")),
+            StmtKind::Closure { dst, func } => {
+                self.line(&format!("{id}: {dst} = closure {func}"))
+            }
+            StmtKind::NewObject { dst, is_array } => self.line(&format!(
+                "{id}: {dst} = {}",
+                if *is_array { "[]" } else { "{}" }
+            )),
+            StmtKind::GetProp { dst, obj, key } => {
+                self.line(&format!("{id}: {dst} = {obj}{key}"))
+            }
+            StmtKind::SetProp { obj, key, val } => {
+                self.line(&format!("{id}: {obj}{key} = {val}"))
+            }
+            StmtKind::DeleteProp { dst, obj, key } => {
+                self.line(&format!("{id}: {dst} = delete {obj}{key}"))
+            }
+            StmtKind::BinOp { dst, op, lhs, rhs } => {
+                self.line(&format!("{id}: {dst} = {lhs} {} {rhs}", op.as_str()))
+            }
+            StmtKind::UnOp { dst, op, src } => {
+                self.line(&format!("{id}: {dst} = {} {src}", op.as_str()))
+            }
+            StmtKind::Call {
+                dst,
+                callee,
+                this_arg,
+                args,
+            } => {
+                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let this = match this_arg {
+                    Some(t) => format!(" this={t}"),
+                    None => String::new(),
+                };
+                self.line(&format!(
+                    "{id}: {dst} = call {callee}({}){this}",
+                    args.join(", ")
+                ));
+            }
+            StmtKind::New { dst, callee, args } => {
+                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                self.line(&format!("{id}: {dst} = new {callee}({})", args.join(", ")));
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.line(&format!("{id}: if {cond} {{"));
+                self.indent += 1;
+                self.block(then_blk);
+                self.indent -= 1;
+                if else_blk.is_empty() {
+                    self.line("}");
+                } else {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.block(else_blk);
+                    self.indent -= 1;
+                    self.line("}");
+                }
+            }
+            StmtKind::Loop {
+                cond_blk,
+                cond,
+                body,
+                update,
+                check_cond_first,
+            } => {
+                self.line(&format!(
+                    "{id}: loop{} {{",
+                    if *check_cond_first { "" } else { " (do-while)" }
+                ));
+                self.indent += 1;
+                self.line("cond:");
+                self.indent += 1;
+                self.block(cond_blk);
+                self.line(&format!("test {cond}"));
+                self.indent -= 1;
+                self.line("body:");
+                self.indent += 1;
+                self.block(body);
+                self.indent -= 1;
+                if !update.is_empty() {
+                    self.line("update:");
+                    self.indent += 1;
+                    self.block(update);
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Breakable { body } => {
+                self.line(&format!("{id}: breakable {{"));
+                self.indent += 1;
+                self.block(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => {
+                self.line(&format!("{id}: try {{"));
+                self.indent += 1;
+                self.block(block);
+                self.indent -= 1;
+                if let Some((name, b)) = catch {
+                    self.line(&format!("}} catch ({name}) {{"));
+                    self.indent += 1;
+                    self.block(b);
+                    self.indent -= 1;
+                }
+                if let Some(b) = finally {
+                    self.line("} finally {");
+                    self.indent += 1;
+                    self.block(b);
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            StmtKind::Return { arg } => match arg {
+                Some(a) => self.line(&format!("{id}: return {a}")),
+                None => self.line(&format!("{id}: return")),
+            },
+            StmtKind::Break => self.line(&format!("{id}: break")),
+            StmtKind::Continue => self.line(&format!("{id}: continue")),
+            StmtKind::Throw { arg } => self.line(&format!("{id}: throw {arg}")),
+            StmtKind::LoadThis { dst } => self.line(&format!("{id}: {dst} = this")),
+            StmtKind::TypeofName { dst, name } => {
+                self.line(&format!("{id}: {dst} = typeof-name {name}"))
+            }
+            StmtKind::HasProp { dst, key, obj } => {
+                self.line(&format!("{id}: {dst} = {key} in {obj}"))
+            }
+            StmtKind::InstanceOf { dst, val, ctor } => {
+                self.line(&format!("{id}: {dst} = {val} instanceof {ctor}"))
+            }
+            StmtKind::EnumProps { dst, obj } => {
+                self.line(&format!("{id}: {dst} = enum-props {obj}"))
+            }
+            StmtKind::Eval { dst, arg } => self.line(&format!("{id}: {dst} = eval {arg}")),
+        }
+    }
+}
+
+fn fmt_lit(l: &mujs_syntax::ast::Lit) -> String {
+    use mujs_syntax::ast::Lit;
+    match l {
+        Lit::Num(n) => mujs_syntax::pretty::num_to_str(*n),
+        Lit::Str(s) => mujs_syntax::pretty::quote_str(s),
+        Lit::Bool(b) => b.to_string(),
+        Lit::Null => "null".to_owned(),
+        Lit::Undefined => "undefined".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use mujs_syntax::parse;
+
+    #[test]
+    fn dump_contains_all_functions() {
+        let prog = lower_program(&parse("function f() {} function g() {}").unwrap());
+        let text = print_program(&prog);
+        assert!(text.contains("f0"));
+        assert!(text.contains(" f("));
+        assert!(text.contains(" g("));
+    }
+
+    #[test]
+    fn dump_renders_control_flow() {
+        let prog =
+            lower_program(&parse("while (c) { if (d) { break; } }").unwrap());
+        let text = print_program(&prog);
+        assert!(text.contains("loop"));
+        assert!(text.contains("if "));
+        assert!(text.contains("break"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Static lexical name resolution.
+//!
+//! The interpreters resolve names dynamically through the scope chain (so
+//! `eval`-introduced bindings work), but the *static* consumers — the
+//! pointer analysis and the specializer — need to know where a named
+//! reference binds. This module computes, for every `(function, name)`
+//! reference, the function whose activation declares the name, or `Global`.
+//!
+//! Eval chunks have no scope of their own; their references resolve
+//! starting at the lexically enclosing function.
+
+use crate::ir::{FuncId, FuncKind, Function, Program};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Where a named reference binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// A local of the given function's activation.
+    Local(FuncId),
+    /// The global scope.
+    Global,
+}
+
+/// Precomputed per-function declared-name sets supporting
+/// [`Resolver::resolve`].
+#[derive(Debug, Clone)]
+pub struct Resolver {
+    declared: HashMap<FuncId, HashSet<Rc<str>>>,
+}
+
+impl Resolver {
+    /// Builds a resolver for all functions currently in `prog`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+    /// use mujs_ir::resolve::{Binding, Resolver};
+    /// let ast = mujs_syntax::parse("function f(p) { var x; return p + x + y; }")?;
+    /// let prog = mujs_ir::lower::lower_program(&ast);
+    /// let r = Resolver::new(&prog);
+    /// let f = prog.funcs[1].id;
+    /// assert_eq!(r.resolve(&prog, f, "x"), Binding::Local(f));
+    /// // Script-level declarations live in the global scope.
+    /// assert_eq!(r.resolve(&prog, f, "y"), Binding::Global);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(prog: &Program) -> Self {
+        let mut declared = HashMap::new();
+        for f in &prog.funcs {
+            declared.insert(f.id, declared_names(f));
+        }
+        Resolver { declared }
+    }
+
+    /// Resolves `name` as referenced from inside `func`.
+    pub fn resolve(&self, prog: &Program, func: FuncId, name: &str) -> Binding {
+        let mut cur = Some(func);
+        while let Some(id) = cur {
+            let f = prog.func(id);
+            // Eval chunks and the top-level script do not own a scope: the
+            // script's declarations are global, eval chunks defer to their
+            // parent.
+            match f.kind {
+                FuncKind::Script => return Binding::Global,
+                FuncKind::EvalChunk => {
+                    cur = f.parent;
+                    continue;
+                }
+                FuncKind::Function => {}
+            }
+            if self
+                .declared
+                .get(&id)
+                .is_some_and(|names| names.contains(name))
+            {
+                return Binding::Local(id);
+            }
+            cur = f.parent;
+        }
+        Binding::Global
+    }
+
+    /// The names declared directly by `func` (params, vars, hoisted
+    /// functions, and the self-binding of named function expressions).
+    pub fn declared(&self, func: FuncId) -> Option<&HashSet<Rc<str>>> {
+        self.declared.get(&func)
+    }
+}
+
+fn declared_names(f: &Function) -> HashSet<Rc<str>> {
+    let mut names: HashSet<Rc<str>> = f.params.iter().cloned().collect();
+    names.extend(f.decls.vars.iter().cloned());
+    names.extend(f.decls.funcs.iter().map(|(n, _)| n.clone()));
+    if f.bind_self {
+        if let Some(n) = &f.name {
+            names.insert(n.clone());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use mujs_syntax::parse;
+
+    fn setup(src: &str) -> (Program, Resolver) {
+        let prog = lower_program(&parse(src).unwrap());
+        let r = Resolver::new(&prog);
+        (prog, r)
+    }
+
+    fn func_named(prog: &Program, name: &str) -> FuncId {
+        prog.funcs
+            .iter()
+            .find(|f| f.name.as_deref() == Some(name))
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn params_shadow_outer_vars() {
+        let (prog, r) = setup("function outer(x) { function inner(x) { return x; } }");
+        let inner = func_named(&prog, "inner");
+        assert_eq!(r.resolve(&prog, inner, "x"), Binding::Local(inner));
+    }
+
+    #[test]
+    fn free_variables_climb_to_enclosing_function() {
+        let (prog, r) = setup("function outer() { var v; function inner() { return v; } }");
+        let inner = func_named(&prog, "inner");
+        let outer = func_named(&prog, "outer");
+        assert_eq!(r.resolve(&prog, inner, "v"), Binding::Local(outer));
+    }
+
+    #[test]
+    fn script_level_vars_are_global() {
+        let (prog, r) = setup("var g; function f() { return g; }");
+        let f = func_named(&prog, "f");
+        assert_eq!(r.resolve(&prog, f, "g"), Binding::Global);
+        assert_eq!(r.resolve(&prog, f, "nonexistent"), Binding::Global);
+    }
+
+    #[test]
+    fn hoisted_function_names_are_bindings() {
+        let (prog, r) = setup("function f() { function g() {} return g; }");
+        let f = func_named(&prog, "f");
+        assert_eq!(r.resolve(&prog, f, "g"), Binding::Local(f));
+    }
+
+    #[test]
+    fn named_function_expression_self_binding() {
+        let (prog, r) = setup("var h = function rec() { return rec; };");
+        let rec = func_named(&prog, "rec");
+        assert_eq!(r.resolve(&prog, rec, "rec"), Binding::Local(rec));
+    }
+}

@@ -1,0 +1,161 @@
+//! Static write domains — the `vd(s)` function of the paper (§3.1).
+//!
+//! `vd(s)` is the set of variables that a statement list *may* assign,
+//! excluding assignments inside nested functions (callees cannot write
+//! their caller's locals). The instrumented semantics uses it in rule
+//! (ĈNTRABORT): when counterfactual execution is cut off, every variable
+//! in `vd` of the unexecuted branch is conservatively marked indeterminate.
+//!
+//! Heap effects (`pd`) cannot be bounded statically — a branch may call
+//! arbitrary functions — which is exactly why (ĈNTRABORT) also flushes the
+//! heap.
+
+use crate::ir::{Place, StmtKind};
+use std::collections::HashSet;
+
+/// The statically computed write domain of a block.
+#[derive(Debug, Clone, Default)]
+pub struct WriteDomain {
+    /// Places that may be assigned.
+    pub places: HashSet<Place>,
+    /// Whether the block contains a *direct* `eval`, which can declare and
+    /// assign variables invisible to this analysis. Consumers must treat
+    /// the entire scope chain as written when this is set.
+    pub contains_eval: bool,
+}
+
+/// Computes the write domain of `block` (without descending into nested
+/// functions — closures created here execute elsewhere).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+/// use mujs_ir::ir::Place;
+/// let ast = mujs_syntax::parse("var x; if (c) { x = 1; } else { y = 2; }")?;
+/// let prog = mujs_ir::lower::lower_program(&ast);
+/// let wd = mujs_ir::vd::write_domain(&prog.func(prog.entry().unwrap()).body);
+/// assert!(wd.places.contains(&Place::Named("x".into())));
+/// assert!(wd.places.contains(&Place::Named("y".into())));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_domain(block: &[crate::ir::Stmt]) -> WriteDomain {
+    let mut wd = WriteDomain::default();
+    collect(block, &mut wd);
+    wd
+}
+
+fn collect(block: &[crate::ir::Stmt], wd: &mut WriteDomain) {
+    for s in block {
+        match &s.kind {
+            StmtKind::Const { dst, .. }
+            | StmtKind::Copy { dst, .. }
+            | StmtKind::Closure { dst, .. }
+            | StmtKind::NewObject { dst, .. }
+            | StmtKind::GetProp { dst, .. }
+            | StmtKind::DeleteProp { dst, .. }
+            | StmtKind::BinOp { dst, .. }
+            | StmtKind::UnOp { dst, .. }
+            | StmtKind::Call { dst, .. }
+            | StmtKind::New { dst, .. }
+            | StmtKind::LoadThis { dst }
+            | StmtKind::TypeofName { dst, .. }
+            | StmtKind::HasProp { dst, .. }
+            | StmtKind::InstanceOf { dst, .. }
+            | StmtKind::EnumProps { dst, .. } => {
+                wd.places.insert(dst.clone());
+            }
+            StmtKind::Eval { dst, .. } => {
+                wd.places.insert(dst.clone());
+                wd.contains_eval = true;
+            }
+            StmtKind::SetProp { .. } => {}
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                collect(then_blk, wd);
+                collect(else_blk, wd);
+            }
+            StmtKind::Loop {
+                cond_blk,
+                body,
+                update,
+                ..
+            } => {
+                collect(cond_blk, wd);
+                collect(body, wd);
+                collect(update, wd);
+            }
+            StmtKind::Breakable { body } => collect(body, wd),
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => {
+                collect(block, wd);
+                if let Some((name, b)) = catch {
+                    wd.places.insert(Place::Named(name.clone()));
+                    collect(b, wd);
+                }
+                if let Some(b) = finally {
+                    collect(b, wd);
+                }
+            }
+            StmtKind::Return { .. }
+            | StmtKind::Break
+            | StmtKind::Continue
+            | StmtKind::Throw { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use mujs_syntax::parse;
+    use std::rc::Rc;
+
+    fn wd_of(src: &str) -> WriteDomain {
+        let prog = lower_program(&parse(src).unwrap());
+        write_domain(&prog.func(prog.entry().unwrap()).body)
+    }
+
+    fn has_named(wd: &WriteDomain, name: &str) -> bool {
+        wd.places.contains(&Place::Named(Rc::from(name)))
+    }
+
+    #[test]
+    fn includes_writes_in_all_branches() {
+        let wd = wd_of("if (c) { a = 1; } else { while (d) { b = 2; } }");
+        assert!(has_named(&wd, "a"));
+        assert!(has_named(&wd, "b"));
+    }
+
+    #[test]
+    fn excludes_nested_function_writes() {
+        let wd = wd_of("var f = function() { hidden = 1; };");
+        assert!(!has_named(&wd, "hidden"));
+        assert!(has_named(&wd, "f"));
+    }
+
+    #[test]
+    fn heap_writes_are_not_variable_writes() {
+        let wd = wd_of("o.p = 1;");
+        assert!(!has_named(&wd, "o"));
+        assert!(!has_named(&wd, "p"));
+    }
+
+    #[test]
+    fn catch_variable_is_written() {
+        let wd = wd_of("try { f(); } catch (e) { g(); }");
+        assert!(has_named(&wd, "e"));
+    }
+
+    #[test]
+    fn direct_eval_is_flagged() {
+        assert!(wd_of("eval(s);").contains_eval);
+        assert!(!wd_of("f(s);").contains_eval);
+    }
+}

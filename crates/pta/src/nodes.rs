@@ -1,0 +1,77 @@
+//! Abstract objects and pointer nodes of the points-to analysis.
+
+use mujs_ir::{FuncId, StmtId};
+use std::rc::Rc;
+
+/// An abstract heap object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsObj {
+    /// Objects allocated at a site (`{}`/`[]`/object literal/`new F`
+    /// result/`arguments` array materialized per site).
+    Alloc(StmtId),
+    /// The closure value(s) of a function (context-insensitive).
+    Closure(FuncId),
+    /// The implicit `.prototype` object created with each function.
+    ProtoOf(FuncId),
+    /// The global (`window`) object.
+    Global,
+    /// Everything the analysis does not model: native functions and their
+    /// results, DOM values, `eval` results.
+    Opaque,
+}
+
+impl AbsObj {
+    /// Whether calling this object can be resolved to user code.
+    pub fn as_closure(&self) -> Option<FuncId> {
+        match self {
+            AbsObj::Closure(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// A pointer node (holds a points-to set).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A frame temporary of a function.
+    Temp(FuncId, u32),
+    /// A named local, resolved to its declaring function.
+    Local(FuncId, Rc<str>),
+    /// A named property of an abstract object (globals are
+    /// `Prop(Global, name)`).
+    Prop(AbsObj, Rc<str>),
+    /// Join of all statically-named properties of an object (feeds
+    /// dynamic *reads*).
+    StarProps(AbsObj),
+    /// Values stored under unknown names (feeds *all* reads).
+    UnknownProps(AbsObj),
+    /// The synthetic variable holding an object's prototype chain parents.
+    ProtoVar(AbsObj),
+    /// A function's return value.
+    Ret(FuncId),
+    /// A function's `this`.
+    This(FuncId),
+    /// The pool of thrown values (coarse exception modeling).
+    ExcPool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_extraction() {
+        assert_eq!(AbsObj::Closure(FuncId(3)).as_closure(), Some(FuncId(3)));
+        assert_eq!(AbsObj::Global.as_closure(), None);
+    }
+
+    #[test]
+    fn nodes_are_hashable_keys() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Node::Temp(FuncId(0), 1));
+        s.insert(Node::Prop(AbsObj::Global, Rc::from("x")));
+        s.insert(Node::Prop(AbsObj::Global, Rc::from("x")));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,648 @@
+//! The Andersen-style inclusion-constraint solver with on-the-fly call
+//! graph construction — the reproduction's stand-in for WALA's JavaScript
+//! points-to analysis \[30\].
+//!
+//! Dynamic property accesses whose names the analysis cannot resolve smear
+//! through per-object ⋆-nodes: a dynamic store reaches every read of the
+//! object, and a dynamic load sees every store. This is the imprecision
+//! engine behind Table 1's baseline blow-ups; the specializer removes it
+//! by turning dynamic keys static.
+//!
+//! The solver counts propagation work and stops when a configured budget
+//! is exceeded — the deterministic equivalent of the paper's 10-minute
+//! timeout.
+
+use crate::nodes::{AbsObj, Node};
+use mujs_ir::ir::{Place, PropKey, StmtKind};
+use mujs_ir::resolve::{Binding, Resolver};
+use mujs_ir::{FuncId, FuncKind, Program, Stmt, StmtId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct PtaConfig {
+    /// Propagation-work budget (points-to insertions); exceeding it stops
+    /// the analysis with [`PtaStatus::BudgetExceeded`].
+    pub budget: u64,
+}
+
+impl Default for PtaConfig {
+    fn default() -> Self {
+        PtaConfig { budget: 25_000_000 }
+    }
+}
+
+/// How a solve ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtaStatus {
+    /// Fixpoint reached within budget.
+    Completed,
+    /// Budget exhausted (the paper's ✗ / timeout).
+    BudgetExceeded,
+}
+
+/// Work statistics.
+#[derive(Debug, Clone, Default)]
+pub struct PtaStats {
+    /// Points-to facts inserted (the budgeted quantity).
+    pub propagations: u64,
+    /// Distinct pointer nodes materialized.
+    pub nodes: usize,
+    /// Subset edges added.
+    pub edges: u64,
+    /// Call edges discovered.
+    pub call_edges: usize,
+}
+
+/// Result of a solve.
+#[derive(Debug)]
+pub struct PtaResult {
+    /// Completion status.
+    pub status: PtaStatus,
+    /// Statistics.
+    pub stats: PtaStats,
+    pts: HashMap<u32, HashSet<u32>>,
+    node_ids: HashMap<Node, u32>,
+    objs: Vec<AbsObj>,
+    call_graph: HashMap<StmtId, HashSet<FuncId>>,
+}
+
+impl PtaResult {
+    /// The points-to set of a node (empty if the node never materialized).
+    pub fn points_to(&self, node: &Node) -> Vec<AbsObj> {
+        let Some(id) = self.node_ids.get(node) else {
+            return Vec::new();
+        };
+        let mut v: Vec<AbsObj> = self
+            .pts
+            .get(id)
+            .map(|s| s.iter().map(|o| self.objs[*o as usize].clone()).collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Functions a call/new site may invoke.
+    pub fn callees(&self, site: StmtId) -> Vec<FuncId> {
+        let mut v: Vec<FuncId> = self
+            .call_graph
+            .get(&site)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// All resolved call edges.
+    pub fn call_graph(&self) -> &HashMap<StmtId, HashSet<FuncId>> {
+        &self.call_graph
+    }
+
+    /// Number of call sites with more than `k` targets (a precision
+    /// metric).
+    pub fn polymorphic_sites(&self, k: usize) -> usize {
+        self.call_graph.values().filter(|s| s.len() > k).count()
+    }
+}
+
+/// Runs the analysis over every function of `prog`.
+pub fn solve(prog: &Program, cfg: &PtaConfig) -> PtaResult {
+    Solver::new(prog, cfg.clone()).run()
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    /// `dst ⊇ base.key` (`None` = dynamic key).
+    Load { key: Option<Rc<str>>, dst: u32 },
+    /// `base.key ⊇ src` (`None` = dynamic key).
+    Store { key: Option<Rc<str>>, src: u32 },
+    /// A call through the node: wire params/ret when closures arrive.
+    Call {
+        site: StmtId,
+        this: Option<u32>,
+        args: Vec<u32>,
+        dst: u32,
+        is_new: bool,
+    },
+}
+
+struct Solver<'p> {
+    prog: &'p Program,
+    cfg: PtaConfig,
+    resolver: Resolver,
+    node_ids: HashMap<Node, u32>,
+    nodes: Vec<Node>,
+    obj_ids: HashMap<AbsObj, u32>,
+    objs: Vec<AbsObj>,
+    pts: Vec<HashSet<u32>>,
+    edges: Vec<Vec<u32>>,
+    pending: Vec<Vec<Pending>>,
+    worklist: VecDeque<(u32, u32)>, // (node, new obj)
+    call_graph: HashMap<StmtId, HashSet<FuncId>>,
+    processed_funcs: HashSet<FuncId>,
+    func_queue: VecDeque<FuncId>,
+    stats: PtaStats,
+    exhausted: bool,
+}
+
+impl<'p> Solver<'p> {
+    fn new(prog: &'p Program, cfg: PtaConfig) -> Self {
+        Solver {
+            prog,
+            cfg,
+            resolver: Resolver::new(prog),
+            node_ids: HashMap::new(),
+            nodes: Vec::new(),
+            obj_ids: HashMap::new(),
+            objs: Vec::new(),
+            pts: Vec::new(),
+            edges: Vec::new(),
+            pending: Vec::new(),
+            worklist: VecDeque::new(),
+            call_graph: HashMap::new(),
+            processed_funcs: HashSet::new(),
+            func_queue: VecDeque::new(),
+            stats: PtaStats::default(),
+            exhausted: false,
+        }
+    }
+
+    fn node(&mut self, n: Node) -> u32 {
+        if let Some(&id) = self.node_ids.get(&n) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.node_ids.insert(n.clone(), id);
+        self.nodes.push(n.clone());
+        self.pts.push(HashSet::new());
+        self.edges.push(Vec::new());
+        self.pending.push(Vec::new());
+        // Materializing a named property wires it into the ⋆ join.
+        if let Node::Prop(o, _) = &n {
+            let star = self.node(Node::StarProps(o.clone()));
+            self.add_edge(id, star);
+        }
+        id
+    }
+
+    fn obj(&mut self, o: AbsObj) -> u32 {
+        if let Some(&id) = self.obj_ids.get(&o) {
+            return id;
+        }
+        let id = self.objs.len() as u32;
+        self.obj_ids.insert(o.clone(), id);
+        self.objs.push(o);
+        id
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) {
+        if from == to || self.edges[from as usize].contains(&to) {
+            return;
+        }
+        self.edges[from as usize].push(to);
+        self.stats.edges += 1;
+        let existing: Vec<u32> = self.pts[from as usize].iter().copied().collect();
+        for o in existing {
+            self.insert(to, o);
+        }
+    }
+
+    fn insert(&mut self, node: u32, obj: u32) {
+        if self.exhausted {
+            return;
+        }
+        if self.pts[node as usize].insert(obj) {
+            self.stats.propagations += 1;
+            if self.stats.propagations > self.cfg.budget {
+                self.exhausted = true;
+                return;
+            }
+            self.worklist.push_back((node, obj));
+        }
+    }
+
+    fn seed(&mut self, node: u32, o: AbsObj) {
+        let oid = self.obj(o);
+        self.insert(node, oid);
+    }
+
+    // ------------------------------------------------------------ naming
+
+    fn place_node(&mut self, func: FuncId, place: &Place) -> u32 {
+        match place {
+            Place::Temp(t) => self.node(Node::Temp(func, t.0)),
+            Place::Named(name) => self.named_node(func, name),
+        }
+    }
+
+    fn named_node(&mut self, func: FuncId, name: &Rc<str>) -> u32 {
+        match self.resolver.resolve(self.prog, func, name) {
+            // Specializer clones share their original's variable space:
+            // nested closures keep referring to the original's locals, so
+            // a clone's writes must reach them (sound, slightly merging
+            // local-variable contexts while the heap stays per-clone).
+            Binding::Local(f) => {
+                let f = self.canon(f);
+                self.node(Node::Local(f, name.clone()))
+            }
+            Binding::Global => self.node(Node::Prop(AbsObj::Global, name.clone())),
+        }
+    }
+
+    /// Follows `specialized_from` links to the original function.
+    fn canon(&self, mut f: FuncId) -> FuncId {
+        let mut fuel = 64;
+        while let Some(orig) = self.prog.func(f).specialized_from {
+            f = orig;
+            fuel -= 1;
+            if fuel == 0 {
+                break;
+            }
+        }
+        f
+    }
+
+    // -------------------------------------------------------- constraints
+
+    fn run(mut self) -> PtaResult {
+        if let Some(entry) = self.prog.entry() {
+            self.enqueue_func(entry);
+            let this_entry = self.node(Node::This(entry));
+            self.seed(this_entry, AbsObj::Global);
+        }
+        // The analysis is flow-insensitive: generate constraints for all
+        // reachable functions, then propagate to fixpoint, interleaved
+        // because the call graph is discovered on the fly.
+        while !self.exhausted {
+            if let Some(f) = self.func_queue.pop_front() {
+                self.gen_function(f);
+                continue;
+            }
+            let Some((node, obj)) = self.worklist.pop_front() else {
+                break;
+            };
+            self.propagate(node, obj);
+        }
+        self.stats.nodes = self.nodes.len();
+        self.stats.call_edges = self.call_graph.values().map(|s| s.len()).sum();
+        PtaResult {
+            status: if self.exhausted {
+                PtaStatus::BudgetExceeded
+            } else {
+                PtaStatus::Completed
+            },
+            stats: self.stats,
+            pts: self
+                .pts
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, s.clone()))
+                .collect(),
+            node_ids: self.node_ids,
+            objs: self.objs,
+            call_graph: self.call_graph,
+        }
+    }
+
+    fn propagate(&mut self, node: u32, obj: u32) {
+        let targets = self.edges[node as usize].clone();
+        for t in targets {
+            self.insert(t, obj);
+        }
+        let pendings = self.pending[node as usize].clone();
+        let o = self.objs[obj as usize].clone();
+        for p in pendings {
+            self.apply_pending(&p, &o);
+        }
+    }
+
+    fn attach(&mut self, node: u32, p: Pending) {
+        let existing: Vec<u32> = self.pts[node as usize].iter().copied().collect();
+        self.pending[node as usize].push(p.clone());
+        for oid in existing {
+            let o = self.objs[oid as usize].clone();
+            self.apply_pending(&p, &o);
+        }
+    }
+
+    fn apply_pending(&mut self, p: &Pending, o: &AbsObj) {
+        match p {
+            Pending::Load { key, dst } => self.apply_load(o, key.as_deref(), *dst),
+            Pending::Store { key, src } => self.apply_store(o, key.as_deref(), *src),
+            Pending::Call {
+                site,
+                this,
+                args,
+                dst,
+                is_new,
+            } => self.apply_call(o, *site, *this, args.clone(), *dst, *is_new),
+        }
+    }
+
+    fn apply_load(&mut self, o: &AbsObj, key: Option<&str>, dst: u32) {
+        let unknown = self.node(Node::UnknownProps(o.clone()));
+        self.add_edge(unknown, dst);
+        match key {
+            Some(k) => {
+                let f = self.node(Node::Prop(o.clone(), Rc::from(k)));
+                self.add_edge(f, dst);
+            }
+            None => {
+                let star = self.node(Node::StarProps(o.clone()));
+                self.add_edge(star, dst);
+            }
+        }
+        // Loads fall through the prototype chain.
+        let pv = self.proto_var(o);
+        self.attach(
+            pv,
+            Pending::Load {
+                key: key.map(Rc::from),
+                dst,
+            },
+        );
+    }
+
+    fn apply_store(&mut self, o: &AbsObj, key: Option<&str>, src: u32) {
+        match key {
+            Some(k) => {
+                let f = self.node(Node::Prop(o.clone(), Rc::from(k)));
+                self.add_edge(src, f);
+            }
+            None => {
+                let unknown = self.node(Node::UnknownProps(o.clone()));
+                self.add_edge(src, unknown);
+            }
+        }
+    }
+
+    fn proto_var(&mut self, o: &AbsObj) -> u32 {
+        let pv = self.node(Node::ProtoVar(o.clone()));
+        // `ProtoOf(F)` objects chain to Object.prototype, which we fold
+        // into Opaque; the chain itself comes from `new` wiring.
+        pv
+    }
+
+    fn apply_call(
+        &mut self,
+        o: &AbsObj,
+        site: StmtId,
+        this: Option<u32>,
+        args: Vec<u32>,
+        dst: u32,
+        is_new: bool,
+    ) {
+        match o {
+            AbsObj::Closure(f) => {
+                let f = *f;
+                self.call_graph.entry(site).or_default().insert(f);
+                self.enqueue_func(f);
+                let func = self.prog.func(f).clone();
+                let pf = self.canon(f);
+                for (i, p) in func.params.iter().enumerate() {
+                    if let Some(&a) = args.get(i) {
+                        let pn = self.node(Node::Local(pf, p.clone()));
+                        self.add_edge(a, pn);
+                    }
+                }
+                let ret = self.node(Node::Ret(f));
+                self.add_edge(ret, dst);
+                if is_new {
+                    // The freshly constructed object.
+                    let alloc = AbsObj::Alloc(site);
+                    self.seed(dst, alloc.clone());
+                    let this_n = self.node(Node::This(f));
+                    let alloc_id = self.obj(alloc.clone());
+                    self.insert(this_n, alloc_id);
+                    // Its prototype chain parent is F.prototype's value.
+                    let fproto =
+                        self.node(Node::Prop(AbsObj::Closure(f), Rc::from("prototype")));
+                    let pv = self.node(Node::ProtoVar(alloc));
+                    self.add_edge(fproto, pv);
+                } else if let Some(t) = this {
+                    let this_n = self.node(Node::This(f));
+                    self.add_edge(t, this_n);
+                }
+            }
+            AbsObj::Opaque => {
+                // Calling the unknown: arguments escape, the result is
+                // unknown.
+                let sink = self.node(Node::UnknownProps(AbsObj::Opaque));
+                for a in args {
+                    self.add_edge(a, sink);
+                }
+                self.seed(dst, AbsObj::Opaque);
+            }
+            _ => {
+                // Calling a non-function abstract object: no effect (the
+                // concrete execution would throw).
+            }
+        }
+    }
+
+    fn enqueue_func(&mut self, f: FuncId) {
+        if self.processed_funcs.insert(f) {
+            self.func_queue.push_back(f);
+        }
+    }
+
+    // ----------------------------------------------------- per-statement
+
+    fn gen_function(&mut self, fid: FuncId) {
+        let f = self.prog.func(fid).clone();
+        // Hoisted function declarations.
+        for (name, nested) in &f.decls.funcs {
+            let n = self.named_node(fid, name);
+            self.seed(n, AbsObj::Closure(*nested));
+            self.init_closure(*nested);
+        }
+        // `arguments`: coarse—an opaque array.
+        if f.kind == FuncKind::Function {
+            let cf = self.canon(fid);
+            let n = self.node(Node::Local(cf, Rc::from("arguments")));
+            self.seed(n, AbsObj::Opaque);
+        }
+        let stmts = f.body.clone();
+        self.gen_block(fid, &stmts);
+    }
+
+    fn init_closure(&mut self, f: FuncId) {
+        let protos = self.node(Node::Prop(AbsObj::Closure(f), Rc::from("prototype")));
+        self.seed(protos, AbsObj::ProtoOf(f));
+        let ctor = self.node(Node::Prop(AbsObj::ProtoOf(f), Rc::from("constructor")));
+        self.seed(ctor, AbsObj::Closure(f));
+    }
+
+    fn gen_block(&mut self, fid: FuncId, block: &[Stmt]) {
+        // Temps index into `fid`'s own frame; named places resolve through
+        // the resolver (which already skips eval-chunk pseudo-scopes).
+        let wf = fid;
+        for s in block {
+            if self.exhausted {
+                return;
+            }
+            match &s.kind {
+                StmtKind::Const { .. } => {}
+                StmtKind::Copy { dst, src } => {
+                    let d = self.place_node(wf, dst);
+                    let sn = self.place_node(wf, src);
+                    self.add_edge(sn, d);
+                }
+                StmtKind::Closure { dst, func } => {
+                    let d = self.place_node(wf, dst);
+                    self.seed(d, AbsObj::Closure(*func));
+                    self.init_closure(*func);
+                    // On-the-fly call graph: the body is analyzed only
+                    // once a call edge reaches the closure.
+                }
+                StmtKind::NewObject { dst, .. } => {
+                    let d = self.place_node(wf, dst);
+                    self.seed(d, AbsObj::Alloc(s.id));
+                }
+                StmtKind::GetProp { dst, obj, key } => {
+                    let d = self.place_node(wf, dst);
+                    let o = self.place_node(wf, obj);
+                    let key = match key {
+                        PropKey::Static(k) => Some(k.clone()),
+                        PropKey::Dynamic(_) => None,
+                    };
+                    self.attach(o, Pending::Load { key, dst: d });
+                }
+                StmtKind::SetProp { obj, key, val } => {
+                    let o = self.place_node(wf, obj);
+                    let v = self.place_node(wf, val);
+                    let key = match key {
+                        PropKey::Static(k) => Some(k.clone()),
+                        PropKey::Dynamic(_) => None,
+                    };
+                    self.attach(o, Pending::Store { key, src: v });
+                }
+                StmtKind::DeleteProp { .. } => {}
+                StmtKind::BinOp { .. } | StmtKind::UnOp { .. } => {}
+                StmtKind::Call {
+                    dst,
+                    callee,
+                    this_arg,
+                    args,
+                } => {
+                    let d = self.place_node(wf, dst);
+                    let c = self.place_node(wf, callee);
+                    let t = this_arg.as_ref().map(|p| self.place_node(wf, p));
+                    let a: Vec<u32> =
+                        args.iter().map(|p| self.place_node(wf, p)).collect();
+                    self.attach(
+                        c,
+                        Pending::Call {
+                            site: s.id,
+                            this: t,
+                            args: a,
+                            dst: d,
+                            is_new: false,
+                        },
+                    );
+                }
+                StmtKind::New { dst, callee, args } => {
+                    let d = self.place_node(wf, dst);
+                    let c = self.place_node(wf, callee);
+                    let a: Vec<u32> =
+                        args.iter().map(|p| self.place_node(wf, p)).collect();
+                    self.attach(
+                        c,
+                        Pending::Call {
+                            site: s.id,
+                            this: None,
+                            args: a,
+                            dst: d,
+                            is_new: true,
+                        },
+                    );
+                }
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    self.gen_block(fid, then_blk);
+                    self.gen_block(fid, else_blk);
+                }
+                StmtKind::Loop {
+                    cond_blk,
+                    body,
+                    update,
+                    ..
+                } => {
+                    self.gen_block(fid, cond_blk);
+                    self.gen_block(fid, body);
+                    self.gen_block(fid, update);
+                }
+                StmtKind::Breakable { body } => self.gen_block(fid, body),
+                StmtKind::Try {
+                    block,
+                    catch,
+                    finally,
+                } => {
+                    self.gen_block(fid, block);
+                    if let Some((name, b)) = catch {
+                        let exc = self.node(Node::ExcPool);
+                        let v = self.named_node(wf, name);
+                        self.add_edge(exc, v);
+                        self.gen_block(fid, b);
+                    }
+                    if let Some(b) = finally {
+                        self.gen_block(fid, b);
+                    }
+                }
+                StmtKind::Return { arg } => {
+                    if let Some(p) = arg {
+                        let r = self.node(Node::Ret(wf_ret(self.prog, fid)));
+                        let v = self.place_node(wf, p);
+                        self.add_edge(v, r);
+                    }
+                }
+                StmtKind::Break | StmtKind::Continue => {}
+                StmtKind::Throw { arg } => {
+                    let exc = self.node(Node::ExcPool);
+                    let v = self.place_node(wf, arg);
+                    self.add_edge(v, exc);
+                }
+                StmtKind::LoadThis { dst } => {
+                    let d = self.place_node(wf, dst);
+                    let t = self.node(Node::This(wf_ret(self.prog, fid)));
+                    self.add_edge(t, d);
+                }
+                StmtKind::TypeofName { .. } => {}
+                StmtKind::HasProp { .. } | StmtKind::InstanceOf { .. } => {}
+                StmtKind::EnumProps { dst, .. } => {
+                    let d = self.place_node(wf, dst);
+                    self.seed(d, AbsObj::Alloc(s.id));
+                }
+                StmtKind::Eval { dst, .. } => {
+                    // Statically unanalyzable; the specializer's job is to
+                    // remove these (§2.3).
+                    let d = self.place_node(wf, dst);
+                    self.seed(d, AbsObj::Opaque);
+                }
+            }
+        }
+    }
+}
+
+/// The function owning writes for name resolution (eval chunks resolve
+/// through their parent).
+fn effective_func(prog: &Program, f: FuncId) -> FuncId {
+    let mut cur = f;
+    loop {
+        let func = prog.func(cur);
+        if func.kind != FuncKind::EvalChunk {
+            return cur;
+        }
+        match func.parent {
+            Some(p) => cur = p,
+            None => return cur,
+        }
+    }
+}
+
+/// `this`/`return` of an eval chunk belong to the enclosing function.
+fn wf_ret(prog: &Program, f: FuncId) -> FuncId {
+    effective_func(prog, f)
+}

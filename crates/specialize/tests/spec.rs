@@ -1,0 +1,358 @@
+//! Tests for the fact-driven specializer: branch pruning, static keys,
+//! loop unrolling, eval elimination, cloning — and semantic preservation
+//! of the rewrites (the specialized program behaves like the original on
+//! the observed input).
+
+use determinacy::driver::DetHarness;
+use determinacy::AnalysisConfig;
+use mujs_interp::{Interp, InterpOptions};
+use mujs_ir::ir::{PropKey, StmtKind};
+use mujs_ir::Program;
+use mujs_specialize::{specialize, EvalStatus, SpecConfig, Specialized};
+
+fn run_spec(src: &str) -> (DetHarness, Specialized) {
+    run_spec_cfg(src, SpecConfig::default())
+}
+
+fn run_spec_cfg(src: &str, cfg: SpecConfig) -> (DetHarness, Specialized) {
+    let mut h = DetHarness::from_src(src).expect("parses");
+    let mut out = h.analyze(AnalysisConfig::default());
+    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &cfg);
+    (h, spec)
+}
+
+/// Runs a program on the concrete interpreter and returns its output.
+fn run_concrete(prog: &Program) -> Vec<String> {
+    let mut p = prog.clone();
+    let mut interp = Interp::new(&mut p, InterpOptions::default());
+    interp
+        .run()
+        .unwrap_or_else(|e| panic!("specialized program failed: {e}"));
+    interp.output.clone()
+}
+
+fn count_stmts(prog: &Program, pred: impl Fn(&StmtKind) -> bool) -> usize {
+    let mut n = 0;
+    for f in &prog.funcs {
+        Program::walk_block(&f.body, &mut |s| {
+            if pred(&s.kind) {
+                n += 1;
+            }
+        });
+    }
+    n
+}
+
+#[test]
+fn prunes_determinately_false_branches() {
+    let src = r#"
+var mode = "production";
+if (mode === "debug") { console.log("dbg"); } else { console.log("prod"); }
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.branches_pruned, 1);
+    assert_eq!(run_concrete(&spec.program), vec!["prod"]);
+}
+
+#[test]
+fn keeps_indeterminate_branches() {
+    let src = r#"
+if (__indet(true)) { console.log("a"); } else { console.log("b"); }
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.branches_pruned, 0);
+}
+
+#[test]
+fn staticizes_determinate_dynamic_keys() {
+    let src = r#"
+var k = "wi" + "dth";
+var o = {};
+o[k] = 20;
+console.log(o[k]);
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.keys_staticized, 2);
+    assert_eq!(
+        count_stmts(&spec.program, |k| matches!(
+            k,
+            StmtKind::SetProp {
+                key: PropKey::Dynamic(_),
+                ..
+            } | StmtKind::GetProp {
+                key: PropKey::Dynamic(_),
+                ..
+            }
+        )),
+        0
+    );
+    assert_eq!(run_concrete(&spec.program), vec!["20"]);
+}
+
+#[test]
+fn indeterminate_keys_stay_dynamic() {
+    let src = r#"
+var k = __indet("x");
+var o = {};
+o[k] = 1;
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.keys_staticized, 0);
+}
+
+#[test]
+fn unrolls_determinate_loops_with_calls() {
+    let src = r#"
+function handle(x) { console.log(x); }
+var items = ["a", "b", "c"];
+for (var i = 0; i < items.length; i++) { handle(items[i]); }
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.loops_unrolled, 1);
+    assert_eq!(
+        count_stmts(&spec.program, |k| matches!(k, StmtKind::Loop { .. })),
+        0
+    );
+    assert_eq!(run_concrete(&spec.program), vec!["a", "b", "c"]);
+}
+
+#[test]
+fn does_not_unroll_indeterminate_loops() {
+    let src = r#"
+function f(i) { return i; }
+var n = __indet(3);
+for (var i = 0; i < n; i++) { f(i); }
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.loops_unrolled, 0);
+}
+
+#[test]
+fn does_not_unroll_loops_without_benefit() {
+    let src = r#"
+var s = 0;
+for (var i = 0; i < 3; i++) { s = s + i; }
+console.log(s);
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.loops_unrolled, 0);
+    assert_eq!(run_concrete(&spec.program), vec!["3"]);
+}
+
+#[test]
+fn eliminates_determinate_eval() {
+    let src = r#"
+var r = eval("21 * 2");
+console.log(r);
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.evals_eliminated, 1);
+    assert_eq!(spec.report.evals_remaining, 0);
+    assert_eq!(run_concrete(&spec.program), vec!["42"]);
+}
+
+#[test]
+fn eval_with_variable_declarations_inlines_correctly() {
+    let src = r#"
+eval("var injected = 7;");
+console.log(injected);
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.evals_eliminated, 1);
+    assert_eq!(run_concrete(&spec.program), vec!["7"]);
+}
+
+#[test]
+fn figure4_ivymap_eval_elimination() {
+    // The paper's Figure 4: eval with a string *concatenation* argument —
+    // the case unevalizer cannot handle but determinacy facts can (§5.2).
+    let src = r#"
+ivymap = window.ivymap || {};
+ivymap["pc.sy.banner.tcck."] = function() { console.log("handler tcck"); };
+function showIvyViaJs(locationId) {
+  var _f = undefined;
+  var _fconv = "ivymap['" + locationId + "']";
+  try {
+    _f = eval(_fconv);
+    if (_f != undefined) { _f(); }
+  } catch (e) {}
+}
+showIvyViaJs('pc.sy.banner.tcck.');
+showIvyViaJs('pc.sy.banner.duilian.');
+"#;
+    let (_, spec) = run_spec(src);
+    // Both specialized call contexts eliminate their eval.
+    assert!(spec.report.evals_eliminated >= 2, "{:?}", spec.report);
+    assert_eq!(spec.report.evals_remaining, 1); // the original function survives unspecialized
+    assert!(spec.report.clones >= 2);
+    assert_eq!(run_concrete(&spec.program), vec!["handler tcck"]);
+}
+
+#[test]
+fn indeterminate_eval_reported() {
+    let src = r#"
+var code = __indet("1+1");
+var r = eval(code);
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.evals_eliminated, 0);
+    assert!(spec
+        .report
+        .eval_events
+        .iter()
+        .any(|(_, s)| *s == EvalStatus::IndeterminateArg));
+}
+
+#[test]
+fn uncovered_eval_reported() {
+    let src = r#"
+if (__indet(false)) {
+  // Never runs concretely; counterfactual execution aborts at eval
+  // because it cannot be undone... it actually records a fact. Use an
+  // unreached function instead.
+}
+function never() { eval("1"); }
+var keep = never;
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.evals_eliminated, 0);
+    assert_eq!(spec.report.evals_remaining, 1);
+}
+
+#[test]
+fn clones_functions_per_context() {
+    let src = r#"
+function dispatch(kind) {
+  if (kind === "a") { console.log("A"); } else { console.log("B"); }
+}
+dispatch("a");
+dispatch("b");
+"#;
+    let (_, spec) = run_spec(src);
+    assert_eq!(spec.report.clones, 2);
+    assert_eq!(spec.report.calls_redirected, 2);
+    // Each clone has its branch pruned.
+    assert_eq!(spec.report.branches_pruned, 2);
+    assert_eq!(run_concrete(&spec.program), vec!["A", "B"]);
+}
+
+#[test]
+fn cloning_disabled_by_config() {
+    let src = r#"
+function dispatch(kind) { if (kind === "a") { console.log("A"); } }
+dispatch("a");
+"#;
+    let cfg = SpecConfig {
+        clone_functions: false,
+        ..Default::default()
+    };
+    let (_, spec) = run_spec_cfg(src, cfg);
+    assert_eq!(spec.report.clones, 0);
+    assert_eq!(run_concrete(&spec.program), vec!["A"]);
+}
+
+#[test]
+fn figure3_full_pipeline() {
+    // Accessor definition via dynamic names (§2.2): after specialization
+    // the property writes are static and the program still works.
+    let src = r#"
+function Rectangle(w, h) { this.width = w; this.height = h; }
+Rectangle.prototype.toString = function() {
+  return "[" + this.width + "x" + this.height + "]";
+};
+String.prototype.cap = function() {
+  return this[0].toUpperCase() + this.substr(1);
+};
+function defAccessors(prop) {
+  Rectangle.prototype["get" + prop.cap()] = function() { return this[prop]; };
+  Rectangle.prototype["set" + prop.cap()] = function(v) { this[prop] = v; };
+}
+var props = ["width", "height"];
+for (var i = 0; i < props.length; i++) defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.setWidth(r.getWidth() + 20);
+console.log(r.toString());
+"#;
+    let (_, spec) = run_spec(src);
+    // The loop is unrolled and defAccessors is cloned per iteration with
+    // its dynamic stores staticized.
+    assert_eq!(spec.report.loops_unrolled, 1, "{:?}", spec.report);
+    assert!(spec.report.clones >= 2, "{:?}", spec.report);
+    assert!(spec.report.keys_staticized >= 4, "{:?}", spec.report);
+    assert_eq!(run_concrete(&spec.program), vec!["[40x30]"]);
+}
+
+#[test]
+fn figure3_specialization_makes_pta_precise() {
+    // End-to-end §2.2: baseline PTA is imprecise on the accessor pattern;
+    // PTA over the specialized program is precise.
+    let src = r#"
+function Rectangle(w, h) { this.width = w; this.height = h; }
+function defAccessors(prop) {
+  Rectangle.prototype["get" + prop] = function getter() { return this[prop]; };
+  Rectangle.prototype["set" + prop] = function setter(v) { this[prop] = v; };
+}
+var props = ["Width", "Height"];
+for (var i = 0; i < props.length; i++) defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.getWidth();
+"#;
+    let (h, spec) = run_spec(src);
+    let baseline = mujs_pta::solve(&h.program, &mujs_pta::PtaConfig::default());
+    let specialized = mujs_pta::solve(&spec.program, &mujs_pta::PtaConfig::default());
+    let getter = |prog: &Program| {
+        prog.funcs
+            .iter()
+            .filter(|f| f.name.as_deref() == Some("getter"))
+            .map(|f| f.id)
+            .collect::<Vec<_>>()
+    };
+    let setters = |prog: &Program| {
+        prog.funcs
+            .iter()
+            .filter(|f| f.name.as_deref() == Some("setter"))
+            .map(|f| f.id)
+            .collect::<Vec<_>>()
+    };
+    // Baseline: some call site sees both getter and setter (smeared).
+    let base_smeared = baseline.call_graph().values().any(|callees| {
+        getter(&h.program).iter().any(|g| callees.contains(g))
+            && setters(&h.program).iter().any(|s| callees.contains(s))
+    });
+    assert!(base_smeared, "baseline should be imprecise");
+    // Specialized: no call site mixes getters and setters.
+    let spec_smeared = specialized.call_graph().values().any(|callees| {
+        getter(&spec.program).iter().any(|g| callees.contains(g))
+            && setters(&spec.program).iter().any(|s| callees.contains(s))
+    });
+    assert!(!spec_smeared, "specialized PTA should be precise");
+}
+
+#[test]
+fn specialization_is_idempotent_on_fact_free_programs() {
+    let src = "var x = __indet(1); if (x) { x = 2; }";
+    let (h, spec) = run_spec(src);
+    // Nothing to do: no clones, no pruning (indeterminate), program
+    // equivalent modulo statement ids.
+    assert_eq!(spec.report.clones, 0);
+    assert_eq!(spec.report.branches_pruned, 0);
+    assert_eq!(spec.program.funcs.len(), h.program.funcs.len());
+}
+
+#[test]
+fn figure1_dead_branch_elimination_per_site() {
+    // §2.1: under $(function(){}) the "string" branch is determinately
+    // dead; cloning exposes that.
+    let src = r#"
+function $(selector) {
+  if (typeof selector === "string") { console.log("css"); }
+  else { if (typeof selector === "function") { console.log("ready"); }
+         else { console.log("wrap"); } }
+}
+$(function() {});
+"#;
+    let (_, spec) = run_spec(src);
+    assert!(spec.report.clones >= 1);
+    assert!(spec.report.branches_pruned >= 2, "{:?}", spec.report);
+    assert_eq!(run_concrete(&spec.program), vec!["ready"]);
+}

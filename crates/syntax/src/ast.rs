@@ -1,0 +1,393 @@
+//! Abstract syntax tree for the muJS JavaScript subset.
+//!
+//! The subset covers the dynamic features the paper's analysis targets:
+//! first-class functions and closures, object and array literals, dynamic
+//! property accesses (`o[e]`), `new`/`this`/prototypes, `typeof`, `for-in`,
+//! `try`/`catch`/`throw`, and `eval` (which is an ordinary identifier at this
+//! level and receives its special treatment during lowering).
+
+use crate::span::Span;
+use std::fmt;
+use std::rc::Rc;
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(Rc<str>),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+}
+
+/// A binary operator (strict and loose equality, arithmetic, relational,
+/// bitwise, `in`, and `instanceof`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    UShr,
+    /// `in`
+    In,
+    /// `instanceof`
+    Instanceof,
+}
+
+impl BinOp {
+    /// The operator's source text.
+    pub fn as_str(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Eq => "==",
+            NotEq => "!=",
+            StrictEq => "===",
+            StrictNotEq => "!==",
+            Lt => "<",
+            LtEq => "<=",
+            Gt => ">",
+            GtEq => ">=",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Shl => "<<",
+            Shr => ">>",
+            UShr => ">>>",
+            In => "in",
+            Instanceof => "instanceof",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `+`
+    Pos,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+    /// `typeof`
+    Typeof,
+    /// `void`
+    Void,
+}
+
+impl UnOp {
+    /// The operator's source text.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Pos => "+",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+            UnOp::Typeof => "typeof",
+            UnOp::Void => "void",
+        }
+    }
+}
+
+/// A short-circuiting logical operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogOp {
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// A compound-assignment operator (`None` in [`ExprKind::Assign`] means
+/// plain `=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `%=`
+    Rem,
+    /// `&=`
+    BitAnd,
+    /// `|=`
+    BitOr,
+    /// `^=`
+    BitXor,
+    /// `<<=`
+    Shl,
+    /// `>>=`
+    Shr,
+    /// `>>>=`
+    UShr,
+}
+
+impl AssignOp {
+    /// The underlying binary operator applied by the compound assignment.
+    pub fn bin_op(self) -> BinOp {
+        match self {
+            AssignOp::Add => BinOp::Add,
+            AssignOp::Sub => BinOp::Sub,
+            AssignOp::Mul => BinOp::Mul,
+            AssignOp::Div => BinOp::Div,
+            AssignOp::Rem => BinOp::Rem,
+            AssignOp::BitAnd => BinOp::BitAnd,
+            AssignOp::BitOr => BinOp::BitOr,
+            AssignOp::BitXor => BinOp::BitXor,
+            AssignOp::Shl => BinOp::Shl,
+            AssignOp::Shr => BinOp::Shr,
+            AssignOp::UShr => BinOp::UShr,
+        }
+    }
+}
+
+/// Property key in a member access: static `o.name` or computed `o[e]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberKey {
+    /// `o.name`
+    Static(Rc<str>),
+    /// `o[e]`
+    Computed(Box<Expr>),
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// Its source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Wraps `kind` with `span`.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// The shape of an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// A literal value.
+    Lit(Lit),
+    /// A variable reference.
+    Ident(Rc<str>),
+    /// `this`.
+    This,
+    /// `[e1, e2, ...]`
+    Array(Vec<Expr>),
+    /// `{ k1: v1, ... }`
+    Object(Vec<(Rc<str>, Expr)>),
+    /// `function name?(params) { body }`
+    Function(Rc<Function>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `delete o.p` / `delete o[e]`.
+    Delete(Box<Expr>, MemberKey),
+    /// A strict (non-short-circuiting) binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `&&` / `||` with short-circuit evaluation.
+    Logical(LogOp, Box<Expr>, Box<Expr>),
+    /// Assignment; `None` op means plain `=`.
+    Assign(Option<AssignOp>, Box<Expr>, Box<Expr>),
+    /// `++x`, `x++`, `--x`, `x--`; the `bool` is `true` for prefix.
+    Update(bool, bool, Box<Expr>),
+    /// `c ? t : e`
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `f(args)` — when `f` is a member expression, `this` is bound to the
+    /// receiver.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `new F(args)`
+    New(Box<Expr>, Vec<Expr>),
+    /// `o.p` / `o[e]`
+    Member(Box<Expr>, MemberKey),
+    /// Comma expression `(a, b, c)`.
+    Seq(Vec<Expr>),
+}
+
+/// A function definition (declaration or expression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The function's name, if any (`function f() {}` or a named function
+    /// expression).
+    pub name: Option<Rc<str>>,
+    /// Parameter names.
+    pub params: Vec<Rc<str>>,
+    /// The body's statements.
+    pub body: Vec<Stmt>,
+    /// Span of the whole function text.
+    pub span: Span,
+}
+
+/// One `case`/`default` arm of a `switch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// The guard expression, or `None` for `default`.
+    pub test: Option<Expr>,
+    /// The arm's statements (fall-through is resolved by the parser's
+    /// desugaring into `if` chains at lowering time, so `body` here is the
+    /// raw statement list).
+    pub body: Vec<Stmt>,
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement's shape.
+    pub kind: StmtKind,
+    /// Its source location.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Wraps `kind` with `span`.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// What can initialize the first clause of a `for(;;)` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// `for (var x = e, ...; ...)`
+    Var(Vec<(Rc<str>, Option<Expr>)>),
+    /// `for (e; ...)`
+    Expr(Expr),
+}
+
+/// The shape of a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `var x = e, y, ...;`
+    Var(Vec<(Rc<str>, Option<Expr>)>),
+    /// A function declaration (hoisted within its scope).
+    FunctionDecl(Rc<Function>),
+    /// `if (c) s1 else s2?`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) s`
+    While(Expr, Box<Stmt>),
+    /// `do s while (c);`
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init?; test?; update?) s`
+    For {
+        /// Loop initializer.
+        init: Option<ForInit>,
+        /// Loop condition (absent means `true`).
+        test: Option<Expr>,
+        /// Per-iteration update expression.
+        update: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `for (var? x in e) s`
+    ForIn {
+        /// Whether the loop variable was declared with `var`.
+        decl: bool,
+        /// The loop variable.
+        var: Rc<str>,
+        /// The object whose enumerable properties are iterated.
+        obj: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `throw e;`
+    Throw(Expr),
+    /// `try { .. } catch (x) { .. } finally { .. }`
+    Try {
+        /// The protected block.
+        block: Vec<Stmt>,
+        /// Catch clause: bound variable and handler body.
+        catch: Option<(Rc<str>, Vec<Stmt>)>,
+        /// Finally block.
+        finally: Option<Vec<Stmt>>,
+    },
+    /// `switch (e) { case ..: .. default: .. }`
+    Switch(Expr, Vec<SwitchCase>),
+    /// `{ s* }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A complete parsed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Number of statements at the top level.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether the program has no top-level statements.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+}

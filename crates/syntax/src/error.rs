@@ -1,0 +1,70 @@
+//! Syntax errors shared by the lexer and parser.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while lexing or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyntaxErrorKind {
+    /// A string literal ran to the end of a line or the file.
+    UnterminatedString,
+    /// A `/* ... */` comment ran to the end of the file.
+    UnterminatedComment,
+    /// A numeric literal could not be parsed.
+    MalformedNumber,
+    /// An escape sequence was invalid.
+    InvalidEscape,
+    /// A character outside the subset's alphabet.
+    UnexpectedChar,
+    /// The parser saw a token it cannot use here; carries a description of
+    /// what was expected and what was found.
+    UnexpectedToken {
+        /// Human-readable description of the expected input.
+        expected: String,
+        /// Display of the token actually found.
+        found: String,
+    },
+    /// A feature of full JavaScript that the muJS subset does not support.
+    Unsupported(&'static str),
+    /// The target of an assignment or `++`/`--` is not assignable.
+    InvalidAssignmentTarget,
+}
+
+impl fmt::Display for SyntaxErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntaxErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            SyntaxErrorKind::UnterminatedComment => write!(f, "unterminated block comment"),
+            SyntaxErrorKind::MalformedNumber => write!(f, "malformed number literal"),
+            SyntaxErrorKind::InvalidEscape => write!(f, "invalid escape sequence"),
+            SyntaxErrorKind::UnexpectedChar => write!(f, "unexpected character"),
+            SyntaxErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            SyntaxErrorKind::Unsupported(what) => {
+                write!(f, "unsupported construct: {what}")
+            }
+            SyntaxErrorKind::InvalidAssignmentTarget => {
+                write!(f, "invalid assignment target")
+            }
+        }
+    }
+}
+
+/// A lexing or parsing failure, with the offending source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxError {
+    /// The failure category.
+    pub kind: SyntaxErrorKind,
+    /// Where in the source it occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span)
+    }
+}
+
+impl Error for SyntaxError {}

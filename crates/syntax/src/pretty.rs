@@ -1,0 +1,654 @@
+//! Pretty-printer emitting parseable source from an AST.
+//!
+//! The printer is used for round-trip testing of the parser and for
+//! rendering specialized programs (the output of
+//! `mujs-specialize`) back into readable JavaScript.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+/// let p = mujs_syntax::parse("var x=1+2;")?;
+/// assert_eq!(mujs_syntax::pretty::print_program(&p), "var x = 1 + 2;\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut p = Printer::new();
+    for s in &program.body {
+        p.stmt(s);
+    }
+    p.out
+}
+
+/// Renders a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(e, 0);
+    p.out
+}
+
+/// Renders a single statement.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(s);
+    p.out
+}
+
+/// Formats an `f64` the way JavaScript's `ToString` does for the common
+/// cases (integers without a trailing `.0`, `NaN`, `Infinity`).
+pub fn num_to_str(n: f64) -> String {
+    if n.is_nan() {
+        return "NaN".to_owned();
+    }
+    if n.is_infinite() {
+        return if n > 0.0 { "Infinity" } else { "-Infinity" }.to_owned();
+    }
+    if n == n.trunc() && n.abs() < 1e21 {
+        // Integral values print without a decimal point; -0 prints as "0".
+        if n == 0.0 {
+            return "0".to_owned();
+        }
+        return format!("{}", n as i64);
+    }
+    let s = format!("{n}");
+    s
+}
+
+/// Quotes a string as a double-quoted JS string literal.
+pub fn quote_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\0' => out.push_str("\\0"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\x{:02x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line_start(&mut self) {
+        if !self.out.is_empty() && !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.line_start();
+        self.stmt_inline(s);
+        if !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+    }
+
+    fn stmt_inline(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Expr(e) => {
+                // Parenthesize statements that would otherwise start with
+                // `{` or `function`.
+                let needs_parens = matches!(
+                    e.kind,
+                    ExprKind::Object(_) | ExprKind::Function(_)
+                ) || starts_with_object_or_function(e);
+                if needs_parens {
+                    self.out.push('(');
+                    self.expr(e, 0);
+                    self.out.push_str(");");
+                } else {
+                    self.expr(e, 0);
+                    self.out.push(';');
+                }
+            }
+            StmtKind::Var(decls) => {
+                self.out.push_str("var ");
+                for (i, (name, init)) in decls.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.out.push_str(name);
+                    if let Some(e) = init {
+                        self.out.push_str(" = ");
+                        self.expr(e, 2);
+                    }
+                }
+                self.out.push(';');
+            }
+            StmtKind::FunctionDecl(f) => self.function(f),
+            StmtKind::If(c, t, e) => {
+                self.out.push_str("if (");
+                self.expr(c, 0);
+                self.out.push_str(") ");
+                self.nested_stmt(t);
+                if let Some(e) = e {
+                    self.out.push_str(" else ");
+                    self.nested_stmt(e);
+                }
+            }
+            StmtKind::While(c, body) => {
+                self.out.push_str("while (");
+                self.expr(c, 0);
+                self.out.push_str(") ");
+                self.nested_stmt(body);
+            }
+            StmtKind::DoWhile(body, c) => {
+                self.out.push_str("do ");
+                self.nested_stmt(body);
+                self.out.push_str(" while (");
+                self.expr(c, 0);
+                self.out.push_str(");");
+            }
+            StmtKind::For {
+                init,
+                test,
+                update,
+                body,
+            } => {
+                self.out.push_str("for (");
+                match init {
+                    Some(ForInit::Var(decls)) => {
+                        self.out.push_str("var ");
+                        for (i, (name, e)) in decls.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(", ");
+                            }
+                            self.out.push_str(name);
+                            if let Some(e) = e {
+                                self.out.push_str(" = ");
+                                self.expr(e, 2);
+                            }
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => self.expr(e, 0),
+                    None => {}
+                }
+                self.out.push_str("; ");
+                if let Some(t) = test {
+                    self.expr(t, 0);
+                }
+                self.out.push_str("; ");
+                if let Some(u) = update {
+                    self.expr(u, 0);
+                }
+                self.out.push_str(") ");
+                self.nested_stmt(body);
+            }
+            StmtKind::ForIn {
+                decl,
+                var,
+                obj,
+                body,
+            } => {
+                self.out.push_str("for (");
+                if *decl {
+                    self.out.push_str("var ");
+                }
+                self.out.push_str(var);
+                self.out.push_str(" in ");
+                self.expr(obj, 0);
+                self.out.push_str(") ");
+                self.nested_stmt(body);
+            }
+            StmtKind::Return(arg) => {
+                self.out.push_str("return");
+                if let Some(e) = arg {
+                    self.out.push(' ');
+                    self.expr(e, 0);
+                }
+                self.out.push(';');
+            }
+            StmtKind::Break => self.out.push_str("break;"),
+            StmtKind::Continue => self.out.push_str("continue;"),
+            StmtKind::Throw(e) => {
+                self.out.push_str("throw ");
+                self.expr(e, 0);
+                self.out.push(';');
+            }
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => {
+                self.out.push_str("try ");
+                self.block(block);
+                if let Some((name, body)) = catch {
+                    self.out.push_str(" catch (");
+                    self.out.push_str(name);
+                    self.out.push_str(") ");
+                    self.block(body);
+                }
+                if let Some(body) = finally {
+                    self.out.push_str(" finally ");
+                    self.block(body);
+                }
+            }
+            StmtKind::Switch(disc, cases) => {
+                self.out.push_str("switch (");
+                self.expr(disc, 0);
+                self.out.push_str(") {");
+                self.indent += 1;
+                for case in cases {
+                    self.line_start();
+                    match &case.test {
+                        Some(t) => {
+                            self.out.push_str("case ");
+                            self.expr(t, 0);
+                            self.out.push(':');
+                        }
+                        None => self.out.push_str("default:"),
+                    }
+                    self.indent += 1;
+                    for s in &case.body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line_start();
+                self.out.push('}');
+            }
+            StmtKind::Block(body) => self.block(body),
+            StmtKind::Empty => self.out.push(';'),
+        }
+    }
+
+    fn nested_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Block(body) => self.block(body),
+            _ => {
+                // Wrap non-block bodies in a block to keep dangling-else
+                // unambiguous.
+                self.out.push('{');
+                self.indent += 1;
+                self.stmt(s);
+                self.indent -= 1;
+                self.line_start();
+                self.out.push('}');
+            }
+        }
+    }
+
+    fn block(&mut self, body: &[Stmt]) {
+        if body.is_empty() {
+            self.out.push_str("{}");
+            return;
+        }
+        self.out.push('{');
+        self.indent += 1;
+        for s in body {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line_start();
+        self.out.push('}');
+    }
+
+    fn function(&mut self, f: &Function) {
+        self.out.push_str("function");
+        if let Some(name) = &f.name {
+            self.out.push(' ');
+            self.out.push_str(name);
+        }
+        self.out.push('(');
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(p);
+        }
+        self.out.push_str(") ");
+        self.block(&f.body);
+    }
+
+    /// Prints `e`, parenthesizing if `e`'s precedence is lower than
+    /// `min_prec`. Precedence levels (higher binds tighter):
+    /// 0 comma, 1 assignment, 2 conditional, 3.. binary (matching the
+    /// parser), 14 unary, 15 postfix/call/member.
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        let prec = expr_prec(e);
+        let parens = prec < min_prec;
+        if parens {
+            self.out.push('(');
+        }
+        match &e.kind {
+            ExprKind::Lit(l) => self.lit(l),
+            ExprKind::Ident(name) => self.out.push_str(name),
+            ExprKind::This => self.out.push_str("this"),
+            ExprKind::Array(items) => {
+                self.out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(item, 2);
+                }
+                self.out.push(']');
+            }
+            ExprKind::Object(props) => {
+                if props.is_empty() {
+                    self.out.push_str("{}");
+                } else {
+                    self.out.push_str("{ ");
+                    for (i, (k, v)) in props.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        if is_plain_ident(k) {
+                            self.out.push_str(k);
+                        } else {
+                            self.out.push_str(&quote_str(k));
+                        }
+                        self.out.push_str(": ");
+                        self.expr(v, 2);
+                    }
+                    self.out.push_str(" }");
+                }
+            }
+            ExprKind::Function(f) => self.function(f),
+            ExprKind::Unary(op, arg) => {
+                self.out.push_str(op.as_str());
+                if matches!(op, UnOp::Typeof | UnOp::Void)
+                    || needs_space_between_unary(op, arg)
+                {
+                    self.out.push(' ');
+                }
+                self.expr(arg, 14);
+            }
+            ExprKind::Delete(obj, key) => {
+                self.out.push_str("delete ");
+                self.expr(obj, 15);
+                self.member_key(key);
+            }
+            ExprKind::Binary(op, l, r) => {
+                let p = bin_prec(*op);
+                self.expr(l, p);
+                self.out.push(' ');
+                self.out.push_str(op.as_str());
+                self.out.push(' ');
+                self.expr(r, p + 1);
+            }
+            ExprKind::Logical(op, l, r) => {
+                let p = match op {
+                    LogOp::Or => 3,
+                    LogOp::And => 4,
+                };
+                self.expr(l, p);
+                self.out.push(' ');
+                self.out.push_str(match op {
+                    LogOp::And => "&&",
+                    LogOp::Or => "||",
+                });
+                self.out.push(' ');
+                self.expr(r, p + 1);
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                self.expr(lhs, 14);
+                self.out.push(' ');
+                match op {
+                    None => self.out.push('='),
+                    Some(op) => {
+                        self.out.push_str(op.bin_op().as_str());
+                        self.out.push('=');
+                    }
+                }
+                self.out.push(' ');
+                self.expr(rhs, 1);
+            }
+            ExprKind::Update(prefix, inc, arg) => {
+                let op = if *inc { "++" } else { "--" };
+                if *prefix {
+                    self.out.push_str(op);
+                    self.expr(arg, 14);
+                } else {
+                    self.expr(arg, 15);
+                    self.out.push_str(op);
+                }
+            }
+            ExprKind::Cond(c, t, e2) => {
+                self.expr(c, 3);
+                self.out.push_str(" ? ");
+                self.expr(t, 1);
+                self.out.push_str(" : ");
+                self.expr(e2, 1);
+            }
+            ExprKind::Call(callee, args) => {
+                self.expr(callee, 15);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, 2);
+                }
+                self.out.push(')');
+            }
+            ExprKind::New(callee, args) => {
+                self.out.push_str("new ");
+                self.expr(callee, 15);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, 2);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Member(obj, key) => {
+                self.expr(obj, 15);
+                self.member_key(key);
+            }
+            ExprKind::Seq(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(item, 1);
+                }
+            }
+        }
+        if parens {
+            self.out.push(')');
+        }
+    }
+
+    fn member_key(&mut self, key: &MemberKey) {
+        match key {
+            MemberKey::Static(name) => {
+                self.out.push('.');
+                self.out.push_str(name);
+            }
+            MemberKey::Computed(e) => {
+                self.out.push('[');
+                self.expr(e, 0);
+                self.out.push(']');
+            }
+        }
+    }
+
+    fn lit(&mut self, l: &Lit) {
+        match l {
+            Lit::Num(n) => {
+                if *n < 0.0 || (n.is_sign_negative() && *n == 0.0) {
+                    // Negative literals only arise synthetically; print as a
+                    // parenthesized negation so re-parsing yields Unary(Neg).
+                    let _ = write!(self.out, "(-{})", num_to_str(-n));
+                } else {
+                    self.out.push_str(&num_to_str(*n));
+                }
+            }
+            Lit::Str(s) => self.out.push_str(&quote_str(s)),
+            Lit::Bool(b) => self.out.push_str(if *b { "true" } else { "false" }),
+            Lit::Null => self.out.push_str("null"),
+            Lit::Undefined => self.out.push_str("undefined"),
+        }
+    }
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::Seq(_) => 0,
+        ExprKind::Assign(..) => 1,
+        ExprKind::Cond(..) => 2,
+        ExprKind::Logical(LogOp::Or, ..) => 3,
+        ExprKind::Logical(LogOp::And, ..) => 4,
+        ExprKind::Binary(op, ..) => bin_prec(*op),
+        ExprKind::Unary(..) | ExprKind::Delete(..) | ExprKind::Update(true, ..) => 14,
+        _ => 15,
+    }
+}
+
+/// Binary operator precedence in the printer's scale (comma = 0 .. member = 15).
+fn bin_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        BitOr => 5,
+        BitXor => 6,
+        BitAnd => 7,
+        Eq | NotEq | StrictEq | StrictNotEq => 8,
+        Lt | LtEq | Gt | GtEq | In | Instanceof => 9,
+        Shl | Shr | UShr => 10,
+        Add | Sub => 11,
+        Mul | Div | Rem => 12,
+    }
+}
+
+fn needs_space_between_unary(op: &UnOp, arg: &Expr) -> bool {
+    // Avoid printing `--x` for Neg(Neg(x)) or Neg(Update).
+    match op {
+        UnOp::Neg => matches!(
+            &arg.kind,
+            ExprKind::Unary(UnOp::Neg, _) | ExprKind::Update(true, false, _)
+        ),
+        UnOp::Pos => matches!(
+            &arg.kind,
+            ExprKind::Unary(UnOp::Pos, _) | ExprKind::Update(true, true, _)
+        ),
+        _ => false,
+    }
+}
+
+fn is_plain_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| {
+            c == '_' || c == '$' || c.is_ascii_alphabetic()
+        })
+        && s.chars()
+            .all(|c| c == '_' || c == '$' || c.is_ascii_alphanumeric())
+        && crate::token::Keyword::lookup(s).is_none()
+}
+
+fn starts_with_object_or_function(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Object(_) | ExprKind::Function(_) => true,
+        ExprKind::Binary(_, l, _)
+        | ExprKind::Logical(_, l, _)
+        | ExprKind::Assign(_, l, _) => starts_with_object_or_function(l),
+        ExprKind::Cond(c, _, _) => starts_with_object_or_function(c),
+        ExprKind::Call(c, _) => starts_with_object_or_function(c),
+        ExprKind::Member(o, _) => starts_with_object_or_function(o),
+        ExprKind::Update(false, _, a) => starts_with_object_or_function(a),
+        ExprKind::Seq(items) => items
+            .first()
+            .is_some_and(starts_with_object_or_function),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        let reprinted = print_program(&p2);
+        assert_eq!(printed, reprinted, "print is not a fixpoint for {src:?}");
+    }
+
+    #[test]
+    fn roundtrips_basic_programs() {
+        roundtrip("var x = 1 + 2 * 3;");
+        roundtrip("function f(a, b) { return a < b ? a : b; }");
+        roundtrip("if (x) { f(); } else { g(); }");
+        roundtrip("while (i < 10) { i = i + 1; }");
+        roundtrip("for (var i = 0; i < n; i++) { s += i; }");
+        roundtrip("for (k in o) { f(o[k]); }");
+        roundtrip("try { f(); } catch (e) { g(); } finally { h(); }");
+        roundtrip("var o = { a: 1, \"b c\": [1, 2, 3] };");
+        roundtrip("x = a && b || !c;");
+        roundtrip("switch (x) { case 1: f(); break; default: g(); }");
+        roundtrip("(function() { return 1; })();");
+        roundtrip("delete o.p; delete o[k];");
+        roundtrip("do { f(); } while (x);");
+        roundtrip("throw new Error(\"boom\");");
+    }
+
+    #[test]
+    fn parenthesization_preserves_shape() {
+        let e1 = parse_expr("(1 + 2) * 3").unwrap();
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed).unwrap();
+        assert_eq!(strip_spans_expr(&e1), strip_spans_expr(&e2));
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num_to_str(42.0), "42");
+        assert_eq!(num_to_str(2.5), "2.5");
+        assert_eq!(num_to_str(-0.0), "0");
+        assert_eq!(num_to_str(f64::NAN), "NaN");
+        assert_eq!(num_to_str(f64::INFINITY), "Infinity");
+    }
+
+    #[test]
+    fn string_quoting() {
+        assert_eq!(quote_str("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    // A structural comparison ignoring spans, for round-trip testing.
+    fn strip_spans_expr(e: &Expr) -> String {
+        format!("{:?}", ReSpan(e))
+    }
+
+    struct ReSpan<'a>(&'a Expr);
+    impl std::fmt::Debug for ReSpan<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Print via the pretty printer, which is span-independent.
+            f.write_str(&print_expr(self.0))
+        }
+    }
+}

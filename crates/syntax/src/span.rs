@@ -1,0 +1,162 @@
+//! Source positions and spans.
+//!
+//! Every AST node carries a [`Span`] pointing back into the original source
+//! text. Spans survive lowering into the IR, so determinacy facts can be
+//! reported against source lines, mirroring the `J e K 16→4` notation of the
+//! paper.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The empty span at offset zero, used for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether this span is the synthetic (zero-length at origin) span.
+    pub fn is_synthetic(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column position (both 1-based) resolved from a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A source file together with a precomputed line index.
+///
+/// # Examples
+///
+/// ```
+/// use mujs_syntax::span::{SourceFile, Span};
+/// let sf = SourceFile::new("test.js", "var x = 1;\nvar y = 2;");
+/// assert_eq!(sf.line_col(Span::new(11, 14)).line, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    name: String,
+    text: String,
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Creates a source file and indexes its line starts.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            name: name.into(),
+            text,
+            line_starts,
+        }
+    }
+
+    /// The file name supplied at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Resolves the start of `span` to a 1-based line/column pair.
+    pub fn line_col(&self, span: Span) -> LineCol {
+        let pos = span.start;
+        let line_idx = match self.line_starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: pos - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Returns the source text covered by `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds or not on a char boundary.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.text[span.start as usize..span.end as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let sf = SourceFile::new("t.js", "ab\ncd\nef");
+        assert_eq!(sf.line_col(Span::new(0, 1)), LineCol { line: 1, col: 1 });
+        assert_eq!(sf.line_col(Span::new(3, 4)), LineCol { line: 2, col: 1 });
+        assert_eq!(sf.line_col(Span::new(7, 8)), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn snippet_extracts_text() {
+        let sf = SourceFile::new("t.js", "var x = 42;");
+        assert_eq!(sf.snippet(Span::new(8, 10)), "42");
+    }
+
+    #[test]
+    fn synthetic_span_detected() {
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::new(0, 1).is_synthetic());
+    }
+}

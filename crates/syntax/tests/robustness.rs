@@ -1,0 +1,91 @@
+//! Robustness: the lexer and parser must never panic, whatever the input
+//! — errors are always returned as values.
+
+use mujs_syntax::{lexer::lex, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(src in any::<String>()) {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in any::<String>()) {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_js_like_soup(
+        src in "[a-z(){}\\[\\];,.+*/=<>!&|\"' 0-9\n]{0,120}"
+    ) {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn lexer_spans_cover_input(src in "[a-z +\\-*/();{}]{0,80}") {
+        if let Ok(tokens) = lex(&src) {
+            for t in &tokens {
+                prop_assert!(t.span.start <= t.span.end);
+                prop_assert!((t.span.end as usize) <= src.len());
+            }
+            // Tokens appear in source order.
+            for w in tokens.windows(2) {
+                prop_assert!(w[0].span.start <= w[1].span.start);
+            }
+        }
+    }
+}
+
+#[test]
+fn parser_handles_pathological_nesting() {
+    // Deep expression nesting must not overflow within reason.
+    let mut src = String::from("var x = ");
+    for _ in 0..200 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..200 {
+        src.push(')');
+    }
+    src.push(';');
+    assert!(parse(&src).is_ok());
+}
+
+#[test]
+fn parser_rejects_garbage_with_errors_not_panics() {
+    for src in [
+        "var",
+        "var = 5",
+        "if (",
+        "function (",
+        "o.",
+        "1 +",
+        "{ a: }",
+        "for (;;",
+        "try { }",
+        "switch (x) { foo }",
+        "x ? y",
+        "\"unterminated",
+        "/* unterminated",
+        "0x",
+        "1e",
+        "@",
+        "###",
+    ] {
+        assert!(parse(src).is_err(), "{src:?} should be an error");
+    }
+}
+
+#[test]
+fn deeply_nested_statements_parse() {
+    let mut src = String::new();
+    for i in 0..60 {
+        src.push_str(&format!("if (x{i}) {{ "));
+    }
+    src.push_str("y = 1;");
+    for _ in 0..60 {
+        src.push_str(" }");
+    }
+    assert!(parse(&src).is_ok());
+}

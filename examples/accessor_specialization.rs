@@ -1,0 +1,80 @@
+//! §2.2 end to end: the Figure 3 accessor-definition program is analyzed
+//! dynamically, specialized (loop unrolled, dynamic property accesses made
+//! static, `defAccessors` cloned per iteration context), and fed to the
+//! pointer analysis — which goes from smeared call targets to precise
+//! ones.
+//!
+//! Run with `cargo run --example accessor_specialization`.
+
+use determinacy::{AnalysisConfig, DetHarness};
+use mujs_ir::Program;
+use mujs_pta::{solve, PtaConfig};
+use mujs_specialize::{specialize, SpecConfig};
+
+const FIGURE3: &str = r#"
+function Rectangle(w, h) { this.width = w; this.height = h; }
+Rectangle.prototype.toString = function() {
+  return "[" + this.width + "x" + this.height + "]";
+};
+String.prototype.cap = function() {
+  return this[0].toUpperCase() + this.substr(1);
+};
+function defAccessors(prop) {
+  Rectangle.prototype["get" + prop.cap()] = function getter() { return this[prop]; };
+  Rectangle.prototype["set" + prop.cap()] = function setter(v) { this[prop] = v; };
+}
+var props = ["width", "height"];
+for (var i = 0; i < props.length; i++) defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.setWidth(r.getWidth() + 20);
+alert(r.toString());
+"#;
+
+fn max_callees(prog: &Program, result: &mujs_pta::PtaResult) -> usize {
+    let _ = prog;
+    result.call_graph().values().map(|s| s.len()).max().unwrap_or(0)
+}
+
+fn main() {
+    println!("Figure 3: accessor definition via dynamic property names");
+    println!("=========================================================");
+
+    let mut h = DetHarness::from_src(FIGURE3).expect("figure 3 parses");
+    let mut out = h.analyze(AnalysisConfig::default());
+    println!(
+        "dynamic analysis: {} facts ({} determinate), {} flushes",
+        out.facts.len(),
+        out.facts.det_count(),
+        out.stats.heap_flushes
+    );
+
+    let baseline = solve(&h.program, &PtaConfig::default());
+    println!(
+        "\nbaseline pointer analysis: work={} maxCalleesPerSite={}",
+        baseline.stats.propagations,
+        max_callees(&h.program, &baseline)
+    );
+
+    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    println!(
+        "\nspecializer: {} clones, {} loops unrolled, {} keys made static, {} branches pruned",
+        spec.report.clones,
+        spec.report.loops_unrolled,
+        spec.report.keys_staticized,
+        spec.report.branches_pruned
+    );
+
+    let after = solve(&spec.program, &PtaConfig::default());
+    println!(
+        "specialized pointer analysis: work={} maxCalleesPerSite={}",
+        after.stats.propagations,
+        max_callees(&spec.program, &after)
+    );
+
+    // The specialized program still runs and produces the paper's [40x30].
+    let mut prog = spec.program.clone();
+    let mut interp = mujs_interp::Interp::new(&mut prog, mujs_interp::InterpOptions::default());
+    interp.run().expect("specialized program runs");
+    println!("\nspecialized program output: {:?}", interp.output);
+    assert_eq!(interp.output, vec!["alert: [40x30]"]);
+}

@@ -1,0 +1,180 @@
+//! Integration tests asserting the paper's evaluation results: the Table 1
+//! shape (who completes, with how many heap flushes) and the §5.2
+//! eval-elimination counts (14/24 plain, 20/24 DetDOM).
+
+use determinacy::{AnalysisConfig, AnalysisStatus};
+use mujs_corpus::evalbench::{all, Expected};
+use mujs_corpus::jquery_like;
+use mujs_pta::{PtaConfig, PtaStatus};
+use mujs_specialize::{EvalStatus, SpecConfig};
+
+const PTA_BUDGET: u64 = 150_000;
+
+struct Cell {
+    pta_ok: bool,
+    flushes: u32,
+    capped: bool,
+}
+
+fn run_config(v: &jquery_like::JQueryLike, det_dom: bool, spec: bool) -> Cell {
+    let mut h = determinacy::DetHarness::from_src(&v.src).expect("corpus parses");
+    let out = h.analyze_dom(
+        AnalysisConfig {
+            det_dom,
+            ..Default::default()
+        },
+        v.doc.clone(),
+        &v.plan,
+    );
+    let prog = if spec {
+        let mut ctxs = out.ctxs;
+        mujs_specialize::specialize(&h.program, &out.facts, &mut ctxs, &SpecConfig::default())
+            .program
+    } else {
+        h.program.clone()
+    };
+    let pta = mujs_pta::solve(&prog, &PtaConfig { budget: PTA_BUDGET });
+    Cell {
+        pta_ok: pta.status == PtaStatus::Completed,
+        flushes: out.stats.heap_flushes,
+        capped: out.status == AnalysisStatus::FlushCapReached,
+    }
+}
+
+#[test]
+fn table1_v1_0_shape() {
+    let v = jquery_like::v1_0();
+    let baseline = run_config(&v, false, false);
+    let spec = run_config(&v, false, true);
+    let detdom = run_config(&v, true, true);
+    assert!(!baseline.pta_ok, "1.0 baseline must exceed the budget");
+    assert!(spec.pta_ok, "1.0 Spec must complete");
+    assert_eq!((spec.flushes, spec.capped), (82, false));
+    assert!(detdom.pta_ok);
+    assert_eq!((detdom.flushes, detdom.capped), (2, false));
+}
+
+#[test]
+fn table1_v1_1_shape() {
+    let v = jquery_like::v1_1();
+    let baseline = run_config(&v, false, false);
+    let spec = run_config(&v, false, true);
+    let detdom = run_config(&v, true, true);
+    assert!(!baseline.pta_ok);
+    assert!(!spec.pta_ok, "1.1 Spec without DetDOM must still fail");
+    assert_eq!((spec.flushes, spec.capped), (107, false));
+    assert!(detdom.pta_ok, "1.1 becomes analyzable under DetDOM");
+    assert_eq!((detdom.flushes, detdom.capped), (4, false));
+}
+
+#[test]
+fn table1_v1_2_shape() {
+    let v = jquery_like::v1_2();
+    let baseline = run_config(&v, false, false);
+    let spec = run_config(&v, false, true);
+    let detdom = run_config(&v, true, true);
+    assert!(baseline.pta_ok, "1.2 is trivially analyzable (lazy init)");
+    assert!(spec.pta_ok);
+    assert!(spec.capped, "1.2 plain analysis hits the flush cap (>1000)");
+    assert!(detdom.pta_ok);
+    assert_eq!((detdom.flushes, detdom.capped), (0, false));
+}
+
+#[test]
+fn table1_v1_3_shape() {
+    let v = jquery_like::v1_3();
+    let baseline = run_config(&v, false, false);
+    let spec = run_config(&v, false, true);
+    let detdom = run_config(&v, true, true);
+    assert!(!baseline.pta_ok, "1.3 baseline fails");
+    assert!(!spec.pta_ok, "1.3 Spec fails (handlers defeat the facts)");
+    assert!(spec.capped, "1.3 hits the flush cap");
+    assert!(!detdom.pta_ok, "1.3 fails even under DetDOM");
+    assert!(detdom.capped, "handler-entry flushes ignore DetDOM");
+}
+
+// ----------------------------------------------------------------- §5.2
+
+fn eval_handled(b: &mujs_corpus::evalbench::EvalBenchmark, det_dom: bool) -> bool {
+    let mut h = determinacy::DetHarness::from_src(&b.src).expect("parses");
+    let out = if b.needs_dom {
+        h.analyze_dom(
+            AnalysisConfig {
+                det_dom,
+                ..Default::default()
+            },
+            b.doc(),
+            &b.plan(),
+        )
+    } else {
+        h.analyze(AnalysisConfig {
+            det_dom,
+            ..Default::default()
+        })
+    };
+    let mut ctxs = out.ctxs;
+    let spec =
+        mujs_specialize::specialize(&h.program, &out.facts, &mut ctxs, &SpecConfig::default());
+    let mut per_site: std::collections::HashMap<mujs_ir::StmtId, bool> = Default::default();
+    for (site, st) in &spec.report.eval_events {
+        let ok = matches!(st, EvalStatus::Eliminated | EvalStatus::DeadCode);
+        per_site
+            .entry(*site)
+            .and_modify(|v| *v = *v && ok)
+            .or_insert(ok);
+    }
+    let mut failures = 0usize;
+    for f in &h.program.funcs {
+        mujs_ir::Program::walk_block(&f.body, &mut |s| {
+            if matches!(s.kind, mujs_ir::StmtKind::Eval { .. })
+                && per_site.get(&s.id) != Some(&true)
+            {
+                failures += 1;
+            }
+        });
+    }
+    failures == 0
+}
+
+#[test]
+fn eval_study_counts_match_paper() {
+    let suite = all();
+    let runnable: Vec<_> = suite.iter().filter(|b| b.runnable).collect();
+    assert_eq!(runnable.len(), 24);
+    let mut plain_ok = 0;
+    let mut detdom_ok = 0;
+    for b in &runnable {
+        let p = eval_handled(b, false);
+        let d = eval_handled(b, true);
+        assert_eq!(
+            p,
+            b.expected == Expected::Eliminated,
+            "{}: plain outcome deviates from expected {:?}",
+            b.name,
+            b.expected
+        );
+        assert_eq!(
+            d,
+            b.expected_detdom == Expected::Eliminated,
+            "{}: DetDOM outcome deviates from expected {:?}",
+            b.name,
+            b.expected_detdom
+        );
+        plain_ok += p as usize;
+        detdom_ok += d as usize;
+    }
+    assert_eq!(plain_ok, 14, "paper: 14 of 24 handled by the plain analysis");
+    assert_eq!(detdom_ok, 20, "paper: 20 of 24 handled under DetDOM");
+}
+
+#[test]
+fn eval_study_failure_breakdown() {
+    let suite = all();
+    let runnable: Vec<_> = suite.iter().filter(|b| b.runnable).collect();
+    let count = |e: Expected| runnable.iter().filter(|b| b.expected == e).count();
+    // 1 genuinely indeterminate + 1 DOM-caused at the eval itself (both
+    // reported as indeterminate strings), 4 coverage gaps, 4 loop bounds.
+    assert_eq!(count(Expected::IndeterminateString), 2);
+    assert_eq!(count(Expected::NotCovered), 4);
+    assert_eq!(count(Expected::LoopBound), 4);
+}

@@ -1,0 +1,164 @@
+//! The executable Theorem 1 (§3.3): determinate observations of one
+//! instrumented run predict the corresponding values of *every* concrete
+//! execution, across re-randomized indeterminate inputs.
+//!
+//! Two properties are checked over randomly generated programs:
+//!
+//! 1. **Machine agreement** — with the same seed, the instrumented
+//!    machine's observable behavior (output) equals the concrete
+//!    interpreter's: instrumentation, write-logging and counterfactual
+//!    rollback must be transparent.
+//! 2. **Soundness** — the instrumented run's determinate observations,
+//!    aligned by `(point, context, hit index)`, match the values computed
+//!    by concrete runs under *different* seeds, building the paper's
+//!    address bijection µ incrementally for object values.
+
+use determinacy::modeling::check_soundness;
+use determinacy::{AnalysisConfig, DetHarness};
+use mujs_gen::{generate, GenConfig};
+use mujs_interp::{Harness, InterpOptions};
+use proptest::prelude::*;
+
+struct IRun {
+    obs: Vec<determinacy::DObservation>,
+    ctxs: mujs_interp::ContextTable,
+    output: Vec<String>,
+    status: determinacy::AnalysisStatus,
+}
+
+fn instrumented_run(src: &str, seed: u64) -> IRun {
+    let mut h = DetHarness::from_src(src).expect("generated programs parse");
+    let out = h.analyze(AnalysisConfig {
+        seed,
+        record_observations: true,
+        flush_cap: None,
+        ..Default::default()
+    });
+    IRun {
+        obs: out.observations,
+        ctxs: out.ctxs,
+        output: out.output,
+        status: out.status,
+    }
+}
+
+struct CRun {
+    obs: Vec<mujs_interp::Observation>,
+    ctxs: mujs_interp::ContextTable,
+    output: Vec<String>,
+    ok: bool,
+}
+
+fn concrete_run(src: &str, seed: u64) -> CRun {
+    let mut h = Harness::from_src(src).expect("generated programs parse");
+    let mut interp = mujs_interp::Interp::new(
+        &mut h.program,
+        InterpOptions {
+            seed,
+            record_observations: true,
+            ..Default::default()
+        },
+    );
+    let ok = interp.run().is_ok();
+    CRun {
+        obs: std::mem::take(&mut interp.observations),
+        ctxs: std::mem::take(&mut interp.ctxs),
+        output: std::mem::take(&mut interp.output),
+        ok,
+    }
+}
+
+fn check_program(src: &str, base_seed: u64) {
+    let irun = instrumented_run(src, base_seed);
+    // Property 1: machine agreement on the same seed (only meaningful when
+    // both complete; generated programs can legitimately throw).
+    let same = concrete_run(src, base_seed);
+    if same.ok && irun.status == determinacy::AnalysisStatus::Completed {
+        assert_eq!(
+            irun.output, same.output,
+            "machines diverged on seed {base_seed}:\n{src}"
+        );
+    }
+    let report_same = check_soundness(&irun.obs, &irun.ctxs, &same.obs, &same.ctxs);
+    assert!(
+        report_same.is_sound(),
+        "soundness violated on same seed {base_seed}: {:?}\n{src}",
+        &report_same.violations[..report_same.violations.len().min(3)]
+    );
+    // Property 2: soundness across different seeds (different
+    // Math.random streams = the paper's "any execution").
+    for delta in 1..4u64 {
+        let other = base_seed.wrapping_add(delta.wrapping_mul(0x9E37_79B9));
+        let crun = concrete_run(src, other);
+        let report = check_soundness(&irun.obs, &irun.ctxs, &crun.obs, &crun.ctxs);
+        assert!(
+            report.is_sound(),
+            "soundness violated: instrumented seed {base_seed} vs concrete seed {other}: {:?}\n{src}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+    }
+}
+
+#[test]
+fn soundness_over_fixed_seed_sweep() {
+    let cfg = GenConfig::default();
+    for seed in 0..60u64 {
+        let src = generate(seed, &cfg);
+        check_program(&src, seed.wrapping_mul(811) ^ 0xABCD);
+    }
+}
+
+#[test]
+fn soundness_with_heavy_indeterminacy() {
+    let cfg = GenConfig {
+        top_stmts: 16,
+        indet_pct: 55,
+        ..Default::default()
+    };
+    for seed in 0..40u64 {
+        let src = generate(seed ^ 0xF00D, &cfg);
+        check_program(&src, seed.wrapping_mul(127) ^ 0x1234);
+    }
+}
+
+#[test]
+fn soundness_with_deep_nesting() {
+    let cfg = GenConfig {
+        top_stmts: 10,
+        max_depth: 5,
+        n_funcs: 4,
+        indet_pct: 35,
+    };
+    for seed in 0..30u64 {
+        let src = generate(seed ^ 0xBEEF, &cfg);
+        check_program(&src, seed.wrapping_mul(31) ^ 0x77);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_soundness_random_programs(gen_seed in any::<u64>(), run_seed in any::<u64>()) {
+        let cfg = GenConfig {
+            top_stmts: 10,
+            indet_pct: 30,
+            ..Default::default()
+        };
+        let src = generate(gen_seed, &cfg);
+        check_program(&src, run_seed);
+    }
+
+    #[test]
+    fn prop_parser_roundtrip_on_generated(gen_seed in any::<u64>()) {
+        let src = generate(gen_seed, &GenConfig::default());
+        let ast1 = mujs_syntax::parse(&src).expect("parses");
+        let printed = mujs_syntax::pretty::print_program(&ast1);
+        let ast2 = mujs_syntax::parse(&printed).expect("pretty output parses");
+        let reprinted = mujs_syntax::pretty::print_program(&ast2);
+        prop_assert_eq!(printed, reprinted);
+    }
+}

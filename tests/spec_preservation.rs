@@ -1,0 +1,138 @@
+//! Semantic preservation of the specializer: on the input the facts were
+//! collected from, the specialized program is observationally equivalent
+//! to the original. (Facts are sound, so pruned branches are the ones
+//! every execution takes, unrolled loops have exact trip counts, inlined
+//! evals have the argument they were inlined from, and redirected calls
+//! target behaviorally identical clones.)
+
+use determinacy::{AnalysisConfig, DetHarness};
+use mujs_gen::{generate, GenConfig};
+use mujs_interp::{Interp, InterpOptions};
+use mujs_specialize::{specialize, SpecConfig};
+use proptest::prelude::*;
+
+fn run_concrete(prog: &mujs_ir::Program, seed: u64) -> (Vec<String>, bool) {
+    let mut p = prog.clone();
+    let mut interp = Interp::new(
+        &mut p,
+        InterpOptions {
+            seed,
+            ..Default::default()
+        },
+    );
+    let ok = interp.run().is_ok();
+    (interp.output.clone(), ok)
+}
+
+fn check_preservation(src: &str, seed: u64, cfg: &SpecConfig) {
+    let mut h = DetHarness::from_src(src).expect("parses");
+    let mut out = h.analyze(AnalysisConfig {
+        seed,
+        flush_cap: None,
+        ..Default::default()
+    });
+    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, cfg);
+    let (orig_out, orig_ok) = run_concrete(&h.program, seed);
+    let (spec_out, spec_ok) = run_concrete(&spec.program, seed);
+    assert_eq!(orig_ok, spec_ok, "completion status diverged:\n{src}");
+    assert_eq!(
+        orig_out, spec_out,
+        "specialization changed behavior (report {:?}):\n{src}",
+        spec.report
+    );
+}
+
+#[test]
+fn preservation_over_seed_sweep() {
+    let gen_cfg = GenConfig::default();
+    let spec_cfg = SpecConfig::default();
+    for seed in 0..50u64 {
+        let src = generate(seed ^ 0x0DD5, &gen_cfg);
+        check_preservation(&src, seed.wrapping_mul(2654435761), &spec_cfg);
+    }
+}
+
+#[test]
+fn preservation_with_heavy_indeterminacy() {
+    let gen_cfg = GenConfig {
+        top_stmts: 14,
+        indet_pct: 50,
+        ..Default::default()
+    };
+    let spec_cfg = SpecConfig::default();
+    for seed in 0..35u64 {
+        let src = generate(seed ^ 0xCAFE, &gen_cfg);
+        check_preservation(&src, seed.wrapping_mul(97) ^ 0x33, &spec_cfg);
+    }
+}
+
+#[test]
+fn preservation_per_transformation() {
+    // Each rewrite in isolation preserves behavior.
+    let gen_cfg = GenConfig {
+        top_stmts: 12,
+        indet_pct: 30,
+        ..Default::default()
+    };
+    let configs = [
+        SpecConfig {
+            staticize_keys: false,
+            unroll_loops: false,
+            eliminate_eval: false,
+            clone_functions: false,
+            ..Default::default()
+        },
+        SpecConfig {
+            prune_branches: false,
+            unroll_loops: false,
+            eliminate_eval: false,
+            clone_functions: false,
+            ..Default::default()
+        },
+        SpecConfig {
+            prune_branches: false,
+            staticize_keys: false,
+            eliminate_eval: false,
+            clone_functions: false,
+            ..Default::default()
+        },
+        SpecConfig {
+            prune_branches: false,
+            staticize_keys: false,
+            unroll_loops: false,
+            clone_functions: false,
+            ..Default::default()
+        },
+        SpecConfig {
+            prune_branches: false,
+            staticize_keys: false,
+            unroll_loops: false,
+            eliminate_eval: false,
+            ..Default::default()
+        },
+    ];
+    for (i, cfg) in configs.iter().enumerate() {
+        for seed in 0..12u64 {
+            let src = generate(seed ^ (i as u64) << 8, &gen_cfg);
+            check_preservation(&src, seed.wrapping_mul(13), cfg);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_specialization_preserves_behavior(gen_seed in any::<u64>(), run_seed in any::<u64>()) {
+        let cfg = GenConfig {
+            top_stmts: 10,
+            indet_pct: 30,
+            ..Default::default()
+        };
+        let src = generate(gen_seed, &cfg);
+        check_preservation(&src, run_seed, &SpecConfig::default());
+    }
+}
