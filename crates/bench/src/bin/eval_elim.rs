@@ -17,7 +17,15 @@ fn eliminate(b: &mujs_corpus::evalbench::EvalBenchmark, det_dom: bool) -> (bool,
     };
     let doc = b.doc();
     let plan = b.plan();
-    let (h, mut out) = analyze_page(&b.src, &doc, &plan, cfg);
+    // A benchmark whose analysis fails (parse error, engine panic) counts
+    // as "not handled" rather than killing the study.
+    let (h, mut out) = match analyze_page(&b.src, &doc, &plan, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: {e}", b.name);
+            return (false, 0);
+        }
+    };
     let spec = mujs_specialize::specialize(
         &h.program,
         &out.facts,

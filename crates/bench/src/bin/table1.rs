@@ -17,8 +17,18 @@ fn main() {
         "{:<16} {:<12} {:<16} {:<16}   [PTA work: baseline / spec / detdom]",
         "jQuery-like", "Baseline", "Spec", "Spec+DetDOM"
     );
+    let mut failed = false;
     for v in mujs_corpus::jquery_like::all_versions() {
-        let row = run_table1(&v, budget);
+        // A failing version (engine panic, parse error) degrades to one
+        // reported row instead of aborting the whole table.
+        let row = match run_table1(&v, budget) {
+            Ok(row) => row,
+            Err(e) => {
+                println!("{:<16} {e}", v.version);
+                failed = true;
+                continue;
+            }
+        };
         println!(
             "{:<16} {:<12} {:<16} {:<16}   [{} / {} / {}]",
             row.version,
@@ -36,4 +46,7 @@ fn main() {
     println!("  1.1   ✗   ✗ (107)     ✓ (4)");
     println!("  1.2   ✓   ✓ (>1000)   ✓ (0)");
     println!("  1.3   ✗   ✗ (>1000)   ✗ (>1000)");
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -14,6 +14,6 @@
 pub mod pipeline;
 
 pub use pipeline::{
-    analyze_page, run_table1, spec_pipeline, EvalElimRow, PipelineResult, Table1Row,
-    TABLE1_PTA_BUDGET,
+    analyze_page, run_table1, spec_pipeline, EvalElimRow, PipelineError, PipelineResult,
+    Table1Row, TABLE1_PTA_BUDGET,
 };

@@ -1,14 +1,51 @@
 //! Shared experiment plumbing: dynamic analysis over a page (script +
 //! document + event plan), specialization, and budgeted pointer analysis.
 
-use determinacy::{AnalysisConfig, AnalysisOutcome, AnalysisStatus};
+use determinacy::{
+    supervised_analyze_dom, AnalysisConfig, AnalysisOutcome, AnalysisStatus, RunFailure, RunHooks,
+};
 use mujs_corpus::jquery_like::JQueryLike;
 use mujs_dom::document::Document;
 use mujs_dom::events::EventPlan;
 use mujs_ir::Program;
 use mujs_pta::{PtaConfig, PtaStatus};
 use mujs_specialize::{SpecConfig, SpecReport};
+use mujs_syntax::SyntaxError;
 use std::time::{Duration, Instant};
+
+/// Why a pipeline run failed: the page's script did not parse, or the
+/// analysis engine failed (panics are isolated by the run supervisor and
+/// surface as [`RunFailure`] instead of aborting the experiment binary).
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The corpus program did not parse.
+    Syntax(SyntaxError),
+    /// The supervised analysis run failed.
+    Analysis(RunFailure),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Syntax(e) => write!(f, "parse failed: {e}"),
+            PipelineError::Analysis(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SyntaxError> for PipelineError {
+    fn from(e: SyntaxError) -> Self {
+        PipelineError::Syntax(e)
+    }
+}
+
+impl From<RunFailure> for PipelineError {
+    fn from(e: RunFailure) -> Self {
+        PipelineError::Analysis(e)
+    }
+}
 
 /// The deterministic stand-in for the paper's 10-minute timeout: a
 /// propagation-work budget that separates the corpus's tractable and
@@ -32,21 +69,30 @@ pub struct PipelineResult {
     pub pta_time: Duration,
 }
 
-/// Runs the instrumented analysis over a page.
+/// Runs the instrumented analysis over a page under the run supervisor:
+/// parse errors and engine panics come back as [`PipelineError`] values.
+///
+/// # Errors
+///
+/// [`PipelineError::Syntax`] for malformed input,
+/// [`PipelineError::Analysis`] when the supervised run fails.
 pub fn analyze_page(
     src: &str,
     doc: &Document,
     plan: &EventPlan,
     cfg: AnalysisConfig,
-) -> (determinacy::driver::DetHarness, AnalysisOutcome) {
-    let mut h =
-        determinacy::driver::DetHarness::from_src(src).expect("corpus program parses");
-    let out = h.analyze_dom(cfg, doc.clone(), plan);
-    (h, out)
+) -> Result<(determinacy::driver::DetHarness, AnalysisOutcome), PipelineError> {
+    let mut h = determinacy::driver::DetHarness::from_src(src)?;
+    let out = supervised_analyze_dom(&mut h, cfg, doc.clone(), plan, &RunHooks::supervised())?;
+    Ok((h, out))
 }
 
 /// Full Spec pipeline: instrumented run → specializer → budgeted PTA.
 /// With `spec: false` the specializer is skipped (Baseline).
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from [`analyze_page`].
 pub fn spec_pipeline(
     src: &str,
     doc: &Document,
@@ -54,12 +100,12 @@ pub fn spec_pipeline(
     det_dom: bool,
     spec: bool,
     pta_budget: u64,
-) -> PipelineResult {
+) -> Result<PipelineResult, PipelineError> {
     let cfg = AnalysisConfig {
         det_dom,
         ..Default::default()
     };
-    let (h, mut analysis) = analyze_page(src, doc, plan, cfg);
+    let (h, mut analysis) = analyze_page(src, doc, plan, cfg)?;
     let (pta_program, spec_report) = if spec {
         let s = mujs_specialize::specialize(
             &h.program,
@@ -74,14 +120,14 @@ pub fn spec_pipeline(
     let t0 = Instant::now();
     let pta = mujs_pta::solve(&pta_program, &PtaConfig { budget: pta_budget });
     let pta_time = t0.elapsed();
-    PipelineResult {
+    Ok(PipelineResult {
         analysis,
         spec_report,
         pta_program,
         pta_status: pta.status,
         pta_work: pta.stats.propagations,
         pta_time,
-    }
+    })
 }
 
 /// One Table 1 row.
@@ -129,11 +175,15 @@ impl Table1Row {
 }
 
 /// Runs the full Table 1 experiment for one corpus version.
-pub fn run_table1(v: &JQueryLike, pta_budget: u64) -> Table1Row {
-    let baseline = spec_pipeline(&v.src, &v.doc, &v.plan, false, false, pta_budget);
-    let spec = spec_pipeline(&v.src, &v.doc, &v.plan, false, true, pta_budget);
-    let detdom = spec_pipeline(&v.src, &v.doc, &v.plan, true, true, pta_budget);
-    Table1Row {
+///
+/// # Errors
+///
+/// Propagates the first [`PipelineError`] from the three configurations.
+pub fn run_table1(v: &JQueryLike, pta_budget: u64) -> Result<Table1Row, PipelineError> {
+    let baseline = spec_pipeline(&v.src, &v.doc, &v.plan, false, false, pta_budget)?;
+    let spec = spec_pipeline(&v.src, &v.doc, &v.plan, false, true, pta_budget)?;
+    let detdom = spec_pipeline(&v.src, &v.doc, &v.plan, true, true, pta_budget)?;
+    Ok(Table1Row {
         version: v.version,
         baseline_ok: baseline.pta_status == PtaStatus::Completed,
         baseline_work: baseline.pta_work,
@@ -145,7 +195,7 @@ pub fn run_table1(v: &JQueryLike, pta_budget: u64) -> Table1Row {
         detdom_work: detdom.pta_work,
         detdom_flushes: detdom.analysis.stats.heap_flushes,
         detdom_capped: detdom.analysis.status == AnalysisStatus::FlushCapReached,
-    }
+    })
 }
 
 /// One row of the §5.2 eval study.
@@ -169,7 +219,7 @@ mod tests {
     fn pipeline_smoke_on_lazy_version() {
         // jQuery-like 1.2 is the cheap one; exercise all three configs.
         let v = mujs_corpus::jquery_like::v1_2();
-        let row = run_table1(&v, TABLE1_PTA_BUDGET);
+        let row = run_table1(&v, TABLE1_PTA_BUDGET).expect("pipeline runs");
         assert!(row.baseline_ok && row.spec_ok && row.detdom_ok);
         assert!(row.spec_capped, "1.2 plain hits the flush cap");
         assert_eq!(row.detdom_flushes, 0);

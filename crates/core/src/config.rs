@@ -35,6 +35,18 @@ pub struct AnalysisConfig {
     pub record_observations: bool,
     /// Cap on recorded observations.
     pub max_observations: usize,
+    /// Wall-clock budget for the run in milliseconds. When it elapses the
+    /// machine stops cooperatively with [`AnalysisStatus::Deadline`],
+    /// keeping the sound fact prefix. `None` disables the deadline.
+    pub deadline_ms: Option<u64>,
+    /// Budget on live heap cells (objects plus property slots). Exceeding
+    /// it stops the run with [`AnalysisStatus::MemLimit`], keeping the
+    /// sound fact prefix. `None` disables the budget.
+    pub mem_cell_budget: Option<u64>,
+    /// How many statements execute between deadline/cancellation polls.
+    /// Values are clamped to at least 1. Small values tighten deadline
+    /// precision at a small per-statement cost.
+    pub poll_interval: u64,
 }
 
 impl Default for AnalysisConfig {
@@ -51,6 +63,9 @@ impl Default for AnalysisConfig {
             max_facts: 0,
             record_observations: false,
             max_observations: 2_000_000,
+            deadline_ms: None,
+            mem_cell_budget: None,
+            poll_interval: 1024,
         }
     }
 }
@@ -67,6 +82,15 @@ pub enum AnalysisStatus {
     /// The flush cap fired and the analysis stopped early (facts so far
     /// remain sound).
     FlushCapReached,
+    /// The wall-clock deadline elapsed; the run stopped cooperatively at a
+    /// statement boundary (facts so far remain sound).
+    Deadline,
+    /// The run was cancelled from outside through a
+    /// [`crate::supervisor::CancelToken`] (facts so far remain sound).
+    Cancelled,
+    /// The live heap-cell budget was exhausted (facts so far remain
+    /// sound).
+    MemLimit,
 }
 
 /// Aggregate statistics of one analysis run.

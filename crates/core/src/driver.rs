@@ -4,6 +4,7 @@
 use crate::config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
 use crate::facts::FactDb;
 use crate::machine::{DMachine, DObservation};
+use crate::supervisor::RunHooks;
 use mujs_dom::document::Document;
 use mujs_dom::events::EventPlan;
 use mujs_interp::context::ContextTable;
@@ -66,7 +67,14 @@ impl DetHarness {
 
     /// Runs the instrumented machine without a DOM.
     pub fn analyze(&mut self, cfg: AnalysisConfig) -> AnalysisOutcome {
+        self.analyze_with(cfg, &RunHooks::default())
+    }
+
+    /// [`DetHarness::analyze`] with supervision hooks (cancellation,
+    /// progress reporting, fault injection) installed on the machine.
+    pub fn analyze_with(&mut self, cfg: AnalysisConfig, hooks: &RunHooks) -> AnalysisOutcome {
         let mut m = DMachine::new(&mut self.program, cfg);
+        m.install_hooks(hooks);
         let status = m.run();
         finish(m, status)
     }
@@ -78,7 +86,19 @@ impl DetHarness {
         doc: Document,
         plan: &EventPlan,
     ) -> AnalysisOutcome {
+        self.analyze_dom_with(cfg, doc, plan, &RunHooks::default())
+    }
+
+    /// [`DetHarness::analyze_dom`] with supervision hooks installed.
+    pub fn analyze_dom_with(
+        &mut self,
+        cfg: AnalysisConfig,
+        doc: Document,
+        plan: &EventPlan,
+        hooks: &RunHooks,
+    ) -> AnalysisOutcome {
         let mut m = DMachine::new(&mut self.program, cfg);
+        m.install_hooks(hooks);
         m.install_dom(doc);
         let mut status = m.run();
         if status == AnalysisStatus::Completed {

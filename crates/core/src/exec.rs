@@ -229,6 +229,15 @@ impl DMachine<'_> {
         if self.steps > self.cfg.max_steps {
             return Err(DErr::Stop(AnalysisStatus::StepLimit));
         }
+        if self.steps.is_multiple_of(self.cfg.poll_interval.max(1)) {
+            self.poll_budgets()?;
+        }
+        // Under fault injection, poll every statement so injected faults
+        // surface at a deterministic point regardless of poll_interval.
+        #[cfg(feature = "fault-inject")]
+        if self.faults.is_some() {
+            self.poll_budgets()?;
+        }
         if self.cf_depth > 0 {
             self.cf_steps += 1;
             if self.cf_steps > self.cfg.cf_step_budget {
@@ -782,6 +791,12 @@ impl DMachine<'_> {
         if !self.cfg.counterfactual || self.cf_depth >= self.cfg.cf_depth_k {
             return self.cntr_abort(frame, blocks);
         }
+        // Injected ĈNTRABORT storm: every counterfactual takes the
+        // abort-and-undo path, exercising log restoration under load.
+        #[cfg(feature = "fault-inject")]
+        if self.faults.as_ref().is_some_and(|f| f.plan.cf_abort_storm) {
+            return self.cntr_abort(frame, blocks);
+        }
         self.stats.counterfactuals += 1;
         let occ_snapshot = frame.occurrences.clone();
         // The RNG stream and clock are machine state too: hypothetical
@@ -1085,10 +1100,7 @@ impl DMachine<'_> {
             ObjClass::Function { func, env } => {
                 self.call_function_d(func, env, Some(*fid), this, args, ctx)
             }
-            ObjClass::Native(nid) => {
-                let f = self.natives[nid.0 as usize].1;
-                f(self, this, args)
-            }
+            ObjClass::Native(nid) => self.call_native(nid, this, args),
             _ => Err(self.throw_error(
                 "TypeError",
                 "value is not a function",
@@ -1109,6 +1121,34 @@ impl DMachine<'_> {
             }
             e => e,
         }
+    }
+
+    /// Dispatches one native call — the single funnel for every native
+    /// model invocation, and therefore the injection point for native
+    /// faults under the `fault-inject` feature.
+    pub(crate) fn call_native(
+        &mut self,
+        nid: mujs_interp::NativeId,
+        this: DValue,
+        args: &[DValue],
+    ) -> Result<DValue, DErr> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(fs) = self.faults.as_mut() {
+            fs.native_calls += 1;
+            let n = fs.native_calls;
+            if fs.plan.native_panic_at == Some(n) {
+                panic!("injected native fault: panic at native call #{n}");
+            }
+            if fs.plan.native_error_at == Some(n) {
+                return Err(self.throw_error(
+                    "Error",
+                    "injected native failure",
+                    false,
+                ));
+            }
+        }
+        let f = self.natives[nid.0 as usize].1;
+        f(self, this, args)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1234,8 +1274,7 @@ impl DMachine<'_> {
             }
             ObjClass::Native(nid) => {
                 let this_obj = self.alloc(ObjClass::Plain, Some(self.protos.object), Det::D);
-                let f = self.natives[nid.0 as usize].1;
-                let r = f(self, DValue::det(Value::Object(this_obj)), args)?;
+                let r = self.call_native(nid, DValue::det(Value::Object(this_obj)), args)?;
                 Ok(match r.v {
                     Value::Object(_) => r,
                     _ => DValue::det(Value::Object(this_obj)),

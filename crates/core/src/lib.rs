@@ -21,7 +21,11 @@
 //!   (unsound) `DetDOM` assumption of §5.1 ([`natives`], [`dom_models`]);
 //! * a fact database with full-call-stack contexts and per-activation
 //!   occurrence indices — the paper's `24₀→15` notation ([`facts`]);
-//! * an executable soundness harness for Theorem 1 ([`modeling`]).
+//! * an executable soundness harness for Theorem 1 ([`modeling`]);
+//! * a fault-tolerant run supervisor — panic isolation, cooperative
+//!   deadlines/cancellation, heap-cell budgets, and (behind the
+//!   `fault-inject` feature) deterministic fault injection
+//!   ([`supervisor`]).
 //!
 //! # Examples
 //!
@@ -47,9 +51,15 @@ pub mod machine;
 pub mod modeling;
 pub mod multirun;
 pub mod natives;
+pub mod supervisor;
 
 pub use config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
 pub use det::{DValue, Det, FactValue, SlotAnn};
 pub use driver::{analyze_src, AnalysisOutcome, DetHarness};
 pub use facts::{Fact, FactDb, FactKind, TripFact};
 pub use machine::{DErr, DFlow, DMachine, DObservation};
+#[cfg(feature = "fault-inject")]
+pub use supervisor::FaultPlan;
+pub use supervisor::{
+    supervised_analyze, supervised_analyze_dom, CancelToken, RunFailure, RunHooks,
+};

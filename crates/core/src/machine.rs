@@ -8,6 +8,7 @@
 use crate::config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
 use crate::det::{Det, DValue, SlotAnn};
 use crate::facts::FactDb;
+use crate::supervisor::{CancelToken, RunHooks};
 use mujs_dom::document::Document;
 use mujs_dom::events::EventRegistry;
 use mujs_interp::context::{ContextTable, CtxId};
@@ -234,6 +235,28 @@ pub struct DMachine<'p> {
     /// counterfactual hits).
     pub observations: Vec<DObservation>,
     pub(crate) setup_mode: bool,
+    /// Wall-clock point after which the run stops with
+    /// [`AnalysisStatus::Deadline`], from `cfg.deadline_ms` (measured from
+    /// machine construction, so stdlib setup counts toward the budget).
+    pub(crate) deadline: Option<std::time::Instant>,
+    /// External cancellation, polled at statement boundaries.
+    pub(crate) cancel: Option<CancelToken>,
+    /// Live statement counter shared with the supervisor; written at every
+    /// poll so it stays meaningful even if the machine later panics.
+    pub(crate) progress: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    /// Cumulative heap cells allocated: objects plus newly created
+    /// property slots. Monotone (slot deletes and counterfactual undos do
+    /// not decrement), so `cfg.mem_cell_budget` bounds total allocation
+    /// work rather than instantaneous residency — which is what keeps a
+    /// runaway allocation loop from exhausting the host.
+    pub(crate) cells_allocated: u64,
+    /// Fault-injection state (testing only).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) faults: Option<crate::supervisor::FaultState>,
+    /// Set by the injected allocation fault; the next poll reports
+    /// [`AnalysisStatus::MemLimit`].
+    #[cfg(feature = "fault-inject")]
+    pub(crate) forced_memfail: bool,
 }
 
 impl<'p> DMachine<'p> {
@@ -260,6 +283,9 @@ impl<'p> DMachine<'p> {
         let error = alloc(ObjClass::Plain, Some(object));
         let global = alloc(ObjClass::Plain, Some(object));
         let max_facts = cfg.max_facts;
+        let deadline = cfg
+            .deadline_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let mut m = DMachine {
             prog,
             heap,
@@ -299,11 +325,61 @@ impl<'p> DMachine<'p> {
             facts: FactDb::new(max_facts),
             observations: Vec::new(),
             setup_mode: true,
+            deadline,
+            cancel: None,
+            progress: None,
+            cells_allocated: 0,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+            #[cfg(feature = "fault-inject")]
+            forced_memfail: false,
         };
         crate::natives::install_models(&mut m);
         m.setup_mode = false;
         m.refresh_closure_writes();
         m
+    }
+
+    /// Installs supervision hooks (cancellation, progress, fault plan).
+    /// Call before [`DMachine::run`]; the drivers do this automatically.
+    pub fn install_hooks(&mut self, hooks: &RunHooks) {
+        self.cancel = hooks.cancel.clone();
+        self.progress = hooks.progress.clone();
+        #[cfg(feature = "fault-inject")]
+        {
+            self.faults = hooks
+                .faults
+                .clone()
+                .map(crate::supervisor::FaultState::new);
+        }
+    }
+
+    /// Checks the cooperative stop conditions — cancellation, wall-clock
+    /// deadline, heap-cell budget — and publishes progress. Called from
+    /// the step loop every `cfg.poll_interval` statements; each stop
+    /// reason preserves the sound fact prefix exactly like the flush cap.
+    pub(crate) fn poll_budgets(&mut self) -> Result<(), DErr> {
+        if let Some(p) = &self.progress {
+            p.store(self.steps, std::sync::atomic::Ordering::Relaxed);
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(DErr::Stop(AnalysisStatus::Cancelled));
+        }
+        if let Some(dl) = self.deadline {
+            if std::time::Instant::now() >= dl {
+                return Err(DErr::Stop(AnalysisStatus::Deadline));
+            }
+        }
+        let over_budget = self
+            .cfg
+            .mem_cell_budget
+            .is_some_and(|b| self.cells_allocated > b);
+        #[cfg(feature = "fault-inject")]
+        let over_budget = over_budget || self.forced_memfail;
+        if over_budget {
+            return Err(DErr::Stop(AnalysisStatus::MemLimit));
+        }
+        Ok(())
     }
 
     /// Recomputes the closure-written-variable set; must be called after
@@ -359,6 +435,14 @@ impl<'p> DMachine<'p> {
 
     /// Allocates an object; its record is closed as of the current epoch.
     pub fn alloc(&mut self, class: ObjClass, proto: Option<ObjId>, proto_det: Det) -> ObjId {
+        self.cells_allocated += 1;
+        #[cfg(feature = "fault-inject")]
+        if let Some(fs) = self.faults.as_mut() {
+            fs.allocs += 1;
+            if fs.plan.alloc_fail_at == Some(fs.allocs) {
+                self.forced_memfail = true;
+            }
+        }
         let id = ObjId(self.heap.len() as u32);
         self.heap.push(Object::new(class, proto));
         self.extras.push(ObjExtra {
@@ -470,6 +554,9 @@ impl<'p> DMachine<'p> {
             .props
             .insert(key.clone(), Slot { value: dv.v, ann })
             .map(|s| (s.value, s.ann));
+        if old.is_none() {
+            self.cells_allocated += 1;
+        }
         if let Some(top) = self.logs.last_mut() {
             top.entries.push(LogEntry::Prop { obj, key, old });
         }

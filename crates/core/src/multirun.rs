@@ -21,6 +21,9 @@
 use crate::config::AnalysisConfig;
 use crate::driver::{AnalysisOutcome, DetHarness};
 use crate::facts::FactDb;
+use crate::supervisor::{
+    supervised_analyze, supervised_analyze_dom, RunFailure, RunHooks,
+};
 use mujs_dom::document::Document;
 use mujs_dom::events::EventPlan;
 use mujs_interp::context::{ContextTable, CtxId};
@@ -36,8 +39,14 @@ pub struct MultiRunOutcome {
     /// run's interned ids are translated through their frame chains
     /// (context ids are per-run interning artifacts).
     pub ctxs: ContextTable,
-    /// Per-run outcomes, for inspection.
+    /// Per-run outcomes, for inspection. Only successful runs appear
+    /// here; failed seeds are in [`MultiRunOutcome::failures`].
     pub runs: Vec<AnalysisOutcome>,
+    /// Runs that died (engine panic): each carries the seed and how far
+    /// it got. A failed seed contributes no facts, but the surviving
+    /// seeds still combine — per-seed isolation is what makes large
+    /// multi-run batches practical on untrusted inputs.
+    pub failures: Vec<RunFailure>,
     /// Determinate-vs-determinate conflicts seen while combining; nonzero
     /// indicates an analysis bug (sound facts cannot disagree).
     pub conflicts: u64,
@@ -66,6 +75,12 @@ pub fn analyze_many(
 }
 
 /// [`analyze_many`] with a DOM page and event plan.
+///
+/// Every per-seed run executes under the supervisor: a run that panics is
+/// recorded as a [`RunFailure`] in [`MultiRunOutcome::failures`] and the
+/// remaining seeds still run and combine. Deadline/memory/step stops are
+/// not failures — those runs end with their partial (still sound) facts,
+/// which combine normally.
 pub fn analyze_many_with(
     h: &mut DetHarness,
     seeds: &[u64],
@@ -73,23 +88,45 @@ pub fn analyze_many_with(
     doc: Option<&Document>,
     plan: &EventPlan,
 ) -> MultiRunOutcome {
+    analyze_many_hooked(h, seeds, base_cfg, doc, plan, &RunHooks::supervised())
+}
+
+/// [`analyze_many_with`] using caller-provided supervision hooks — e.g. a
+/// shared [`crate::supervisor::CancelToken`] so a UI can stop the whole
+/// batch, or a fault plan in crash-safety tests.
+pub fn analyze_many_hooked(
+    h: &mut DetHarness,
+    seeds: &[u64],
+    base_cfg: AnalysisConfig,
+    doc: Option<&Document>,
+    plan: &EventPlan,
+    hooks: &RunHooks,
+) -> MultiRunOutcome {
     let mut combined = FactDb::new(base_cfg.max_facts);
     let mut master = ContextTable::new();
     let mut runs = Vec::with_capacity(seeds.len());
+    let mut failures = Vec::new();
     let mut conflicts = 0;
     for &seed in seeds {
         let cfg = AnalysisConfig { seed, ..base_cfg.clone() };
-        let out = match doc {
-            Some(d) => h.analyze_dom(cfg, d.clone(), plan),
-            None => h.analyze(cfg),
+        let r = match doc {
+            Some(d) => supervised_analyze_dom(h, cfg, d.clone(), plan, hooks),
+            None => supervised_analyze(h, cfg, hooks),
         };
-        conflicts += combined.absorb_reinterned(&out.facts, &out.ctxs, &mut master);
-        runs.push(out);
+        match r {
+            Ok(out) => {
+                conflicts +=
+                    combined.absorb_reinterned(&out.facts, &out.ctxs, &mut master);
+                runs.push(out);
+            }
+            Err(failure) => failures.push(failure),
+        }
     }
     MultiRunOutcome {
         facts: combined,
         ctxs: master,
         runs,
+        failures,
         conflicts,
     }
 }

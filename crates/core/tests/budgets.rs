@@ -1,0 +1,152 @@
+//! Budget-exhaustion behavior: every early-stop path — step limit, flush
+//! cap, wall-clock deadline, memory budget, cancellation — must end the
+//! run with the matching [`AnalysisStatus`] while keeping the facts
+//! collected before the stop sound (they combine conflict-free with a
+//! full run of the same program).
+
+use determinacy::driver::{AnalysisOutcome, DetHarness};
+use determinacy::{
+    supervised_analyze, AnalysisConfig, AnalysisStatus, FactDb, RunHooks,
+};
+use mujs_interp::context::ContextTable;
+
+/// A program with a fact-producing straight-line prefix followed by a
+/// long, allocation-heavy loop the budgets can interrupt.
+const PREFIX_THEN_LOOP: &str = r#"
+var early = 2 + 3;
+var tag = "prefix";
+for (var i = 0; i < 100000; i++) {
+    var o = {};
+    o.p = i;
+}
+var after = early + 1;
+"#;
+
+fn analyze(src: &str, cfg: AnalysisConfig) -> AnalysisOutcome {
+    let mut h = DetHarness::from_src(src).expect("test program parses");
+    h.analyze(cfg)
+}
+
+/// Absorbs all outcomes into one database, returning the number of
+/// determinate-vs-determinate conflicts (sound runs must produce zero).
+fn combine(outs: &[&AnalysisOutcome]) -> u64 {
+    let mut db = FactDb::new(0);
+    let mut master = ContextTable::new();
+    let mut conflicts = 0;
+    for o in outs {
+        conflicts += db.absorb_reinterned(&o.facts, &o.ctxs, &mut master);
+    }
+    conflicts
+}
+
+/// The truncated run stopped with `expected` status, collected a
+/// non-empty fact prefix, and that prefix agrees with the full run.
+fn assert_sound_prefix(truncated: &AnalysisOutcome, full: &AnalysisOutcome, expected: AnalysisStatus) {
+    assert_eq!(truncated.status, expected);
+    assert!(
+        !truncated.facts.is_empty(),
+        "the {expected:?} stop should keep the prefix facts"
+    );
+    assert_eq!(full.status, AnalysisStatus::Completed);
+    assert_eq!(
+        combine(&[truncated, full]),
+        0,
+        "prefix facts must not conflict with the full run"
+    );
+}
+
+#[test]
+fn step_limit_preserves_sound_prefix() {
+    let cut = analyze(
+        PREFIX_THEN_LOOP,
+        AnalysisConfig {
+            max_steps: 200,
+            ..Default::default()
+        },
+    );
+    let full = analyze(PREFIX_THEN_LOOP, AnalysisConfig::default());
+    assert_sound_prefix(&cut, &full, AnalysisStatus::StepLimit);
+}
+
+#[test]
+fn flush_cap_preserves_sound_prefix() {
+    // `__opaque()` forces heap flushes; a tiny cap stops the run early.
+    let src = r#"
+var early = 2 + 3;
+for (var i = 0; i < 100; i++) { __opaque(); }
+var after = 1;
+"#;
+    let cut = analyze(
+        src,
+        AnalysisConfig {
+            flush_cap: Some(5),
+            ..Default::default()
+        },
+    );
+    let full = analyze(src, AnalysisConfig::default());
+    assert_sound_prefix(&cut, &full, AnalysisStatus::FlushCapReached);
+}
+
+#[test]
+fn tight_deadline_returns_deadline_not_hang() {
+    // An already-elapsed deadline: the machine must stop at the first
+    // poll (after `poll_interval` statements, so the prefix still runs)
+    // instead of hanging or panicking.
+    let cut = analyze(
+        PREFIX_THEN_LOOP,
+        AnalysisConfig {
+            deadline_ms: Some(0),
+            poll_interval: 64,
+            ..Default::default()
+        },
+    );
+    let full = analyze(PREFIX_THEN_LOOP, AnalysisConfig::default());
+    assert_sound_prefix(&cut, &full, AnalysisStatus::Deadline);
+}
+
+#[test]
+fn mem_cell_budget_preserves_sound_prefix() {
+    let cut = analyze(
+        PREFIX_THEN_LOOP,
+        AnalysisConfig {
+            mem_cell_budget: Some(50),
+            poll_interval: 8,
+            ..Default::default()
+        },
+    );
+    let full = analyze(PREFIX_THEN_LOOP, AnalysisConfig::default());
+    assert_sound_prefix(&cut, &full, AnalysisStatus::MemLimit);
+}
+
+#[test]
+fn cancellation_stops_with_sound_prefix() {
+    let hooks = RunHooks::supervised();
+    hooks.cancel.as_ref().expect("supervised hooks").cancel();
+    let mut h = DetHarness::from_src(PREFIX_THEN_LOOP).expect("test program parses");
+    let cut = supervised_analyze(
+        &mut h,
+        AnalysisConfig {
+            poll_interval: 64,
+            ..Default::default()
+        },
+        &hooks,
+    )
+    .expect("cancellation is a stop, not a failure");
+    let full = analyze(PREFIX_THEN_LOOP, AnalysisConfig::default());
+    assert_sound_prefix(&cut, &full, AnalysisStatus::Cancelled);
+}
+
+#[test]
+fn deadline_zero_poll_every_statement_still_terminates() {
+    // The most aggressive polling configuration must not break the run
+    // loop's error handling.
+    let out = analyze(
+        PREFIX_THEN_LOOP,
+        AnalysisConfig {
+            deadline_ms: Some(0),
+            poll_interval: 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out.status, AnalysisStatus::Deadline);
+}

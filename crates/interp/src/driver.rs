@@ -24,6 +24,8 @@ pub struct Outcome {
 
 impl Outcome {
     /// Panics with diagnostics unless the run completed normally.
+    /// Test-assertion helper; production callers should use
+    /// [`Outcome::into_result`] instead.
     ///
     /// # Panics
     ///
@@ -33,6 +35,56 @@ impl Outcome {
             panic!("run failed: {e}; output so far: {:?}", self.output);
         }
         self
+    }
+
+    /// Converts the outcome into a `Result`, pairing a failure with the
+    /// output captured before it — diagnostics without panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`DriveError::Run`] when the run failed.
+    pub fn into_result(self) -> Result<Vec<String>, DriveError> {
+        match self.result {
+            Ok(()) => Ok(self.output),
+            Err(error) => Err(DriveError::Run {
+                error,
+                output: self.output,
+            }),
+        }
+    }
+}
+
+/// Why driving a source string failed: it did not parse, or the run
+/// itself ended in an error.
+#[derive(Debug, Clone)]
+pub enum DriveError {
+    /// The source did not parse.
+    Syntax(SyntaxError),
+    /// The program ran and failed.
+    Run {
+        /// The failure.
+        error: RunError,
+        /// Output captured before the failure, for diagnostics.
+        output: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::Syntax(e) => write!(f, "syntax error: {e}"),
+            DriveError::Run { error, output } => {
+                write!(f, "run failed: {error}; output so far: {output:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+impl From<SyntaxError> for DriveError {
+    fn from(e: SyntaxError) -> Self {
+        DriveError::Syntax(e)
     }
 }
 
@@ -103,14 +155,9 @@ impl Harness {
 ///
 /// # Errors
 ///
-/// Syntax errors.
-///
-/// # Panics
-///
-/// Panics if the run itself fails (tests want the diagnostics).
-pub fn run_src(src: &str) -> Result<Vec<String>, SyntaxError> {
+/// [`DriveError::Syntax`] for malformed input, [`DriveError::Run`] (with
+/// the output captured up to the failure) when the run fails.
+pub fn run_src(src: &str) -> Result<Vec<String>, DriveError> {
     let mut h = Harness::from_src(src)?;
-    let out = h.run(InterpOptions::default());
-    out.expect_ok();
-    Ok(out.output)
+    h.run(InterpOptions::default()).into_result()
 }

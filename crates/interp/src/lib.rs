@@ -15,7 +15,7 @@
 //! # Examples
 //!
 //! ```
-//! # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+//! # fn main() -> Result<(), mujs_interp::driver::DriveError> {
 //! let output = mujs_interp::driver::run_src(
 //!     "var x = { f: 23 }; x.g = x.f + 19; console.log(x.g);",
 //! )?;
@@ -34,6 +34,6 @@ pub mod stdlib;
 pub mod values;
 
 pub use context::{ContextTable, CtxId};
-pub use driver::{run_src, Harness, Outcome};
+pub use driver::{run_src, DriveError, Harness, Outcome};
 pub use machine::{Flow, Frame, Interp, InterpOptions, Observation, RunError};
 pub use values::{NativeId, ObjClass, ObjId, Object, PropMap, ScopeId, Slot, Value};

@@ -29,6 +29,10 @@ pub enum RunError {
     /// `return`/`break`/`continue` escaped its legal context (e.g. a
     /// `return` inside eval code).
     IllegalCompletion,
+    /// The run was cancelled through [`InterpOptions::cancel`].
+    Cancelled,
+    /// The wall-clock deadline ([`InterpOptions::deadline_ms`]) elapsed.
+    Deadline,
 }
 
 impl fmt::Display for RunError {
@@ -37,6 +41,8 @@ impl fmt::Display for RunError {
             RunError::Thrown(v) => write!(f, "uncaught exception: {}", v.kind_str()),
             RunError::StepLimit => write!(f, "step limit exceeded"),
             RunError::IllegalCompletion => write!(f, "illegal abrupt completion"),
+            RunError::Cancelled => write!(f, "run cancelled"),
+            RunError::Deadline => write!(f, "wall-clock deadline exceeded"),
         }
     }
 }
@@ -69,6 +75,15 @@ pub struct InterpOptions {
     pub record_observations: bool,
     /// Cap on recorded observations.
     pub max_observations: usize,
+    /// Cooperative cancellation flag, polled every
+    /// [`InterpOptions::poll_interval`] statements; setting it makes the
+    /// run stop with [`RunError::Cancelled`] at a statement boundary.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Wall-clock budget in milliseconds, measured from machine
+    /// construction; elapsing ⇒ [`RunError::Deadline`].
+    pub deadline_ms: Option<u64>,
+    /// Statements between cancellation/deadline polls (clamped to ≥ 1).
+    pub poll_interval: u64,
 }
 
 impl Default for InterpOptions {
@@ -78,6 +93,9 @@ impl Default for InterpOptions {
             max_steps: 20_000_000,
             record_observations: false,
             max_observations: 2_000_000,
+            cancel: None,
+            deadline_ms: None,
+            poll_interval: 1024,
         }
     }
 }
@@ -180,6 +198,8 @@ pub struct Interp<'p> {
     now: f64,
     steps: u64,
     opts: InterpOptions,
+    /// Wall-clock stop point derived from `opts.deadline_ms`.
+    deadline: Option<std::time::Instant>,
     /// Captured `console.log`/`alert` output.
     pub output: Vec<String>,
     /// Interned calling contexts.
@@ -230,6 +250,9 @@ impl<'p> Interp<'p> {
             rng: StdRng::seed_from_u64(opts.seed),
             now: 1.6e12,
             steps: 0,
+            deadline: opts
+                .deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
             opts,
             output: Vec::new(),
             ctxs: ContextTable::new(),
@@ -510,6 +533,18 @@ impl<'p> Interp<'p> {
         self.steps += 1;
         if self.steps > self.opts.max_steps {
             return Err(RunError::StepLimit);
+        }
+        if self.steps.is_multiple_of(self.opts.poll_interval.max(1)) {
+            if let Some(c) = &self.opts.cancel {
+                if c.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(RunError::Cancelled);
+                }
+            }
+            if let Some(dl) = self.deadline {
+                if std::time::Instant::now() >= dl {
+                    return Err(RunError::Deadline);
+                }
+            }
         }
         let id = stmt.id;
         match &stmt.kind {

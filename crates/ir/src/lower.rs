@@ -76,6 +76,34 @@ impl<'p> FuncCx<'p> {
         id
     }
 
+    /// Fallback for AST shapes the parser is expected to never produce
+    /// (e.g. a literal as an assignment target). Lowers to a thrown
+    /// string so a malformed AST surfaces as a runtime error in the
+    /// offending program rather than aborting the whole lowering pass.
+    fn lower_malformed(&mut self, what: &str, span: Span, out: &mut Block) -> Place {
+        let msg = self.temp();
+        self.push(
+            out,
+            span,
+            StmtKind::Const {
+                dst: msg.clone(),
+                lit: Lit::Str(Rc::from(format!("SyntaxError: {what}"))),
+            },
+        );
+        self.push(out, span, StmtKind::Throw { arg: msg });
+        // Unreachable at runtime, but callers need a value place.
+        let t = self.temp();
+        self.push(
+            out,
+            span,
+            StmtKind::Const {
+                dst: t.clone(),
+                lit: Lit::Undefined,
+            },
+        );
+        t
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn lower_function_body(
         &mut self,
@@ -103,7 +131,10 @@ impl<'p> FuncCx<'p> {
         // declaration site work.
         let mut funcs = Vec::new();
         for f in fn_decls {
-            let fname = f.name.clone().expect("declarations are named");
+            // The parser only hoists named declarations; skip (rather
+            // than panic on) anything else so a malformed AST degrades to
+            // "declaration has no effect".
+            let Some(fname) = f.name.clone() else { continue };
             let fid = self.lower_nested_function(&f);
             // Later declarations of the same name shadow earlier ones.
             funcs.retain(|(n, _): &(Rc<str>, FuncId)| *n != fname);
@@ -814,18 +845,24 @@ impl<'p> FuncCx<'p> {
                     _ => {
                         let pl = self.expr(l, out);
                         let pr = self.expr(r, out);
-                        let t = self.temp();
-                        self.push(
-                            out,
-                            span,
-                            StmtKind::BinOp {
-                                dst: t.clone(),
-                                op: lower_binop(*op),
-                                lhs: pl,
-                                rhs: pr,
-                            },
-                        );
-                        t
+                        match lower_binop(*op) {
+                            Some(op) => {
+                                let t = self.temp();
+                                self.push(
+                                    out,
+                                    span,
+                                    StmtKind::BinOp {
+                                        dst: t.clone(),
+                                        op,
+                                        lhs: pl,
+                                        rhs: pr,
+                                    },
+                                );
+                                t
+                            }
+                            // `in`/`instanceof` have dedicated arms above.
+                            None => self.lower_malformed("unsupported binary operator", span, out),
+                        }
                     }
                 }
             }
@@ -999,18 +1036,27 @@ impl<'p> FuncCx<'p> {
                             },
                         );
                         let r = self.expr(rhs, out);
-                        let t = self.temp();
-                        self.push(
-                            out,
-                            span,
-                            StmtKind::BinOp {
-                                dst: t.clone(),
-                                op: lower_binop(op.bin_op()),
-                                lhs: old,
-                                rhs: r,
-                            },
-                        );
-                        t
+                        match lower_binop(op.bin_op()) {
+                            Some(op) => {
+                                let t = self.temp();
+                                self.push(
+                                    out,
+                                    span,
+                                    StmtKind::BinOp {
+                                        dst: t.clone(),
+                                        op,
+                                        lhs: old,
+                                        rhs: r,
+                                    },
+                                );
+                                t
+                            }
+                            None => self.lower_malformed(
+                                "unsupported compound assignment",
+                                span,
+                                out,
+                            ),
+                        }
                     }
                 };
                 self.push(
@@ -1040,18 +1086,27 @@ impl<'p> FuncCx<'p> {
                             },
                         );
                         let r = self.expr(rhs, out);
-                        let t = self.temp();
-                        self.push(
-                            out,
-                            span,
-                            StmtKind::BinOp {
-                                dst: t.clone(),
-                                op: lower_binop(op.bin_op()),
-                                lhs: cur,
-                                rhs: r,
-                            },
-                        );
-                        t
+                        match lower_binop(op.bin_op()) {
+                            Some(op) => {
+                                let t = self.temp();
+                                self.push(
+                                    out,
+                                    span,
+                                    StmtKind::BinOp {
+                                        dst: t.clone(),
+                                        op,
+                                        lhs: cur,
+                                        rhs: r,
+                                    },
+                                );
+                                t
+                            }
+                            None => self.lower_malformed(
+                                "unsupported compound assignment",
+                                span,
+                                out,
+                            ),
+                        }
                     }
                 };
                 self.push(
@@ -1065,7 +1120,7 @@ impl<'p> FuncCx<'p> {
                 );
                 value
             }
-            _ => unreachable!("parser validates assignment targets"),
+            _ => self.lower_malformed("invalid assignment target", span, out),
         }
     }
 
@@ -1182,7 +1237,7 @@ impl<'p> FuncCx<'p> {
                     old
                 }
             }
-            _ => unreachable!("parser validates update targets"),
+            _ => self.lower_malformed("invalid update target", span, out),
         }
     }
 
@@ -1339,9 +1394,11 @@ fn hoist_stmt(s: &ast::Stmt, visit: &mut impl FnMut(Hoisted)) {
     }
 }
 
-fn lower_binop(op: ast::BinOp) -> BinOp {
+/// Maps an AST binary operator to its IR counterpart. `None` for `in` /
+/// `instanceof`, which lower to dedicated statements instead.
+fn lower_binop(op: ast::BinOp) -> Option<BinOp> {
     use ast::BinOp as A;
-    match op {
+    Some(match op {
         A::Add => BinOp::Add,
         A::Sub => BinOp::Sub,
         A::Mul => BinOp::Mul,
@@ -1361,8 +1418,8 @@ fn lower_binop(op: ast::BinOp) -> BinOp {
         A::Shl => BinOp::Shl,
         A::Shr => BinOp::Shr,
         A::UShr => BinOp::UShr,
-        A::In | A::Instanceof => unreachable!("lowered to dedicated statements"),
-    }
+        A::In | A::Instanceof => return None,
+    })
 }
 
 fn lower_unop(op: ast::UnOp) -> UnOp {

@@ -1,0 +1,712 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! [`prop_oneof!`], `any::<T>()`, range and tuple strategies,
+//! `prop::collection::vec`, and character-class string patterns like
+//! `"[a-z]{0,6}"`. Inputs are generated deterministically per test name
+//! and case index; there is **no shrinking** — a failure reports the full
+//! generated input instead.
+
+pub mod test_runner {
+    //! Deterministic case driver.
+
+    use std::fmt;
+
+    /// Number of cases per property (`PROPTEST_CASES` overrides).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(128)
+    }
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run for each property in the block.
+        pub cases: u32,
+        /// Accepted for API compatibility; this shim never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for API compatibility; this shim counts rejects but
+        /// never gives up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: cases() as u32,
+                max_shrink_iters: 1024,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// A property-test failure (what `prop_assert!` returns).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Fails the current case with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Alias of [`TestCaseError::fail`] (API compatibility).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// SplitMix64 generator seeded from the test name and case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic generator for one (test, case) pair.
+        pub fn for_case(name: &str, case: u64) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut rng = TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+
+        /// The raw 64-bit step.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`.
+        pub fn below(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type (needed by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy(Rc::new(move |rng| this.generate(rng)))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between erased alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from the macro's collected arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+    }
+
+    /// `&'static str` character-class patterns (`"[a-z 0-9]{0,6}"`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::pattern::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical generation recipe.
+    pub trait Arbitrary: Sized {
+        /// Generates one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix raw values with small and boundary ones: edge
+                    // cases carry most of the bug-finding power.
+                    match rng.next_u64() % 8 {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => (rng.next_u64() % 16) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            arb_char(rng)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.next_u64() % 8 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::NAN,
+                3 => f64::INFINITY,
+                4 => f64::NEG_INFINITY,
+                _ => {
+                    let mag = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    (mag - 0.5) * 2.0e6
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let len = (rng.next_u64() % 40) as usize;
+            (0..len).map(|_| arb_char(rng)).collect()
+        }
+    }
+
+    pub(crate) fn arb_char(rng: &mut TestRng) -> char {
+        match rng.next_u64() % 10 {
+            // Mostly printable ASCII, with some syntax-relevant controls
+            // and a tail of arbitrary unicode scalars.
+            0..=6 => (0x20 + (rng.next_u64() % 0x5f)) as u8 as char,
+            7 => *['\n', '\t', '\r', '"', '\'', '\\', '\0']
+                .get((rng.next_u64() % 7) as usize)
+                .unwrap(),
+            _ => loop {
+                let c = (rng.next_u64() % 0x11_0000) as u32;
+                if let Some(c) = char::from_u32(c) {
+                    break c;
+                }
+            },
+        }
+    }
+}
+
+/// Canonical strategy for `T` ([`arbitrary::Arbitrary`] types).
+pub fn any<T: arbitrary::Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1);
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod pattern {
+    //! Tiny character-class pattern generator for `&str` strategies.
+    //!
+    //! Supports sequences of atoms — a literal char, an escaped char, or a
+    //! `[...]` class with ranges — each followed by an optional `{m,n}`,
+    //! `{n}`, `*`, `+`, or `?` quantifier. This covers the patterns the
+    //! workspace's tests use; unsupported syntax panics with the pattern so
+    //! the test author sees it immediately.
+
+    use crate::test_runner::TestRng;
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = parse_atom(pattern, &chars, &mut i);
+            let (lo, hi) = parse_quant(pattern, &chars, &mut i);
+            let span = (hi - lo).max(1);
+            let reps = lo + rng.below(span);
+            for _ in 0..reps {
+                out.push(atom.pick(rng));
+            }
+        }
+        out
+    }
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    impl Atom {
+        fn pick(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Lit(c) => *c,
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|(a, b)| *b as u32 - *a as u32 + 1)
+                        .sum();
+                    let mut k = (rng.next_u64() % total as u64) as u32;
+                    for (a, b) in ranges {
+                        let w = *b as u32 - *a as u32 + 1;
+                        if k < w {
+                            return char::from_u32(*a as u32 + k)
+                                .expect("class range stays in scalar space");
+                        }
+                        k -= w;
+                    }
+                    unreachable!()
+                }
+            }
+        }
+    }
+
+    fn parse_atom(pattern: &str, chars: &[char], i: &mut usize) -> Atom {
+        match chars[*i] {
+            '[' => {
+                *i += 1;
+                let mut ranges = Vec::new();
+                while *i < chars.len() && chars[*i] != ']' {
+                    let lo = take_class_char(chars, i);
+                    if *i + 1 < chars.len()
+                        && chars[*i] == '-'
+                        && chars[*i + 1] != ']'
+                    {
+                        *i += 1;
+                        let hi = take_class_char(chars, i);
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    *i < chars.len(),
+                    "unterminated class in pattern {pattern:?}"
+                );
+                *i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                *i += 1;
+                let c = unescape(chars[*i]);
+                *i += 1;
+                Atom::Lit(c)
+            }
+            '{' | '}' | '*' | '+' | '?' => {
+                panic!("unsupported pattern syntax in {pattern:?} at {i:?}")
+            }
+            c => {
+                *i += 1;
+                Atom::Lit(c)
+            }
+        }
+    }
+
+    fn take_class_char(chars: &[char], i: &mut usize) -> char {
+        let c = if chars[*i] == '\\' {
+            *i += 1;
+            unescape(chars[*i])
+        } else {
+            chars[*i]
+        };
+        *i += 1;
+        c
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// Parses an optional quantifier; returns `(min, max_exclusive)`.
+    fn parse_quant(pattern: &str, chars: &[char], i: &mut usize) -> (usize, usize) {
+        if *i >= chars.len() {
+            return (1, 2);
+        }
+        match chars[*i] {
+            '{' => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| *i + p)
+                    .unwrap_or_else(|| panic!("unterminated {{}} in {pattern:?}"));
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("quantifier lower bound");
+                        let hi: usize = hi.trim().parse().expect("quantifier upper bound");
+                        (lo, hi + 1)
+                    }
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n + 1)
+                    }
+                }
+            }
+            '*' => {
+                *i += 1;
+                (0, 9)
+            }
+            '+' => {
+                *i += 1;
+                (1, 9)
+            }
+            '?' => {
+                *i += 1;
+                (0, 2)
+            }
+            _ => (1, 2),
+        }
+    }
+}
+
+// The `prop::` module path used by tests (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+
+    pub use crate::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests; see the crate docs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! {
+            @cases ({ ($cfg).cases as u64 })
+            $($rest)*
+        }
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $crate::proptest! {
+            @cases ($crate::test_runner::cases())
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+    (@cases ($cases:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $cases;
+                for case in 0..cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let argdump = ::std::format!("{:?}", ($(&$arg,)+));
+                    let result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        ::std::panic!(
+                            "proptest {} failed at case {}: {}\ninput: {}",
+                            stringify!($name),
+                            case,
+                            e,
+                            argdump
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "assertion failed: {:?} == {:?}",
+                    left,
+                    right
+                )),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "{}: {:?} != {:?}",
+                    ::std::format!($($fmt)+),
+                    left,
+                    right
+                )),
+            );
+        }
+    }};
+}
+
+/// Fails the current case when both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "assertion failed: {:?} != {:?}",
+                    left,
+                    right
+                )),
+            );
+        }
+    }};
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace cannot fetch crates.io dependencies, so this shim provides
+//! exactly the surface the repo uses: a clonable, seedable `StdRng` and an
+//! `Rng::gen::<T>()` for the primitive types drawn from it. The generator is
+//! SplitMix64 — not the real `StdRng` stream, but deterministic, seedable,
+//! and statistically fine for `Math.random` modeling and test-input
+//! generation. Both machines (concrete and instrumented) use this same
+//! stream, so seed-for-seed agreement between them is preserved.
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Seeding entry point (API-compatible subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A deterministic SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // One warm-up scramble so nearby seeds (0, 1, 2, ...) diverge
+        // immediately.
+        let mut r = StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+        let _ = r.next_u64();
+        r
+    }
+}
+
+impl StdRng {
+    /// The raw 64-bit step (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types drawable from the generator via [`Rng::gen`].
+pub trait SampleUniform: Sized {
+    /// Derives a value from one 64-bit draw.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl SampleUniform for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn from_bits(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl SampleUniform for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl SampleUniform for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+impl SampleUniform for u8 {
+    fn from_bits(bits: u64) -> u8 {
+        (bits >> 56) as u8
+    }
+}
+impl SampleUniform for u16 {
+    fn from_bits(bits: u64) -> u16 {
+        (bits >> 48) as u16
+    }
+}
+impl SampleUniform for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+impl SampleUniform for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+impl SampleUniform for usize {
+    fn from_bits(bits: u64) -> usize {
+        bits as usize
+    }
+}
+impl SampleUniform for i8 {
+    fn from_bits(bits: u64) -> i8 {
+        (bits >> 56) as i8
+    }
+}
+impl SampleUniform for i16 {
+    fn from_bits(bits: u64) -> i16 {
+        (bits >> 48) as i16
+    }
+}
+impl SampleUniform for i32 {
+    fn from_bits(bits: u64) -> i32 {
+        (bits >> 32) as i32
+    }
+}
+impl SampleUniform for i64 {
+    fn from_bits(bits: u64) -> i64 {
+        bits as i64
+    }
+}
+
+/// Value-drawing subset of `rand::Rng`.
+pub trait Rng {
+    /// One raw 64-bit draw.
+    fn next_bits(&mut self) -> u64;
+
+    /// Draws a value of type `T`.
+    fn gen<T: SampleUniform>(&mut self) -> T {
+        T::from_bits(self.next_bits())
+    }
+
+    /// Uniform draw in `[low, high)` (u64 domain).
+    fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
+        debug_assert!(low < high);
+        low + self.next_bits() % (high - low)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_bits(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let a: f64 = StdRng::seed_from_u64(0).gen();
+        let b: f64 = StdRng::seed_from_u64(1).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clone_replays_stream() {
+        let mut a = StdRng::seed_from_u64(3);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

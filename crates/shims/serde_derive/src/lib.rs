@@ -1,0 +1,402 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, parsing the raw token stream
+//! directly (syn/quote are not available offline):
+//!
+//! * structs with named fields,
+//! * enums with unit, struct, and tuple variants (externally tagged).
+//!
+//! Unsupported shapes (generics, tuple structs) produce a compile error
+//! naming the limitation. Field types containing commas are handled by
+//! tracking angle-bracket depth, so `HashMap<K, V>` fields parse; type
+//! parameters on the *container* are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Named fields.
+    Struct(Vec<String>),
+    /// Number of positional fields.
+    Tuple(usize),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match (&item, which) {
+                (Item::Struct { name, fields }, Which::Serialize) => {
+                    struct_serialize(name, fields)
+                }
+                (Item::Struct { name, fields }, Which::Deserialize) => {
+                    struct_deserialize(name, fields)
+                }
+                (Item::Enum { name, variants }, Which::Serialize) => {
+                    enum_serialize(name, variants)
+                }
+                (Item::Enum { name, variants }, Which::Deserialize) => {
+                    enum_deserialize(name, variants)
+                }
+            };
+            code.parse().expect("derive output parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => {
+            return Err(format!(
+                "serde shim derive supports only brace-bodied items, got {other:?}"
+            ))
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        // Skip the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while i < body.len()
+            && !matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(inner: &[TokenTree]) -> usize {
+    if inner.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut n = 1;
+    for t in inner {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::json::Value {{\n\
+             ::serde::json::Value::Object(::std::vec![{entries}])\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(obj, {f:?})?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::json::Value)\n\
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             let obj = v.as_object().ok_or_else(|| \
+               ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+             let _ = obj;\n\
+             ::std::result::Result::Ok({name} {{ {entries} }})\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vn} => ::serde::json::Value::Str(\
+                     ::std::string::String::from({vn:?})),"
+                ),
+                VariantKind::Struct(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::json::Value::Object(\
+                         ::std::vec![(::std::string::String::from({vn:?}), \
+                         ::serde::json::Value::Object(::std::vec![{entries}]))]),"
+                    )
+                }
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vn}(x0) => ::serde::json::Value::Object(::std::vec![(\
+                     ::std::string::String::from({vn:?}), \
+                     ::serde::Serialize::to_value(x0))]),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                    let items: String = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::json::Value::Object(::std::vec![(\
+                         ::std::string::String::from({vn:?}), \
+                         ::serde::json::Value::Array(::std::vec![{items}]))]),",
+                        binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::json::Value {{\n\
+             match self {{ {arms} }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Struct(fields) => {
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(obj, {f:?})?,"))
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{\n\
+                           let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\n\
+                           ::std::result::Result::Ok({name}::{vn} {{ {entries} }})\n\
+                         }}"
+                    ))
+                }
+                VariantKind::Tuple(1) => Some(format!(
+                    "{vn:?} => ::std::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::from_value(\
+                                 &arr[{k}])?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{\n\
+                           let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?;\n\
+                           if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                           ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                         }}"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::json::Value)\n\
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             match v {{\n\
+               ::serde::json::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                   ::std::format!(\"unknown {name} variant {{other}}\"))),\n\
+               }},\n\
+               ::serde::json::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                   {tagged_arms}\n\
+                   other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }}\n\
+               }}\n\
+               _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected string or single-key object for {name}\")),\n\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}

@@ -29,6 +29,8 @@ pub enum SyntaxErrorKind {
     Unsupported(&'static str),
     /// The target of an assignment or `++`/`--` is not assignable.
     InvalidAssignmentTarget,
+    /// Expression or statement nesting exceeded the parser's depth limit.
+    NestingTooDeep,
 }
 
 impl fmt::Display for SyntaxErrorKind {
@@ -47,6 +49,9 @@ impl fmt::Display for SyntaxErrorKind {
             }
             SyntaxErrorKind::InvalidAssignmentTarget => {
                 write!(f, "invalid assignment target")
+            }
+            SyntaxErrorKind::NestingTooDeep => {
+                write!(f, "expression or statement nesting too deep")
             }
         }
     }

@@ -31,5 +31,5 @@ pub mod span;
 pub mod token;
 
 pub use error::{SyntaxError, SyntaxErrorKind};
-pub use parser::{parse, parse_expr};
+pub use parser::{parse, parse_expr, MAX_NESTING};
 pub use span::{SourceFile, Span};

@@ -30,7 +30,11 @@ use std::rc::Rc;
 /// ```
 pub fn parse(src: &str) -> Result<Program, SyntaxError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut body = Vec::new();
     while !p.at_eof() {
         body.push(p.statement()?);
@@ -46,15 +50,30 @@ pub fn parse(src: &str) -> Result<Program, SyntaxError> {
 /// Returns a [`SyntaxError`] if the input is not exactly one expression.
 pub fn parse_expr(src: &str) -> Result<Expr, SyntaxError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
 }
 
+/// Maximum recursion-guard depth the parser allows. Inputs nested deeper
+/// fail cleanly with [`SyntaxErrorKind::NestingTooDeep`] instead of risking
+/// a stack overflow: the recursive-descent chain costs enough stack per
+/// level in debug builds that unbounded recursion aborts the process on a
+/// default 2 MiB thread stack. One level of source nesting can consume up
+/// to two guard entries (assignment chain + unary chain), so the guaranteed
+/// source nesting depth is [`MAX_NESTING`]` / 2`. The value is sized so the
+/// worst-case chain fits a 2 MiB stack in debug builds with margin.
+pub const MAX_NESTING: u32 = 160;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -154,9 +173,28 @@ impl Parser {
         Err(self.unexpected("`;`"))
     }
 
+    /// Enters one level of recursive nesting; fails past [`MAX_NESTING`].
+    fn enter_nested(&mut self) -> Result<(), SyntaxError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(SyntaxError {
+                kind: SyntaxErrorKind::NestingTooDeep,
+                span: self.peek().span,
+            });
+        }
+        Ok(())
+    }
+
     // ---------------------------------------------------------------- stmts
 
     fn statement(&mut self) -> Result<Stmt, SyntaxError> {
+        self.enter_nested()?;
+        let r = self.statement_unguarded();
+        self.depth -= 1;
+        r
+    }
+
+    fn statement_unguarded(&mut self) -> Result<Stmt, SyntaxError> {
         let start = self.peek().span;
         match &self.peek().kind {
             TokenKind::Punct(Punct::LBrace) => {
@@ -519,6 +557,13 @@ impl Parser {
     }
 
     fn assign_expr_impl(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
+        self.enter_nested()?;
+        let r = self.assign_expr_unguarded(allow_in);
+        self.depth -= 1;
+        r
+    }
+
+    fn assign_expr_unguarded(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
         let lhs = self.cond_expr(allow_in)?;
         let op = match self.peek().kind {
             TokenKind::Punct(Punct::Assign) => None,
@@ -620,6 +665,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.enter_nested()?;
+        let r = self.unary_expr_unguarded();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_expr_unguarded(&mut self) -> Result<Expr, SyntaxError> {
         let start = self.peek().span;
         let op = match self.peek().kind {
             TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
@@ -721,6 +773,13 @@ impl Parser {
     /// Parses `new F(...)`, where `F` may itself be a member chain (but not
     /// a call).
     fn new_expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.enter_nested()?;
+        let r = self.new_expr_unguarded();
+        self.depth -= 1;
+        r
+    }
+
+    fn new_expr_unguarded(&mut self) -> Result<Expr, SyntaxError> {
         let start = self.bump().span; // new
         let mut callee = if self.at_keyword(Kw::New) {
             self.new_expr()?

@@ -1,7 +1,7 @@
 //! Robustness: the lexer and parser must never panic, whatever the input
 //! — errors are always returned as values.
 
-use mujs_syntax::{lexer::lex, parse};
+use mujs_syntax::{lexer::lex, parse, SyntaxErrorKind, MAX_NESTING};
 use proptest::prelude::*;
 
 proptest! {
@@ -37,19 +37,36 @@ proptest! {
     }
 }
 
-#[test]
-fn parser_handles_pathological_nesting() {
-    // Deep expression nesting must not overflow within reason.
+fn nested_parens(depth: usize) -> String {
     let mut src = String::from("var x = ");
-    for _ in 0..200 {
+    for _ in 0..depth {
         src.push('(');
     }
     src.push('1');
-    for _ in 0..200 {
+    for _ in 0..depth {
         src.push(')');
     }
     src.push(';');
-    assert!(parse(&src).is_ok());
+    src
+}
+
+#[test]
+fn parser_handles_pathological_nesting() {
+    // One paren level costs up to two recursion-guard entries, and the
+    // enclosing statement and outermost expression cost a few more, so the
+    // guaranteed depth is a little under MAX_NESTING / 2.
+    let guaranteed = (MAX_NESTING / 2 - 4) as usize;
+    assert!(parse(&nested_parens(guaranteed)).is_ok());
+}
+
+#[test]
+fn parser_rejects_excessive_nesting_cleanly() {
+    // Beyond the guard limit the parser must return a structured error —
+    // never abort the process with a stack overflow.
+    for depth in [200usize, 5_000] {
+        let err = parse(&nested_parens(depth)).expect_err("depth limited");
+        assert_eq!(err.kind, SyntaxErrorKind::NestingTooDeep);
+    }
 }
 
 #[test]

@@ -1,0 +1,91 @@
+//! Fault-tolerant supervision: wall-clock deadlines, memory budgets,
+//! external cancellation, and per-seed isolation in multi-run batches.
+//!
+//! Every early stop keeps the sound fact prefix — the same guarantee the
+//! paper's 1000-flush cap gives (§5.1).
+//!
+//! Run with `cargo run --example fault_tolerance`.
+
+use determinacy::multirun::analyze_many;
+use determinacy::{
+    supervised_analyze, AnalysisConfig, AnalysisStatus, CancelToken, DetHarness, RunHooks,
+};
+
+const SRC: &str = r#"
+var seedling = 2 + 3;
+var coin = Math.random() < 0.5;
+for (var i = 0; i < 200000; i++) {
+    var cell = {};
+    cell.idx = i;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A tight wall-clock deadline: the run stops cooperatively with
+    //    Deadline instead of hanging, keeping the facts collected so far.
+    let mut h = DetHarness::from_src(SRC)?;
+    let out = h.analyze(AnalysisConfig {
+        deadline_ms: Some(0),
+        poll_interval: 64,
+        ..Default::default()
+    });
+    println!(
+        "deadline:     status {:?}, {} facts preserved, {} steps",
+        out.status,
+        out.facts.len(),
+        out.stats.steps
+    );
+    assert_eq!(out.status, AnalysisStatus::Deadline);
+
+    // 2. A heap-cell budget bounds allocation work.
+    let out = h.analyze(AnalysisConfig {
+        mem_cell_budget: Some(500),
+        poll_interval: 16,
+        ..Default::default()
+    });
+    println!(
+        "mem budget:   status {:?}, {} facts preserved",
+        out.status,
+        out.facts.len()
+    );
+    assert_eq!(out.status, AnalysisStatus::MemLimit);
+
+    // 3. External cancellation through a shared token (e.g. from a UI).
+    let hooks = RunHooks::supervised();
+    let token: &CancelToken = hooks.cancel.as_ref().expect("supervised hooks");
+    token.cancel();
+    let out = supervised_analyze(
+        &mut h,
+        AnalysisConfig {
+            poll_interval: 64,
+            ..Default::default()
+        },
+        &hooks,
+    )?;
+    println!(
+        "cancellation: status {:?}, {} facts preserved",
+        out.status,
+        out.facts.len()
+    );
+    assert_eq!(out.status, AnalysisStatus::Cancelled);
+
+    // 4. Multi-run batches isolate per-seed failures: each seed runs
+    //    under the supervisor, failed seeds land in `failures` with the
+    //    seed for reproduction, and the rest combine conflict-free.
+    let combined = analyze_many(
+        &mut h,
+        &[1, 2, 3, 4],
+        AnalysisConfig {
+            max_steps: 5_000,
+            ..Default::default()
+        },
+    );
+    println!(
+        "multi-run:    {} runs combined, {} failures, {} det-vs-det conflicts",
+        combined.runs.len(),
+        combined.failures.len(),
+        combined.conflicts
+    );
+    assert_eq!(combined.conflicts, 0);
+    Ok(())
+}
