@@ -6,34 +6,127 @@
 //! $ cargo run -p mujs-bench --bin analyze -- file.js --json
 //! $ cargo run -p mujs-bench --bin analyze -- file.js --det-dom --seeds 1,2,3
 //! $ cargo run -p mujs-bench --bin analyze -- file.js --spec   # + specializer report
+//! $ cargo run -p mujs-bench --bin analyze -- file.js --seeds 1,2,3,4 --workers 4
+//! $ cargo run -p mujs-bench --bin analyze -- file.js --deadline-ms 5000 --mem-cells 2000000
 //! ```
+//!
+//! Unknown flags are rejected with a usage error rather than silently
+//! ignored; `--workers N` fans the seed list out over a job pool and is
+//! guaranteed to print the same bytes as the sequential path.
 
-use determinacy::multirun::{analyze_many_with, export_json};
+use determinacy::multirun::{analyze_many_with, export_json, MultiRunOutcome};
 use determinacy::{AnalysisConfig, DetHarness};
 use mujs_dom::document::DocumentBuilder;
 use mujs_dom::events::EventPlan;
+use mujs_jobs::{analyze_many_pooled, JobPool};
 use mujs_specialize::SpecConfig;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: analyze <file.js> [--json] [--det-dom] [--spec] [--seeds a,b,c]");
-        std::process::exit(2);
-    };
-    let json = args.iter().any(|a| a == "--json");
-    let det_dom = args.iter().any(|a| a == "--det-dom");
-    let spec = args.iter().any(|a| a == "--spec");
-    let seeds: Vec<u64> = args
-        .iter()
-        .position(|a| a == "--seeds")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
-        .unwrap_or_else(|| vec![0xD5EA51DE]);
+struct Options {
+    path: String,
+    json: bool,
+    det_dom: bool,
+    spec: bool,
+    seeds: Vec<u64>,
+    deadline_ms: Option<u64>,
+    mem_cells: Option<u64>,
+    workers: usize,
+}
 
-    let src = match std::fs::read_to_string(path) {
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: analyze <file.js> [--json] [--det-dom] [--spec] [--seeds a,b,c]\n\
+         \x20              [--deadline-ms N] [--mem-cells N] [--workers N]\n\
+         \n\
+         \x20 --json           print the sorted JSON fact export instead of the summary\n\
+         \x20 --det-dom        enable the deterministic-DOM analysis mode\n\
+         \x20 --spec           also run the specializer and print its report\n\
+         \x20 --seeds a,b,c    comma-separated seed list for the multi-run analysis\n\
+         \x20 --deadline-ms N  per-run wall-clock budget (AnalysisStatus::Deadline on expiry)\n\
+         \x20 --mem-cells N    per-run heap-cell budget (AnalysisStatus::MemLimit on expiry)\n\
+         \x20 --workers N      fan seeds out over N worker threads (same output bytes)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Options {
+        path: String::new(),
+        json: false,
+        det_dom: false,
+        spec: false,
+        seeds: vec![AnalysisConfig::default().seed],
+        deadline_ms: None,
+        mem_cells: None,
+        workers: 1,
+    };
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match args.get(*i) {
+            Some(v) => v.clone(),
+            None => usage(&format!("{flag} needs a value")),
+        }
+    };
+    let number = |args: &[String], i: &mut usize, flag: &str| -> u64 {
+        let v = value(args, i, flag);
+        match v.parse() {
+            Ok(n) => n,
+            Err(_) => usage(&format!("{flag} wants an integer, got `{v}`")),
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => o.json = true,
+            "--det-dom" => o.det_dom = true,
+            "--spec" => o.spec = true,
+            "--seeds" => {
+                let v = value(&args, &mut i, "--seeds");
+                o.seeds = v
+                    .split(',')
+                    .map(|x| match x.trim().parse() {
+                        Ok(n) => n,
+                        Err(_) => usage(&format!("--seeds has a non-integer entry `{x}`")),
+                    })
+                    .collect();
+                if o.seeds.is_empty() {
+                    usage("--seeds needs at least one seed");
+                }
+            }
+            "--deadline-ms" => o.deadline_ms = Some(number(&args, &mut i, "--deadline-ms")),
+            "--mem-cells" => o.mem_cells = Some(number(&args, &mut i, "--mem-cells")),
+            "--workers" => {
+                o.workers = match number(&args, &mut i, "--workers") {
+                    0 => usage("--workers wants a positive integer"),
+                    n => n as usize,
+                };
+            }
+            "--help" | "-h" => usage(""),
+            flag if flag.starts_with("--") => usage(&format!("unknown flag `{flag}`")),
+            positional => {
+                if !o.path.is_empty() {
+                    usage(&format!("unexpected extra argument `{positional}`"));
+                }
+                o.path = positional.to_owned();
+            }
+        }
+        i += 1;
+    }
+    if o.path.is_empty() {
+        usage("a <file.js> argument is required");
+    }
+    o
+}
+
+fn main() {
+    let o = parse_args();
+    let src = match std::fs::read_to_string(&o.path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+            eprintln!("cannot read {}: {e}", o.path);
             std::process::exit(1);
         }
     };
@@ -45,14 +138,27 @@ fn main() {
         }
     };
     let cfg = AnalysisConfig {
-        det_dom,
+        det_dom: o.det_dom,
+        deadline_ms: o.deadline_ms,
+        mem_cell_budget: o.mem_cells,
         ..Default::default()
     };
     let doc = DocumentBuilder::new().title("analyze-cli").build();
-    let mut combined =
-        analyze_many_with(&mut h, &seeds, cfg, Some(&doc), &EventPlan::new());
+    let plan = EventPlan::new();
+    let mut combined: MultiRunOutcome = if o.workers > 1 {
+        let pool = JobPool::new(o.workers);
+        match analyze_many_pooled(&src, &o.seeds, cfg, Some(&doc), &plan, &pool) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("syntax error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        analyze_many_with(&mut h, &o.seeds, cfg, Some(&doc), &plan)
+    };
 
-    if json {
+    if o.json {
         println!(
             "{}",
             export_json(&combined.facts, &h.program, &h.source, &combined.ctxs)
@@ -71,6 +177,9 @@ fn main() {
                 run.status, run.stats.heap_flushes, run.stats.counterfactuals, run.stats.steps
             );
         }
+        for f in &combined.failures {
+            eprintln!("  run failed: {f}");
+        }
         let mut lines: Vec<String> = combined
             .facts
             .iter()
@@ -88,7 +197,7 @@ fn main() {
         }
     }
 
-    if spec {
+    if o.spec {
         let s = mujs_specialize::specialize(
             &h.program,
             &combined.facts,

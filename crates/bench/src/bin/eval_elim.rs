@@ -3,67 +3,31 @@
 //! away, under the plain analysis and under DetDOM, with the failure
 //! breakdown.
 //!
-//! Run with `cargo run -p mujs-bench --bin eval_elim --release`.
+//! Run with `cargo run -p mujs-bench --bin eval_elim --release`. Pass
+//! `--workers N` to run the benchmarks as parallel jobs; rows print in
+//! benchmark order either way.
 
-use determinacy::AnalysisConfig;
-use mujs_bench::analyze_page;
+use mujs_bench::{run_eval_elim, run_eval_elim_pooled, EvalElimRow};
 use mujs_corpus::evalbench::{all, Expected};
-use mujs_specialize::SpecConfig;
-
-fn eliminate(b: &mujs_corpus::evalbench::EvalBenchmark, det_dom: bool) -> (bool, usize) {
-    let cfg = AnalysisConfig {
-        det_dom,
-        ..Default::default()
-    };
-    let doc = b.doc();
-    let plan = b.plan();
-    // A benchmark whose analysis fails (parse error, engine panic) counts
-    // as "not handled" rather than killing the study.
-    let (h, mut out) = match analyze_page(&b.src, &doc, &plan, cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{}: {e}", b.name);
-            return (false, 0);
-        }
-    };
-    let spec = mujs_specialize::specialize(
-        &h.program,
-        &out.facts,
-        &mut out.ctxs,
-        &SpecConfig::default(),
-    );
-    // Per-site aggregation over all rewrite visits: a site counts as
-    // specialized when every visit eliminated it or erased it with dead
-    // code; a site with no events was never reached by the dynamic run
-    // (the paper's "not covered" category) and counts as a failure.
-    use mujs_specialize::EvalStatus;
-    use std::collections::HashMap;
-    let mut per_site: HashMap<mujs_ir::StmtId, bool> = HashMap::new();
-    for (site, st) in &spec.report.eval_events {
-        let ok = matches!(st, EvalStatus::Eliminated | EvalStatus::DeadCode);
-        per_site
-            .entry(*site)
-            .and_modify(|v| *v = *v && ok)
-            .or_insert(ok);
-    }
-    let mut failures = 0usize;
-    let mut total_sites = 0usize;
-    for f in &h.program.funcs {
-        mujs_ir::Program::walk_block(&f.body, &mut |s| {
-            if matches!(s.kind, mujs_ir::StmtKind::Eval { .. }) {
-                total_sites += 1;
-                match per_site.get(&s.id) {
-                    Some(true) => {}
-                    _ => failures += 1,
-                }
-            }
-        });
-    }
-    let _ = out;
-    (failures == 0, failures)
-}
+use mujs_jobs::JobPool;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = match args.as_slice() {
+        [] => 1usize,
+        [flag, n] if flag == "--workers" => match n.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("usage: eval_elim [--workers N]");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: eval_elim [--workers N]");
+            std::process::exit(2);
+        }
+    };
+
     let suite = all();
     let runnable: Vec<_> = suite.iter().filter(|b| b.runnable).collect();
     println!(
@@ -77,29 +41,40 @@ fn main() {
         "{:<24} {:<10} {:<10} {:<22} expected(DetDOM)",
         "benchmark", "plain", "DetDOM", "expected(plain)"
     );
+    let rows: Vec<EvalElimRow> = if workers > 1 {
+        let owned: Vec<_> = runnable.iter().map(|b| (*b).clone()).collect();
+        run_eval_elim_pooled(owned, &JobPool::new(workers))
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        runnable.iter().map(|b| run_eval_elim(b)).collect()
+    };
     let mut plain_ok = 0;
     let mut detdom_ok = 0;
     let mut mismatches = 0;
-    for b in &runnable {
-        let (p, _) = eliminate(b, false);
-        let (d, _) = eliminate(b, true);
-        if p {
+    for (b, row) in runnable.iter().zip(&rows) {
+        if row.plain_ok {
             plain_ok += 1;
         }
-        if d {
+        if row.detdom_ok {
             detdom_ok += 1;
         }
         let exp_p = b.expected == Expected::Eliminated;
         let exp_d = b.expected_detdom == Expected::Eliminated;
-        let marker = if p == exp_p && d == exp_d { "" } else { "  <-- MISMATCH" };
+        let marker = if row.plain_ok == exp_p && row.detdom_ok == exp_d {
+            ""
+        } else {
+            "  <-- MISMATCH"
+        };
         if !marker.is_empty() {
             mismatches += 1;
         }
         println!(
             "{:<24} {:<10} {:<10} {:<22} {:?}{}",
             b.name,
-            if p { "handled" } else { "fails" },
-            if d { "handled" } else { "fails" },
+            if row.plain_ok { "handled" } else { "fails" },
+            if row.detdom_ok { "handled" } else { "fails" },
             format!("{:?}", b.expected),
             b.expected_detdom,
             marker

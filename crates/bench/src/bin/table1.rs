@@ -1,15 +1,43 @@
 //! Regenerates Table 1: pointer-analysis scalability on the jQuery-like
 //! corpus under Baseline / Spec / Spec+DetDOM, with heap-flush counts.
 //!
-//! Run with `cargo run -p mujs-bench --bin table1 --release`.
+//! Run with `cargo run -p mujs-bench --bin table1 --release`. Pass
+//! `--workers N` to run the corpus versions as parallel jobs; the table
+//! is printed in version order either way and contains no timing data,
+//! so the output is identical for any worker count. A positional integer
+//! overrides the PTA propagation budget.
 
-use mujs_bench::{run_table1, Table1Row, TABLE1_PTA_BUDGET};
+use mujs_bench::{run_table1, run_table1_pooled, Table1Row, TABLE1_PTA_BUDGET};
+use mujs_jobs::JobPool;
 
 fn main() {
-    let budget = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(TABLE1_PTA_BUDGET);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget = TABLE1_PTA_BUDGET;
+    let mut workers = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("usage: table1 [PTA_BUDGET] [--workers N]");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => match other.parse() {
+                Ok(b) => budget = b,
+                Err(_) => {
+                    eprintln!("usage: table1 [PTA_BUDGET] [--workers N]");
+                    std::process::exit(2);
+                }
+            },
+        }
+        i += 1;
+    }
+
     println!("Table 1 reproduction — PTA budget {budget} propagations");
     println!("(✓ = completes within budget, ✗ = budget exceeded; parentheses: heap flushes of the dynamic analysis)");
     println!();
@@ -17,14 +45,21 @@ fn main() {
         "{:<16} {:<12} {:<16} {:<16}   [PTA work: baseline / spec / detdom]",
         "jQuery-like", "Baseline", "Spec", "Spec+DetDOM"
     );
+    let versions = mujs_corpus::jquery_like::all_versions();
+    let labels: Vec<&'static str> = versions.iter().map(|v| v.version).collect();
+    // A failing version (engine panic, parse error) degrades to one
+    // reported row instead of aborting the whole table.
+    let rows = if workers > 1 {
+        run_table1_pooled(versions, budget, &JobPool::new(workers))
+    } else {
+        versions.iter().map(|v| run_table1(v, budget)).collect()
+    };
     let mut failed = false;
-    for v in mujs_corpus::jquery_like::all_versions() {
-        // A failing version (engine panic, parse error) degrades to one
-        // reported row instead of aborting the whole table.
-        let row = match run_table1(&v, budget) {
+    for (label, row) in labels.iter().zip(rows) {
+        let row = match row {
             Ok(row) => row,
             Err(e) => {
-                println!("{:<16} {e}", v.version);
+                println!("{label:<16} {e}");
                 failed = true;
                 continue;
             }

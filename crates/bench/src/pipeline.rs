@@ -211,6 +211,127 @@ pub struct EvalElimRow {
     pub plain_remaining: usize,
 }
 
+/// Runs one eval benchmark through analyze → specialize and reports
+/// whether every `eval` site was specialized away, plus the count of
+/// surviving sites. A benchmark whose analysis fails (parse error, engine
+/// panic) counts as "not handled" rather than killing the study.
+pub fn eliminate(b: &mujs_corpus::evalbench::EvalBenchmark, det_dom: bool) -> (bool, usize) {
+    let cfg = AnalysisConfig {
+        det_dom,
+        ..Default::default()
+    };
+    let doc = b.doc();
+    let plan = b.plan();
+    let (h, mut out) = match analyze_page(&b.src, &doc, &plan, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: {e}", b.name);
+            return (false, 0);
+        }
+    };
+    let spec = mujs_specialize::specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
+    // Per-site aggregation over all rewrite visits: a site counts as
+    // specialized when every visit eliminated it or erased it with dead
+    // code; a site with no events was never reached by the dynamic run
+    // (the paper's "not covered" category) and counts as a failure.
+    use mujs_specialize::EvalStatus;
+    use std::collections::HashMap;
+    let mut per_site: HashMap<mujs_ir::StmtId, bool> = HashMap::new();
+    for (site, st) in &spec.report.eval_events {
+        let ok = matches!(st, EvalStatus::Eliminated | EvalStatus::DeadCode);
+        per_site
+            .entry(*site)
+            .and_modify(|v| *v = *v && ok)
+            .or_insert(ok);
+    }
+    let mut failures = 0usize;
+    for f in &h.program.funcs {
+        mujs_ir::Program::walk_block(&f.body, &mut |s| {
+            if matches!(s.kind, mujs_ir::StmtKind::Eval { .. })
+                && !matches!(per_site.get(&s.id), Some(true))
+            {
+                failures += 1;
+            }
+        });
+    }
+    (failures == 0, failures)
+}
+
+/// Runs the §5.2 study for one benchmark under both configurations.
+pub fn run_eval_elim(b: &mujs_corpus::evalbench::EvalBenchmark) -> EvalElimRow {
+    let (plain_ok, plain_remaining) = eliminate(b, false);
+    let (detdom_ok, _) = eliminate(b, true);
+    EvalElimRow {
+        name: b.name,
+        plain_ok,
+        detdom_ok,
+        plain_remaining,
+    }
+}
+
+/// Pool-backed Table 1: one job per corpus version, results in version
+/// order regardless of worker count (the rows carry no timing data, so
+/// the table itself is scheduling-independent; only the bracketed PTA
+/// work figures could vary with machine load, and those are
+/// deterministic too since the PTA is budget- not time-bounded).
+pub fn run_table1_pooled(
+    versions: Vec<JQueryLike>,
+    pta_budget: u64,
+    pool: &mujs_jobs::JobPool,
+) -> Vec<Result<Table1Row, PipelineError>> {
+    let jobs: Vec<(String, _)> = versions
+        .into_iter()
+        .map(|v| {
+            let label = format!("table1-{}", v.version);
+            (label, move |ctx: &mujs_jobs::JobCtx| {
+                let row = run_table1(&v, pta_budget);
+                ctx.progress(format!("version {} done", v.version));
+                row
+            })
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .map(|verdict| match verdict {
+            mujs_jobs::JobVerdict::Done(r) => r,
+            mujs_jobs::JobVerdict::Panicked(p) => {
+                Err(PipelineError::Analysis(RunFailure::EnginePanic {
+                    payload: p,
+                    steps: 0,
+                    seed: 0,
+                }))
+            }
+            mujs_jobs::JobVerdict::Cancelled => {
+                Err(PipelineError::Analysis(RunFailure::Cancelled { seed: 0 }))
+            }
+        })
+        .collect()
+}
+
+/// Pool-backed §5.2 study: one job per runnable benchmark, rows in
+/// benchmark order regardless of worker count.
+pub fn run_eval_elim_pooled(
+    benchmarks: Vec<mujs_corpus::evalbench::EvalBenchmark>,
+    pool: &mujs_jobs::JobPool,
+) -> Vec<Option<EvalElimRow>> {
+    let jobs: Vec<(String, _)> = benchmarks
+        .into_iter()
+        .map(|b| {
+            let label = format!("eval-elim-{}", b.name);
+            (label, move |_ctx: &mujs_jobs::JobCtx| run_eval_elim(&b))
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .map(mujs_jobs::JobVerdict::into_done)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,8 +57,14 @@ impl DetHarness {
     /// # }
     /// ```
     pub fn from_src(src: &str) -> Result<Self, SyntaxError> {
-        let ast = mujs_syntax::parse(src)?;
-        let program = mujs_ir::lower_program(&ast);
+        // Parse *and* lower on a dedicated big-stack thread: both walk the
+        // AST recursively, and `MAX_NESTING` is sized for
+        // `PARSER_STACK_BYTES`, not for the caller's (possibly 2 MiB)
+        // stack.
+        let program = mujs_syntax::with_parser_stack(|| -> Result<Program, SyntaxError> {
+            let ast = mujs_syntax::parse(src)?;
+            Ok(mujs_ir::lower_program(&ast))
+        })?;
         Ok(DetHarness {
             program,
             source: SourceFile::new("main.js", src),

@@ -52,6 +52,43 @@ pub struct MultiRunOutcome {
     pub conflicts: u64,
 }
 
+impl MultiRunOutcome {
+    /// Combines per-run results in **input order** into one outcome.
+    ///
+    /// This is the single place run results become a combined database:
+    /// [`analyze_many_hooked`] feeds it seeds sequentially, and the
+    /// `mujs-jobs` pool feeds it worker results collected back into seed
+    /// order — so a pooled fan-out combines byte-identically to the
+    /// sequential path regardless of worker count or completion order.
+    pub fn combine<I>(results: I, max_facts: usize) -> MultiRunOutcome
+    where
+        I: IntoIterator<Item = Result<AnalysisOutcome, RunFailure>>,
+    {
+        let mut combined = FactDb::new(max_facts);
+        let mut master = ContextTable::new();
+        let mut runs = Vec::new();
+        let mut failures = Vec::new();
+        let mut conflicts = 0;
+        for r in results {
+            match r {
+                Ok(out) => {
+                    conflicts +=
+                        combined.absorb_reinterned(&out.facts, &out.ctxs, &mut master);
+                    runs.push(out);
+                }
+                Err(failure) => failures.push(failure),
+            }
+        }
+        MultiRunOutcome {
+            facts: combined,
+            ctxs: master,
+            runs,
+            failures,
+            conflicts,
+        }
+    }
+}
+
 /// Runs the analysis once per seed and combines the fact databases.
 ///
 /// # Examples
@@ -102,33 +139,17 @@ pub fn analyze_many_hooked(
     plan: &EventPlan,
     hooks: &RunHooks,
 ) -> MultiRunOutcome {
-    let mut combined = FactDb::new(base_cfg.max_facts);
-    let mut master = ContextTable::new();
-    let mut runs = Vec::with_capacity(seeds.len());
-    let mut failures = Vec::new();
-    let mut conflicts = 0;
-    for &seed in seeds {
-        let cfg = AnalysisConfig { seed, ..base_cfg.clone() };
-        let r = match doc {
-            Some(d) => supervised_analyze_dom(h, cfg, d.clone(), plan, hooks),
-            None => supervised_analyze(h, cfg, hooks),
-        };
-        match r {
-            Ok(out) => {
-                conflicts +=
-                    combined.absorb_reinterned(&out.facts, &out.ctxs, &mut master);
-                runs.push(out);
+    let results: Vec<Result<AnalysisOutcome, RunFailure>> = seeds
+        .iter()
+        .map(|&seed| {
+            let cfg = AnalysisConfig { seed, ..base_cfg.clone() };
+            match doc {
+                Some(d) => supervised_analyze_dom(h, cfg, d.clone(), plan, hooks),
+                None => supervised_analyze(h, cfg, hooks),
             }
-            Err(failure) => failures.push(failure),
-        }
-    }
-    MultiRunOutcome {
-        facts: combined,
-        ctxs: master,
-        runs,
-        failures,
-        conflicts,
-    }
+        })
+        .collect();
+    MultiRunOutcome::combine(results, base_cfg.max_facts)
 }
 
 /// Projects fully-qualified facts onto context suffixes of depth `k` —
@@ -194,8 +215,14 @@ pub fn export_json(
             }
         })
         .collect();
+    // Total order including value/determinacy tiebreakers: two points on
+    // the same line with the same kind and context must still serialize in
+    // a fixed order, so the exported bytes are independent of the fact
+    // database's internal (hash) iteration order. The `mujs-jobs` batch
+    // determinism guarantee relies on this.
     rows.sort_by(|a, b| {
-        (a.line, &a.kind, &a.context).cmp(&(b.line, &b.kind, &b.context))
+        (a.line, &a.kind, &a.context, &a.value, a.determinate)
+            .cmp(&(b.line, &b.kind, &b.context, &b.value, b.determinate))
     });
     serde_json::to_string_pretty(&rows).expect("fact rows serialize")
 }

@@ -80,6 +80,24 @@ impl RunHooks {
         }
     }
 
+    /// Hooks sharing an existing cancel token (e.g. a batch-wide token
+    /// held by a job pool), with a fresh progress counter.
+    pub fn with_cancel(token: CancelToken) -> Self {
+        RunHooks {
+            cancel: Some(token),
+            progress: Some(Arc::new(AtomicU64::new(0))),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+        }
+    }
+
+    /// The last progress-counter reading (0 when no counter is installed).
+    pub fn steps(&self) -> u64 {
+        self.progress
+            .as_ref()
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
     /// Replaces the fault plan (testing only).
     #[cfg(feature = "fault-inject")]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
@@ -146,6 +164,15 @@ pub enum RunFailure {
         /// The seed of the failed run, for reproduction.
         seed: u64,
     },
+    /// The run was cancelled *before it started* (batch shutdown): it
+    /// contributes no facts at all. Runs cancelled mid-flight are not
+    /// failures — they end normally with
+    /// [`AnalysisStatus::Cancelled`][crate::AnalysisStatus] and keep their
+    /// sound fact prefix.
+    Cancelled {
+        /// The seed the skipped run would have used.
+        seed: u64,
+    },
 }
 
 impl fmt::Display for RunFailure {
@@ -159,6 +186,9 @@ impl fmt::Display for RunFailure {
                 f,
                 "engine panic after {steps} steps (seed {seed}): {payload}"
             ),
+            RunFailure::Cancelled { seed } => {
+                write!(f, "cancelled before start (seed {seed})")
+            }
         }
     }
 }

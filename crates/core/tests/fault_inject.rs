@@ -46,7 +46,10 @@ fn injected_native_panic_is_caught_and_structured() {
         payload,
         steps,
         seed,
-    } = err;
+    } = err
+    else {
+        panic!("expected an engine panic, got {err}");
+    };
     assert!(payload.contains("injected native fault"), "{payload}");
     assert_eq!(seed, 7, "the failure must carry the failing seed");
     // The progress counter survives the panic, so the report says how far
@@ -141,7 +144,9 @@ if (r < 0.5) { console.log("taken"); console.log("deep"); }
     assert_eq!(out.conflicts, 0, "surviving seeds combine conflict-free");
     assert!(!out.facts.is_empty(), "surviving seeds still contribute facts");
     for f in &out.failures {
-        let RunFailure::EnginePanic { payload, seed, .. } = f;
+        let RunFailure::EnginePanic { payload, seed, .. } = f else {
+            panic!("expected an engine panic, got {f}");
+        };
         assert!(taken.contains(seed), "failure for unexpected seed {seed}");
         assert!(payload.contains("injected native fault"), "{payload}");
     }
@@ -221,6 +226,7 @@ proptest! {
                 prop_assert!(payload.contains("injected native fault"), "{}", payload);
                 prop_assert_eq!(s, seed);
             }
+            Err(other) => prop_assert!(false, "unexpected failure {}", other),
         }
     }
 }

@@ -29,7 +29,7 @@ pub enum Expected {
 }
 
 /// One benchmark program.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EvalBenchmark {
     /// Name (used in the harness output).
     pub name: &'static str,
@@ -89,6 +89,18 @@ impl EvalBenchmark {
     pub fn plan(&self) -> EventPlan {
         EventPlan::new()
     }
+}
+
+/// `(name, source)` pairs for the 24 *runnable* benchmarks, in suite
+/// order — batch-manifest generation for `mujs-jobs`. Sources only: batch
+/// jobs supply a default document, so DOM-dependent benchmarks exercise
+/// scheduling and determinism rather than the §5.2 elimination results.
+pub fn named_sources() -> Vec<(String, String)> {
+    all()
+        .into_iter()
+        .filter(|b| b.runnable)
+        .map(|b| (format!("evalbench-{}", b.name), b.src))
+        .collect()
 }
 
 /// All 28 benchmarks.

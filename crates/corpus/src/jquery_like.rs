@@ -282,6 +282,17 @@ pub fn all_versions() -> Vec<JQueryLike> {
     vec![v1_0(), v1_1(), v1_2(), v1_3()]
 }
 
+/// `(name, source)` pairs for batch-manifest generation (`mujs-jobs`),
+/// in Table 1 order. Sources only — batch jobs supply their own document
+/// and event plan; the full-fidelity page setup stays with
+/// [`all_versions`].
+pub fn named_sources() -> Vec<(String, String)> {
+    all_versions()
+        .into_iter()
+        .map(|v| (format!("jquery-like-{}", v.version), v.src))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,346 @@
+//! Running manifests through the pool, and the deterministic batch
+//! report.
+//!
+//! Each job runs entirely inside one worker thread: parse + lower (on the
+//! worker's big stack), one supervised analysis run per seed with the
+//! batch [`CancelToken`] threaded into the run hooks, per-seed combination
+//! via [`MultiRunOutcome::combine`] in seed order. The finished graph
+//! (program, source, combined outcome) transfers back through the pool's
+//! ordered result slots, so [`BatchOutcome::jobs`] is always in manifest
+//! order and [`BatchOutcome::report_json`] is **byte-identical for any
+//! worker count**.
+
+use crate::pool::{IsolatedGraph, JobCtx, JobPool, JobVerdict};
+use crate::spec::{JobSpec, Manifest};
+use determinacy::multirun::{export_json, MultiRunOutcome};
+use determinacy::{
+    supervised_analyze_dom, AnalysisConfig, AnalysisOutcome, DetHarness, RunFailure,
+    RunHooks,
+};
+use mujs_dom::document::{Document, DocumentBuilder};
+use mujs_dom::events::EventPlan;
+use serde::Serialize;
+
+/// Everything a completed job hands back: the combined multi-run outcome
+/// plus the program/source needed to render or export its facts.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The seeds the job fanned out over, in fan-out (= combination)
+    /// order.
+    pub seeds: Vec<u64>,
+    /// The per-seed runs combined in seed order.
+    pub multi: MultiRunOutcome,
+    /// The lowered program (for fact rendering/export).
+    pub program: mujs_ir::Program,
+    /// The source file (for fact rendering/export).
+    pub source: mujs_syntax::SourceFile,
+}
+
+impl JobOutcome {
+    /// The job's combined facts as the canonical sorted JSON export.
+    pub fn export_facts_json(&self) -> String {
+        export_json(
+            &self.multi.facts,
+            &self.program,
+            &self.source,
+            &self.multi.ctxs,
+        )
+    }
+}
+
+/// How a job resolved at the batch level.
+#[derive(Debug)]
+pub enum JobStatus {
+    /// The job ran; its runs may still record per-seed stops (deadline,
+    /// mem limit, mid-flight cancellation) in the outcome.
+    Completed,
+    /// Batch cancellation struck before the job started.
+    Cancelled,
+    /// The source did not parse.
+    Syntax(String),
+    /// The job panicked outside any supervised run.
+    Panicked(String),
+}
+
+/// One manifest entry's result.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Manifest index.
+    pub index: usize,
+    /// Job name.
+    pub name: String,
+    /// How the job resolved.
+    pub status: JobStatus,
+    /// The outcome, when [`JobStatus::Completed`].
+    pub outcome: Option<JobOutcome>,
+}
+
+/// The aggregated batch result, in manifest order.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One record per manifest job.
+    pub jobs: Vec<JobRecord>,
+}
+
+/// One row of the JSON batch report (serialization shape).
+#[derive(Debug, Serialize)]
+struct ReportRow {
+    name: String,
+    status: String,
+    seeds: Vec<u64>,
+    run_statuses: Vec<String>,
+    failures: Vec<String>,
+    facts: usize,
+    determinate: usize,
+    conflicts: u64,
+    fact_rows: Option<serde_json::Value>,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    jobs: Vec<ReportRow>,
+}
+
+impl BatchOutcome {
+    /// Number of jobs that ran to a [`JobStatus::Completed`] record.
+    pub fn completed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.status, JobStatus::Completed))
+            .count()
+    }
+
+    /// Whether any job failed outright (syntax error or unsupervised
+    /// panic). Cancelled jobs are not failures.
+    pub fn has_failures(&self) -> bool {
+        self.jobs.iter().any(|j| {
+            matches!(j.status, JobStatus::Syntax(_) | JobStatus::Panicked(_))
+                || j.outcome
+                    .as_ref()
+                    .is_some_and(|o| !o.multi.failures.is_empty())
+        })
+    }
+
+    /// The batch report as pretty JSON, in manifest order. Contains no
+    /// timing or worker information, so the bytes depend only on the
+    /// manifest and the analysis semantics — not on scheduling. With
+    /// `include_facts` each completed job embeds its full sorted fact
+    /// export.
+    pub fn report_json(&self, include_facts: bool) -> String {
+        let rows = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let status = match &j.status {
+                    JobStatus::Completed => "completed".to_owned(),
+                    JobStatus::Cancelled => "cancelled".to_owned(),
+                    JobStatus::Syntax(e) => format!("syntax error: {e}"),
+                    JobStatus::Panicked(e) => format!("panicked: {e}"),
+                };
+                let (seeds, run_statuses, failures, facts, determinate, conflicts) =
+                    match &j.outcome {
+                        Some(o) => (
+                            o.seeds.clone(),
+                            o.multi
+                                .runs
+                                .iter()
+                                .map(|r| format!("{:?}", r.status))
+                                .collect(),
+                            o.multi.failures.iter().map(|f| f.to_string()).collect(),
+                            o.multi.facts.len(),
+                            o.multi.facts.det_count(),
+                            o.multi.conflicts,
+                        ),
+                        None => (Vec::new(), Vec::new(), Vec::new(), 0, 0, 0),
+                    };
+                let fact_rows = match (&j.outcome, include_facts) {
+                    (Some(o), true) => Some(
+                        serde_json::from_str(&o.export_facts_json())
+                            .expect("fact export re-parses"),
+                    ),
+                    _ => None,
+                };
+                ReportRow {
+                    name: j.name.clone(),
+                    status,
+                    seeds,
+                    run_statuses,
+                    failures,
+                    facts,
+                    determinate,
+                    conflicts,
+                    fact_rows,
+                }
+            })
+            .collect();
+        serde_json::to_string_pretty(&Report { jobs: rows }).expect("report serializes")
+    }
+}
+
+/// Runs every manifest job through the pool and aggregates the results in
+/// manifest order.
+pub fn run_manifest(manifest: &Manifest, pool: &JobPool) -> BatchOutcome {
+    let jobs: Vec<(String, _)> = manifest
+        .jobs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            (spec.name.clone(), move |ctx: &JobCtx| run_spec(&spec, ctx))
+        })
+        .collect();
+    let verdicts = pool.run(jobs);
+    let records = verdicts
+        .into_iter()
+        .enumerate()
+        .map(|(index, v)| {
+            let name = manifest.jobs[index].name.clone();
+            let (status, outcome) = match v {
+                JobVerdict::Done(iso) => iso.into_inner(),
+                JobVerdict::Panicked(p) => (JobStatus::Panicked(p), None),
+                JobVerdict::Cancelled => (JobStatus::Cancelled, None),
+            };
+            JobRecord {
+                index,
+                name,
+                status,
+                outcome,
+            }
+        })
+        .collect();
+    BatchOutcome { jobs: records }
+}
+
+/// The worker-side body of one manifest job. Everything `Rc`-threaded is
+/// built here, inside the worker, and transferred back wholesale (see
+/// [`IsolatedGraph`]).
+fn run_spec(
+    spec: &JobSpec,
+    ctx: &JobCtx,
+) -> IsolatedGraph<(JobStatus, Option<JobOutcome>)> {
+    let harness = match DetHarness::from_src(&spec.src) {
+        Ok(h) => h,
+        Err(e) => return IsolatedGraph::new((JobStatus::Syntax(e.to_string()), None)),
+    };
+    let cfg = spec.effective_config();
+    let seeds = spec.effective_seeds();
+    let doc = DocumentBuilder::new().title(&spec.name).build();
+    let plan = EventPlan::new();
+    let outcome = analyze_seeds(harness, &seeds, cfg, &doc, &plan, ctx);
+    IsolatedGraph::new((JobStatus::Completed, Some(outcome)))
+}
+
+/// Runs one seed fan-out sequentially on the current (worker) thread,
+/// short-circuiting remaining seeds to [`RunFailure::Cancelled`] once the
+/// batch token fires, and combining in seed order.
+fn analyze_seeds(
+    mut harness: DetHarness,
+    seeds: &[u64],
+    base_cfg: AnalysisConfig,
+    doc: &Document,
+    plan: &EventPlan,
+    ctx: &JobCtx,
+) -> JobOutcome {
+    let hooks = RunHooks::with_cancel(ctx.cancel.clone());
+    let n = seeds.len();
+    let results: Vec<Result<AnalysisOutcome, RunFailure>> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            if ctx.is_cancelled() {
+                return Err(RunFailure::Cancelled { seed });
+            }
+            let cfg = AnalysisConfig {
+                seed,
+                ..base_cfg.clone()
+            };
+            let r = supervised_analyze_dom(
+                &mut harness,
+                cfg,
+                doc.clone(),
+                plan,
+                &hooks,
+            );
+            ctx.progress(format!("seed {}/{n} done", i + 1));
+            r
+        })
+        .collect();
+    let multi = MultiRunOutcome::combine(results, base_cfg.max_facts);
+    JobOutcome {
+        seeds: seeds.to_vec(),
+        multi,
+        program: harness.program,
+        source: harness.source,
+    }
+}
+
+/// The pool-backed variant of
+/// [`analyze_many_hooked`][determinacy::multirun::analyze_many_hooked]:
+/// fans the seed list out over the pool's workers (each worker re-parses
+/// the source on its own thread, so no `Rc` is shared across threads) and
+/// combines the per-seed outcomes **in seed order**, making the merged
+/// facts identical to the sequential path for any worker count.
+///
+/// # Errors
+///
+/// A [`mujs_syntax::SyntaxError`] when `src` does not parse (checked up
+/// front, before any job is scheduled).
+pub fn analyze_many_pooled(
+    src: &str,
+    seeds: &[u64],
+    base_cfg: AnalysisConfig,
+    doc: Option<&Document>,
+    plan: &EventPlan,
+    pool: &JobPool,
+) -> Result<MultiRunOutcome, mujs_syntax::SyntaxError> {
+    // Surface parse errors eagerly and identically to the sequential API.
+    mujs_syntax::parse_spawned(src)?;
+    let jobs: Vec<(String, _)> = seeds
+        .iter()
+        .map(|&seed| {
+            let label = format!("seed-{seed}");
+            let cfg = AnalysisConfig {
+                seed,
+                ..base_cfg.clone()
+            };
+            let job = move |ctx: &JobCtx| -> IsolatedGraph<
+                Result<AnalysisOutcome, RunFailure>,
+            > {
+                let r = match DetHarness::from_src(src) {
+                    Ok(mut h) => {
+                        let hooks = RunHooks::with_cancel(ctx.cancel.clone());
+                        let d = doc.cloned().unwrap_or_else(|| {
+                            DocumentBuilder::new().title("analyze-pooled").build()
+                        });
+                        supervised_analyze_dom(&mut h, cfg, d, plan, &hooks)
+                    }
+                    Err(e) => {
+                        // Unreachable after the eager parse; keep the seed
+                        // isolated rather than poisoning the batch.
+                        Err(RunFailure::EnginePanic {
+                            payload: format!("late parse failure: {e}"),
+                            steps: 0,
+                            seed,
+                        })
+                    }
+                };
+                IsolatedGraph::new(r)
+            };
+            (label, job)
+        })
+        .collect();
+    let verdicts = pool.run(jobs);
+    let results = verdicts
+        .into_iter()
+        .zip(seeds)
+        .map(|(v, &seed)| match v {
+            JobVerdict::Done(iso) => iso.into_inner(),
+            JobVerdict::Panicked(payload) => Err(RunFailure::EnginePanic {
+                payload,
+                steps: 0,
+                seed,
+            }),
+            JobVerdict::Cancelled => Err(RunFailure::Cancelled { seed }),
+        })
+        .collect::<Vec<_>>();
+    Ok(MultiRunOutcome::combine(results, base_cfg.max_facts))
+}

@@ -1,0 +1,172 @@
+//! Batch-analysis front door: run a manifest (or a directory of `.js`
+//! files, or a built-in corpus suite) through the job pool, streaming
+//! progress lines to stderr and writing a deterministic JSON report.
+//!
+//! ```console
+//! $ detjobs --manifest batch.json --workers 8 --report out.json
+//! $ detjobs --dir examples/js --workers 4
+//! $ detjobs --suite all --workers 8 --no-facts --report corpus.json
+//! ```
+//!
+//! The report bytes depend only on the manifest and the analysis
+//! semantics — `--workers 1` and `--workers 8` produce identical output.
+
+use mujs_jobs::{run_manifest, JobEvent, JobPool, Manifest};
+use std::sync::mpsc::channel;
+
+struct Options {
+    manifest: Option<String>,
+    dir: Option<String>,
+    suite: Option<String>,
+    workers: usize,
+    report: Option<String>,
+    include_facts: bool,
+    quiet: bool,
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: detjobs (--manifest FILE | --dir DIR | --suite jquery|evalbench|all)\n\
+         \x20              [--workers N] [--report FILE] [--no-facts] [--quiet]\n\
+         \n\
+         \x20 --manifest FILE  JSON job manifest (see DESIGN.md §5c for the format)\n\
+         \x20 --dir DIR        one default job per *.js file, sorted by name\n\
+         \x20 --suite NAME     built-in corpus suite manifest\n\
+         \x20 --workers N      worker threads (default: available parallelism)\n\
+         \x20 --report FILE    write the JSON report there (default: stdout)\n\
+         \x20 --no-facts       omit per-job fact rows from the report\n\
+         \x20 --quiet          suppress progress lines on stderr"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Options {
+        manifest: None,
+        dir: None,
+        suite: None,
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        report: None,
+        include_facts: true,
+        quiet: false,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match args.get(*i) {
+            Some(v) => v.clone(),
+            None => usage(&format!("{flag} needs a value")),
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--manifest" => o.manifest = Some(value(&args, &mut i, "--manifest")),
+            "--dir" => o.dir = Some(value(&args, &mut i, "--dir")),
+            "--suite" => o.suite = Some(value(&args, &mut i, "--suite")),
+            "--workers" => {
+                let v = value(&args, &mut i, "--workers");
+                o.workers = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => usage(&format!("--workers wants a positive integer, got `{v}`")),
+                };
+            }
+            "--report" => o.report = Some(value(&args, &mut i, "--report")),
+            "--no-facts" => o.include_facts = false,
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if [&o.manifest, &o.dir, &o.suite].iter().filter(|s| s.is_some()).count() != 1 {
+        usage("exactly one of --manifest, --dir, --suite is required");
+    }
+    o
+}
+
+fn load_manifest(o: &Options) -> Manifest {
+    let loaded = if let Some(path) = &o.manifest {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|s| Manifest::from_json(&s))
+    } else if let Some(dir) = &o.dir {
+        Manifest::from_dir(std::path::Path::new(dir))
+    } else {
+        let suite = o.suite.as_deref().unwrap_or_default();
+        Manifest::suite(suite)
+            .ok_or_else(|| format!("unknown suite `{suite}` (jquery, evalbench, all)"))
+    };
+    match loaded {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let manifest = load_manifest(&o);
+    let total = manifest.jobs.len();
+    eprintln!("detjobs: {total} jobs on {} workers", o.workers);
+
+    let (tx, rx) = channel();
+    let pool = JobPool::new(o.workers).with_events(tx);
+    let quiet = o.quiet;
+    // Stream progress lines until the pool drops its sender at batch end.
+    let printer = std::thread::spawn(move || {
+        for e in rx {
+            if quiet {
+                continue;
+            }
+            match e {
+                JobEvent::Started { job, label, worker } => {
+                    eprintln!("[{:>3}/{total}] started   {label} (worker {worker})", job + 1);
+                }
+                JobEvent::Progress { job, detail } => {
+                    eprintln!("[{:>3}/{total}] progress  {detail}", job + 1);
+                }
+                JobEvent::Finished { job, label } => {
+                    eprintln!("[{:>3}/{total}] finished  {label}", job + 1);
+                }
+                JobEvent::Failed { job, label, error } => {
+                    eprintln!("[{:>3}/{total}] FAILED    {label}: {error}", job + 1);
+                }
+                JobEvent::Cancelled { job, label } => {
+                    eprintln!("[{:>3}/{total}] cancelled {label}", job + 1);
+                }
+            }
+        }
+    });
+
+    let batch = run_manifest(&manifest, &pool);
+    drop(pool); // closes the event channel so the printer drains and exits
+    let _ = printer.join();
+
+    eprintln!(
+        "detjobs: {}/{} jobs completed{}",
+        batch.completed(),
+        total,
+        if batch.has_failures() { " (with failures)" } else { "" }
+    );
+
+    let report = batch.report_json(o.include_facts);
+    match &o.report {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("detjobs: report written to {path}");
+        }
+        None => println!("{report}"),
+    }
+    if batch.has_failures() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # mujs-jobs
+//!
+//! Parallel batch-analysis job scheduling for the determinacy analysis.
+//! The paper's evaluation (§5) is embarrassingly parallel across
+//! benchmark versions and seeds; this crate supplies the subsystem that
+//! actually schedules those runs concurrently, on top of the PR 1 run
+//! supervisor (panic isolation, cooperative deadlines/cancellation,
+//! memory budgets):
+//!
+//! * [`JobSpec`] / [`Manifest`] — the JSON batch description: source +
+//!   [`AnalysisConfig`][determinacy::AnalysisConfig] + seeds + per-job
+//!   budgets;
+//! * [`JobPool`] — a `std::thread` worker pool with a shared injector
+//!   queue, one supervised run per job, a batch-wide
+//!   [`CancelToken`][determinacy::CancelToken], and a streaming
+//!   [`JobEvent`] channel;
+//! * [`run_manifest`] / [`BatchOutcome`] — per-job
+//!   [`MultiRunOutcome`][determinacy::multirun::MultiRunOutcome]s plus
+//!   failures, combined in manifest order so the merged facts and the
+//!   exported JSON report are **byte-identical regardless of worker
+//!   count**;
+//! * [`analyze_many_pooled`] — the pool-backed variant of the core
+//!   `analyze_many_hooked` seed fan-out;
+//! * the `detjobs` binary — manifest/directory/suite in, streamed
+//!   progress lines out, deterministic JSON report written at the end.
+//!
+//! ## Determinism guarantee
+//!
+//! Three mechanisms compose to make batch output scheduling-independent:
+//! results land in slots indexed by submission order (never by completion
+//! order); per-job seed combination happens in seed order on the worker;
+//! and the fact export is totally ordered. Worker count changes
+//! wall-clock time and nothing else.
+//!
+//! ## Threading model
+//!
+//! Analysis graphs intern strings with `Rc<str>`, so jobs build their
+//! whole graph (parse → lower → run → combine) inside one worker thread
+//! and transfer it back exactly once through synchronized pool slots; no
+//! `Rc` is ever shared across threads.
+
+pub mod batch;
+pub mod pool;
+pub mod spec;
+
+pub use batch::{
+    analyze_many_pooled, run_manifest, BatchOutcome, JobOutcome, JobRecord, JobStatus,
+};
+pub use pool::{JobCtx, JobEvent, JobPool, JobVerdict};
+pub use spec::{JobSpec, Manifest};

@@ -1,0 +1,415 @@
+//! The worker pool: a fixed set of `std::thread` workers draining a shared
+//! injector queue of jobs, with batch-wide cooperative cancellation and a
+//! streaming progress-event channel.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results are stored into a slot vector indexed by
+//!    submission order, so the caller always sees jobs in the order it
+//!    submitted them — completion order (and therefore worker count) is
+//!    invisible to everything downstream.
+//! 2. **Isolation.** Every job runs under `catch_unwind`; a panicking job
+//!    becomes [`JobVerdict::Panicked`] and the pool keeps draining. (The
+//!    analysis layer additionally wraps each *run* in the PR 1 supervisor,
+//!    so a pool-level panic only happens for faults outside a run, e.g. in
+//!    job setup code.)
+//! 3. **Cancellation.** The pool shares one [`CancelToken`] with every
+//!    job. In-flight analysis runs observe it at their next statement poll
+//!    and stop with their sound fact prefix; jobs still in the queue are
+//!    *not started* and report [`JobVerdict::Cancelled`].
+//!
+//! Workers are spawned with [`mujs_syntax::PARSER_STACK_BYTES`] of stack,
+//! so everything a job does — parsing, lowering, counterfactual execution,
+//! `eval`-string reparsing — runs under the stack budget [`MAX_NESTING`]
+//! \[`mujs_syntax::MAX_NESTING`\] is sized for.
+
+use determinacy::CancelToken;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// A progress event streamed while a batch runs. Events arrive in real
+/// (completion) order; only the final result vector is ordered by
+/// submission index.
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// A worker picked the job up.
+    Started {
+        /// Submission index of the job.
+        job: usize,
+        /// Human-readable job label.
+        label: String,
+        /// Index of the worker running it.
+        worker: usize,
+    },
+    /// The job reported intermediate progress (e.g. "seed 3/8 done").
+    Progress {
+        /// Submission index of the job.
+        job: usize,
+        /// What happened.
+        detail: String,
+    },
+    /// The job ran to completion (its *outcome* may still record per-run
+    /// stops such as `Deadline` or mid-flight `Cancelled`).
+    Finished {
+        /// Submission index of the job.
+        job: usize,
+        /// Human-readable job label.
+        label: String,
+    },
+    /// The job panicked outside any supervised run.
+    Failed {
+        /// Submission index of the job.
+        job: usize,
+        /// Human-readable job label.
+        label: String,
+        /// The panic payload.
+        error: String,
+    },
+    /// Batch cancellation struck before the job started; it never ran.
+    Cancelled {
+        /// Submission index of the job.
+        job: usize,
+        /// Human-readable job label.
+        label: String,
+    },
+}
+
+/// How one job ended, in the pool's eyes.
+#[derive(Debug)]
+pub enum JobVerdict<T> {
+    /// The job function returned.
+    Done(T),
+    /// The job function panicked; the payload survives for the report.
+    Panicked(String),
+    /// The batch was cancelled before this job started.
+    Cancelled,
+}
+
+impl<T> JobVerdict<T> {
+    /// The result, if the job completed.
+    pub fn into_done(self) -> Option<T> {
+        match self {
+            JobVerdict::Done(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Context handed to a running job: its identity, the batch cancel token,
+/// and a handle for streaming progress events.
+#[derive(Debug)]
+pub struct JobCtx {
+    /// Submission index of this job.
+    pub job: usize,
+    /// Index of the worker running it.
+    pub worker: usize,
+    /// The batch-wide cancellation token. Jobs should thread it into
+    /// their run supervision hooks (`RunHooks::with_cancel`) so mid-flight
+    /// runs stop at the next poll.
+    pub cancel: CancelToken,
+    events: Option<Sender<JobEvent>>,
+}
+
+impl JobCtx {
+    /// Whether batch cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Streams a [`JobEvent::Progress`] line (no-op without a listener).
+    pub fn progress(&self, detail: impl Into<String>) {
+        if let Some(tx) = &self.events {
+            let _ = tx.send(JobEvent::Progress {
+                job: self.job,
+                detail: detail.into(),
+            });
+        }
+    }
+}
+
+/// A batch-analysis worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use mujs_jobs::JobPool;
+/// let pool = JobPool::new(4);
+/// let jobs = (0..10)
+///     .map(|i| (format!("square-{i}"), move |_ctx: &mujs_jobs::JobCtx| i * i))
+///     .collect();
+/// let results = pool.run(jobs);
+/// // Submission order, whatever the completion order was:
+/// assert_eq!(results.len(), 10);
+/// assert!(matches!(results[3], mujs_jobs::JobVerdict::Done(9)));
+/// ```
+#[derive(Debug)]
+pub struct JobPool {
+    workers: usize,
+    cancel: CancelToken,
+    events: Option<Sender<JobEvent>>,
+}
+
+impl JobPool {
+    /// A pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        JobPool {
+            workers: workers.max(1),
+            cancel: CancelToken::new(),
+            events: None,
+        }
+    }
+
+    /// Shares an external cancellation token (e.g. one also wired to a
+    /// Ctrl-C handler) instead of the pool's own.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Streams [`JobEvent`]s to `tx` while batches run.
+    pub fn with_events(mut self, tx: Sender<JobEvent>) -> Self {
+        self.events = Some(tx);
+        self
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A clone of the batch cancellation token; cancelling it stops the
+    /// whole batch (in-flight runs at their next poll, queued jobs before
+    /// they start).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Requests whole-batch cancellation.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Runs every `(label, job)` pair to a verdict and returns the
+    /// verdicts **in submission order**.
+    ///
+    /// Blocks until all jobs are resolved (completed, panicked, or marked
+    /// cancelled). After a cancel, in-flight jobs return as soon as their
+    /// runs hit the next cancellation poll; queued jobs resolve
+    /// immediately without running.
+    pub fn run<T, F>(&self, jobs: Vec<(String, F)>) -> Vec<JobVerdict<T>>
+    where
+        T: Send,
+        F: FnOnce(&JobCtx) -> T + Send,
+    {
+        let n = jobs.len();
+        let queue: Mutex<VecDeque<(usize, String, F)>> = Mutex::new(
+            jobs.into_iter()
+                .enumerate()
+                .map(|(i, (label, f))| (i, label, f))
+                .collect(),
+        );
+        let results: Mutex<Vec<Option<JobVerdict<T>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for worker in 0..self.workers.min(n.max(1)) {
+                let queue = &queue;
+                let results = &results;
+                let cancel = self.cancel.clone();
+                let events = self.events.clone();
+                let builder = std::thread::Builder::new()
+                    .name(format!("mujs-job-{worker}"))
+                    // Jobs parse and execute recursively; size the stack
+                    // for the raised MAX_NESTING guard.
+                    .stack_size(mujs_syntax::PARSER_STACK_BYTES);
+                builder
+                    .spawn_scoped(s, move || loop {
+                        let Some((job, label, f)) = queue.lock().unwrap().pop_front()
+                        else {
+                            return;
+                        };
+                        let verdict = if cancel.is_cancelled() {
+                            emit(&events, JobEvent::Cancelled { job, label });
+                            JobVerdict::Cancelled
+                        } else {
+                            emit(
+                                &events,
+                                JobEvent::Started {
+                                    job,
+                                    label: label.clone(),
+                                    worker,
+                                },
+                            );
+                            let ctx = JobCtx {
+                                job,
+                                worker,
+                                cancel: cancel.clone(),
+                                events: events.clone(),
+                            };
+                            match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                                Ok(t) => {
+                                    emit(&events, JobEvent::Finished { job, label });
+                                    JobVerdict::Done(t)
+                                }
+                                Err(p) => {
+                                    let error = panic_text(p);
+                                    emit(
+                                        &events,
+                                        JobEvent::Failed {
+                                            job,
+                                            label,
+                                            error: error.clone(),
+                                        },
+                                    );
+                                    JobVerdict::Panicked(error)
+                                }
+                            }
+                        };
+                        results.lock().unwrap()[job] = Some(verdict);
+                    })
+                    .expect("spawn pool worker");
+            }
+        });
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|v| v.expect("every job resolved"))
+            .collect()
+    }
+}
+
+fn emit(events: &Option<Sender<JobEvent>>, e: JobEvent) {
+    if let Some(tx) = events {
+        let _ = tx.send(e);
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// A fully-owned object graph transferred wholesale between threads.
+///
+/// The analysis pipeline interns strings with `Rc<str>`, so harnesses,
+/// fact databases, and multi-run outcomes are not `Send` even though they
+/// contain no thread-shared state. Jobs build those graphs *entirely on
+/// the worker thread* and hand them back through the pool exactly once;
+/// `Mutex`/`join` synchronization orders the handoff, so the non-atomic
+/// refcounts are never touched concurrently.
+///
+/// # Safety invariant (on the constructor's caller)
+///
+/// Every `Rc` reachable from the wrapped value must have *all* of its
+/// clones inside the wrapped value itself — nothing reachable may share a
+/// refcount with data that stays on the producing thread or is visible to
+/// any other thread. Values freshly parsed/analyzed inside one job satisfy
+/// this by construction.
+pub(crate) struct IsolatedGraph<T>(T);
+
+unsafe impl<T> Send for IsolatedGraph<T> {}
+
+impl<T> IsolatedGraph<T> {
+    /// Wraps a graph for transfer. See the type-level safety invariant.
+    pub(crate) fn new(value: T) -> Self {
+        IsolatedGraph(value)
+    }
+
+    /// Unwraps on the receiving thread.
+    pub(crate) fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    type BoxedJob<T> = Box<dyn FnOnce(&JobCtx) -> T + Send>;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = JobPool::new(8);
+        // Reverse sleeps so completion order inverts submission order.
+        let jobs: Vec<(String, _)> = (0..16usize)
+            .map(|i| {
+                (format!("j{i}"), move |_ctx: &JobCtx| {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        (16 - i) as u64,
+                    ));
+                    i * 10
+                })
+            })
+            .collect();
+        let out = pool.run(jobs);
+        for (i, v) in out.iter().enumerate() {
+            assert!(matches!(v, JobVerdict::Done(x) if *x == i * 10));
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_the_batch() {
+        let pool = JobPool::new(2);
+        let jobs: Vec<(String, BoxedJob<usize>)> = vec![
+            ("ok-0".into(), Box::new(|_| 1)),
+            ("boom".into(), Box::new(|_| panic!("job exploded"))),
+            ("ok-2".into(), Box::new(|_| 3)),
+        ];
+        let out = pool.run(jobs);
+        assert!(matches!(out[0], JobVerdict::Done(1)));
+        assert!(matches!(&out[1], JobVerdict::Panicked(p) if p.contains("exploded")));
+        assert!(matches!(out[2], JobVerdict::Done(3)));
+    }
+
+    #[test]
+    fn cancellation_skips_queued_jobs() {
+        let pool = JobPool::new(1);
+        let token = pool.cancel_token();
+        let jobs: Vec<(String, BoxedJob<u32>)> = vec![
+            (
+                "canceller".into(),
+                Box::new(move |_| {
+                    token.cancel();
+                    7
+                }),
+            ),
+            ("never-runs".into(), Box::new(|_| 8)),
+        ];
+        let out = pool.run(jobs);
+        assert!(matches!(out[0], JobVerdict::Done(7)));
+        assert!(matches!(out[1], JobVerdict::Cancelled));
+    }
+
+    #[test]
+    fn events_stream_start_progress_finish() {
+        let (tx, rx) = channel();
+        let pool = JobPool::new(1).with_events(tx);
+        let jobs: Vec<(String, _)> = vec![(
+            "one".to_owned(),
+            |ctx: &JobCtx| {
+                ctx.progress("halfway");
+                42
+            },
+        )];
+        let out = pool.run(jobs);
+        assert!(matches!(out[0], JobVerdict::Done(42)));
+        let kinds: Vec<String> = rx
+            .try_iter()
+            .map(|e| match e {
+                JobEvent::Started { .. } => "started".into(),
+                JobEvent::Progress { detail, .. } => format!("progress:{detail}"),
+                JobEvent::Finished { .. } => "finished".into(),
+                other => format!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(kinds, ["started", "progress:halfway", "finished"]);
+    }
+}

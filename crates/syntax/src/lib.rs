@@ -31,5 +31,7 @@ pub mod span;
 pub mod token;
 
 pub use error::{SyntaxError, SyntaxErrorKind};
-pub use parser::{parse, parse_expr, MAX_NESTING};
+pub use parser::{
+    parse, parse_expr, parse_spawned, with_parser_stack, MAX_NESTING, PARSER_STACK_BYTES,
+};
 pub use span::{SourceFile, Span};

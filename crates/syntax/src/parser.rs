@@ -62,13 +62,67 @@ pub fn parse_expr(src: &str) -> Result<Expr, SyntaxError> {
 
 /// Maximum recursion-guard depth the parser allows. Inputs nested deeper
 /// fail cleanly with [`SyntaxErrorKind::NestingTooDeep`] instead of risking
-/// a stack overflow: the recursive-descent chain costs enough stack per
-/// level in debug builds that unbounded recursion aborts the process on a
-/// default 2 MiB thread stack. One level of source nesting can consume up
-/// to two guard entries (assignment chain + unary chain), so the guaranteed
-/// source nesting depth is [`MAX_NESTING`]` / 2`. The value is sized so the
-/// worst-case chain fits a 2 MiB stack in debug builds with margin.
-pub const MAX_NESTING: u32 = 160;
+/// a stack overflow. One level of source nesting can consume up to two
+/// guard entries (assignment chain + unary chain), so the guaranteed
+/// source nesting depth is [`MAX_NESTING`]` / 2`.
+///
+/// The value is sized for a thread with [`PARSER_STACK_BYTES`] of stack
+/// (the worst-case recursive-descent chain costs ~13 KiB per guard entry
+/// in debug builds, leaving margin) — not for the 2 MiB default thread
+/// stack. Callers handing the parser untrusted, potentially deep input
+/// must go through [`parse_spawned`] or [`with_parser_stack`] (as
+/// `DetHarness::from_src` and the `mujs-jobs` worker pool do); plain
+/// [`parse`] on a default stack is only guaranteed for shallow input.
+pub const MAX_NESTING: u32 = 1280;
+
+/// Stack size for threads that run the recursive-descent chain on inputs
+/// nested up to [`MAX_NESTING`]: eight times the old 2 MiB sizing, matching
+/// the eightfold raise of the nesting guard.
+pub const PARSER_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Runs `f` on a freshly spawned thread with [`PARSER_STACK_BYTES`] of
+/// stack and returns its result; panics in `f` resume on the caller.
+///
+/// The result type is intentionally *not* required to be `Send`: parser
+/// and lowering output is threaded with `Rc<str>` interning, and this
+/// helper exists precisely to build such a graph on a big stack and hand
+/// it back. That transfer is sound because the graph is constructed
+/// entirely on the spawned thread from the `Send` captures of `f`, every
+/// `Rc` clone lives inside the returned value, and `join` synchronizes the
+/// handoff — the graph is moved between threads, never shared. `f` must
+/// not stash clones of the result's `Rc`s anywhere that outlives the call
+/// (the parser and lowerer keep no such state).
+pub fn with_parser_stack<T, F>(f: F) -> T
+where
+    F: FnOnce() -> T + Send,
+{
+    // Wholesale-transferred graph; see the invariant above.
+    struct Graph<T>(T);
+    unsafe impl<T> Send for Graph<T> {}
+    std::thread::scope(|s| {
+        let handle = std::thread::Builder::new()
+            .name("mujs-parser".to_owned())
+            .stack_size(PARSER_STACK_BYTES)
+            .spawn_scoped(s, || Graph(f()))
+            .expect("spawn parser thread");
+        match handle.join() {
+            Ok(g) => g.0,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
+/// [`parse`] on a dedicated thread with [`PARSER_STACK_BYTES`] of stack,
+/// so inputs nested up to the [`MAX_NESTING`] guard parse (or fail with a
+/// clean [`SyntaxErrorKind::NestingTooDeep`]) without any risk of
+/// overflowing a small caller stack.
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`] encountered.
+pub fn parse_spawned(src: &str) -> Result<Program, SyntaxError> {
+    with_parser_stack(|| parse(src))
+}
 
 struct Parser {
     tokens: Vec<Token>,

@@ -1,7 +1,7 @@
 //! Robustness: the lexer and parser must never panic, whatever the input
 //! — errors are always returned as values.
 
-use mujs_syntax::{lexer::lex, parse, SyntaxErrorKind, MAX_NESTING};
+use mujs_syntax::{lexer::lex, parse, parse_spawned, SyntaxErrorKind, MAX_NESTING};
 use proptest::prelude::*;
 
 proptest! {
@@ -54,19 +54,29 @@ fn nested_parens(depth: usize) -> String {
 fn parser_handles_pathological_nesting() {
     // One paren level costs up to two recursion-guard entries, and the
     // enclosing statement and outermost expression cost a few more, so the
-    // guaranteed depth is a little under MAX_NESTING / 2.
+    // guaranteed depth is a little under MAX_NESTING / 2. MAX_NESTING is
+    // sized for the dedicated parser stack, so deep inputs go through
+    // `parse_spawned` (plain `parse` on a 2 MiB test thread would overflow
+    // before the guard fires).
     let guaranteed = (MAX_NESTING / 2 - 4) as usize;
-    assert!(parse(&nested_parens(guaranteed)).is_ok());
+    assert!(parse_spawned(&nested_parens(guaranteed)).is_ok());
 }
 
 #[test]
 fn parser_rejects_excessive_nesting_cleanly() {
     // Beyond the guard limit the parser must return a structured error —
     // never abort the process with a stack overflow.
-    for depth in [200usize, 5_000] {
-        let err = parse(&nested_parens(depth)).expect_err("depth limited");
+    for depth in [MAX_NESTING as usize, 5_000] {
+        let err = parse_spawned(&nested_parens(depth)).expect_err("depth limited");
         assert_eq!(err.kind, SyntaxErrorKind::NestingTooDeep);
     }
+}
+
+#[test]
+fn shallow_nesting_still_parses_on_the_caller_stack() {
+    // Plain `parse` keeps working for the shallow inputs it is guaranteed
+    // for (eval-position strings, test snippets).
+    assert!(parse(&nested_parens(40)).is_ok());
 }
 
 #[test]

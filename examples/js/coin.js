@@ -1,0 +1,12 @@
+// A random branch: values written on only one side are indeterminate
+// across seeds, the join afterwards is determinate again.
+var coin = Math.random() < 0.5;
+var picked = 0;
+if (coin) {
+  var heads = 1;
+  picked = 10;
+} else {
+  var tails = 2;
+  picked = 20;
+}
+var after = 42;

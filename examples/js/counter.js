@@ -1,0 +1,9 @@
+// Fully deterministic: every write the analysis sees is determinate.
+var count = 0;
+function bump() {
+  count = count + 1;
+  return count;
+}
+bump();
+bump();
+var total = bump();

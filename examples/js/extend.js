@@ -1,0 +1,12 @@
+// The paper's jQuery.extend motif: dynamic property keys that the
+// determinacy analysis proves constant, enabling specialization.
+var lib = {};
+function extend(target, spec) {
+  for (var key in spec) {
+    target[key] = spec[key];
+  }
+  return target;
+}
+extend(lib, { first: 1, second: 2 });
+extend(lib, { third: 3 });
+var sum = lib.first + lib.second + lib.third;
