@@ -1,0 +1,258 @@
+//! `detbench` — the repo's interpreter-performance harness.
+//!
+//! Measures two layers and emits one JSON document (`BENCH_interp.json`
+//! feedstock):
+//!
+//! * **micro** — the concrete interpreter (S1) over the synthetic
+//!   `mujs_corpus::workload` programs, reported as steps/sec;
+//! * **corpus** — the instrumented analysis (S2) over the Table 1
+//!   jQuery-like corpus and the §5.2 eval suite, reported as wall time
+//!   and corpus-level steps/sec.
+//!
+//! ```console
+//! $ cargo run --release -p mujs-bench --bin detbench -- --out bench.json
+//! $ cargo run --release -p mujs-bench --bin detbench -- --check BENCH_interp.json
+//! ```
+//!
+//! `--check` reruns the corpus measurements and fails (exit 1) if the
+//! Table 1 analysis wall time regresses more than `--max-regress`
+//! (default 0.25 = 25%) against the baseline file's `after` section —
+//! the CI smoke gate.
+
+use determinacy::{AnalysisConfig, DetHarness, RunHooks};
+use mujs_corpus::{evalbench, jquery_like, workload};
+use mujs_interp::driver::Harness;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct MicroResult {
+    name: String,
+    wall_ms: f64,
+    steps: u64,
+    steps_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct CorpusResult {
+    wall_ms: f64,
+    steps: u64,
+    steps_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Measurement {
+    label: String,
+    mode: &'static str,
+    micro: Vec<MicroResult>,
+    table1_analysis: CorpusResult,
+    eval_elim_analysis: CorpusResult,
+    table1_full_wall_ms: f64,
+}
+
+const MODE: &str = if cfg!(debug_assertions) { "debug" } else { "release" };
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut label = String::from("current");
+    let mut max_regress = 0.25f64;
+    let mut iters = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage("flag needs a value"))
+        };
+        match args[i].as_str() {
+            "--out" => out_path = Some(need(&mut i)),
+            "--check" => check_path = Some(need(&mut i)),
+            "--label" => label = need(&mut i),
+            "--iters" => {
+                iters = need(&mut i).parse().unwrap_or_else(|_| usage("--iters wants an integer"))
+            }
+            "--max-regress" => {
+                max_regress =
+                    need(&mut i).parse().unwrap_or_else(|_| usage("--max-regress wants a float"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let m = measure(&label, iters);
+    let json = serde_json::to_string_pretty(&m).expect("measurement serializes");
+    match &out_path {
+        Some(p) => {
+            std::fs::write(p, format!("{json}\n")).expect("write bench output");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+    report(&m);
+
+    if let Some(p) = check_path {
+        let base = std::fs::read_to_string(&p).expect("read baseline");
+        let base: serde_json::Value = serde_json::from_str(&base).expect("baseline parses");
+        // Accept either a bare measurement or the checked-in
+        // {before, after} document; gate against `after`.
+        let after = if base.get("after").is_some() { &base["after"] } else { &base };
+        let base_wall = after["table1_analysis"]["wall_ms"]
+            .as_f64()
+            .expect("baseline table1_analysis.wall_ms");
+        let cur = m.table1_analysis.wall_ms;
+        let limit = base_wall * (1.0 + max_regress);
+        eprintln!(
+            "check: table1 analysis wall {cur:.1}ms vs baseline {base_wall:.1}ms \
+             (limit {limit:.1}ms)"
+        );
+        if MODE == "debug" {
+            eprintln!("check: debug build — wall-time gate is advisory only");
+        } else if cur > limit {
+            eprintln!("FAIL: corpus wall time regressed more than {:.0}%", max_regress * 100.0);
+            std::process::exit(1);
+        }
+        eprintln!("check: ok");
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: detbench [--out FILE] [--label L] [--iters N]\n\
+         \x20               [--check BASELINE.json] [--max-regress F]"
+    );
+    std::process::exit(2);
+}
+
+fn measure(label: &str, iters: usize) -> Measurement {
+    let micro_cases: Vec<(&str, String)> = vec![
+        ("arith_chain_4k", workload::arithmetic_chain(4000)),
+        ("object_graph_1500", workload::object_graph(1500)),
+        ("call_tree_fib18", workload::call_tree(18)),
+        ("string_workload_800", workload::string_workload(800)),
+    ];
+    let micro = micro_cases
+        .into_iter()
+        .map(|(name, src)| {
+            let mut h = Harness::from_src(&src).expect("workload parses");
+            // Warm-up run (also populates eval-lowered functions, if any).
+            h.run(Default::default()).expect_ok();
+            let mut best = f64::INFINITY;
+            let mut steps = 0;
+            for _ in 0..iters.max(1) {
+                let t0 = Instant::now();
+                let out = h.run(Default::default());
+                let dt = t0.elapsed().as_secs_f64() * 1e3;
+                out.expect_ok();
+                steps = out.steps;
+                if dt < best {
+                    best = dt;
+                }
+            }
+            MicroResult {
+                name: name.to_owned(),
+                wall_ms: best,
+                steps,
+                steps_per_sec: steps as f64 / (best / 1e3),
+            }
+        })
+        .collect();
+
+    // Corpus-level: instrumented analysis over the Table 1 corpus (the
+    // headline number) and the eval suite, best-of-iters.
+    let table1_analysis = best_of(iters, || {
+        let mut steps = 0u64;
+        let t0 = Instant::now();
+        for v in jquery_like::all_versions() {
+            let (_, out) = mujs_bench::pipeline::analyze_page(
+                &v.src,
+                &v.doc,
+                &v.plan,
+                AnalysisConfig::default(),
+            )
+            .expect("table1 version analyzes");
+            steps += out.stats.steps;
+        }
+        (t0.elapsed().as_secs_f64() * 1e3, steps)
+    });
+
+    let eval_elim_analysis = best_of(iters, || {
+        let mut steps = 0u64;
+        let t0 = Instant::now();
+        for b in evalbench::all().iter().filter(|b| b.runnable) {
+            let mut h = match DetHarness::from_src(&b.src) {
+                Ok(h) => h,
+                Err(_) => continue,
+            };
+            let out = determinacy::supervised_analyze_dom(
+                &mut h,
+                AnalysisConfig::default(),
+                b.doc(),
+                &b.plan(),
+                &RunHooks::supervised(),
+            );
+            if let Ok(out) = out {
+                steps += out.stats.steps;
+            }
+        }
+        (t0.elapsed().as_secs_f64() * 1e3, steps)
+    });
+
+    // Full Table 1 (analysis + specializer + PTA), single shot: tracked
+    // for context, not gated.
+    let t0 = Instant::now();
+    for v in jquery_like::all_versions() {
+        let _ = mujs_bench::pipeline::run_table1(&v, mujs_bench::pipeline::TABLE1_PTA_BUDGET);
+    }
+    let table1_full_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Measurement {
+        label: label.to_owned(),
+        mode: MODE,
+        micro,
+        table1_analysis,
+        eval_elim_analysis,
+        table1_full_wall_ms,
+    }
+}
+
+fn best_of(iters: usize, mut f: impl FnMut() -> (f64, u64)) -> CorpusResult {
+    let mut best = f64::INFINITY;
+    let mut steps = 0;
+    for _ in 0..iters.max(1) {
+        let (wall, s) = f();
+        steps = s;
+        if wall < best {
+            best = wall;
+        }
+    }
+    CorpusResult {
+        wall_ms: best,
+        steps,
+        steps_per_sec: steps as f64 / (best / 1e3),
+    }
+}
+
+fn report(m: &Measurement) {
+    eprintln!("detbench [{}] mode={}", m.label, m.mode);
+    for r in &m.micro {
+        eprintln!(
+            "  micro {:<22} {:>9.2} ms  {:>12.0} steps/s",
+            r.name, r.wall_ms, r.steps_per_sec
+        );
+    }
+    eprintln!(
+        "  table1 analysis        {:>9.2} ms  {:>12.0} steps/s",
+        m.table1_analysis.wall_ms, m.table1_analysis.steps_per_sec
+    );
+    eprintln!(
+        "  eval-elim analysis     {:>9.2} ms  {:>12.0} steps/s",
+        m.eval_elim_analysis.wall_ms, m.eval_elim_analysis.steps_per_sec
+    );
+    eprintln!("  table1 full pipeline   {:>9.2} ms", m.table1_full_wall_ms);
+}

@@ -272,12 +272,13 @@ impl DMachine<'_> {
     }
 
     /// Intercepted DOM property reads, with the DetDOM policy applied.
-    pub(crate) fn dom_get_hook(&mut self, obj: ObjId, key: &str) -> Option<DValue> {
+    pub(crate) fn dom_get_hook(&mut self, obj: ObjId, key: mujs_ir::Sym) -> Option<DValue> {
         let dd = self.dom_det();
         match self.obj(obj).class {
             ObjClass::DomDocument => {
+                let key = self.prog.interner.name(key).clone();
                 let doc = self.doc.as_ref()?;
-                let v = match key {
+                let v = match &*key {
                     "title" => Value::Str(Rc::from(doc.title.as_str())),
                     "body" => {
                         let b = doc.body();
@@ -292,11 +293,12 @@ impl DMachine<'_> {
                 Some(DValue { v, d: dd })
             }
             ObjClass::DomElement(n) => {
+                let key = self.prog.interner.name(key).clone();
                 let doc = self.doc.as_ref()?;
                 if !doc.contains(n) {
                     return None;
                 }
-                let v = match key {
+                let v = match &*key {
                     "tagName" => Value::Str(Rc::from(doc.node(n).tag.to_uppercase().as_str())),
                     "id" => Value::Str(Rc::from(doc.get_attribute(n, "id").unwrap_or(""))),
                     "className" => {
@@ -319,20 +321,21 @@ impl DMachine<'_> {
     /// not allowed inside counterfactual execution, but the intercept
     /// itself cannot abort (it is called from `set_prop_d`), so it falls
     /// back to recording the write as an ordinary expando in that case.
-    pub(crate) fn dom_set_hook(&mut self, obj: ObjId, key: &str, value: &DValue) -> bool {
+    pub(crate) fn dom_set_hook(&mut self, obj: ObjId, key: mujs_ir::Sym, value: &DValue) -> bool {
         if self.in_counterfactual() {
             return false;
         }
         let ObjClass::DomElement(n) = self.obj(obj).class else {
             return false;
         };
+        let key = self.prog.interner.name(key).clone();
         let Ok(s) = mujs_interp::coerce::to_string(&value.v) else {
             return false;
         };
         let Some(doc) = self.doc.as_mut() else {
             return false;
         };
-        match key {
+        match &*key {
             "id" => {
                 doc.set_attribute(n, "id", &s);
                 true

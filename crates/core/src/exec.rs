@@ -11,8 +11,7 @@ use mujs_interp::context::CtxId;
 use mujs_interp::machine::lit_value;
 use mujs_interp::{ObjClass, ObjId, ScopeId, Value};
 use mujs_ir::ir::{FuncKind, Place, PropKey, StmtKind};
-use mujs_ir::{FuncId, Stmt, StmtId, TempId};
-use std::collections::HashMap;
+use mujs_ir::{FuncId, Stmt, StmtId, Sym, TempId};
 use std::rc::Rc;
 
 impl DMachine<'_> {
@@ -39,17 +38,24 @@ impl DMachine<'_> {
 
     pub(crate) fn run_script(&mut self) -> Result<(), DErr> {
         let entry = self.prog.entry().expect("program has an entry");
-        let f = self.prog.func(entry).clone();
-        for v in &f.decls.vars {
-            if self.get_raw(self.global, v).is_none() {
-                self.write_prop(self.global, v, DValue::undef());
+        let f = self.prog.func_rc(entry);
+        for &v in &f.decls.vars {
+            if self.get_raw_s(self.global, v).is_none() {
+                self.write_prop_s(self.global, v, DValue::undef());
             }
         }
-        for (name, fid) in f.decls.funcs.clone() {
+        for &(name, fid) in &f.decls.funcs {
             let clos = self.make_closure(fid, None);
-            self.write_prop(self.global, &name, DValue::det(Value::Object(clos)));
+            self.write_prop_s(self.global, name, DValue::det(Value::Object(clos)));
         }
-        let mut frame = self.fresh_frame(entry, None, DValue::det(Value::Object(self.global)), CtxId::ROOT, f.n_temps);
+        let mut frame = self.fresh_frame(
+            entry,
+            None,
+            None,
+            DValue::det(Value::Object(self.global)),
+            CtxId::ROOT,
+            f.n_temps,
+        );
         match self.exec_block(&mut frame, &f.body)? {
             DFlow::Normal => Ok(()),
             _ => Err(DErr::Stop(AnalysisStatus::UncaughtException)),
@@ -60,6 +66,7 @@ impl DMachine<'_> {
         &mut self,
         func: FuncId,
         scope: Option<ScopeId>,
+        activation: Option<ScopeId>,
         this_val: DValue,
         ctx: CtxId,
         n_temps: u32,
@@ -69,10 +76,11 @@ impl DMachine<'_> {
         DFrame {
             func,
             scope,
+            activation,
             temps: vec![DValue::undef(); n_temps as usize],
             this_val,
             ctx,
-            occurrences: HashMap::new(),
+            occurrences: vec![0; self.prog.stmt_count_of(func) as usize],
             serial,
         }
     }
@@ -86,32 +94,47 @@ impl DMachine<'_> {
             Det::D,
         );
         let proto = self.alloc(ObjClass::Plain, Some(self.protos.object), Det::D);
-        self.write_prop(proto, "constructor", DValue::det(Value::Object(clos)));
-        self.write_prop(clos, "prototype", DValue::det(Value::Object(proto)));
+        self.write_prop_s(proto, Sym::CONSTRUCTOR, DValue::det(Value::Object(clos)));
+        self.write_prop_s(clos, Sym::PROTOTYPE, DValue::det(Value::Object(proto)));
         let f = self.prog.func(func);
         let nparams = f.params.len() as f64;
-        let name = f.name.clone();
-        self.write_prop(clos, "length", DValue::det(Value::Num(nparams)));
+        let name = f.name;
+        self.write_prop_s(clos, Sym::LENGTH, DValue::det(Value::Num(nparams)));
         if let Some(n) = name {
-            self.write_prop(clos, "name", DValue::det(Value::Str(n)));
+            let text = self.prog.interner.name(n).clone();
+            self.write_prop_s(clos, Sym::NAME, DValue::det(Value::Str(text)));
         }
         clos
     }
 
     // ------------------------------------------------------------- places
 
+    fn ref_error(&mut self, name: Sym) -> DErr {
+        let name = self.prog.interner.resolve(name).to_owned();
+        self.throw_error(
+            "ReferenceError",
+            &format!("{name} is not defined"),
+            // Other executions may have created the global (we only know
+            // that if no flush has happened).
+            self.is_open(self.global),
+        )
+    }
+
     pub(crate) fn read_place(&mut self, frame: &DFrame, place: &Place) -> Result<DValue, DErr> {
         match place {
             Place::Temp(TempId(i)) => Ok(frame.temps[*i as usize].clone()),
-            Place::Named(name) => match self.lookup_var(frame.scope, name) {
+            Place::Named(name) => match self.lookup_var(frame.scope, *name) {
                 Some(v) => Ok(v),
-                None => Err(self.throw_error(
-                    "ReferenceError",
-                    &format!("{name} is not defined"),
-                    // Other executions may have created the global (we
-                    // only know that if no flush has happened).
-                    self.is_open(self.global),
-                )),
+                None => Err(self.ref_error(*name)),
+            },
+            Place::Slot { hops, slot, sym } => match self.hop_scope(frame, *hops) {
+                Some(sid) => Ok(self.read_slot(sid, *slot, *sym)),
+                // Defensive: code running without an activation (shouldn't
+                // happen for slot-resolved bodies) falls back to by-name.
+                None => match self.lookup_var(frame.scope, *sym) {
+                    Some(v) => Ok(v),
+                    None => Err(self.ref_error(*sym)),
+                },
             },
         }
     }
@@ -119,7 +142,11 @@ impl DMachine<'_> {
     pub(crate) fn write_place(&mut self, frame: &mut DFrame, place: &Place, dv: DValue) {
         match place {
             Place::Temp(TempId(i)) => self.write_temp(frame, *i, dv),
-            Place::Named(name) => self.assign_var(frame.scope, name, dv),
+            Place::Named(name) => self.assign_var(frame.scope, *name, dv),
+            Place::Slot { hops, slot, sym } => match self.hop_scope(frame, *hops) {
+                Some(sid) => self.write_slot(sid, *slot, dv),
+                None => self.assign_var(frame.scope, *sym, dv),
+            },
         }
     }
 
@@ -149,14 +176,14 @@ impl DMachine<'_> {
         self.throw_error("TypeError", "cannot convert object to primitive", indet)
     }
 
-    fn key_of(&mut self, frame: &DFrame, key: &PropKey) -> Result<(Rc<str>, Det), DErr> {
+    fn key_of(&mut self, frame: &DFrame, key: &PropKey) -> Result<(Sym, Det), DErr> {
         match key {
-            PropKey::Static(name) => Ok((name.clone(), Det::D)),
+            PropKey::Static(name) => Ok((*name, Det::D)),
             PropKey::Dynamic(p) => {
                 let kv = self.read_place(frame, p)?;
                 let s = coerce::to_string(&kv.v)
                     .map_err(|e| self.coerce_err(e, kv.d == Det::I))?;
-                Ok((s, kv.d))
+                Ok((self.prog.interner.intern_rc(&s), kv.d))
             }
         }
     }
@@ -168,14 +195,14 @@ impl DMachine<'_> {
         frame: &mut DFrame,
         point: StmtId,
         key: &PropKey,
-        k: &Rc<str>,
+        k: Sym,
         kd: Det,
     ) {
         if matches!(key, PropKey::Dynamic(_)) {
             let ctx = self.enter_site(frame, point);
             if self.cfg.collect_facts {
                 let dv = DValue {
-                    v: Value::Str(k.clone()),
+                    v: Value::Str(self.prog.interner.name(k).clone()),
                     d: kd,
                 };
                 self.facts.record(FactKind::PropKey, point, ctx, &dv);
@@ -184,9 +211,14 @@ impl DMachine<'_> {
     }
 
     fn enter_site(&mut self, frame: &mut DFrame, site: StmtId) -> CtxId {
-        let occ = frame.occurrences.entry(site).or_insert(0);
-        let this_occ = *occ;
-        *occ += 1;
+        let local = self.prog.local_of(site) as usize;
+        if local >= frame.occurrences.len() {
+            // The function grew after this frame was created (possible only
+            // through exotic re-entrancy); keep counting correctly.
+            frame.occurrences.resize(local + 1, 0);
+        }
+        let this_occ = frame.occurrences[local];
+        frame.occurrences[local] += 1;
         self.ctxs.child(frame.ctx, site, this_occ)
     }
 
@@ -260,7 +292,7 @@ impl DMachine<'_> {
             StmtKind::NewObject { dst, is_array } => {
                 let o = if *is_array {
                     let a = self.alloc(ObjClass::Array, Some(self.protos.array), Det::D);
-                    self.write_prop(a, "length", DValue::det(Value::Num(0.0)));
+                    self.write_prop_s(a, Sym::LENGTH, DValue::det(Value::Num(0.0)));
                     a
                 } else {
                     self.alloc(ObjClass::Plain, Some(self.protos.object), Det::D)
@@ -270,23 +302,23 @@ impl DMachine<'_> {
             StmtKind::GetProp { dst, obj, key } => {
                 let o = self.read_place(frame, obj)?;
                 let (k, kd) = self.key_of(frame, key)?;
-                self.record_key_fact(frame, id, key, &k, kd);
-                let v = self.get_prop_d(&o, &k, kd)?;
+                self.record_key_fact(frame, id, key, k, kd);
+                let v = self.get_prop_d(&o, k, kd)?;
                 self.define(frame, id, dst, v);
             }
             StmtKind::SetProp { obj, key, val } => {
                 let o = self.read_place(frame, obj)?;
                 let (k, kd) = self.key_of(frame, key)?;
-                self.record_key_fact(frame, id, key, &k, kd);
+                self.record_key_fact(frame, id, key, k, kd);
                 let v = self.read_place(frame, val)?;
-                self.set_prop_d(&o, &k, kd, v)?;
+                self.set_prop_d(&o, k, kd, v)?;
             }
             StmtKind::DeleteProp { dst, obj, key } => {
                 let o = self.read_place(frame, obj)?;
                 let (k, kd) = self.key_of(frame, key)?;
-                self.record_key_fact(frame, id, key, &k, kd);
+                self.record_key_fact(frame, id, key, k, kd);
                 if let Value::Object(oid) = o.v {
-                    self.delete_prop(oid, &k);
+                    self.delete_prop_s(oid, k);
                     if kd == Det::I {
                         self.open_record(oid);
                     }
@@ -420,7 +452,7 @@ impl DMachine<'_> {
                 self.define(frame, id, dst, v);
             }
             StmtKind::TypeofName { dst, name } => {
-                let v = match self.lookup_var(frame.scope, name) {
+                let v = match self.lookup_var(frame.scope, *name) {
                     Some(dv) => {
                         let ov = self.typeof_override(&dv.v);
                         let v = coerce::un_op(mujs_ir::UnOp::Typeof, &dv.v, ov)
@@ -442,6 +474,7 @@ impl DMachine<'_> {
                 let kv = self.read_place(frame, key)?;
                 let k = coerce::to_string(&kv.v)
                     .map_err(|e| self.coerce_err(e, kv.d == Det::I))?;
+                let k = self.prog.interner.intern_rc(&k);
                 let o = self.read_place(frame, obj)?;
                 let Value::Object(oid) = o.v else {
                     return Err(self.throw_error(
@@ -450,7 +483,7 @@ impl DMachine<'_> {
                         o.d == Det::I,
                     ));
                 };
-                let (has, presence_det) = self.has_prop_d(oid, &k);
+                let (has, presence_det) = self.has_prop_d(oid, k);
                 self.define(frame, id, dst, DValue {
                     v: Value::Bool(has),
                     d: o.d.join(kv.d).join(presence_det),
@@ -473,7 +506,7 @@ impl DMachine<'_> {
                         c.d == Det::I,
                     ));
                 }
-                let proto = self.own_prop(cid, "prototype");
+                let proto = self.own_prop_s(cid, Sym::PROTOTYPE);
                 let mut d = v.d.join(c.d).join(proto.d);
                 let mut result = false;
                 if let (Value::Object(mut o), Value::Object(p)) = (v.v, proto.v) {
@@ -500,20 +533,21 @@ impl DMachine<'_> {
                 let o = self.read_place(frame, obj)?;
                 let (keys, kd) = self.enum_props_d(&o);
                 let arr = self.alloc(ObjClass::Array, Some(self.protos.array), Det::D);
-                self.write_prop(
+                self.write_prop_s(
                     arr,
-                    "length",
+                    Sym::LENGTH,
                     DValue {
                         v: Value::Num(keys.len() as f64),
                         d: kd,
                     },
                 );
                 for (i, k) in keys.into_iter().enumerate() {
+                    let text = self.prog.interner.name(k).clone();
                     self.write_prop(
                         arr,
                         &i.to_string(),
                         DValue {
-                            v: Value::Str(k),
+                            v: Value::Str(text),
                             d: kd,
                         },
                     );
@@ -732,7 +766,7 @@ impl DMachine<'_> {
         &mut self,
         frame: &mut DFrame,
         block: &[Stmt],
-        catch: &Option<(Rc<str>, Vec<Stmt>)>,
+        catch: &Option<(Sym, Vec<Stmt>)>,
         finally: &Option<Vec<Stmt>>,
     ) -> Result<DFlow, DErr> {
         let mut result = self.exec_block(frame, block);
@@ -746,7 +780,7 @@ impl DMachine<'_> {
             } else {
                 exn.clone()
             };
-            self.declare(Some(cscope), name, bound);
+            self.declare(Some(cscope), *name, bound);
             frame.scope = Some(cscope);
             // Other executions may not throw and thus skip the handler, so
             // under an indeterminate throw the handler is a ÎF1 region.
@@ -844,22 +878,25 @@ impl DMachine<'_> {
     // ------------------------------------------------------ property ops
 
     /// Rule L̂D generalized to prototype chains, primitives and the DOM.
-    pub fn get_prop_d(&mut self, base: &DValue, key: &str, kd: Det) -> Result<DValue, DErr> {
+    pub fn get_prop_d(&mut self, base: &DValue, key: Sym, kd: Det) -> Result<DValue, DErr> {
         let base_d = base.d.join(kd);
         match &base.v {
-            Value::Undefined | Value::Null => Err(self.throw_error(
-                "TypeError",
-                &format!("cannot read property '{key}' of {}", base.v.kind_str()),
-                base.d == Det::I,
-            )),
+            Value::Undefined | Value::Null => {
+                let kname = self.prog.interner.resolve(key).to_owned();
+                Err(self.throw_error(
+                    "TypeError",
+                    &format!("cannot read property '{kname}' of {}", base.v.kind_str()),
+                    base.d == Det::I,
+                ))
+            }
             Value::Str(s) => {
-                if key == "length" {
+                if key == Sym::LENGTH {
                     return Ok(DValue {
                         v: Value::Num(s.chars().count() as f64),
                         d: base_d,
                     });
                 }
-                if let Ok(idx) = key.parse::<usize>() {
+                if let Ok(idx) = self.prog.interner.resolve(key).parse::<usize>() {
                     let v = match s.chars().nth(idx) {
                         Some(c) => Value::Str(Rc::from(c.to_string().as_str())),
                         None => Value::Undefined,
@@ -879,12 +916,12 @@ impl DMachine<'_> {
         }
     }
 
-    fn chain_lookup(&self, start: ObjId, key: &str, mut d: Det) -> DValue {
+    fn chain_lookup(&self, start: ObjId, key: Sym, mut d: Det) -> DValue {
         let mut cur = start;
         let mut fuel = 10_000;
         loop {
-            if self.has_own(cur, key) {
-                let s = self.own_prop(cur, key);
+            if self.has_own_s(cur, key) {
+                let s = self.own_prop_s(cur, key);
                 return s.weaken(d);
             }
             // An open record may have a shadowing own property in other
@@ -913,16 +950,19 @@ impl DMachine<'_> {
     pub fn set_prop_d(
         &mut self,
         base: &DValue,
-        key: &str,
+        key: Sym,
         kd: Det,
         val: DValue,
     ) -> Result<(), DErr> {
         match &base.v {
-            Value::Undefined | Value::Null => Err(self.throw_error(
-                "TypeError",
-                &format!("cannot set property '{key}' of {}", base.v.kind_str()),
-                base.d == Det::I,
-            )),
+            Value::Undefined | Value::Null => {
+                let kname = self.prog.interner.resolve(key).to_owned();
+                Err(self.throw_error(
+                    "TypeError",
+                    &format!("cannot set property '{kname}' of {}", base.v.kind_str()),
+                    base.d == Det::I,
+                ))
+            }
             Value::Object(oid) => {
                 let oid = *oid;
                 if self.dom_set_hook(oid, key, &val) {
@@ -933,19 +973,21 @@ impl DMachine<'_> {
                 }
                 let is_array = self.obj(oid).class == ObjClass::Array;
                 if is_array {
-                    if key == "length" {
+                    if key == Sym::LENGTH {
                         self.array_set_length_d(oid, &val);
                     } else {
-                        if let Some(idx) = mujs_interp::machine::array_index(key) {
-                            let len = self.own_prop(oid, "length");
+                        let idx =
+                            mujs_interp::machine::array_index(self.prog.interner.resolve(key));
+                        if let Some(idx) = idx {
+                            let len = self.own_prop_s(oid, Sym::LENGTH);
                             let cur = match len.v {
                                 Value::Num(n) => n,
                                 _ => 0.0,
                             };
                             if (idx as f64) >= cur {
-                                self.write_prop(
+                                self.write_prop_s(
                                     oid,
-                                    "length",
+                                    Sym::LENGTH,
                                     DValue {
                                         v: Value::Num(idx as f64 + 1.0),
                                         d: len.d.join(kd).join(val.d).join(base.d),
@@ -953,10 +995,10 @@ impl DMachine<'_> {
                                 );
                             }
                         }
-                        self.write_prop(oid, key, val);
+                        self.write_prop_s(oid, key, val);
                     }
                 } else {
-                    self.write_prop(oid, key, val);
+                    self.write_prop_s(oid, key, val);
                 }
                 if kd == Det::I {
                     self.open_record(oid);
@@ -972,28 +1014,27 @@ impl DMachine<'_> {
 
     fn array_set_length_d(&mut self, arr: ObjId, value: &DValue) {
         let new_len = coerce::to_number(&value.v).unwrap_or(0.0).max(0.0).trunc();
-        let old_len = match self.own_prop(arr, "length").v {
+        let old_len = match self.own_prop_s(arr, Sym::LENGTH).v {
             Value::Num(n) => n,
             _ => 0.0,
         };
         if new_len < old_len {
-            let doomed: Vec<Rc<str>> = self
+            let doomed: Vec<Sym> = self
                 .obj(arr)
                 .props
                 .keys()
-                .filter(|k| {
-                    mujs_interp::machine::array_index(k)
+                .filter(|&k| {
+                    mujs_interp::machine::array_index(self.prog.interner.resolve(k))
                         .is_some_and(|i| (i as f64) >= new_len)
                 })
-                .cloned()
                 .collect();
             for k in doomed {
-                self.delete_prop(arr, &k);
+                self.delete_prop_s(arr, k);
             }
         }
-        self.write_prop(
+        self.write_prop_s(
             arr,
-            "length",
+            Sym::LENGTH,
             DValue {
                 v: Value::Num(new_len),
                 d: value.d,
@@ -1001,12 +1042,12 @@ impl DMachine<'_> {
         );
     }
 
-    fn has_prop_d(&self, mut obj: ObjId, key: &str) -> (bool, Det) {
+    fn has_prop_d(&self, mut obj: ObjId, key: Sym) -> (bool, Det) {
         let mut d = Det::D;
         let mut fuel = 10_000;
         loop {
-            if self.has_own(obj, key) {
-                let s = self.own_prop(obj, key);
+            if self.has_own_s(obj, key) {
+                let s = self.own_prop_s(obj, key);
                 return (true, d.join(s.d));
             }
             if self.is_open(obj) {
@@ -1027,13 +1068,13 @@ impl DMachine<'_> {
     /// only when every record on the chain is closed ("if the set of
     /// properties to iterate over is determinate, our analysis assumes
     /// that the iteration order is also determinate", §5.2).
-    pub fn enum_props_d(&self, base: &DValue) -> (Vec<Rc<str>>, Det) {
+    pub fn enum_props_d(&self, base: &DValue) -> (Vec<Sym>, Det) {
         let Value::Object(oid) = &base.v else {
             return (Vec::new(), base.d);
         };
         let mut d = base.d;
-        let mut out: Vec<Rc<str>> = Vec::new();
-        let mut seen: std::collections::HashSet<Rc<str>> = std::collections::HashSet::new();
+        let mut out: Vec<Sym> = Vec::new();
+        let mut seen: std::collections::HashSet<Sym> = std::collections::HashSet::new();
         let mut cur = Some(*oid);
         let mut fuel = 10_000;
         while let Some(id) = cur {
@@ -1046,8 +1087,8 @@ impl DMachine<'_> {
                     if self.hidden_from_enum(id, k) {
                         continue;
                     }
-                    if seen.insert(k.clone()) {
-                        out.push(k.clone());
+                    if seen.insert(k) {
+                        out.push(k);
                     }
                 }
             }
@@ -1061,11 +1102,11 @@ impl DMachine<'_> {
         (out, d)
     }
 
-    fn hidden_from_enum(&self, o: ObjId, key: &str) -> bool {
+    fn hidden_from_enum(&self, o: ObjId, key: Sym) -> bool {
         match &self.obj(o).class {
-            ObjClass::Array => key == "length",
+            ObjClass::Array => key == Sym::LENGTH,
             ObjClass::Function { .. } | ObjClass::Native(_) => {
-                matches!(key, "prototype" | "length" | "name")
+                matches!(key, Sym::PROTOTYPE | Sym::LENGTH | Sym::NAME)
             }
             _ => false,
         }
@@ -1161,16 +1202,16 @@ impl DMachine<'_> {
         args: &[DValue],
         ctx: CtxId,
     ) -> Result<DValue, DErr> {
-        let f = self.prog.func(func).clone();
-        let scope = self.new_scope(env, func);
-        for (i, p) in f.params.iter().enumerate() {
+        let f = self.prog.func_rc(func);
+        let scope = self.new_activation(func, env);
+        for (i, &p) in f.params.iter().enumerate() {
             let v = args.get(i).cloned().unwrap_or(DValue::undef());
             self.declare(Some(scope), p, v);
         }
         let args_arr = self.alloc(ObjClass::Array, Some(self.protos.array), Det::D);
-        self.write_prop(
+        self.write_prop_s(
             args_arr,
-            "length",
+            Sym::LENGTH,
             DValue::det(Value::Num(args.len() as f64)),
         );
         for (i, v) in args.iter().enumerate() {
@@ -1178,26 +1219,36 @@ impl DMachine<'_> {
         }
         self.declare(
             Some(scope),
-            &Rc::from("arguments"),
+            Sym::ARGUMENTS,
             DValue::det(Value::Object(args_arr)),
         );
-        for v in &f.decls.vars {
-            if !self.scopes[scope.0 as usize].vars.contains_key(v) {
+        // Static locals are pre-initialized to determinate `undefined` by
+        // the activation's slot layout; only names outside it (e.g.
+        // specializer-added after layout) still need declaring.
+        for &v in &f.decls.vars {
+            if self.prog.func(func).local_slot(v).is_none()
+                && !self.scopes[scope.0 as usize].ext.contains_key(&v)
+            {
                 self.declare(Some(scope), v, DValue::undef());
             }
         }
-        for (name, nested) in &f.decls.funcs {
-            let clos = self.make_closure(*nested, Some(scope));
+        for &(name, nested) in &f.decls.funcs {
+            let clos = self.make_closure(nested, Some(scope));
             self.declare(Some(scope), name, DValue::det(Value::Object(clos)));
         }
         if f.bind_self {
-            if let (Some(name), Some(clos)) = (&f.name, self_obj) {
-                if !self.scopes[scope.0 as usize].vars.contains_key(name) {
+            if let (Some(name), Some(clos)) = (f.name, self_obj) {
+                // The self-binding loses to any like-named declaration.
+                let shadowed = name == Sym::ARGUMENTS
+                    || f.params.contains(&name)
+                    || f.decls.vars.contains(&name)
+                    || f.decls.funcs.iter().any(|&(n, _)| n == name);
+                if !shadowed {
                     self.declare(Some(scope), name, DValue::det(Value::Object(clos)));
                 }
             }
         }
-        let mut frame = self.fresh_frame(func, Some(scope), this, ctx, f.n_temps);
+        let mut frame = self.fresh_frame(func, Some(scope), Some(scope), this, ctx, f.n_temps);
         match self.exec_block(&mut frame, &f.body)? {
             DFlow::Normal => Ok(DValue::undef()),
             DFlow::Return(v, ic) => Ok(if ic { v.weaken(Det::I) } else { v }),
@@ -1250,7 +1301,7 @@ impl DMachine<'_> {
         let class = self.obj(fid).class.clone();
         let r = match class {
             ObjClass::Function { func, env } => {
-                let proto_slot = self.own_prop(fid, "prototype");
+                let proto_slot = self.own_prop_s(fid, Sym::PROTOTYPE);
                 let (proto, pd) = match proto_slot.v {
                     Value::Object(p) => (p, proto_slot.d),
                     _ => (self.protos.object, proto_slot.d),
@@ -1332,17 +1383,24 @@ impl DMachine<'_> {
         chunk: FuncId,
         ctx: CtxId,
     ) -> Result<DValue, DErr> {
-        let f = self.prog.func(chunk).clone();
-        for v in &f.decls.vars {
+        let f = self.prog.func_rc(chunk);
+        for &v in &f.decls.vars {
             if self.lookup_var(frame.scope, v).is_none() {
                 self.declare_logged(frame.scope, v, DValue::undef());
             }
         }
-        for (name, nested) in &f.decls.funcs {
-            let clos = self.make_closure(*nested, frame.scope);
+        for &(name, nested) in &f.decls.funcs {
+            let clos = self.make_closure(nested, frame.scope);
             self.assign_var(frame.scope, name, DValue::det(Value::Object(clos)));
         }
-        let mut eframe = self.fresh_frame(chunk, frame.scope, frame.this_val.clone(), ctx, f.n_temps);
+        let mut eframe = self.fresh_frame(
+            chunk,
+            frame.scope,
+            frame.activation,
+            frame.this_val.clone(),
+            ctx,
+            f.n_temps,
+        );
         match self.exec_block(&mut eframe, &f.body)? {
             DFlow::Normal => Ok(eframe
                 .temps
@@ -1354,26 +1412,26 @@ impl DMachine<'_> {
     }
 
     /// Declares a binding with undo logging (eval hoisting can occur inside
-    /// conditional/counterfactual regions).
-    fn declare_logged(&mut self, scope: Option<ScopeId>, name: &Rc<str>, dv: DValue) {
+    /// conditional/counterfactual regions). The name is unbound — it just
+    /// failed a full lookup, which also covers every static slot — so the
+    /// binding always lands in the scope's ext map (or on the global).
+    fn declare_logged(&mut self, scope: Option<ScopeId>, name: Sym, dv: DValue) {
         match scope {
             Some(sid) => {
                 let ann = crate::det::SlotAnn {
                     det: dv.d,
                     epoch: self.epoch,
                 };
-                let old = self.scopes[sid.0 as usize]
-                    .vars
-                    .insert(name.clone(), (dv.v, ann));
+                let old = self.scopes[sid.0 as usize].ext.insert(name, (dv.v, ann));
                 if let Some(top) = self.logs.last_mut() {
                     top.entries.push(crate::machine::LogEntry::Var {
                         scope: sid,
-                        name: name.clone(),
+                        key: crate::machine::VarKey::Ext(name),
                         old,
                     });
                 }
             }
-            None => self.write_prop(self.global, name, dv),
+            None => self.write_prop_s(self.global, name, dv),
         }
     }
 

@@ -14,7 +14,7 @@ use mujs_dom::events::EventRegistry;
 use mujs_interp::context::{ContextTable, CtxId};
 use mujs_interp::machine::Protos;
 use mujs_interp::{ObjClass, ObjId, Object, ScopeId, Slot, Value};
-use mujs_ir::{FuncId, Program, StmtId};
+use mujs_ir::{FuncId, Program, StmtId, Sym};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -25,6 +25,12 @@ use std::rc::Rc;
 /// does not overwrite built-ins; user overwrites replace the sentinel with
 /// a normal epoch and are tracked precisely).
 pub const BUILTIN_EPOCH: u64 = u64::MAX;
+
+/// Byte budget for one [`DMachine::display`] rendering. Real corpus output
+/// is far below it; the cap only kicks in for pathological arrays, where
+/// the old eager rendering built (and often discarded) up to 100 cloned
+/// item strings per nesting level.
+const DISPLAY_BYTE_CAP: usize = 1 << 16;
 
 /// Abrupt, non-[`DFlow`] outcomes.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,14 +80,26 @@ impl DFlow {
     }
 }
 
-/// A scope with annotated bindings.
+/// A scope with annotated bindings: slot-addressed locals for function
+/// activations plus by-name overflow (`ext`) for catch bindings and
+/// anything `eval` hoists outside the static layout. A name lives in at
+/// most one of the two.
 #[derive(Debug, Clone)]
 pub struct DScope {
-    pub(crate) vars: HashMap<Rc<str>, (Value, SlotAnn)>,
-    pub(crate) parent: Option<ScopeId>,
     /// The function whose activation this scope belongs to (for the
-    /// closure-written flush policy).
-    pub(crate) func: FuncId,
+    /// closure-written flush policy; catch scopes inherit their frame's).
+    pub(crate) owner: FuncId,
+    /// Whether this is a function activation carrying the static slot
+    /// layout of `owner` (catch scopes are ext-only).
+    pub(crate) activation: bool,
+    /// Locals indexed by the owner's [`mujs_ir::Function::locals`] layout.
+    pub(crate) slots: Vec<(Value, SlotAnn)>,
+    /// Bindings outside the static layout.
+    pub(crate) ext: HashMap<Sym, (Value, SlotAnn)>,
+    pub(crate) parent: Option<ScopeId>,
+    /// Nearest enclosing activation (catch scopes are transparent to slot
+    /// addressing).
+    pub(crate) fn_parent: Option<ScopeId>,
     /// Captured scopes can be written by callees (closures), so heap
     /// flushes must invalidate them; never-captured scopes are immune —
     /// the paper's "local variables cannot possibly be written by any
@@ -96,14 +114,18 @@ pub struct DFrame {
     pub func: FuncId,
     /// Scope for named lookups (`None` ⇒ global object).
     pub scope: Option<ScopeId>,
+    /// The frame's own activation scope — the fixed base of slot
+    /// addressing while `scope` moves through catch scopes.
+    pub activation: Option<ScopeId>,
     /// Temporaries with flags.
     pub temps: Vec<DValue>,
     /// The `this` binding.
     pub this_val: DValue,
     /// This activation's calling context.
     pub ctx: CtxId,
-    /// Per-site occurrence counters (must match the concrete machine's).
-    pub occurrences: HashMap<StmtId, u32>,
+    /// Per-site occurrence counters (must match the concrete machine's),
+    /// indexed by the statement's dense per-function index.
+    pub occurrences: Vec<u32>,
     /// Unique id for temp-write logging across frame lifetimes.
     pub serial: u64,
 }
@@ -121,6 +143,15 @@ pub struct ObjExtra {
     pub proto_det: Det,
 }
 
+/// Where a scope binding lives: a static local slot or an ext entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKey {
+    /// Index into the activation's slot vector.
+    Slot(u32),
+    /// A by-name overflow binding.
+    Ext(Sym),
+}
+
 /// One undoable/markable mutation.
 #[derive(Debug)]
 pub enum LogEntry {
@@ -130,16 +161,16 @@ pub enum LogEntry {
         /// Receiver.
         obj: ObjId,
         /// Key.
-        key: Rc<str>,
+        key: Sym,
         /// Previous slot.
         old: Option<(Value, SlotAnn)>,
     },
-    /// A named-variable write.
+    /// A variable write.
     Var {
         /// Owning scope.
         scope: ScopeId,
-        /// Name.
-        name: Rc<str>,
+        /// Where in the scope the binding lives.
+        key: VarKey,
         /// Previous binding (a variable write never creates a binding —
         /// declaration handles that — but eval hoisting can).
         old: Option<(Value, SlotAnn)>,
@@ -517,7 +548,7 @@ impl<'p> DMachine<'p> {
 
     /// Reads an own property with its effective determinacy; absent
     /// properties yield `undefined` flagged by the record's openness.
-    pub fn own_prop(&self, obj: ObjId, key: &str) -> DValue {
+    pub fn own_prop_s(&self, obj: ObjId, key: Sym) -> DValue {
         match self.heap[obj.0 as usize].props.get(key) {
             Some(Slot { value, ann }) => DValue {
                 v: value.clone(),
@@ -533,15 +564,37 @@ impl<'p> DMachine<'p> {
         }
     }
 
+    /// [`DMachine::own_prop_s`] by name. A never-interned name cannot be
+    /// an existing key, so it reads as absent.
+    pub fn own_prop(&self, obj: ObjId, key: &str) -> DValue {
+        match self.prog.interner.get(key) {
+            Some(k) => self.own_prop_s(obj, k),
+            None => {
+                if self.is_open(obj) {
+                    DValue::indet(Value::Undefined)
+                } else {
+                    DValue::det(Value::Undefined)
+                }
+            }
+        }
+    }
+
     /// Whether the object has an own (live) property.
-    pub fn has_own(&self, obj: ObjId, key: &str) -> bool {
+    pub fn has_own_s(&self, obj: ObjId, key: Sym) -> bool {
         self.heap[obj.0 as usize].props.contains(key)
+    }
+
+    /// [`DMachine::has_own_s`] by name.
+    pub fn has_own(&self, obj: ObjId, key: &str) -> bool {
+        self.prog
+            .interner
+            .get(key)
+            .is_some_and(|k| self.has_own_s(obj, k))
     }
 
     /// Writes a property slot, logging the old state for the active write
     /// regions.
-    pub fn write_prop(&mut self, obj: ObjId, key: &str, dv: DValue) {
-        let key: Rc<str> = Rc::from(key);
+    pub fn write_prop_s(&mut self, obj: ObjId, key: Sym, dv: DValue) {
         let ann = SlotAnn {
             det: dv.d,
             epoch: if self.setup_mode {
@@ -552,7 +605,7 @@ impl<'p> DMachine<'p> {
         };
         let old = self.heap[obj.0 as usize]
             .props
-            .insert(key.clone(), Slot { value: dv.v, ann })
+            .insert(key, Slot { value: dv.v, ann })
             .map(|s| (s.value, s.ann));
         if old.is_none() {
             self.cells_allocated += 1;
@@ -562,20 +615,29 @@ impl<'p> DMachine<'p> {
         }
     }
 
+    /// [`DMachine::write_prop_s`] by name, interning the key.
+    pub fn write_prop(&mut self, obj: ObjId, key: &str, dv: DValue) {
+        let key = self.prog.interner.intern(key);
+        self.write_prop_s(obj, key, dv);
+    }
+
     /// Deletes a property, logging it.
-    pub fn delete_prop(&mut self, obj: ObjId, key: &str) {
+    pub fn delete_prop_s(&mut self, obj: ObjId, key: Sym) {
         let old = self.heap[obj.0 as usize]
             .props
             .remove(key)
             .map(|s| (s.value, s.ann));
         if old.is_some() {
             if let Some(top) = self.logs.last_mut() {
-                top.entries.push(LogEntry::Prop {
-                    obj,
-                    key: Rc::from(key),
-                    old,
-                });
+                top.entries.push(LogEntry::Prop { obj, key, old });
             }
+        }
+    }
+
+    /// [`DMachine::delete_prop_s`] by name.
+    pub fn delete_prop(&mut self, obj: ObjId, key: &str) {
+        if let Some(k) = self.prog.interner.get(key) {
+            self.delete_prop_s(obj, k);
         }
     }
 
@@ -597,15 +659,75 @@ impl<'p> DMachine<'p> {
 
     // -------------------------------------------------------- scope slots
 
-    pub(crate) fn new_scope(&mut self, parent: Option<ScopeId>, func: FuncId) -> ScopeId {
+    /// Creates an ext-only scope (catch blocks).
+    pub(crate) fn new_scope(&mut self, parent: Option<ScopeId>, owner: FuncId) -> ScopeId {
         let id = ScopeId(self.scopes.len() as u32);
+        let fn_parent = self.nearest_activation(parent);
         self.scopes.push(DScope {
-            vars: HashMap::new(),
+            owner,
+            activation: false,
+            slots: Vec::new(),
+            ext: HashMap::new(),
             parent,
-            func,
+            fn_parent,
             captured: false,
         });
         id
+    }
+
+    /// Creates a function activation whose slot vector follows the
+    /// function's static `locals` layout, every slot initialized to a
+    /// determinate `undefined` at the current epoch — exactly the binding
+    /// state a by-name declaration of `undefined` would produce.
+    pub(crate) fn new_activation(&mut self, func: FuncId, parent: Option<ScopeId>) -> ScopeId {
+        let id = ScopeId(self.scopes.len() as u32);
+        let n = self.prog.func(func).locals.len();
+        let fn_parent = self.nearest_activation(parent);
+        let init = SlotAnn {
+            det: Det::D,
+            epoch: self.epoch,
+        };
+        self.scopes.push(DScope {
+            owner: func,
+            activation: true,
+            slots: vec![(Value::Undefined, init); n],
+            ext: HashMap::new(),
+            parent,
+            fn_parent,
+            captured: false,
+        });
+        id
+    }
+
+    /// The nearest activation scope at or above `from`.
+    fn nearest_activation(&self, from: Option<ScopeId>) -> Option<ScopeId> {
+        let mut cur = from;
+        while let Some(sid) = cur {
+            let s = &self.scopes[sid.0 as usize];
+            if s.activation {
+                return Some(sid);
+            }
+            cur = s.parent;
+        }
+        None
+    }
+
+    /// Position of `name` in the scope's static slot layout, if any.
+    fn slot_index(&self, sid: ScopeId, name: Sym) -> Option<u32> {
+        let s = &self.scopes[sid.0 as usize];
+        if !s.activation {
+            return None;
+        }
+        self.prog.func(s.owner).local_slot(name)
+    }
+
+    /// The activation scope `hops` function levels above the frame's own.
+    pub(crate) fn hop_scope(&self, frame: &DFrame, hops: u32) -> Option<ScopeId> {
+        let mut sid = frame.activation?;
+        for _ in 0..hops {
+            sid = self.scopes[sid.0 as usize].fn_parent?;
+        }
+        Some(sid)
     }
 
     pub(crate) fn mark_captured(&mut self, scope: Option<ScopeId>) {
@@ -620,45 +742,85 @@ impl<'p> DMachine<'p> {
         }
     }
 
+    /// The effective determinacy of a scope binding: a flush models an
+    /// unknown call, which can only have written this binding if the scope
+    /// is captured *and* some closure actually assigns the name (see
+    /// `mujs_ir::closure_writes`).
+    fn scope_slot_det(&self, sid: ScopeId, name: Sym, ann: &SlotAnn) -> Det {
+        let s = &self.scopes[sid.0 as usize];
+        let flushable = Self::slot_flushable(ann)
+            && s.captured
+            && self.closure_writes.is_written(s.owner, name);
+        ann.effective(self.epoch, flushable)
+    }
+
+    /// Reads a slot-resolved binding (already located; no name walk).
+    pub(crate) fn read_slot(&self, sid: ScopeId, idx: u32, sym: Sym) -> DValue {
+        let (v, ann) = &self.scopes[sid.0 as usize].slots[idx as usize];
+        DValue {
+            v: v.clone(),
+            d: self.scope_slot_det(sid, sym, ann),
+        }
+    }
+
+    /// Writes a slot-resolved binding, logging the old state.
+    pub(crate) fn write_slot(&mut self, sid: ScopeId, idx: u32, dv: DValue) {
+        let ann = SlotAnn {
+            det: dv.d,
+            epoch: self.epoch,
+        };
+        let old = std::mem::replace(
+            &mut self.scopes[sid.0 as usize].slots[idx as usize],
+            (dv.v, ann),
+        );
+        if let Some(top) = self.logs.last_mut() {
+            top.entries.push(LogEntry::Var {
+                scope: sid,
+                key: VarKey::Slot(idx),
+                old: Some(old),
+            });
+        }
+    }
+
     /// Declares a binding (not logged as a write: declarations happen at
     /// activation entry, outside conditional regions; eval hoisting logs
-    /// via [`DMachine::assign_var`]).
-    pub(crate) fn declare(&mut self, scope: Option<ScopeId>, name: &Rc<str>, dv: DValue) {
+    /// via [`DMachine::assign_var`]). Reuses the static slot when the name
+    /// has one, so a name lives in exactly one place per scope.
+    pub(crate) fn declare(&mut self, scope: Option<ScopeId>, name: Sym, dv: DValue) {
         match scope {
             Some(sid) => {
                 let ann = SlotAnn {
                     det: dv.d,
                     epoch: self.epoch,
                 };
-                self.scopes[sid.0 as usize]
-                    .vars
-                    .insert(name.clone(), (dv.v, ann));
+                if let Some(i) = self.slot_index(sid, name) {
+                    self.scopes[sid.0 as usize].slots[i as usize] = (dv.v, ann);
+                } else {
+                    self.scopes[sid.0 as usize].ext.insert(name, (dv.v, ann));
+                }
             }
-            None => self.write_prop(self.global, name, dv),
+            None => self.write_prop_s(self.global, name, dv),
         }
     }
 
     /// Reads a variable through the scope chain; `None` if unbound.
-    pub(crate) fn lookup_var(&self, scope: Option<ScopeId>, name: &str) -> Option<DValue> {
+    pub(crate) fn lookup_var(&self, scope: Option<ScopeId>, name: Sym) -> Option<DValue> {
         let mut cur = scope;
         while let Some(sid) = cur {
+            if let Some(i) = self.slot_index(sid, name) {
+                return Some(self.read_slot(sid, i, name));
+            }
             let s = &self.scopes[sid.0 as usize];
-            if let Some((v, ann)) = s.vars.get(name) {
-                // A flush models an unknown call; it can only have written
-                // this local if the scope is captured *and* some closure
-                // actually assigns the name (see `mujs_ir::closure_writes`).
-                let flushable = Self::slot_flushable(ann)
-                    && s.captured
-                    && self.closure_writes.is_written(s.func, name);
+            if let Some((v, ann)) = s.ext.get(&name) {
                 return Some(DValue {
                     v: v.clone(),
-                    d: ann.effective(self.epoch, flushable),
+                    d: self.scope_slot_det(sid, name, ann),
                 });
             }
             cur = s.parent;
         }
-        if self.has_own(self.global, name) {
-            Some(self.own_prop(self.global, name))
+        if self.has_own_s(self.global, name) {
+            Some(self.own_prop_s(self.global, name))
         } else {
             None
         }
@@ -666,21 +828,23 @@ impl<'p> DMachine<'p> {
 
     /// Assigns a variable through the scope chain (creates a global when
     /// unbound), logging the write.
-    pub(crate) fn assign_var(&mut self, scope: Option<ScopeId>, name: &Rc<str>, dv: DValue) {
+    pub(crate) fn assign_var(&mut self, scope: Option<ScopeId>, name: Sym, dv: DValue) {
         let mut cur = scope;
         while let Some(sid) = cur {
-            if self.scopes[sid.0 as usize].vars.contains_key(name) {
+            if let Some(i) = self.slot_index(sid, name) {
+                self.write_slot(sid, i, dv);
+                return;
+            }
+            if self.scopes[sid.0 as usize].ext.contains_key(&name) {
                 let ann = SlotAnn {
                     det: dv.d,
                     epoch: self.epoch,
                 };
-                let old = self.scopes[sid.0 as usize]
-                    .vars
-                    .insert(name.clone(), (dv.v, ann));
+                let old = self.scopes[sid.0 as usize].ext.insert(name, (dv.v, ann));
                 if let Some(top) = self.logs.last_mut() {
                     top.entries.push(LogEntry::Var {
                         scope: sid,
-                        name: name.clone(),
+                        key: VarKey::Ext(name),
                         old,
                     });
                 }
@@ -688,7 +852,7 @@ impl<'p> DMachine<'p> {
             }
             cur = self.scopes[sid.0 as usize].parent;
         }
-        self.write_prop(self.global, name, dv);
+        self.write_prop_s(self.global, name, dv);
     }
 
     /// Writes a temp, logging it.
@@ -756,7 +920,7 @@ impl<'p> DMachine<'p> {
     fn mark_entry(&mut self, e: &LogEntry, frame: &mut DFrame) {
         match e {
             LogEntry::Prop { obj, key, .. } => {
-                match self.heap[obj.0 as usize].props.get_mut(key) {
+                match self.heap[obj.0 as usize].props.get_mut(*key) {
                     Some(slot) => slot.ann.det = Det::I,
                     // The property is now absent (deleted in the region, or
                     // the undo removed it): other executions may have it,
@@ -766,9 +930,15 @@ impl<'p> DMachine<'p> {
                     }
                 }
             }
-            LogEntry::Var { scope, name, .. } => {
-                if let Some((_, ann)) = self.scopes[scope.0 as usize].vars.get_mut(name) {
-                    ann.det = Det::I;
+            LogEntry::Var { scope, key, .. } => {
+                let s = &mut self.scopes[scope.0 as usize];
+                match key {
+                    VarKey::Slot(i) => s.slots[*i as usize].1.det = Det::I,
+                    VarKey::Ext(name) => {
+                        if let Some((_, ann)) = s.ext.get_mut(name) {
+                            ann.det = Det::I;
+                        }
+                    }
                 }
             }
             LogEntry::Temp { frame: fs, idx, .. } => {
@@ -786,7 +956,7 @@ impl<'p> DMachine<'p> {
             LogEntry::Prop { obj, key, old } => match old {
                 Some((v, ann)) => {
                     self.heap[obj.0 as usize].props.insert(
-                        key.clone(),
+                        *key,
                         Slot {
                             value: v.clone(),
                             ann: *ann,
@@ -794,19 +964,26 @@ impl<'p> DMachine<'p> {
                     );
                 }
                 None => {
-                    self.heap[obj.0 as usize].props.remove(key);
+                    self.heap[obj.0 as usize].props.remove(*key);
                 }
             },
-            LogEntry::Var { scope, name, old } => match old {
-                Some((v, ann)) => {
-                    self.scopes[scope.0 as usize]
-                        .vars
-                        .insert(name.clone(), (v.clone(), *ann));
+            LogEntry::Var { scope, key, old } => {
+                let s = &mut self.scopes[scope.0 as usize];
+                match (key, old) {
+                    (VarKey::Slot(i), Some((v, ann))) => {
+                        s.slots[*i as usize] = (v.clone(), *ann);
+                    }
+                    // A static slot always exists, so its log entries
+                    // always carry the previous state.
+                    (VarKey::Slot(_), None) => {}
+                    (VarKey::Ext(name), Some((v, ann))) => {
+                        s.ext.insert(*name, (v.clone(), *ann));
+                    }
+                    (VarKey::Ext(name), None) => {
+                        s.ext.remove(name);
+                    }
                 }
-                None => {
-                    self.scopes[scope.0 as usize].vars.remove(name);
-                }
-            },
+            }
             LogEntry::Temp { frame: fs, idx, old } => {
                 if *fs == frame.serial {
                     frame.temps[*idx as usize] = old.clone();
@@ -840,8 +1017,12 @@ impl<'p> DMachine<'p> {
                             slot.d = Det::I;
                         }
                     }
-                    mujs_ir::Place::Named(name) => {
-                        self.mark_var_indet(frame.scope, name);
+                    // The write domain canonicalizes slot-resolved places
+                    // to names, so a scope walk covers both.
+                    p => {
+                        if let Some(name) = p.as_var_sym() {
+                            self.mark_var_indet(frame.scope, name);
+                        }
                     }
                 }
             }
@@ -849,14 +1030,19 @@ impl<'p> DMachine<'p> {
         Ok(())
     }
 
-    fn mark_var_indet(&mut self, scope: Option<ScopeId>, name: &str) {
+    fn mark_var_indet(&mut self, scope: Option<ScopeId>, name: Sym) {
         let mut cur = scope;
         while let Some(sid) = cur {
-            if let Some((_, ann)) = self.scopes[sid.0 as usize].vars.get_mut(name) {
+            if let Some(i) = self.slot_index(sid, name) {
+                self.scopes[sid.0 as usize].slots[i as usize].1.det = Det::I;
+                return;
+            }
+            let s = &mut self.scopes[sid.0 as usize];
+            if let Some((_, ann)) = s.ext.get_mut(&name) {
                 ann.det = Det::I;
                 return;
             }
-            cur = self.scopes[sid.0 as usize].parent;
+            cur = s.parent;
         }
         if let Some(slot) = self.heap[self.global.0 as usize].props.get_mut(name) {
             slot.ann.det = Det::I;
@@ -866,10 +1052,14 @@ impl<'p> DMachine<'p> {
     fn mark_scope_chain_indet(&mut self, scope: Option<ScopeId>) {
         let mut cur = scope;
         while let Some(sid) = cur {
-            for (_, (_, ann)) in self.scopes[sid.0 as usize].vars.iter_mut() {
+            let s = &mut self.scopes[sid.0 as usize];
+            for (_, ann) in s.slots.iter_mut() {
                 ann.det = Det::I;
             }
-            cur = self.scopes[sid.0 as usize].parent;
+            for (_, (_, ann)) in s.ext.iter_mut() {
+                ann.det = Det::I;
+            }
+            cur = s.parent;
         }
     }
 
@@ -895,9 +1085,15 @@ impl<'p> DMachine<'p> {
 
     /// Raw own-property read.
     pub fn get_raw(&self, obj: ObjId, name: &str) -> Option<Value> {
+        let k = self.prog.interner.get(name)?;
+        self.get_raw_s(obj, k)
+    }
+
+    /// Raw own-property read by symbol.
+    pub fn get_raw_s(&self, obj: ObjId, key: Sym) -> Option<Value> {
         self.heap[obj.0 as usize]
             .props
-            .get(name)
+            .get(key)
             .map(|s| s.value.clone())
     }
 
@@ -905,36 +1101,50 @@ impl<'p> DMachine<'p> {
     /// other executions might not throw here.
     pub fn throw_error(&mut self, kind: &str, msg: &str, indet_ctl: bool) -> DErr {
         let e = self.alloc(ObjClass::Plain, Some(self.protos.error), Det::D);
-        self.write_prop(e, "name", DValue::det(Value::Str(Rc::from(kind))));
-        self.write_prop(e, "message", DValue::det(Value::Str(Rc::from(msg))));
+        self.write_prop_s(e, Sym::NAME, DValue::det(Value::Str(Rc::from(kind))));
+        self.write_prop_s(e, Sym::MESSAGE, DValue::det(Value::Str(Rc::from(msg))));
         DErr::Thrown(DValue::det(Value::Object(e)), indet_ctl)
     }
 
     /// Renders a value for output capture (mirrors the concrete machine).
+    /// Rendering streams into one buffer instead of materializing a string
+    /// per array element, and stops at [`DISPLAY_BYTE_CAP`]; small-array
+    /// output (all of the corpus) is byte-identical to the old eager
+    /// rendering.
     pub fn display(&self, v: &Value) -> String {
+        let mut out = String::new();
+        self.display_into(&mut out, v);
+        out
+    }
+
+    fn display_into(&self, out: &mut String, v: &Value) {
         match v {
-            Value::Str(s) => s.to_string(),
+            Value::Str(s) => out.push_str(s),
             Value::Object(id) => match &self.obj(*id).class {
                 ObjClass::Array => {
-                    let len = match self.get_raw(*id, "length") {
+                    let len = match self.get_raw_s(*id, Sym::LENGTH) {
                         Some(Value::Num(n)) => n as usize,
                         _ => 0,
                     };
-                    let items: Vec<String> = (0..len.min(100))
-                        .map(|i| {
-                            self.get_raw(*id, &i.to_string())
-                                .map(|v| self.display(&v))
-                                .unwrap_or_default()
-                        })
-                        .collect();
-                    items.join(",")
+                    for i in 0..len.min(100) {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        if out.len() > DISPLAY_BYTE_CAP {
+                            return;
+                        }
+                        if let Some(item) = self.get_raw(*id, &i.to_string()) {
+                            self.display_into(out, &item);
+                        }
+                    }
                 }
-                c if c.is_callable() => "function".to_owned(),
-                _ => "[object Object]".to_owned(),
+                c if c.is_callable() => out.push_str("function"),
+                _ => out.push_str("[object Object]"),
             },
-            other => mujs_interp::coerce::to_string(other)
-                .map(|s| s.to_string())
-                .unwrap_or_else(|_| "[object]".to_owned()),
+            other => match mujs_interp::coerce::to_string(other) {
+                Ok(s) => out.push_str(&s),
+                Err(_) => out.push_str("[object]"),
+            },
         }
     }
 }

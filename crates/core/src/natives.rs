@@ -273,6 +273,7 @@ pub fn install_models(m: &mut DMachine<'_>) {
         let mut frame = m.fresh_frame(
             chunk,
             None,
+            None,
             DValue::det(Value::Object(gid)),
             mujs_interp::context::CtxId::ROOT,
             nt,

@@ -5,7 +5,7 @@
 use determinacy::driver::{AnalysisOutcome, DetHarness};
 use determinacy::{AnalysisConfig, AnalysisStatus, Fact, FactDb, FactKind, FactValue, TripFact};
 use mujs_interp::context::CtxId;
-use mujs_ir::ir::{Place, StmtKind};
+use mujs_ir::ir::StmtKind;
 use mujs_ir::{Program, StmtId};
 
 fn analyze(src: &str) -> (DetHarness, AnalysisOutcome) {
@@ -20,11 +20,14 @@ fn analyze_cfg(src: &str, cfg: AnalysisConfig) -> (DetHarness, AnalysisOutcome) 
 
 /// Statement ids of `Copy` statements assigning the named variable.
 fn assignments_of(prog: &Program, name: &str) -> Vec<StmtId> {
+    let Some(sym) = prog.interner.get(name) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for f in &prog.funcs {
         Program::walk_block(&f.body, &mut |s| {
-            if let StmtKind::Copy { dst: Place::Named(n), .. } = &s.kind {
-                if &**n == name {
+            if let StmtKind::Copy { dst, .. } = &s.kind {
+                if dst.as_var_sym() == Some(sym) {
                     out.push(s.id);
                 }
             }

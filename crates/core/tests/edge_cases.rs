@@ -7,7 +7,7 @@ use determinacy::driver::{AnalysisOutcome, DetHarness};
 use determinacy::{AnalysisConfig, AnalysisStatus, Fact, FactValue};
 use mujs_dom::document::DocumentBuilder;
 use mujs_dom::events::EventPlan;
-use mujs_ir::ir::{Place, StmtKind};
+use mujs_ir::ir::StmtKind;
 use mujs_ir::Program;
 
 fn analyze(src: &str) -> (DetHarness, AnalysisOutcome) {
@@ -21,15 +21,14 @@ fn analyze_cfg(src: &str, cfg: AnalysisConfig) -> (DetHarness, AnalysisOutcome) 
 }
 
 fn var_fact(h: &DetHarness, out: &AnalysisOutcome, name: &str) -> Vec<Fact> {
+    let Some(sym) = h.program.interner.get(name) else {
+        return Vec::new();
+    };
     let mut facts = Vec::new();
     for f in &h.program.funcs {
         Program::walk_block(&f.body, &mut |s| {
-            if let StmtKind::Copy {
-                dst: Place::Named(n),
-                ..
-            } = &s.kind
-            {
-                if &**n == name {
+            if let StmtKind::Copy { dst, .. } = &s.kind {
+                if dst.as_var_sym() == Some(sym) {
                     for (_, fact) in out.facts.at_point(determinacy::FactKind::Define, s.id)
                     {
                         facts.push(fact.clone());

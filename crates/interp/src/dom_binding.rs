@@ -204,11 +204,12 @@ impl Interp<'_> {
 
     /// Intercepted DOM property reads (`None` falls through to ordinary
     /// property lookup).
-    pub(crate) fn dom_get_hook(&mut self, obj: ObjId, key: &str) -> Option<Value> {
+    pub(crate) fn dom_get_hook(&mut self, obj: ObjId, key: mujs_ir::Sym) -> Option<Value> {
         match self.obj(obj).class {
             ObjClass::DomDocument => {
+                let key = self.prog.interner.name(key).clone();
                 let doc = self.doc.as_ref()?;
-                match key {
+                match &*key {
                     "title" => Some(Value::Str(Rc::from(doc.title.as_str()))),
                     "body" => {
                         let b = doc.body();
@@ -222,11 +223,12 @@ impl Interp<'_> {
                 }
             }
             ObjClass::DomElement(n) => {
+                let key = self.prog.interner.name(key).clone();
                 let doc = self.doc.as_ref()?;
                 if !doc.contains(n) {
                     return None;
                 }
-                match key {
+                match &*key {
                     "tagName" => {
                         Some(Value::Str(Rc::from(doc.node(n).tag.to_uppercase().as_str())))
                     }
@@ -251,17 +253,18 @@ impl Interp<'_> {
     }
 
     /// Intercepted DOM property writes; returns `true` if handled.
-    pub(crate) fn dom_set_hook(&mut self, obj: ObjId, key: &str, value: &Value) -> bool {
+    pub(crate) fn dom_set_hook(&mut self, obj: ObjId, key: mujs_ir::Sym, value: &Value) -> bool {
         let ObjClass::DomElement(n) = self.obj(obj).class else {
             return false;
         };
+        let key = self.prog.interner.name(key).clone();
         let Ok(s) = crate::coerce::to_string(value) else {
             return false;
         };
         let Some(doc) = self.doc.as_mut() else {
             return false;
         };
-        match key {
+        match &*key {
             "id" => {
                 doc.set_attribute(n, "id", &s);
                 true

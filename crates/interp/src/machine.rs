@@ -11,7 +11,7 @@ use crate::values::{NativeId, ObjClass, ObjId, Object, ScopeId, Slot, Value};
 use mujs_dom::document::Document;
 use mujs_dom::events::EventRegistry;
 use mujs_ir::ir::{FuncKind, Place, PropKey, StmtKind};
-use mujs_ir::{Block, FuncId, Program, Stmt, StmtId, TempId};
+use mujs_ir::{Block, FuncId, Program, Stmt, StmtId, Sym, TempId};
 use mujs_syntax::ast::Lit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,12 +112,27 @@ pub struct Observation {
     pub value: Value,
 }
 
-/// A lexical scope: named bindings plus the parent link. `parent == None`
-/// means the global object terminates the chain.
+/// A lexical scope: slot-addressed locals plus by-name overflow bindings
+/// and the parent link. `parent == None` means the global object
+/// terminates the chain.
+///
+/// Function activations carry `func` and a `slots` vector laid out by the
+/// owning [`mujs_ir::Function::locals`]; slot-resolved places index it
+/// directly. Catch scopes (and any binding outside the static layout,
+/// e.g. introduced by `eval`) live in `ext`. A name is stored in at most
+/// one of the two.
 #[derive(Debug, Clone)]
 pub struct Scope {
-    vars: HashMap<Rc<str>, Value>,
+    /// Owning function for activation scopes; `None` for catch scopes.
+    func: Option<FuncId>,
+    /// The activation's locals, indexed by the static layout.
+    slots: Vec<Value>,
+    /// Bindings outside the static layout.
+    ext: HashMap<Sym, Value>,
     parent: Option<ScopeId>,
+    /// Nearest enclosing activation scope (catch scopes skipped); slot
+    /// coordinates with `hops ≥ 1` climb this chain.
+    fn_parent: Option<ScopeId>,
     /// Set when a closure captures this scope (used by the instrumented
     /// machine's flush policy; tracked here for API parity).
     pub captured: bool,
@@ -130,14 +145,18 @@ pub struct Frame {
     pub func: FuncId,
     /// Scope for named lookups (`None` ⇒ global object only).
     pub scope: Option<ScopeId>,
+    /// The frame's own activation scope — the base of slot addressing.
+    /// Stays fixed while `scope` moves through catch scopes.
+    pub activation: Option<ScopeId>,
     /// Temporary slots.
     pub temps: Vec<Value>,
     /// The `this` binding.
     pub this_val: Value,
     /// Calling context of this activation.
     pub ctx: CtxId,
-    /// Per-site dynamic occurrence counters within this activation.
-    pub occurrences: HashMap<StmtId, u32>,
+    /// Per-site dynamic occurrence counters within this activation,
+    /// indexed by the statement's dense per-function index.
+    pub occurrences: Vec<u32>,
 }
 
 /// Built-in prototype objects.
@@ -316,14 +335,25 @@ impl<'p> Interp<'p> {
     /// Sets `obj.name = value` directly (no array/DOM magic); used while
     /// building the standard library.
     pub fn set_raw(&mut self, obj: ObjId, name: &str, value: Value) {
-        self.obj_mut(obj)
-            .props
-            .insert(Rc::from(name), Slot { value, ann: () });
+        let key = self.prog.interner.intern(name);
+        self.set_raw_s(obj, key, value);
+    }
+
+    /// [`Interp::set_raw`] with a pre-interned key.
+    pub fn set_raw_s(&mut self, obj: ObjId, key: Sym, value: Value) {
+        self.obj_mut(obj).props.insert(key, Slot { value, ann: () });
     }
 
     /// Reads `obj.name` directly (own properties only).
     pub fn get_raw(&self, obj: ObjId, name: &str) -> Option<Value> {
-        self.obj(obj).props.get(name).map(|s| s.value.clone())
+        // An un-interned name cannot be a key of any property table.
+        let key = self.prog.interner.get(name)?;
+        self.get_raw_s(obj, key)
+    }
+
+    /// [`Interp::get_raw`] with a pre-interned key.
+    pub fn get_raw_s(&self, obj: ObjId, key: Sym) -> Option<Value> {
+        self.obj(obj).props.get(key).map(|s| s.value.clone())
     }
 
     /// Throws a fresh error object with the given message.
@@ -352,58 +382,119 @@ impl<'p> Interp<'p> {
 
     // ------------------------------------------------------------- scopes
 
+    /// Creates an ext-only scope (catch blocks).
     fn new_scope(&mut self, parent: Option<ScopeId>) -> ScopeId {
         let id = ScopeId(self.scopes.len() as u32);
+        let fn_parent = self.nearest_activation(parent);
         self.scopes.push(Scope {
-            vars: HashMap::new(),
+            func: None,
+            slots: Vec::new(),
+            ext: HashMap::new(),
             parent,
+            fn_parent,
             captured: false,
         });
         id
     }
 
-    fn declare(&mut self, scope: Option<ScopeId>, name: &Rc<str>, value: Value) {
+    /// Creates a function activation with its slot vector laid out by the
+    /// function's static `locals`, all initialized to `undefined`.
+    fn new_activation(&mut self, func: FuncId, parent: Option<ScopeId>) -> ScopeId {
+        let id = ScopeId(self.scopes.len() as u32);
+        let n = self.prog.func(func).locals.len();
+        let fn_parent = self.nearest_activation(parent);
+        self.scopes.push(Scope {
+            func: Some(func),
+            slots: vec![Value::Undefined; n],
+            ext: HashMap::new(),
+            parent,
+            fn_parent,
+            captured: false,
+        });
+        id
+    }
+
+    /// The nearest activation scope at or above `from` (catch scopes are
+    /// transparent to slot addressing).
+    fn nearest_activation(&self, from: Option<ScopeId>) -> Option<ScopeId> {
+        let mut cur = from;
+        while let Some(sid) = cur {
+            let s = &self.scopes[sid.0 as usize];
+            if s.func.is_some() {
+                return Some(sid);
+            }
+            cur = s.parent;
+        }
+        None
+    }
+
+    /// Position of `name` in the scope's slot layout, if it is a static
+    /// local of the owning function.
+    fn slot_of(&self, sid: ScopeId, name: Sym) -> Option<u32> {
+        let f = self.scopes[sid.0 as usize].func?;
+        self.prog.func(f).local_slot(name)
+    }
+
+    fn declare(&mut self, scope: Option<ScopeId>, name: Sym, value: Value) {
         match scope {
             Some(sid) => {
-                self.scopes[sid.0 as usize].vars.insert(name.clone(), value);
+                // Reuse the static slot when the name has one, so a name
+                // lives in exactly one place per scope.
+                if let Some(i) = self.slot_of(sid, name) {
+                    self.scopes[sid.0 as usize].slots[i as usize] = value;
+                } else {
+                    self.scopes[sid.0 as usize].ext.insert(name, value);
+                }
             }
             None => {
                 let g = self.global;
-                self.obj_mut(g)
-                    .props
-                    .insert(name.clone(), Slot { value, ann: () });
+                self.obj_mut(g).props.insert(name, Slot { value, ann: () });
             }
         }
     }
 
-    fn lookup(&self, scope: Option<ScopeId>, name: &str) -> Option<Value> {
+    fn lookup(&self, scope: Option<ScopeId>, name: Sym) -> Option<Value> {
         let mut cur = scope;
         while let Some(sid) = cur {
+            if let Some(i) = self.slot_of(sid, name) {
+                return Some(self.scopes[sid.0 as usize].slots[i as usize].clone());
+            }
             let s = &self.scopes[sid.0 as usize];
-            if let Some(v) = s.vars.get(name) {
+            if let Some(v) = s.ext.get(&name) {
                 return Some(v.clone());
             }
             cur = s.parent;
         }
-        self.get_raw(self.global, name)
+        self.get_raw_s(self.global, name)
     }
 
     /// Assigns `name`, walking the scope chain; creates a global if the
     /// name is unbound anywhere (sloppy-mode JS).
-    fn assign(&mut self, scope: Option<ScopeId>, name: &Rc<str>, value: Value) {
+    fn assign(&mut self, scope: Option<ScopeId>, name: Sym, value: Value) {
         let mut cur = scope;
         while let Some(sid) = cur {
+            if let Some(i) = self.slot_of(sid, name) {
+                self.scopes[sid.0 as usize].slots[i as usize] = value;
+                return;
+            }
             let s = &mut self.scopes[sid.0 as usize];
-            if let Some(slot) = s.vars.get_mut(name) {
+            if let Some(slot) = s.ext.get_mut(&name) {
                 *slot = value;
                 return;
             }
             cur = s.parent;
         }
         let g = self.global;
-        self.obj_mut(g)
-            .props
-            .insert(name.clone(), Slot { value, ann: () });
+        self.obj_mut(g).props.insert(name, Slot { value, ann: () });
+    }
+
+    /// The activation scope `hops` function levels above the frame's own.
+    fn hop_scope(&self, frame: &Frame, hops: u32) -> Option<ScopeId> {
+        let mut sid = frame.activation?;
+        for _ in 0..hops {
+            sid = self.scopes[sid.0 as usize].fn_parent?;
+        }
+        Some(sid)
     }
 
     /// Marks every scope from `scope` outward as captured.
@@ -424,20 +515,35 @@ impl<'p> Interp<'p> {
     fn read_place(&mut self, frame: &Frame, place: &Place) -> Result<Value, RunError> {
         match place {
             Place::Temp(TempId(i)) => Ok(frame.temps[*i as usize].clone()),
-            Place::Named(name) => match self.lookup(frame.scope, name) {
+            Place::Named(name) => match self.lookup(frame.scope, *name) {
                 Some(v) => Ok(v),
-                None => Err(self.throw_error(
-                    "ReferenceError",
-                    &format!("{name} is not defined"),
-                )),
+                None => Err(self.ref_error(*name)),
+            },
+            Place::Slot { hops, slot, sym } => match self.hop_scope(frame, *hops) {
+                Some(sid) => Ok(self.scopes[sid.0 as usize].slots[*slot as usize].clone()),
+                // Defensive: code running without an activation (shouldn't
+                // happen for slot-resolved bodies) falls back to by-name.
+                None => match self.lookup(frame.scope, *sym) {
+                    Some(v) => Ok(v),
+                    None => Err(self.ref_error(*sym)),
+                },
             },
         }
+    }
+
+    fn ref_error(&mut self, name: Sym) -> RunError {
+        let name = self.prog.interner.resolve(name).to_owned();
+        self.throw_error("ReferenceError", &format!("{name} is not defined"))
     }
 
     fn write_place(&mut self, frame: &mut Frame, place: &Place, value: Value) {
         match place {
             Place::Temp(TempId(i)) => frame.temps[*i as usize] = value,
-            Place::Named(name) => self.assign(frame.scope, name, value),
+            Place::Named(name) => self.assign(frame.scope, *name, value),
+            Place::Slot { hops, slot, sym } => match self.hop_scope(frame, *hops) {
+                Some(sid) => self.scopes[sid.0 as usize].slots[*slot as usize] = value,
+                None => self.assign(frame.scope, *sym, value),
+            },
         }
     }
 
@@ -473,25 +579,26 @@ impl<'p> Interp<'p> {
     /// Uncaught exceptions, step-limit exhaustion, or illegal completions.
     pub fn run(&mut self) -> Result<(), RunError> {
         let entry = self.prog.entry().expect("program has an entry");
-        let f = self.prog.func(entry).clone();
+        let f = self.prog.func_rc(entry);
         debug_assert_eq!(f.kind, FuncKind::Script);
         // Script declarations go to the global object.
-        for v in &f.decls.vars {
-            if self.get_raw(self.global, v).is_none() {
+        for &v in &f.decls.vars {
+            if self.get_raw_s(self.global, v).is_none() {
                 self.declare(None, v, Value::Undefined);
             }
         }
-        for (name, fid) in f.decls.funcs.clone() {
+        for &(name, fid) in &f.decls.funcs {
             let clos = self.make_closure(fid, None);
-            self.declare(None, &name, Value::Object(clos));
+            self.declare(None, name, Value::Object(clos));
         }
         let mut frame = Frame {
             func: entry,
             scope: None,
+            activation: None,
             temps: vec![Value::Undefined; f.n_temps as usize],
             this_val: Value::Object(self.global),
             ctx: CtxId::ROOT,
-            occurrences: HashMap::new(),
+            occurrences: vec![0; self.prog.stmt_count_of(entry) as usize],
         };
         match self.exec_block(&mut frame, &f.body)? {
             Flow::Normal => Ok(()),
@@ -507,14 +614,15 @@ impl<'p> Interp<'p> {
             Some(self.protos.function),
         );
         let proto = self.alloc(ObjClass::Plain, Some(self.protos.object));
-        self.set_raw(proto, "constructor", Value::Object(clos));
-        self.set_raw(clos, "prototype", Value::Object(proto));
+        self.set_raw_s(proto, Sym::CONSTRUCTOR, Value::Object(clos));
+        self.set_raw_s(clos, Sym::PROTOTYPE, Value::Object(proto));
         let f = self.prog.func(func);
         let nparams = f.params.len() as f64;
-        let name = f.name.clone();
-        self.set_raw(clos, "length", Value::Num(nparams));
+        let name = f.name;
+        self.set_raw_s(clos, Sym::LENGTH, Value::Num(nparams));
         if let Some(n) = name {
-            self.set_raw(clos, "name", Value::Str(n));
+            let text = self.prog.interner.name(n).clone();
+            self.set_raw_s(clos, Sym::NAME, Value::Str(text));
         }
         clos
     }
@@ -573,21 +681,21 @@ impl<'p> Interp<'p> {
             }
             StmtKind::GetProp { dst, obj, key } => {
                 let o = self.read_place(frame, obj)?;
-                let k = self.key_string(frame, key)?;
-                let v = self.get_prop(&o, &k)?;
+                let k = self.key_sym(frame, key)?;
+                let v = self.get_prop(&o, k)?;
                 self.define(frame, id, dst, v)?;
             }
             StmtKind::SetProp { obj, key, val } => {
                 let o = self.read_place(frame, obj)?;
-                let k = self.key_string(frame, key)?;
+                let k = self.key_sym(frame, key)?;
                 let v = self.read_place(frame, val)?;
-                self.set_prop(&o, &k, v)?;
+                self.set_prop(&o, k, v)?;
             }
             StmtKind::DeleteProp { dst, obj, key } => {
                 let o = self.read_place(frame, obj)?;
-                let k = self.key_string(frame, key)?;
+                let k = self.key_sym(frame, key)?;
                 if let Value::Object(oid) = o {
-                    self.obj_mut(oid).props.remove(&k);
+                    self.obj_mut(oid).props.remove(k);
                 }
                 self.define(frame, id, dst, Value::Bool(true))?;
             }
@@ -693,7 +801,7 @@ impl<'p> Interp<'p> {
                     // The catch variable lives in its own little scope.
                     let saved = frame.scope;
                     let cscope = self.new_scope(saved);
-                    self.declare(Some(cscope), name, exn);
+                    self.declare(Some(cscope), *name, exn);
                     frame.scope = Some(cscope);
                     result = self.exec_block(frame, handler);
                     frame.scope = saved;
@@ -724,7 +832,7 @@ impl<'p> Interp<'p> {
                 self.define(frame, id, dst, v)?;
             }
             StmtKind::TypeofName { dst, name } => {
-                let v = match self.lookup(frame.scope, name) {
+                let v = match self.lookup(frame.scope, *name) {
                     Some(v) => {
                         let ov = self.typeof_override(&v);
                         coerce::un_op(mujs_ir::UnOp::Typeof, &v, ov)
@@ -737,13 +845,14 @@ impl<'p> Interp<'p> {
             StmtKind::HasProp { dst, key, obj } => {
                 let k = self.read_place(frame, key)?;
                 let k = coerce::to_string(&k).map_err(|e| self.coerce_err(e))?;
+                let k = self.prog.interner.intern_rc(&k);
                 let o = self.read_place(frame, obj)?;
                 let Value::Object(oid) = o else {
                     return Err(
                         self.throw_error("TypeError", "'in' requires an object")
                     );
                 };
-                let has = self.has_prop_chain(oid, &k);
+                let has = self.has_prop_chain(oid, k);
                 self.define(frame, id, dst, Value::Bool(has))?;
             }
             StmtKind::InstanceOf { dst, val, ctor } => {
@@ -757,7 +866,7 @@ impl<'p> Interp<'p> {
                     return Err(self
                         .throw_error("TypeError", "instanceof requires a function"));
                 }
-                let proto = self.get_raw(cid, "prototype");
+                let proto = self.get_raw_s(cid, Sym::PROTOTYPE);
                 let mut result = false;
                 if let (Value::Object(mut o), Some(Value::Object(p))) = (v, proto) {
                     let mut fuel = 10_000;
@@ -779,9 +888,10 @@ impl<'p> Interp<'p> {
                 let o = self.read_place(frame, obj)?;
                 let keys = self.enum_props(&o);
                 let arr = self.alloc(ObjClass::Array, Some(self.protos.array));
-                self.set_raw(arr, "length", Value::Num(keys.len() as f64));
+                self.set_raw_s(arr, Sym::LENGTH, Value::Num(keys.len() as f64));
                 for (i, k) in keys.into_iter().enumerate() {
-                    self.set_raw(arr, &i.to_string(), Value::Str(k));
+                    let text = self.prog.interner.name(k).clone();
+                    self.set_raw(arr, &i.to_string(), Value::Str(text));
                 }
                 self.define(frame, id, dst, Value::Object(arr))?;
             }
@@ -798,18 +908,24 @@ impl<'p> Interp<'p> {
     /// Allocates this activation's next occurrence of `site` and interns
     /// the child context.
     fn enter_site(&mut self, frame: &mut Frame, site: StmtId) -> CtxId {
-        let occ = frame.occurrences.entry(site).or_insert(0);
-        let this_occ = *occ;
-        *occ += 1;
+        let local = self.prog.local_of(site) as usize;
+        if local >= frame.occurrences.len() {
+            // The function grew after this frame was created (possible only
+            // through exotic re-entrancy); keep counting correctly.
+            frame.occurrences.resize(local + 1, 0);
+        }
+        let this_occ = frame.occurrences[local];
+        frame.occurrences[local] += 1;
         self.ctxs.child(frame.ctx, site, this_occ)
     }
 
-    fn key_string(&mut self, frame: &Frame, key: &PropKey) -> Result<Rc<str>, RunError> {
+    fn key_sym(&mut self, frame: &Frame, key: &PropKey) -> Result<Sym, RunError> {
         match key {
-            PropKey::Static(name) => Ok(name.clone()),
+            PropKey::Static(name) => Ok(*name),
             PropKey::Dynamic(p) => {
                 let v = self.read_place_imm(frame, p)?;
-                coerce::to_string(&v).map_err(|e| self.coerce_err(e))
+                let s = coerce::to_string(&v).map_err(|e| self.coerce_err(e))?;
+                Ok(self.prog.interner.intern_rc(&s))
             }
         }
     }
@@ -817,12 +933,16 @@ impl<'p> Interp<'p> {
     fn read_place_imm(&mut self, frame: &Frame, place: &Place) -> Result<Value, RunError> {
         match place {
             Place::Temp(TempId(i)) => Ok(frame.temps[*i as usize].clone()),
-            Place::Named(name) => match self.lookup(frame.scope, name) {
+            Place::Named(name) => match self.lookup(frame.scope, *name) {
                 Some(v) => Ok(v),
-                None => Err(self.throw_error(
-                    "ReferenceError",
-                    &format!("{name} is not defined"),
-                )),
+                None => Err(self.ref_error(*name)),
+            },
+            Place::Slot { hops, slot, sym } => match self.hop_scope(frame, *hops) {
+                Some(sid) => Ok(self.scopes[sid.0 as usize].slots[*slot as usize].clone()),
+                None => match self.lookup(frame.scope, *sym) {
+                    Some(v) => Ok(v),
+                    None => Err(self.ref_error(*sym)),
+                },
             },
         }
     }
@@ -834,7 +954,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn has_prop_chain(&self, mut obj: ObjId, key: &str) -> bool {
+    fn has_prop_chain(&self, mut obj: ObjId, key: Sym) -> bool {
         let mut fuel = 10_000;
         loop {
             if self.obj(obj).props.contains(key) {
@@ -857,17 +977,20 @@ impl<'p> Interp<'p> {
     /// # Errors
     ///
     /// `TypeError` on `null`/`undefined` bases.
-    pub fn get_prop(&mut self, base: &Value, key: &str) -> Result<Value, RunError> {
+    pub fn get_prop(&mut self, base: &Value, key: Sym) -> Result<Value, RunError> {
         match base {
-            Value::Undefined | Value::Null => Err(self.throw_error(
-                "TypeError",
-                &format!("cannot read property '{key}' of {}", base.kind_str()),
-            )),
+            Value::Undefined | Value::Null => {
+                let key = self.prog.interner.resolve(key).to_owned();
+                Err(self.throw_error(
+                    "TypeError",
+                    &format!("cannot read property '{key}' of {}", base.kind_str()),
+                ))
+            }
             Value::Str(s) => {
-                if key == "length" {
+                if key == Sym::LENGTH {
                     return Ok(Value::Num(s.chars().count() as f64));
                 }
-                if let Ok(idx) = key.parse::<usize>() {
+                if let Ok(idx) = self.prog.interner.resolve(key).parse::<usize>() {
                     return Ok(match s.chars().nth(idx) {
                         Some(c) => Value::Str(Rc::from(c.to_string().as_str())),
                         None => Value::Undefined,
@@ -899,7 +1022,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn proto_lookup(&self, start: ObjId, key: &str) -> Value {
+    fn proto_lookup(&self, start: ObjId, key: Sym) -> Value {
         let mut cur = start;
         let mut fuel = 10_000;
         loop {
@@ -922,35 +1045,36 @@ impl<'p> Interp<'p> {
     ///
     /// `TypeError` on `null`/`undefined` bases. Writes to other primitives
     /// are silently ignored (sloppy-mode JS).
-    pub fn set_prop(&mut self, base: &Value, key: &str, value: Value) -> Result<(), RunError> {
+    pub fn set_prop(&mut self, base: &Value, key: Sym, value: Value) -> Result<(), RunError> {
         match base {
-            Value::Undefined | Value::Null => Err(self.throw_error(
-                "TypeError",
-                &format!("cannot set property '{key}' of {}", base.kind_str()),
-            )),
+            Value::Undefined | Value::Null => {
+                let key = self.prog.interner.resolve(key).to_owned();
+                Err(self.throw_error(
+                    "TypeError",
+                    &format!("cannot set property '{key}' of {}", base.kind_str()),
+                ))
+            }
             Value::Object(oid) => {
                 if self.dom_set_hook(*oid, key, &value) {
                     return Ok(());
                 }
                 let is_array = self.obj(*oid).class == ObjClass::Array;
                 if is_array {
-                    if key == "length" {
+                    if key == Sym::LENGTH {
                         self.array_set_length(*oid, &value);
                         return Ok(());
                     }
-                    if let Some(idx) = array_index(key) {
-                        let len = match self.get_raw(*oid, "length") {
+                    if let Some(idx) = array_index(self.prog.interner.resolve(key)) {
+                        let len = match self.get_raw_s(*oid, Sym::LENGTH) {
                             Some(Value::Num(n)) => n,
                             _ => 0.0,
                         };
                         if (idx as f64) >= len {
-                            self.set_raw(*oid, "length", Value::Num(idx as f64 + 1.0));
+                            self.set_raw_s(*oid, Sym::LENGTH, Value::Num(idx as f64 + 1.0));
                         }
                     }
                 }
-                self.obj_mut(*oid)
-                    .props
-                    .insert(Rc::from(key), Slot { value, ann: () });
+                self.obj_mut(*oid).props.insert(key, Slot { value, ann: () });
                 Ok(())
             }
             _ => Ok(()),
@@ -959,33 +1083,35 @@ impl<'p> Interp<'p> {
 
     fn array_set_length(&mut self, arr: ObjId, value: &Value) {
         let new_len = coerce::to_number(value).unwrap_or(0.0).max(0.0).trunc();
-        let old_len = match self.get_raw(arr, "length") {
+        let old_len = match self.get_raw_s(arr, Sym::LENGTH) {
             Some(Value::Num(n)) => n,
             _ => 0.0,
         };
         if new_len < old_len {
-            let doomed: Vec<Rc<str>> = self
+            let doomed: Vec<Sym> = self
                 .obj(arr)
                 .props
                 .keys()
-                .filter(|k| array_index(k).is_some_and(|i| (i as f64) >= new_len))
-                .cloned()
+                .filter(|&k| {
+                    array_index(self.prog.interner.resolve(k))
+                        .is_some_and(|i| (i as f64) >= new_len)
+                })
                 .collect();
             for k in doomed {
-                self.obj_mut(arr).props.remove(&k);
+                self.obj_mut(arr).props.remove(k);
             }
         }
-        self.set_raw(arr, "length", Value::Num(new_len));
+        self.set_raw_s(arr, Sym::LENGTH, Value::Num(new_len));
     }
 
     /// Enumerable keys for `for-in`: own properties (minus hidden ones),
     /// then prototype-chain properties of non-builtin objects.
-    pub fn enum_props(&self, base: &Value) -> Vec<Rc<str>> {
+    pub fn enum_props(&self, base: &Value) -> Vec<Sym> {
         let Value::Object(oid) = base else {
             return Vec::new();
         };
-        let mut out: Vec<Rc<str>> = Vec::new();
-        let mut seen: std::collections::HashSet<Rc<str>> = std::collections::HashSet::new();
+        let mut out: Vec<Sym> = Vec::new();
+        let mut seen: std::collections::HashSet<Sym> = std::collections::HashSet::new();
         let mut cur = Some(*oid);
         let mut fuel = 10_000;
         while let Some(id) = cur {
@@ -995,8 +1121,8 @@ impl<'p> Interp<'p> {
                     if self.hidden_from_enum(o, k) {
                         continue;
                     }
-                    if seen.insert(k.clone()) {
-                        out.push(k.clone());
+                    if seen.insert(k) {
+                        out.push(k);
                     }
                 }
             }
@@ -1009,11 +1135,11 @@ impl<'p> Interp<'p> {
         out
     }
 
-    fn hidden_from_enum(&self, o: &Object<()>, key: &str) -> bool {
+    fn hidden_from_enum(&self, o: &Object<()>, key: Sym) -> bool {
         match &o.class {
-            ObjClass::Array => key == "length",
+            ObjClass::Array => key == Sym::LENGTH,
             ObjClass::Function { .. } | ObjClass::Native(_) => {
-                matches!(key, "prototype" | "length" | "name")
+                key == Sym::PROTOTYPE || key == Sym::LENGTH || key == Sym::NAME
             }
             _ => false,
         }
@@ -1058,31 +1184,41 @@ impl<'p> Interp<'p> {
         args: &[Value],
         ctx: CtxId,
     ) -> Result<Value, RunError> {
-        let f = self.prog.func(func).clone();
-        let scope = self.new_scope(env);
-        for (i, p) in f.params.iter().enumerate() {
+        let f = self.prog.func_rc(func);
+        let scope = self.new_activation(func, env);
+        for (i, &p) in f.params.iter().enumerate() {
             let v = args.get(i).cloned().unwrap_or(Value::Undefined);
             self.declare(Some(scope), p, v);
         }
         // `arguments` array.
         let args_arr = self.alloc(ObjClass::Array, Some(self.protos.array));
-        self.set_raw(args_arr, "length", Value::Num(args.len() as f64));
+        self.set_raw_s(args_arr, Sym::LENGTH, Value::Num(args.len() as f64));
         for (i, v) in args.iter().enumerate() {
             self.set_raw(args_arr, &i.to_string(), v.clone());
         }
-        self.declare(Some(scope), &Rc::from("arguments"), Value::Object(args_arr));
-        for v in &f.decls.vars {
-            if !self.scopes[scope.0 as usize].vars.contains_key(v) {
+        self.declare(Some(scope), Sym::ARGUMENTS, Value::Object(args_arr));
+        // Static locals are pre-initialized to `undefined` by the slot
+        // layout; only names outside it (e.g. specializer-added after
+        // layout) still need declaring.
+        for &v in &f.decls.vars {
+            if self.slot_of(scope, v).is_none()
+                && !self.scopes[scope.0 as usize].ext.contains_key(&v)
+            {
                 self.declare(Some(scope), v, Value::Undefined);
             }
         }
-        for (name, nested) in &f.decls.funcs {
-            let clos = self.make_closure(*nested, Some(scope));
+        for &(name, nested) in &f.decls.funcs {
+            let clos = self.make_closure(nested, Some(scope));
             self.declare(Some(scope), name, Value::Object(clos));
         }
         if f.bind_self {
-            if let (Some(name), Some(clos)) = (&f.name, self_obj) {
-                if !self.scopes[scope.0 as usize].vars.contains_key(name) {
+            if let (Some(name), Some(clos)) = (f.name, self_obj) {
+                // The self-binding loses to any like-named declaration.
+                let shadowed = name == Sym::ARGUMENTS
+                    || f.params.contains(&name)
+                    || f.decls.vars.contains(&name)
+                    || f.decls.funcs.iter().any(|&(n, _)| n == name);
+                if !shadowed {
                     self.declare(Some(scope), name, Value::Object(clos));
                 }
             }
@@ -1090,10 +1226,11 @@ impl<'p> Interp<'p> {
         let mut frame = Frame {
             func,
             scope: Some(scope),
+            activation: Some(scope),
             temps: vec![Value::Undefined; f.n_temps as usize],
             this_val: this,
             ctx,
-            occurrences: HashMap::new(),
+            occurrences: vec![0; self.prog.stmt_count_of(func) as usize],
         };
         match self.exec_block(&mut frame, &f.body)? {
             Flow::Normal => Ok(Value::Undefined),
@@ -1216,24 +1353,25 @@ impl<'p> Interp<'p> {
         chunk: FuncId,
         ctx: CtxId,
     ) -> Result<Value, RunError> {
-        let f = self.prog.func(chunk).clone();
+        let f = self.prog.func_rc(chunk);
         // Hoist the chunk's declarations into the caller's scope.
-        for v in &f.decls.vars {
+        for &v in &f.decls.vars {
             if self.lookup(frame.scope, v).is_none() {
                 self.declare(frame.scope, v, Value::Undefined);
             }
         }
-        for (name, nested) in &f.decls.funcs {
-            let clos = self.make_closure(*nested, frame.scope);
+        for &(name, nested) in &f.decls.funcs {
+            let clos = self.make_closure(nested, frame.scope);
             self.assign(frame.scope, name, Value::Object(clos));
         }
         let mut eframe = Frame {
             func: chunk,
             scope: frame.scope,
+            activation: frame.activation,
             temps: vec![Value::Undefined; f.n_temps as usize],
             this_val: frame.this_val.clone(),
             ctx,
-            occurrences: HashMap::new(),
+            occurrences: vec![0; self.prog.stmt_count_of(chunk) as usize],
         };
         match self.exec_block(&mut eframe, &f.body)? {
             Flow::Normal => Ok(eframe.temps.first().cloned().unwrap_or(Value::Undefined)),
@@ -1258,7 +1396,7 @@ impl<'p> Interp<'p> {
             Value::Str(s) => s.to_string(),
             Value::Object(id) => match &self.obj(*id).class {
                 ObjClass::Array => {
-                    let len = match self.obj(*id).props.get("length") {
+                    let len = match self.obj(*id).props.get(Sym::LENGTH) {
                         Some(Slot {
                             value: Value::Num(n),
                             ..
@@ -1267,9 +1405,10 @@ impl<'p> Interp<'p> {
                     };
                     let items: Vec<String> = (0..len.min(100))
                         .map(|i| {
-                            self.obj(*id)
-                                .props
+                            self.prog
+                                .interner
                                 .get(&i.to_string())
+                                .and_then(|k| self.obj(*id).props.get(k))
                                 .map(|s| self.display(&s.value))
                                 .unwrap_or_default()
                         })

@@ -260,14 +260,15 @@ pub fn install_stdlib(interp: &mut Interp<'_>) {
         let entry = it.prog.entry().expect("program has an entry");
         let chunk = mujs_ir::lower_chunk(it.prog, &parsed, FuncKind::EvalChunk, Some(entry));
         let g = it.global();
-        let f = it.prog.func(chunk).clone();
+        let f = it.prog.func_rc(chunk);
         let mut frame = crate::machine::Frame {
             func: chunk,
             scope: None,
+            activation: None,
             temps: vec![Value::Undefined; f.n_temps as usize],
             this_val: Value::Object(g),
             ctx: crate::context::CtxId::ROOT,
-            occurrences: std::collections::HashMap::new(),
+            occurrences: vec![0; it.prog.stmt_count_of(chunk) as usize],
         };
         it.run_eval_chunk(&mut frame, chunk, crate::context::CtxId::ROOT)
     });
@@ -360,7 +361,8 @@ fn install_object_proto(it: &mut Interp<'_>) {
                 return Ok(Value::Bool(false));
             };
             let key = arg_string(it, a, 0)?;
-            Ok(Value::Bool(it.obj(o).props.contains(&key)))
+            let key = it.prog.interner.intern_rc(&key);
+            Ok(Value::Bool(it.obj(o).props.contains(key)))
         }),
         ("toString", |_, _, _| {
             Ok(Value::Str(Rc::from("[object Object]")))
@@ -430,11 +432,11 @@ fn install_array_proto(it: &mut Interp<'_>) {
             if len == 0 {
                 return Ok(Value::Undefined);
             }
-            let key = (len - 1).to_string();
+            let key = it.prog.interner.intern(&(len - 1).to_string());
             let v = it
                 .obj_mut(arr)
                 .props
-                .remove(&key)
+                .remove(key)
                 .map(|s| s.value)
                 .unwrap_or(Value::Undefined);
             it.set_raw(arr, "length", Value::Num(len as f64 - 1.0));
@@ -536,7 +538,8 @@ fn install_array_proto(it: &mut Interp<'_>) {
                 let v = it.get_raw(arr, &i.to_string()).unwrap_or(Value::Undefined);
                 it.set_raw(arr, &(i - 1).to_string(), v);
             }
-            it.obj_mut(arr).props.remove(&(len - 1).to_string());
+            let last = it.prog.interner.intern(&(len - 1).to_string());
+            it.obj_mut(arr).props.remove(last);
             it.set_raw(arr, "length", Value::Num(len as f64 - 1.0));
             Ok(first)
         }),
@@ -670,5 +673,6 @@ fn install_number_proto(it: &mut Interp<'_>) {
 
 /// Looks up a property slot on an object for tests.
 pub fn own_slot(it: &Interp<'_>, obj: ObjId, key: &str) -> Option<Slot<()>> {
+    let key = it.prog.interner.get(key)?;
     it.obj(obj).props.get(key).cloned()
 }

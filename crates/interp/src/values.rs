@@ -3,7 +3,7 @@
 //! *slots*, by the instrumented interpreter in the `determinacy` crate).
 
 use mujs_dom::document::NodeId;
-use mujs_ir::FuncId;
+use mujs_ir::{FuncId, Sym};
 use std::fmt;
 use std::rc::Rc;
 
@@ -127,20 +127,36 @@ pub struct Slot<A> {
     pub ann: A,
 }
 
+/// Entry count above which a [`PropMap`] builds a hash index. Most µJS
+/// objects (and real-page objects, per the engine folklore the hidden-class
+/// literature measures) have a handful of properties; for those a linear
+/// scan over a dense `Vec<(Sym, _)>` beats hashing the key.
+const SMALL_OBJ_THRESHOLD: usize = 8;
+
 /// An insertion-ordered property map (for-in enumerates in insertion
 /// order, which all major engines implement and the paper relies on for
 /// determinate iteration order, §5.2).
+///
+/// Keys are interned [`Sym`]s. Storage is a single entry vector: below
+/// [`SMALL_OBJ_THRESHOLD`] entries lookups are linear scans (comparing
+/// `u32`s), above it a hash index from key to entry position is built
+/// lazily and kept incrementally up to date. Deletion leaves a tombstone
+/// so existing positions stay valid; a key therefore appears at most once
+/// live, possibly after dead occurrences, and lookups scan from the back
+/// to find the most recent entry first.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PropMap<A> {
-    entries: Vec<(Rc<str>, Option<Slot<A>>)>,
-    index: std::collections::HashMap<Rc<str>, usize>,
+    entries: Vec<(Sym, Option<Slot<A>>)>,
+    live: u32,
+    index: Option<std::collections::HashMap<Sym, u32>>,
 }
 
 impl<A> Default for PropMap<A> {
     fn default() -> Self {
         PropMap {
             entries: Vec::new(),
-            index: std::collections::HashMap::new(),
+            live: 0,
+            index: None,
         }
     }
 }
@@ -151,84 +167,107 @@ impl<A> PropMap<A> {
         Self::default()
     }
 
+    /// Position of the most recent entry for `key`, live or tombstoned.
+    fn find(&self, key: Sym) -> Option<usize> {
+        if let Some(index) = &self.index {
+            return index.get(&key).map(|&i| i as usize);
+        }
+        self.entries.iter().rposition(|(k, _)| *k == key)
+    }
+
+    /// Builds the hash index once the entry vector outgrows the
+    /// linear-scan sweet spot.
+    fn maybe_index(&mut self) {
+        if self.index.is_none() && self.entries.len() > SMALL_OBJ_THRESHOLD {
+            let mut index = std::collections::HashMap::with_capacity(self.entries.len() * 2);
+            for (i, (k, _)) in self.entries.iter().enumerate() {
+                index.insert(*k, i as u32);
+            }
+            self.index = Some(index);
+        }
+    }
+
     /// Looks up a live slot.
-    pub fn get(&self, key: &str) -> Option<&Slot<A>> {
-        let i = *self.index.get(key)?;
+    pub fn get(&self, key: Sym) -> Option<&Slot<A>> {
+        let i = self.find(key)?;
         self.entries[i].1.as_ref()
     }
 
     /// Mutably looks up a live slot.
-    pub fn get_mut(&mut self, key: &str) -> Option<&mut Slot<A>> {
-        let i = *self.index.get(key)?;
+    pub fn get_mut(&mut self, key: Sym) -> Option<&mut Slot<A>> {
+        let i = self.find(key)?;
         self.entries[i].1.as_mut()
     }
 
     /// Inserts or overwrites; returns the previous slot if the property was
     /// live. A deleted property re-inserted moves to the end of the
     /// enumeration order, as in real engines.
-    pub fn insert(&mut self, key: Rc<str>, slot: Slot<A>) -> Option<Slot<A>> {
-        match self.index.get(&key) {
-            Some(&i) if self.entries[i].1.is_some() => {
-                self.entries[i].1.replace(slot)
+    pub fn insert(&mut self, key: Sym, slot: Slot<A>) -> Option<Slot<A>> {
+        let prev = match self.find(key) {
+            Some(i) if self.entries[i].1.is_some() => {
+                return self.entries[i].1.replace(slot);
             }
-            Some(&i) => {
-                // Tombstone: remove it and append fresh to restore
-                // insertion-order semantics.
-                self.entries[i].1 = None;
-                let _ = i;
-                self.index.insert(key.clone(), self.entries.len());
-                self.entries.push((key, Some(slot)));
+            Some(_) => {
+                // Tombstone stays where it is; the fresh entry appended
+                // below restores insertion-order semantics.
                 None
             }
-            None => {
-                self.index.insert(key.clone(), self.entries.len());
-                self.entries.push((key, Some(slot)));
-                None
-            }
+            None => None,
+        };
+        if let Some(index) = &mut self.index {
+            index.insert(key, self.entries.len() as u32);
         }
+        self.entries.push((key, Some(slot)));
+        self.live += 1;
+        self.maybe_index();
+        prev
     }
 
     /// Deletes a property; returns its slot if it was live.
-    pub fn remove(&mut self, key: &str) -> Option<Slot<A>> {
-        let i = *self.index.get(key)?;
-        self.entries[i].1.take()
+    pub fn remove(&mut self, key: Sym) -> Option<Slot<A>> {
+        let i = self.find(key)?;
+        let slot = self.entries[i].1.take();
+        if slot.is_some() {
+            self.live -= 1;
+        }
+        slot
     }
 
     /// Whether the property is live.
-    pub fn contains(&self, key: &str) -> bool {
+    pub fn contains(&self, key: Sym) -> bool {
         self.get(key).is_some()
     }
 
     /// Live keys in insertion order.
-    pub fn keys(&self) -> impl Iterator<Item = &Rc<str>> {
+    pub fn keys(&self) -> impl Iterator<Item = Sym> + '_ {
         self.entries
             .iter()
             .filter(|(_, s)| s.is_some())
-            .map(|(k, _)| k)
+            .map(|(k, _)| *k)
     }
 
     /// Live `(key, slot)` pairs in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Rc<str>, &Slot<A>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &Slot<A>)> {
         self.entries
             .iter()
-            .filter_map(|(k, s)| s.as_ref().map(|s| (k, s)))
+            .filter_map(|(k, s)| s.as_ref().map(|s| (*k, s)))
     }
 
     /// Mutable iteration over live slots in insertion order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&Rc<str>, &mut Slot<A>)> {
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Sym, &mut Slot<A>)> {
         self.entries
             .iter_mut()
-            .filter_map(|(k, s)| s.as_mut().map(|s| (&*k, s)))
+            .filter_map(|(k, s)| s.as_mut().map(|s| (*k, s)))
     }
 
     /// Number of live properties.
     pub fn len(&self) -> usize {
-        self.entries.iter().filter(|(_, s)| s.is_some()).count()
+        self.live as usize
     }
 
     /// Whether there are no live properties.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 }
 
@@ -266,47 +305,76 @@ mod tests {
         Slot { value: v, ann: () }
     }
 
+    const A: Sym = Sym(100);
+    const B: Sym = Sym(101);
+    const C: Sym = Sym(102);
+
     #[test]
     fn propmap_preserves_insertion_order() {
         let mut m: PropMap<()> = PropMap::new();
-        m.insert(Rc::from("b"), slot(Value::Num(1.0)));
-        m.insert(Rc::from("a"), slot(Value::Num(2.0)));
-        m.insert(Rc::from("c"), slot(Value::Num(3.0)));
-        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
-        assert_eq!(keys, vec!["b", "a", "c"]);
+        m.insert(B, slot(Value::Num(1.0)));
+        m.insert(A, slot(Value::Num(2.0)));
+        m.insert(C, slot(Value::Num(3.0)));
+        let keys: Vec<Sym> = m.keys().collect();
+        assert_eq!(keys, vec![B, A, C]);
     }
 
     #[test]
     fn overwrite_keeps_position() {
         let mut m: PropMap<()> = PropMap::new();
-        m.insert(Rc::from("a"), slot(Value::Num(1.0)));
-        m.insert(Rc::from("b"), slot(Value::Num(2.0)));
-        m.insert(Rc::from("a"), slot(Value::Num(9.0)));
-        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
-        assert_eq!(keys, vec!["a", "b"]);
-        assert_eq!(m.get("a").unwrap().value, Value::Num(9.0));
+        m.insert(A, slot(Value::Num(1.0)));
+        m.insert(B, slot(Value::Num(2.0)));
+        m.insert(A, slot(Value::Num(9.0)));
+        let keys: Vec<Sym> = m.keys().collect();
+        assert_eq!(keys, vec![A, B]);
+        assert_eq!(m.get(A).unwrap().value, Value::Num(9.0));
     }
 
     #[test]
     fn delete_then_reinsert_moves_to_end() {
         let mut m: PropMap<()> = PropMap::new();
-        m.insert(Rc::from("a"), slot(Value::Num(1.0)));
-        m.insert(Rc::from("b"), slot(Value::Num(2.0)));
-        assert!(m.remove("a").is_some());
-        assert!(!m.contains("a"));
-        m.insert(Rc::from("a"), slot(Value::Num(3.0)));
-        let keys: Vec<&str> = m.keys().map(|k| &**k).collect();
-        assert_eq!(keys, vec!["b", "a"]);
+        m.insert(A, slot(Value::Num(1.0)));
+        m.insert(B, slot(Value::Num(2.0)));
+        assert!(m.remove(A).is_some());
+        assert!(!m.contains(A));
+        m.insert(A, slot(Value::Num(3.0)));
+        let keys: Vec<Sym> = m.keys().collect();
+        assert_eq!(keys, vec![B, A]);
     }
 
     #[test]
     fn len_counts_live_only() {
         let mut m: PropMap<()> = PropMap::new();
-        m.insert(Rc::from("a"), slot(Value::Num(1.0)));
-        m.insert(Rc::from("b"), slot(Value::Num(2.0)));
-        m.remove("a");
+        m.insert(A, slot(Value::Num(1.0)));
+        m.insert(B, slot(Value::Num(2.0)));
+        m.remove(A);
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn behaves_identically_across_the_index_threshold() {
+        // Push past SMALL_OBJ_THRESHOLD so the hash index kicks in, then
+        // check lookups, order, overwrite, and delete/reinsert all still
+        // behave like the linear-scan regime.
+        let mut m: PropMap<()> = PropMap::new();
+        let syms: Vec<Sym> = (0..32).map(Sym).collect();
+        for (i, &s) in syms.iter().enumerate() {
+            m.insert(s, slot(Value::Num(i as f64)));
+        }
+        assert_eq!(m.len(), 32);
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(m.get(s).unwrap().value, Value::Num(i as f64));
+        }
+        m.insert(syms[3], slot(Value::Num(99.0)));
+        assert_eq!(m.len(), 32);
+        assert_eq!(m.keys().nth(3), Some(syms[3]));
+        assert!(m.remove(syms[5]).is_some());
+        assert!(!m.contains(syms[5]));
+        m.insert(syms[5], slot(Value::Num(55.0)));
+        assert_eq!(m.keys().last(), Some(syms[5]));
+        assert_eq!(m.get(syms[5]).unwrap().value, Value::Num(55.0));
+        assert_eq!(m.len(), 32);
     }
 
     #[test]

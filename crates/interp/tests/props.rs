@@ -4,7 +4,7 @@
 
 use mujs_interp::coerce;
 use mujs_interp::{PropMap, Slot, Value};
-use mujs_ir::BinOp;
+use mujs_ir::{BinOp, Sym};
 use proptest::prelude::*;
 use std::rc::Rc;
 
@@ -50,14 +50,12 @@ proptest! {
     fn propmap_agrees_with_model(ops in arb_ops()) {
         let mut map: PropMap<()> = PropMap::new();
         // Model: association list in JS enumeration order.
-        let mut model: Vec<(String, f64)> = Vec::new();
+        let mut model: Vec<(Sym, f64)> = Vec::new();
         for op in &ops {
             match op {
                 MapOp::Insert(k, v) => {
-                    let key = format!("k{k}");
-                    let existed = map
-                        .insert(Rc::from(key.as_str()), slot(*v as f64))
-                        .is_some();
+                    let key = Sym(*k as u32);
+                    let existed = map.insert(key, slot(*v as f64)).is_some();
                     match model.iter_mut().find(|(mk, _)| *mk == key) {
                         Some((_, mv)) => {
                             assert!(existed);
@@ -70,8 +68,8 @@ proptest! {
                     }
                 }
                 MapOp::Remove(k) => {
-                    let key = format!("k{k}");
-                    let removed = map.remove(&key).is_some();
+                    let key = Sym(*k as u32);
+                    let removed = map.remove(key).is_some();
                     let had = model.iter().any(|(mk, _)| *mk == key);
                     prop_assert_eq!(removed, had);
                     model.retain(|(mk, _)| *mk != key);
@@ -79,12 +77,11 @@ proptest! {
             }
             // Invariants after every step.
             prop_assert_eq!(map.len(), model.len());
-            let keys: Vec<String> = map.keys().map(|k| k.to_string()).collect();
-            let model_keys: Vec<String> =
-                model.iter().map(|(k, _)| k.clone()).collect();
+            let keys: Vec<Sym> = map.keys().collect();
+            let model_keys: Vec<Sym> = model.iter().map(|(k, _)| *k).collect();
             prop_assert_eq!(keys, model_keys, "enumeration order must match");
             for (k, v) in &model {
-                let got = map.get(k).map(|s| s.value.clone());
+                let got = map.get(*k).map(|s| s.value.clone());
                 prop_assert_eq!(got, Some(Value::Num(*v)));
             }
         }

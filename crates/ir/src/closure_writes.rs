@@ -14,16 +14,16 @@
 //! Functions containing a *direct* `eval` conservatively write every name
 //! visible to them.
 
+use crate::intern::Sym;
 use crate::ir::{FuncId, FuncKind, Program};
 use crate::resolve::{Binding, Resolver};
 use crate::vd::write_domain;
 use std::collections::HashSet;
-use std::rc::Rc;
 
 /// The set of closure-written variables of a program.
 #[derive(Debug, Default)]
 pub struct ClosureWrites {
-    written: HashSet<(FuncId, Rc<str>)>,
+    written: HashSet<(FuncId, Sym)>,
 }
 
 impl ClosureWrites {
@@ -39,9 +39,16 @@ impl ClosureWrites {
     /// )?;
     /// let prog = mujs_ir::lower::lower_program(&ast);
     /// let cw = ClosureWrites::compute(&prog);
-    /// let f = prog.funcs.iter().find(|x| x.name.as_deref() == Some("f")).unwrap().id;
-    /// assert!(!cw.is_written(f, "a"));
-    /// assert!(cw.is_written(f, "b"));
+    /// let f = prog
+    ///     .funcs
+    ///     .iter()
+    ///     .find(|x| x.name.is_some_and(|s| prog.interner.resolve(s) == "f"))
+    ///     .unwrap()
+    ///     .id;
+    /// let a = prog.interner.get("a").unwrap();
+    /// let b = prog.interner.get("b").unwrap();
+    /// assert!(!cw.is_written(f, a));
+    /// assert!(cw.is_written(f, b));
     /// # Ok(())
     /// # }
     /// ```
@@ -53,10 +60,10 @@ impl ClosureWrites {
             // The writing scope: eval chunks write through their parent.
             let writer = effective_scope(prog, g.id);
             for place in &wd.places {
-                if let crate::ir::Place::Named(name) = place {
+                if let Some(name) = place.as_var_sym() {
                     if let Binding::Local(f) = resolver.resolve(prog, g.id, name) {
                         if f != writer {
-                            written.insert((f, name.clone()));
+                            written.insert((f, name));
                         }
                     }
                 }
@@ -69,11 +76,11 @@ impl ClosureWrites {
                     if func.kind == FuncKind::Function {
                         if let Some(names) = resolver.declared(id) {
                             for n in names {
-                                written.insert((id, n.clone()));
+                                written.insert((id, *n));
                             }
                         }
                         // `arguments` is implicitly declared.
-                        written.insert((id, Rc::from("arguments")));
+                        written.insert((id, Sym::ARGUMENTS));
                     }
                     cur = func.parent;
                 }
@@ -83,10 +90,8 @@ impl ClosureWrites {
     }
 
     /// Whether some nested closure may assign `name` declared in `func`.
-    pub fn is_written(&self, func: FuncId, name: &str) -> bool {
-        // HashSet<(FuncId, Rc<str>)> cannot be queried by (FuncId, &str)
-        // without allocation; the set is small, so allocate.
-        self.written.contains(&(func, Rc::from(name)))
+    pub fn is_written(&self, func: FuncId, name: Sym) -> bool {
+        self.written.contains(&(func, name))
     }
 
     /// Number of closure-written pairs.
@@ -131,23 +136,27 @@ mod tests {
     fn fid(prog: &Program, name: &str) -> FuncId {
         prog.funcs
             .iter()
-            .find(|f| f.name.as_deref() == Some(name))
+            .find(|f| f.name.is_some_and(|s| prog.interner.resolve(s) == name))
             .unwrap()
             .id
+    }
+
+    fn written(prog: &Program, cw: &ClosureWrites, func: &str, name: &str) -> bool {
+        prog.interner
+            .get(name)
+            .is_some_and(|s| cw.is_written(fid(prog, func), s))
     }
 
     #[test]
     fn own_writes_do_not_count() {
         let (p, cw) = setup("function f() { var a = 1; a = 2; }");
-        assert!(!cw.is_written(fid(&p, "f"), "a"));
+        assert!(!written(&p, &cw, "f", "a"));
     }
 
     #[test]
     fn nested_writes_count() {
-        let (p, cw) = setup(
-            "function f() { var a; function g() { a = 1; } return g; }",
-        );
-        assert!(cw.is_written(fid(&p, "f"), "a"));
+        let (p, cw) = setup("function f() { var a; function g() { a = 1; } return g; }");
+        assert!(written(&p, &cw, "f", "a"));
     }
 
     #[test]
@@ -155,13 +164,13 @@ mod tests {
         let (p, cw) = setup(
             "function f() { var a; return function() { return function() { a = 1; }; }; }",
         );
-        assert!(cw.is_written(fid(&p, "f"), "a"));
+        assert!(written(&p, &cw, "f", "a"));
     }
 
     #[test]
     fn reads_do_not_count() {
         let (p, cw) = setup("function f() { var a = 1; return function() { return a; }; }");
-        assert!(!cw.is_written(fid(&p, "f"), "a"));
+        assert!(!written(&p, &cw, "f", "a"));
     }
 
     #[test]
@@ -171,17 +180,15 @@ mod tests {
         let (p, cw) = setup(
             "function outer() { function checkf() { setg(); } function setg() {} checkf(); }",
         );
-        assert!(!cw.is_written(fid(&p, "outer"), "checkf"));
-        assert!(!cw.is_written(fid(&p, "outer"), "setg"));
+        assert!(!written(&p, &cw, "outer", "checkf"));
+        assert!(!written(&p, &cw, "outer", "setg"));
     }
 
     #[test]
     fn eval_poisons_visible_names() {
-        let (p, cw) = setup(
-            "function f(p) { var a; return function g() { eval(\"x\"); }; }",
-        );
-        assert!(cw.is_written(fid(&p, "f"), "a"));
-        assert!(cw.is_written(fid(&p, "f"), "p"));
-        assert!(cw.is_written(fid(&p, "f"), "arguments"));
+        let (p, cw) = setup("function f(p) { var a; return function g() { eval(\"x\"); }; }");
+        assert!(written(&p, &cw, "f", "a"));
+        assert!(written(&p, &cw, "f", "p"));
+        assert!(written(&p, &cw, "f", "arguments"));
     }
 }

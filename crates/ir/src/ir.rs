@@ -6,7 +6,14 @@
 //! the instrumented semantics needs the lexical extent of branches to
 //! compute write domains (`vd`/`pd`) and to roll back counterfactual
 //! execution.
+//!
+//! All identifiers and static property keys are interned [`Sym`]s; the
+//! owning [`Program`] carries the [`Interner`] that resolves them back to
+//! strings. Statically resolvable variable references are additionally
+//! rewritten to [`Place::Slot`] coordinates by [`crate::slots`], so the
+//! interpreters index activation frames directly instead of hashing names.
 
+use crate::intern::{Interner, Sym};
 use mujs_syntax::ast::Lit;
 use mujs_syntax::span::Span;
 use std::fmt;
@@ -43,25 +50,43 @@ impl fmt::Display for StmtId {
     }
 }
 
-/// A readable/writable location: a frame temporary or a (lexically
-/// resolved at runtime) named variable.
+/// A readable/writable location: a frame temporary, a named variable, or
+/// a statically resolved variable slot.
 ///
 /// Temporaries are invisible to closures and `eval`, so they can be stored
-/// in a flat per-activation array; named variables go through the scope
-/// chain.
+/// in a flat per-activation array. Named variables go through the scope
+/// chain at runtime. `Slot` places are named variables whose binding was
+/// resolved at lowering time ([`crate::slots`]): `hops` enclosing function
+/// activations up, then a direct index into that activation's locals —
+/// no name comparison at all.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Place {
     /// A frame-local temporary.
     Temp(TempId),
     /// A named variable, resolved through the scope chain.
-    Named(Rc<str>),
+    Named(Sym),
+    /// A named variable with a statically resolved coordinate.
+    Slot {
+        /// How many *function* activations to walk up (0 = the current
+        /// function's own activation; catch scopes don't count).
+        hops: u32,
+        /// Index into the target activation's local slots.
+        slot: u32,
+        /// The original name — kept for write-domain identity, fact
+        /// values, and diagnostics.
+        sym: Sym,
+    },
 }
 
-impl fmt::Display for Place {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Place {
+    /// The variable name behind this place, if it is a variable
+    /// (`Named` or `Slot`). Slot places canonicalize to their name so
+    /// write-domain identity is unaffected by resolution.
+    pub fn as_var_sym(&self) -> Option<Sym> {
         match self {
-            Place::Temp(t) => write!(f, "{t}"),
-            Place::Named(n) => write!(f, "{n}"),
+            Place::Temp(_) => None,
+            Place::Named(s) => Some(*s),
+            Place::Slot { sym, .. } => Some(*sym),
         }
     }
 }
@@ -74,18 +99,9 @@ impl fmt::Display for Place {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PropKey {
     /// `o.name` — the name is fixed.
-    Static(Rc<str>),
+    Static(Sym),
     /// `o[k]` — the name is the string coercion of the place's value.
     Dynamic(Place),
-}
-
-impl fmt::Display for PropKey {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PropKey::Static(n) => write!(f, ".{n}"),
-            PropKey::Dynamic(p) => write!(f, "[{p}]"),
-        }
-    }
 }
 
 /// Binary operators on primitive values (`PrimOp` of Figure 5).
@@ -347,7 +363,7 @@ pub enum StmtKind {
         /// The protected block.
         block: Block,
         /// Catch clause: bound name and handler.
-        catch: Option<(Rc<str>, Block)>,
+        catch: Option<(Sym, Block)>,
         /// Finally clause.
         finally: Option<Block>,
     },
@@ -378,8 +394,8 @@ pub enum StmtKind {
     TypeofName {
         /// Destination.
         dst: Place,
-        /// The possibly-unbound name.
-        name: Rc<str>,
+        /// The possibly-unbound name (always resolved by name at runtime).
+        name: Sym,
     },
     /// `x = y in z` — property-existence test along the prototype chain.
     HasProp {
@@ -422,9 +438,9 @@ pub enum StmtKind {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Decls {
     /// `var`-declared names (in declaration order, deduplicated).
-    pub vars: Vec<Rc<str>>,
+    pub vars: Vec<Sym>,
     /// Hoisted function declarations, bound at activation entry.
-    pub funcs: Vec<(Rc<str>, FuncId)>,
+    pub funcs: Vec<(Sym, FuncId)>,
 }
 
 /// What kind of code a [`Function`] is.
@@ -445,9 +461,9 @@ pub struct Function {
     /// Its id in the owning [`Program`].
     pub id: FuncId,
     /// Source-level name, if any.
-    pub name: Option<Rc<str>>,
+    pub name: Option<Sym>,
     /// Parameter names.
-    pub params: Vec<Rc<str>>,
+    pub params: Vec<Sym>,
     /// Hoisted declarations.
     pub decls: Decls,
     /// Number of temporary slots the frame needs.
@@ -465,6 +481,25 @@ pub struct Function {
     pub bind_self: bool,
     /// For clones made by the specializer: the original function.
     pub specialized_from: Option<FuncId>,
+    /// The activation's local slot layout, in slot order: params,
+    /// `arguments`, the self-binding (if any), hoisted function names,
+    /// then `var`s — deduplicated keeping the first occurrence. Empty
+    /// for scripts and eval chunks, which have no activation of their
+    /// own. Computed by [`crate::slots::resolve_slots`].
+    pub locals: Vec<Sym>,
+    /// Whether the body contains a *direct* `eval` statement (which can
+    /// introduce bindings invisible to static resolution). Computed by
+    /// [`crate::slots::resolve_slots`].
+    pub has_direct_eval: bool,
+}
+
+impl Function {
+    /// The slot index of a local, if `sym` is one of this function's
+    /// locals. Linear scan: locals lists are short and syms compare as
+    /// `u32`s.
+    pub fn local_slot(&self, sym: Sym) -> Option<u32> {
+        self.locals.iter().position(|&l| l == sym).map(|i| i as u32)
+    }
 }
 
 /// Side-table entry for a statement id.
@@ -474,21 +509,34 @@ pub struct StmtInfo {
     pub span: Span,
     /// The function containing the statement.
     pub func: FuncId,
+    /// Dense index of the statement within its function (assignment
+    /// order). Per-frame occurrence counters index a flat vector with
+    /// this instead of hashing the global `StmtId`.
+    pub local: u32,
 }
 
 /// A whole lowered program: an arena of functions plus statement
 /// side-tables. Functions may be appended after initial lowering (by
 /// `eval` at runtime, or by the specializer).
+///
+/// Functions are stored behind `Rc` so the interpreters can keep the
+/// function they are executing alive for O(1) instead of deep-cloning
+/// its body on every call; the specializer mutates via
+/// [`Program::func_mut`] (copy-on-write).
 #[derive(Debug, Clone, Default)]
 pub struct Program {
     /// All functions; `FuncId` indexes into this.
-    pub funcs: Vec<Function>,
+    pub funcs: Vec<Rc<Function>>,
     /// Per-statement info; `StmtId` indexes into this.
     pub stmt_info: Vec<StmtInfo>,
+    /// The symbol table resolving every [`Sym`] in the program.
+    pub interner: Interner,
+    /// Per-function statement counts (the next `StmtInfo::local` index).
+    func_stmts: Vec<u32>,
 }
 
 impl Program {
-    /// Creates an empty program.
+    /// Creates an empty program (with the well-known names pre-interned).
     pub fn new() -> Self {
         Program::default()
     }
@@ -511,6 +559,26 @@ impl Program {
         &self.funcs[id.0 as usize]
     }
 
+    /// A shared handle to a function — what the machines hold while
+    /// executing it (an O(1) clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_rc(&self, id: FuncId) -> Rc<Function> {
+        Rc::clone(&self.funcs[id.0 as usize])
+    }
+
+    /// Mutable access to a function (copy-on-write if the machines hold
+    /// a live handle to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        Rc::make_mut(&mut self.funcs[id.0 as usize])
+    }
+
     /// Source span of a statement.
     ///
     /// # Panics
@@ -529,10 +597,31 @@ impl Program {
         self.stmt_info[id.0 as usize].func
     }
 
+    /// Dense within-function index of a statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn local_of(&self, id: StmtId) -> u32 {
+        self.stmt_info[id.0 as usize].local
+    }
+
+    /// Number of statements allocated to `func` so far — the size a
+    /// per-frame dense occurrence vector needs.
+    pub fn stmt_count_of(&self, func: FuncId) -> u32 {
+        self.func_stmts.get(func.0 as usize).copied().unwrap_or(0)
+    }
+
     /// Allocates a fresh statement id.
     pub fn fresh_stmt(&mut self, span: Span, func: FuncId) -> StmtId {
         let id = StmtId(self.stmt_info.len() as u32);
-        self.stmt_info.push(StmtInfo { span, func });
+        let fidx = func.0 as usize;
+        if self.func_stmts.len() <= fidx {
+            self.func_stmts.resize(fidx + 1, 0);
+        }
+        let local = self.func_stmts[fidx];
+        self.func_stmts[fidx] += 1;
+        self.stmt_info.push(StmtInfo { span, func, local });
         id
     }
 
@@ -540,7 +629,7 @@ impl Program {
     /// [`Program::set_func`].
     pub fn reserve_func(&mut self) -> FuncId {
         let id = FuncId(self.funcs.len() as u32);
-        self.funcs.push(Function {
+        self.funcs.push(Rc::new(Function {
             id,
             name: None,
             params: Vec::new(),
@@ -552,7 +641,12 @@ impl Program {
             parent: None,
             bind_self: false,
             specialized_from: None,
-        });
+            locals: Vec::new(),
+            has_direct_eval: false,
+        }));
+        if self.func_stmts.len() <= id.0 as usize {
+            self.func_stmts.resize(id.0 as usize + 1, 0);
+        }
         id
     }
 
@@ -563,7 +657,7 @@ impl Program {
     /// Panics if `f.id` does not name a reserved slot.
     pub fn set_func(&mut self, f: Function) {
         let idx = f.id.0 as usize;
-        self.funcs[idx] = f;
+        self.funcs[idx] = Rc::new(f);
     }
 
     /// Total number of statements lowered so far.
@@ -629,6 +723,21 @@ mod tests {
     }
 
     #[test]
+    fn local_indices_are_dense_per_function() {
+        let mut p = Program::new();
+        let f = p.reserve_func();
+        let g = p.reserve_func();
+        let a = p.fresh_stmt(Span::synthetic(), f);
+        let b = p.fresh_stmt(Span::synthetic(), g);
+        let c = p.fresh_stmt(Span::synthetic(), f);
+        assert_eq!(p.local_of(a), 0);
+        assert_eq!(p.local_of(b), 0);
+        assert_eq!(p.local_of(c), 1);
+        assert_eq!(p.stmt_count_of(f), 2);
+        assert_eq!(p.stmt_count_of(g), 1);
+    }
+
+    #[test]
     fn walk_visits_nested_statements() {
         let mut p = Program::new();
         let f = p.reserve_func();
@@ -656,5 +765,15 @@ mod tests {
         let mut seen = 0;
         Program::walk_block(&block, &mut |_| seen += 1);
         assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn func_mut_is_copy_on_write() {
+        let mut p = Program::new();
+        let f = p.reserve_func();
+        let held = p.func_rc(f);
+        p.func_mut(f).n_temps = 7;
+        assert_eq!(held.n_temps, 0, "live handle must not see the mutation");
+        assert_eq!(p.func(f).n_temps, 7);
     }
 }

@@ -18,12 +18,15 @@
 //! roll back counterfactual execution.
 
 pub mod closure_writes;
+pub mod intern;
 pub mod ir;
 pub mod lower;
 pub mod pretty;
 pub mod resolve;
+pub mod slots;
 pub mod vd;
 
+pub use intern::{Interner, Sym};
 pub use ir::{
     BinOp, Block, Decls, FuncId, FuncKind, Function, Place, Program, PropKey, Stmt, StmtId,
     StmtInfo, StmtKind, TempId, UnOp,

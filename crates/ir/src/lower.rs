@@ -42,10 +42,12 @@ pub fn lower_chunk(
     kind: FuncKind,
     parent: Option<FuncId>,
 ) -> FuncId {
+    let from = prog.funcs.len();
     let id = prog.reserve_func();
     let mut cx = FuncCx::new(prog, id);
     let f = cx.lower_function_body(None, &[], &ast.body, Span::synthetic(), kind, parent, false);
     prog.set_func(f);
+    crate::slots::resolve_slots(prog, from);
     id
 }
 
@@ -68,6 +70,14 @@ impl<'p> FuncCx<'p> {
         let t = TempId(self.n_temps);
         self.n_temps += 1;
         Place::Temp(t)
+    }
+
+    fn sym(&mut self, name: &Rc<str>) -> crate::intern::Sym {
+        self.prog.interner.intern_rc(name)
+    }
+
+    fn named(&mut self, name: &Rc<str>) -> Place {
+        Place::Named(self.sym(name))
     }
 
     fn push(&mut self, out: &mut Block, span: Span, kind: StmtKind) -> StmtId {
@@ -178,10 +188,17 @@ impl<'p> FuncCx<'p> {
             }
             self.stmt(s, &mut out);
         }
+        let name = name.map(|n| self.sym(&n));
+        let params: Vec<_> = params.iter().map(|p| self.sym(p)).collect();
+        let vars: Vec<_> = vars.iter().map(|v| self.sym(v)).collect();
+        let funcs: Vec<_> = funcs
+            .iter()
+            .map(|(n, id): &(Rc<str>, FuncId)| (self.sym(n), *id))
+            .collect();
         Function {
             id: self.func,
             name,
-            params: params.to_vec(),
+            params,
             decls: Decls { vars, funcs },
             n_temps: self.n_temps,
             body: out,
@@ -190,6 +207,10 @@ impl<'p> FuncCx<'p> {
             parent,
             bind_self,
             specialized_from: None,
+            // Filled in by the slot-resolution pass that runs after the
+            // whole chunk is lowered.
+            locals: Vec::new(),
+            has_direct_eval: false,
         }
     }
 
@@ -222,14 +243,8 @@ impl<'p> FuncCx<'p> {
                 for (name, init) in decls {
                     if let Some(e) = init {
                         let p = self.expr(e, out);
-                        self.push(
-                            out,
-                            e.span,
-                            StmtKind::Copy {
-                                dst: Place::Named(name.clone()),
-                                src: p,
-                            },
-                        );
+                        let dst = self.named(name);
+                        self.push(out, e.span, StmtKind::Copy { dst, src: p });
                     }
                 }
             }
@@ -299,14 +314,8 @@ impl<'p> FuncCx<'p> {
                         for (name, e) in decls {
                             if let Some(e) = e {
                                 let p = self.expr(e, out);
-                                self.push(
-                                    out,
-                                    e.span,
-                                    StmtKind::Copy {
-                                        dst: Place::Named(name.clone()),
-                                        src: p,
-                                    },
-                                );
+                                let dst = self.named(name);
+                                self.push(out, e.span, StmtKind::Copy { dst, src: p });
                             }
                         }
                     }
@@ -379,7 +388,7 @@ impl<'p> FuncCx<'p> {
                     StmtKind::GetProp {
                         dst: len.clone(),
                         obj: keys.clone(),
-                        key: PropKey::Static(Rc::from("length")),
+                        key: PropKey::Static(crate::intern::Sym::LENGTH),
                     },
                 );
                 let c = self.temp();
@@ -404,13 +413,11 @@ impl<'p> FuncCx<'p> {
                         key: PropKey::Dynamic(idx.clone()),
                     },
                 );
+                let dst = self.named(var);
                 self.push(
                     &mut body_blk,
                     span,
-                    StmtKind::Copy {
-                        dst: Place::Named(var.clone()),
-                        src: key,
-                    },
+                    StmtKind::Copy { dst, src: key },
                 );
                 self.stmt(body, &mut body_blk);
                 let mut update_blk = Vec::new();
@@ -473,7 +480,7 @@ impl<'p> FuncCx<'p> {
                     for s in body {
                         self.stmt(s, &mut b);
                     }
-                    (name.clone(), b)
+                    (self.sym(name), b)
                 });
                 let finally = finally.as_ref().map(|body| {
                     let mut b = Vec::new();
@@ -689,12 +696,13 @@ impl<'p> FuncCx<'p> {
             // `f(i++, i)`) must not be visible to earlier operands.
             ExprKind::Ident(name) => {
                 let t = self.temp();
+                let src = self.named(name);
                 self.push(
                     out,
                     span,
                     StmtKind::Copy {
                         dst: t.clone(),
-                        src: Place::Named(name.clone()),
+                        src,
                     },
                 );
                 t
@@ -716,12 +724,13 @@ impl<'p> FuncCx<'p> {
                 );
                 for (i, item) in items.iter().enumerate() {
                     let v = self.expr(item, out);
+                    let key = PropKey::Static(self.prog.interner.intern(&i.to_string()));
                     self.push(
                         out,
                         item.span,
                         StmtKind::SetProp {
                             obj: arr.clone(),
-                            key: PropKey::Static(Rc::from(i.to_string().as_str())),
+                            key,
                             val: v,
                         },
                     );
@@ -740,12 +749,13 @@ impl<'p> FuncCx<'p> {
                 );
                 for (k, v) in props {
                     let pv = self.expr(v, out);
+                    let key = PropKey::Static(self.sym(k));
                     self.push(
                         out,
                         v.span,
                         StmtKind::SetProp {
                             obj: obj.clone(),
-                            key: PropKey::Static(k.clone()),
+                            key,
                             val: pv,
                         },
                     );
@@ -770,12 +780,13 @@ impl<'p> FuncCx<'p> {
                 if *op == ast::UnOp::Typeof {
                     if let ExprKind::Ident(name) = &arg.kind {
                         let t = self.temp();
+                        let name = self.sym(name);
                         self.push(
                             out,
                             span,
                             StmtKind::TypeofName {
                                 dst: t.clone(),
-                                name: name.clone(),
+                                name,
                             },
                         );
                         return t;
@@ -1006,7 +1017,7 @@ impl<'p> FuncCx<'p> {
 
     fn member_key(&mut self, key: &MemberKey, out: &mut Block) -> PropKey {
         match key {
-            MemberKey::Static(name) => PropKey::Static(name.clone()),
+            MemberKey::Static(name) => PropKey::Static(self.sym(name)),
             MemberKey::Computed(e) => PropKey::Dynamic(self.expr(e, out)),
         }
     }
@@ -1021,7 +1032,7 @@ impl<'p> FuncCx<'p> {
     ) -> Place {
         match &lhs.kind {
             ExprKind::Ident(name) => {
-                let dst = Place::Named(name.clone());
+                let dst = self.named(name);
                 let value = match op {
                     None => self.expr(rhs, out),
                     Some(op) => {
@@ -1136,7 +1147,7 @@ impl<'p> FuncCx<'p> {
         let one = self.temp();
         match &arg.kind {
             ExprKind::Ident(name) => {
-                let var = Place::Named(name.clone());
+                let var = self.named(name);
                 let old = self.temp();
                 self.push(
                     out,
@@ -1446,13 +1457,22 @@ mod tests {
         &p.func(p.entry().unwrap()).body
     }
 
+    fn func_named<'a>(p: &'a Program, name: &str) -> &'a Function {
+        p.funcs
+            .iter()
+            .find(|f| f.name.is_some_and(|s| p.interner.resolve(s) == name))
+            .unwrap()
+    }
+
     #[test]
     fn lowers_var_init_to_const_and_copy() {
         let p = lower("var x = 1;");
         let body = entry_body(&p);
         assert!(matches!(body[0].kind, StmtKind::Const { .. }));
         match &body[1].kind {
-            StmtKind::Copy { dst, .. } => assert_eq!(*dst, Place::Named(Rc::from("x"))),
+            StmtKind::Copy { dst, .. } => {
+                assert_eq!(*dst, Place::Named(p.interner.get("x").unwrap()))
+            }
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -1462,14 +1482,19 @@ mod tests {
         let p = lower("f(); function f() { return 1; }");
         let entry = p.func(p.entry().unwrap());
         assert_eq!(entry.decls.funcs.len(), 1);
-        assert_eq!(&*entry.decls.funcs[0].0, "f");
+        assert_eq!(p.interner.resolve(entry.decls.funcs[0].0), "f");
     }
 
     #[test]
     fn hoists_vars_from_nested_blocks() {
         let p = lower("if (a) { var x = 1; } while (b) { var y; }");
         let entry = p.func(p.entry().unwrap());
-        let names: Vec<&str> = entry.decls.vars.iter().map(|v| &**v).collect();
+        let names: Vec<&str> = entry
+            .decls
+            .vars
+            .iter()
+            .map(|v| p.interner.resolve(*v))
+            .collect();
         assert_eq!(names, vec!["x", "y"]);
     }
 
@@ -1587,27 +1612,15 @@ mod tests {
     #[test]
     fn named_function_expression_binds_self() {
         let p = lower("var f = function g() { return g; };");
-        let g = p
-            .funcs
-            .iter()
-            .find(|f| f.name.as_deref() == Some("g"))
-            .unwrap();
+        let g = func_named(&p, "g");
         assert!(g.bind_self);
     }
 
     #[test]
     fn nested_function_parents_are_linked() {
         let p = lower("function outer() { function inner() {} }");
-        let inner = p
-            .funcs
-            .iter()
-            .find(|f| f.name.as_deref() == Some("inner"))
-            .unwrap();
-        let outer = p
-            .funcs
-            .iter()
-            .find(|f| f.name.as_deref() == Some("outer"))
-            .unwrap();
+        let inner = func_named(&p, "inner");
+        let outer = func_named(&p, "outer");
         assert_eq!(inner.parent, Some(outer.id));
         assert_eq!(outer.parent, p.entry());
     }
@@ -1637,7 +1650,7 @@ mod tests {
                 StmtKind::SetProp {
                     key: PropKey::Static(k),
                     ..
-                } => Some(k.to_string()),
+                } => Some(p.interner.resolve(*k).to_string()),
                 _ => None,
             })
             .collect();

@@ -1,6 +1,12 @@
 //! Textual dump of the IR, for debugging, golden tests, and inspecting
 //! specializer output.
+//!
+//! Names are interned in the owning [`Program`], so every entry point
+//! takes the program (or its interner) to resolve them. Slot-resolved
+//! places render as their variable name — the dump shows *what* the code
+//! does; `Debug`-print the IR to see the coordinates.
 
+use crate::intern::Interner;
 use crate::ir::*;
 use std::fmt::Write as _;
 
@@ -8,7 +14,7 @@ use std::fmt::Write as _;
 pub fn print_program(prog: &Program) -> String {
     let mut out = String::new();
     for f in &prog.funcs {
-        out.push_str(&print_function(f));
+        out.push_str(&print_function(prog, f));
         out.push('\n');
     }
     out
@@ -22,18 +28,20 @@ pub fn print_program(prog: &Program) -> String {
 /// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
 /// let ast = mujs_syntax::parse("var x = 1;")?;
 /// let prog = mujs_ir::lower::lower_program(&ast);
-/// let text = mujs_ir::pretty::print_function(prog.func(prog.entry().unwrap()));
+/// let text = mujs_ir::pretty::print_function(&prog, prog.func(prog.entry().unwrap()));
 /// assert!(text.contains("x = %0"));
 /// # Ok(())
 /// # }
 /// ```
-pub fn print_function(f: &Function) -> String {
+pub fn print_function(prog: &Program, f: &Function) -> String {
+    let itn = &prog.interner;
     let mut p = Printer {
         out: String::new(),
         indent: 1,
+        itn,
     };
-    let name = f.name.as_deref().unwrap_or("<anon>");
-    let params: Vec<&str> = f.params.iter().map(|s| &**s).collect();
+    let name = f.name.map(|s| itn.resolve(s)).unwrap_or("<anon>");
+    let params: Vec<&str> = f.params.iter().map(|&s| itn.resolve(s)).collect();
     let _ = writeln!(
         p.out,
         "{} {name}({}) {{ // kind={:?} temps={}",
@@ -43,29 +51,44 @@ pub fn print_function(f: &Function) -> String {
         f.n_temps
     );
     if !f.decls.vars.is_empty() {
-        let vars: Vec<&str> = f.decls.vars.iter().map(|s| &**s).collect();
+        let vars: Vec<&str> = f.decls.vars.iter().map(|&s| itn.resolve(s)).collect();
         let _ = writeln!(p.out, "  var {};", vars.join(", "));
     }
-    for (n, fid) in &f.decls.funcs {
-        let _ = writeln!(p.out, "  hoist {n} = closure {fid};");
+    for &(n, fid) in &f.decls.funcs {
+        let _ = writeln!(p.out, "  hoist {} = closure {fid};", itn.resolve(n));
     }
     p.block(&f.body);
     p.out.push_str("}\n");
     p.out
 }
 
-struct Printer {
+struct Printer<'a> {
     out: String,
     indent: usize,
+    itn: &'a Interner,
 }
 
-impl Printer {
+impl Printer<'_> {
     fn line(&mut self, s: &str) {
         for _ in 0..self.indent {
             self.out.push_str("  ");
         }
         self.out.push_str(s);
         self.out.push('\n');
+    }
+
+    fn place(&self, p: &Place) -> String {
+        match p {
+            Place::Temp(t) => t.to_string(),
+            Place::Named(s) | Place::Slot { sym: s, .. } => self.itn.resolve(*s).to_owned(),
+        }
+    }
+
+    fn key(&self, k: &PropKey) -> String {
+        match k {
+            PropKey::Static(s) => format!(".{}", self.itn.resolve(*s)),
+            PropKey::Dynamic(p) => format!("[{}]", self.place(p)),
+        }
     }
 
     fn block(&mut self, b: &Block) {
@@ -78,29 +101,42 @@ impl Printer {
         let id = s.id;
         match &s.kind {
             StmtKind::Const { dst, lit } => {
+                let dst = self.place(dst);
                 self.line(&format!("{id}: {dst} = {}", fmt_lit(lit)))
             }
-            StmtKind::Copy { dst, src } => self.line(&format!("{id}: {dst} = {src}")),
+            StmtKind::Copy { dst, src } => {
+                let (dst, src) = (self.place(dst), self.place(src));
+                self.line(&format!("{id}: {dst} = {src}"))
+            }
             StmtKind::Closure { dst, func } => {
+                let dst = self.place(dst);
                 self.line(&format!("{id}: {dst} = closure {func}"))
             }
-            StmtKind::NewObject { dst, is_array } => self.line(&format!(
-                "{id}: {dst} = {}",
-                if *is_array { "[]" } else { "{}" }
-            )),
+            StmtKind::NewObject { dst, is_array } => {
+                let dst = self.place(dst);
+                self.line(&format!(
+                    "{id}: {dst} = {}",
+                    if *is_array { "[]" } else { "{}" }
+                ))
+            }
             StmtKind::GetProp { dst, obj, key } => {
+                let (dst, obj, key) = (self.place(dst), self.place(obj), self.key(key));
                 self.line(&format!("{id}: {dst} = {obj}{key}"))
             }
             StmtKind::SetProp { obj, key, val } => {
+                let (obj, key, val) = (self.place(obj), self.key(key), self.place(val));
                 self.line(&format!("{id}: {obj}{key} = {val}"))
             }
             StmtKind::DeleteProp { dst, obj, key } => {
+                let (dst, obj, key) = (self.place(dst), self.place(obj), self.key(key));
                 self.line(&format!("{id}: {dst} = delete {obj}{key}"))
             }
             StmtKind::BinOp { dst, op, lhs, rhs } => {
+                let (dst, lhs, rhs) = (self.place(dst), self.place(lhs), self.place(rhs));
                 self.line(&format!("{id}: {dst} = {lhs} {} {rhs}", op.as_str()))
             }
             StmtKind::UnOp { dst, op, src } => {
+                let (dst, src) = (self.place(dst), self.place(src));
                 self.line(&format!("{id}: {dst} = {} {src}", op.as_str()))
             }
             StmtKind::Call {
@@ -109,18 +145,20 @@ impl Printer {
                 this_arg,
                 args,
             } => {
-                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let args: Vec<String> = args.iter().map(|a| self.place(a)).collect();
                 let this = match this_arg {
-                    Some(t) => format!(" this={t}"),
+                    Some(t) => format!(" this={}", self.place(t)),
                     None => String::new(),
                 };
+                let (dst, callee) = (self.place(dst), self.place(callee));
                 self.line(&format!(
                     "{id}: {dst} = call {callee}({}){this}",
                     args.join(", ")
                 ));
             }
             StmtKind::New { dst, callee, args } => {
-                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let args: Vec<String> = args.iter().map(|a| self.place(a)).collect();
+                let (dst, callee) = (self.place(dst), self.place(callee));
                 self.line(&format!("{id}: {dst} = new {callee}({})", args.join(", ")));
             }
             StmtKind::If {
@@ -128,6 +166,7 @@ impl Printer {
                 then_blk,
                 else_blk,
             } => {
+                let cond = self.place(cond);
                 self.line(&format!("{id}: if {cond} {{"));
                 self.indent += 1;
                 self.block(then_blk);
@@ -157,6 +196,7 @@ impl Printer {
                 self.line("cond:");
                 self.indent += 1;
                 self.block(cond_blk);
+                let cond = self.place(cond);
                 self.line(&format!("test {cond}"));
                 self.indent -= 1;
                 self.line("body:");
@@ -189,6 +229,7 @@ impl Printer {
                 self.block(block);
                 self.indent -= 1;
                 if let Some((name, b)) = catch {
+                    let name = self.itn.resolve(*name).to_owned();
                     self.line(&format!("}} catch ({name}) {{"));
                     self.indent += 1;
                     self.block(b);
@@ -203,26 +244,43 @@ impl Printer {
                 self.line("}");
             }
             StmtKind::Return { arg } => match arg {
-                Some(a) => self.line(&format!("{id}: return {a}")),
+                Some(a) => {
+                    let a = self.place(a);
+                    self.line(&format!("{id}: return {a}"))
+                }
                 None => self.line(&format!("{id}: return")),
             },
             StmtKind::Break => self.line(&format!("{id}: break")),
             StmtKind::Continue => self.line(&format!("{id}: continue")),
-            StmtKind::Throw { arg } => self.line(&format!("{id}: throw {arg}")),
-            StmtKind::LoadThis { dst } => self.line(&format!("{id}: {dst} = this")),
+            StmtKind::Throw { arg } => {
+                let arg = self.place(arg);
+                self.line(&format!("{id}: throw {arg}"))
+            }
+            StmtKind::LoadThis { dst } => {
+                let dst = self.place(dst);
+                self.line(&format!("{id}: {dst} = this"))
+            }
             StmtKind::TypeofName { dst, name } => {
+                let dst = self.place(dst);
+                let name = self.itn.resolve(*name).to_owned();
                 self.line(&format!("{id}: {dst} = typeof-name {name}"))
             }
             StmtKind::HasProp { dst, key, obj } => {
+                let (dst, key, obj) = (self.place(dst), self.place(key), self.place(obj));
                 self.line(&format!("{id}: {dst} = {key} in {obj}"))
             }
             StmtKind::InstanceOf { dst, val, ctor } => {
+                let (dst, val, ctor) = (self.place(dst), self.place(val), self.place(ctor));
                 self.line(&format!("{id}: {dst} = {val} instanceof {ctor}"))
             }
             StmtKind::EnumProps { dst, obj } => {
+                let (dst, obj) = (self.place(dst), self.place(obj));
                 self.line(&format!("{id}: {dst} = enum-props {obj}"))
             }
-            StmtKind::Eval { dst, arg } => self.line(&format!("{id}: {dst} = eval {arg}")),
+            StmtKind::Eval { dst, arg } => {
+                let (dst, arg) = (self.place(dst), self.place(arg));
+                self.line(&format!("{id}: {dst} = eval {arg}"))
+            }
         }
     }
 }
@@ -255,11 +313,18 @@ mod tests {
 
     #[test]
     fn dump_renders_control_flow() {
-        let prog =
-            lower_program(&parse("while (c) { if (d) { break; } }").unwrap());
+        let prog = lower_program(&parse("while (c) { if (d) { break; } }").unwrap());
         let text = print_program(&prog);
         assert!(text.contains("loop"));
         assert!(text.contains("if "));
         assert!(text.contains("break"));
+    }
+
+    #[test]
+    fn slot_resolved_places_render_as_names() {
+        let prog = lower_program(&parse("function f(a) { return a + 1; }").unwrap());
+        let text = print_program(&prog);
+        // `a` is slot-resolved inside f but still renders as its name.
+        assert!(text.contains("= a"), "slot places render by name: {text}");
     }
 }

@@ -9,9 +9,9 @@
 //! Eval chunks have no scope of their own; their references resolve
 //! starting at the lexically enclosing function.
 
+use crate::intern::Sym;
 use crate::ir::{FuncId, FuncKind, Function, Program};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
 
 /// Where a named reference binds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,7 +26,7 @@ pub enum Binding {
 /// [`Resolver::resolve`].
 #[derive(Debug, Clone)]
 pub struct Resolver {
-    declared: HashMap<FuncId, HashSet<Rc<str>>>,
+    declared: HashMap<FuncId, HashSet<Sym>>,
 }
 
 impl Resolver {
@@ -41,9 +41,11 @@ impl Resolver {
     /// let prog = mujs_ir::lower::lower_program(&ast);
     /// let r = Resolver::new(&prog);
     /// let f = prog.funcs[1].id;
-    /// assert_eq!(r.resolve(&prog, f, "x"), Binding::Local(f));
+    /// let x = prog.interner.get("x").unwrap();
+    /// let y = prog.interner.get("y").unwrap();
+    /// assert_eq!(r.resolve(&prog, f, x), Binding::Local(f));
     /// // Script-level declarations live in the global scope.
-    /// assert_eq!(r.resolve(&prog, f, "y"), Binding::Global);
+    /// assert_eq!(r.resolve(&prog, f, y), Binding::Global);
     /// # Ok(())
     /// # }
     /// ```
@@ -56,7 +58,7 @@ impl Resolver {
     }
 
     /// Resolves `name` as referenced from inside `func`.
-    pub fn resolve(&self, prog: &Program, func: FuncId, name: &str) -> Binding {
+    pub fn resolve(&self, prog: &Program, func: FuncId, name: Sym) -> Binding {
         let mut cur = Some(func);
         while let Some(id) = cur {
             let f = prog.func(id);
@@ -74,7 +76,7 @@ impl Resolver {
             if self
                 .declared
                 .get(&id)
-                .is_some_and(|names| names.contains(name))
+                .is_some_and(|names| names.contains(&name))
             {
                 return Binding::Local(id);
             }
@@ -85,18 +87,18 @@ impl Resolver {
 
     /// The names declared directly by `func` (params, vars, hoisted
     /// functions, and the self-binding of named function expressions).
-    pub fn declared(&self, func: FuncId) -> Option<&HashSet<Rc<str>>> {
+    pub fn declared(&self, func: FuncId) -> Option<&HashSet<Sym>> {
         self.declared.get(&func)
     }
 }
 
-fn declared_names(f: &Function) -> HashSet<Rc<str>> {
-    let mut names: HashSet<Rc<str>> = f.params.iter().cloned().collect();
-    names.extend(f.decls.vars.iter().cloned());
-    names.extend(f.decls.funcs.iter().map(|(n, _)| n.clone()));
+fn declared_names(f: &Function) -> HashSet<Sym> {
+    let mut names: HashSet<Sym> = f.params.iter().copied().collect();
+    names.extend(f.decls.vars.iter().copied());
+    names.extend(f.decls.funcs.iter().map(|(n, _)| *n));
     if f.bind_self {
-        if let Some(n) = &f.name {
-            names.insert(n.clone());
+        if let Some(n) = f.name {
+            names.insert(n);
         }
     }
     names
@@ -117,16 +119,23 @@ mod tests {
     fn func_named(prog: &Program, name: &str) -> FuncId {
         prog.funcs
             .iter()
-            .find(|f| f.name.as_deref() == Some(name))
+            .find(|f| f.name.is_some_and(|s| prog.interner.resolve(s) == name))
             .unwrap()
             .id
+    }
+
+    fn sym(prog: &Program, name: &str) -> Sym {
+        prog.interner.get(name).unwrap()
     }
 
     #[test]
     fn params_shadow_outer_vars() {
         let (prog, r) = setup("function outer(x) { function inner(x) { return x; } }");
         let inner = func_named(&prog, "inner");
-        assert_eq!(r.resolve(&prog, inner, "x"), Binding::Local(inner));
+        assert_eq!(
+            r.resolve(&prog, inner, sym(&prog, "x")),
+            Binding::Local(inner)
+        );
     }
 
     #[test]
@@ -134,28 +143,34 @@ mod tests {
         let (prog, r) = setup("function outer() { var v; function inner() { return v; } }");
         let inner = func_named(&prog, "inner");
         let outer = func_named(&prog, "outer");
-        assert_eq!(r.resolve(&prog, inner, "v"), Binding::Local(outer));
+        assert_eq!(
+            r.resolve(&prog, inner, sym(&prog, "v")),
+            Binding::Local(outer)
+        );
     }
 
     #[test]
     fn script_level_vars_are_global() {
         let (prog, r) = setup("var g; function f() { return g; }");
         let f = func_named(&prog, "f");
-        assert_eq!(r.resolve(&prog, f, "g"), Binding::Global);
-        assert_eq!(r.resolve(&prog, f, "nonexistent"), Binding::Global);
+        assert_eq!(r.resolve(&prog, f, sym(&prog, "g")), Binding::Global);
+        // A name declared nowhere resolves to Global too.
+        let mut p2 = prog.clone();
+        let unbound = p2.interner.intern("nonexistent");
+        assert_eq!(r.resolve(&p2, f, unbound), Binding::Global);
     }
 
     #[test]
     fn hoisted_function_names_are_bindings() {
         let (prog, r) = setup("function f() { function g() {} return g; }");
         let f = func_named(&prog, "f");
-        assert_eq!(r.resolve(&prog, f, "g"), Binding::Local(f));
+        assert_eq!(r.resolve(&prog, f, sym(&prog, "g")), Binding::Local(f));
     }
 
     #[test]
     fn named_function_expression_self_binding() {
         let (prog, r) = setup("var h = function rec() { return rec; };");
         let rec = func_named(&prog, "rec");
-        assert_eq!(r.resolve(&prog, rec, "rec"), Binding::Local(rec));
+        assert_eq!(r.resolve(&prog, rec, sym(&prog, "rec")), Binding::Local(rec));
     }
 }

@@ -1,0 +1,555 @@
+//! Lowering-time variable slot resolution.
+//!
+//! After a chunk is lowered, this pass rewrites statically resolvable
+//! [`Place::Named`] references into [`Place::Slot`] coordinates: `hops`
+//! enclosing *function* activations up the scope chain, then a direct
+//! index into that activation's local slots. The interpreters then access
+//! those variables with two array indexes instead of hashing a name at
+//! every scope level.
+//!
+//! Resolution is deliberately conservative — a reference keeps its name
+//! (and the dynamic scope-chain lookup) whenever JavaScript's dynamic
+//! scoping features could rebind it:
+//!
+//! * **Scripts** have no activation: script-level `var`s are global-object
+//!   properties, so references binding there stay named.
+//! * **Eval chunks** execute in their caller's scope. A chunk's own body
+//!   is never resolved, and any resolution path that would climb *through*
+//!   a chunk stays named. A function nested inside a chunk still gets slot
+//!   access to its own locals (hops 0 never leaves its activation).
+//! * **Direct `eval`** can declare new bindings in any scope between the
+//!   reference and the definer, shadowing the static binding. A path is
+//!   abandoned if any function *below* the definer contains a direct
+//!   `eval`. (The definer itself is safe: `eval("var x")` re-declares into
+//!   the existing slot.)
+//! * **Catch bindings** live in dynamically pushed scopes. Inside a
+//!   `catch (c)` block, references to `c` stay named; and every closure
+//!   created inside the block inherits `c` as *poisoned* — references to
+//!   a poisoned name stay named in that closure and all of its nested
+//!   functions, because their captured scope chain threads through the
+//!   catch scope.
+//!
+//! `typeof name` keeps its by-name semantics (the name may be unbound).
+
+use crate::intern::Sym;
+use crate::ir::{Block, FuncId, FuncKind, Function, Place, Program, PropKey, StmtKind};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// The slot order of a function's activation: parameters, `arguments`,
+/// the self-binding of a named function expression, hoisted function
+/// declarations, then `var`s — deduplicated keeping the first occurrence
+/// (so `function f(x) { var x; }` has one `x` slot).
+pub fn layout_locals(f: &Function) -> Vec<Sym> {
+    let mut locals: Vec<Sym> = Vec::with_capacity(f.params.len() + f.decls.vars.len() + 2);
+    let push = |locals: &mut Vec<Sym>, s: Sym| {
+        if !locals.contains(&s) {
+            locals.push(s);
+        }
+    };
+    for &p in &f.params {
+        push(&mut locals, p);
+    }
+    push(&mut locals, Sym::ARGUMENTS);
+    if f.bind_self {
+        if let Some(n) = f.name {
+            push(&mut locals, n);
+        }
+    }
+    for &(n, _) in &f.decls.funcs {
+        push(&mut locals, n);
+    }
+    for &v in &f.decls.vars {
+        push(&mut locals, v);
+    }
+    locals
+}
+
+/// Per-function facts the resolver needs, snapshotted so bodies can be
+/// rewritten while ancestors are consulted.
+struct Meta {
+    kind: FuncKind,
+    parent: Option<FuncId>,
+    has_eval: bool,
+    locals: Vec<Sym>,
+}
+
+/// Resolves slot coordinates for every function with index `>= from`
+/// (the functions added by the chunk just lowered), filling in
+/// [`Function::locals`] and [`Function::has_direct_eval`] along the way.
+pub fn resolve_slots(prog: &mut Program, from: usize) {
+    let n = prog.funcs.len();
+    // Phase 1: locals layout + direct-eval flag for the new functions.
+    for idx in from..n {
+        let f = prog.func(FuncId(idx as u32));
+        let mut has_eval = false;
+        Program::walk_block(&f.body, &mut |s| {
+            if matches!(s.kind, StmtKind::Eval { .. }) {
+                has_eval = true;
+            }
+        });
+        let locals = if f.kind == FuncKind::Function {
+            layout_locals(f)
+        } else {
+            Vec::new()
+        };
+        let fm = prog.func_mut(FuncId(idx as u32));
+        fm.locals = locals;
+        fm.has_direct_eval = has_eval;
+    }
+    // Phase 2: snapshot resolution metadata for *all* functions — chunks
+    // lowered at runtime resolve against ancestors from earlier passes.
+    let meta: Vec<Meta> = prog
+        .funcs
+        .iter()
+        .map(|f| Meta {
+            kind: f.kind,
+            parent: f.parent,
+            has_eval: f.has_direct_eval,
+            locals: f.locals.clone(),
+        })
+        .collect();
+    // Phase 3: rewrite bodies in id order (creators precede their nested
+    // functions), threading catch-poison sets through closure sites.
+    let empty: Rc<HashSet<Sym>> = Rc::new(HashSet::new());
+    let mut poisoned: Vec<Option<Rc<HashSet<Sym>>>> = vec![None; n];
+    for idx in from..n {
+        let poison = poisoned[idx].clone().unwrap_or_else(|| empty.clone());
+        // Hoisted function declarations are bound at activation entry, so
+        // they capture the activation scope directly: they inherit the
+        // poison set as-is.
+        for &(_, fid) in &prog.func(FuncId(idx as u32)).decls.funcs {
+            inherit_poison(&mut poisoned, fid, &poison, &[]);
+        }
+        let rewrite = meta[idx].kind == FuncKind::Function;
+        let mut body = std::mem::take(&mut prog.func_mut(FuncId(idx as u32)).body);
+        {
+            let mut st = Walk {
+                meta: &meta,
+                func: idx,
+                rewrite,
+                poison: &poison,
+                active: Vec::new(),
+                poisoned: &mut poisoned,
+            };
+            st.block(&mut body);
+        }
+        prog.func_mut(FuncId(idx as u32)).body = body;
+    }
+}
+
+/// Records the poison set a nested function starts from: the creator's
+/// set plus the catch names active at the creation site.
+fn inherit_poison(
+    poisoned: &mut [Option<Rc<HashSet<Sym>>>],
+    fid: FuncId,
+    base: &Rc<HashSet<Sym>>,
+    active: &[Sym],
+) {
+    let idx = fid.0 as usize;
+    if idx >= poisoned.len() {
+        return;
+    }
+    let set = if active.iter().all(|s| base.contains(s)) {
+        base.clone()
+    } else {
+        let mut s = (**base).clone();
+        s.extend(active.iter().copied());
+        Rc::new(s)
+    };
+    poisoned[idx] = Some(set);
+}
+
+struct Walk<'a> {
+    meta: &'a [Meta],
+    func: usize,
+    rewrite: bool,
+    poison: &'a Rc<HashSet<Sym>>,
+    active: Vec<Sym>,
+    poisoned: &'a mut [Option<Rc<HashSet<Sym>>>],
+}
+
+impl Walk<'_> {
+    fn place(&mut self, p: &mut Place) {
+        if !self.rewrite {
+            return;
+        }
+        let Place::Named(sym) = *p else { return };
+        if self.active.contains(&sym) || self.poison.contains(&sym) {
+            return;
+        }
+        if let Some((hops, slot)) = resolve(self.meta, self.func, sym) {
+            *p = Place::Slot { hops, slot, sym };
+        }
+    }
+
+    fn key(&mut self, k: &mut PropKey) {
+        if let PropKey::Dynamic(p) = k {
+            self.place(p);
+        }
+    }
+
+    fn closure_site(&mut self, fid: FuncId) {
+        inherit_poison(self.poisoned, fid, self.poison, &self.active);
+    }
+
+    fn block(&mut self, block: &mut Block) {
+        for s in block {
+            match &mut s.kind {
+                StmtKind::Const { dst, .. } | StmtKind::NewObject { dst, .. } => self.place(dst),
+                StmtKind::Copy { dst, src } => {
+                    self.place(dst);
+                    self.place(src);
+                }
+                StmtKind::Closure { dst, func } => {
+                    self.place(dst);
+                    let fid = *func;
+                    self.closure_site(fid);
+                }
+                StmtKind::GetProp { dst, obj, key } => {
+                    self.place(dst);
+                    self.place(obj);
+                    self.key(key);
+                }
+                StmtKind::SetProp { obj, key, val } => {
+                    self.place(obj);
+                    self.key(key);
+                    self.place(val);
+                }
+                StmtKind::DeleteProp { dst, obj, key } => {
+                    self.place(dst);
+                    self.place(obj);
+                    self.key(key);
+                }
+                StmtKind::BinOp { dst, lhs, rhs, .. } => {
+                    self.place(dst);
+                    self.place(lhs);
+                    self.place(rhs);
+                }
+                StmtKind::UnOp { dst, src, .. } => {
+                    self.place(dst);
+                    self.place(src);
+                }
+                StmtKind::Call {
+                    dst,
+                    callee,
+                    this_arg,
+                    args,
+                } => {
+                    self.place(dst);
+                    self.place(callee);
+                    if let Some(t) = this_arg {
+                        self.place(t);
+                    }
+                    for a in args {
+                        self.place(a);
+                    }
+                }
+                StmtKind::New { dst, callee, args } => {
+                    self.place(dst);
+                    self.place(callee);
+                    for a in args {
+                        self.place(a);
+                    }
+                }
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    self.place(cond);
+                    self.block(then_blk);
+                    self.block(else_blk);
+                }
+                StmtKind::Loop {
+                    cond_blk,
+                    cond,
+                    body,
+                    update,
+                    ..
+                } => {
+                    self.block(cond_blk);
+                    self.place(cond);
+                    self.block(body);
+                    self.block(update);
+                }
+                StmtKind::Breakable { body } => self.block(body),
+                StmtKind::Try {
+                    block,
+                    catch,
+                    finally,
+                } => {
+                    self.block(block);
+                    if let Some((sym, b)) = catch {
+                        self.active.push(*sym);
+                        self.block(b);
+                        self.active.pop();
+                    }
+                    if let Some(b) = finally {
+                        self.block(b);
+                    }
+                }
+                StmtKind::Return { arg } => {
+                    if let Some(a) = arg {
+                        self.place(a);
+                    }
+                }
+                StmtKind::Break | StmtKind::Continue => {}
+                StmtKind::Throw { arg } => self.place(arg),
+                StmtKind::LoadThis { dst } => self.place(dst),
+                // `typeof name` stays by-name: the name may be unbound.
+                StmtKind::TypeofName { dst, .. } => self.place(dst),
+                StmtKind::HasProp { dst, key, obj } => {
+                    self.place(dst);
+                    self.place(key);
+                    self.place(obj);
+                }
+                StmtKind::InstanceOf { dst, val, ctor } => {
+                    self.place(dst);
+                    self.place(val);
+                    self.place(ctor);
+                }
+                StmtKind::EnumProps { dst, obj } => {
+                    self.place(dst);
+                    self.place(obj);
+                }
+                StmtKind::Eval { dst, arg } => {
+                    self.place(dst);
+                    self.place(arg);
+                }
+            }
+        }
+    }
+}
+
+/// Finds the `(hops, slot)` coordinate of `sym` referenced from function
+/// `g`, or `None` when the binding is global, crosses an eval chunk, or
+/// could be shadowed by a direct `eval` below the definer.
+fn resolve(meta: &[Meta], g: usize, sym: Sym) -> Option<(u32, u32)> {
+    let mut hops = 0u32;
+    let mut cur = g;
+    loop {
+        let m = &meta[cur];
+        if m.kind != FuncKind::Function {
+            // Script locals are global properties; chunk scopes are the
+            // caller's and unknowable statically.
+            return None;
+        }
+        if let Some(i) = m.locals.iter().position(|&l| l == sym) {
+            return Some((hops, i as u32));
+        }
+        // A direct eval here can declare `sym` dynamically, shadowing any
+        // outer binding for by-name readers.
+        if m.has_eval {
+            return None;
+        }
+        cur = m.parent?.0 as usize;
+        hops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use mujs_syntax::parse;
+
+    fn lower(src: &str) -> Program {
+        lower_program(&parse(src).unwrap())
+    }
+
+    fn func_named<'a>(p: &'a Program, name: &str) -> &'a Function {
+        p.funcs
+            .iter()
+            .find(|f| f.name.is_some_and(|s| p.interner.resolve(s) == name))
+            .unwrap()
+    }
+
+    /// Collects the (hops, name) pairs of all Slot places in a body.
+    fn slots_of(p: &Program, f: &Function) -> Vec<(u32, String)> {
+        let mut out = Vec::new();
+        Program::walk_block(&f.body, &mut |s| {
+            each_place(&s.kind, &mut |pl| {
+                if let Place::Slot { hops, sym, .. } = pl {
+                    out.push((*hops, p.interner.resolve(*sym).to_string()));
+                }
+            });
+        });
+        out
+    }
+
+    fn named_of(p: &Program, f: &Function) -> Vec<String> {
+        let mut out = Vec::new();
+        Program::walk_block(&f.body, &mut |s| {
+            each_place(&s.kind, &mut |pl| {
+                if let Place::Named(sym) = pl {
+                    out.push(p.interner.resolve(*sym).to_string());
+                }
+            });
+        });
+        out
+    }
+
+    fn each_place(kind: &StmtKind, visit: &mut dyn FnMut(&Place)) {
+        use StmtKind::*;
+        match kind {
+            Const { dst, .. } | NewObject { dst, .. } | LoadThis { dst }
+            | TypeofName { dst, .. } | Closure { dst, .. } => visit(dst),
+            Copy { dst, src } => {
+                visit(dst);
+                visit(src);
+            }
+            UnOp { dst, src, .. } => {
+                visit(dst);
+                visit(src);
+            }
+            BinOp { dst, lhs, rhs, .. } => {
+                visit(dst);
+                visit(lhs);
+                visit(rhs);
+            }
+            GetProp { dst, obj, key } => {
+                visit(dst);
+                visit(obj);
+                if let PropKey::Dynamic(p) = key {
+                    visit(p);
+                }
+            }
+            SetProp { obj, key, val } => {
+                visit(obj);
+                visit(val);
+                if let PropKey::Dynamic(p) = key {
+                    visit(p);
+                }
+            }
+            Call {
+                dst,
+                callee,
+                this_arg,
+                args,
+            } => {
+                visit(dst);
+                visit(callee);
+                if let Some(t) = this_arg {
+                    visit(t);
+                }
+                for a in args {
+                    visit(a);
+                }
+            }
+            Return { arg: Some(a) } => visit(a),
+            Throw { arg } => visit(arg),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn script_level_vars_stay_named() {
+        let p = lower("var x = 1; x = x + 1;");
+        let entry = p.func(p.entry().unwrap());
+        assert!(slots_of(&p, entry).is_empty());
+        assert!(named_of(&p, entry).contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn function_locals_resolve_to_hop_zero() {
+        let p = lower("function f(a) { var b = a + 1; return b; }");
+        let f = func_named(&p, "f");
+        let slots = slots_of(&p, f);
+        assert!(slots.contains(&(0, "a".into())));
+        assert!(slots.contains(&(0, "b".into())));
+        assert!(named_of(&p, f).is_empty());
+    }
+
+    #[test]
+    fn captured_locals_resolve_with_hops() {
+        let p = lower("function f() { var x = 1; return function g() { return x; }; }");
+        let g = func_named(&p, "g");
+        assert!(slots_of(&p, g).contains(&(1, "x".into())));
+    }
+
+    #[test]
+    fn globals_referenced_from_functions_stay_named() {
+        let p = lower("var g0 = 1; function f() { return g0; }");
+        let f = func_named(&p, "f");
+        assert!(slots_of(&p, f).is_empty());
+        assert!(named_of(&p, f).contains(&"g0".to_string()));
+    }
+
+    #[test]
+    fn locals_layout_dedups_param_and_var() {
+        let p = lower("function f(x) { var x; var y; }");
+        let f = func_named(&p, "f");
+        let names: Vec<&str> = f.locals.iter().map(|&s| p.interner.resolve(s)).collect();
+        // params, arguments, the self-binding, hoisted funcs, then vars.
+        assert_eq!(names, vec!["x", "arguments", "f", "y"]);
+    }
+
+    #[test]
+    fn direct_eval_below_definer_blocks_resolution() {
+        let p = lower(
+            "function f() { var x = 1; \
+             function g() { eval(\"x\"); return x; } }",
+        );
+        let g = func_named(&p, "g");
+        assert!(g.has_direct_eval);
+        // `x` binds in f, but g (below the definer) has a direct eval.
+        assert!(slots_of(&p, g).iter().all(|(_, n)| n != "x"));
+    }
+
+    #[test]
+    fn definers_own_eval_does_not_block_its_locals() {
+        let p = lower("function f() { var x = 1; eval(\"x\"); return x; }");
+        let f = func_named(&p, "f");
+        assert!(f.has_direct_eval);
+        assert!(slots_of(&p, f).contains(&(0, "x".into())));
+    }
+
+    #[test]
+    fn catch_bound_names_stay_named_in_the_block() {
+        let p = lower(
+            "function f() { var e = 1; try { g(); } catch (e) { h(e); } return e; }",
+        );
+        let f = func_named(&p, "f");
+        // The `return e` outside resolves; the `h(e)` argument inside the
+        // catch block must not.
+        assert!(slots_of(&p, f).iter().any(|(_, n)| n == "e"));
+        assert!(named_of(&p, f).contains(&"e".to_string()));
+    }
+
+    #[test]
+    fn closures_created_in_catch_blocks_inherit_poison() {
+        let p = lower(
+            "function f() { var c = 1; try { g(); } catch (c) { \
+             var k = function q() { return c; }; } }",
+        );
+        let q = func_named(&p, "q");
+        // q captures the catch scope: its `c` must stay named.
+        assert!(slots_of(&p, q).iter().all(|(_, n)| n != "c"));
+        assert!(named_of(&p, q).contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn eval_chunk_bodies_are_not_resolved() {
+        let mut p = lower("function host() { var x = 1; }");
+        let host = func_named(&p, "host").id;
+        let chunk_ast = parse("x = 2; var y = x;").unwrap();
+        let cid = crate::lower::lower_chunk(&mut p, &chunk_ast, FuncKind::EvalChunk, Some(host));
+        let chunk = p.func(cid);
+        assert!(slots_of(&p, chunk).is_empty());
+    }
+
+    #[test]
+    fn functions_inside_eval_chunks_resolve_own_locals_only() {
+        let mut p = lower("function host() { var x = 1; }");
+        let host = func_named(&p, "host").id;
+        let chunk_ast = parse("var mk = function inner(a) { return a + x; };").unwrap();
+        crate::lower::lower_chunk(&mut p, &chunk_ast, FuncKind::EvalChunk, Some(host));
+        let inner = func_named(&p, "inner");
+        let slots = slots_of(&p, inner);
+        assert!(slots.contains(&(0, "a".into())));
+        // `x` would resolve through the chunk — must stay named.
+        assert!(slots.iter().all(|(_, n)| n != "x"));
+        assert!(named_of(&p, inner).contains(&"x".to_string()));
+    }
+}

@@ -13,6 +13,15 @@
 use crate::ir::{Place, StmtKind};
 use std::collections::HashSet;
 
+/// Slot places canonicalize to their name: write-domain identity is
+/// name-based, unaffected by slot resolution.
+fn canon(p: &Place) -> Place {
+    match p.as_var_sym() {
+        Some(sym) => Place::Named(sym),
+        None => p.clone(),
+    }
+}
+
 /// The statically computed write domain of a block.
 #[derive(Debug, Clone, Default)]
 pub struct WriteDomain {
@@ -35,8 +44,8 @@ pub struct WriteDomain {
 /// let ast = mujs_syntax::parse("var x; if (c) { x = 1; } else { y = 2; }")?;
 /// let prog = mujs_ir::lower::lower_program(&ast);
 /// let wd = mujs_ir::vd::write_domain(&prog.func(prog.entry().unwrap()).body);
-/// assert!(wd.places.contains(&Place::Named("x".into())));
-/// assert!(wd.places.contains(&Place::Named("y".into())));
+/// assert!(wd.places.contains(&Place::Named(prog.interner.get("x").unwrap())));
+/// assert!(wd.places.contains(&Place::Named(prog.interner.get("y").unwrap())));
 /// # Ok(())
 /// # }
 /// ```
@@ -64,10 +73,10 @@ fn collect(block: &[crate::ir::Stmt], wd: &mut WriteDomain) {
             | StmtKind::HasProp { dst, .. }
             | StmtKind::InstanceOf { dst, .. }
             | StmtKind::EnumProps { dst, .. } => {
-                wd.places.insert(dst.clone());
+                wd.places.insert(canon(dst));
             }
             StmtKind::Eval { dst, .. } => {
-                wd.places.insert(dst.clone());
+                wd.places.insert(canon(dst));
                 wd.contains_eval = true;
             }
             StmtKind::SetProp { .. } => {}
@@ -95,7 +104,7 @@ fn collect(block: &[crate::ir::Stmt], wd: &mut WriteDomain) {
             } => {
                 collect(block, wd);
                 if let Some((name, b)) = catch {
-                    wd.places.insert(Place::Named(name.clone()));
+                    wd.places.insert(Place::Named(*name));
                     collect(b, wd);
                 }
                 if let Some(b) = finally {
@@ -113,49 +122,70 @@ fn collect(block: &[crate::ir::Stmt], wd: &mut WriteDomain) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::Program;
     use crate::lower::lower_program;
     use mujs_syntax::parse;
-    use std::rc::Rc;
 
-    fn wd_of(src: &str) -> WriteDomain {
-        let prog = lower_program(&parse(src).unwrap());
+    fn prog_of(src: &str) -> Program {
+        lower_program(&parse(src).unwrap())
+    }
+
+    fn wd_of(prog: &Program) -> WriteDomain {
         write_domain(&prog.func(prog.entry().unwrap()).body)
     }
 
-    fn has_named(wd: &WriteDomain, name: &str) -> bool {
-        wd.places.contains(&Place::Named(Rc::from(name)))
+    fn has_named(prog: &Program, wd: &WriteDomain, name: &str) -> bool {
+        prog.interner
+            .get(name)
+            .is_some_and(|s| wd.places.contains(&Place::Named(s)))
     }
 
     #[test]
     fn includes_writes_in_all_branches() {
-        let wd = wd_of("if (c) { a = 1; } else { while (d) { b = 2; } }");
-        assert!(has_named(&wd, "a"));
-        assert!(has_named(&wd, "b"));
+        let p = prog_of("if (c) { a = 1; } else { while (d) { b = 2; } }");
+        let wd = wd_of(&p);
+        assert!(has_named(&p, &wd, "a"));
+        assert!(has_named(&p, &wd, "b"));
     }
 
     #[test]
     fn excludes_nested_function_writes() {
-        let wd = wd_of("var f = function() { hidden = 1; };");
-        assert!(!has_named(&wd, "hidden"));
-        assert!(has_named(&wd, "f"));
+        let p = prog_of("var f = function() { hidden = 1; };");
+        let wd = wd_of(&p);
+        assert!(!has_named(&p, &wd, "hidden"));
+        assert!(has_named(&p, &wd, "f"));
     }
 
     #[test]
     fn heap_writes_are_not_variable_writes() {
-        let wd = wd_of("o.p = 1;");
-        assert!(!has_named(&wd, "o"));
-        assert!(!has_named(&wd, "p"));
+        let p = prog_of("o.p = 1;");
+        let wd = wd_of(&p);
+        assert!(!has_named(&p, &wd, "o"));
+        assert!(!has_named(&p, &wd, "p"));
     }
 
     #[test]
     fn catch_variable_is_written() {
-        let wd = wd_of("try { f(); } catch (e) { g(); }");
-        assert!(has_named(&wd, "e"));
+        let p = prog_of("try { f(); } catch (e) { g(); }");
+        let wd = wd_of(&p);
+        assert!(has_named(&p, &wd, "e"));
+    }
+
+    #[test]
+    fn slot_resolved_writes_canonicalize_to_names() {
+        let p = prog_of("function f() { var a; if (c) { a = 1; } }");
+        let f = p
+            .funcs
+            .iter()
+            .find(|f| f.name.is_some_and(|s| p.interner.resolve(s) == "f"))
+            .unwrap();
+        let wd = write_domain(&f.body);
+        assert!(has_named(&p, &wd, "a"), "Slot writes must appear as Named");
     }
 
     #[test]
     fn direct_eval_is_flagged() {
-        assert!(wd_of("eval(s);").contains_eval);
-        assert!(!wd_of("f(s);").contains_eval);
+        assert!(wd_of(&prog_of("eval(s);")).contains_eval);
+        assert!(!wd_of(&prog_of("f(s);")).contains_eval);
     }
 }

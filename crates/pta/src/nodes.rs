@@ -1,7 +1,6 @@
 //! Abstract objects and pointer nodes of the points-to analysis.
 
-use mujs_ir::{FuncId, StmtId};
-use std::rc::Rc;
+use mujs_ir::{FuncId, StmtId, Sym};
 
 /// An abstract heap object.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,10 +35,10 @@ pub enum Node {
     /// A frame temporary of a function.
     Temp(FuncId, u32),
     /// A named local, resolved to its declaring function.
-    Local(FuncId, Rc<str>),
+    Local(FuncId, Sym),
     /// A named property of an abstract object (globals are
     /// `Prop(Global, name)`).
-    Prop(AbsObj, Rc<str>),
+    Prop(AbsObj, Sym),
     /// Join of all statically-named properties of an object (feeds
     /// dynamic *reads*).
     StarProps(AbsObj),
@@ -70,8 +69,8 @@ mod tests {
         use std::collections::HashSet;
         let mut s = HashSet::new();
         s.insert(Node::Temp(FuncId(0), 1));
-        s.insert(Node::Prop(AbsObj::Global, Rc::from("x")));
-        s.insert(Node::Prop(AbsObj::Global, Rc::from("x")));
+        s.insert(Node::Prop(AbsObj::Global, Sym(42)));
+        s.insert(Node::Prop(AbsObj::Global, Sym(42)));
         assert_eq!(s.len(), 2);
     }
 }

@@ -15,9 +15,8 @@
 use crate::nodes::{AbsObj, Node};
 use mujs_ir::ir::{Place, PropKey, StmtKind};
 use mujs_ir::resolve::{Binding, Resolver};
-use mujs_ir::{FuncId, FuncKind, Program, Stmt, StmtId};
+use mujs_ir::{FuncId, FuncKind, Program, Stmt, StmtId, Sym};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
 
 /// Solver configuration.
 #[derive(Debug, Clone)]
@@ -114,9 +113,9 @@ pub fn solve(prog: &Program, cfg: &PtaConfig) -> PtaResult {
 #[derive(Debug, Clone)]
 enum Pending {
     /// `dst ⊇ base.key` (`None` = dynamic key).
-    Load { key: Option<Rc<str>>, dst: u32 },
+    Load { key: Option<Sym>, dst: u32 },
     /// `base.key ⊇ src` (`None` = dynamic key).
-    Store { key: Option<Rc<str>>, src: u32 },
+    Store { key: Option<Sym>, src: u32 },
     /// A call through the node: wire params/ret when closures arrive.
     Call {
         site: StmtId,
@@ -232,11 +231,16 @@ impl<'p> Solver<'p> {
     fn place_node(&mut self, func: FuncId, place: &Place) -> u32 {
         match place {
             Place::Temp(t) => self.node(Node::Temp(func, t.0)),
-            Place::Named(name) => self.named_node(func, name),
+            // Named and slot-resolved places both resolve by name; the
+            // resolver agrees with the lowering's slot coordinates.
+            p => {
+                let name = p.as_var_sym().expect("non-temp place");
+                self.named_node(func, name)
+            }
         }
     }
 
-    fn named_node(&mut self, func: FuncId, name: &Rc<str>) -> u32 {
+    fn named_node(&mut self, func: FuncId, name: Sym) -> u32 {
         match self.resolver.resolve(self.prog, func, name) {
             // Specializer clones share their original's variable space:
             // nested closures keep referring to the original's locals, so
@@ -244,9 +248,9 @@ impl<'p> Solver<'p> {
             // local-variable contexts while the heap stays per-clone).
             Binding::Local(f) => {
                 let f = self.canon(f);
-                self.node(Node::Local(f, name.clone()))
+                self.node(Node::Local(f, name))
             }
-            Binding::Global => self.node(Node::Prop(AbsObj::Global, name.clone())),
+            Binding::Global => self.node(Node::Prop(AbsObj::Global, name)),
         }
     }
 
@@ -328,8 +332,8 @@ impl<'p> Solver<'p> {
 
     fn apply_pending(&mut self, p: &Pending, o: &AbsObj) {
         match p {
-            Pending::Load { key, dst } => self.apply_load(o, key.as_deref(), *dst),
-            Pending::Store { key, src } => self.apply_store(o, key.as_deref(), *src),
+            Pending::Load { key, dst } => self.apply_load(o, *key, *dst),
+            Pending::Store { key, src } => self.apply_store(o, *key, *src),
             Pending::Call {
                 site,
                 this,
@@ -340,12 +344,12 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn apply_load(&mut self, o: &AbsObj, key: Option<&str>, dst: u32) {
+    fn apply_load(&mut self, o: &AbsObj, key: Option<Sym>, dst: u32) {
         let unknown = self.node(Node::UnknownProps(o.clone()));
         self.add_edge(unknown, dst);
         match key {
             Some(k) => {
-                let f = self.node(Node::Prop(o.clone(), Rc::from(k)));
+                let f = self.node(Node::Prop(o.clone(), k));
                 self.add_edge(f, dst);
             }
             None => {
@@ -355,19 +359,13 @@ impl<'p> Solver<'p> {
         }
         // Loads fall through the prototype chain.
         let pv = self.proto_var(o);
-        self.attach(
-            pv,
-            Pending::Load {
-                key: key.map(Rc::from),
-                dst,
-            },
-        );
+        self.attach(pv, Pending::Load { key, dst });
     }
 
-    fn apply_store(&mut self, o: &AbsObj, key: Option<&str>, src: u32) {
+    fn apply_store(&mut self, o: &AbsObj, key: Option<Sym>, src: u32) {
         match key {
             Some(k) => {
-                let f = self.node(Node::Prop(o.clone(), Rc::from(k)));
+                let f = self.node(Node::Prop(o.clone(), k));
                 self.add_edge(src, f);
             }
             None => {
@@ -400,9 +398,9 @@ impl<'p> Solver<'p> {
                 self.enqueue_func(f);
                 let func = self.prog.func(f).clone();
                 let pf = self.canon(f);
-                for (i, p) in func.params.iter().enumerate() {
+                for (i, &p) in func.params.iter().enumerate() {
                     if let Some(&a) = args.get(i) {
-                        let pn = self.node(Node::Local(pf, p.clone()));
+                        let pn = self.node(Node::Local(pf, p));
                         self.add_edge(a, pn);
                     }
                 }
@@ -417,7 +415,7 @@ impl<'p> Solver<'p> {
                     self.insert(this_n, alloc_id);
                     // Its prototype chain parent is F.prototype's value.
                     let fproto =
-                        self.node(Node::Prop(AbsObj::Closure(f), Rc::from("prototype")));
+                        self.node(Node::Prop(AbsObj::Closure(f), Sym::PROTOTYPE));
                     let pv = self.node(Node::ProtoVar(alloc));
                     self.add_edge(fproto, pv);
                 } else if let Some(t) = this {
@@ -452,15 +450,15 @@ impl<'p> Solver<'p> {
     fn gen_function(&mut self, fid: FuncId) {
         let f = self.prog.func(fid).clone();
         // Hoisted function declarations.
-        for (name, nested) in &f.decls.funcs {
+        for &(name, nested) in &f.decls.funcs {
             let n = self.named_node(fid, name);
-            self.seed(n, AbsObj::Closure(*nested));
-            self.init_closure(*nested);
+            self.seed(n, AbsObj::Closure(nested));
+            self.init_closure(nested);
         }
         // `arguments`: coarse—an opaque array.
         if f.kind == FuncKind::Function {
             let cf = self.canon(fid);
-            let n = self.node(Node::Local(cf, Rc::from("arguments")));
+            let n = self.node(Node::Local(cf, Sym::ARGUMENTS));
             self.seed(n, AbsObj::Opaque);
         }
         let stmts = f.body.clone();
@@ -468,9 +466,9 @@ impl<'p> Solver<'p> {
     }
 
     fn init_closure(&mut self, f: FuncId) {
-        let protos = self.node(Node::Prop(AbsObj::Closure(f), Rc::from("prototype")));
+        let protos = self.node(Node::Prop(AbsObj::Closure(f), Sym::PROTOTYPE));
         self.seed(protos, AbsObj::ProtoOf(f));
-        let ctor = self.node(Node::Prop(AbsObj::ProtoOf(f), Rc::from("constructor")));
+        let ctor = self.node(Node::Prop(AbsObj::ProtoOf(f), Sym::CONSTRUCTOR));
         self.seed(ctor, AbsObj::Closure(f));
     }
 
@@ -504,7 +502,7 @@ impl<'p> Solver<'p> {
                     let d = self.place_node(wf, dst);
                     let o = self.place_node(wf, obj);
                     let key = match key {
-                        PropKey::Static(k) => Some(k.clone()),
+                        PropKey::Static(k) => Some(*k),
                         PropKey::Dynamic(_) => None,
                     };
                     self.attach(o, Pending::Load { key, dst: d });
@@ -513,7 +511,7 @@ impl<'p> Solver<'p> {
                     let o = self.place_node(wf, obj);
                     let v = self.place_node(wf, val);
                     let key = match key {
-                        PropKey::Static(k) => Some(k.clone()),
+                        PropKey::Static(k) => Some(*k),
                         PropKey::Dynamic(_) => None,
                     };
                     self.attach(o, Pending::Store { key, src: v });
@@ -583,7 +581,7 @@ impl<'p> Solver<'p> {
                     self.gen_block(fid, block);
                     if let Some((name, b)) = catch {
                         let exc = self.node(Node::ExcPool);
-                        let v = self.named_node(wf, name);
+                        let v = self.named_node(wf, *name);
                         self.add_edge(exc, v);
                         self.gen_block(fid, b);
                     }

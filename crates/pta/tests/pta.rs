@@ -5,7 +5,6 @@
 use mujs_ir::ir::StmtKind;
 use mujs_ir::{FuncId, Program, StmtId};
 use mujs_pta::{solve, AbsObj, Node, PtaConfig, PtaResult, PtaStatus};
-use std::rc::Rc;
 
 fn setup(src: &str) -> (Program, PtaResult) {
     let ast = mujs_syntax::parse(src).expect("parses");
@@ -17,7 +16,7 @@ fn setup(src: &str) -> (Program, PtaResult) {
 fn func_named(prog: &Program, name: &str) -> FuncId {
     prog.funcs
         .iter()
-        .find(|f| f.name.as_deref() == Some(name))
+        .find(|f| f.name.is_some_and(|n| prog.interner.resolve(n) == name))
         .unwrap_or_else(|| panic!("no function {name}"))
         .id
 }
@@ -38,8 +37,9 @@ fn call_sites(prog: &Program) -> Vec<StmtId> {
     out
 }
 
-fn global_var(name: &str) -> Node {
-    Node::Prop(AbsObj::Global, Rc::from(name))
+fn global_var(prog: &Program, name: &str) -> Node {
+    let sym = prog.interner.get(name).expect("name interned");
+    Node::Prop(AbsObj::Global, sym)
 }
 
 #[test]
@@ -148,31 +148,30 @@ fn constructor_this_receives_alloc() {
     let this_pts = r.points_to(&Node::This(rect));
     assert!(this_pts.iter().any(|o| matches!(o, AbsObj::Alloc(_))));
     // And the global r0 receives the same allocation.
-    let r0 = r.points_to(&global_var("r0"));
+    let r0 = r.points_to(&global_var(&prog, "r0"));
     assert!(r0.iter().any(|o| matches!(o, AbsObj::Alloc(_))));
 }
 
 #[test]
 fn return_values_flow_to_callers() {
     let (prog, r) = setup("function mk() { return {}; } var o = mk();");
-    let _ = prog;
-    let o = r.points_to(&global_var("o"));
+    let o = r.points_to(&global_var(&prog, "o"));
     assert!(o.iter().any(|x| matches!(x, AbsObj::Alloc(_))));
 }
 
 #[test]
 fn throw_reaches_catch() {
-    let (_, r) = setup(
+    let (prog, r) = setup(
         "var payload = {};\ntry { throw payload; } catch (e) { var got = e; }",
     );
-    let got = r.points_to(&global_var("got"));
+    let got = r.points_to(&global_var(&prog, "got"));
     assert!(got.iter().any(|x| matches!(x, AbsObj::Alloc(_))));
 }
 
 #[test]
 fn eval_result_is_opaque() {
-    let (_, r) = setup("var x = eval(\"({})\");");
-    let x = r.points_to(&global_var("x"));
+    let (prog, r) = setup("var x = eval(\"({})\");");
+    let x = r.points_to(&global_var(&prog, "x"));
     assert_eq!(x, vec![AbsObj::Opaque]);
 }
 

@@ -137,9 +137,10 @@ pub fn specialize(
     let entry = sp.entry;
     sp.instances.insert((entry, CtxId::ROOT), entry);
     let new_body = sp.rewrite_function_body(entry, CtxId::ROOT, entry, &[]);
-    sp.out.funcs[entry.0 as usize].body = new_body.body;
-    sp.out.funcs[entry.0 as usize].n_temps = new_body.n_temps;
-    merge_decls(&mut sp.out.funcs[entry.0 as usize], new_body.extra_decls);
+    let fe = sp.out.func_mut(entry);
+    fe.body = new_body.body;
+    fe.n_temps = new_body.n_temps;
+    merge_decls(fe, new_body.extra_decls);
     let mut report = sp.report;
     // Count surviving evals across the output program.
     let mut remaining = 0usize;
@@ -343,7 +344,7 @@ impl Specializer<'_> {
                 let b = self.rewrite_block(block, cx);
                 let c = catch
                     .as_ref()
-                    .map(|(n, h)| (n.clone(), self.rewrite_block(h, cx)));
+                    .map(|(n, h)| (*n, self.rewrite_block(h, cx)));
                 let fin = finally.as_ref().map(|h| self.rewrite_block(h, cx));
                 let st = self.fresh(
                     s,
@@ -489,7 +490,7 @@ impl Specializer<'_> {
             };
             if let Some(k) = hit {
                 self.report.keys_staticized += 1;
-                return PropKey::Static(k);
+                return PropKey::Static(self.out.interner.intern_rc(&k));
             }
         }
         key.clone()
@@ -546,14 +547,14 @@ impl Specializer<'_> {
         cx.n_temps += chunk.n_temps;
         // Hoist the chunk's declarations into the enclosing function.
         cx.extra_decls.vars.extend(chunk.decls.vars.iter().cloned());
-        for (name, fid) in &chunk.decls.funcs {
-            cx.extra_decls.funcs.push((name.clone(), *fid));
-            self.out.funcs[fid.0 as usize].parent = Some(cx.target);
+        for &(name, fid) in &chunk.decls.funcs {
+            cx.extra_decls.funcs.push((name, fid));
+            self.out.func_mut(fid).parent = Some(cx.target);
         }
         // Re-parent the chunk's directly nested functions to the target.
-        for f in &mut self.out.funcs {
-            if f.parent == Some(chunk_id) {
-                f.parent = Some(cx.target);
+        for i in 0..self.out.funcs.len() {
+            if self.out.funcs[i].parent == Some(chunk_id) {
+                self.out.func_mut(FuncId(i as u32)).parent = Some(cx.target);
             }
         }
         let body = chunk.body.clone();
@@ -689,7 +690,7 @@ impl Specializer<'_> {
         f.specialized_from = Some(func);
         self.out.set_func(f);
         let rewritten = self.rewrite_function_body(func, ctx, clone_id, ancestors);
-        let fref = &mut self.out.funcs[clone_id.0 as usize];
+        let fref = self.out.func_mut(clone_id);
         fref.body = rewritten.body;
         fref.n_temps = rewritten.n_temps;
         merge_decls(fref, rewritten.extra_decls);
@@ -935,7 +936,7 @@ fn remap_kind(
             block: remap_temps(block, off, out, target, span),
             catch: catch
                 .as_ref()
-                .map(|(n, b)| (n.clone(), remap_temps(b, off, out, target, span))),
+                .map(|(n, b)| (*n, remap_temps(b, off, out, target, span))),
             finally: finally
                 .as_ref()
                 .map(|b| remap_temps(b, off, out, target, span)),
@@ -953,7 +954,7 @@ fn remap_kind(
         },
         TypeofName { dst, name } => TypeofName {
             dst: remap_place(dst, off),
-            name: name.clone(),
+            name: *name,
         },
         HasProp { dst, key, obj } => HasProp {
             dst: remap_place(dst, off),

@@ -303,14 +303,14 @@ r.getWidth();
     let getter = |prog: &Program| {
         prog.funcs
             .iter()
-            .filter(|f| f.name.as_deref() == Some("getter"))
+            .filter(|f| f.name.is_some_and(|n| prog.interner.resolve(n) == "getter"))
             .map(|f| f.id)
             .collect::<Vec<_>>()
     };
     let setters = |prog: &Program| {
         prog.funcs
             .iter()
-            .filter(|f| f.name.as_deref() == Some("setter"))
+            .filter(|f| f.name.is_some_and(|n| prog.interner.resolve(n) == "setter"))
             .map(|f| f.id)
             .collect::<Vec<_>>()
     };

@@ -150,14 +150,14 @@ alert(r.toString());
         .program
         .funcs
         .iter()
-        .filter(|f| f.name.as_deref() == Some("getter"))
+        .filter(|f| f.name.is_some_and(|n| spec.program.interner.resolve(n) == "getter"))
         .map(|f| f.id)
         .collect();
     let setters: Vec<_> = spec
         .program
         .funcs
         .iter()
-        .filter(|f| f.name.as_deref() == Some("setter"))
+        .filter(|f| f.name.is_some_and(|n| spec.program.interner.resolve(n) == "setter"))
         .map(|f| f.id)
         .collect();
     let mixed = pta.call_graph().values().any(|s| {
