@@ -1,0 +1,356 @@
+//! Control-flow graphs over the structured IR.
+//!
+//! The IR keeps control flow structured (`if`/`loop`/`try` trees) because
+//! the instrumented semantics needs lexical branch extents. The dataflow
+//! pass needs the opposite view: basic blocks and edges. This module
+//! flattens one function body into a [`Cfg`], modelling the parts of the
+//! dynamic semantics that matter for a *sound* intraprocedural analysis:
+//!
+//! * A `catch` block can be entered from anywhere inside the protected
+//!   block, so its entry edge comes from the state *before* the `try`
+//!   with every place in the protected block's write domain havocked
+//!   ([`mujs_ir::vd::write_domain`] — the same function the instrumented
+//!   semantics uses for (ĈNTRABORT)).
+//! * A `finally` block is also entered exceptionally; that entry havocs
+//!   both the protected and catch write domains.
+//! * `break`/`continue`/`return` that exit a `try` with a `finally` run
+//!   the finally first. Rather than duplicating the finally body per
+//!   abrupt edge, the edge havocs the finally's write domain — sound,
+//!   since havoc over-approximates executing it.
+//!
+//! Direct `eval` in a havocked region is modelled by
+//! [`Havoc::all_locals`]: eval can assign any named variable in scope,
+//! but never a temporary (temps are invisible to source code).
+
+use mujs_ir::ir::{Function, Place, Stmt, StmtId, StmtKind};
+use mujs_ir::vd::write_domain;
+
+/// The conditional exit of a basic block.
+#[derive(Debug, Clone)]
+pub struct BranchInfo {
+    /// The `If`/`Loop` statement owning the test — the program point a
+    /// `Cond` fact attaches to.
+    pub stmt: StmtId,
+    /// The tested place.
+    pub cond: Place,
+    /// `true` for `If` tests, `false` for loop tests.
+    pub is_if: bool,
+}
+
+/// Places to invalidate on entry to a block (exceptional edges and
+/// finally-bypass edges).
+#[derive(Debug, Clone, Default)]
+pub struct Havoc {
+    /// Individual places (temps and canonical named variables, as
+    /// produced by `write_domain`).
+    pub places: Vec<Place>,
+    /// The havocked region contains a direct `eval`: every named local
+    /// may have been written.
+    pub all_locals: bool,
+}
+
+impl Havoc {
+    fn is_empty(&self) -> bool {
+        self.places.is_empty() && !self.all_locals
+    }
+}
+
+/// A basic block: straight-line simple statements plus an optional
+/// conditional exit.
+#[derive(Debug, Clone, Default)]
+pub struct BasicBlock {
+    /// The simple statements, in execution order.
+    pub stmts: Vec<Stmt>,
+    /// Conditional exit; when present, `succs[0]` is the true edge and
+    /// `succs[1]` the false edge.
+    pub branch: Option<BranchInfo>,
+    /// Havoc applied at block entry.
+    pub havoc: Havoc,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+/// A function body flattened into basic blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All blocks; indices are stable.
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block (no statements precede it).
+    pub entry: usize,
+    /// The synthetic exit block (`return`/`throw`/falling off the end).
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Blocks reachable from the entry, in reverse-postorder-ish
+    /// (depth-first discovery) order.
+    pub fn reachable(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(b) = stack.pop() {
+            order.push(b);
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Builds the CFG of `f`'s body.
+pub fn build_cfg(f: &Function) -> Cfg {
+    let mut b = Builder {
+        blocks: Vec::new(),
+        breaks: Vec::new(),
+        conts: Vec::new(),
+        fins: Vec::new(),
+        exit: 0,
+    };
+    let entry = b.new_block();
+    let exit = b.new_block();
+    b.exit = exit;
+    let end = b.build(&f.body, entry);
+    b.edge(end, exit);
+    Cfg {
+        blocks: b.blocks,
+        entry,
+        exit,
+    }
+}
+
+/// An abrupt-jump target plus the finally-nesting depth at which it was
+/// established (jumps to it must havoc every finally entered since).
+#[derive(Clone, Copy)]
+struct JumpTarget {
+    block: usize,
+    fin_depth: usize,
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    breaks: Vec<JumpTarget>,
+    conts: Vec<JumpTarget>,
+    /// Havoc sets of the `finally` clauses currently being protected.
+    fins: Vec<Havoc>,
+    exit: usize,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(to);
+        self.blocks[to].preds.push(from);
+    }
+
+    /// An abrupt jump from `cur` to `target`, havocking the write
+    /// domains of every finally clause the jump exits (those at depth
+    /// `fin_depth` and above).
+    fn abrupt(&mut self, cur: usize, target: usize, fin_depth: usize) {
+        if self.fins[fin_depth..].iter().all(|h| h.is_empty()) {
+            self.edge(cur, target);
+            return;
+        }
+        let mut havoc = Havoc::default();
+        for h in &self.fins[fin_depth..] {
+            havoc.places.extend(h.places.iter().cloned());
+            havoc.all_locals |= h.all_locals;
+        }
+        let via = self.new_block();
+        self.blocks[via].havoc = havoc;
+        self.edge(cur, via);
+        self.edge(via, target);
+    }
+
+    /// Lowers `block` starting in basic block `cur`; returns the open
+    /// block control falls out of.
+    fn build(&mut self, block: &[Stmt], mut cur: usize) -> usize {
+        for s in block {
+            match &s.kind {
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    self.blocks[cur].branch = Some(BranchInfo {
+                        stmt: s.id,
+                        cond: cond.clone(),
+                        is_if: true,
+                    });
+                    let then_start = self.new_block();
+                    let else_start = self.new_block();
+                    let join = self.new_block();
+                    self.edge(cur, then_start);
+                    self.edge(cur, else_start);
+                    let t_end = self.build(then_blk, then_start);
+                    self.edge(t_end, join);
+                    let e_end = self.build(else_blk, else_start);
+                    self.edge(e_end, join);
+                    cur = join;
+                }
+                StmtKind::Loop {
+                    cond_blk,
+                    cond,
+                    body,
+                    update,
+                    check_cond_first,
+                } => {
+                    let head = self.new_block();
+                    let body_start = self.new_block();
+                    let update_start = self.new_block();
+                    let after = self.new_block();
+                    self.edge(cur, if *check_cond_first { head } else { body_start });
+                    let h_end = self.build(cond_blk, head);
+                    self.blocks[h_end].branch = Some(BranchInfo {
+                        stmt: s.id,
+                        cond: cond.clone(),
+                        is_if: false,
+                    });
+                    self.edge(h_end, body_start);
+                    self.edge(h_end, after);
+                    let depth = self.fins.len();
+                    self.breaks.push(JumpTarget {
+                        block: after,
+                        fin_depth: depth,
+                    });
+                    self.conts.push(JumpTarget {
+                        block: update_start,
+                        fin_depth: depth,
+                    });
+                    let b_end = self.build(body, body_start);
+                    self.edge(b_end, update_start);
+                    self.breaks.pop();
+                    self.conts.pop();
+                    let u_end = self.build(update, update_start);
+                    self.edge(u_end, head);
+                    cur = after;
+                }
+                StmtKind::Breakable { body } => {
+                    let body_start = self.new_block();
+                    let after = self.new_block();
+                    self.edge(cur, body_start);
+                    self.breaks.push(JumpTarget {
+                        block: after,
+                        fin_depth: self.fins.len(),
+                    });
+                    let b_end = self.build(body, body_start);
+                    self.breaks.pop();
+                    self.edge(b_end, after);
+                    cur = after;
+                }
+                StmtKind::Try {
+                    block,
+                    catch,
+                    finally,
+                } => {
+                    cur = self.build_try(cur, block, catch.as_ref(), finally.as_deref());
+                }
+                StmtKind::Break => {
+                    if let Some(t) = self.breaks.last().copied() {
+                        self.abrupt(cur, t.block, t.fin_depth);
+                    }
+                    cur = self.new_block(); // unreachable continuation
+                }
+                StmtKind::Continue => {
+                    if let Some(t) = self.conts.last().copied() {
+                        self.abrupt(cur, t.block, t.fin_depth);
+                    }
+                    cur = self.new_block();
+                }
+                StmtKind::Return { .. } | StmtKind::Throw { .. } => {
+                    self.blocks[cur].stmts.push(s.clone());
+                    let exit = self.exit;
+                    self.abrupt(cur, exit, 0);
+                    cur = self.new_block();
+                }
+                _ => self.blocks[cur].stmts.push(s.clone()),
+            }
+        }
+        cur
+    }
+
+    fn build_try(
+        &mut self,
+        pre: usize,
+        block: &[Stmt],
+        catch: Option<&(mujs_ir::Sym, Vec<Stmt>)>,
+        finally: Option<&[Stmt]>,
+    ) -> usize {
+        let wd_block = write_domain(block);
+        if let Some(fin) = finally {
+            let wd_fin = write_domain(fin);
+            self.fins.push(Havoc {
+                places: wd_fin.places.iter().cloned().collect(),
+                all_locals: wd_fin.contains_eval,
+            });
+        }
+        // Normal path through the protected block.
+        let p_start = self.new_block();
+        self.edge(pre, p_start);
+        let p_end = self.build(block, p_start);
+        // Catch handler: entered from the pre-try state with everything
+        // the protected block can write havocked (plus the binding).
+        let mut wd_catch_places: Vec<Place> = Vec::new();
+        let mut wd_catch_eval = false;
+        let c_end = catch.map(|(sym, handler)| {
+            let wd_handler = write_domain(handler);
+            wd_catch_places = wd_handler.places.iter().cloned().collect();
+            wd_catch_eval = wd_handler.contains_eval;
+            let c_entry = self.new_block();
+            self.blocks[c_entry].havoc = Havoc {
+                places: wd_block
+                    .places
+                    .iter()
+                    .cloned()
+                    .chain(std::iter::once(Place::Named(*sym)))
+                    .collect(),
+                all_locals: wd_block.contains_eval,
+            };
+            self.edge(pre, c_entry);
+            self.build(handler, c_entry)
+        });
+        match finally {
+            Some(fin) => {
+                self.fins.pop();
+                let f_start = self.new_block();
+                self.edge(p_end, f_start);
+                if let Some(c) = c_end {
+                    self.edge(c, f_start);
+                }
+                // Exceptional entry: an uncaught throw from the protected
+                // block or the handler still runs the finally.
+                let exc = self.new_block();
+                let mut havoc = Havoc {
+                    places: wd_block.places.iter().cloned().collect(),
+                    all_locals: wd_block.contains_eval || wd_catch_eval,
+                };
+                havoc.places.extend(wd_catch_places);
+                if let Some((sym, _)) = catch {
+                    havoc.places.push(Place::Named(*sym));
+                }
+                self.blocks[exc].havoc = havoc;
+                self.edge(pre, exc);
+                self.edge(exc, f_start);
+                self.build(fin, f_start)
+            }
+            None => {
+                let after = self.new_block();
+                self.edge(p_end, after);
+                if let Some(c) = c_end {
+                    self.edge(c, after);
+                }
+                after
+            }
+        }
+    }
+}

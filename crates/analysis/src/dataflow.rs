@@ -1,0 +1,538 @@
+//! Intraprocedural dataflow over the [`Cfg`](crate::cfg::Cfg): reaching
+//! definitions and a sym-level constant propagation whose determinate
+//! results are comparable with (and must be subsumed by) the dynamic
+//! fact database.
+//!
+//! The analysis tracks two families of variables per function: frame
+//! temporaries (invisible to closures and `eval`, so only the function's
+//! own statements write them) and hop-0 slot locals of `Function`-kind
+//! frames. Everything else — named references, outer-frame slots, the
+//! heap — is `Top`. Soundness around the escape hatches:
+//!
+//! * A call may invoke any closure nested (lexically) below the current
+//!   function, and such a closure can write the caller's captured
+//!   locals. [`ClosureWrites`] computes exactly which `(function, name)`
+//!   pairs are assigned from nested functions, so calls kill only those
+//!   locals. For specializer clones the kill set is unioned along the
+//!   `specialized_from` chain: closures created while a clone executes
+//!   capture the *clone's* activation, but their writes were attributed
+//!   to the original by lexical resolution.
+//! * A direct `eval` can write any local (never a temp).
+//! * A `Place::Named` write may dynamically alias a tracked slot (the
+//!   catch-poison and shadow-blocked cases keep such references by
+//!   name), so it kills all same-named locals.
+//!
+//! The produced [`StaticFacts`] are keyed by [`StmtId`] — the same
+//! program points the dynamic analysis attaches facts to — which is what
+//! makes the static-det ⊆ dynamic-det cross-check in the top-level test
+//! suite possible.
+
+use crate::cfg::{build_cfg, Cfg};
+use mujs_ir::closure_writes::ClosureWrites;
+use mujs_ir::ir::{FuncId, FuncKind, Function, Place, Program, PropKey, StmtId, StmtKind};
+use mujs_ir::{BinOp, Sym, UnOp};
+use mujs_syntax::ast::Lit;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// An abstract value: a known primitive/closure constant or `Top`.
+/// "Bottom" never appears in a reachable state (unreached blocks simply
+/// have no state).
+#[derive(Debug, Clone)]
+pub enum AbsVal {
+    /// A known number.
+    Num(f64),
+    /// A known string.
+    Str(Rc<str>),
+    /// A known boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// A closure over the given function. Only the identity of the code
+    /// is known, not the captured environment — sufficient for callee
+    /// facts, never used for equality.
+    Closure(FuncId),
+    /// Unknown.
+    Top,
+}
+
+impl AbsVal {
+    fn same(&self, other: &AbsVal) -> bool {
+        match (self, other) {
+            // Join by bit pattern: NaN joins with NaN, and -0 stays
+            // distinct from +0 (conservative).
+            (AbsVal::Num(a), AbsVal::Num(b)) => a.to_bits() == b.to_bits(),
+            (AbsVal::Str(a), AbsVal::Str(b)) => a == b,
+            (AbsVal::Bool(a), AbsVal::Bool(b)) => a == b,
+            (AbsVal::Null, AbsVal::Null) => true,
+            (AbsVal::Undefined, AbsVal::Undefined) => true,
+            (AbsVal::Closure(a), AbsVal::Closure(b)) => a == b,
+            (AbsVal::Top, AbsVal::Top) => true,
+            _ => false,
+        }
+    }
+
+    /// JavaScript truthiness, when the value is known.
+    pub fn truthy(&self) -> Option<bool> {
+        match self {
+            AbsVal::Num(n) => Some(*n != 0.0 && !n.is_nan()),
+            AbsVal::Str(s) => Some(!s.is_empty()),
+            AbsVal::Bool(b) => Some(*b),
+            AbsVal::Null | AbsVal::Undefined => Some(false),
+            AbsVal::Closure(_) => Some(true),
+            AbsVal::Top => None,
+        }
+    }
+
+    fn of_lit(lit: &Lit) -> AbsVal {
+        match lit {
+            Lit::Num(n) => AbsVal::Num(*n),
+            Lit::Str(s) => AbsVal::Str(s.clone()),
+            Lit::Bool(b) => AbsVal::Bool(*b),
+            Lit::Null => AbsVal::Null,
+            Lit::Undefined => AbsVal::Undefined,
+        }
+    }
+}
+
+/// Statically determinate facts, keyed by program point.
+#[derive(Debug, Clone, Default)]
+pub struct StaticFacts {
+    /// Dynamic property keys proven to be a specific string
+    /// (`GetProp`/`SetProp`/`DeleteProp` sites).
+    pub prop_keys: BTreeMap<StmtId, Rc<str>>,
+    /// Call/new sites whose callee is a specific function's closure.
+    pub callees: BTreeMap<StmtId, FuncId>,
+    /// `if` conditions proven to take one side.
+    pub conds: BTreeMap<StmtId, bool>,
+}
+
+impl StaticFacts {
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.prop_keys.len() + self.callees.len() + self.conds.len()
+    }
+
+    /// Whether no facts were derived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Unions `other` into `self` (point sets are disjoint across
+    /// functions, so plain insertion suffices).
+    pub fn extend(&mut self, other: StaticFacts) {
+        self.prop_keys.extend(other.prop_keys);
+        self.callees.extend(other.callees);
+        self.conds.extend(other.conds);
+    }
+}
+
+/// Runs constant propagation over every function of `prog` and unions
+/// the per-function facts.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+/// let ast = mujs_syntax::parse("var o = {}; o[\"k\" + \"ey\"] = 1;")?;
+/// let prog = mujs_ir::lower::lower_program(&ast);
+/// let facts = mujs_analysis::analyze_program(&prog);
+/// assert!(facts.prop_keys.values().any(|k| &**k == "key"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_program(prog: &Program) -> StaticFacts {
+    let cw = ClosureWrites::compute(prog);
+    let mut out = StaticFacts::default();
+    for f in &prog.funcs {
+        out.extend(analyze_function(prog, &cw, f.id));
+    }
+    out
+}
+
+/// Runs constant propagation over one function.
+pub fn analyze_function(prog: &Program, cw: &ClosureWrites, func: FuncId) -> StaticFacts {
+    let f = prog.func(func);
+    let cfg = build_cfg(f);
+    let an = FuncAnalysis::new(prog, cw, f);
+    let states = solve(&cfg, &an);
+    let mut facts = StaticFacts::default();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let Some(entry) = &states[b] else { continue };
+        let mut st = entry.clone();
+        an.apply_havoc(&blk.havoc, &mut st);
+        for s in &blk.stmts {
+            an.emit(s, &st, &mut facts);
+            an.transfer(s, &mut st);
+        }
+        if let Some(br) = &blk.branch {
+            if br.is_if {
+                if let Some(t) = an.eval(&br.cond, &st).truthy() {
+                    facts.conds.insert(br.stmt, t);
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// Per-block entry states: `None` = unreachable.
+type States = Vec<Option<State>>;
+
+#[derive(Debug, Clone)]
+struct State {
+    temps: Vec<AbsVal>,
+    locals: Vec<AbsVal>,
+}
+
+impl State {
+    /// Joins `other` into `self`; returns whether `self` changed.
+    fn join(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        let widen = |mine: &mut Vec<AbsVal>, theirs: &[AbsVal], changed: &mut bool| {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                if !m.same(t) && !matches!(m, AbsVal::Top) {
+                    *m = AbsVal::Top;
+                    *changed = true;
+                }
+            }
+        };
+        widen(&mut self.temps, &other.temps, &mut changed);
+        widen(&mut self.locals, &other.locals, &mut changed);
+        changed
+    }
+}
+
+fn solve(cfg: &Cfg, an: &FuncAnalysis) -> States {
+    let mut states: States = vec![None; cfg.blocks.len()];
+    states[cfg.entry] = Some(an.entry_state());
+    let mut work: Vec<usize> = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        let Some(entry) = states[b].clone() else {
+            continue;
+        };
+        let mut st = entry;
+        let blk = &cfg.blocks[b];
+        an.apply_havoc(&blk.havoc, &mut st);
+        for s in &blk.stmts {
+            an.transfer(s, &mut st);
+        }
+        for &succ in &blk.succs {
+            let changed = match &mut states[succ] {
+                Some(existing) => existing.join(&st),
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    true
+                }
+            };
+            if changed && !work.contains(&succ) {
+                work.push(succ);
+            }
+        }
+    }
+    states
+}
+
+struct FuncAnalysis<'a> {
+    f: &'a Function,
+    /// Initial abstract value of each local slot at activation entry.
+    entry_locals: Vec<AbsVal>,
+    /// Local slots a call can clobber (assigned by nested closures).
+    call_kills: Vec<usize>,
+}
+
+impl<'a> FuncAnalysis<'a> {
+    fn new(prog: &'a Program, cw: &ClosureWrites, f: &'a Function) -> Self {
+        let entry_locals = f.locals.iter().map(|&sym| entry_value(f, sym)).collect();
+        // Writers resolve lexically against the original function, but
+        // their closures capture whichever clone's activation is live —
+        // so a clone inherits its originals' kill sets.
+        let mut lineage = vec![f.id];
+        let mut cur = f.specialized_from;
+        let mut fuel = prog.funcs.len();
+        while let (Some(orig), true) = (cur, fuel > 0) {
+            lineage.push(orig);
+            cur = prog
+                .funcs
+                .get(orig.0 as usize)
+                .and_then(|g| g.specialized_from);
+            fuel -= 1;
+        }
+        let call_kills = f
+            .locals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &sym)| lineage.iter().any(|&id| cw.is_written(id, sym)))
+            .map(|(i, _)| i)
+            .collect();
+        FuncAnalysis {
+            f,
+            entry_locals,
+            call_kills,
+        }
+    }
+
+    fn entry_state(&self) -> State {
+        State {
+            // Temps are written before first read by construction of the
+            // lowering, but Top costs nothing and assumes nothing.
+            temps: vec![AbsVal::Top; self.f.n_temps as usize],
+            locals: self.entry_locals.clone(),
+        }
+    }
+
+    fn eval(&self, p: &Place, st: &State) -> AbsVal {
+        match p {
+            Place::Temp(t) => st.temps.get(t.0 as usize).cloned().unwrap_or(AbsVal::Top),
+            Place::Slot { hops: 0, slot, .. } => st
+                .locals
+                .get(*slot as usize)
+                .cloned()
+                .unwrap_or(AbsVal::Top),
+            _ => AbsVal::Top,
+        }
+    }
+
+    fn write(&self, p: &Place, v: AbsVal, st: &mut State) {
+        match p {
+            Place::Temp(t) => {
+                if let Some(slot) = st.temps.get_mut(t.0 as usize) {
+                    *slot = v;
+                }
+            }
+            Place::Slot { hops: 0, slot, .. } => {
+                if let Some(l) = st.locals.get_mut(*slot as usize) {
+                    *l = v;
+                }
+            }
+            // An outer-frame write touches another activation; a named
+            // write may alias any same-named tracked local.
+            Place::Slot { .. } => {}
+            Place::Named(sym) => self.kill_named(*sym, st),
+        }
+    }
+
+    fn kill_named(&self, sym: Sym, st: &mut State) {
+        for (i, &l) in self.f.locals.iter().enumerate() {
+            if l == sym {
+                st.locals[i] = AbsVal::Top;
+            }
+        }
+    }
+
+    fn kill_calls(&self, st: &mut State) {
+        for &i in &self.call_kills {
+            st.locals[i] = AbsVal::Top;
+        }
+    }
+
+    fn apply_havoc(&self, havoc: &crate::cfg::Havoc, st: &mut State) {
+        for p in &havoc.places {
+            self.write(p, AbsVal::Top, st);
+        }
+        if havoc.all_locals {
+            st.locals.fill(AbsVal::Top);
+        }
+    }
+
+    fn transfer(&self, s: &mujs_ir::Stmt, st: &mut State) {
+        match &s.kind {
+            StmtKind::Const { dst, lit } => self.write(dst, AbsVal::of_lit(lit), st),
+            StmtKind::Copy { dst, src } => {
+                let v = self.eval(src, st);
+                self.write(dst, v, st);
+            }
+            StmtKind::Closure { dst, func } => self.write(dst, AbsVal::Closure(*func), st),
+            StmtKind::BinOp { dst, op, lhs, rhs } => {
+                let v = eval_binop(*op, &self.eval(lhs, st), &self.eval(rhs, st));
+                self.write(dst, v, st);
+            }
+            StmtKind::UnOp { dst, op, src } => {
+                let v = eval_unop(*op, &self.eval(src, st));
+                self.write(dst, v, st);
+            }
+            StmtKind::Call { dst, .. } | StmtKind::New { dst, .. } => {
+                self.kill_calls(st);
+                self.write(dst, AbsVal::Top, st);
+            }
+            StmtKind::Eval { dst, .. } => {
+                // Direct eval runs arbitrary code in this very scope: it
+                // can assign every local, but temps stay invisible.
+                st.locals.fill(AbsVal::Top);
+                self.write(dst, AbsVal::Top, st);
+            }
+            StmtKind::SetProp { .. } => {}
+            StmtKind::NewObject { dst, .. }
+            | StmtKind::GetProp { dst, .. }
+            | StmtKind::DeleteProp { dst, .. }
+            | StmtKind::LoadThis { dst }
+            | StmtKind::TypeofName { dst, .. }
+            | StmtKind::HasProp { dst, .. }
+            | StmtKind::InstanceOf { dst, .. }
+            | StmtKind::EnumProps { dst, .. } => self.write(dst, AbsVal::Top, st),
+            // Compound statements never appear inside a basic block;
+            // `Return`/`Throw` end one without writing anything.
+            _ => {}
+        }
+    }
+
+    /// Records facts derivable at `s` given the state *before* it.
+    fn emit(&self, s: &mujs_ir::Stmt, st: &State, facts: &mut StaticFacts) {
+        match &s.kind {
+            StmtKind::GetProp { key, .. }
+            | StmtKind::SetProp { key, .. }
+            | StmtKind::DeleteProp { key, .. } => {
+                if let PropKey::Dynamic(p) = key {
+                    if let AbsVal::Str(k) = self.eval(p, st) {
+                        facts.prop_keys.insert(s.id, k);
+                    }
+                }
+            }
+            StmtKind::Call { callee, .. } | StmtKind::New { callee, .. } => {
+                if let AbsVal::Closure(g) = self.eval(callee, st) {
+                    facts.callees.insert(s.id, g);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Initial abstract value of local `sym` in `f`'s activation, following
+/// the machine's entry sequence: parameters, then the `arguments` array
+/// (overwriting a parameter of that name), then `var`s where absent,
+/// then hoisted functions (overwriting), then the self-binding where
+/// still absent.
+fn entry_value(f: &Function, sym: Sym) -> AbsVal {
+    debug_assert_eq!(f.kind, FuncKind::Function);
+    // Hoisted functions bind last; with duplicate declarations the last
+    // one wins.
+    if let Some(&(_, g)) = f.decls.funcs.iter().rev().find(|&&(n, _)| n == sym) {
+        return AbsVal::Closure(g);
+    }
+    if sym == Sym::ARGUMENTS {
+        return AbsVal::Top;
+    }
+    if f.params.contains(&sym) {
+        return AbsVal::Top;
+    }
+    if f.decls.vars.contains(&sym) {
+        return AbsVal::Undefined;
+    }
+    if f.bind_self && f.name == Some(sym) {
+        return AbsVal::Closure(f.id);
+    }
+    AbsVal::Top
+}
+
+fn eval_binop(op: BinOp, l: &AbsVal, r: &AbsVal) -> AbsVal {
+    use AbsVal::*;
+    match op {
+        BinOp::Add => match (l, r) {
+            (Num(a), Num(b)) => Num(a + b),
+            (Str(a), Str(b)) => Str(Rc::from(format!("{a}{b}").as_str())),
+            _ => Top,
+        },
+        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => match (l, r) {
+            (Num(a), Num(b)) => Num(match op {
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                _ => a % b,
+            }),
+            _ => Top,
+        },
+        BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => match (l, r) {
+            (Num(a), Num(b)) => Bool(match op {
+                BinOp::Lt => a < b,
+                BinOp::LtEq => a <= b,
+                BinOp::Gt => a > b,
+                _ => a >= b,
+            }),
+            _ => Top,
+        },
+        BinOp::Eq | BinOp::NotEq => {
+            let eq = abstract_loose_eq(l, r);
+            match (op, eq) {
+                (BinOp::Eq, Some(e)) => Bool(e),
+                (BinOp::NotEq, Some(e)) => Bool(!e),
+                _ => Top,
+            }
+        }
+        BinOp::StrictEq | BinOp::StrictNotEq => {
+            let eq = abstract_strict_eq(l, r);
+            match (op, eq) {
+                (BinOp::StrictEq, Some(e)) => Bool(e),
+                (BinOp::StrictNotEq, Some(e)) => Bool(!e),
+                _ => Top,
+            }
+        }
+        // Bit operations involve ToInt32 coercion; not worth modelling.
+        BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr | BinOp::UShr => Top,
+    }
+}
+
+/// `===` on known values. Two closures compare by object identity, which
+/// abstract closures cannot decide.
+fn abstract_strict_eq(l: &AbsVal, r: &AbsVal) -> Option<bool> {
+    use AbsVal::*;
+    match (l, r) {
+        (Top, _) | (_, Top) => None,
+        (Num(a), Num(b)) => Some(a == b),
+        (Str(a), Str(b)) => Some(a == b),
+        (Bool(a), Bool(b)) => Some(a == b),
+        (Null, Null) | (Undefined, Undefined) => Some(true),
+        (Closure(_), Closure(_)) => None,
+        // Different runtime types: strictly unequal.
+        _ => Some(false),
+    }
+}
+
+/// `==` on known values; only coercion-free cases are decided.
+fn abstract_loose_eq(l: &AbsVal, r: &AbsVal) -> Option<bool> {
+    use AbsVal::*;
+    match (l, r) {
+        (Top, _) | (_, Top) => None,
+        (Num(a), Num(b)) => Some(a == b),
+        (Str(a), Str(b)) => Some(a == b),
+        (Bool(a), Bool(b)) => Some(a == b),
+        // null and undefined are loosely equal to each other and to
+        // nothing else.
+        (Null | Undefined, Null | Undefined) => Some(true),
+        (Null | Undefined, _) | (_, Null | Undefined) => Some(false),
+        // Mixed primitive types coerce; objects coerce via toPrimitive.
+        _ => None,
+    }
+}
+
+fn eval_unop(op: UnOp, v: &AbsVal) -> AbsVal {
+    use AbsVal::*;
+    match op {
+        UnOp::Neg => match v {
+            Num(n) => Num(-n),
+            _ => Top,
+        },
+        UnOp::Pos => match v {
+            Num(n) => Num(*n),
+            _ => Top,
+        },
+        UnOp::Not => match v.truthy() {
+            Some(t) => Bool(!t),
+            None => Top,
+        },
+        UnOp::BitNot => Top,
+        UnOp::Typeof => match v {
+            Num(_) => Str(Rc::from("number")),
+            Str(_) => Str(Rc::from("string")),
+            Bool(_) => Str(Rc::from("boolean")),
+            Undefined => Str(Rc::from("undefined")),
+            Null => Str(Rc::from("object")),
+            Closure(_) => Str(Rc::from("function")),
+            Top => Top,
+        },
+        // `void` discards even unknown operands.
+        UnOp::Void => Undefined,
+    }
+}

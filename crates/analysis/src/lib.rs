@@ -1,0 +1,37 @@
+//! # mujs-analysis
+//!
+//! The *static* analysis layer of the determinacy reproduction: three
+//! cooperating passes over the interned three-address IR that complement
+//! the paper's dynamic analysis.
+//!
+//! * [`validate`] — a structural linter ("detlint") checking the
+//!   cross-cutting invariants the lowering pipeline, the runtime `eval`
+//!   path, and the specializer are supposed to maintain: interned
+//!   symbols, resolvable function/statement ids, and slot coordinates
+//!   that agree byte-for-byte with the conservatism of
+//!   `mujs_ir::slots::resolve_slots`. Debug builds run it automatically
+//!   after every lowering.
+//! * [`cfg`] — basic-block control-flow graphs over the structured IR,
+//!   with exceptional and finally-bypass edges modelled as write-domain
+//!   havoc (the same `vd` the instrumented semantics uses).
+//! * [`dataflow`] / [`reaching`] — intraprocedural constant propagation
+//!   and reaching definitions. Constant propagation derives
+//!   *statically* determinate property-key, callee, and condition facts
+//!   at the same program points the dynamic analysis attaches facts to,
+//!   enabling (a) a soundness cross-check (a point the static analysis
+//!   proves determinate must never carry a contradicting dynamic fact)
+//!   and (b) fact injection into the pointer analysis without source
+//!   rewriting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod reaching;
+pub mod validate;
+
+pub use cfg::{build_cfg, BasicBlock, BranchInfo, Cfg, Havoc};
+pub use dataflow::{analyze_function, analyze_program, AbsVal, StaticFacts};
+pub use reaching::{reaching_definitions, Def, ReachingDefs, Var};
+pub use validate::{assert_valid, validate_program, Violation};

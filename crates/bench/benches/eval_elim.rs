@@ -12,8 +12,12 @@ fn pipeline(b: &mujs_corpus::evalbench::EvalBenchmark) -> usize {
     } else {
         h.analyze(AnalysisConfig::default())
     };
-    let spec =
-        mujs_specialize::specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    let spec = mujs_specialize::specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
     spec.report.evals_eliminated
 }
 

@@ -25,15 +25,14 @@ fn bench(c: &mut Criterion) {
     let progs = programs();
     let cfg = PtaConfig {
         budget: 50_000_000,
+        ..Default::default()
     };
     let mut g = c.benchmark_group("pta_scalability");
     g.sample_size(10);
     for (version, baseline, spec) in &progs {
-        g.bench_with_input(
-            BenchmarkId::new("baseline", version),
-            baseline,
-            |b, p| b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations),
-        );
+        g.bench_with_input(BenchmarkId::new("baseline", version), baseline, |b, p| {
+            b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations)
+        });
         g.bench_with_input(BenchmarkId::new("spec", version), spec, |b, p| {
             b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations)
         });

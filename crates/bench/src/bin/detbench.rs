@@ -18,6 +18,19 @@
 //! Table 1 analysis wall time regresses more than `--max-regress`
 //! (default 0.25 = 25%) against the baseline file's `after` section —
 //! the CI smoke gate.
+//!
+//! With `--pta` the harness instead runs the pointer-analysis precision
+//! workload (`BENCH_pta.json` feedstock): baseline vs fact-injected vs
+//! specialized solves over the Table 1 corpus. Everything it measures is
+//! deterministic (propagation work, call-graph shape), so `--pta --check`
+//! gates exactly — injected must complete wherever specialized does, its
+//! precision must stay within `--max-regress` of specialized, and its
+//! work must not regress against the checked-in baseline:
+//!
+//! ```console
+//! $ cargo run --release -p mujs-bench --bin detbench -- --pta --out BENCH_pta.json
+//! $ cargo run --release -p mujs-bench --bin detbench -- --pta --check BENCH_pta.json --max-regress 0.1
+//! ```
 
 use determinacy::{AnalysisConfig, DetHarness, RunHooks};
 use mujs_corpus::{evalbench, jquery_like, workload};
@@ -50,7 +63,11 @@ struct Measurement {
     table1_full_wall_ms: f64,
 }
 
-const MODE: &str = if cfg!(debug_assertions) { "debug" } else { "release" };
+const MODE: &str = if cfg!(debug_assertions) {
+    "debug"
+} else {
+    "release"
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,27 +76,44 @@ fn main() {
     let mut label = String::from("current");
     let mut max_regress = 0.25f64;
     let mut iters = 3usize;
+    let mut pta = false;
     let mut i = 0;
     while i < args.len() {
         let need = |i: &mut usize| -> String {
             *i += 1;
-            args.get(*i).cloned().unwrap_or_else(|| usage("flag needs a value"))
+            args.get(*i)
+                .cloned()
+                .unwrap_or_else(|| usage("flag needs a value"))
         };
         match args[i].as_str() {
             "--out" => out_path = Some(need(&mut i)),
             "--check" => check_path = Some(need(&mut i)),
             "--label" => label = need(&mut i),
             "--iters" => {
-                iters = need(&mut i).parse().unwrap_or_else(|_| usage("--iters wants an integer"))
+                iters = need(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--iters wants an integer"))
             }
             "--max-regress" => {
-                max_regress =
-                    need(&mut i).parse().unwrap_or_else(|_| usage("--max-regress wants a float"))
+                max_regress = need(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-regress wants a float"))
             }
+            "--pta" => pta = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+
+    if pta {
+        run_pta(
+            &label,
+            out_path.as_deref(),
+            check_path.as_deref(),
+            max_regress,
+        );
+        return;
     }
 
     let m = measure(&label, iters);
@@ -98,7 +132,11 @@ fn main() {
         let base: serde_json::Value = serde_json::from_str(&base).expect("baseline parses");
         // Accept either a bare measurement or the checked-in
         // {before, after} document; gate against `after`.
-        let after = if base.get("after").is_some() { &base["after"] } else { &base };
+        let after = if base.get("after").is_some() {
+            &base["after"]
+        } else {
+            &base
+        };
         let base_wall = after["table1_analysis"]["wall_ms"]
             .as_f64()
             .expect("baseline table1_analysis.wall_ms");
@@ -111,7 +149,10 @@ fn main() {
         if MODE == "debug" {
             eprintln!("check: debug build — wall-time gate is advisory only");
         } else if cur > limit {
-            eprintln!("FAIL: corpus wall time regressed more than {:.0}%", max_regress * 100.0);
+            eprintln!(
+                "FAIL: corpus wall time regressed more than {:.0}%",
+                max_regress * 100.0
+            );
             std::process::exit(1);
         }
         eprintln!("check: ok");
@@ -123,10 +164,132 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: detbench [--out FILE] [--label L] [--iters N]\n\
+        "usage: detbench [--pta] [--out FILE] [--label L] [--iters N]\n\
          \x20               [--check BASELINE.json] [--max-regress F]"
     );
     std::process::exit(2);
+}
+
+#[derive(Debug, Serialize)]
+struct PtaMeasurement {
+    label: String,
+    mode: &'static str,
+    budget: u64,
+    rows: Vec<mujs_bench::pipeline::PtaCompareRow>,
+}
+
+/// The `--pta` workload: three-way solver comparison over the Table 1
+/// corpus, with a deterministic `--check` gate.
+fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_regress: f64) {
+    let budget = mujs_bench::pipeline::TABLE1_PTA_BUDGET;
+    let rows: Vec<_> = mujs_corpus::jquery_like::all_versions()
+        .iter()
+        .map(|v| mujs_bench::pipeline::run_pta_compare(v, budget).expect("pta compare runs"))
+        .collect();
+    let m = PtaMeasurement {
+        label: label.to_owned(),
+        mode: MODE,
+        budget,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&m).expect("pta measurement serializes");
+    match out_path {
+        Some(p) => {
+            std::fs::write(p, format!("{json}\n")).expect("write pta bench output");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+    let mut failed = false;
+    for r in &m.rows {
+        eprintln!(
+            "  pta {:<6} sites={:<4} base: ok={} work={} poly={}  inj: ok={} work={} poly={}  \
+             spec: ok={} work={} poly={}",
+            r.version,
+            r.injected_sites,
+            r.baseline.ok,
+            r.baseline.work,
+            r.baseline.poly_sites,
+            r.injected.ok,
+            r.injected.work,
+            r.injected.poly_sites,
+            r.specialized.ok,
+            r.specialized.work,
+            r.specialized.poly_sites,
+        );
+        // Hard invariant, baseline file or not: injection must reach a
+        // fixpoint wherever source rewriting does.
+        if r.specialized.ok && !r.injected.ok {
+            eprintln!(
+                "FAIL: {} — specialized completes but injected does not",
+                r.version
+            );
+            failed = true;
+        }
+    }
+    if let Some(p) = check_path {
+        let base = std::fs::read_to_string(p).expect("read pta baseline");
+        let base: serde_json::Value = serde_json::from_str(&base).expect("pta baseline parses");
+        let slack = 1.0 + max_regress;
+        for r in &m.rows {
+            let Some(b) = base["rows"]
+                .as_array()
+                .and_then(|rs| rs.iter().find(|b| b["version"] == r.version.as_str()))
+            else {
+                eprintln!("FAIL: baseline has no row for version {}", r.version);
+                failed = true;
+                continue;
+            };
+            // Work and precision are deterministic: gate them directly.
+            let base_work = b["injected"]["work"].as_f64().unwrap_or(0.0);
+            if (r.injected.work as f64) > base_work * slack {
+                eprintln!(
+                    "FAIL: {} injected work {} regressed past baseline {} (slack {:.0}%)",
+                    r.version,
+                    r.injected.work,
+                    base_work,
+                    max_regress * 100.0
+                );
+                failed = true;
+            }
+            // Injection must stay within `max_regress` of the specialized
+            // run's call-graph precision on the current measurement.
+            // (`avg_points_to` is NOT comparable across the two programs —
+            // specialization multiplies variable nodes via clone temps,
+            // diluting the average — so it is gated same-mode against the
+            // baseline file instead.)
+            let spec_poly = r.specialized.poly_sites as f64;
+            if r.injected.poly_sites as f64 > spec_poly * slack + 1.0 {
+                eprintln!(
+                    "FAIL: {} injected poly sites {} vs specialized {}",
+                    r.version, r.injected.poly_sites, r.specialized.poly_sites
+                );
+                failed = true;
+            }
+            let spec_reach = r.specialized.reachable_funcs as f64;
+            if r.injected.reachable_funcs as f64 > spec_reach * slack + 1.0 {
+                eprintln!(
+                    "FAIL: {} injected reachable funcs {} vs specialized {}",
+                    r.version, r.injected.reachable_funcs, r.specialized.reachable_funcs
+                );
+                failed = true;
+            }
+            let base_avg = b["injected"]["avg_points_to"].as_f64().unwrap_or(0.0);
+            if r.injected.avg_points_to > base_avg * slack + f64::EPSILON {
+                eprintln!(
+                    "FAIL: {} injected avg points-to {:.3} regressed past baseline {:.3}",
+                    r.version, r.injected.avg_points_to, base_avg
+                );
+                failed = true;
+            }
+        }
+        if !failed {
+            eprintln!("check: ok");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 fn measure(label: &str, iters: usize) -> Measurement {

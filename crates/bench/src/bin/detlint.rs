@@ -1,0 +1,170 @@
+//! `detlint` — the IR structural linter as a command-line tool.
+//!
+//! Parses and lowers JavaScript sources, runs the `mujs-analysis`
+//! validator over the lowered program, and reports every invariant
+//! violation (exit 1 if any source fails to parse or validate). With
+//! `--dataflow` it additionally runs the intraprocedural constant
+//! propagation and reports how many statically determinate facts each
+//! program yields.
+//!
+//! ```console
+//! $ cargo run -p mujs-bench --bin detlint -- examples/js
+//! $ cargo run -p mujs-bench --bin detlint -- --corpus all --dataflow
+//! ```
+
+use mujs_analysis::{analyze_program, validate_program};
+use std::path::{Path, PathBuf};
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: detlint [--corpus table1|evalbench|all] [--dataflow] [PATH ...]\n\
+         \x20  PATH: a .js file or a directory scanned for .js files"
+    );
+    std::process::exit(2);
+}
+
+fn js_files(path: &Path, out: &mut Vec<PathBuf>) {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {}: {e}", path.display())))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for e in entries {
+            js_files(&e, out);
+        }
+    } else if path.extension().is_some_and(|x| x == "js") {
+        out.push(path.to_owned());
+    }
+}
+
+struct Report {
+    checked: usize,
+    failed: usize,
+}
+
+fn lint(name: &str, src: &str, dataflow: bool, report: &mut Report) {
+    report.checked += 1;
+    let lowered = mujs_syntax::with_parser_stack(|| {
+        mujs_syntax::parse(src).map(|ast| mujs_ir::lower_program(&ast))
+    });
+    let prog = match lowered {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{name}: parse error: {e}");
+            report.failed += 1;
+            return;
+        }
+    };
+    let violations = validate_program(&prog);
+    if violations.is_empty() {
+        let facts = if dataflow {
+            let f = analyze_program(&prog);
+            format!(
+                " ({} static facts: {} keys, {} callees, {} conds)",
+                f.len(),
+                f.prop_keys.len(),
+                f.callees.len(),
+                f.conds.len()
+            )
+        } else {
+            String::new()
+        };
+        println!("{name}: ok — {} functions{facts}", prog.funcs.len());
+    } else {
+        report.failed += 1;
+        eprintln!("{name}: {} violation(s)", violations.len());
+        for v in &violations {
+            eprintln!("  {}", v.describe(&prog));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut corpus: Option<String> = None;
+    let mut dataflow = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--corpus" => {
+                i += 1;
+                corpus = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--corpus needs a value")),
+                );
+            }
+            "--dataflow" => dataflow = true,
+            "--help" | "-h" => usage(""),
+            p => paths.push(PathBuf::from(p)),
+        }
+        i += 1;
+    }
+    if corpus.is_none() && paths.is_empty() {
+        usage("nothing to lint");
+    }
+
+    let mut report = Report {
+        checked: 0,
+        failed: 0,
+    };
+    match corpus.as_deref() {
+        None => {}
+        Some(which @ ("table1" | "all")) => {
+            for v in mujs_corpus::jquery_like::all_versions() {
+                lint(
+                    &format!("table1/{}", v.version),
+                    &v.src,
+                    dataflow,
+                    &mut report,
+                );
+            }
+            if which == "all" {
+                for b in mujs_corpus::evalbench::all() {
+                    lint(
+                        &format!("evalbench/{}", b.name),
+                        &b.src,
+                        dataflow,
+                        &mut report,
+                    );
+                }
+            }
+        }
+        Some("evalbench") => {
+            for b in mujs_corpus::evalbench::all() {
+                lint(
+                    &format!("evalbench/{}", b.name),
+                    &b.src,
+                    dataflow,
+                    &mut report,
+                );
+            }
+        }
+        Some(other) => usage(&format!("unknown corpus `{other}`")),
+    }
+    let mut files = Vec::new();
+    for p in &paths {
+        if !p.exists() {
+            usage(&format!("no such path: {}", p.display()));
+        }
+        js_files(p, &mut files);
+    }
+    for f in files {
+        let src = std::fs::read_to_string(&f)
+            .unwrap_or_else(|e| usage(&format!("cannot read {}: {e}", f.display())));
+        lint(&f.display().to_string(), &src, dataflow, &mut report);
+    }
+
+    eprintln!(
+        "detlint: {} checked, {} failed",
+        report.checked, report.failed
+    );
+    if report.failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -81,8 +81,14 @@ fn main() {
         );
     }
     println!();
-    println!("plain analysis handles {plain_ok}/{} (paper: 14/24)", runnable.len());
-    println!("DetDOM handles        {detdom_ok}/{} (paper: 20/24)", runnable.len());
+    println!(
+        "plain analysis handles {plain_ok}/{} (paper: 14/24)",
+        runnable.len()
+    );
+    println!(
+        "DetDOM handles        {detdom_ok}/{} (paper: 20/24)",
+        runnable.len()
+    );
     if mismatches > 0 {
         println!("WARNING: {mismatches} benchmarks deviate from their expected outcome");
         std::process::exit(1);

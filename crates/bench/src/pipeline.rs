@@ -118,7 +118,13 @@ pub fn spec_pipeline(
         (h.program.clone(), None)
     };
     let t0 = Instant::now();
-    let pta = mujs_pta::solve(&pta_program, &PtaConfig { budget: pta_budget });
+    let pta = mujs_pta::solve(
+        &pta_program,
+        &PtaConfig {
+            budget: pta_budget,
+            ..Default::default()
+        },
+    );
     let pta_time = t0.elapsed();
     Ok(PipelineResult {
         analysis,
@@ -195,6 +201,96 @@ pub fn run_table1(v: &JQueryLike, pta_budget: u64) -> Result<Table1Row, Pipeline
         detdom_work: detdom.pta_work,
         detdom_flushes: detdom.analysis.stats.heap_flushes,
         detdom_capped: detdom.analysis.status == AnalysisStatus::FlushCapReached,
+    })
+}
+
+/// One PTA run of the three-way precision comparison.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PtaModeRow {
+    /// Completed within budget.
+    pub ok: bool,
+    /// Propagation work (deterministic).
+    pub work: u64,
+    /// Call sites with at least one resolved target.
+    pub call_sites: usize,
+    /// Call sites with more than one canonical target.
+    pub poly_sites: usize,
+    /// Mean points-to set size over non-empty variable nodes.
+    pub avg_points_to: f64,
+    /// Distinct canonical functions reached through calls.
+    pub reachable_funcs: usize,
+}
+
+fn mode_row(r: &mujs_pta::PtaResult, prog: &Program) -> PtaModeRow {
+    let p = r.precision(prog);
+    PtaModeRow {
+        ok: r.status == PtaStatus::Completed,
+        work: r.stats.propagations,
+        call_sites: p.call_sites,
+        poly_sites: p.poly_sites,
+        avg_points_to: p.avg_points_to,
+        reachable_funcs: p.reachable_funcs,
+    }
+}
+
+/// Baseline vs fact-injected vs specialized PTA over one corpus version:
+/// the evidence that injecting determinacy facts into the solver recovers
+/// the precision of the paper's source-rewriting pipeline.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PtaCompareRow {
+    /// Corpus version label.
+    pub version: String,
+    /// Facts available for injection (agreeing-across-contexts sites).
+    pub injected_sites: usize,
+    /// Plain solver, original program.
+    pub baseline: PtaModeRow,
+    /// Plain program, facts injected into the solver.
+    pub injected: PtaModeRow,
+    /// Specialized (source-rewritten) program, plain solver.
+    pub specialized: PtaModeRow,
+}
+
+/// Runs the three-way PTA comparison for one corpus version. Uses the
+/// DetDOM configuration (the paper's most deterministic setting) so the
+/// dynamic run yields the richest fact set for both consumers.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from [`analyze_page`].
+pub fn run_pta_compare(v: &JQueryLike, pta_budget: u64) -> Result<PtaCompareRow, PipelineError> {
+    let cfg = AnalysisConfig {
+        det_dom: true,
+        ..Default::default()
+    };
+    let (h, mut analysis) = analyze_page(&v.src, &v.doc, &v.plan, cfg)?;
+    let mut prog = h.program;
+    let facts = determinacy::injectable_facts(&analysis.facts, &mut prog);
+    let injected_sites = facts.len();
+
+    let base_cfg = PtaConfig {
+        budget: pta_budget,
+        ..Default::default()
+    };
+    let baseline = mujs_pta::solve(&prog, &base_cfg);
+    let inj_cfg = PtaConfig {
+        budget: pta_budget,
+        facts: Some(facts),
+    };
+    let injected = mujs_pta::solve(&prog, &inj_cfg);
+    let spec = mujs_specialize::specialize(
+        &prog,
+        &analysis.facts,
+        &mut analysis.ctxs,
+        &SpecConfig::default(),
+    );
+    let specialized = mujs_pta::solve(&spec.program, &base_cfg);
+
+    Ok(PtaCompareRow {
+        version: v.version.to_owned(),
+        injected_sites,
+        baseline: mode_row(&baseline, &prog),
+        injected: mode_row(&injected, &prog),
+        specialized: mode_row(&specialized, &spec.program),
     })
 }
 

@@ -9,7 +9,7 @@
 //! * a heap flush is performed on entry to every event handler ("since
 //!   DOM events can fire in any order").
 
-use crate::det::{Det, DValue};
+use crate::det::{DValue, Det};
 use crate::machine::{DErr, DMachine, DNativeFn};
 use mujs_dom::document::{Document, NodeId};
 use mujs_dom::events::{EventPlan, EventTarget, EventTargetSel};
@@ -196,9 +196,7 @@ impl DMachine<'_> {
         }
         self.set_raw(g, "document", Value::Object(doc_obj));
 
-        let add = self.register_native("addEventListener", |m, this, a| {
-            m.add_listener_d(&this, a)
-        });
+        let add = self.register_native("addEventListener", |m, this, a| m.add_listener_d(&this, a));
         self.set_raw(g, "addEventListener", Value::Object(add));
         self.setup_mode = false;
     }
@@ -234,11 +232,7 @@ impl DMachine<'_> {
             Value::Object(o) if Some(*o) == self.dom_document_obj => Ok(EventTarget::Document),
             v => match self.as_node(v) {
                 Some(n) => Ok(EventTarget::Element(n)),
-                None => Err(self.throw_error(
-                    "TypeError",
-                    "not an event target",
-                    this.d == Det::I,
-                )),
+                None => Err(self.throw_error("TypeError", "not an event target", this.d == Det::I)),
             },
         }
     }
@@ -254,18 +248,10 @@ impl DMachine<'_> {
             ..
         }) = args.get(1)
         else {
-            return Err(self.throw_error(
-                "TypeError",
-                "listener must be a function",
-                false,
-            ));
+            return Err(self.throw_error("TypeError", "listener must be a function", false));
         };
         if !self.obj(*handler).class.is_callable() {
-            return Err(self.throw_error(
-                "TypeError",
-                "listener must be a function",
-                false,
-            ));
+            return Err(self.throw_error("TypeError", "listener must be a function", false));
         }
         self.events.add(target, &ty, *handler);
         Ok(DValue::undef())

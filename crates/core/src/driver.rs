@@ -65,6 +65,8 @@ impl DetHarness {
             let ast = mujs_syntax::parse(src)?;
             Ok(mujs_ir::lower_program(&ast))
         })?;
+        #[cfg(debug_assertions)]
+        mujs_analysis::assert_valid(&program);
         Ok(DetHarness {
             program,
             source: SourceFile::new("main.js", src),

@@ -3,7 +3,7 @@
 //! treatment of unstructured control flow (§4).
 
 use crate::config::AnalysisStatus;
-use crate::det::{Det, DValue};
+use crate::det::{DValue, Det};
 use crate::facts::{FactKind, TripFact};
 use crate::machine::{DErr, DFlow, DFrame, DMachine, DObservation};
 use mujs_interp::coerce::{self, CoerceError};
@@ -181,8 +181,7 @@ impl DMachine<'_> {
             PropKey::Static(name) => Ok((*name, Det::D)),
             PropKey::Dynamic(p) => {
                 let kv = self.read_place(frame, p)?;
-                let s = coerce::to_string(&kv.v)
-                    .map_err(|e| self.coerce_err(e, kv.d == Det::I))?;
+                let s = coerce::to_string(&kv.v).map_err(|e| self.coerce_err(e, kv.d == Det::I))?;
                 Ok((self.prog.interner.intern_rc(&s), kv.d))
             }
         }
@@ -224,11 +223,7 @@ impl DMachine<'_> {
 
     // ---------------------------------------------------------- execution
 
-    pub(crate) fn exec_block(
-        &mut self,
-        frame: &mut DFrame,
-        block: &[Stmt],
-    ) -> Result<DFlow, DErr> {
+    pub(crate) fn exec_block(&mut self, frame: &mut DFrame, block: &[Stmt]) -> Result<DFlow, DErr> {
         let mut i = 0;
         while i < block.len() {
             let r = self.exec_stmt(frame, &block[i]);
@@ -326,24 +321,29 @@ impl DMachine<'_> {
                         self.flush_heap()?;
                     }
                 }
-                self.define(frame, id, dst, DValue {
-                    v: Value::Bool(true),
-                    d: o.d.join(kd),
-                });
+                self.define(
+                    frame,
+                    id,
+                    dst,
+                    DValue {
+                        v: Value::Bool(true),
+                        d: o.d.join(kd),
+                    },
+                );
             }
             StmtKind::BinOp { dst, op, lhs, rhs } => {
                 let a = self.read_place(frame, lhs)?;
                 let b = self.read_place(frame, rhs)?;
                 let d = a.d.join(b.d);
-                let v = coerce::bin_op(*op, &a.v, &b.v)
-                    .map_err(|e| self.coerce_err(e, d == Det::I))?;
+                let v =
+                    coerce::bin_op(*op, &a.v, &b.v).map_err(|e| self.coerce_err(e, d == Det::I))?;
                 self.define(frame, id, dst, DValue { v, d });
             }
             StmtKind::UnOp { dst, op, src } => {
                 let a = self.read_place(frame, src)?;
                 let ov = self.typeof_override(&a.v);
-                let v = coerce::un_op(*op, &a.v, ov)
-                    .map_err(|e| self.coerce_err(e, a.d == Det::I))?;
+                let v =
+                    coerce::un_op(*op, &a.v, ov).map_err(|e| self.coerce_err(e, a.d == Det::I))?;
                 self.define(frame, id, dst, DValue { v, d: a.d });
             }
             StmtKind::Call {
@@ -472,8 +472,7 @@ impl DMachine<'_> {
             }
             StmtKind::HasProp { dst, key, obj } => {
                 let kv = self.read_place(frame, key)?;
-                let k = coerce::to_string(&kv.v)
-                    .map_err(|e| self.coerce_err(e, kv.d == Det::I))?;
+                let k = coerce::to_string(&kv.v).map_err(|e| self.coerce_err(e, kv.d == Det::I))?;
                 let k = self.prog.interner.intern_rc(&k);
                 let o = self.read_place(frame, obj)?;
                 let Value::Object(oid) = o.v else {
@@ -484,10 +483,15 @@ impl DMachine<'_> {
                     ));
                 };
                 let (has, presence_det) = self.has_prop_d(oid, k);
-                self.define(frame, id, dst, DValue {
-                    v: Value::Bool(has),
-                    d: o.d.join(kv.d).join(presence_det),
-                });
+                self.define(
+                    frame,
+                    id,
+                    dst,
+                    DValue {
+                        v: Value::Bool(has),
+                        d: o.d.join(kv.d).join(presence_det),
+                    },
+                );
             }
             StmtKind::InstanceOf { dst, val, ctor } => {
                 let v = self.read_place(frame, val)?;
@@ -524,10 +528,15 @@ impl DMachine<'_> {
                         }
                     }
                 }
-                self.define(frame, id, dst, DValue {
-                    v: Value::Bool(result),
-                    d,
-                });
+                self.define(
+                    frame,
+                    id,
+                    dst,
+                    DValue {
+                        v: Value::Bool(result),
+                        d,
+                    },
+                );
             }
             StmtKind::EnumProps { dst, obj } => {
                 let o = self.read_place(frame, obj)?;
@@ -552,10 +561,15 @@ impl DMachine<'_> {
                         },
                     );
                 }
-                self.define(frame, id, dst, DValue {
-                    v: Value::Object(arr),
-                    d: o.d,
-                });
+                self.define(
+                    frame,
+                    id,
+                    dst,
+                    DValue {
+                        v: Value::Object(arr),
+                        d: o.d,
+                    },
+                );
             }
             StmtKind::Eval { dst, arg } => {
                 let a = self.read_place(frame, arg)?;
@@ -1142,11 +1156,7 @@ impl DMachine<'_> {
                 self.call_function_d(func, env, Some(*fid), this, args, ctx)
             }
             ObjClass::Native(nid) => self.call_native(nid, this, args),
-            _ => Err(self.throw_error(
-                "TypeError",
-                "value is not a function",
-                callee.d == Det::I,
-            )),
+            _ => Err(self.throw_error("TypeError", "value is not a function", callee.d == Det::I)),
         };
         match r {
             Ok(v) => {
@@ -1157,9 +1167,7 @@ impl DMachine<'_> {
                     Ok(v)
                 }
             }
-            Err(DErr::Thrown(v, ic)) => {
-                Err(DErr::Thrown(v, ic || callee.d == Det::I))
-            }
+            Err(DErr::Thrown(v, ic)) => Err(DErr::Thrown(v, ic || callee.d == Det::I)),
             e => e,
         }
     }
@@ -1181,11 +1189,7 @@ impl DMachine<'_> {
                 panic!("injected native fault: panic at native call #{n}");
             }
             if fs.plan.native_error_at == Some(n) {
-                return Err(self.throw_error(
-                    "Error",
-                    "injected native failure",
-                    false,
-                ));
+                return Err(self.throw_error("Error", "injected native failure", false));
             }
         }
         let f = self.natives[nid.0 as usize].1;
@@ -1364,12 +1368,9 @@ impl DMachine<'_> {
                 return Err(self.throw_error("SyntaxError", &e.to_string(), ic));
             }
         };
-        let chunk = mujs_ir::lower_chunk(
-            self.prog,
-            &parsed,
-            FuncKind::EvalChunk,
-            Some(frame.func),
-        );
+        let chunk = mujs_ir::lower_chunk(self.prog, &parsed, FuncKind::EvalChunk, Some(frame.func));
+        #[cfg(debug_assertions)]
+        mujs_analysis::assert_valid(self.prog);
         self.refresh_closure_writes();
         let r = self.run_eval_chunk(frame, chunk, ctx)?;
         Ok(r.weaken(arg.d))
@@ -1402,11 +1403,7 @@ impl DMachine<'_> {
             f.n_temps,
         );
         match self.exec_block(&mut eframe, &f.body)? {
-            DFlow::Normal => Ok(eframe
-                .temps
-                .first()
-                .cloned()
-                .unwrap_or(DValue::undef())),
+            DFlow::Normal => Ok(eframe.temps.first().cloned().unwrap_or(DValue::undef())),
             _ => Err(DErr::Stop(AnalysisStatus::UncaughtException)),
         }
     }

@@ -7,7 +7,7 @@
 //! one run, the hits are merged — still-equal determinate values survive,
 //! anything else degrades to indeterminate.
 
-use crate::det::{Det, DValue, FactValue};
+use crate::det::{DValue, Det, FactValue};
 use mujs_interp::context::{ContextTable, CtxId};
 use mujs_interp::{ObjClass, Value};
 use mujs_ir::{Program, StmtId};
@@ -206,11 +206,7 @@ impl FactDb {
     }
 
     /// All facts of a kind at a point, across contexts.
-    pub fn at_point(
-        &self,
-        kind: FactKind,
-        point: StmtId,
-    ) -> impl Iterator<Item = (CtxId, &Fact)> {
+    pub fn at_point(&self, kind: FactKind, point: StmtId) -> impl Iterator<Item = (CtxId, &Fact)> {
         self.facts
             .iter()
             .filter(move |((k, p, _), _)| *k == kind && *p == point)
@@ -435,8 +431,18 @@ mod tests {
     fn absorb_unions_databases() {
         let mut a = FactDb::new(0);
         let mut b = FactDb::new(0);
-        a.record(FactKind::Define, StmtId(1), CtxId::ROOT, &dv(Value::Num(1.0)));
-        b.record(FactKind::Cond, StmtId(2), CtxId::ROOT, &dv(Value::Bool(true)));
+        a.record(
+            FactKind::Define,
+            StmtId(1),
+            CtxId::ROOT,
+            &dv(Value::Num(1.0)),
+        );
+        b.record(
+            FactKind::Cond,
+            StmtId(2),
+            CtxId::ROOT,
+            &dv(Value::Bool(true)),
+        );
         a.absorb(&b);
         assert_eq!(a.len(), 2);
         assert!(a.get(FactKind::Cond, StmtId(2), CtxId::ROOT).is_some());

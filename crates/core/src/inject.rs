@@ -1,0 +1,76 @@
+//! Bridges the dynamic fact database into the pointer analysis.
+//!
+//! §5.1 of the paper consumes determinacy facts by *rewriting the
+//! program* (specialization) and re-running the static analysis over the
+//! rewritten source. Fact injection is the rewrite-free alternative: the
+//! facts a run proved determinate at every context are handed straight to
+//! the solver, which consults them at dynamic property accesses and call
+//! sites instead of smearing through ⋆-nodes.
+
+use crate::det::FactValue;
+use crate::facts::{Fact, FactDb, FactKind};
+use mujs_ir::{FuncId, Program, StmtId};
+use mujs_pta::InjectedFacts;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Distills `db` into per-site injections: a site qualifies only when
+/// *every* recorded context agrees on the same determinate value — a
+/// property-key string or a callee closure. Anything else (an `Indet`
+/// fact in any context, disagreeing contexts, non-closure callees,
+/// dangling function ids) is dropped.
+///
+/// Property-key strings are interned into `prog` (in ascending site
+/// order, keeping interner growth deterministic) so the solver can use
+/// them as static field names.
+pub fn injectable_facts(db: &FactDb, prog: &mut Program) -> InjectedFacts {
+    // `None` = the site has conflicting or indeterminate facts.
+    let mut keys: BTreeMap<StmtId, Option<Rc<str>>> = BTreeMap::new();
+    let mut callees: BTreeMap<StmtId, Option<FuncId>> = BTreeMap::new();
+    for (kind, point, _ctx, fact) in db.iter() {
+        match kind {
+            FactKind::PropKey => {
+                let cur = match fact {
+                    Fact::Det(FactValue::Str(s)) => Some(s.clone()),
+                    _ => None,
+                };
+                keys.entry(point)
+                    .and_modify(|prev| {
+                        if prev.as_deref() != cur.as_deref() {
+                            *prev = None;
+                        }
+                    })
+                    .or_insert(cur);
+            }
+            FactKind::Callee => {
+                let cur = match fact {
+                    Fact::Det(FactValue::Closure(f)) if (f.0 as usize) < prog.funcs.len() => {
+                        Some(*f)
+                    }
+                    _ => None,
+                };
+                callees
+                    .entry(point)
+                    .and_modify(|prev| {
+                        if *prev != cur {
+                            *prev = None;
+                        }
+                    })
+                    .or_insert(cur);
+            }
+            _ => {}
+        }
+    }
+    let mut out = InjectedFacts::default();
+    for (point, key) in keys {
+        if let Some(s) = key {
+            out.prop_keys.insert(point, prog.interner.intern(&s));
+        }
+    }
+    for (point, callee) in callees {
+        if let Some(f) = callee {
+            out.callees.insert(point, f);
+        }
+    }
+    out
+}

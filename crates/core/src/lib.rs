@@ -47,6 +47,7 @@ pub mod dom_models;
 pub mod driver;
 pub mod exec;
 pub mod facts;
+pub mod inject;
 pub mod machine;
 pub mod modeling;
 pub mod multirun;
@@ -57,6 +58,7 @@ pub use config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
 pub use det::{DValue, Det, FactValue, SlotAnn};
 pub use driver::{analyze_src, AnalysisOutcome, DetHarness};
 pub use facts::{Fact, FactDb, FactKind, TripFact};
+pub use inject::injectable_facts;
 pub use machine::{DErr, DFlow, DMachine, DObservation};
 #[cfg(feature = "fault-inject")]
 pub use supervisor::FaultPlan;

@@ -6,7 +6,7 @@
 //! [`crate::natives`] and [`crate::dom_models`].
 
 use crate::config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
-use crate::det::{Det, DValue, SlotAnn};
+use crate::det::{DValue, Det, SlotAnn};
 use crate::facts::FactDb;
 use crate::supervisor::{CancelToken, RunHooks};
 use mujs_dom::document::Document;
@@ -378,10 +378,7 @@ impl<'p> DMachine<'p> {
         self.progress = hooks.progress.clone();
         #[cfg(feature = "fault-inject")]
         {
-            self.faults = hooks
-                .faults
-                .clone()
-                .map(crate::supervisor::FaultState::new);
+            self.faults = hooks.faults.clone().map(crate::supervisor::FaultState::new);
         }
     }
 
@@ -417,8 +414,7 @@ impl<'p> DMachine<'p> {
     /// `eval` appends new functions to the program.
     pub(crate) fn refresh_closure_writes(&mut self) {
         if self.prog.funcs.len() != self.cw_funcs_len {
-            self.closure_writes =
-                mujs_ir::closure_writes::ClosureWrites::compute(self.prog);
+            self.closure_writes = mujs_ir::closure_writes::ClosureWrites::compute(self.prog);
             self.cw_funcs_len = self.prog.funcs.len();
         }
     }
@@ -984,7 +980,11 @@ impl<'p> DMachine<'p> {
                     }
                 }
             }
-            LogEntry::Temp { frame: fs, idx, old } => {
+            LogEntry::Temp {
+                frame: fs,
+                idx,
+                old,
+            } => {
                 if *fs == frame.serial {
                     frame.temps[*idx as usize] = old.clone();
                 }
@@ -1069,11 +1069,7 @@ impl<'p> DMachine<'p> {
     pub fn register_native(&mut self, name: &'static str, f: DNativeFn) -> ObjId {
         let nid = mujs_interp::NativeId(self.natives.len() as u32);
         self.natives.push((name, f));
-        let obj = self.alloc(
-            ObjClass::Native(nid),
-            Some(self.protos.function),
-            Det::D,
-        );
+        let obj = self.alloc(ObjClass::Native(nid), Some(self.protos.function), Det::D);
         self.heap[obj.0 as usize].builtin = true;
         obj
     }

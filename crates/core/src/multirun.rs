@@ -21,9 +21,7 @@
 use crate::config::AnalysisConfig;
 use crate::driver::{AnalysisOutcome, DetHarness};
 use crate::facts::FactDb;
-use crate::supervisor::{
-    supervised_analyze, supervised_analyze_dom, RunFailure, RunHooks,
-};
+use crate::supervisor::{supervised_analyze, supervised_analyze_dom, RunFailure, RunHooks};
 use mujs_dom::document::Document;
 use mujs_dom::events::EventPlan;
 use mujs_interp::context::{ContextTable, CtxId};
@@ -72,8 +70,7 @@ impl MultiRunOutcome {
         for r in results {
             match r {
                 Ok(out) => {
-                    conflicts +=
-                        combined.absorb_reinterned(&out.facts, &out.ctxs, &mut master);
+                    conflicts += combined.absorb_reinterned(&out.facts, &out.ctxs, &mut master);
                     runs.push(out);
                 }
                 Err(failure) => failures.push(failure),
@@ -142,7 +139,10 @@ pub fn analyze_many_hooked(
     let results: Vec<Result<AnalysisOutcome, RunFailure>> = seeds
         .iter()
         .map(|&seed| {
-            let cfg = AnalysisConfig { seed, ..base_cfg.clone() };
+            let cfg = AnalysisConfig {
+                seed,
+                ..base_cfg.clone()
+            };
             match doc {
                 Some(d) => supervised_analyze_dom(h, cfg, d.clone(), plan, hooks),
                 None => supervised_analyze(h, cfg, hooks),
@@ -221,8 +221,13 @@ pub fn export_json(
     // database's internal (hash) iteration order. The `mujs-jobs` batch
     // determinism guarantee relies on this.
     rows.sort_by(|a, b| {
-        (a.line, &a.kind, &a.context, &a.value, a.determinate)
-            .cmp(&(b.line, &b.kind, &b.context, &b.value, b.determinate))
+        (a.line, &a.kind, &a.context, &a.value, a.determinate).cmp(&(
+            b.line,
+            &b.kind,
+            &b.context,
+            &b.value,
+            b.determinate,
+        ))
     });
     serde_json::to_string_pretty(&rows).expect("fact rows serialize")
 }
@@ -332,7 +337,11 @@ id(2);
         let json = export_json(&out.facts, &h.program, &h.source, &out.ctxs);
         let rows: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
         assert_eq!(rows.len(), out.facts.len());
-        assert!(rows.iter().any(|r| r["value"] == "3" && r["determinate"] == true));
-        assert!(rows.iter().any(|r| r["value"] == "?" && r["determinate"] == false));
+        assert!(rows
+            .iter()
+            .any(|r| r["value"] == "3" && r["determinate"] == true));
+        assert!(rows
+            .iter()
+            .any(|r| r["value"] == "?" && r["determinate"] == false));
     }
 }

@@ -10,7 +10,7 @@
 //! a model": indeterminate result plus a heap flush, and an abort when
 //! reached counterfactually.
 
-use crate::det::{Det, DValue};
+use crate::det::{DValue, Det};
 use crate::machine::{DErr, DMachine, DNativeFn};
 use mujs_interp::coerce;
 use mujs_interp::stdlib;
@@ -73,9 +73,7 @@ pub fn install_models(m: &mut DMachine<'_>) {
         }
         Ok(this)
     });
-    let now = m.register_native("now", |m, _, _| {
-        Ok(DValue::indet(Value::Num(m.now_tick())))
-    });
+    let now = m.register_native("now", |m, _, _| Ok(DValue::indet(Value::Num(m.now_tick()))));
     m.set_raw(date, "now", Value::Object(now));
     m.set_raw(g, "Date", Value::Object(date));
 
@@ -129,10 +127,7 @@ pub fn install_models(m: &mut DMachine<'_>) {
         ("parseInt", |m, _, a| {
             let s = arg_string(m, a, 0)?;
             let (radix, rd) = match a.get(1) {
-                Some(v) => (
-                    coerce::to_number(&v.v).unwrap_or(10.0) as u32,
-                    v.d,
-                ),
+                Some(v) => (coerce::to_number(&v.v).unwrap_or(10.0) as u32, v.d),
                 None => (10, Det::D),
             };
             Ok(DValue {
@@ -267,6 +262,8 @@ pub fn install_models(m: &mut DMachine<'_>) {
         };
         let entry = m.prog.entry().expect("program has an entry");
         let chunk = mujs_ir::lower_chunk(m.prog, &parsed, FuncKind::EvalChunk, Some(entry));
+        #[cfg(debug_assertions)]
+        mujs_analysis::assert_valid(m.prog);
         m.refresh_closure_writes();
         let gid = m.global();
         let nt = m.prog.func(chunk).n_temps;
@@ -368,11 +365,7 @@ fn num2(args: &[DValue], f: impl Fn(f64, f64) -> f64) -> Result<DValue, DErr> {
     })
 }
 
-fn num_fold(
-    args: &[DValue],
-    init: f64,
-    f: impl Fn(f64, f64) -> f64,
-) -> Result<DValue, DErr> {
+fn num_fold(args: &[DValue], init: f64, f: impl Fn(f64, f64) -> f64) -> Result<DValue, DErr> {
     let mut acc = init;
     let mut d = Det::D;
     for v in args {
@@ -399,11 +392,7 @@ fn arg_num(args: &[DValue], i: usize, default: f64) -> (f64, Det) {
     }
 }
 
-fn arg_string(
-    m: &mut DMachine<'_>,
-    args: &[DValue],
-    i: usize,
-) -> Result<(Rc<str>, Det), DErr> {
+fn arg_string(m: &mut DMachine<'_>, args: &[DValue], i: usize) -> Result<(Rc<str>, Det), DErr> {
     match args.get(i) {
         Some(v) => {
             let s = m.dvalue_to_string(v)?;
@@ -437,11 +426,7 @@ fn install_protos(m: &mut DMachine<'_>) {
             let has = m.has_own(o, &key);
             // Absence on an open record is unknowable.
             let openness = if !has && m.is_open(o) { Det::I } else { Det::D };
-            let slot_d = if has {
-                m.own_prop(o, &key).d
-            } else {
-                Det::D
-            };
+            let slot_d = if has { m.own_prop(o, &key).d } else { Det::D };
             Ok(DValue {
                 v: Value::Bool(has),
                 d: this.d.join(kd).join(openness).join(slot_d),
@@ -856,9 +841,7 @@ fn install_protos(m: &mut DMachine<'_>) {
             let (pat, pd) = arg_string(m, a, 0)?;
             let (rep, rd) = arg_string(m, a, 1)?;
             Ok(DValue {
-                v: Value::Str(Rc::from(
-                    stdlib::replace_first(&s, &pat, &rep).as_str(),
-                )),
+                v: Value::Str(Rc::from(stdlib::replace_first(&s, &pat, &rep).as_str())),
                 d: sd.join(pd).join(rd),
             })
         }),

@@ -205,7 +205,11 @@ fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn supervise<F>(cfg: &AnalysisConfig, hooks: &RunHooks, run: F) -> Result<AnalysisOutcome, RunFailure>
+fn supervise<F>(
+    cfg: &AnalysisConfig,
+    hooks: &RunHooks,
+    run: F,
+) -> Result<AnalysisOutcome, RunFailure>
 where
     F: FnOnce() -> AnalysisOutcome,
 {
@@ -270,12 +274,8 @@ mod tests {
     #[test]
     fn supervisor_passes_healthy_runs_through() {
         let mut h = DetHarness::from_src("var x = 1 + 2;").unwrap();
-        let out = supervised_analyze(
-            &mut h,
-            AnalysisConfig::default(),
-            &RunHooks::supervised(),
-        )
-        .unwrap();
+        let out =
+            supervised_analyze(&mut h, AnalysisConfig::default(), &RunHooks::supervised()).unwrap();
         assert_eq!(out.status, crate::AnalysisStatus::Completed);
         assert!(out.facts.det_count() > 0);
     }
@@ -288,6 +288,9 @@ mod tests {
             seed: 3,
         };
         let s = f.to_string();
-        assert!(s.contains("boom") && s.contains("7") && s.contains("3"), "{s}");
+        assert!(
+            s.contains("boom") && s.contains("7") && s.contains("3"),
+            "{s}"
+        );
     }
 }

@@ -52,10 +52,7 @@ fn assert_var_det(h: &DetHarness, out: &AnalysisOutcome, name: &str, expect: Fac
     assert!(!fs.is_empty(), "no facts for {name}");
     for f in fs {
         match f {
-            Fact::Det(v) => assert!(
-                v.same(&expect),
-                "{name}: expected {expect}, got {v}"
-            ),
+            Fact::Det(v) => assert!(v.same(&expect), "{name}: expected {expect}, got {v}"),
             Fact::Indet => panic!("{name}: expected determinate {expect}, got ?"),
         }
     }
@@ -148,7 +145,8 @@ var after = x;
     // Fact recorded inside the branch (at its write) is determinate.
     let fs = facts_for_var(&h, &out.facts, "inside");
     assert!(
-        fs.iter().any(|f| matches!(f, Fact::Det(v) if v.same(&FactValue::Num(42.0)))),
+        fs.iter()
+            .any(|f| matches!(f, Fact::Det(v) if v.same(&FactValue::Num(42.0)))),
         "inside-branch fact should be determinate: {fs:?}"
     );
     // But the value read after the merge is indeterminate.

@@ -5,9 +5,7 @@
 //! full run of the same program).
 
 use determinacy::driver::{AnalysisOutcome, DetHarness};
-use determinacy::{
-    supervised_analyze, AnalysisConfig, AnalysisStatus, FactDb, RunHooks,
-};
+use determinacy::{supervised_analyze, AnalysisConfig, AnalysisStatus, FactDb, RunHooks};
 use mujs_interp::context::ContextTable;
 
 /// A program with a fact-producing straight-line prefix followed by a
@@ -41,7 +39,11 @@ fn combine(outs: &[&AnalysisOutcome]) -> u64 {
 
 /// The truncated run stopped with `expected` status, collected a
 /// non-empty fact prefix, and that prefix agrees with the full run.
-fn assert_sound_prefix(truncated: &AnalysisOutcome, full: &AnalysisOutcome, expected: AnalysisStatus) {
+fn assert_sound_prefix(
+    truncated: &AnalysisOutcome,
+    full: &AnalysisOutcome,
+    expected: AnalysisStatus,
+) {
     assert_eq!(truncated.status, expected);
     assert!(
         !truncated.facts.is_empty(),

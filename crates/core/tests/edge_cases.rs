@@ -29,8 +29,7 @@ fn var_fact(h: &DetHarness, out: &AnalysisOutcome, name: &str) -> Vec<Fact> {
         Program::walk_block(&f.body, &mut |s| {
             if let StmtKind::Copy { dst, .. } = &s.kind {
                 if dst.as_var_sym() == Some(sym) {
-                    for (_, fact) in out.facts.at_point(determinacy::FactKind::Define, s.id)
-                    {
+                    for (_, fact) in out.facts.at_point(determinacy::FactKind::Define, s.id) {
                         facts.push(fact.clone());
                     }
                 }
@@ -131,7 +130,10 @@ console.log(x);
 "#;
     let (h, out) = analyze(src);
     assert_eq!(out.output, vec!["5"]);
-    assert!(out.stats.cf_aborts >= 1, "opaque native aborts counterfactual");
+    assert!(
+        out.stats.cf_aborts >= 1,
+        "opaque native aborts counterfactual"
+    );
     assert!(out.stats.heap_flushes >= 1, "abort flushes");
     assert_indet(&h, &out, "after");
 }
@@ -270,7 +272,9 @@ var title = document.title;
 
 #[test]
 fn handler_entry_flush_applies_even_under_detdom() {
-    let doc = DocumentBuilder::new().element("button", Some("b"), &[]).build();
+    let doc = DocumentBuilder::new()
+        .element("button", Some("b"), &[])
+        .build();
     let src = r#"
 var state = { n: 7 };
 document.getElementById("b").addEventListener("click", function() {
@@ -392,7 +396,12 @@ console.log(ks);
 "#;
     let (h, out) = analyze(src);
     assert_eq!(out.output, vec!["own;constructor;inh;"]);
-    assert_det(&h, &out, "after", FactValue::Str("own;constructor;inh;".into()));
+    assert_det(
+        &h,
+        &out,
+        "after",
+        FactValue::Str("own;constructor;inh;".into()),
+    );
 }
 
 #[test]
@@ -410,7 +419,9 @@ var after = typeof neverDeclared;
 
 #[test]
 fn counterfactual_output_and_events_suppressed() {
-    let doc = DocumentBuilder::new().element("button", Some("b"), &[]).build();
+    let doc = DocumentBuilder::new()
+        .element("button", Some("b"), &[])
+        .build();
     let src = r#"
 if (__indet(false)) {
   console.log("ghost");
@@ -424,7 +435,9 @@ console.log("real");
 
 #[test]
 fn addeventlistener_in_counterfactual_aborts() {
-    let doc = DocumentBuilder::new().element("button", Some("b"), &[]).build();
+    let doc = DocumentBuilder::new()
+        .element("button", Some("b"), &[])
+        .build();
     let src = r#"
 var el = document.getElementById("b");
 if (__indet(false)) {
@@ -432,11 +445,7 @@ if (__indet(false)) {
 }
 "#;
     let mut h = DetHarness::from_src(src).unwrap();
-    let out = h.analyze_dom(
-        AnalysisConfig::default(),
-        doc,
-        &EventPlan::new().click("b"),
-    );
+    let out = h.analyze_dom(AnalysisConfig::default(), doc, &EventPlan::new().click("b"));
     assert_eq!(out.status, AnalysisStatus::Completed);
     // The registration was aborted, not kept: the click fires nothing.
     assert!(out.output.is_empty());

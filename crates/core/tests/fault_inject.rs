@@ -25,7 +25,11 @@ fn combine(outs: &[&AnalysisOutcome]) -> u64 {
     conflicts
 }
 
-fn run_with(src: &str, cfg: AnalysisConfig, plan: FaultPlan) -> Result<AnalysisOutcome, RunFailure> {
+fn run_with(
+    src: &str,
+    cfg: AnalysisConfig,
+    plan: FaultPlan,
+) -> Result<AnalysisOutcome, RunFailure> {
     let mut h = DetHarness::from_src(src).expect("test program parses");
     supervised_analyze(&mut h, cfg, &RunHooks::supervised().with_faults(plan))
 }
@@ -54,7 +58,10 @@ fn injected_native_panic_is_caught_and_structured() {
     assert_eq!(seed, 7, "the failure must carry the failing seed");
     // The progress counter survives the panic, so the report says how far
     // the run got (the first statement has executed by the second call).
-    assert!(steps > 0, "progress should have been recorded before the panic");
+    assert!(
+        steps > 0,
+        "progress should have been recorded before the panic"
+    );
 }
 
 #[test]
@@ -70,7 +77,10 @@ fn injected_native_error_is_an_exception_not_a_panic() {
     let out = run_with(src, AnalysisConfig::default(), plan)
         .expect("a failing native is handled inside the machine");
     assert_eq!(out.status, AnalysisStatus::UncaughtException);
-    assert!(!out.facts.is_empty(), "prefix facts survive the thrown error");
+    assert!(
+        !out.facts.is_empty(),
+        "prefix facts survive the thrown error"
+    );
 }
 
 #[test]
@@ -86,7 +96,10 @@ for (var i = 0; i < 1000; i++) { var o = {}; o.p = i; }
     let out = run_with(src, AnalysisConfig::default(), plan)
         .expect("heap exhaustion is a stop, not a failure");
     assert_eq!(out.status, AnalysisStatus::MemLimit);
-    assert!(!out.facts.is_empty(), "prefix facts survive the allocation failure");
+    assert!(
+        !out.facts.is_empty(),
+        "prefix facts survive the allocation failure"
+    );
 }
 
 /// The acceptance scenario: one seed of a multi-run batch hits a
@@ -139,10 +152,21 @@ if (r < 0.5) { console.log("taken"); console.log("deep"); }
         ..Default::default()
     });
     let out = analyze_many_hooked(&mut h, &seeds, cfg, None, &EventPlan::new(), &hooks);
-    assert_eq!(out.failures.len(), taken.len(), "every branch-taking seed fails");
-    assert_eq!(out.runs.len(), seeds.len() - taken.len(), "the others complete");
+    assert_eq!(
+        out.failures.len(),
+        taken.len(),
+        "every branch-taking seed fails"
+    );
+    assert_eq!(
+        out.runs.len(),
+        seeds.len() - taken.len(),
+        "the others complete"
+    );
     assert_eq!(out.conflicts, 0, "surviving seeds combine conflict-free");
-    assert!(!out.facts.is_empty(), "surviving seeds still contribute facts");
+    assert!(
+        !out.facts.is_empty(),
+        "surviving seeds still contribute facts"
+    );
     for f in &out.failures {
         let RunFailure::EnginePanic { payload, seed, .. } = f else {
             panic!("expected an engine panic, got {f}");

@@ -23,10 +23,7 @@ fn arb_fact_value() -> impl Strategy<Value = FactValue> {
 }
 
 fn arb_fact() -> impl Strategy<Value = Fact> {
-    prop_oneof![
-        arb_fact_value().prop_map(Fact::Det),
-        Just(Fact::Indet),
-    ]
+    prop_oneof![arb_fact_value().prop_map(Fact::Det), Just(Fact::Indet),]
 }
 
 proptest! {

@@ -79,7 +79,11 @@ impl EvalBenchmark {
     pub fn doc(&self) -> Document {
         DocumentBuilder::new()
             .title("evalbench")
-            .element("div", Some("cfg"), &[("data-mode", "fast"), ("data-n", "3")])
+            .element(
+                "div",
+                Some("cfg"),
+                &[("data-mode", "fast"), ("data-n", "3")],
+            )
             .element("button", Some("go"), &[])
             .build()
     }

@@ -151,9 +151,11 @@ fn dom_prefix_section() -> String {
 }
 
 fn page_doc() -> Document {
-    let mut b = DocumentBuilder::new()
-        .title("corpus page")
-        .element("div", Some("probe"), &[("data-probe", "y")]);
+    let mut b = DocumentBuilder::new().title("corpus page").element(
+        "div",
+        Some("probe"),
+        &[("data-probe", "y")],
+    );
     for i in 0..8 {
         let id = format!("button{i}");
         b = b.element("button", Some(&id), &[]);

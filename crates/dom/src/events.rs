@@ -173,9 +173,7 @@ mod tests {
             vec![2, 3]
         );
         assert_eq!(reg.handlers_for(EventTarget::Window, "load"), vec![1]);
-        assert!(reg
-            .handlers_for(EventTarget::Document, "load")
-            .is_empty());
+        assert!(reg.handlers_for(EventTarget::Document, "load").is_empty());
     }
 
     #[test]

@@ -257,10 +257,7 @@ impl Gen {
                 let i = self.loop_counter;
                 self.loop_counter += 1;
                 let bound = 1 + self.pick(3);
-                let _ = writeln!(
-                    self.out,
-                    "for (var L{i} = 0; L{i} < {bound}; L{i}++) {{"
-                );
+                let _ = writeln!(self.out, "for (var L{i} = 0; L{i} < {bound}; L{i}++) {{");
                 self.stmt(depth + 1, in_func);
                 // Occasionally exit or skip abruptly, possibly under an
                 // indeterminate guard.
@@ -292,8 +289,7 @@ mod tests {
     fn generated_programs_parse() {
         for seed in 0..50 {
             let src = generate(seed, &GenConfig::default());
-            mujs_syntax::parse(&src)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            mujs_syntax::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
         }
     }
 

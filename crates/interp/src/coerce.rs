@@ -189,12 +189,12 @@ pub fn bin_op(op: BinOp, a: &Value, b: &Value) -> Result<Value, CoerceError> {
         BitAnd => Value::Num((to_int32(to_number(a)?) & to_int32(to_number(b)?)) as f64),
         BitOr => Value::Num((to_int32(to_number(a)?) | to_int32(to_number(b)?)) as f64),
         BitXor => Value::Num((to_int32(to_number(a)?) ^ to_int32(to_number(b)?)) as f64),
-        Shl => Value::Num(
-            (to_int32(to_number(a)?).wrapping_shl(to_uint32(to_number(b)?) & 31)) as f64,
-        ),
-        Shr => Value::Num(
-            (to_int32(to_number(a)?).wrapping_shr(to_uint32(to_number(b)?) & 31)) as f64,
-        ),
+        Shl => {
+            Value::Num((to_int32(to_number(a)?).wrapping_shl(to_uint32(to_number(b)?) & 31)) as f64)
+        }
+        Shr => {
+            Value::Num((to_int32(to_number(a)?).wrapping_shr(to_uint32(to_number(b)?) & 31)) as f64)
+        }
         UShr => Value::Num(
             (to_uint32(to_number(a)?).wrapping_shr(to_uint32(to_number(b)?) & 31)) as f64,
         ),
@@ -314,9 +314,6 @@ mod tests {
     fn objects_refuse_numeric_coercion() {
         let o = Value::Object(ObjId(1));
         assert!(bin_op(BinOp::Sub, &o, &Value::Num(1.0)).is_err());
-        assert_eq!(
-            bin_op(BinOp::StrictEq, &o, &o).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(bin_op(BinOp::StrictEq, &o, &o).unwrap(), Value::Bool(true));
     }
 }

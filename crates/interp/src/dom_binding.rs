@@ -113,11 +113,7 @@ impl Interp<'_> {
             }),
             ("createElement", |it, _, a| {
                 let tag = it.value_to_string(a.first().unwrap_or(&Value::Undefined))?;
-                let n = it
-                    .doc
-                    .as_mut()
-                    .expect("dom installed")
-                    .create_element(&tag);
+                let n = it.doc.as_mut().expect("dom installed").create_element(&tag);
                 Ok(Value::Object(it.element_obj(n)))
             }),
             ("addEventListener", |it, this, a| {
@@ -176,15 +172,10 @@ impl Interp<'_> {
     fn event_target_of(&mut self, this: &Value) -> Result<EventTarget, RunError> {
         match this {
             Value::Object(o) if *o == self.global() => Ok(EventTarget::Window),
-            Value::Object(o) if Some(*o) == self.dom_document_obj => {
-                Ok(EventTarget::Document)
-            }
+            Value::Object(o) if Some(*o) == self.dom_document_obj => Ok(EventTarget::Document),
             v => match self.as_node(v) {
                 Some(n) => Ok(EventTarget::Element(n)),
-                None => {
-                    Err(self
-                        .throw_error("TypeError", "not an event target"))
-                }
+                None => Err(self.throw_error("TypeError", "not an event target")),
             },
         }
     }
@@ -229,18 +220,16 @@ impl Interp<'_> {
                     return None;
                 }
                 match &*key {
-                    "tagName" => {
-                        Some(Value::Str(Rc::from(doc.node(n).tag.to_uppercase().as_str())))
-                    }
+                    "tagName" => Some(Value::Str(Rc::from(
+                        doc.node(n).tag.to_uppercase().as_str(),
+                    ))),
                     "id" => Some(Value::Str(Rc::from(
                         doc.get_attribute(n, "id").unwrap_or(""),
                     ))),
                     "className" => Some(Value::Str(Rc::from(
                         doc.get_attribute(n, "class").unwrap_or(""),
                     ))),
-                    "innerHTML" => {
-                        Some(Value::Str(Rc::from(doc.node(n).text.as_str())))
-                    }
+                    "innerHTML" => Some(Value::Str(Rc::from(doc.node(n).text.as_str()))),
                     "parentNode" => match doc.node(n).parent {
                         Some(p) => Some(Value::Object(self.element_obj(p))),
                         None => Some(Value::Null),
@@ -295,11 +284,7 @@ impl Interp<'_> {
                 EventTargetSel::Window => EventTarget::Window,
                 EventTargetSel::Document => EventTarget::Document,
                 EventTargetSel::ById(id) => {
-                    match self
-                        .doc
-                        .as_ref()
-                        .and_then(|d| d.get_element_by_id(id))
-                    {
+                    match self.doc.as_ref().and_then(|d| d.get_element_by_id(id)) {
                         Some(n) => EventTarget::Element(n),
                         None => continue,
                     }

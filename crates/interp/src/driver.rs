@@ -119,6 +119,8 @@ impl Harness {
     pub fn from_src(src: &str) -> Result<Self, SyntaxError> {
         let ast = mujs_syntax::parse(src)?;
         let program = mujs_ir::lower_program(&ast);
+        #[cfg(debug_assertions)]
+        mujs_analysis::assert_valid(&program);
         Ok(Harness {
             program,
             source: SourceFile::new("main.js", src),

@@ -548,8 +548,7 @@ impl<'p> Interp<'p> {
     }
 
     fn observe(&mut self, frame: &Frame, point: StmtId, value: &Value) {
-        if self.opts.record_observations && self.observations.len() < self.opts.max_observations
-        {
+        if self.opts.record_observations && self.observations.len() < self.opts.max_observations {
             self.observations.push(Observation {
                 point,
                 ctx: frame.ctx,
@@ -609,10 +608,7 @@ impl<'p> Interp<'p> {
     /// Creates a closure object over `env` with its fresh `.prototype`.
     pub fn make_closure(&mut self, func: FuncId, env: Option<ScopeId>) -> ObjId {
         self.mark_captured(env);
-        let clos = self.alloc(
-            ObjClass::Function { func, env },
-            Some(self.protos.function),
-        );
+        let clos = self.alloc(ObjClass::Function { func, env }, Some(self.protos.function));
         let proto = self.alloc(ObjClass::Plain, Some(self.protos.object));
         self.set_raw_s(proto, Sym::CONSTRUCTOR, Value::Object(clos));
         self.set_raw_s(clos, Sym::PROTOTYPE, Value::Object(proto));
@@ -794,9 +790,7 @@ impl<'p> Interp<'p> {
                 finally,
             } => {
                 let mut result = self.exec_block(frame, block);
-                if let (Err(RunError::Thrown(exn)), Some((name, handler))) =
-                    (&result, catch)
-                {
+                if let (Err(RunError::Thrown(exn)), Some((name, handler))) = (&result, catch) {
                     let exn = exn.clone();
                     // The catch variable lives in its own little scope.
                     let saved = frame.scope;
@@ -848,9 +842,7 @@ impl<'p> Interp<'p> {
                 let k = self.prog.interner.intern_rc(&k);
                 let o = self.read_place(frame, obj)?;
                 let Value::Object(oid) = o else {
-                    return Err(
-                        self.throw_error("TypeError", "'in' requires an object")
-                    );
+                    return Err(self.throw_error("TypeError", "'in' requires an object"));
                 };
                 let has = self.has_prop_chain(oid, k);
                 self.define(frame, id, dst, Value::Bool(has))?;
@@ -859,12 +851,10 @@ impl<'p> Interp<'p> {
                 let v = self.read_place(frame, val)?;
                 let c = self.read_place(frame, ctor)?;
                 let Value::Object(cid) = c else {
-                    return Err(self
-                        .throw_error("TypeError", "instanceof requires a function"));
+                    return Err(self.throw_error("TypeError", "instanceof requires a function"));
                 };
                 if !self.obj(cid).class.is_callable() {
-                    return Err(self
-                        .throw_error("TypeError", "instanceof requires a function"));
+                    return Err(self.throw_error("TypeError", "instanceof requires a function"));
                 }
                 let proto = self.get_raw_s(cid, Sym::PROTOTYPE);
                 let mut result = false;
@@ -1074,7 +1064,9 @@ impl<'p> Interp<'p> {
                         }
                     }
                 }
-                self.obj_mut(*oid).props.insert(key, Slot { value, ann: () });
+                self.obj_mut(*oid)
+                    .props
+                    .insert(key, Slot { value, ann: () });
                 Ok(())
             }
             _ => Ok(()),
@@ -1290,14 +1282,8 @@ impl<'p> Interp<'p> {
                     _ => self.protos.object,
                 };
                 let this_obj = self.alloc(ObjClass::Plain, Some(proto));
-                let r = self.call_function(
-                    func,
-                    env,
-                    Some(*fid),
-                    Value::Object(this_obj),
-                    args,
-                    ctx,
-                )?;
+                let r =
+                    self.call_function(func, env, Some(*fid), Value::Object(this_obj), args, ctx)?;
                 Ok(match r {
                     Value::Object(_) => r,
                     _ => Value::Object(this_obj),
@@ -1336,12 +1322,9 @@ impl<'p> Interp<'p> {
                 return Err(self.throw_error("SyntaxError", &e.to_string()));
             }
         };
-        let chunk = mujs_ir::lower_chunk(
-            self.prog,
-            &parsed,
-            FuncKind::EvalChunk,
-            Some(frame.func),
-        );
+        let chunk = mujs_ir::lower_chunk(self.prog, &parsed, FuncKind::EvalChunk, Some(frame.func));
+        #[cfg(debug_assertions)]
+        mujs_analysis::assert_valid(self.prog);
         self.run_eval_chunk(frame, chunk, ctx)
     }
 

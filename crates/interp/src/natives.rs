@@ -240,11 +240,7 @@ pub fn install_stdlib(interp: &mut Interp<'_>) {
     interp.set_raw(error_ctor, "prototype", Value::Object(interp.protos.error));
     interp.set_raw(g, "Error", Value::Object(error_ctor));
     interp.specials.error_ctor = Some(error_ctor);
-    interp.set_raw(
-        interp.protos.error,
-        "name",
-        Value::Str(Rc::from("Error")),
-    );
+    interp.set_raw(interp.protos.error, "name", Value::Str(Rc::from("Error")));
     interp.set_raw(interp.protos.error, "message", Value::Str(Rc::from("")));
 
     // ----- indirect eval ---------------------------------------------------
@@ -259,6 +255,8 @@ pub fn install_stdlib(interp: &mut Interp<'_>) {
         // Indirect eval runs in the global scope.
         let entry = it.prog.entry().expect("program has an entry");
         let chunk = mujs_ir::lower_chunk(it.prog, &parsed, FuncKind::EvalChunk, Some(entry));
+        #[cfg(debug_assertions)]
+        mujs_analysis::assert_valid(it.prog);
         let g = it.global();
         let f = it.prog.func_rc(chunk);
         let mut frame = crate::machine::Frame {
@@ -391,10 +389,7 @@ fn install_function_proto(it: &mut Interp<'_>) {
                 _ => 0,
             };
             for i in 0..len {
-                argv.push(
-                    it.get_raw(*arr, &i.to_string())
-                        .unwrap_or(Value::Undefined),
-                );
+                argv.push(it.get_raw(*arr, &i.to_string()).unwrap_or(Value::Undefined));
             }
         }
         it.call_value(&this, bound_this, &argv, crate::context::CtxId::ROOT)
@@ -498,24 +493,18 @@ fn install_array_proto(it: &mut Interp<'_>) {
         ("concat", |it, this, a| {
             let out = it.alloc(ObjClass::Array, Some(it.protos.array));
             let mut n = 0usize;
-            let push_all = |it: &mut Interp<'_>, v: &Value, n: &mut usize| {
-                match v {
-                    Value::Object(src)
-                        if it.obj(*src).class == ObjClass::Array =>
-                    {
-                        let len = array_len(it, *src);
-                        for i in 0..len {
-                            let e = it
-                                .get_raw(*src, &i.to_string())
-                                .unwrap_or(Value::Undefined);
-                            it.set_raw(out, &n.to_string(), e);
-                            *n += 1;
-                        }
-                    }
-                    other => {
-                        it.set_raw(out, &n.to_string(), other.clone());
+            let push_all = |it: &mut Interp<'_>, v: &Value, n: &mut usize| match v {
+                Value::Object(src) if it.obj(*src).class == ObjClass::Array => {
+                    let len = array_len(it, *src);
+                    for i in 0..len {
+                        let e = it.get_raw(*src, &i.to_string()).unwrap_or(Value::Undefined);
+                        it.set_raw(out, &n.to_string(), e);
                         *n += 1;
                     }
+                }
+                other => {
+                    it.set_raw(out, &n.to_string(), other.clone());
+                    *n += 1;
                 }
             };
             push_all(it, &this, &mut n);
@@ -592,7 +581,9 @@ fn install_string_proto(it: &mut Interp<'_>) {
             let s = this_string(it, &this)?;
             let start = arg_num(a, 0, 0.0);
             let len = arg_num(a, 1, f64::INFINITY);
-            Ok(Value::Str(Rc::from(stdlib::substr(&s, start, len).as_str())))
+            Ok(Value::Str(Rc::from(
+                stdlib::substr(&s, start, len).as_str(),
+            )))
         }),
         ("substring", |it, this, a| {
             let s = this_string(it, &this)?;

@@ -69,10 +69,7 @@ pub fn substring(s: &str, start: f64, end: f64) -> String {
     if a > b {
         std::mem::swap(&mut a, &mut b);
     }
-    s.chars()
-        .skip(a as usize)
-        .take((b - a) as usize)
-        .collect()
+    s.chars().skip(a as usize).take((b - a) as usize).collect()
 }
 
 /// `String.prototype.slice(start, end)` (negative indices from the end).
@@ -92,10 +89,7 @@ pub fn str_slice(s: &str, start: f64, end: f64) -> String {
     if a >= b {
         return String::new();
     }
-    s.chars()
-        .skip(a as usize)
-        .take((b - a) as usize)
-        .collect()
+    s.chars().skip(a as usize).take((b - a) as usize).collect()
 }
 
 /// `String.prototype.split` with a string separator.
@@ -127,8 +121,7 @@ pub fn parse_int(s: &str, radix: u32) -> f64 {
         Some(rest) => (true, rest),
         None => (false, t.strip_prefix('+').unwrap_or(t)),
     };
-    let (radix, t) = if (radix == 16 || radix == 0)
-        && (t.starts_with("0x") || t.starts_with("0X"))
+    let (radix, t) = if (radix == 16 || radix == 0) && (t.starts_with("0x") || t.starts_with("0X"))
     {
         (16, &t[2..])
     } else if radix == 0 {

@@ -255,10 +255,7 @@ fn logical_operators_short_circuit() {
         log1("function boom() { throw 1; } console.log(false && boom());"),
         "false"
     );
-    assert_eq!(
-        log1("console.log(null || \"fallback\");"),
-        "fallback"
-    );
+    assert_eq!(log1("console.log(null || \"fallback\");"), "fallback");
     assert_eq!(log1("console.log(1 && 2);"), "2");
 }
 
@@ -287,8 +284,14 @@ console.log(a[5], a.join("-"));
 #[test]
 fn array_methods() {
     assert_eq!(log1("console.log([1,2,3].indexOf(2));"), "1");
-    assert_eq!(log1("console.log([1,2,3,4].slice(1, 3).join(\",\"));"), "2,3");
-    assert_eq!(log1("console.log([1].concat([2,3], 4).join(\"\"));"), "1234");
+    assert_eq!(
+        log1("console.log([1,2,3,4].slice(1, 3).join(\",\"));"),
+        "2,3"
+    );
+    assert_eq!(
+        log1("console.log([1].concat([2,3], 4).join(\"\"));"),
+        "1234"
+    );
     assert_eq!(log1("var a=[1,2]; console.log(a.pop(), a.length);"), "2 1");
     assert_eq!(log1("var a=[1,2]; console.log(a.shift(), a[0]);"), "1 2");
 }
@@ -410,7 +413,10 @@ console.log(f());
 
 #[test]
 fn math_functions() {
-    assert_eq!(log1("console.log(Math.floor(3.7), Math.max(1, 5, 3));"), "3 5");
+    assert_eq!(
+        log1("console.log(Math.floor(3.7), Math.max(1, 5, 3));"),
+        "3 5"
+    );
     let r = log1("console.log(Math.random());");
     let v: f64 = r.parse().unwrap();
     assert!((0.0..1.0).contains(&v));
@@ -439,7 +445,9 @@ fn math_random_is_seeded() {
 #[test]
 fn named_function_expression_recursion() {
     assert_eq!(
-        log1("var f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); }; console.log(f(5));"),
+        log1(
+            "var f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); }; console.log(f(5));"
+        ),
         "120"
     );
 }
@@ -488,10 +496,7 @@ console.log(document.getElementById("missing"));
     let mut h = Harness::from_src(src).unwrap();
     let o = h.run_dom(InterpOptions::default(), doc, &EventPlan::new());
     o.expect_ok();
-    assert_eq!(
-        o.output,
-        vec!["DIV top", "Hello", "1", "null"]
-    );
+    assert_eq!(o.output, vec!["DIV top", "Hello", "1", "null"]);
 }
 
 #[test]
@@ -525,25 +530,15 @@ document.getElementById("b1").addEventListener("click", function(ev) {
 console.log("script done");
 "#;
     let mut h = Harness::from_src(src).unwrap();
-    let o = h.run_dom(
-        InterpOptions::default(),
-        doc,
-        &EventPlan::new().click("b1"),
-    );
+    let o = h.run_dom(InterpOptions::default(), doc, &EventPlan::new().click("b1"));
     o.expect_ok();
     assert_eq!(o.output, vec!["script done", "loaded", "clicked click"]);
 }
 
 #[test]
 fn global_vars_alias_window_properties() {
-    assert_eq!(
-        log1("xyz = 5; console.log(window.xyz);"),
-        "5"
-    );
-    assert_eq!(
-        log1("window.abc = 6; console.log(abc);"),
-        "6"
-    );
+    assert_eq!(log1("xyz = 5; console.log(window.xyz);"), "5");
+    assert_eq!(log1("window.abc = 6; console.log(abc);"), "6");
 }
 
 #[test]
@@ -584,10 +579,7 @@ fn update_expressions() {
         out("var i = 5; console.log(i++, i, ++i, i--, --i);"),
         vec!["5 6 7 7 5"]
     );
-    assert_eq!(
-        log1("var o = { n: 1 }; o.n++; console.log(o.n);"),
-        "2"
-    );
+    assert_eq!(log1("var o = { n: 1 }; o.n++; console.log(o.n);"), "2");
 }
 
 #[test]

@@ -161,9 +161,8 @@ mod tests {
 
     #[test]
     fn deeply_nested_writes_count() {
-        let (p, cw) = setup(
-            "function f() { var a; return function() { return function() { a = 1; }; }; }",
-        );
+        let (p, cw) =
+            setup("function f() { var a; return function() { return function() { a = 1; }; }; }");
         assert!(written(&p, &cw, "f", "a"));
     }
 

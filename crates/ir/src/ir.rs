@@ -433,6 +433,179 @@ pub enum StmtKind {
     },
 }
 
+impl StmtKind {
+    /// Visits every [`Place`] appearing directly in this statement,
+    /// including the inner place of a [`PropKey::Dynamic`] key and the
+    /// condition places of `If`/`Loop` — but *not* the places of
+    /// statements nested inside child blocks (pair with
+    /// [`Program::walk_block`] for those).
+    ///
+    /// Destination places are visited too: a "place" here is a syntactic
+    /// operand slot, not a read. Static consumers that need the
+    /// read/write split use [`crate::vd::write_domain`] for writes.
+    pub fn for_each_place<'a>(&'a self, visit: &mut dyn FnMut(&'a Place)) {
+        use StmtKind::*;
+        let key = |k: &'a PropKey, visit: &mut dyn FnMut(&'a Place)| {
+            if let PropKey::Dynamic(p) = k {
+                visit(p);
+            }
+        };
+        match self {
+            Const { dst, .. }
+            | NewObject { dst, .. }
+            | Closure { dst, .. }
+            | LoadThis { dst }
+            | TypeofName { dst, .. } => visit(dst),
+            Copy { dst, src } | UnOp { dst, src, .. } => {
+                visit(dst);
+                visit(src);
+            }
+            BinOp { dst, lhs, rhs, .. } => {
+                visit(dst);
+                visit(lhs);
+                visit(rhs);
+            }
+            GetProp { dst, obj, key: k } | DeleteProp { dst, obj, key: k } => {
+                visit(dst);
+                visit(obj);
+                key(k, visit);
+            }
+            SetProp { obj, key: k, val } => {
+                visit(obj);
+                key(k, visit);
+                visit(val);
+            }
+            Call {
+                dst,
+                callee,
+                this_arg,
+                args,
+            } => {
+                visit(dst);
+                visit(callee);
+                if let Some(t) = this_arg {
+                    visit(t);
+                }
+                for a in args {
+                    visit(a);
+                }
+            }
+            New { dst, callee, args } => {
+                visit(dst);
+                visit(callee);
+                for a in args {
+                    visit(a);
+                }
+            }
+            If { cond, .. } => visit(cond),
+            Loop { cond, .. } => visit(cond),
+            Breakable { .. } | Try { .. } | Break | Continue => {}
+            Return { arg } => {
+                if let Some(a) = arg {
+                    visit(a);
+                }
+            }
+            Throw { arg } => visit(arg),
+            HasProp { dst, key: k, obj } => {
+                visit(dst);
+                visit(k);
+                visit(obj);
+            }
+            InstanceOf { dst, val, ctor } => {
+                visit(dst);
+                visit(val);
+                visit(ctor);
+            }
+            EnumProps { dst, obj } | Eval { dst, arg: obj } => {
+                visit(dst);
+                visit(obj);
+            }
+        }
+    }
+
+    /// Mutable counterpart of [`StmtKind::for_each_place`], visiting the
+    /// same operand slots in the same order.
+    pub fn for_each_place_mut(&mut self, visit: &mut dyn FnMut(&mut Place)) {
+        use StmtKind::*;
+        let key = |k: &mut PropKey, visit: &mut dyn FnMut(&mut Place)| {
+            if let PropKey::Dynamic(p) = k {
+                visit(p);
+            }
+        };
+        match self {
+            Const { dst, .. }
+            | NewObject { dst, .. }
+            | Closure { dst, .. }
+            | LoadThis { dst }
+            | TypeofName { dst, .. } => visit(dst),
+            Copy { dst, src } | UnOp { dst, src, .. } => {
+                visit(dst);
+                visit(src);
+            }
+            BinOp { dst, lhs, rhs, .. } => {
+                visit(dst);
+                visit(lhs);
+                visit(rhs);
+            }
+            GetProp { dst, obj, key: k } | DeleteProp { dst, obj, key: k } => {
+                visit(dst);
+                visit(obj);
+                key(k, visit);
+            }
+            SetProp { obj, key: k, val } => {
+                visit(obj);
+                key(k, visit);
+                visit(val);
+            }
+            Call {
+                dst,
+                callee,
+                this_arg,
+                args,
+            } => {
+                visit(dst);
+                visit(callee);
+                if let Some(t) = this_arg {
+                    visit(t);
+                }
+                for a in args {
+                    visit(a);
+                }
+            }
+            New { dst, callee, args } => {
+                visit(dst);
+                visit(callee);
+                for a in args {
+                    visit(a);
+                }
+            }
+            If { cond, .. } => visit(cond),
+            Loop { cond, .. } => visit(cond),
+            Breakable { .. } | Try { .. } | Break | Continue => {}
+            Return { arg } => {
+                if let Some(a) = arg {
+                    visit(a);
+                }
+            }
+            Throw { arg } => visit(arg),
+            HasProp { dst, key: k, obj } => {
+                visit(dst);
+                visit(k);
+                visit(obj);
+            }
+            InstanceOf { dst, val, ctor } => {
+                visit(dst);
+                visit(val);
+                visit(ctor);
+            }
+            EnumProps { dst, obj } | Eval { dst, arg: obj } => {
+                visit(dst);
+                visit(obj);
+            }
+        }
+    }
+}
+
 /// Variables that carry a function's scope: parameters, `var`-declared
 /// names, and hoisted function declarations.
 #[derive(Debug, Clone, PartialEq, Default)]

@@ -144,7 +144,9 @@ impl<'p> FuncCx<'p> {
             // The parser only hoists named declarations; skip (rather
             // than panic on) anything else so a malformed AST degrades to
             // "declaration has no effect".
-            let Some(fname) = f.name.clone() else { continue };
+            let Some(fname) = f.name.clone() else {
+                continue;
+            };
             let fid = self.lower_nested_function(&f);
             // Later declarations of the same name shadow earlier ones.
             funcs.retain(|(n, _): &(Rc<str>, FuncId)| *n != fname);
@@ -414,11 +416,7 @@ impl<'p> FuncCx<'p> {
                     },
                 );
                 let dst = self.named(var);
-                self.push(
-                    &mut body_blk,
-                    span,
-                    StmtKind::Copy { dst, src: key },
-                );
+                self.push(&mut body_blk, span, StmtKind::Copy { dst, src: key });
                 self.stmt(body, &mut body_blk);
                 let mut update_blk = Vec::new();
                 let one = self.temp();
@@ -512,13 +510,7 @@ impl<'p> FuncCx<'p> {
     /// Desugars `switch` into: compute the matching arm index (lazily
     /// evaluating case tests in order), then run all arms from that index
     /// on (fall-through) inside a `Breakable`.
-    fn switch(
-        &mut self,
-        disc: &ast::Expr,
-        cases: &[ast::SwitchCase],
-        span: Span,
-        out: &mut Block,
-    ) {
+    fn switch(&mut self, disc: &ast::Expr, cases: &[ast::SwitchCase], span: Span, out: &mut Block) {
         let d = self.expr(disc, out);
         let n = cases.len() as f64;
         let idx = self.temp();
@@ -1062,11 +1054,9 @@ impl<'p> FuncCx<'p> {
                                 );
                                 t
                             }
-                            None => self.lower_malformed(
-                                "unsupported compound assignment",
-                                span,
-                                out,
-                            ),
+                            None => {
+                                self.lower_malformed("unsupported compound assignment", span, out)
+                            }
                         }
                     }
                 };
@@ -1112,11 +1102,9 @@ impl<'p> FuncCx<'p> {
                                 );
                                 t
                             }
-                            None => self.lower_malformed(
-                                "unsupported compound assignment",
-                                span,
-                                out,
-                            ),
+                            None => {
+                                self.lower_malformed("unsupported compound assignment", span, out)
+                            }
                         }
                     }
                 };
@@ -1604,9 +1592,13 @@ mod tests {
         // typeof of a non-identifier goes through UnOp.
         let p2 = lower("var t = typeof (1 + 2);");
         let body2 = entry_body(&p2);
-        assert!(body2
-            .iter()
-            .any(|s| matches!(s.kind, StmtKind::UnOp { op: UnOp::Typeof, .. })));
+        assert!(body2.iter().any(|s| matches!(
+            s.kind,
+            StmtKind::UnOp {
+                op: UnOp::Typeof,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -171,6 +171,9 @@ mod tests {
     fn named_function_expression_self_binding() {
         let (prog, r) = setup("var h = function rec() { return rec; };");
         let rec = func_named(&prog, "rec");
-        assert_eq!(r.resolve(&prog, rec, sym(&prog, "rec")), Binding::Local(rec));
+        assert_eq!(
+            r.resolve(&prog, rec, sym(&prog, "rec")),
+            Binding::Local(rec)
+        );
     }
 }

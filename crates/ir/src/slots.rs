@@ -369,7 +369,7 @@ mod tests {
     fn slots_of(p: &Program, f: &Function) -> Vec<(u32, String)> {
         let mut out = Vec::new();
         Program::walk_block(&f.body, &mut |s| {
-            each_place(&s.kind, &mut |pl| {
+            s.kind.for_each_place(&mut |pl| {
                 if let Place::Slot { hops, sym, .. } = pl {
                     out.push((*hops, p.interner.resolve(*sym).to_string()));
                 }
@@ -381,66 +381,13 @@ mod tests {
     fn named_of(p: &Program, f: &Function) -> Vec<String> {
         let mut out = Vec::new();
         Program::walk_block(&f.body, &mut |s| {
-            each_place(&s.kind, &mut |pl| {
+            s.kind.for_each_place(&mut |pl| {
                 if let Place::Named(sym) = pl {
                     out.push(p.interner.resolve(*sym).to_string());
                 }
             });
         });
         out
-    }
-
-    fn each_place(kind: &StmtKind, visit: &mut dyn FnMut(&Place)) {
-        use StmtKind::*;
-        match kind {
-            Const { dst, .. } | NewObject { dst, .. } | LoadThis { dst }
-            | TypeofName { dst, .. } | Closure { dst, .. } => visit(dst),
-            Copy { dst, src } => {
-                visit(dst);
-                visit(src);
-            }
-            UnOp { dst, src, .. } => {
-                visit(dst);
-                visit(src);
-            }
-            BinOp { dst, lhs, rhs, .. } => {
-                visit(dst);
-                visit(lhs);
-                visit(rhs);
-            }
-            GetProp { dst, obj, key } => {
-                visit(dst);
-                visit(obj);
-                if let PropKey::Dynamic(p) = key {
-                    visit(p);
-                }
-            }
-            SetProp { obj, key, val } => {
-                visit(obj);
-                visit(val);
-                if let PropKey::Dynamic(p) = key {
-                    visit(p);
-                }
-            }
-            Call {
-                dst,
-                callee,
-                this_arg,
-                args,
-            } => {
-                visit(dst);
-                visit(callee);
-                if let Some(t) = this_arg {
-                    visit(t);
-                }
-                for a in args {
-                    visit(a);
-                }
-            }
-            Return { arg: Some(a) } => visit(a),
-            Throw { arg } => visit(arg),
-            _ => {}
-        }
     }
 
     #[test]
@@ -507,9 +454,7 @@ mod tests {
 
     #[test]
     fn catch_bound_names_stay_named_in_the_block() {
-        let p = lower(
-            "function f() { var e = 1; try { g(); } catch (e) { h(e); } return e; }",
-        );
+        let p = lower("function f() { var e = 1; try { g(); } catch (e) { h(e); } return e; }");
         let f = func_named(&p, "f");
         // The `return e` outside resolves; the `h(e)` argument inside the
         // catch block must not.

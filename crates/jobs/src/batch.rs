@@ -14,8 +14,7 @@ use crate::pool::{IsolatedGraph, JobCtx, JobPool, JobVerdict};
 use crate::spec::{JobSpec, Manifest};
 use determinacy::multirun::{export_json, MultiRunOutcome};
 use determinacy::{
-    supervised_analyze_dom, AnalysisConfig, AnalysisOutcome, DetHarness, RunFailure,
-    RunHooks,
+    supervised_analyze_dom, AnalysisConfig, AnalysisOutcome, DetHarness, RunFailure, RunHooks,
 };
 use mujs_dom::document::{Document, DocumentBuilder};
 use mujs_dom::events::EventPlan;
@@ -213,10 +212,7 @@ pub fn run_manifest(manifest: &Manifest, pool: &JobPool) -> BatchOutcome {
 /// The worker-side body of one manifest job. Everything `Rc`-threaded is
 /// built here, inside the worker, and transferred back wholesale (see
 /// [`IsolatedGraph`]).
-fn run_spec(
-    spec: &JobSpec,
-    ctx: &JobCtx,
-) -> IsolatedGraph<(JobStatus, Option<JobOutcome>)> {
+fn run_spec(spec: &JobSpec, ctx: &JobCtx) -> IsolatedGraph<(JobStatus, Option<JobOutcome>)> {
     let harness = match DetHarness::from_src(&spec.src) {
         Ok(h) => h,
         Err(e) => return IsolatedGraph::new((JobStatus::Syntax(e.to_string()), None)),
@@ -253,13 +249,7 @@ fn analyze_seeds(
                 seed,
                 ..base_cfg.clone()
             };
-            let r = supervised_analyze_dom(
-                &mut harness,
-                cfg,
-                doc.clone(),
-                plan,
-                &hooks,
-            );
+            let r = supervised_analyze_dom(&mut harness, cfg, doc.clone(), plan, &hooks);
             ctx.progress(format!("seed {}/{n} done", i + 1));
             r
         })
@@ -302,9 +292,7 @@ pub fn analyze_many_pooled(
                 seed,
                 ..base_cfg.clone()
             };
-            let job = move |ctx: &JobCtx| -> IsolatedGraph<
-                Result<AnalysisOutcome, RunFailure>,
-            > {
+            let job = move |ctx: &JobCtx| -> IsolatedGraph<Result<AnalysisOutcome, RunFailure>> {
                 let r = match DetHarness::from_src(src) {
                     Ok(mut h) => {
                         let hooks = RunHooks::with_cancel(ctx.cancel.clone());

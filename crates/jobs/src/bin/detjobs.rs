@@ -22,6 +22,7 @@ struct Options {
     report: Option<String>,
     include_facts: bool,
     quiet: bool,
+    lint: bool,
 }
 
 fn usage(problem: &str) -> ! {
@@ -38,7 +39,10 @@ fn usage(problem: &str) -> ! {
          \x20 --workers N      worker threads (default: available parallelism)\n\
          \x20 --report FILE    write the JSON report there (default: stdout)\n\
          \x20 --no-facts       omit per-job fact rows from the report\n\
-         \x20 --quiet          suppress progress lines on stderr"
+         \x20 --quiet          suppress progress lines on stderr\n\
+         \x20 --lint           validate each job's lowered IR before running\n\
+         \x20                  (structural detlint; off by default — reports\n\
+         \x20                  stay byte-identical either way)"
     );
     std::process::exit(2);
 }
@@ -53,6 +57,7 @@ fn parse_args() -> Options {
         report: None,
         include_facts: true,
         quiet: false,
+        lint: false,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -77,12 +82,18 @@ fn parse_args() -> Options {
             "--report" => o.report = Some(value(&args, &mut i, "--report")),
             "--no-facts" => o.include_facts = false,
             "--quiet" => o.quiet = true,
+            "--lint" => o.lint = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
-    if [&o.manifest, &o.dir, &o.suite].iter().filter(|s| s.is_some()).count() != 1 {
+    if [&o.manifest, &o.dir, &o.suite]
+        .iter()
+        .filter(|s| s.is_some())
+        .count()
+        != 1
+    {
         usage("exactly one of --manifest, --dir, --suite is required");
     }
     o
@@ -109,10 +120,45 @@ fn load_manifest(o: &Options) -> Manifest {
     }
 }
 
+/// Pre-flight IR validation of every job source; exits 1 on any
+/// violation so a bad batch fails before burning worker time.
+fn lint_manifest(manifest: &Manifest) {
+    let mut bad = 0usize;
+    for job in &manifest.jobs {
+        let lowered = mujs_syntax::with_parser_stack(|| {
+            mujs_syntax::parse(&job.src).map(|ast| mujs_ir::lower_program(&ast))
+        });
+        match lowered {
+            Err(e) => {
+                eprintln!("lint {}: parse error: {e}", job.name);
+                bad += 1;
+            }
+            Ok(prog) => {
+                let violations = mujs_analysis::validate_program(&prog);
+                if !violations.is_empty() {
+                    eprintln!("lint {}: {} violation(s)", job.name, violations.len());
+                    for v in &violations {
+                        eprintln!("  {}", v.describe(&prog));
+                    }
+                    bad += 1;
+                }
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("detjobs: lint failed for {bad} job(s)");
+        std::process::exit(1);
+    }
+    eprintln!("detjobs: lint ok ({} jobs)", manifest.jobs.len());
+}
+
 fn main() {
     let o = parse_args();
     let manifest = load_manifest(&o);
     let total = manifest.jobs.len();
+    if o.lint {
+        lint_manifest(&manifest);
+    }
     eprintln!("detjobs: {total} jobs on {} workers", o.workers);
 
     let (tx, rx) = channel();
@@ -126,7 +172,10 @@ fn main() {
             }
             match e {
                 JobEvent::Started { job, label, worker } => {
-                    eprintln!("[{:>3}/{total}] started   {label} (worker {worker})", job + 1);
+                    eprintln!(
+                        "[{:>3}/{total}] started   {label} (worker {worker})",
+                        job + 1
+                    );
                 }
                 JobEvent::Progress { job, detail } => {
                     eprintln!("[{:>3}/{total}] progress  {detail}", job + 1);
@@ -152,7 +201,11 @@ fn main() {
         "detjobs: {}/{} jobs completed{}",
         batch.completed(),
         total,
-        if batch.has_failures() { " (with failures)" } else { "" }
+        if batch.has_failures() {
+            " (with failures)"
+        } else {
+            ""
+        }
     );
 
     let report = batch.report_json(o.include_facts);

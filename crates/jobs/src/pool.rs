@@ -210,8 +210,7 @@ impl JobPool {
                 .map(|(i, (label, f))| (i, label, f))
                 .collect(),
         );
-        let results: Mutex<Vec<Option<JobVerdict<T>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<JobVerdict<T>>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|s| {
             for worker in 0..self.workers.min(n.max(1)) {
                 let queue = &queue;
@@ -225,8 +224,7 @@ impl JobPool {
                     .stack_size(mujs_syntax::PARSER_STACK_BYTES);
                 builder
                     .spawn_scoped(s, move || loop {
-                        let Some((job, label, f)) = queue.lock().unwrap().pop_front()
-                        else {
+                        let Some((job, label, f)) = queue.lock().unwrap().pop_front() else {
                             return;
                         };
                         let verdict = if cancel.is_cancelled() {
@@ -342,9 +340,7 @@ mod tests {
         let jobs: Vec<(String, _)> = (0..16usize)
             .map(|i| {
                 (format!("j{i}"), move |_ctx: &JobCtx| {
-                    std::thread::sleep(std::time::Duration::from_millis(
-                        (16 - i) as u64,
-                    ));
+                    std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
                     i * 10
                 })
             })
@@ -392,13 +388,10 @@ mod tests {
     fn events_stream_start_progress_finish() {
         let (tx, rx) = channel();
         let pool = JobPool::new(1).with_events(tx);
-        let jobs: Vec<(String, _)> = vec![(
-            "one".to_owned(),
-            |ctx: &JobCtx| {
-                ctx.progress("halfway");
-                42
-            },
-        )];
+        let jobs: Vec<(String, _)> = vec![("one".to_owned(), |ctx: &JobCtx| {
+            ctx.progress("halfway");
+            42
+        })];
         let out = pool.run(jobs);
         assert!(matches!(out[0], JobVerdict::Done(42)));
         let kinds: Vec<String> = rx

@@ -110,8 +110,7 @@ impl Manifest {
     /// A human-readable message for malformed JSON, an empty job list, or
     /// duplicate/empty job names.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        let m: Manifest =
-            serde_json::from_str(s).map_err(|e| format!("manifest JSON: {e:?}"))?;
+        let m: Manifest = serde_json::from_str(s).map_err(|e| format!("manifest JSON: {e:?}"))?;
         m.validate()?;
         Ok(m)
     }
@@ -142,8 +141,8 @@ impl Manifest {
         paths.sort();
         let mut jobs = Vec::new();
         for p in paths {
-            let src = std::fs::read_to_string(&p)
-                .map_err(|e| format!("read {}: {e}", p.display()))?;
+            let src =
+                std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
             let name = p
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())
@@ -217,16 +216,16 @@ mod tests {
         assert_eq!(m2.jobs.len(), 2);
         assert_eq!(m2.jobs[0].effective_seeds(), vec![1, 2, 3]);
         assert_eq!(m2.jobs[0].effective_config().deadline_ms, Some(5000));
-        assert_eq!(m2.jobs[1].effective_seeds(), vec![AnalysisConfig::default().seed]);
+        assert_eq!(
+            m2.jobs[1].effective_seeds(),
+            vec![AnalysisConfig::default().seed]
+        );
     }
 
     #[test]
     fn validation_rejects_duplicates_and_empties() {
         assert!(Manifest::new(vec![]).validate().is_err());
-        let dup = Manifest::new(vec![
-            JobSpec::new("x", "1;"),
-            JobSpec::new("x", "2;"),
-        ]);
+        let dup = Manifest::new(vec![JobSpec::new("x", "1;"), JobSpec::new("x", "2;")]);
         assert!(dup.validate().unwrap_err().contains("duplicate"));
     }
 

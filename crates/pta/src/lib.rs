@@ -29,4 +29,4 @@ pub mod nodes;
 pub mod solver;
 
 pub use nodes::{AbsObj, Node};
-pub use solver::{solve, PtaConfig, PtaResult, PtaStats, PtaStatus};
+pub use solver::{solve, InjectedFacts, PtaConfig, PtaPrecision, PtaResult, PtaStats, PtaStatus};

@@ -30,7 +30,7 @@ impl AbsObj {
 }
 
 /// A pointer node (holds a points-to set).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Node {
     /// A frame temporary of a function.
     Temp(FuncId, u32),

@@ -16,7 +16,36 @@ use crate::nodes::{AbsObj, Node};
 use mujs_ir::ir::{Place, PropKey, StmtKind};
 use mujs_ir::resolve::{Binding, Resolver};
 use mujs_ir::{FuncId, FuncKind, Program, Stmt, StmtId, Sym};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Determinacy facts injected into the solver: per-site resolutions of
+/// dynamic property keys and call targets, keyed by statement id.
+///
+/// The paper's pipeline removes ⋆-smearing by *rewriting the source*
+/// (specialization) and re-running the analysis; fact injection achieves
+/// the same precision without touching the program — when a site carries
+/// a fact, the solver treats the dynamic key as static (resp. resolves
+/// the call directly) instead of routing through the per-object ⋆ nodes.
+#[derive(Debug, Clone, Default)]
+pub struct InjectedFacts {
+    /// Dynamic property accesses (`GetProp`/`SetProp` with
+    /// [`PropKey::Dynamic`]) whose key is determinate: site → interned key.
+    pub prop_keys: HashMap<StmtId, Sym>,
+    /// Call/new sites whose callee is determinate: site → target function.
+    pub callees: HashMap<StmtId, FuncId>,
+}
+
+impl InjectedFacts {
+    /// Total number of injectable facts.
+    pub fn len(&self) -> usize {
+        self.prop_keys.len() + self.callees.len()
+    }
+
+    /// Whether there is anything to inject.
+    pub fn is_empty(&self) -> bool {
+        self.prop_keys.is_empty() && self.callees.is_empty()
+    }
+}
 
 /// Solver configuration.
 #[derive(Debug, Clone)]
@@ -24,11 +53,17 @@ pub struct PtaConfig {
     /// Propagation-work budget (points-to insertions); exceeding it stops
     /// the analysis with [`PtaStatus::BudgetExceeded`].
     pub budget: u64,
+    /// Determinacy facts to consult at dynamic property accesses and
+    /// call sites (`None` = plain baseline analysis).
+    pub facts: Option<InjectedFacts>,
 }
 
 impl Default for PtaConfig {
     fn default() -> Self {
-        PtaConfig { budget: 25_000_000 }
+        PtaConfig {
+            budget: 25_000_000,
+            facts: None,
+        }
     }
 }
 
@@ -52,6 +87,28 @@ pub struct PtaStats {
     pub edges: u64,
     /// Call edges discovered.
     pub call_edges: usize,
+    /// Dynamic property accesses resolved by an injected fact.
+    pub injected_keys: usize,
+    /// Call sites resolved by an injected fact.
+    pub injected_calls: usize,
+}
+
+/// Precision metrics of a finished solve, comparable across baseline,
+/// fact-injected, and specialized runs of the same source program.
+#[derive(Debug, Clone, Default)]
+pub struct PtaPrecision {
+    /// Call sites with at least one resolved target.
+    pub call_sites: usize,
+    /// Call sites with more than one (canonical) target.
+    pub poly_sites: usize,
+    /// Mean number of canonical targets per resolved call site.
+    pub avg_targets: f64,
+    /// Mean points-to set size over variable nodes with non-empty sets.
+    pub avg_points_to: f64,
+    /// Largest points-to set over variable nodes.
+    pub max_points_to: usize,
+    /// Distinct (canonical) functions appearing as call targets.
+    pub reachable_funcs: usize,
 }
 
 /// Result of a solve.
@@ -64,7 +121,7 @@ pub struct PtaResult {
     pts: HashMap<u32, HashSet<u32>>,
     node_ids: HashMap<Node, u32>,
     objs: Vec<AbsObj>,
-    call_graph: HashMap<StmtId, HashSet<FuncId>>,
+    call_graph: BTreeMap<StmtId, BTreeSet<FuncId>>,
 }
 
 impl PtaResult {
@@ -73,13 +130,7 @@ impl PtaResult {
         let Some(id) = self.node_ids.get(node) else {
             return Vec::new();
         };
-        let mut v: Vec<AbsObj> = self
-            .pts
-            .get(id)
-            .map(|s| s.iter().map(|o| self.objs[*o as usize].clone()).collect())
-            .unwrap_or_default();
-        v.sort();
-        v
+        self.points_to_id(*id)
     }
 
     /// Functions a call/new site may invoke.
@@ -93,8 +144,8 @@ impl PtaResult {
         v
     }
 
-    /// All resolved call edges.
-    pub fn call_graph(&self) -> &HashMap<StmtId, HashSet<FuncId>> {
+    /// All resolved call edges, in deterministic (site, target) order.
+    pub fn call_graph(&self) -> &BTreeMap<StmtId, BTreeSet<FuncId>> {
         &self.call_graph
     }
 
@@ -102,6 +153,87 @@ impl PtaResult {
     /// metric).
     pub fn polymorphic_sites(&self, k: usize) -> usize {
         self.call_graph.values().filter(|s| s.len() > k).count()
+    }
+
+    /// Every materialized node with its (sorted) points-to set, in
+    /// deterministic node order — byte-identical across runs.
+    pub fn all_points_to(&self) -> Vec<(Node, Vec<AbsObj>)> {
+        let mut v: Vec<(Node, Vec<AbsObj>)> = self
+            .node_ids
+            .iter()
+            .map(|(n, id)| (n.clone(), self.points_to_id(*id)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn points_to_id(&self, id: u32) -> Vec<AbsObj> {
+        let mut v: Vec<AbsObj> = self
+            .pts
+            .get(&id)
+            .map(|s| s.iter().map(|o| self.objs[*o as usize].clone()).collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Precision metrics comparable across baseline / fact-injected /
+    /// specialized runs. Call targets are canonicalized through
+    /// `specialized_from` so that a specialized program's clones count as
+    /// their originals.
+    pub fn precision(&self, prog: &Program) -> PtaPrecision {
+        let canon = |mut f: FuncId| {
+            let mut fuel = 64;
+            while let Some(orig) = prog.func(f).specialized_from {
+                f = orig;
+                fuel -= 1;
+                if fuel == 0 {
+                    break;
+                }
+            }
+            f
+        };
+        let call_sites = self.call_graph.len();
+        let mut poly_sites = 0;
+        let mut total_targets = 0usize;
+        let mut reachable: BTreeSet<FuncId> = BTreeSet::new();
+        for targets in self.call_graph.values() {
+            let canonical: BTreeSet<FuncId> = targets.iter().map(|&f| canon(f)).collect();
+            if canonical.len() > 1 {
+                poly_sites += 1;
+            }
+            total_targets += canonical.len();
+            reachable.extend(canonical);
+        }
+        let mut var_nodes = 0usize;
+        let mut sum = 0usize;
+        let mut max_points_to = 0usize;
+        for (node, id) in &self.node_ids {
+            if matches!(node, Node::Temp(..) | Node::Local(..)) {
+                let sz = self.pts.get(id).map_or(0, |s| s.len());
+                if sz > 0 {
+                    var_nodes += 1;
+                    sum += sz;
+                    max_points_to = max_points_to.max(sz);
+                }
+            }
+        }
+        PtaPrecision {
+            call_sites,
+            poly_sites,
+            avg_targets: if call_sites > 0 {
+                total_targets as f64 / call_sites as f64
+            } else {
+                0.0
+            },
+            avg_points_to: if var_nodes > 0 {
+                sum as f64 / var_nodes as f64
+            } else {
+                0.0
+            },
+            max_points_to,
+            reachable_funcs: reachable.len(),
+        }
     }
 }
 
@@ -138,7 +270,7 @@ struct Solver<'p> {
     edges: Vec<Vec<u32>>,
     pending: Vec<Vec<Pending>>,
     worklist: VecDeque<(u32, u32)>, // (node, new obj)
-    call_graph: HashMap<StmtId, HashSet<FuncId>>,
+    call_graph: BTreeMap<StmtId, BTreeSet<FuncId>>,
     processed_funcs: HashSet<FuncId>,
     func_queue: VecDeque<FuncId>,
     stats: PtaStats,
@@ -159,7 +291,7 @@ impl<'p> Solver<'p> {
             edges: Vec::new(),
             pending: Vec::new(),
             worklist: VecDeque::new(),
-            call_graph: HashMap::new(),
+            call_graph: BTreeMap::new(),
             processed_funcs: HashSet::new(),
             func_queue: VecDeque::new(),
             stats: PtaStats::default(),
@@ -208,17 +340,19 @@ impl<'p> Solver<'p> {
     }
 
     fn insert(&mut self, node: u32, obj: u32) {
-        if self.exhausted {
+        if self.exhausted || self.pts[node as usize].contains(&obj) {
             return;
         }
-        if self.pts[node as usize].insert(obj) {
-            self.stats.propagations += 1;
-            if self.stats.propagations > self.cfg.budget {
-                self.exhausted = true;
-                return;
-            }
-            self.worklist.push_back((node, obj));
+        // Check *before* inserting: a solve that needs exactly `budget`
+        // insertions completes, and the recorded propagation count always
+        // equals the number of facts actually inserted.
+        if self.stats.propagations == self.cfg.budget {
+            self.exhausted = true;
+            return;
         }
+        self.pts[node as usize].insert(obj);
+        self.stats.propagations += 1;
+        self.worklist.push_back((node, obj));
     }
 
     fn seed(&mut self, node: u32, o: AbsObj) {
@@ -414,8 +548,7 @@ impl<'p> Solver<'p> {
                     let alloc_id = self.obj(alloc.clone());
                     self.insert(this_n, alloc_id);
                     // Its prototype chain parent is F.prototype's value.
-                    let fproto =
-                        self.node(Node::Prop(AbsObj::Closure(f), Sym::PROTOTYPE));
+                    let fproto = self.node(Node::Prop(AbsObj::Closure(f), Sym::PROTOTYPE));
                     let pv = self.node(Node::ProtoVar(alloc));
                     self.add_edge(fproto, pv);
                 } else if let Some(t) = this {
@@ -446,6 +579,36 @@ impl<'p> Solver<'p> {
     }
 
     // ----------------------------------------------------- per-statement
+
+    /// The effective key of a property access: static keys pass through;
+    /// dynamic keys resolve through an injected determinacy fact when one
+    /// exists for the site.
+    fn site_key(&mut self, site: StmtId, key: &PropKey) -> Option<Sym> {
+        match key {
+            PropKey::Static(k) => Some(*k),
+            PropKey::Dynamic(_) => {
+                let injected = self
+                    .cfg
+                    .facts
+                    .as_ref()
+                    .and_then(|f| f.prop_keys.get(&site))
+                    .copied();
+                if injected.is_some() {
+                    self.stats.injected_keys += 1;
+                }
+                injected
+            }
+        }
+    }
+
+    /// The injected determinate callee of a call/new site, if any.
+    fn site_callee(&self, site: StmtId) -> Option<FuncId> {
+        self.cfg
+            .facts
+            .as_ref()
+            .and_then(|f| f.callees.get(&site))
+            .copied()
+    }
 
     fn gen_function(&mut self, fid: FuncId) {
         let f = self.prog.func(fid).clone();
@@ -501,19 +664,13 @@ impl<'p> Solver<'p> {
                 StmtKind::GetProp { dst, obj, key } => {
                     let d = self.place_node(wf, dst);
                     let o = self.place_node(wf, obj);
-                    let key = match key {
-                        PropKey::Static(k) => Some(*k),
-                        PropKey::Dynamic(_) => None,
-                    };
+                    let key = self.site_key(s.id, key);
                     self.attach(o, Pending::Load { key, dst: d });
                 }
                 StmtKind::SetProp { obj, key, val } => {
                     let o = self.place_node(wf, obj);
                     let v = self.place_node(wf, val);
-                    let key = match key {
-                        PropKey::Static(k) => Some(*k),
-                        PropKey::Dynamic(_) => None,
-                    };
+                    let key = self.site_key(s.id, key);
                     self.attach(o, Pending::Store { key, src: v });
                 }
                 StmtKind::DeleteProp { .. } => {}
@@ -525,36 +682,48 @@ impl<'p> Solver<'p> {
                     args,
                 } => {
                     let d = self.place_node(wf, dst);
-                    let c = self.place_node(wf, callee);
                     let t = this_arg.as_ref().map(|p| self.place_node(wf, p));
-                    let a: Vec<u32> =
-                        args.iter().map(|p| self.place_node(wf, p)).collect();
-                    self.attach(
-                        c,
-                        Pending::Call {
-                            site: s.id,
-                            this: t,
-                            args: a,
-                            dst: d,
-                            is_new: false,
-                        },
-                    );
+                    let a: Vec<u32> = args.iter().map(|p| self.place_node(wf, p)).collect();
+                    if let Some(target) = self.site_callee(s.id) {
+                        // Determinate callee: wire the one target directly
+                        // instead of waiting for closures to flow in.
+                        self.stats.injected_calls += 1;
+                        self.init_closure(target);
+                        self.apply_call(&AbsObj::Closure(target), s.id, t, a, d, false);
+                    } else {
+                        let c = self.place_node(wf, callee);
+                        self.attach(
+                            c,
+                            Pending::Call {
+                                site: s.id,
+                                this: t,
+                                args: a,
+                                dst: d,
+                                is_new: false,
+                            },
+                        );
+                    }
                 }
                 StmtKind::New { dst, callee, args } => {
                     let d = self.place_node(wf, dst);
-                    let c = self.place_node(wf, callee);
-                    let a: Vec<u32> =
-                        args.iter().map(|p| self.place_node(wf, p)).collect();
-                    self.attach(
-                        c,
-                        Pending::Call {
-                            site: s.id,
-                            this: None,
-                            args: a,
-                            dst: d,
-                            is_new: true,
-                        },
-                    );
+                    let a: Vec<u32> = args.iter().map(|p| self.place_node(wf, p)).collect();
+                    if let Some(target) = self.site_callee(s.id) {
+                        self.stats.injected_calls += 1;
+                        self.init_closure(target);
+                        self.apply_call(&AbsObj::Closure(target), s.id, None, a, d, true);
+                    } else {
+                        let c = self.place_node(wf, callee);
+                        self.attach(
+                            c,
+                            Pending::Call {
+                                site: s.id,
+                                this: None,
+                                args: a,
+                                dst: d,
+                                is_new: true,
+                            },
+                        );
+                    }
                 }
                 StmtKind::If {
                     then_blk, else_blk, ..

@@ -53,9 +53,7 @@ fn direct_call_resolves() {
 
 #[test]
 fn higher_order_call_resolves() {
-    let (prog, r) = setup(
-        "function apply(g) { g(); }\nfunction target() {}\napply(target);",
-    );
+    let (prog, r) = setup("function apply(g) { g(); }\nfunction target() {}\napply(target);");
     let target = func_named(&prog, "target");
     let sites = call_sites(&prog);
     // One of the sites (the inner g()) must resolve to `target`.
@@ -64,9 +62,7 @@ fn higher_order_call_resolves() {
 
 #[test]
 fn closures_flow_through_object_fields() {
-    let (prog, r) = setup(
-        "function m() {}\nvar o = {};\no.method = m;\no.method();",
-    );
+    let (prog, r) = setup("function m() {}\nvar o = {};\no.method = m;\no.method();");
     let m = func_named(&prog, "m");
     let sites = call_sites(&prog);
     assert!(sites.iter().any(|s| r.callees(*s).contains(&m)));
@@ -74,16 +70,16 @@ fn closures_flow_through_object_fields() {
 
 #[test]
 fn field_sensitivity_distinguishes_static_names() {
-    let (prog, r) = setup(
-        "function a() {}\nfunction b() {}\nvar o = {};\no.x = a;\no.y = b;\no.x();",
-    );
+    let (prog, r) =
+        setup("function a() {}\nfunction b() {}\nvar o = {};\no.x = a;\no.y = b;\no.x();");
     let a = func_named(&prog, "a");
     let b = func_named(&prog, "b");
     let sites = call_sites(&prog);
     // The o.x() site sees only `a`.
     assert!(sites.iter().any(|s| r.callees(*s) == vec![a]));
-    assert!(!sites.iter().any(|s| r.callees(*s).contains(&b)
-        && r.callees(*s).contains(&a)));
+    assert!(!sites
+        .iter()
+        .any(|s| r.callees(*s).contains(&b) && r.callees(*s).contains(&a)));
 }
 
 #[test]
@@ -116,9 +112,8 @@ fn dynamic_read_sees_all_static_stores() {
 
 #[test]
 fn static_accesses_do_not_smear() {
-    let (prog, r) = setup(
-        "function a() {}\nfunction b() {}\nvar o = {};\no.x = a;\no.y = b;\no.y();",
-    );
+    let (prog, r) =
+        setup("function a() {}\nfunction b() {}\nvar o = {};\no.x = a;\no.y = b;\no.y();");
     let a = func_named(&prog, "a");
     let sites = call_sites(&prog);
     // No site should see `a` together with... the o.y() site must be
@@ -140,9 +135,8 @@ fn methods_via_prototype_chain() {
 
 #[test]
 fn constructor_this_receives_alloc() {
-    let (prog, r) = setup(
-        "function Rect(w) { this.w = w; }\nvar obj = {};\nvar r0 = new Rect(obj);",
-    );
+    let (prog, r) =
+        setup("function Rect(w) { this.w = w; }\nvar obj = {};\nvar r0 = new Rect(obj);");
     let rect = func_named(&prog, "Rect");
     // `this` of Rect points to the allocation at the `new` site.
     let this_pts = r.points_to(&Node::This(rect));
@@ -161,9 +155,7 @@ fn return_values_flow_to_callers() {
 
 #[test]
 fn throw_reaches_catch() {
-    let (prog, r) = setup(
-        "var payload = {};\ntry { throw payload; } catch (e) { var got = e; }",
-    );
+    let (prog, r) = setup("var payload = {};\ntry { throw payload; } catch (e) { var got = e; }");
     let got = r.points_to(&global_var(&prog, "got"));
     assert!(got.iter().any(|x| matches!(x, AbsObj::Alloc(_))));
 }
@@ -182,7 +174,10 @@ fn budget_exhaustion_reports_timeout() {
     // more objects — with a tiny budget this must time out.
     let mut src = String::new();
     for i in 0..30 {
-        src.push_str(&format!("function f{i}() {{ return f{}; }}\n", (i + 1) % 30));
+        src.push_str(&format!(
+            "function f{i}() {{ return f{}; }}\n",
+            (i + 1) % 30
+        ));
     }
     src.push_str("var o = {};\nvar k = \"\" + \"x\";\n");
     for i in 0..30 {
@@ -191,7 +186,13 @@ fn budget_exhaustion_reports_timeout() {
     src.push_str("var h = o[k]; h()();\n");
     let ast = mujs_syntax::parse(&src).unwrap();
     let prog = mujs_ir::lower_program(&ast);
-    let tiny = solve(&prog, &PtaConfig { budget: 50 });
+    let tiny = solve(
+        &prog,
+        &PtaConfig {
+            budget: 50,
+            ..Default::default()
+        },
+    );
     assert_eq!(tiny.status, PtaStatus::BudgetExceeded);
     let full = solve(&prog, &PtaConfig::default());
     assert_eq!(full.status, PtaStatus::Completed);
@@ -214,9 +215,7 @@ fn solver_is_deterministic() {
 
 #[test]
 fn unreachable_functions_not_analyzed() {
-    let (prog, r) = setup(
-        "function used() {}\nvar f = function unused() { deep(); };\nused();",
-    );
+    let (prog, r) = setup("function used() {}\nvar f = function unused() { deep(); };\nused();");
     let used = func_named(&prog, "used");
     let sites = call_sites(&prog);
     // The call inside `unused` resolves nothing because `deep` has no
@@ -226,9 +225,8 @@ fn unreachable_functions_not_analyzed() {
 
 #[test]
 fn polymorphic_site_metric() {
-    let (_, r) = setup(
-        "function a(){}\nfunction b(){}\nvar c = Math.random() < 0.5 ? a : b;\nc();",
-    );
+    let (_, r) =
+        setup("function a(){}\nfunction b(){}\nvar c = Math.random() < 0.5 ? a : b;\nc();");
     assert_eq!(r.polymorphic_sites(1), 1);
     assert_eq!(r.polymorphic_sites(2), 0);
 }
@@ -278,4 +276,177 @@ r.getWidth();
     assert!(!sites
         .iter()
         .any(|s| r.callees(*s).contains(&getter) && r.callees(*s).contains(&setter)));
+}
+
+// ---------------------------------------------------------------------
+// Budget boundary semantics.
+// ---------------------------------------------------------------------
+
+fn sum_points_to(r: &PtaResult) -> usize {
+    r.all_points_to().iter().map(|(_, pts)| pts.len()).sum()
+}
+
+#[test]
+fn exact_budget_solve_completes() {
+    let src = "function mk() { return {}; } var o = mk(); var p = mk();";
+    let ast = mujs_syntax::parse(src).unwrap();
+    let prog = mujs_ir::lower_program(&ast);
+    let full = solve(&prog, &PtaConfig::default());
+    assert_eq!(full.status, PtaStatus::Completed);
+    let needed = full.stats.propagations;
+    assert!(needed > 0);
+    // A budget of exactly the required work is sufficient...
+    let exact = solve(
+        &prog,
+        &PtaConfig {
+            budget: needed,
+            ..Default::default()
+        },
+    );
+    assert_eq!(exact.status, PtaStatus::Completed);
+    assert_eq!(exact.stats.propagations, needed);
+    // ...and one less is not.
+    let short = solve(
+        &prog,
+        &PtaConfig {
+            budget: needed - 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(short.status, PtaStatus::BudgetExceeded);
+    assert_eq!(short.stats.propagations, needed - 1);
+}
+
+#[test]
+fn partial_result_is_queryable_and_consistent() {
+    let src = "function a(){} function b(){} var o = {x:a, y:b}; o.x(); o.y();";
+    let ast = mujs_syntax::parse(src).unwrap();
+    let prog = mujs_ir::lower_program(&ast);
+    let full = solve(&prog, &PtaConfig::default());
+    // Every truncation point yields a queryable result whose recorded
+    // propagation count equals the number of facts actually present.
+    for budget in 0..full.stats.propagations {
+        let partial = solve(
+            &prog,
+            &PtaConfig {
+                budget,
+                ..Default::default()
+            },
+        );
+        assert_eq!(partial.status, PtaStatus::BudgetExceeded);
+        assert_eq!(partial.stats.propagations, budget);
+        assert_eq!(sum_points_to(&partial) as u64, budget);
+        // Queries on the partial result never panic and only under-report.
+        for site in call_sites(&prog) {
+            let p = partial.callees(site);
+            let f = full.callees(site);
+            assert!(p.iter().all(|c| f.contains(c)));
+        }
+    }
+    assert_eq!(sum_points_to(&full) as u64, full.stats.propagations);
+}
+
+// ---------------------------------------------------------------------
+// Determinacy-fact injection.
+// ---------------------------------------------------------------------
+
+use mujs_pta::InjectedFacts;
+
+fn dynamic_prop_sites(prog: &Program) -> Vec<StmtId> {
+    use mujs_ir::ir::PropKey;
+    let mut out = Vec::new();
+    for f in &prog.funcs {
+        Program::walk_block(&f.body, &mut |s| match &s.kind {
+            StmtKind::GetProp {
+                key: PropKey::Dynamic(_),
+                ..
+            }
+            | StmtKind::SetProp {
+                key: PropKey::Dynamic(_),
+                ..
+            } => out.push(s.id),
+            _ => {}
+        });
+    }
+    out
+}
+
+#[test]
+fn injected_prop_key_removes_smearing() {
+    let src = "function a(){}\nfunction b(){}\nvar o = {x:a, y:b};\nvar k = \"x\" + \"\";\no[k]();";
+    let ast = mujs_syntax::parse(src).unwrap();
+    let prog = mujs_ir::lower_program(&ast);
+    let a = func_named(&prog, "a");
+    let b = func_named(&prog, "b");
+    let dyn_sites = dynamic_prop_sites(&prog);
+    assert_eq!(dyn_sites.len(), 1);
+
+    let baseline = solve(&prog, &PtaConfig::default());
+    let sites = call_sites(&prog);
+    assert!(sites
+        .iter()
+        .any(|s| baseline.callees(*s).contains(&a) && baseline.callees(*s).contains(&b)));
+
+    let mut facts = InjectedFacts::default();
+    facts
+        .prop_keys
+        .insert(dyn_sites[0], prog.interner.get("x").unwrap());
+    let injected = solve(
+        &prog,
+        &PtaConfig {
+            facts: Some(facts),
+            ..Default::default()
+        },
+    );
+    assert_eq!(injected.stats.injected_keys, 1);
+    // The call now sees only `a` — same precision as a source rewrite.
+    assert!(sites.iter().any(|s| injected.callees(*s) == vec![a]));
+    assert!(!sites.iter().any(|s| injected.callees(*s).contains(&b)));
+}
+
+#[test]
+fn injected_callee_resolves_opaque_call() {
+    // Baseline cannot see through eval: the call is unresolved and its
+    // result opaque. A determinacy fact names the target exactly.
+    let src = "function t() { return {}; }\nvar f = eval(\"t\");\nvar o = f();";
+    let ast = mujs_syntax::parse(src).unwrap();
+    let prog = mujs_ir::lower_program(&ast);
+    let t = func_named(&prog, "t");
+    let sites = call_sites(&prog);
+    assert_eq!(sites.len(), 1);
+
+    let baseline = solve(&prog, &PtaConfig::default());
+    assert!(baseline.callees(sites[0]).is_empty());
+
+    let mut facts = InjectedFacts::default();
+    facts.callees.insert(sites[0], t);
+    let injected = solve(
+        &prog,
+        &PtaConfig {
+            facts: Some(facts),
+            ..Default::default()
+        },
+    );
+    assert_eq!(injected.stats.injected_calls, 1);
+    assert_eq!(injected.callees(sites[0]), vec![t]);
+    // The return value now flows to the caller.
+    let o = injected.points_to(&global_var(&prog, "o"));
+    assert!(o.iter().any(|x| matches!(x, AbsObj::Alloc(_))));
+}
+
+#[test]
+fn deterministic_exports_are_byte_identical() {
+    let src = "function a(){} function b(){} var o = {x:a, y:b}; o.x()(); o.y(); var z = new a();";
+    let ast = mujs_syntax::parse(src).unwrap();
+    let prog = mujs_ir::lower_program(&ast);
+    let r1 = solve(&prog, &PtaConfig::default());
+    let r2 = solve(&prog, &PtaConfig::default());
+    assert_eq!(
+        format!("{:?}", r1.all_points_to()),
+        format!("{:?}", r2.all_points_to())
+    );
+    assert_eq!(
+        format!("{:?}", r1.call_graph()),
+        format!("{:?}", r2.call_graph())
+    );
 }

@@ -206,7 +206,10 @@ fn run_one(
     let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => {
-            format!("  {:.1} MiB/s", n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0))
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0)
+            )
         }
         Some(Throughput::Elements(n)) => {
             format!("  {:.1} Melem/s", n as f64 / mean_ns * 1e3)

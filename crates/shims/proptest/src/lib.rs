@@ -231,7 +231,11 @@ pub mod strategy {
     impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
         type Value = (A::Value, B::Value, C::Value);
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
         }
     }
 
@@ -358,7 +362,10 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
         }
     }
 
@@ -434,10 +441,7 @@ pub mod pattern {
             match self {
                 Atom::Lit(c) => *c,
                 Atom::Class(ranges) => {
-                    let total: u32 = ranges
-                        .iter()
-                        .map(|(a, b)| *b as u32 - *a as u32 + 1)
-                        .sum();
+                    let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
                     let mut k = (rng.next_u64() % total as u64) as u32;
                     for (a, b) in ranges {
                         let w = *b as u32 - *a as u32 + 1;
@@ -460,10 +464,7 @@ pub mod pattern {
                 let mut ranges = Vec::new();
                 while *i < chars.len() && chars[*i] != ']' {
                     let lo = take_class_char(chars, i);
-                    if *i + 1 < chars.len()
-                        && chars[*i] == '-'
-                        && chars[*i + 1] != ']'
-                    {
+                    if *i + 1 < chars.len() && chars[*i] == '-' && chars[*i + 1] != ']' {
                         *i += 1;
                         let hi = take_class_char(chars, i);
                         ranges.push((lo, hi));
@@ -700,13 +701,9 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (left, right) = (&$a, &$b);
         if *left == *right {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::fail(::std::format!(
-                    "assertion failed: {:?} != {:?}",
-                    left,
-                    right
-                )),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {:?} != {:?}", left, right),
+            ));
         }
     }};
 }

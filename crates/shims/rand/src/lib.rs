@@ -28,7 +28,9 @@ impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         // One warm-up scramble so nearby seeds (0, 1, 2, ...) diverge
         // immediately.
-        let mut r = StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+        let mut r = StdRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
         let _ = r.next_u64();
         r
     }

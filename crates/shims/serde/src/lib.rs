@@ -183,8 +183,7 @@ impl Serialize for bool {
 }
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_bool()
-            .ok_or_else(|| DeError::custom("expected bool"))
+        v.as_bool().ok_or_else(|| DeError::custom("expected bool"))
     }
 }
 
@@ -272,13 +271,11 @@ impl Deserialize for Value {
 
 /// Looks up a struct field during derived deserialization. Absent keys
 /// deserialize from `Null` so `Option` fields tolerate omission.
-pub fn field<T: Deserialize>(
-    obj: &[(String, Value)],
-    name: &str,
-) -> Result<T, DeError> {
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
     match obj.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| DeError::custom(format!("field `{name}`: {}", e.0))),
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::custom(format!("field `{name}`: {}", e.0)))
+        }
         None => T::from_value(&Value::Null)
             .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
     }
@@ -312,14 +309,22 @@ fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
             });
         }
         Value::Object(fields) => {
-            render_seq(fields.iter(), indent, depth, out, '{', '}', |(k, val), o| {
-                render_str(k, o);
-                o.push(':');
-                if indent.is_some() {
-                    o.push(' ');
-                }
-                render(val, indent, depth + 1, o);
-            });
+            render_seq(
+                fields.iter(),
+                indent,
+                depth,
+                out,
+                '{',
+                '}',
+                |(k, val), o| {
+                    render_str(k, o);
+                    o.push(':');
+                    if indent.is_some() {
+                        o.push(' ');
+                    }
+                    render(val, indent, depth + 1, o);
+                },
+            );
         }
     }
 }

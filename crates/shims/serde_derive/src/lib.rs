@@ -31,8 +31,14 @@ enum Which {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -52,15 +58,11 @@ fn expand(input: TokenStream, which: Which) -> TokenStream {
     match parse_item(input) {
         Ok(item) => {
             let code = match (&item, which) {
-                (Item::Struct { name, fields }, Which::Serialize) => {
-                    struct_serialize(name, fields)
-                }
+                (Item::Struct { name, fields }, Which::Serialize) => struct_serialize(name, fields),
                 (Item::Struct { name, fields }, Which::Deserialize) => {
                     struct_deserialize(name, fields)
                 }
-                (Item::Enum { name, variants }, Which::Serialize) => {
-                    enum_serialize(name, variants)
-                }
+                (Item::Enum { name, variants }, Which::Serialize) => enum_serialize(name, variants),
                 (Item::Enum { name, variants }, Which::Deserialize) => {
                     enum_deserialize(name, variants)
                 }
@@ -196,9 +198,7 @@ fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
             _ => VariantKind::Unit,
         };
         // Skip an optional discriminant, then the separating comma.
-        while i < body.len()
-            && !matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',')
-        {
+        while i < body.len() && !matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
             i += 1;
         }
         i += 1;

@@ -172,8 +172,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                             .get(*pos + 1..*pos + 5)
                             .ok_or_else(|| Error("bad \\u escape".into()))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex)
-                                .map_err(|_| Error("bad \\u escape".into()))?,
+                            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
                             16,
                         )
                         .map_err(|_| Error("bad \\u escape".into()))?;
@@ -189,8 +188,8 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
             }
             Some(_) => {
                 // Consume one UTF-8 encoded char.
-                let rest = std::str::from_utf8(&b[*pos..])
-                    .map_err(|_| Error("invalid utf-8".into()))?;
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| Error("invalid utf-8".into()))?;
                 let c = rest.chars().next().unwrap();
                 out.push(c);
                 *pos += c.len_utf8();
@@ -204,9 +203,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, Error> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
     }
     std::str::from_utf8(&b[start..*pos])

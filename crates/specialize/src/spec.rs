@@ -141,6 +141,7 @@ pub fn specialize(
     fe.body = new_body.body;
     fe.n_temps = new_body.n_temps;
     merge_decls(fe, new_body.extra_decls);
+    fe.has_direct_eval = contains_eval(&fe.body);
     let mut report = sp.report;
     // Count surviving evals across the output program.
     let mut remaining = 0usize;
@@ -342,9 +343,7 @@ impl Specializer<'_> {
                 finally,
             } => {
                 let b = self.rewrite_block(block, cx);
-                let c = catch
-                    .as_ref()
-                    .map(|(n, h)| (*n, self.rewrite_block(h, cx)));
+                let c = catch.as_ref().map(|(n, h)| (*n, self.rewrite_block(h, cx)));
                 let fin = finally.as_ref().map(|h| self.rewrite_block(h, cx));
                 let st = self.fresh(
                     s,
@@ -405,20 +404,14 @@ impl Specializer<'_> {
                     match self.fact(FactKind::EvalArg, s.id, eval_ctx) {
                         Some(Fact::Det(FactValue::Str(code))) => {
                             let code = code.clone();
-                            if self.cfg.eliminate_eval
-                                && self.inline_eval(s, dst, &code, cx, out)
-                            {
+                            if self.cfg.eliminate_eval && self.inline_eval(s, dst, &code, cx, out) {
                                 self.report.evals_eliminated += 1;
-                                self.report
-                                    .eval_events
-                                    .push((s.id, EvalStatus::Eliminated));
+                                self.report.eval_events.push((s.id, EvalStatus::Eliminated));
                                 return;
                             }
                             EvalStatus::ParseFailed
                         }
-                        Some(Fact::Det(_)) | Some(Fact::Indet) => {
-                            EvalStatus::IndeterminateArg
-                        }
+                        Some(Fact::Det(_)) | Some(Fact::Indet) => EvalStatus::IndeterminateArg,
                         None => EvalStatus::NoFact,
                     }
                 };
@@ -589,8 +582,7 @@ impl Specializer<'_> {
         {
             return callee.clone();
         }
-        let Some(Fact::Det(FactValue::Closure(forig))) =
-            self.fact(FactKind::Callee, s.id, cx.ctx)
+        let Some(Fact::Det(FactValue::Closure(forig))) = self.fact(FactKind::Callee, s.id, cx.ctx)
         else {
             return callee.clone();
         };
@@ -653,10 +645,7 @@ impl Specializer<'_> {
         });
         for (id, tag) in sites {
             let hit = match tag {
-                0 => matches!(
-                    self.fact(FactKind::Cond, id, ctx),
-                    Some(Fact::Det(_))
-                ),
+                0 => matches!(self.fact(FactKind::Cond, id, ctx), Some(Fact::Det(_))),
                 1 => {
                     let c0 = self.ctxs.child(ctx, id, 0);
                     matches!(self.fact(FactKind::PropKey, id, c0), Some(Fact::Det(_)))
@@ -694,8 +683,22 @@ impl Specializer<'_> {
         fref.body = rewritten.body;
         fref.n_temps = rewritten.n_temps;
         merge_decls(fref, rewritten.extra_decls);
+        // Specializing determinate evals away makes the lowering-time flag
+        // stale; recompute it so downstream analyses (slot validation,
+        // closure-write sets, the PTA resolver) see the rewritten truth.
+        fref.has_direct_eval = contains_eval(&fref.body);
         clone_id
     }
+}
+
+fn contains_eval(body: &[Stmt]) -> bool {
+    let mut found = false;
+    Program::walk_block(body, &mut |s| {
+        if matches!(s.kind, StmtKind::Eval { .. }) {
+            found = true;
+        }
+    });
+    found
 }
 
 fn next_occ(cx: &mut RewriteCx, site: StmtId) -> u32 {

@@ -122,9 +122,7 @@ impl<'s> Lexer<'s> {
                     loop {
                         match self.peek() {
                             None => {
-                                return Err(
-                                    self.err(SyntaxErrorKind::UnterminatedComment, start)
-                                )
+                                return Err(self.err(SyntaxErrorKind::UnterminatedComment, start))
                             }
                             Some(b'\n') => {
                                 self.newline_pending = true;
@@ -144,9 +142,7 @@ impl<'s> Lexer<'s> {
     }
 
     fn number(&mut self, start: usize) -> Result<(), SyntaxError> {
-        if self.peek() == Some(b'0')
-            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
             self.pos += 2;
             let digits_start = self.pos;
             while self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
@@ -224,15 +220,19 @@ impl<'s> Lexer<'s> {
                         b'\n' => {} // line continuation
                         b'x' => {
                             let hex = self.take_hex(2, start)?;
-                            out.push(char::from_u32(hex).ok_or_else(|| {
-                                self.err(SyntaxErrorKind::InvalidEscape, start)
-                            })?);
+                            out.push(
+                                char::from_u32(hex).ok_or_else(|| {
+                                    self.err(SyntaxErrorKind::InvalidEscape, start)
+                                })?,
+                            );
                         }
                         b'u' => {
                             let hex = self.take_hex(4, start)?;
-                            out.push(char::from_u32(hex).ok_or_else(|| {
-                                self.err(SyntaxErrorKind::InvalidEscape, start)
-                            })?);
+                            out.push(
+                                char::from_u32(hex).ok_or_else(|| {
+                                    self.err(SyntaxErrorKind::InvalidEscape, start)
+                                })?,
+                            );
                         }
                         _ => {
                             // Unknown escapes denote the character itself,
@@ -393,10 +393,7 @@ mod tests {
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(
-            kinds(r#" "a\nb" "#)[0],
-            TokenKind::Str("a\nb".into())
-        );
+        assert_eq!(kinds(r#" "a\nb" "#)[0], TokenKind::Str("a\nb".into()));
         assert_eq!(kinds(r#"'it\'s'"#)[0], TokenKind::Str("it's".into()));
         assert_eq!(kinds(r#""\x41B""#)[0], TokenKind::Str("AB".into()));
     }

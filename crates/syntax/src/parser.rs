@@ -747,13 +747,9 @@ impl Parser {
             let arg = self.unary_expr()?;
             let span = start.to(arg.span);
             return match arg.kind {
-                ExprKind::Member(obj, key) => {
-                    Ok(Expr::new(ExprKind::Delete(obj, key), span))
-                }
+                ExprKind::Member(obj, key) => Ok(Expr::new(ExprKind::Delete(obj, key), span)),
                 _ => Err(SyntaxError {
-                    kind: SyntaxErrorKind::Unsupported(
-                        "`delete` of a non-member expression",
-                    ),
+                    kind: SyntaxErrorKind::Unsupported("`delete` of a non-member expression"),
                     span,
                 }),
             };
@@ -769,7 +765,10 @@ impl Parser {
                 });
             }
             let span = start.to(arg.span);
-            return Ok(Expr::new(ExprKind::Update(true, is_inc, Box::new(arg)), span));
+            return Ok(Expr::new(
+                ExprKind::Update(true, is_inc, Box::new(arg)),
+                span,
+            ));
         }
         self.postfix_expr()
     }
@@ -788,7 +787,10 @@ impl Parser {
             }
             let end = self.bump().span;
             let span = e.span.to(end);
-            return Ok(Expr::new(ExprKind::Update(false, is_inc, Box::new(e)), span));
+            return Ok(Expr::new(
+                ExprKind::Update(false, is_inc, Box::new(e)),
+                span,
+            ));
         }
         Ok(e)
     }
@@ -912,7 +914,10 @@ impl Parser {
             }
             TokenKind::Str(s) => {
                 self.bump();
-                Ok(Expr::new(ExprKind::Lit(Lit::Str(Rc::from(s.as_str()))), span))
+                Ok(Expr::new(
+                    ExprKind::Lit(Lit::Str(Rc::from(s.as_str()))),
+                    span,
+                ))
             }
             TokenKind::Keyword(Kw::True) => {
                 self.bump();

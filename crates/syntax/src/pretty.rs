@@ -117,10 +117,8 @@ impl Printer {
             StmtKind::Expr(e) => {
                 // Parenthesize statements that would otherwise start with
                 // `{` or `function`.
-                let needs_parens = matches!(
-                    e.kind,
-                    ExprKind::Object(_) | ExprKind::Function(_)
-                ) || starts_with_object_or_function(e);
+                let needs_parens = matches!(e.kind, ExprKind::Object(_) | ExprKind::Function(_))
+                    || starts_with_object_or_function(e);
                 if needs_parens {
                     self.out.push('(');
                     self.expr(e, 0);
@@ -377,9 +375,7 @@ impl Printer {
             ExprKind::Function(f) => self.function(f),
             ExprKind::Unary(op, arg) => {
                 self.out.push_str(op.as_str());
-                if matches!(op, UnOp::Typeof | UnOp::Void)
-                    || needs_space_between_unary(op, arg)
-                {
+                if matches!(op, UnOp::Typeof | UnOp::Void) || needs_space_between_unary(op, arg) {
                     self.out.push(' ');
                 }
                 self.expr(arg, 14);
@@ -560,9 +556,9 @@ fn needs_space_between_unary(op: &UnOp, arg: &Expr) -> bool {
 
 fn is_plain_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| {
-            c == '_' || c == '$' || c.is_ascii_alphabetic()
-        })
+        && s.chars()
+            .next()
+            .is_some_and(|c| c == '_' || c == '$' || c.is_ascii_alphabetic())
         && s.chars()
             .all(|c| c == '_' || c == '$' || c.is_ascii_alphanumeric())
         && crate::token::Keyword::lookup(s).is_none()
@@ -571,16 +567,14 @@ fn is_plain_ident(s: &str) -> bool {
 fn starts_with_object_or_function(e: &Expr) -> bool {
     match &e.kind {
         ExprKind::Object(_) | ExprKind::Function(_) => true,
-        ExprKind::Binary(_, l, _)
-        | ExprKind::Logical(_, l, _)
-        | ExprKind::Assign(_, l, _) => starts_with_object_or_function(l),
+        ExprKind::Binary(_, l, _) | ExprKind::Logical(_, l, _) | ExprKind::Assign(_, l, _) => {
+            starts_with_object_or_function(l)
+        }
         ExprKind::Cond(c, _, _) => starts_with_object_or_function(c),
         ExprKind::Call(c, _) => starts_with_object_or_function(c),
         ExprKind::Member(o, _) => starts_with_object_or_function(o),
         ExprKind::Update(false, _, a) => starts_with_object_or_function(a),
-        ExprKind::Seq(items) => items
-            .first()
-            .is_some_and(starts_with_object_or_function),
+        ExprKind::Seq(items) => items.first().is_some_and(starts_with_object_or_function),
         _ => false,
     }
 }
@@ -593,8 +587,7 @@ mod tests {
     fn roundtrip(src: &str) {
         let p1 = parse(src).unwrap();
         let printed = print_program(&p1);
-        let p2 = parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
         let reprinted = print_program(&p2);
         assert_eq!(printed, reprinted, "print is not a fixpoint for {src:?}");
     }

@@ -32,7 +32,12 @@ alert(r.toString());
 
 fn max_callees(prog: &Program, result: &mujs_pta::PtaResult) -> usize {
     let _ = prog;
-    result.call_graph().values().map(|s| s.len()).max().unwrap_or(0)
+    result
+        .call_graph()
+        .values()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -55,7 +60,12 @@ fn main() {
         max_callees(&h.program, &baseline)
     );
 
-    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    let spec = specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
     println!(
         "\nspecializer: {} clones, {} loops unrolled, {} keys made static, {} branches pruned",
         spec.report.clones,

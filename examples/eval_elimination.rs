@@ -60,7 +60,12 @@ fn main() {
     }
 
     let before = count_evals(&h.program);
-    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    let spec = specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
     println!(
         "\nspecializer: {} eval uses inlined across {} cloned contexts",
         spec.report.evals_eliminated, spec.report.clones

@@ -54,7 +54,10 @@ fn main() {
             .describe(kind, point, ctx, &h.program, &h.source, &out.ctxs)
         {
             let det = matches!(fact, Fact::Det(_));
-            lines.push(format!("  {d:<32} {}", if det { "(determinate)" } else { "(?)" }));
+            lines.push(format!(
+                "  {d:<32} {}",
+                if det { "(determinate)" } else { "(?)" }
+            ));
         }
     }
     lines.sort();
@@ -62,7 +65,12 @@ fn main() {
         println!("{l}");
     }
 
-    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    let spec = specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
     println!(
         "\nspecializer: {} clones of $ (one per call site), {} dead branches removed",
         spec.report.clones, spec.report.branches_pruned

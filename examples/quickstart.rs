@@ -55,9 +55,9 @@ fn main() {
         if ![10, 12, 14, 16, 18].contains(&line) {
             continue;
         }
-        if let Some(desc) =
-            out.facts
-                .describe(kind, point, ctx, &h.program, &h.source, &out.ctxs)
+        if let Some(desc) = out
+            .facts
+            .describe(kind, point, ctx, &h.program, &h.source, &out.ctxs)
         {
             let marker = match fact {
                 Fact::Det(_) => "determinate",

@@ -43,8 +43,12 @@ fn main() {
                 },
             );
             let _ = interp.run();
-            let report =
-                check_soundness(&out.observations, &out.ctxs, &interp.observations, &interp.ctxs);
+            let report = check_soundness(
+                &out.observations,
+                &out.ctxs,
+                &interp.observations,
+                &interp.ctxs,
+            );
             assert!(
                 report.is_sound(),
                 "VIOLATION in program seed {seed}, run {run}:\n{:?}\n{src}",

@@ -33,7 +33,13 @@ fn run_config(v: &jquery_like::JQueryLike, det_dom: bool, spec: bool) -> Cell {
     } else {
         h.program.clone()
     };
-    let pta = mujs_pta::solve(&prog, &PtaConfig { budget: PTA_BUDGET });
+    let pta = mujs_pta::solve(
+        &prog,
+        &PtaConfig {
+            budget: PTA_BUDGET,
+            ..Default::default()
+        },
+    );
     Cell {
         pta_ok: pta.status == PtaStatus::Completed,
         flushes: out.stats.heap_flushes,
@@ -163,7 +169,10 @@ fn eval_study_counts_match_paper() {
         plain_ok += p as usize;
         detdom_ok += d as usize;
     }
-    assert_eq!(plain_ok, 14, "paper: 14 of 24 handled by the plain analysis");
+    assert_eq!(
+        plain_ok, 14,
+        "paper: 14 of 24 handled by the plain analysis"
+    );
     assert_eq!(detdom_ok, 20, "paper: 20 of 24 handled under DetDOM");
 }
 

@@ -52,7 +52,10 @@ fn manifests_round_trip_through_json() {
     assert_eq!(back.jobs[0].name, "first");
     assert_eq!(back.jobs[0].effective_seeds(), vec![3, 5]);
     assert_eq!(back.jobs[0].effective_config().deadline_ms, Some(60_000));
-    assert_eq!(back.jobs[0].effective_config().mem_cell_budget, Some(4_000_000));
+    assert_eq!(
+        back.jobs[0].effective_config().mem_cell_budget,
+        Some(4_000_000)
+    );
     // Defaults survive omission.
     assert_eq!(
         back.jobs[1].effective_seeds(),

@@ -42,8 +42,7 @@ fn combined_facts_remain_sound() {
                     let frames = run.ctxs.frames(ctx);
                     let mut master = CtxWalk::new(&combined);
                     if let Some(tc) = master.lookup(&frames) {
-                        if let Some(Fact::Det(cv)) = combined.facts.get(kind, point, tc)
-                        {
+                        if let Some(Fact::Det(cv)) = combined.facts.get(kind, point, tc) {
                             assert!(
                                 cv.same(v),
                                 "combined fact disagrees with a run's own sound fact\n{src}"
@@ -97,7 +96,12 @@ if (Math.random() < 0.5) { legA(); } else { legB(); }
     // Single run: at most one leg covered.
     let mut h1 = DetHarness::from_src(src).unwrap();
     let mut single = h1.analyze(AnalysisConfig::default());
-    let s1 = specialize(&h1.program, &single.facts, &mut single.ctxs, &SpecConfig::default());
+    let s1 = specialize(
+        &h1.program,
+        &single.facts,
+        &mut single.ctxs,
+        &SpecConfig::default(),
+    );
     assert_eq!(
         s1.report.evals_eliminated, 1,
         "one run covers exactly its taken leg: {:?}",
@@ -110,7 +114,12 @@ if (Math.random() < 0.5) { legA(); } else { legB(); }
         &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9],
         AnalysisConfig::default(),
     );
-    let s = specialize(&h.program, &combined.facts, &mut combined.ctxs, &SpecConfig::default());
+    let s = specialize(
+        &h.program,
+        &combined.facts,
+        &mut combined.ctxs,
+        &SpecConfig::default(),
+    );
     assert_eq!(
         s.report.evals_eliminated, 2,
         "combined runs cover both legs: {:?}",
@@ -136,7 +145,10 @@ inner(3);
         counts.push(projected.det_count());
     }
     for w in counts.windows(2) {
-        assert!(w[0] <= w[1], "determinate facts must grow with depth: {counts:?}");
+        assert!(
+            w[0] <= w[1],
+            "determinate facts must grow with depth: {counts:?}"
+        );
     }
     // Full depth dominates everything.
     assert!(*counts.last().unwrap() <= out.facts.det_count());

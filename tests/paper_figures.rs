@@ -31,9 +31,7 @@ fn rendered_facts_at_line(
     let mut v: Vec<String> = out
         .facts
         .iter()
-        .filter(|(k, p, _, _)| {
-            *k == kind && h.source.line_col(h.program.span_of(*p)).line == line
-        })
+        .filter(|(k, p, _, _)| *k == kind && h.source.line_col(h.program.span_of(*p)).line == line)
         .filter_map(|(k, p, c, _)| {
             out.facts
                 .describe(k, p, c, &h.program, &h.source, &out.ctxs)
@@ -139,7 +137,12 @@ alert(r.toString());
         .iter_trips()
         .any(|(_, _, t)| t == determinacy::TripFact::Exact(2)));
 
-    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    let spec = specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
     assert!(spec.report.loops_unrolled >= 1);
     assert!(spec.report.keys_staticized >= 4);
 
@@ -150,19 +153,26 @@ alert(r.toString());
         .program
         .funcs
         .iter()
-        .filter(|f| f.name.is_some_and(|n| spec.program.interner.resolve(n) == "getter"))
+        .filter(|f| {
+            f.name
+                .is_some_and(|n| spec.program.interner.resolve(n) == "getter")
+        })
         .map(|f| f.id)
         .collect();
     let setters: Vec<_> = spec
         .program
         .funcs
         .iter()
-        .filter(|f| f.name.is_some_and(|n| spec.program.interner.resolve(n) == "setter"))
+        .filter(|f| {
+            f.name
+                .is_some_and(|n| spec.program.interner.resolve(n) == "setter")
+        })
         .map(|f| f.id)
         .collect();
-    let mixed = pta.call_graph().values().any(|s| {
-        getters.iter().any(|g| s.contains(g)) && setters.iter().any(|x| s.contains(x))
-    });
+    let mixed = pta
+        .call_graph()
+        .values()
+        .any(|s| getters.iter().any(|g| s.contains(g)) && setters.iter().any(|x| s.contains(x)));
     assert!(!mixed, "specialized PTA must separate getters from setters");
 
     // Semantics preserved: the alert box still reads [40x30].
@@ -201,12 +211,16 @@ showIvyViaJs('pc.sy.banner.duilian.');
         })
         .collect();
     assert_eq!(eval_args.len(), 2, "{eval_args:?}");
-    let strings: Vec<Option<String>> =
-        eval_args.iter().map(|(_, s)| s.clone()).collect();
+    let strings: Vec<Option<String>> = eval_args.iter().map(|(_, s)| s.clone()).collect();
     assert!(strings.contains(&Some("ivymap['pc.sy.banner.tcck.']".to_owned())));
     assert!(strings.contains(&Some("ivymap['pc.sy.banner.duilian.']".to_owned())));
 
-    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    let spec = specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
     assert_eq!(spec.report.evals_eliminated, 2);
     assert_eq!(run_program(&spec.program), vec!["shown"]);
     // The clones contain no Eval statements.
@@ -243,7 +257,12 @@ console.log(a.kind, b.kind);
     assert!(!conds.is_empty());
     assert!(conds.iter().all(|f| f.is_det()));
 
-    let spec = specialize(&h.program, &out.facts, &mut out.ctxs, &SpecConfig::default());
+    let spec = specialize(
+        &h.program,
+        &out.facts,
+        &mut out.ctxs,
+        &SpecConfig::default(),
+    );
     assert!(spec.report.clones >= 2);
     assert!(spec.report.branches_pruned >= 3);
     assert_eq!(run_program(&spec.program), vec!["css ready"]);
