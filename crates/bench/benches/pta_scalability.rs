@@ -1,10 +1,14 @@
 //! Table 1's timing dimension: pointer-analysis work on the jQuery-like
-//! corpus, baseline vs determinacy-specialized, as wall time per solve.
+//! corpus, baseline vs determinacy-specialized, and delta solver vs the
+//! naive reference solver. Reports wall time per solve; a summary line
+//! per program prints propagations/sec so throughput is visible without
+//! digging into criterion's estimates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use determinacy::AnalysisConfig;
 use mujs_pta::PtaConfig;
 use mujs_specialize::SpecConfig;
+use std::time::Instant;
 
 fn programs() -> Vec<(&'static str, mujs_ir::Program, mujs_ir::Program)> {
     let mut out = Vec::new();
@@ -21,17 +25,45 @@ fn programs() -> Vec<(&'static str, mujs_ir::Program, mujs_ir::Program)> {
     out
 }
 
+/// One-shot throughput probe: propagations/sec for a single solve.
+fn throughput(
+    p: &mujs_ir::Program,
+    cfg: &PtaConfig,
+    solve: fn(&mujs_ir::Program, &PtaConfig) -> mujs_pta::PtaResult,
+) -> (u64, f64) {
+    let t = Instant::now();
+    let r = solve(p, cfg);
+    let secs = t.elapsed().as_secs_f64();
+    (
+        r.stats.propagations,
+        r.stats.propagations as f64 / secs.max(1e-9),
+    )
+}
+
 fn bench(c: &mut Criterion) {
     let progs = programs();
     let cfg = PtaConfig {
         budget: 50_000_000,
         ..Default::default()
     };
+    for (version, baseline, _) in &progs {
+        let (work, delta_ps) = throughput(baseline, &cfg, mujs_pta::solve);
+        let (_, ref_ps) = throughput(baseline, &cfg, mujs_pta::solve_reference);
+        eprintln!(
+            "pta_scalability {version}: work={work} delta={:.1}M props/s reference={:.1}M props/s ({:.2}x)",
+            delta_ps / 1e6,
+            ref_ps / 1e6,
+            delta_ps / ref_ps.max(1e-9),
+        );
+    }
     let mut g = c.benchmark_group("pta_scalability");
     g.sample_size(10);
     for (version, baseline, spec) in &progs {
         g.bench_with_input(BenchmarkId::new("baseline", version), baseline, |b, p| {
             b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations)
+        });
+        g.bench_with_input(BenchmarkId::new("reference", version), baseline, |b, p| {
+            b.iter(|| mujs_pta::solve_reference(p, &cfg).stats.propagations)
         });
         g.bench_with_input(BenchmarkId::new("spec", version), spec, |b, p| {
             b.iter(|| mujs_pta::solve(p, &cfg).stats.propagations)

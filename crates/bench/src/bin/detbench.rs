@@ -21,11 +21,18 @@
 //!
 //! With `--pta` the harness instead runs the pointer-analysis precision
 //! workload (`BENCH_pta.json` feedstock): baseline vs fact-injected vs
-//! specialized solves over the Table 1 corpus. Everything it measures is
-//! deterministic (propagation work, call-graph shape), so `--pta --check`
-//! gates exactly — injected must complete wherever specialized does, its
+//! specialized solves over the Table 1 corpus, measured with both the
+//! naive reference solver (`before`) and the delta-propagating bitset
+//! solver (`after`) at a budget (`PTA_COMPARE_BUDGET`) where the
+//! uninjected baseline reaches a real fixpoint. The precision metrics it
+//! gates are deterministic (propagation work, call-graph shape), so
+//! `--pta --check` gates exactly — injected must complete wherever
+//! specialized does, the baseline must keep reaching its fixpoint, its
 //! precision must stay within `--max-regress` of specialized, and its
-//! work must not regress against the checked-in baseline:
+//! work must not regress against the checked-in baseline. Wall time is
+//! reported per row (`wall_ms`, `work_per_sec`) but only gated
+//! *relatively*: in release builds the delta solver must sustain at
+//! least 1.5x the reference solver's same-run throughput:
 //!
 //! ```console
 //! $ cargo run --release -p mujs-bench --bin detbench -- --pta --out BENCH_pta.json
@@ -171,26 +178,49 @@ fn usage(problem: &str) -> ! {
 }
 
 #[derive(Debug, Serialize)]
+struct PtaSolverRows {
+    solver: &'static str,
+    rows: Vec<mujs_bench::pipeline::PtaCompareRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct PtaMeasurement {
     label: String,
     mode: &'static str,
     budget: u64,
-    rows: Vec<mujs_bench::pipeline::PtaCompareRow>,
+    /// The naive reference solver (pre-optimization algorithm).
+    before: PtaSolverRows,
+    /// The delta-propagating bitset solver.
+    after: PtaSolverRows,
 }
 
 /// The `--pta` workload: three-way solver comparison over the Table 1
-/// corpus, with a deterministic `--check` gate.
+/// corpus, measured with both the reference ("before") and the
+/// delta-propagating ("after") solver, with a deterministic `--check`
+/// gate plus a same-run relative throughput gate (release only).
 fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_regress: f64) {
-    let budget = mujs_bench::pipeline::TABLE1_PTA_BUDGET;
-    let rows: Vec<_> = mujs_corpus::jquery_like::all_versions()
-        .iter()
-        .map(|v| mujs_bench::pipeline::run_pta_compare(v, budget).expect("pta compare runs"))
-        .collect();
+    let budget = mujs_bench::pipeline::PTA_COMPARE_BUDGET;
+    let solve_all = |solver| -> Vec<_> {
+        mujs_corpus::jquery_like::all_versions()
+            .iter()
+            .map(|v| {
+                mujs_bench::pipeline::run_pta_compare_with(v, budget, solver)
+                    .expect("pta compare runs")
+            })
+            .collect()
+    };
     let m = PtaMeasurement {
         label: label.to_owned(),
         mode: MODE,
         budget,
-        rows,
+        before: PtaSolverRows {
+            solver: "reference",
+            rows: solve_all(mujs_bench::pipeline::PtaSolverKind::Reference),
+        },
+        after: PtaSolverRows {
+            solver: "delta",
+            rows: solve_all(mujs_bench::pipeline::PtaSolverKind::Delta),
+        },
     };
     let json = serde_json::to_string_pretty(&m).expect("pta measurement serializes");
     match out_path {
@@ -201,21 +231,22 @@ fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_re
         None => println!("{json}"),
     }
     let mut failed = false;
-    for r in &m.rows {
+    for (r, b) in m.after.rows.iter().zip(&m.before.rows) {
         eprintln!(
-            "  pta {:<6} sites={:<4} base: ok={} work={} poly={}  inj: ok={} work={} poly={}  \
-             spec: ok={} work={} poly={}",
+            "  pta {:<6} sites={:<4} base: ok={} work={} poly={} {:>6.1}ms {:>5.1}M/s \
+             (ref {:>7.1}ms)  inj: ok={} work={}  spec: ok={} work={}",
             r.version,
             r.injected_sites,
             r.baseline.ok,
             r.baseline.work,
             r.baseline.poly_sites,
+            r.baseline.wall_ms,
+            r.baseline.work_per_sec / 1e6,
+            b.baseline.wall_ms,
             r.injected.ok,
             r.injected.work,
-            r.injected.poly_sites,
             r.specialized.ok,
             r.specialized.work,
-            r.specialized.poly_sites,
         );
         // Hard invariant, baseline file or not: injection must reach a
         // fixpoint wherever source rewriting does.
@@ -226,13 +257,42 @@ fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_re
             );
             failed = true;
         }
+        // The raised comparison budget exists so the baseline measures a
+        // real fixpoint on jQuery 1.0–1.2 (1.3 is allowed to starve).
+        if r.version != "1.3" && !r.baseline.ok {
+            eprintln!(
+                "FAIL: {} — uninjected baseline no longer reaches fixpoint at budget {budget}",
+                r.version
+            );
+            failed = true;
+        }
+        // Same-run relative throughput: wall clocks are machine-dependent,
+        // but the delta/reference ratio on the same machine moments apart
+        // is robust. Gate only non-trivial workloads, release builds only.
+        if MODE == "release" && r.baseline.work >= 100_000 && b.baseline.work_per_sec > 0.0 {
+            let ratio = r.baseline.work_per_sec / b.baseline.work_per_sec;
+            if ratio < 1.5 {
+                eprintln!(
+                    "FAIL: {} — delta solver only {ratio:.2}x reference throughput",
+                    r.version
+                );
+                failed = true;
+            }
+        }
     }
     if let Some(p) = check_path {
         let base = std::fs::read_to_string(p).expect("read pta baseline");
         let base: serde_json::Value = serde_json::from_str(&base).expect("pta baseline parses");
         let slack = 1.0 + max_regress;
-        for r in &m.rows {
-            let Some(b) = base["rows"]
+        // Accept both the {before, after} document (gate against `after`)
+        // and the flat legacy {rows} layout.
+        let base_rows = if base.get("after").is_some() {
+            &base["after"]["rows"]
+        } else {
+            &base["rows"]
+        };
+        for r in &m.after.rows {
+            let Some(b) = base_rows
                 .as_array()
                 .and_then(|rs| rs.iter().find(|b| b["version"] == r.version.as_str()))
             else {

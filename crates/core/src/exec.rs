@@ -552,9 +552,10 @@ impl DMachine<'_> {
                 );
                 for (i, k) in keys.into_iter().enumerate() {
                     let text = self.prog.interner.name(k).clone();
-                    self.write_prop(
+                    let slot = self.prog.interner.intern_index(i);
+                    self.write_prop_s(
                         arr,
-                        &i.to_string(),
+                        slot,
                         DValue {
                             v: Value::Str(text),
                             d: kd,
@@ -1219,7 +1220,8 @@ impl DMachine<'_> {
             DValue::det(Value::Num(args.len() as f64)),
         );
         for (i, v) in args.iter().enumerate() {
-            self.write_prop(args_arr, &i.to_string(), v.clone());
+            let slot = self.prog.interner.intern_index(i);
+            self.write_prop_s(args_arr, slot, v.clone());
         }
         self.declare(
             Some(scope),

@@ -881,7 +881,8 @@ impl<'p> Interp<'p> {
                 self.set_raw_s(arr, Sym::LENGTH, Value::Num(keys.len() as f64));
                 for (i, k) in keys.into_iter().enumerate() {
                     let text = self.prog.interner.name(k).clone();
-                    self.set_raw(arr, &i.to_string(), Value::Str(text));
+                    let slot = self.prog.interner.intern_index(i);
+                    self.set_raw_s(arr, slot, Value::Str(text));
                 }
                 self.define(frame, id, dst, Value::Object(arr))?;
             }
@@ -1186,7 +1187,8 @@ impl<'p> Interp<'p> {
         let args_arr = self.alloc(ObjClass::Array, Some(self.protos.array));
         self.set_raw_s(args_arr, Sym::LENGTH, Value::Num(args.len() as f64));
         for (i, v) in args.iter().enumerate() {
-            self.set_raw(args_arr, &i.to_string(), v.clone());
+            let slot = self.prog.interner.intern_index(i);
+            self.set_raw_s(args_arr, slot, v.clone());
         }
         self.declare(Some(scope), Sym::ARGUMENTS, Value::Object(args_arr));
         // Static locals are pre-initialized to `undefined` by the slot
@@ -1256,7 +1258,8 @@ impl<'p> Interp<'p> {
             }
             self.set_raw(arr, "length", Value::Num(args.len() as f64));
             for (i, v) in args.iter().enumerate() {
-                self.set_raw(arr, &i.to_string(), v.clone());
+                let slot = self.prog.interner.intern_index(i);
+                self.set_raw_s(arr, slot, v.clone());
             }
             return Ok(Value::Object(arr));
         }

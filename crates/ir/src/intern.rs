@@ -132,6 +132,29 @@ impl Interner {
         &self.names[s.0 as usize]
     }
 
+    /// Interns the decimal rendering of `idx` (`0`, `1`, `2`, …) without
+    /// allocating a `String` on the lookup path.
+    ///
+    /// Array-style access desugars to property keys named by element
+    /// index, so the interpreters hit this for every element of every
+    /// array walk; after the first visit of an index the cost is a stack
+    /// buffer format plus one hash lookup.
+    pub fn intern_index(&mut self, idx: usize) -> Sym {
+        let mut buf = [0u8; 20];
+        let mut n = idx;
+        let mut at = buf.len();
+        loop {
+            at -= 1;
+            buf[at] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&buf[at..]).expect("decimal digits are ASCII");
+        self.intern(text)
+    }
+
     /// Looks up a name without interning it.
     pub fn get(&self, text: &str) -> Option<Sym> {
         self.map.get(text).copied()
@@ -183,6 +206,18 @@ mod tests {
         let rc: Rc<str> = Rc::from("shared");
         let s = i.intern_rc(&rc);
         assert!(Rc::ptr_eq(i.name(s), &rc));
+    }
+
+    #[test]
+    fn intern_index_matches_string_interning() {
+        let mut i = Interner::new();
+        for idx in [0usize, 1, 9, 10, 42, 255, 256, 1000, usize::MAX] {
+            assert_eq!(i.intern_index(idx), i.intern(&idx.to_string()));
+        }
+        // Idempotent, and order-independent with plain interning.
+        let mut j = Interner::new();
+        let a = j.intern("7");
+        assert_eq!(j.intern_index(7), a);
     }
 
     #[test]

@@ -25,8 +25,13 @@
 //! # }
 //! ```
 
+pub mod hash;
 pub mod nodes;
+pub mod pts;
+pub mod reference;
+pub mod scc;
 pub mod solver;
 
 pub use nodes::{AbsObj, Node};
+pub use reference::solve_reference;
 pub use solver::{solve, InjectedFacts, PtaConfig, PtaPrecision, PtaResult, PtaStats, PtaStatus};

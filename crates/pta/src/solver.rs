@@ -8,15 +8,29 @@
 //! engine behind Table 1's baseline blow-ups; the specializer removes it
 //! by turning dynamic keys static.
 //!
+//! The solver propagates *differences*: each node's points-to set is split
+//! into `old` (already pushed along every outgoing edge and applied to
+//! every pending constraint) and `delta` (newly arrived), the worklist
+//! holds dirty nodes rather than `(node, object)` pairs, and sets are the
+//! hybrid sparse/dense bitsets of [`crate::pts`]. Periodically the solver
+//! Tarjan-collapses copy-edge cycles ([`crate::scc`]) into union-find
+//! representatives; every node lookup canonicalizes through `find`, so
+//! injected determinacy facts and precision metrics see merged nodes
+//! transparently. See `reference` for the naive baseline algorithm the
+//! equivalence tests compare against.
+//!
 //! The solver counts propagation work and stops when a configured budget
 //! is exceeded — the deterministic equivalent of the paper's 10-minute
 //! timeout.
 
+use crate::hash::{FastMap, FastSet};
 use crate::nodes::{AbsObj, Node};
+use crate::pts::{self, Pts};
+use crate::scc;
 use mujs_ir::ir::{Place, PropKey, StmtKind};
 use mujs_ir::resolve::{Binding, Resolver};
 use mujs_ir::{FuncId, FuncKind, Program, Stmt, StmtId, Sym};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Determinacy facts injected into the solver: per-site resolutions of
 /// dynamic property keys and call targets, keyed by statement id.
@@ -56,6 +70,10 @@ pub struct PtaConfig {
     /// Determinacy facts to consult at dynamic property accesses and
     /// call sites (`None` = plain baseline analysis).
     pub facts: Option<InjectedFacts>,
+    /// Copy edges added between online cycle-collapse passes. Small
+    /// programs never reach it and run collapse-free; `u64::MAX`
+    /// disables collapsing entirely.
+    pub scc_interval: u64,
 }
 
 impl Default for PtaConfig {
@@ -63,6 +81,7 @@ impl Default for PtaConfig {
         PtaConfig {
             budget: 25_000_000,
             facts: None,
+            scc_interval: 2_048,
         }
     }
 }
@@ -91,6 +110,10 @@ pub struct PtaStats {
     pub injected_keys: usize,
     /// Call sites resolved by an injected fact.
     pub injected_calls: usize,
+    /// Online cycle-collapse passes run.
+    pub scc_passes: u64,
+    /// Nodes union-find-merged into a cycle representative.
+    pub nodes_merged: u64,
 }
 
 /// Precision metrics of a finished solve, comparable across baseline,
@@ -112,16 +135,24 @@ pub struct PtaPrecision {
 }
 
 /// Result of a solve.
+///
+/// Points-to sets are stored once per union-find representative; lookups
+/// resolve any node through the (fully compressed) `parent` table. At
+/// fixpoint every member of a collapsed cycle provably holds the same
+/// set, so reporting the representative's set per member is identical to
+/// never having merged — which is what keeps exports byte-identical to
+/// the reference solver.
 #[derive(Debug)]
 pub struct PtaResult {
     /// Completion status.
     pub status: PtaStatus,
     /// Statistics.
     pub stats: PtaStats,
-    pts: HashMap<u32, HashSet<u32>>,
-    node_ids: HashMap<Node, u32>,
-    objs: Vec<AbsObj>,
-    call_graph: BTreeMap<StmtId, BTreeSet<FuncId>>,
+    pub(crate) pts: Vec<Pts>,
+    pub(crate) parent: Vec<u32>,
+    pub(crate) node_ids: HashMap<Node, u32>,
+    pub(crate) objs: Vec<AbsObj>,
+    pub(crate) call_graph: BTreeMap<StmtId, BTreeSet<FuncId>>,
 }
 
 impl PtaResult {
@@ -167,14 +198,43 @@ impl PtaResult {
         v
     }
 
+    fn set_of(&self, id: u32) -> &Pts {
+        &self.pts[self.parent[id as usize] as usize]
+    }
+
     fn points_to_id(&self, id: u32) -> Vec<AbsObj> {
         let mut v: Vec<AbsObj> = self
-            .pts
-            .get(&id)
-            .map(|s| s.iter().map(|o| self.objs[*o as usize].clone()).collect())
-            .unwrap_or_default();
+            .set_of(id)
+            .iter()
+            .map(|o| self.objs[o as usize].clone())
+            .collect();
         v.sort();
         v
+    }
+
+    /// Deterministic JSON rendering of the call graph and every node's
+    /// points-to set — the byte-comparison surface of the delta-solver /
+    /// reference-solver equivalence tests.
+    pub fn export_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{\"call_graph\":{");
+        for (i, (site, targets)) in self.call_graph.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let t: Vec<String> = targets.iter().map(|f| format!("{f:?}")).collect();
+            let _ = write!(s, "\"{site:?}\":[{}]", t.join(","));
+        }
+        s.push_str("},\"points_to\":{");
+        for (i, (node, objs)) in self.all_points_to().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let o: Vec<String> = objs.iter().map(|o| format!("\"{o:?}\"")).collect();
+            let _ = write!(s, "\"{node:?}\":[{}]", o.join(","));
+        }
+        s.push_str("}}");
+        s
     }
 
     /// Precision metrics comparable across baseline / fact-injected /
@@ -208,9 +268,9 @@ impl PtaResult {
         let mut var_nodes = 0usize;
         let mut sum = 0usize;
         let mut max_points_to = 0usize;
-        for (node, id) in &self.node_ids {
+        for (node, &id) in &self.node_ids {
             if matches!(node, Node::Temp(..) | Node::Local(..)) {
-                let sz = self.pts.get(id).map_or(0, |s| s.len());
+                let sz = self.set_of(id).len();
                 if sz > 0 {
                     var_nodes += 1;
                     sum += sz;
@@ -242,8 +302,8 @@ pub fn solve(prog: &Program, cfg: &PtaConfig) -> PtaResult {
     Solver::new(prog, cfg.clone()).run()
 }
 
-#[derive(Debug, Clone)]
-enum Pending {
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Pending {
     /// `dst ⊇ base.key` (`None` = dynamic key).
     Load { key: Option<Sym>, dst: u32 },
     /// `base.key ⊇ src` (`None` = dynamic key).
@@ -262,19 +322,37 @@ struct Solver<'p> {
     prog: &'p Program,
     cfg: PtaConfig,
     resolver: Resolver,
-    node_ids: HashMap<Node, u32>,
+    node_ids: FastMap<Node, u32>,
     nodes: Vec<Node>,
-    obj_ids: HashMap<AbsObj, u32>,
+    obj_ids: FastMap<AbsObj, u32>,
     objs: Vec<AbsObj>,
-    pts: Vec<HashSet<u32>>,
+    /// Union-find over node ids (path-halving `find`).
+    parent: Vec<u32>,
+    /// Facts already pushed along every out-edge / applied to every
+    /// pending constraint of the node.
+    old: Vec<Pts>,
+    /// Facts that arrived since the node was last processed.
+    delta: Vec<Pts>,
+    /// Outgoing copy edges, stored on representatives. Targets may go
+    /// stale after a merge; every use canonicalizes through `find`, and
+    /// each collapse pass rebuilds them canonical.
     edges: Vec<Vec<u32>>,
+    /// Dedupe of canonical `(from, to)` pairs; rebuilt on collapse.
+    edge_set: FastSet<u64>,
     pending: Vec<Vec<Pending>>,
-    worklist: VecDeque<(u32, u32)>, // (node, new obj)
+    /// Dirty-node worklist: representatives with a non-empty delta.
+    dirty: VecDeque<u32>,
+    on_dirty: Vec<bool>,
     call_graph: BTreeMap<StmtId, BTreeSet<FuncId>>,
-    processed_funcs: HashSet<FuncId>,
+    processed_funcs: FastSet<FuncId>,
     func_queue: VecDeque<FuncId>,
     stats: PtaStats,
     exhausted: bool,
+    edges_since_scc: u64,
+}
+
+fn edge_key(from: u32, to: u32) -> u64 {
+    (u64::from(from) << 32) | u64::from(to)
 }
 
 impl<'p> Solver<'p> {
@@ -283,19 +361,24 @@ impl<'p> Solver<'p> {
             prog,
             cfg,
             resolver: Resolver::new(prog),
-            node_ids: HashMap::new(),
+            node_ids: FastMap::default(),
             nodes: Vec::new(),
-            obj_ids: HashMap::new(),
+            obj_ids: FastMap::default(),
             objs: Vec::new(),
-            pts: Vec::new(),
+            parent: Vec::new(),
+            old: Vec::new(),
+            delta: Vec::new(),
             edges: Vec::new(),
+            edge_set: FastSet::default(),
             pending: Vec::new(),
-            worklist: VecDeque::new(),
+            dirty: VecDeque::new(),
+            on_dirty: Vec::new(),
             call_graph: BTreeMap::new(),
-            processed_funcs: HashSet::new(),
+            processed_funcs: FastSet::default(),
             func_queue: VecDeque::new(),
             stats: PtaStats::default(),
             exhausted: false,
+            edges_since_scc: 0,
         }
     }
 
@@ -306,9 +389,12 @@ impl<'p> Solver<'p> {
         let id = self.nodes.len() as u32;
         self.node_ids.insert(n.clone(), id);
         self.nodes.push(n.clone());
-        self.pts.push(HashSet::new());
+        self.parent.push(id);
+        self.old.push(Pts::new());
+        self.delta.push(Pts::new());
         self.edges.push(Vec::new());
         self.pending.push(Vec::new());
+        self.on_dirty.push(false);
         // Materializing a named property wires it into the ⋆ join.
         if let Node::Prop(o, _) = &n {
             let star = self.node(Node::StarProps(o.clone()));
@@ -327,20 +413,77 @@ impl<'p> Solver<'p> {
         id
     }
 
+    /// Union-find lookup with path halving.
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn mark_dirty(&mut self, n: u32) {
+        if !self.on_dirty[n as usize] {
+            self.on_dirty[n as usize] = true;
+            self.dirty.push_back(n);
+        }
+    }
+
     fn add_edge(&mut self, from: u32, to: u32) {
-        if from == to || self.edges[from as usize].contains(&to) {
+        let f = self.find(from);
+        let t = self.find(to);
+        if f == t || !self.edge_set.insert(edge_key(f, t)) {
             return;
         }
-        self.edges[from as usize].push(to);
+        self.edges[f as usize].push(t);
         self.stats.edges += 1;
-        let existing: Vec<u32> = self.pts[from as usize].iter().copied().collect();
-        for o in existing {
-            self.insert(to, o);
+        self.edges_since_scc += 1;
+        // A new edge flows the source's full current set (old ∪ delta):
+        // `old` facts were pushed along the *previous* edge set only.
+        if self.exhausted {
+            return;
+        }
+        let src = self.old[f as usize].take();
+        self.flow_from(&src, t);
+        self.old[f as usize] = src;
+        if self.exhausted {
+            return;
+        }
+        let src = self.delta[f as usize].take();
+        self.flow_from(&src, t);
+        self.delta[f as usize] = src;
+    }
+
+    /// Budget-exact bulk union of `src` into node `t`'s delta. Exhaustion
+    /// triggers only when the budget is hit *and* a further new element
+    /// exists, matching the reference solver's check-before-insert.
+    fn flow_from(&mut self, src: &Pts, t: u32) {
+        if src.is_empty() || self.exhausted {
+            return;
+        }
+        let remaining = self.cfg.budget - self.stats.propagations;
+        let (added, truncated) = pts::flow_into(
+            src,
+            &self.old[t as usize],
+            &mut self.delta[t as usize],
+            remaining,
+        );
+        self.stats.propagations += added;
+        if added > 0 {
+            self.mark_dirty(t);
+        }
+        if truncated {
+            self.exhausted = true;
         }
     }
 
     fn insert(&mut self, node: u32, obj: u32) {
-        if self.exhausted || self.pts[node as usize].contains(&obj) {
+        if self.exhausted {
+            return;
+        }
+        let n = self.find(node);
+        if self.old[n as usize].contains(obj) || self.delta[n as usize].contains(obj) {
             return;
         }
         // Check *before* inserting: a solve that needs exactly `budget`
@@ -350,9 +493,9 @@ impl<'p> Solver<'p> {
             self.exhausted = true;
             return;
         }
-        self.pts[node as usize].insert(obj);
+        self.delta[n as usize].insert(obj);
         self.stats.propagations += 1;
-        self.worklist.push_back((node, obj));
+        self.mark_dirty(n);
     }
 
     fn seed(&mut self, node: u32, o: AbsObj) {
@@ -401,7 +544,7 @@ impl<'p> Solver<'p> {
         f
     }
 
-    // -------------------------------------------------------- constraints
+    // -------------------------------------------------------- propagation
 
     fn run(mut self) -> PtaResult {
         if let Some(entry) = self.prog.entry() {
@@ -417,13 +560,159 @@ impl<'p> Solver<'p> {
                 self.gen_function(f);
                 continue;
             }
-            let Some((node, obj)) = self.worklist.pop_front() else {
+            let Some(n) = self.dirty.pop_front() else {
                 break;
             };
-            self.propagate(node, obj);
+            self.on_dirty[n as usize] = false;
+            // The queued id may have been merged away since it was pushed.
+            let n = self.find(n);
+            if self.delta[n as usize].is_empty() {
+                continue;
+            }
+            self.process(n);
+            if self.edges_since_scc >= self.cfg.scc_interval {
+                self.edges_since_scc = 0;
+                self.collapse_cycles();
+            }
         }
+        self.finish()
+    }
+
+    /// Drains node `n`'s delta: pushes it along every outgoing edge and
+    /// applies every pending constraint to each newly arrived object.
+    fn process(&mut self, n: u32) {
+        // Commit delta → old *first*: constraint application below may
+        // attach new pendings or edges to `n` itself, and those flow the
+        // node's full current set on attachment — the committed delta must
+        // be visible to them, and must not be re-flowed here afterwards.
+        let d = self.delta[n as usize].take();
+        self.old[n as usize].union_with(&d);
+        // Index loops, not clones: `edges[n]` cannot change during the
+        // flow loop (flows only touch sets), and pendings appended to
+        // `pending[n]` during application were already applied to the
+        // node's full set (old now includes `d`) by `attach`.
+        let n_edges = self.edges[n as usize].len();
+        for i in 0..n_edges {
+            if self.exhausted {
+                return;
+            }
+            let t0 = self.edges[n as usize][i];
+            let t = self.find(t0);
+            if t != n {
+                self.flow_from(&d, t);
+            }
+        }
+        let n_pending = self.pending[n as usize].len();
+        for i in 0..n_pending {
+            let p = self.pending[n as usize][i].clone();
+            for oid in d.iter() {
+                if self.exhausted {
+                    return;
+                }
+                let o = self.objs[oid as usize].clone();
+                self.apply_pending(&p, &o);
+            }
+        }
+    }
+
+    /// Tarjan pass over the canonical copy-edge graph; merges every
+    /// multi-member component into its smallest-id node.
+    fn collapse_cycles(&mut self) {
+        self.stats.scc_passes += 1;
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n as u32 {
+            let ci = self.find(i);
+            if ci != i {
+                continue;
+            }
+            let outs = self.edges[i as usize].clone();
+            let a = &mut adj[i as usize];
+            for t0 in outs {
+                let t = self.find(t0);
+                if t != i {
+                    a.push(t);
+                }
+            }
+        }
+        let comps = scc::multi_member_sccs(&adj);
+        if comps.is_empty() {
+            return;
+        }
+        for comp in &comps {
+            self.merge_component(comp);
+        }
+        // Rebuild edges canonical and re-dedupe: merging aliases pairs.
+        self.edge_set.clear();
+        for i in 0..n as u32 {
+            if self.find(i) != i {
+                continue;
+            }
+            let outs = std::mem::take(&mut self.edges[i as usize]);
+            let mut canonical = Vec::with_capacity(outs.len());
+            for t0 in outs {
+                let t = self.find(t0);
+                if t != i && self.edge_set.insert(edge_key(i, t)) {
+                    canonical.push(t);
+                }
+            }
+            self.edges[i as usize] = canonical;
+        }
+    }
+
+    /// Union-find-merges a component into its smallest member. The merged
+    /// `old` is the *intersection* of member `old`s — a fact is only
+    /// "fully processed" for the representative if every member already
+    /// pushed it along its edges and pendings; everything else lands in
+    /// the representative's delta for (re)processing. No budget is
+    /// refunded for deduplicated facts: `propagations` stays a monotone
+    /// insertion counter.
+    fn merge_component(&mut self, comp: &[u32]) {
+        let rep = comp[0];
+        let mut merged_old = self.old[rep as usize].take();
+        let mut all = merged_old.clone();
+        all.union_with(&self.delta[rep as usize]);
+        for &m in &comp[1..] {
+            merged_old.intersect_with(&self.old[m as usize]);
+            all.union_with(&self.old[m as usize]);
+            all.union_with(&self.delta[m as usize]);
+        }
+        let mut merged_delta = all;
+        merged_delta.subtract(&merged_old);
+        for &m in &comp[1..] {
+            self.parent[m as usize] = rep;
+            self.old[m as usize] = Pts::new();
+            self.delta[m as usize] = Pts::new();
+            let outs = std::mem::take(&mut self.edges[m as usize]);
+            self.edges[rep as usize].extend(outs);
+            let pend = std::mem::take(&mut self.pending[m as usize]);
+            for p in pend {
+                if !self.pending[rep as usize].contains(&p) {
+                    self.pending[rep as usize].push(p);
+                }
+            }
+            self.stats.nodes_merged += 1;
+        }
+        self.old[rep as usize] = merged_old;
+        self.delta[rep as usize] = merged_delta;
+        if !self.delta[rep as usize].is_empty() {
+            self.mark_dirty(rep);
+        }
+    }
+
+    fn finish(mut self) -> PtaResult {
         self.stats.nodes = self.nodes.len();
         self.stats.call_edges = self.call_graph.values().map(|s| s.len()).sum();
+        // Fold unprocessed deltas into the reported sets and fully
+        // compress the union-find so lookups are a single indirection.
+        for i in 0..self.nodes.len() {
+            let d = self.delta[i].take();
+            self.old[i].union_with(&d);
+        }
+        for i in 0..self.nodes.len() as u32 {
+            let r = self.find(i);
+            self.parent[i as usize] = r;
+        }
         PtaResult {
             status: if self.exhausted {
                 PtaStatus::BudgetExceeded
@@ -431,34 +720,30 @@ impl<'p> Solver<'p> {
                 PtaStatus::Completed
             },
             stats: self.stats,
-            pts: self
-                .pts
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (i as u32, s.clone()))
-                .collect(),
-            node_ids: self.node_ids,
+            pts: self.old,
+            parent: self.parent,
+            node_ids: self.node_ids.into_iter().collect(),
             objs: self.objs,
             call_graph: self.call_graph,
         }
     }
 
-    fn propagate(&mut self, node: u32, obj: u32) {
-        let targets = self.edges[node as usize].clone();
-        for t in targets {
-            self.insert(t, obj);
-        }
-        let pendings = self.pending[node as usize].clone();
-        let o = self.objs[obj as usize].clone();
-        for p in pendings {
-            self.apply_pending(&p, &o);
-        }
-    }
+    // -------------------------------------------------------- constraints
 
     fn attach(&mut self, node: u32, p: Pending) {
-        let existing: Vec<u32> = self.pts[node as usize].iter().copied().collect();
-        self.pending[node as usize].push(p.clone());
+        let n = self.find(node);
+        // Snapshot (old ∪ delta) up front: applying `p` may insert into
+        // `n` itself, and those arrivals are handled by the dirty-queue
+        // pass, not here.
+        let existing: Vec<u32> = self.old[n as usize]
+            .iter()
+            .chain(self.delta[n as usize].iter())
+            .collect();
+        self.pending[n as usize].push(p.clone());
         for oid in existing {
+            if self.exhausted {
+                return;
+            }
             let o = self.objs[oid as usize].clone();
             self.apply_pending(&p, &o);
         }
@@ -474,7 +759,7 @@ impl<'p> Solver<'p> {
                 args,
                 dst,
                 is_new,
-            } => self.apply_call(o, *site, *this, args.clone(), *dst, *is_new),
+            } => self.apply_call(o, *site, *this, args, *dst, *is_new),
         }
     }
 
@@ -510,10 +795,9 @@ impl<'p> Solver<'p> {
     }
 
     fn proto_var(&mut self, o: &AbsObj) -> u32 {
-        let pv = self.node(Node::ProtoVar(o.clone()));
         // `ProtoOf(F)` objects chain to Object.prototype, which we fold
         // into Opaque; the chain itself comes from `new` wiring.
-        pv
+        self.node(Node::ProtoVar(o.clone()))
     }
 
     fn apply_call(
@@ -521,7 +805,7 @@ impl<'p> Solver<'p> {
         o: &AbsObj,
         site: StmtId,
         this: Option<u32>,
-        args: Vec<u32>,
+        args: &[u32],
         dst: u32,
         is_new: bool,
     ) {
@@ -530,9 +814,12 @@ impl<'p> Solver<'p> {
                 let f = *f;
                 self.call_graph.entry(site).or_default().insert(f);
                 self.enqueue_func(f);
-                let func = self.prog.func(f).clone();
+                // Borrow through the `'p` program reference — cloning the
+                // callee (whole statement tree) per closure arrival was a
+                // dominant cost of the naive solver.
+                let prog = self.prog;
                 let pf = self.canon(f);
-                for (i, &p) in func.params.iter().enumerate() {
+                for (i, &p) in prog.func(f).params.iter().enumerate() {
                     if let Some(&a) = args.get(i) {
                         let pn = self.node(Node::Local(pf, p));
                         self.add_edge(a, pn);
@@ -560,7 +847,7 @@ impl<'p> Solver<'p> {
                 // Calling the unknown: arguments escape, the result is
                 // unknown.
                 let sink = self.node(Node::UnknownProps(AbsObj::Opaque));
-                for a in args {
+                for &a in args {
                     self.add_edge(a, sink);
                 }
                 self.seed(dst, AbsObj::Opaque);
@@ -611,7 +898,8 @@ impl<'p> Solver<'p> {
     }
 
     fn gen_function(&mut self, fid: FuncId) {
-        let f = self.prog.func(fid).clone();
+        let prog = self.prog;
+        let f = prog.func(fid);
         // Hoisted function declarations.
         for &(name, nested) in &f.decls.funcs {
             let n = self.named_node(fid, name);
@@ -624,8 +912,7 @@ impl<'p> Solver<'p> {
             let n = self.node(Node::Local(cf, Sym::ARGUMENTS));
             self.seed(n, AbsObj::Opaque);
         }
-        let stmts = f.body.clone();
-        self.gen_block(fid, &stmts);
+        self.gen_block(fid, &f.body);
     }
 
     fn init_closure(&mut self, f: FuncId) {
@@ -689,7 +976,7 @@ impl<'p> Solver<'p> {
                         // instead of waiting for closures to flow in.
                         self.stats.injected_calls += 1;
                         self.init_closure(target);
-                        self.apply_call(&AbsObj::Closure(target), s.id, t, a, d, false);
+                        self.apply_call(&AbsObj::Closure(target), s.id, t, &a, d, false);
                     } else {
                         let c = self.place_node(wf, callee);
                         self.attach(
@@ -710,7 +997,7 @@ impl<'p> Solver<'p> {
                     if let Some(target) = self.site_callee(s.id) {
                         self.stats.injected_calls += 1;
                         self.init_closure(target);
-                        self.apply_call(&AbsObj::Closure(target), s.id, None, a, d, true);
+                        self.apply_call(&AbsObj::Closure(target), s.id, None, &a, d, true);
                     } else {
                         let c = self.place_node(wf, callee);
                         self.attach(
@@ -795,7 +1082,7 @@ impl<'p> Solver<'p> {
 
 /// The function owning writes for name resolution (eval chunks resolve
 /// through their parent).
-fn effective_func(prog: &Program, f: FuncId) -> FuncId {
+pub(crate) fn effective_func(prog: &Program, f: FuncId) -> FuncId {
     let mut cur = f;
     loop {
         let func = prog.func(cur);
@@ -810,6 +1097,6 @@ fn effective_func(prog: &Program, f: FuncId) -> FuncId {
 }
 
 /// `this`/`return` of an eval chunk belong to the enclosing function.
-fn wf_ret(prog: &Program, f: FuncId) -> FuncId {
+pub(crate) fn wf_ret(prog: &Program, f: FuncId) -> FuncId {
     effective_func(prog, f)
 }
