@@ -393,8 +393,12 @@ impl<'p> DMachine<'p> {
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Err(DErr::Stop(AnalysisStatus::Cancelled));
         }
+        #[cfg(feature = "fault-inject")]
+        let deadline_suppressed = self.faults.as_ref().is_some_and(|f| f.plan.ignore_deadline);
+        #[cfg(not(feature = "fault-inject"))]
+        let deadline_suppressed = false;
         if let Some(dl) = self.deadline {
-            if std::time::Instant::now() >= dl {
+            if !deadline_suppressed && std::time::Instant::now() >= dl {
                 return Err(DErr::Stop(AnalysisStatus::Deadline));
             }
         }

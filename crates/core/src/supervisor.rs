@@ -36,8 +36,19 @@ use std::sync::Arc;
 /// Clones observe the same flag; any clone may cancel. The machine polls
 /// it cooperatively at statement boundaries, so cancellation stops the run
 /// at a clean point with every sound fact collected so far intact.
+///
+/// Tokens form a tree: a [`CancelToken::child`] observes its own flag
+/// *and* every ancestor's, so a batch scheduler can hand each job a
+/// private token (cancellable by a watchdog without touching siblings)
+/// that still honors whole-batch cancellation.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<CancelInner>);
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    parent: Option<Arc<CancelInner>>,
+}
 
 impl CancelToken {
     /// A fresh, uncancelled token.
@@ -45,14 +56,35 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Requests cancellation; all clones observe it at their next poll.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+    /// A child token: cancelled when either its own flag or any
+    /// ancestor's flag is set. Cancelling the child does not affect the
+    /// parent or siblings.
+    pub fn child(&self) -> Self {
+        CancelToken(Arc::new(CancelInner {
+            flag: AtomicBool::new(false),
+            parent: Some(self.0.clone()),
+        }))
     }
 
-    /// Whether cancellation has been requested.
+    /// Requests cancellation; all clones (and children) observe it at
+    /// their next poll.
+    pub fn cancel(&self) {
+        self.0.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested on this token or any
+    /// ancestor.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        let mut inner: &CancelInner = &self.0;
+        loop {
+            if inner.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            match &inner.parent {
+                Some(p) => inner = p,
+                None => return false,
+            }
+        }
     }
 }
 
@@ -126,6 +158,11 @@ pub struct FaultPlan {
     /// Make the nth object allocation report heap exhaustion, stopping
     /// the run with [`crate::AnalysisStatus::MemLimit`].
     pub alloc_fail_at: Option<u64>,
+    /// Suppress the cooperative wall-clock deadline check (simulates a
+    /// deadline-accounting bug): the run keeps polling cancellation but
+    /// never stops on `deadline_ms`, so only an external watchdog can
+    /// stop it. Exercises the scheduler's wedged-job path.
+    pub ignore_deadline: bool,
 }
 
 /// Mutable injection state carried by a machine under test.
@@ -173,6 +210,34 @@ pub enum RunFailure {
         /// The seed the skipped run would have used.
         seed: u64,
     },
+}
+
+impl RunFailure {
+    /// The variant name, for structured failure reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunFailure::EnginePanic { .. } => "EnginePanic",
+            RunFailure::Cancelled { .. } => "Cancelled",
+        }
+    }
+
+    /// The seed of the affected run.
+    pub fn seed(&self) -> u64 {
+        match self {
+            RunFailure::EnginePanic { seed, .. } | RunFailure::Cancelled { seed } => *seed,
+        }
+    }
+
+    /// Whether retrying the run could plausibly succeed. Engine panics
+    /// (and injected allocation faults, which surface as panics outside a
+    /// supervised run) are treated as transient; cancellation is a
+    /// deliberate external decision and is never retried. Deterministic
+    /// stops — deadline, memory budget, parse errors — end runs with a
+    /// *status*, not a `RunFailure`, and retrying them would only repeat
+    /// the same outcome.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunFailure::EnginePanic { .. })
+    }
 }
 
 impl fmt::Display for RunFailure {

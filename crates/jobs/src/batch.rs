@@ -3,14 +3,40 @@
 //!
 //! Each job runs entirely inside one worker thread: parse + lower (on the
 //! worker's big stack), one supervised analysis run per seed with the
-//! batch [`CancelToken`] threaded into the run hooks, per-seed combination
-//! via [`MultiRunOutcome::combine`] in seed order. The finished graph
-//! (program, source, combined outcome) transfers back through the pool's
-//! ordered result slots, so [`BatchOutcome::jobs`] is always in manifest
-//! order and [`BatchOutcome::report_json`] is **byte-identical for any
-//! worker count**.
+//! batch [`CancelToken`][determinacy::CancelToken] threaded into the run
+//! hooks, per-seed combination via [`MultiRunOutcome::combine`] in seed
+//! order. The finished graph (program, source, combined outcome)
+//! transfers back through the pool's ordered result slots, so
+//! [`BatchOutcome::jobs`] is always in manifest order and
+//! [`BatchOutcome::report_json`] is **byte-identical for any worker
+//! count**.
+//!
+//! [`run_manifest_with`] layers the campaign-robustness machinery on top
+//! without disturbing that invariant:
+//!
+//! * transient run failures (engine panics, injected allocation faults)
+//!   are classified [`Disposition::Retry`] and rerun under the batch
+//!   [`RetryPolicy`]; deterministic stops (deadline, memory budget,
+//!   syntax errors) are final;
+//! * jobs with a wall-clock deadline arm the pool watchdog at
+//!   `deadline_ms + grace`, so a job whose cooperative deadline
+//!   enforcement fails resolves as [`JobStatus::Wedged`] instead of
+//!   wedging a worker forever;
+//! * settled rows stream into an atomic [`Checkpoint`] keyed by job
+//!   content, and a resumed batch splices those rows back **byte for
+//!   byte** while scheduling only the remainder;
+//! * a batch-wide declared-memory budget admits oversized jobs at reduced
+//!   budget ([`JobStatus::Degraded`]) instead of failing them.
+//!
+//! Attempt counters deliberately live on [`JobRecord`] and in
+//! [`BatchOutcome::stats_json`], **not** in the canonical report: a batch
+//! that retried its way to success must produce the same report bytes as
+//! one that succeeded immediately.
 
-use crate::pool::{IsolatedGraph, JobCtx, JobPool, JobVerdict};
+use crate::admission::{Admission, AdmissionController};
+use crate::checkpoint::{job_key, Checkpoint};
+use crate::pool::{IsolatedGraph, JobCtx, JobEvent, JobPool, JobVerdict};
+use crate::retry::{Disposition, RetryPolicy};
 use crate::spec::{JobSpec, Manifest};
 use determinacy::multirun::{export_json, MultiRunOutcome};
 use determinacy::{
@@ -18,7 +44,9 @@ use determinacy::{
 };
 use mujs_dom::document::{Document, DocumentBuilder};
 use mujs_dom::events::EventPlan;
-use serde::Serialize;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Everything a completed job hands back: the combined multi-run outcome
 /// plus the program/source needed to render or export its facts.
@@ -53,12 +81,21 @@ pub enum JobStatus {
     /// The job ran; its runs may still record per-seed stops (deadline,
     /// mem limit, mid-flight cancellation) in the outcome.
     Completed,
+    /// The job ran to completion, but under a reduced memory budget
+    /// granted by the admission controller (its declared `mem_cells`
+    /// exceeded the batch-wide budget).
+    Degraded,
     /// Batch cancellation struck before the job started.
     Cancelled,
     /// The source did not parse.
     Syntax(String),
-    /// The job panicked outside any supervised run.
+    /// The job panicked outside any supervised run (on every attempt the
+    /// retry policy allowed).
     Panicked(String),
+    /// The job exceeded its watchdog budget — cooperative deadline
+    /// enforcement demonstrably failed — and was cancelled by the
+    /// monitor.
+    Wedged,
 }
 
 /// One manifest entry's result.
@@ -70,8 +107,41 @@ pub struct JobRecord {
     pub name: String,
     /// How the job resolved.
     pub status: JobStatus,
-    /// The outcome, when [`JobStatus::Completed`].
+    /// The outcome, when the job ran to completion in this process.
     pub outcome: Option<JobOutcome>,
+    /// Attempts the pool used (0 for jobs restored from a checkpoint or
+    /// cancelled before they started).
+    pub attempts: u32,
+    /// The pre-rendered report row, when the job was restored from a
+    /// checkpoint instead of executed.
+    pub restored: Option<Value>,
+}
+
+/// Campaign-level options for [`run_manifest_with`].
+#[derive(Debug, Default)]
+pub struct BatchOptions {
+    /// Retry budget and backoff for transient failures.
+    pub retry: RetryPolicy,
+    /// When set, every job with a wall-clock deadline arms the pool
+    /// watchdog at `deadline_ms + grace`: exceeding it marks the job
+    /// [`JobStatus::Wedged`]. `None` disables the watchdog.
+    pub watchdog_grace_ms: Option<u64>,
+    /// When set, settled rows are checkpointed here (atomically, via
+    /// temp-file + rename) as the batch runs.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Flush the checkpoint every this many settled rows (clamped to at
+    /// least 1; the default 0 means 1 — every row).
+    pub checkpoint_every: u64,
+    /// Rows restored from a previous run: manifest jobs whose content key
+    /// matches are spliced from here and not executed.
+    pub resume: Option<Checkpoint>,
+    /// Batch-wide declared-memory budget (heap cells) for the admission
+    /// controller; `None` disables admission control.
+    pub mem_budget_cells: Option<u64>,
+    /// Deterministic scheduler chaos (checkpoint truncation); the pool
+    /// carries its own copy for kills and event faults.
+    #[cfg(feature = "fault-inject")]
+    pub chaos: Option<std::sync::Arc<crate::chaos::SchedulerFaultPlan>>,
 }
 
 /// The aggregated batch result, in manifest order.
@@ -81,148 +151,426 @@ pub struct BatchOutcome {
     pub jobs: Vec<JobRecord>,
 }
 
-/// One row of the JSON batch report (serialization shape).
-#[derive(Debug, Serialize)]
-struct ReportRow {
-    name: String,
-    status: String,
-    seeds: Vec<u64>,
-    run_statuses: Vec<String>,
-    failures: Vec<String>,
-    facts: usize,
-    determinate: usize,
-    conflicts: u64,
-    fact_rows: Option<serde_json::Value>,
-}
-
-#[derive(Debug, Serialize)]
-struct Report {
-    jobs: Vec<ReportRow>,
-}
-
 impl BatchOutcome {
-    /// Number of jobs that ran to a [`JobStatus::Completed`] record.
+    /// Number of jobs that ran to a completed (or degraded, or restored)
+    /// record.
     pub fn completed(&self) -> usize {
         self.jobs
             .iter()
-            .filter(|j| matches!(j.status, JobStatus::Completed))
+            .filter(|j| matches!(j.status, JobStatus::Completed | JobStatus::Degraded))
             .count()
     }
 
-    /// Whether any job failed outright (syntax error or unsupervised
-    /// panic). Cancelled jobs are not failures.
+    /// Whether any job failed outright (syntax error, unsupervised panic,
+    /// wedge) or recorded per-run failures. Cancelled jobs are not
+    /// failures.
     pub fn has_failures(&self) -> bool {
         self.jobs.iter().any(|j| {
-            matches!(j.status, JobStatus::Syntax(_) | JobStatus::Panicked(_))
-                || j.outcome
-                    .as_ref()
-                    .is_some_and(|o| !o.multi.failures.is_empty())
+            matches!(
+                j.status,
+                JobStatus::Syntax(_) | JobStatus::Panicked(_) | JobStatus::Wedged
+            ) || j
+                .outcome
+                .as_ref()
+                .is_some_and(|o| !o.multi.failures.is_empty())
+                || j.restored.as_ref().is_some_and(|r| {
+                    r.get("failures")
+                        .and_then(Value::as_array)
+                        .is_some_and(|a| !a.is_empty())
+                })
         })
     }
 
     /// The batch report as pretty JSON, in manifest order. Contains no
-    /// timing or worker information, so the bytes depend only on the
-    /// manifest and the analysis semantics — not on scheduling. With
-    /// `include_facts` each completed job embeds its full sorted fact
-    /// export.
+    /// timing, worker, or attempt information, so the bytes depend only
+    /// on the manifest and the analysis semantics — not on scheduling,
+    /// retries, or resume splicing. With `include_facts` each completed
+    /// job embeds its full sorted fact export.
     pub fn report_json(&self, include_facts: bool) -> String {
         let rows = self
             .jobs
             .iter()
-            .map(|j| {
-                let status = match &j.status {
-                    JobStatus::Completed => "completed".to_owned(),
-                    JobStatus::Cancelled => "cancelled".to_owned(),
-                    JobStatus::Syntax(e) => format!("syntax error: {e}"),
-                    JobStatus::Panicked(e) => format!("panicked: {e}"),
-                };
-                let (seeds, run_statuses, failures, facts, determinate, conflicts) =
-                    match &j.outcome {
-                        Some(o) => (
-                            o.seeds.clone(),
-                            o.multi
-                                .runs
-                                .iter()
-                                .map(|r| format!("{:?}", r.status))
-                                .collect(),
-                            o.multi.failures.iter().map(|f| f.to_string()).collect(),
-                            o.multi.facts.len(),
-                            o.multi.facts.det_count(),
-                            o.multi.conflicts,
-                        ),
-                        None => (Vec::new(), Vec::new(), Vec::new(), 0, 0, 0),
-                    };
-                let fact_rows = match (&j.outcome, include_facts) {
-                    (Some(o), true) => Some(
-                        serde_json::from_str(&o.export_facts_json())
-                            .expect("fact export re-parses"),
-                    ),
-                    _ => None,
-                };
-                ReportRow {
-                    name: j.name.clone(),
-                    status,
-                    seeds,
-                    run_statuses,
-                    failures,
-                    facts,
-                    determinate,
-                    conflicts,
-                    fact_rows,
+            .map(|j| match &j.restored {
+                Some(row) => {
+                    // Restored rows were rendered (with facts) by the run
+                    // that completed them; re-anchor the name to this
+                    // manifest and honor this report's facts flag.
+                    let mut row = row.clone();
+                    set_field(&mut row, "name", Value::Str(j.name.clone()));
+                    if !include_facts {
+                        set_field(&mut row, "fact_rows", Value::Null);
+                    }
+                    row
                 }
+                None => render_row(&j.name, &j.status, j.outcome.as_ref(), include_facts),
             })
             .collect();
-        serde_json::to_string_pretty(&Report { jobs: rows }).expect("report serializes")
+        let report = Value::Object(vec![("jobs".to_owned(), Value::Array(rows))]);
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    }
+
+    /// Campaign-robustness counters as pretty JSON. Kept **out** of the
+    /// canonical report on purpose: attempts and restore counts vary
+    /// across fault schedules and resumes while the report bytes must
+    /// not.
+    pub fn stats_json(&self) -> String {
+        let mut degraded = 0u64;
+        let mut restored = 0u64;
+        let mut retried = 0u64;
+        let mut total_attempts = 0u64;
+        let mut panicked = 0u64;
+        let mut wedged = 0u64;
+        let mut cancelled = 0u64;
+        let mut syntax = 0u64;
+        let mut run_failures = 0u64;
+        for j in &self.jobs {
+            match j.status {
+                JobStatus::Degraded => degraded += 1,
+                JobStatus::Panicked(_) => panicked += 1,
+                JobStatus::Wedged => wedged += 1,
+                JobStatus::Cancelled => cancelled += 1,
+                JobStatus::Syntax(_) => syntax += 1,
+                JobStatus::Completed => {}
+            }
+            if j.restored.is_some() {
+                restored += 1;
+            }
+            if j.attempts > 1 {
+                retried += 1;
+            }
+            total_attempts += u64::from(j.attempts);
+            if let Some(o) = &j.outcome {
+                run_failures += o.multi.failures.len() as u64;
+            }
+        }
+        let num = |n: u64| Value::Num(n as f64);
+        let stats = Value::Object(vec![
+            ("jobs".to_owned(), num(self.jobs.len() as u64)),
+            ("completed".to_owned(), num(self.completed() as u64)),
+            ("degraded".to_owned(), num(degraded)),
+            ("restored".to_owned(), num(restored)),
+            ("retried_jobs".to_owned(), num(retried)),
+            ("total_attempts".to_owned(), num(total_attempts)),
+            ("panicked".to_owned(), num(panicked)),
+            ("wedged".to_owned(), num(wedged)),
+            ("cancelled".to_owned(), num(cancelled)),
+            ("syntax_errors".to_owned(), num(syntax)),
+            ("run_failures".to_owned(), num(run_failures)),
+        ]);
+        serde_json::to_string_pretty(&stats).expect("stats serialize")
     }
 }
 
-/// Runs every manifest job through the pool and aggregates the results in
-/// manifest order.
+/// The report's status string for a record.
+fn status_str(status: &JobStatus) -> String {
+    match status {
+        JobStatus::Completed => "completed".to_owned(),
+        JobStatus::Degraded => "degraded".to_owned(),
+        JobStatus::Cancelled => "cancelled".to_owned(),
+        JobStatus::Syntax(e) => format!("syntax error: {e}"),
+        JobStatus::Panicked(e) => format!("panicked: {e}"),
+        JobStatus::Wedged => "wedged: exceeded watchdog budget".to_owned(),
+    }
+}
+
+/// Renders one report row. This single function serves the live report,
+/// the checkpoint writer, and (transitively) the resume splice, which is
+/// what makes interrupted-then-resumed reports byte-identical to
+/// uninterrupted ones.
+fn render_row(
+    name: &str,
+    status: &JobStatus,
+    outcome: Option<&JobOutcome>,
+    include_facts: bool,
+) -> Value {
+    let num = |n: u64| Value::Num(n as f64);
+    let (seeds, run_statuses, failures, facts, determinate, conflicts) = match outcome {
+        Some(o) => (
+            o.seeds.iter().map(|&s| num(s)).collect(),
+            o.multi
+                .runs
+                .iter()
+                .map(|r| Value::Str(format!("{:?}", r.status)))
+                .collect(),
+            o.multi
+                .failures
+                .iter()
+                .map(|f| {
+                    Value::Object(vec![
+                        ("kind".to_owned(), Value::Str(f.kind().to_owned())),
+                        ("seed".to_owned(), num(f.seed())),
+                        ("message".to_owned(), Value::Str(f.to_string())),
+                    ])
+                })
+                .collect(),
+            o.multi.facts.len() as u64,
+            o.multi.facts.det_count() as u64,
+            o.multi.conflicts,
+        ),
+        None => (Vec::new(), Vec::new(), Vec::new(), 0, 0, 0),
+    };
+    let fact_rows = match (outcome, include_facts) {
+        (Some(o), true) => {
+            serde_json::from_str(&o.export_facts_json()).expect("fact export re-parses")
+        }
+        _ => Value::Null,
+    };
+    Value::Object(vec![
+        ("name".to_owned(), Value::Str(name.to_owned())),
+        ("status".to_owned(), Value::Str(status_str(status))),
+        ("seeds".to_owned(), Value::Array(seeds)),
+        ("run_statuses".to_owned(), Value::Array(run_statuses)),
+        ("failures".to_owned(), Value::Array(failures)),
+        ("facts".to_owned(), num(facts)),
+        ("determinate".to_owned(), num(determinate)),
+        ("conflicts".to_owned(), num(conflicts)),
+        ("fact_rows".to_owned(), fact_rows),
+    ])
+}
+
+/// Replaces (or appends) an object field in place.
+fn set_field(row: &mut Value, key: &str, value: Value) {
+    if let Value::Object(fields) = row {
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key.to_owned(), value));
+        }
+    }
+}
+
+/// The worker-side result of one manifest job, including the identity the
+/// classifier needs to checkpoint it.
+struct SpecRun {
+    key: String,
+    name: String,
+    status: JobStatus,
+    outcome: Option<JobOutcome>,
+}
+
+/// The streaming checkpoint writer: accumulates settled rows and
+/// periodically publishes them atomically. Save errors are swallowed — a
+/// checkpoint is an optimization, and a full disk must not fail the
+/// campaign it is trying to protect.
+struct CkptWriter {
+    ck: Checkpoint,
+    path: PathBuf,
+    every: u64,
+    inserts: u64,
+    writes: u64,
+    #[cfg(feature = "fault-inject")]
+    chaos: Option<std::sync::Arc<crate::chaos::SchedulerFaultPlan>>,
+}
+
+impl CkptWriter {
+    fn record(&mut self, key: String, row: Value) {
+        self.ck.insert(key, row);
+        self.inserts += 1;
+        if self.inserts.is_multiple_of(self.every) {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.writes += 1;
+        #[cfg(feature = "fault-inject")]
+        let truncate = self
+            .chaos
+            .as_ref()
+            .is_some_and(|p| p.truncate_checkpoint(self.writes));
+        #[cfg(not(feature = "fault-inject"))]
+        let truncate = false;
+        let _ = self.ck.save(&self.path, truncate);
+    }
+}
+
+/// Runs every manifest job through the pool with default campaign options
+/// (single attempt, no watchdog, no checkpointing) and aggregates the
+/// results in manifest order.
 pub fn run_manifest(manifest: &Manifest, pool: &JobPool) -> BatchOutcome {
-    let jobs: Vec<(String, _)> = manifest
+    run_manifest_with(manifest, pool, &BatchOptions::default())
+}
+
+/// Runs a manifest as a fault-tolerant campaign: retries, watchdog,
+/// checkpoint/resume, and admission control per `opts` (see the module
+/// docs). The report stays byte-identical for any worker count, any
+/// retryable fault schedule, and any interrupt/resume split.
+pub fn run_manifest_with(manifest: &Manifest, pool: &JobPool, opts: &BatchOptions) -> BatchOutcome {
+    let n = manifest.jobs.len();
+    let keys: Vec<String> = manifest
         .jobs
         .iter()
-        .map(|spec| {
-            let spec = spec.clone();
-            (spec.name.clone(), move |ctx: &JobCtx| run_spec(&spec, ctx))
-        })
+        .map(|s| job_key(s, opts.mem_budget_cells))
         .collect();
-    let verdicts = pool.run(jobs);
-    let records = verdicts
-        .into_iter()
-        .enumerate()
-        .map(|(index, v)| {
-            let name = manifest.jobs[index].name.clone();
-            let (status, outcome) = match v {
-                JobVerdict::Done(iso) => iso.into_inner(),
-                JobVerdict::Panicked(p) => (JobStatus::Panicked(p), None),
-                JobVerdict::Cancelled => (JobStatus::Cancelled, None),
-            };
-            JobRecord {
-                index,
-                name,
-                status,
-                outcome,
+    let mut records: Vec<Option<JobRecord>> = (0..n).map(|_| None).collect();
+    let mut scheduled: Vec<usize> = Vec::new();
+    for (i, spec) in manifest.jobs.iter().enumerate() {
+        match opts.resume.as_ref().and_then(|ck| ck.lookup(&keys[i])) {
+            Some(row) => {
+                let status = match row.get("status").and_then(Value::as_str) {
+                    Some("degraded") => JobStatus::Degraded,
+                    _ => JobStatus::Completed,
+                };
+                records[i] = Some(JobRecord {
+                    index: i,
+                    name: spec.name.clone(),
+                    status,
+                    outcome: None,
+                    attempts: 0,
+                    restored: Some(row.clone()),
+                });
             }
+            None => scheduled.push(i),
+        }
+    }
+
+    let admission = opts.mem_budget_cells.map(AdmissionController::new);
+    let writer: Option<Mutex<CkptWriter>> = opts.checkpoint_path.as_ref().map(|p| {
+        Mutex::new(CkptWriter {
+            // Seed the writer with the resumed rows so the final
+            // checkpoint covers the whole campaign, not just this leg.
+            ck: opts.resume.clone().unwrap_or_default(),
+            path: p.clone(),
+            every: opts.checkpoint_every.max(1),
+            inserts: 0,
+            writes: 0,
+            #[cfg(feature = "fault-inject")]
+            chaos: opts.chaos.clone(),
+        })
+    });
+
+    let jobs: Vec<(String, _)> = scheduled
+        .iter()
+        .map(|&i| {
+            let spec = manifest.jobs[i].clone();
+            let key = keys[i].clone();
+            let admission = &admission;
+            let grace = opts.watchdog_grace_ms;
+            let job = move |ctx: &JobCtx| -> IsolatedGraph<SpecRun> {
+                let adm = match admission {
+                    Some(c) => c.admit(spec.effective_config().mem_cell_budget),
+                    None => Admission {
+                        reserved: 0,
+                        granted: None,
+                        degraded: false,
+                    },
+                };
+                if adm.degraded {
+                    ctx.emit(JobEvent::Degraded {
+                        job: ctx.job,
+                        label: spec.name.clone(),
+                        granted_cells: adm.granted.unwrap_or_default(),
+                    });
+                }
+                let (status, outcome) = run_spec(&spec, ctx, &adm, grace);
+                if let Some(c) = admission {
+                    c.release(adm);
+                }
+                IsolatedGraph::new(SpecRun {
+                    key: key.clone(),
+                    name: spec.name.clone(),
+                    status,
+                    outcome,
+                })
+            };
+            (manifest.jobs[i].name.clone(), job)
         })
         .collect();
-    BatchOutcome { jobs: records }
+
+    let classify = |iso: &IsolatedGraph<SpecRun>| -> Disposition {
+        let run = iso.get();
+        match &run.status {
+            JobStatus::Syntax(e) => Disposition::Fatal(format!("syntax error: {e}")),
+            JobStatus::Completed | JobStatus::Degraded => {
+                let outcome = run.outcome.as_ref();
+                if let Some(f) =
+                    outcome.and_then(|o| o.multi.failures.iter().find(|f| f.is_transient()))
+                {
+                    // Transient per-run failure (engine panic / injected
+                    // alloc fault): rerunning can recover the row.
+                    return Disposition::Retry(f.to_string());
+                }
+                if outcome.is_some_and(|o| o.multi.failures.is_empty()) {
+                    // The row is settled — its bytes are final — so it is
+                    // safe to checkpoint. Rows carrying failures are left
+                    // out: a resume should rerun them.
+                    if let Some(w) = &writer {
+                        let row = render_row(&run.name, &run.status, outcome, true);
+                        w.lock().unwrap().record(run.key.clone(), row);
+                    }
+                }
+                Disposition::Keep
+            }
+            // Cancellation is a deliberate external decision, never
+            // retried; Panicked/Wedged never reach the classifier (the
+            // pool resolves them directly).
+            _ => Disposition::Keep,
+        }
+    };
+
+    let runs = pool.run_classified(jobs, &opts.retry, classify);
+    for (&slot, run) in scheduled.iter().zip(runs) {
+        let name = manifest.jobs[slot].name.clone();
+        let attempts = run.attempts;
+        let (status, outcome) = match run.verdict {
+            JobVerdict::Done(iso) => {
+                let sr = iso.into_inner();
+                (sr.status, sr.outcome)
+            }
+            JobVerdict::Panicked(p) => (JobStatus::Panicked(p), None),
+            JobVerdict::Cancelled => (JobStatus::Cancelled, None),
+            JobVerdict::Wedged => (JobStatus::Wedged, None),
+        };
+        records[slot] = Some(JobRecord {
+            index: slot,
+            name,
+            status,
+            outcome,
+            attempts,
+            restored: None,
+        });
+    }
+    if let Some(w) = &writer {
+        w.lock().unwrap().flush();
+    }
+    BatchOutcome {
+        jobs: records
+            .into_iter()
+            .map(|r| r.expect("every manifest job resolved"))
+            .collect(),
+    }
 }
 
 /// The worker-side body of one manifest job. Everything `Rc`-threaded is
 /// built here, inside the worker, and transferred back wholesale (see
 /// [`IsolatedGraph`]).
-fn run_spec(spec: &JobSpec, ctx: &JobCtx) -> IsolatedGraph<(JobStatus, Option<JobOutcome>)> {
+fn run_spec(
+    spec: &JobSpec,
+    ctx: &JobCtx,
+    adm: &Admission,
+    watchdog_grace_ms: Option<u64>,
+) -> (JobStatus, Option<JobOutcome>) {
     let harness = match DetHarness::from_src(&spec.src) {
         Ok(h) => h,
-        Err(e) => return IsolatedGraph::new((JobStatus::Syntax(e.to_string()), None)),
+        Err(e) => return (JobStatus::Syntax(e.to_string()), None),
     };
-    let cfg = spec.effective_config();
+    let mut cfg = spec.effective_config();
+    if adm.degraded {
+        cfg.mem_cell_budget = adm.granted;
+    }
+    if let (Some(grace), Some(deadline)) = (watchdog_grace_ms, cfg.deadline_ms) {
+        ctx.arm_watchdog(deadline.saturating_add(grace));
+    }
     let seeds = spec.effective_seeds();
     let doc = DocumentBuilder::new().title(&spec.name).build();
     let plan = EventPlan::new();
     let outcome = analyze_seeds(harness, &seeds, cfg, &doc, &plan, ctx);
-    IsolatedGraph::new((JobStatus::Completed, Some(outcome)))
+    let status = if adm.degraded {
+        JobStatus::Degraded
+    } else {
+        JobStatus::Completed
+    };
+    (status, Some(outcome))
 }
 
 /// Runs one seed fan-out sequentially on the current (worker) thread,
@@ -299,7 +647,7 @@ pub fn analyze_many_pooled(
                         let d = doc.cloned().unwrap_or_else(|| {
                             DocumentBuilder::new().title("analyze-pooled").build()
                         });
-                        supervised_analyze_dom(&mut h, cfg, d, plan, &hooks)
+                        supervised_analyze_dom(&mut h, cfg.clone(), d, plan, &hooks)
                     }
                     Err(e) => {
                         // Unreachable after the eager parse; keep the seed
@@ -328,6 +676,13 @@ pub fn analyze_many_pooled(
                 seed,
             }),
             JobVerdict::Cancelled => Err(RunFailure::Cancelled { seed }),
+            // These seed fan-out jobs never arm the watchdog, but keep the
+            // arm total: treat a wedge like a panic-shaped loss.
+            JobVerdict::Wedged => Err(RunFailure::EnginePanic {
+                payload: "seed run wedged past watchdog budget".to_owned(),
+                steps: 0,
+                seed,
+            }),
         })
         .collect::<Vec<_>>();
     Ok(MultiRunOutcome::combine(results, base_cfg.max_facts))

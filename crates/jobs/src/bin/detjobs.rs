@@ -6,12 +6,21 @@
 //! $ detjobs --manifest batch.json --workers 8 --report out.json
 //! $ detjobs --dir examples/js --workers 4
 //! $ detjobs --suite all --workers 8 --no-facts --report corpus.json
+//! $ detjobs --manifest batch.json --checkpoint ck.json --retries 3
+//! $ detjobs --manifest batch.json --resume ck.json --report out.json
 //! ```
 //!
 //! The report bytes depend only on the manifest and the analysis
-//! semantics — `--workers 1` and `--workers 8` produce identical output.
+//! semantics — `--workers 1` and `--workers 8` produce identical output,
+//! as do a retried run, a degraded run, and an interrupted run resumed
+//! with `--resume`.
+//!
+//! Exit status: `0` when every job completed cleanly, `1` when any job
+//! failed or wedged (or on I/O errors), `2` for usage errors.
 
-use mujs_jobs::{run_manifest, JobEvent, JobPool, Manifest};
+use mujs_jobs::{
+    run_manifest_with, BatchOptions, Checkpoint, JobEvent, JobPool, Manifest, RetryPolicy,
+};
 use std::sync::mpsc::channel;
 
 struct Options {
@@ -23,6 +32,15 @@ struct Options {
     include_facts: bool,
     quiet: bool,
     lint: bool,
+    retries: u32,
+    backoff_ms: u64,
+    fail_fast: bool,
+    watchdog_grace_ms: Option<u64>,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    resume: Option<String>,
+    mem_budget: Option<u64>,
+    stats: Option<String>,
 }
 
 fn usage(problem: &str) -> ! {
@@ -32,17 +50,29 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "usage: detjobs (--manifest FILE | --dir DIR | --suite jquery|evalbench|all)\n\
          \x20              [--workers N] [--report FILE] [--no-facts] [--quiet]\n\
+         \x20              [--retries N] [--backoff-ms MS] [--fail-fast]\n\
+         \x20              [--watchdog-grace MS] [--mem-budget CELLS]\n\
+         \x20              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
+         \x20              [--stats FILE]\n\
          \n\
-         \x20 --manifest FILE  JSON job manifest (see DESIGN.md §5c for the format)\n\
-         \x20 --dir DIR        one default job per *.js file, sorted by name\n\
-         \x20 --suite NAME     built-in corpus suite manifest\n\
-         \x20 --workers N      worker threads (default: available parallelism)\n\
-         \x20 --report FILE    write the JSON report there (default: stdout)\n\
-         \x20 --no-facts       omit per-job fact rows from the report\n\
-         \x20 --quiet          suppress progress lines on stderr\n\
-         \x20 --lint           validate each job's lowered IR before running\n\
-         \x20                  (structural detlint; off by default — reports\n\
-         \x20                  stay byte-identical either way)"
+         \x20 --manifest FILE    JSON job manifest (see DESIGN.md §5c for the format)\n\
+         \x20 --dir DIR          one default job per *.js file, sorted by name\n\
+         \x20 --suite NAME       built-in corpus suite manifest\n\
+         \x20 --workers N        worker threads (default: available parallelism)\n\
+         \x20 --report FILE      write the JSON report there (default: stdout)\n\
+         \x20 --no-facts         omit per-job fact rows from the report\n\
+         \x20 --quiet            suppress progress lines on stderr\n\
+         \x20 --lint             validate each job's lowered IR before running\n\
+         \x20 --retries N        attempts per job for transient failures (default 1)\n\
+         \x20 --backoff-ms MS    deterministic retry backoff base (default 0)\n\
+         \x20 --fail-fast        cancel the batch on the first permanent failure\n\
+         \x20 --watchdog-grace MS  wedge jobs exceeding deadline_ms + MS\n\
+         \x20 --mem-budget CELLS batch-wide declared-memory admission budget\n\
+         \x20 --checkpoint FILE  stream settled rows to an atomic checkpoint\n\
+         \x20 --checkpoint-every N  flush the checkpoint every N rows (default 1)\n\
+         \x20 --resume FILE      splice completed rows from a checkpoint and\n\
+         \x20                    run only the remainder (report stays byte-identical)\n\
+         \x20 --stats FILE       write retry/wedged/degraded counters as JSON"
     );
     std::process::exit(2);
 }
@@ -58,6 +88,15 @@ fn parse_args() -> Options {
         include_facts: true,
         quiet: false,
         lint: false,
+        retries: 1,
+        backoff_ms: 0,
+        fail_fast: false,
+        watchdog_grace_ms: None,
+        checkpoint: None,
+        checkpoint_every: 1,
+        resume: None,
+        mem_budget: None,
+        stats: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -67,6 +106,12 @@ fn parse_args() -> Options {
             None => usage(&format!("{flag} needs a value")),
         }
     };
+    fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> T {
+        match v.parse() {
+            Ok(n) => n,
+            Err(_) => usage(&format!("{flag} wants a non-negative integer, got `{v}`")),
+        }
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--manifest" => o.manifest = Some(value(&args, &mut i, "--manifest")),
@@ -83,6 +128,30 @@ fn parse_args() -> Options {
             "--no-facts" => o.include_facts = false,
             "--quiet" => o.quiet = true,
             "--lint" => o.lint = true,
+            "--retries" => {
+                let v = value(&args, &mut i, "--retries");
+                o.retries = parse_num(&v, "--retries");
+            }
+            "--backoff-ms" => {
+                let v = value(&args, &mut i, "--backoff-ms");
+                o.backoff_ms = parse_num(&v, "--backoff-ms");
+            }
+            "--fail-fast" => o.fail_fast = true,
+            "--watchdog-grace" => {
+                let v = value(&args, &mut i, "--watchdog-grace");
+                o.watchdog_grace_ms = Some(parse_num(&v, "--watchdog-grace"));
+            }
+            "--mem-budget" => {
+                let v = value(&args, &mut i, "--mem-budget");
+                o.mem_budget = Some(parse_num(&v, "--mem-budget"));
+            }
+            "--checkpoint" => o.checkpoint = Some(value(&args, &mut i, "--checkpoint")),
+            "--checkpoint-every" => {
+                let v = value(&args, &mut i, "--checkpoint-every");
+                o.checkpoint_every = parse_num(&v, "--checkpoint-every");
+            }
+            "--resume" => o.resume = Some(value(&args, &mut i, "--resume")),
+            "--stats" => o.stats = Some(value(&args, &mut i, "--stats")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -161,6 +230,20 @@ fn main() {
     }
     eprintln!("detjobs: {total} jobs on {} workers", o.workers);
 
+    let resume = o
+        .resume
+        .as_ref()
+        .map(|path| match Checkpoint::load(std::path::Path::new(path)) {
+            Ok(ck) => {
+                eprintln!("detjobs: resuming from {path} ({} settled rows)", ck.len());
+                ck
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        });
+
     let (tx, rx) = channel();
     let pool = JobPool::new(o.workers).with_events(tx);
     let quiet = o.quiet;
@@ -171,9 +254,19 @@ fn main() {
                 continue;
             }
             match e {
-                JobEvent::Started { job, label, worker } => {
+                JobEvent::Started {
+                    job,
+                    label,
+                    worker,
+                    attempt,
+                } => {
+                    let nth = if attempt > 1 {
+                        format!(" (attempt {attempt})")
+                    } else {
+                        String::new()
+                    };
                     eprintln!(
-                        "[{:>3}/{total}] started   {label} (worker {worker})",
+                        "[{:>3}/{total}] started   {label} (worker {worker}){nth}",
                         job + 1
                     );
                 }
@@ -183,8 +276,39 @@ fn main() {
                 JobEvent::Finished { job, label } => {
                     eprintln!("[{:>3}/{total}] finished  {label}", job + 1);
                 }
+                JobEvent::Retrying {
+                    job,
+                    label,
+                    attempt,
+                    error,
+                } => {
+                    eprintln!(
+                        "[{:>3}/{total}] retrying  {label} (attempt {attempt} failed: {error})",
+                        job + 1
+                    );
+                }
                 JobEvent::Failed { job, label, error } => {
                     eprintln!("[{:>3}/{total}] FAILED    {label}: {error}", job + 1);
+                }
+                JobEvent::Wedged {
+                    job,
+                    label,
+                    budget_ms,
+                } => {
+                    eprintln!(
+                        "[{:>3}/{total}] WEDGED    {label} (exceeded {budget_ms}ms watchdog budget)",
+                        job + 1
+                    );
+                }
+                JobEvent::Degraded {
+                    job,
+                    label,
+                    granted_cells,
+                } => {
+                    eprintln!(
+                        "[{:>3}/{total}] degraded  {label} (granted {granted_cells} cells)",
+                        job + 1
+                    );
                 }
                 JobEvent::Cancelled { job, label } => {
                     eprintln!("[{:>3}/{total}] cancelled {label}", job + 1);
@@ -193,7 +317,22 @@ fn main() {
         }
     });
 
-    let batch = run_manifest(&manifest, &pool);
+    let opts = BatchOptions {
+        retry: RetryPolicy {
+            max_attempts: o.retries.max(1),
+            backoff_base_ms: o.backoff_ms,
+            fail_fast: o.fail_fast,
+            ..RetryPolicy::default()
+        },
+        watchdog_grace_ms: o.watchdog_grace_ms,
+        checkpoint_path: o.checkpoint.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every: o.checkpoint_every,
+        resume,
+        mem_budget_cells: o.mem_budget,
+        #[cfg(feature = "fault-inject")]
+        chaos: None,
+    };
+    let batch = run_manifest_with(&manifest, &pool, &opts);
     drop(pool); // closes the event channel so the printer drains and exits
     let _ = printer.join();
 
@@ -207,6 +346,14 @@ fn main() {
             ""
         }
     );
+
+    if let Some(path) = &o.stats {
+        if let Err(e) = std::fs::write(path, batch.stats_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("detjobs: stats written to {path}");
+    }
 
     let report = batch.report_json(o.include_facts);
     match &o.report {

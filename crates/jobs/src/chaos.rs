@@ -1,0 +1,157 @@
+//! Scheduler-level chaos: a seed-deterministic fault plan for the job
+//! pool, compiled only under the `fault-inject` feature.
+//!
+//! The core crate's `FaultPlan` injects faults *inside* one analysis run
+//! (native panics, allocation failures). This plan injects faults in the
+//! *scheduler* around runs: it kills attempts as if the worker died
+//! mid-job, drops or delays progress-event sends, and truncates
+//! checkpoint writes. Every decision is a pure function of
+//! `(seed, coordinates)` — the same plan replays the same faults — so the
+//! chaos equivalence suite can assert the headline invariant: for any
+//! fault schedule built from *retryable* faults, the final batch report
+//! is byte-identical to the fault-free run, at any worker count.
+
+use crate::retry::splitmix64;
+
+/// What should happen to the nth event send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop the event (the listener never sees it).
+    Drop,
+    /// Sleep this many milliseconds, then deliver.
+    Delay(u64),
+}
+
+/// A deterministic scheduler fault schedule.
+///
+/// Percentages are per-decision probabilities driven by
+/// [`splitmix64`][crate::retry] over the seed and the decision's
+/// coordinates (job index and attempt for kills, a global sequence number
+/// for events), so a plan is exactly reproducible and independent of
+/// thread interleaving.
+#[derive(Debug, Clone)]
+pub struct SchedulerFaultPlan {
+    /// Root seed; every decision mixes it with its coordinates.
+    pub seed: u64,
+    /// Percent chance `[0, 100]` that a given (job, attempt) is killed
+    /// mid-flight (surfaces to the pool exactly like a worker panic).
+    pub kill_pct: u8,
+    /// Kill only attempts `<= kill_max_attempt`; `0` disables kills.
+    /// Keeping this below the retry policy's `max_attempts` guarantees a
+    /// killed job always has a live attempt left — the *retryable
+    /// schedule* precondition of the equivalence suite.
+    pub kill_max_attempt: u32,
+    /// Percent chance an event send is dropped.
+    pub drop_event_pct: u8,
+    /// Percent chance an event send is delayed (checked after drop).
+    pub delay_event_pct: u8,
+    /// Delay duration for delayed events, in milliseconds.
+    pub delay_event_ms: u64,
+    /// Truncate every nth checkpoint write mid-file (simulates a crash
+    /// during the temp-file write; the atomic rename must never publish
+    /// the torn file). `None` disables truncation.
+    pub truncate_checkpoint_every: Option<u64>,
+}
+
+impl SchedulerFaultPlan {
+    /// A moderately hostile schedule derived from `seed`: kills roughly
+    /// 40% of first and second attempts, perturbs 20% of event sends, and
+    /// leaves checkpoints alone. All faults are retryable under a policy
+    /// with three or more attempts.
+    pub fn from_seed(seed: u64) -> Self {
+        SchedulerFaultPlan {
+            seed,
+            kill_pct: 40,
+            kill_max_attempt: 2,
+            drop_event_pct: 10,
+            delay_event_pct: 10,
+            delay_event_ms: 2,
+            truncate_checkpoint_every: None,
+        }
+    }
+
+    /// Whether the plan kills `attempt` (1-indexed) of `job`.
+    pub fn kill_job(&self, job: usize, attempt: u32) -> bool {
+        if attempt > self.kill_max_attempt {
+            return false;
+        }
+        let x = splitmix64(
+            self.seed
+                ^ (job as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ u64::from(attempt).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        );
+        (x % 100) < u64::from(self.kill_pct)
+    }
+
+    /// The fate of the `n`th event send (global sequence order).
+    pub fn event_fate(&self, n: u64) -> EventFate {
+        let x = splitmix64(self.seed ^ n.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        if (x % 100) < u64::from(self.drop_event_pct) {
+            return EventFate::Drop;
+        }
+        if ((x >> 32) % 100) < u64::from(self.delay_event_pct) {
+            return EventFate::Delay(self.delay_event_ms);
+        }
+        EventFate::Deliver
+    }
+
+    /// Whether the `n`th checkpoint write (1-indexed) is truncated
+    /// mid-file.
+    pub fn truncate_checkpoint(&self, n: u64) -> bool {
+        match self.truncate_checkpoint_every {
+            Some(every) if every > 0 => n.is_multiple_of(every),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = SchedulerFaultPlan::from_seed(7);
+        let q = SchedulerFaultPlan::from_seed(7);
+        for job in 0..32 {
+            for attempt in 1..4 {
+                assert_eq!(p.kill_job(job, attempt), q.kill_job(job, attempt));
+            }
+        }
+        for n in 0..256 {
+            assert_eq!(p.event_fate(n), q.event_fate(n));
+        }
+    }
+
+    #[test]
+    fn kills_respect_the_attempt_ceiling() {
+        let p = SchedulerFaultPlan {
+            kill_pct: 100,
+            kill_max_attempt: 2,
+            ..SchedulerFaultPlan::from_seed(1)
+        };
+        assert!(p.kill_job(0, 1));
+        assert!(p.kill_job(0, 2));
+        assert!(!p.kill_job(0, 3), "attempt 3 is past the ceiling");
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = SchedulerFaultPlan::from_seed(1);
+        let b = SchedulerFaultPlan::from_seed(2);
+        let diverged = (0..64usize).any(|j| a.kill_job(j, 1) != b.kill_job(j, 1));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn checkpoint_truncation_schedule() {
+        let mut p = SchedulerFaultPlan::from_seed(3);
+        assert!(!p.truncate_checkpoint(1));
+        p.truncate_checkpoint_every = Some(2);
+        assert!(!p.truncate_checkpoint(1));
+        assert!(p.truncate_checkpoint(2));
+        assert!(p.truncate_checkpoint(4));
+    }
+}

@@ -39,12 +39,21 @@
 //! and transfer it back exactly once through synchronized pool slots; no
 //! `Rc` is ever shared across threads.
 
+pub mod admission;
 pub mod batch;
+#[cfg(feature = "fault-inject")]
+pub mod chaos;
+pub mod checkpoint;
 pub mod pool;
+pub mod retry;
 pub mod spec;
 
+pub use admission::AdmissionController;
 pub use batch::{
-    analyze_many_pooled, run_manifest, BatchOutcome, JobOutcome, JobRecord, JobStatus,
+    analyze_many_pooled, run_manifest, run_manifest_with, BatchOptions, BatchOutcome, JobOutcome,
+    JobRecord, JobStatus,
 };
-pub use pool::{JobCtx, JobEvent, JobPool, JobVerdict};
+pub use checkpoint::{job_key, Checkpoint};
+pub use pool::{JobCtx, JobEvent, JobPool, JobRun, JobVerdict};
+pub use retry::{Disposition, RetryPolicy};
 pub use spec::{JobSpec, Manifest};

@@ -1,40 +1,52 @@
 //! The worker pool: a fixed set of `std::thread` workers draining a shared
-//! injector queue of jobs, with batch-wide cooperative cancellation and a
-//! streaming progress-event channel.
+//! injector queue of jobs, with batch-wide cooperative cancellation, a
+//! streaming progress-event channel, deterministic per-job retries, and a
+//! watchdog that unwedges jobs which miss their cooperative deadlines.
 //!
 //! Design constraints, in order:
 //!
 //! 1. **Determinism.** Results are stored into a slot vector indexed by
 //!    submission order, so the caller always sees jobs in the order it
 //!    submitted them — completion order (and therefore worker count) is
-//!    invisible to everything downstream.
-//! 2. **Isolation.** Every job runs under `catch_unwind`; a panicking job
-//!    becomes [`JobVerdict::Panicked`] and the pool keeps draining. (The
-//!    analysis layer additionally wraps each *run* in the PR 1 supervisor,
-//!    so a pool-level panic only happens for faults outside a run, e.g. in
-//!    job setup code.)
+//!    invisible to everything downstream. Retries rerun the *same* pure
+//!    job body, so a job that succeeds on attempt 3 contributes exactly
+//!    the bytes it would have contributed on attempt 1.
+//! 2. **Isolation.** Every attempt runs under `catch_unwind`; a panicking
+//!    job becomes [`JobVerdict::Panicked`] (after its retry budget is
+//!    spent) and the pool keeps draining.
 //! 3. **Cancellation.** The pool shares one [`CancelToken`] with every
-//!    job. In-flight analysis runs observe it at their next statement poll
-//!    and stop with their sound fact prefix; jobs still in the queue are
-//!    *not started* and report [`JobVerdict::Cancelled`].
+//!    job; each attempt additionally gets a private
+//!    [`child`][CancelToken::child] token so the watchdog can stop one
+//!    wedged job without touching its siblings.
+//! 4. **Watchdog.** A monitor thread watches jobs that
+//!    [`arm_watchdog`][JobCtx::arm_watchdog] a wall-clock budget; a job
+//!    that exceeds it has demonstrably missed its *cooperative* deadline,
+//!    so the monitor cancels the job's private token and the attempt
+//!    resolves as [`JobVerdict::Wedged`] while the pool keeps draining.
+//!    (A job that also stops polling cannot be stopped safely; the
+//!    watchdog bounds the common failure — deadline accounting bugs and
+//!    stages with no deadline enforcement — not hostile spin loops.)
 //!
 //! Workers are spawned with [`mujs_syntax::PARSER_STACK_BYTES`] of stack,
 //! so everything a job does — parsing, lowering, counterfactual execution,
 //! `eval`-string reparsing — runs under the stack budget [`MAX_NESTING`]
 //! \[`mujs_syntax::MAX_NESTING`\] is sized for.
 
+use crate::retry::{Disposition, RetryPolicy};
 use determinacy::CancelToken;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A progress event streamed while a batch runs. Events arrive in real
 /// (completion) order; only the final result vector is ordered by
 /// submission index.
 #[derive(Debug, Clone)]
 pub enum JobEvent {
-    /// A worker picked the job up.
+    /// A worker picked the job up (fires once per attempt).
     Started {
         /// Submission index of the job.
         job: usize,
@@ -42,6 +54,8 @@ pub enum JobEvent {
         label: String,
         /// Index of the worker running it.
         worker: usize,
+        /// 1-indexed attempt number.
+        attempt: u32,
     },
     /// The job reported intermediate progress (e.g. "seed 3/8 done").
     Progress {
@@ -58,14 +72,48 @@ pub enum JobEvent {
         /// Human-readable job label.
         label: String,
     },
-    /// The job panicked outside any supervised run.
+    /// An attempt failed transiently and the job will run again.
+    Retrying {
+        /// Submission index of the job.
+        job: usize,
+        /// Human-readable job label.
+        label: String,
+        /// The attempt that just failed (1-indexed).
+        attempt: u32,
+        /// Why it failed.
+        error: String,
+    },
+    /// The job failed permanently: it panicked with no retry budget left,
+    /// or its result was classified [`Disposition::Fatal`]. The reason is
+    /// always carried so campaign-scale triage never sees a bare
+    /// failed bit.
     Failed {
         /// Submission index of the job.
         job: usize,
         /// Human-readable job label.
         label: String,
-        /// The panic payload.
+        /// The panic payload or failure classification.
         error: String,
+    },
+    /// The watchdog caught the job exceeding its armed wall-clock budget
+    /// and cancelled it.
+    Wedged {
+        /// Submission index of the job.
+        job: usize,
+        /// Human-readable job label.
+        label: String,
+        /// The budget the job exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The admission controller granted the job a reduced memory budget
+    /// instead of rejecting it.
+    Degraded {
+        /// Submission index of the job.
+        job: usize,
+        /// Human-readable job label.
+        label: String,
+        /// The reduced heap-cell budget the job runs under.
+        granted_cells: u64,
     },
     /// Batch cancellation struck before the job started; it never ran.
     Cancelled {
@@ -79,12 +127,18 @@ pub enum JobEvent {
 /// How one job ended, in the pool's eyes.
 #[derive(Debug)]
 pub enum JobVerdict<T> {
-    /// The job function returned.
+    /// The job function returned (possibly after retries).
     Done(T),
-    /// The job function panicked; the payload survives for the report.
+    /// The job function panicked on its final attempt; the payload
+    /// survives for the report.
     Panicked(String),
     /// The batch was cancelled before this job started.
     Cancelled,
+    /// The job exceeded its armed watchdog budget — its cooperative
+    /// deadline enforcement demonstrably failed — and was cancelled by
+    /// the monitor. Its partial result is discarded: a run that ignored
+    /// its budget is not trusted to have honored anything else.
+    Wedged,
 }
 
 impl<T> JobVerdict<T> {
@@ -97,37 +151,180 @@ impl<T> JobVerdict<T> {
     }
 }
 
-/// Context handed to a running job: its identity, the batch cancel token,
-/// and a handle for streaming progress events.
+/// A resolved job: its verdict plus how many attempts it used.
 #[derive(Debug)]
+pub struct JobRun<T> {
+    /// How the job ended.
+    pub verdict: JobVerdict<T>,
+    /// Attempts used (0 for jobs cancelled before they started).
+    pub attempts: u32,
+}
+
+/// The event funnel shared by workers and the watchdog monitor. Send
+/// errors are deliberately ignored: a dropped listener must never stall
+/// or fail the batch (pinned by the receiver-teardown test).
+struct EventSink {
+    tx: Option<Sender<JobEvent>>,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<crate::chaos::SchedulerFaultPlan>>,
+    #[cfg(feature = "fault-inject")]
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl EventSink {
+    fn new(tx: Option<Sender<JobEvent>>) -> Self {
+        EventSink {
+            tx,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+            #[cfg(feature = "fault-inject")]
+            seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn emit(&self, e: JobEvent) {
+        #[cfg(feature = "fault-inject")]
+        if let Some(f) = &self.faults {
+            use crate::chaos::EventFate;
+            let n = self.seq.fetch_add(1, Ordering::Relaxed);
+            match f.event_fate(n) {
+                EventFate::Drop => return,
+                EventFate::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                EventFate::Deliver => {}
+            }
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(e);
+        }
+    }
+}
+
+/// One armed watchdog entry: the wall-clock point past which the running
+/// job counts as wedged, and the private token to fire when it does.
+struct WatchdogSlot {
+    job: usize,
+    label: String,
+    deadline: Instant,
+    budget_ms: u64,
+    token: CancelToken,
+    fired: bool,
+}
+
+/// Per-worker watchdog registry (a worker runs at most one attempt at a
+/// time, so one slot per worker suffices).
+struct Watchdog {
+    slots: Vec<Mutex<Option<WatchdogSlot>>>,
+}
+
+impl Watchdog {
+    fn new(workers: usize) -> Self {
+        Watchdog {
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Scans all slots once, firing any that are past deadline.
+    fn scan(&self, events: &EventSink) {
+        let now = Instant::now();
+        for slot in &self.slots {
+            let mut guard = slot.lock().unwrap();
+            if let Some(s) = guard.as_mut() {
+                if !s.fired && now >= s.deadline {
+                    s.fired = true;
+                    s.token.cancel();
+                    events.emit(JobEvent::Wedged {
+                        job: s.job,
+                        label: s.label.clone(),
+                        budget_ms: s.budget_ms,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Disarms the worker's slot, reporting whether it fired.
+    fn disarm(&self, worker: usize) -> bool {
+        self.slots[worker]
+            .lock()
+            .unwrap()
+            .take()
+            .is_some_and(|s| s.fired)
+    }
+}
+
+/// Context handed to a running job: its identity, the cancel token for
+/// this attempt, and a handle for streaming progress events.
 pub struct JobCtx {
     /// Submission index of this job.
     pub job: usize,
     /// Index of the worker running it.
     pub worker: usize,
-    /// The batch-wide cancellation token. Jobs should thread it into
+    /// 1-indexed attempt number (1 on the first run, 2 on the first
+    /// retry, …). Jobs can use it to log, but must not let it change
+    /// their *result* — retried output must be byte-identical.
+    pub attempt: u32,
+    /// This attempt's cancellation token: a private child of the
+    /// batch-wide token, so it observes batch cancellation and can also
+    /// be fired individually by the watchdog. Jobs should thread it into
     /// their run supervision hooks (`RunHooks::with_cancel`) so mid-flight
     /// runs stop at the next poll.
     pub cancel: CancelToken,
-    events: Option<Sender<JobEvent>>,
+    label: String,
+    events: Arc<EventSink>,
+    watchdog: Arc<Watchdog>,
+}
+
+impl std::fmt::Debug for JobCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobCtx")
+            .field("job", &self.job)
+            .field("worker", &self.worker)
+            .field("attempt", &self.attempt)
+            .finish()
+    }
 }
 
 impl JobCtx {
-    /// Whether batch cancellation has been requested.
+    /// Whether batch (or per-job watchdog) cancellation has been
+    /// requested.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.is_cancelled()
     }
 
     /// Streams a [`JobEvent::Progress`] line (no-op without a listener).
     pub fn progress(&self, detail: impl Into<String>) {
-        if let Some(tx) = &self.events {
-            let _ = tx.send(JobEvent::Progress {
-                job: self.job,
-                detail: detail.into(),
-            });
-        }
+        self.events.emit(JobEvent::Progress {
+            job: self.job,
+            detail: detail.into(),
+        });
+    }
+
+    /// Arms the watchdog for this attempt: if the job is still running
+    /// `budget_ms` from now, the monitor fires this attempt's cancel
+    /// token and the job resolves as [`JobVerdict::Wedged`]. Call once,
+    /// early — typically right after computing the job's cooperative
+    /// deadline, with the budget set to that deadline plus a grace
+    /// period.
+    pub fn arm_watchdog(&self, budget_ms: u64) {
+        *self.watchdog.slots[self.worker].lock().unwrap() = Some(WatchdogSlot {
+            job: self.job,
+            label: self.label.clone(),
+            deadline: Instant::now() + Duration::from_millis(budget_ms),
+            budget_ms,
+            token: self.cancel.clone(),
+            fired: false,
+        });
+    }
+
+    /// Streams an arbitrary event (batch layer only — e.g. admission
+    /// degradation notices).
+    pub(crate) fn emit(&self, e: JobEvent) {
+        self.events.emit(e);
     }
 }
+
+/// How often the watchdog monitor rescans armed slots.
+const WATCHDOG_SCAN_MS: u64 = 10;
 
 /// A batch-analysis worker pool.
 ///
@@ -149,6 +346,8 @@ pub struct JobPool {
     workers: usize,
     cancel: CancelToken,
     events: Option<Sender<JobEvent>>,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<crate::chaos::SchedulerFaultPlan>>,
 }
 
 impl JobPool {
@@ -158,6 +357,8 @@ impl JobPool {
             workers: workers.max(1),
             cancel: CancelToken::new(),
             events: None,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 
@@ -171,6 +372,15 @@ impl JobPool {
     /// Streams [`JobEvent`]s to `tx` while batches run.
     pub fn with_events(mut self, tx: Sender<JobEvent>) -> Self {
         self.events = Some(tx);
+        self
+    }
+
+    /// Installs a deterministic scheduler-level fault plan (chaos testing
+    /// only): kills attempts, drops/delays events, truncates checkpoints
+    /// according to the plan's seed.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_scheduler_faults(mut self, plan: Arc<crate::chaos::SchedulerFaultPlan>) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -192,16 +402,49 @@ impl JobPool {
     }
 
     /// Runs every `(label, job)` pair to a verdict and returns the
-    /// verdicts **in submission order**.
-    ///
-    /// Blocks until all jobs are resolved (completed, panicked, or marked
-    /// cancelled). After a cancel, in-flight jobs return as soon as their
-    /// runs hit the next cancellation poll; queued jobs resolve
-    /// immediately without running.
+    /// verdicts **in submission order** — the single-attempt path with no
+    /// result classification (see [`JobPool::run_classified`] for
+    /// retries).
     pub fn run<T, F>(&self, jobs: Vec<(String, F)>) -> Vec<JobVerdict<T>>
     where
         T: Send,
-        F: FnOnce(&JobCtx) -> T + Send,
+        F: Fn(&JobCtx) -> T + Send,
+    {
+        self.run_classified(jobs, &RetryPolicy::default(), |_| Disposition::Keep)
+            .into_iter()
+            .map(|r| r.verdict)
+            .collect()
+    }
+
+    /// Runs every `(label, job)` pair under `policy`, classifying each
+    /// completed attempt with `classify`, and returns resolved
+    /// [`JobRun`]s **in submission order**.
+    ///
+    /// * A panicking attempt (or one classified
+    ///   [`Disposition::Retry`]) reruns after the policy's deterministic
+    ///   backoff while attempts remain; retried jobs that eventually
+    ///   succeed are indistinguishable in the results from jobs that
+    ///   succeeded on the first try, except for
+    ///   [`JobRun::attempts`].
+    /// * Attempts that overrun a watchdog budget armed via
+    ///   [`JobCtx::arm_watchdog`] resolve as [`JobVerdict::Wedged`].
+    /// * Under `policy.fail_fast`, the first permanent failure (panic
+    ///   with no retries left, exhausted retries, wedge, or
+    ///   [`Disposition::Fatal`]) cancels the batch token: in-flight jobs
+    ///   stop at their next poll, queued jobs resolve
+    ///   [`JobVerdict::Cancelled`].
+    ///
+    /// Blocks until all jobs are resolved.
+    pub fn run_classified<T, F, C>(
+        &self,
+        jobs: Vec<(String, F)>,
+        policy: &RetryPolicy,
+        classify: C,
+    ) -> Vec<JobRun<T>>
+    where
+        T: Send,
+        F: Fn(&JobCtx) -> T + Send,
+        C: Fn(&T) -> Disposition + Sync,
     {
         let n = jobs.len();
         let queue: Mutex<VecDeque<(usize, String, F)>> = Mutex::new(
@@ -210,64 +453,89 @@ impl JobPool {
                 .map(|(i, (label, f))| (i, label, f))
                 .collect(),
         );
-        let results: Mutex<Vec<Option<JobVerdict<T>>>> = Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<JobRun<T>>>> = Mutex::new((0..n).map(|_| None).collect());
+        let worker_count = self.workers.min(n.max(1));
+        let events = Arc::new({
+            #[allow(unused_mut)]
+            let mut sink = EventSink::new(self.events.clone());
+            #[cfg(feature = "fault-inject")]
+            {
+                sink.faults = self.faults.clone();
+            }
+            sink
+        });
+        let watchdog = Arc::new(Watchdog::new(worker_count));
+        let monitor_done = AtomicBool::new(false);
+        let classify = &classify;
         std::thread::scope(|s| {
-            for worker in 0..self.workers.min(n.max(1)) {
-                let queue = &queue;
-                let results = &results;
-                let cancel = self.cancel.clone();
-                let events = self.events.clone();
-                let builder = std::thread::Builder::new()
-                    .name(format!("mujs-job-{worker}"))
-                    // Jobs parse and execute recursively; size the stack
-                    // for the raised MAX_NESTING guard.
-                    .stack_size(mujs_syntax::PARSER_STACK_BYTES);
-                builder
-                    .spawn_scoped(s, move || loop {
-                        let Some((job, label, f)) = queue.lock().unwrap().pop_front() else {
-                            return;
-                        };
-                        let verdict = if cancel.is_cancelled() {
-                            emit(&events, JobEvent::Cancelled { job, label });
-                            JobVerdict::Cancelled
-                        } else {
-                            emit(
-                                &events,
-                                JobEvent::Started {
+            // Watchdog monitor: rescans armed slots until all workers are
+            // done, then exits so the scope can close.
+            let monitor = {
+                let watchdog = watchdog.clone();
+                let events = events.clone();
+                let done = &monitor_done;
+                s.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        watchdog.scan(&events);
+                        std::thread::sleep(Duration::from_millis(WATCHDOG_SCAN_MS));
+                    }
+                    // Final scan so nothing armed right at the end is missed.
+                    watchdog.scan(&events);
+                })
+            };
+            let handles: Vec<_> = (0..worker_count)
+                .map(|worker| {
+                    let queue = &queue;
+                    let results = &results;
+                    let cancel = self.cancel.clone();
+                    let events = events.clone();
+                    let watchdog = watchdog.clone();
+                    #[cfg(feature = "fault-inject")]
+                    let faults = self.faults.clone();
+                    let builder = std::thread::Builder::new()
+                        .name(format!("mujs-job-{worker}"))
+                        // Jobs parse and execute recursively; size the stack
+                        // for the raised MAX_NESTING guard.
+                        .stack_size(mujs_syntax::PARSER_STACK_BYTES);
+                    builder
+                        .spawn_scoped(s, move || loop {
+                            let Some((job, label, f)) = queue.lock().unwrap().pop_front() else {
+                                return;
+                            };
+                            let resolved = if cancel.is_cancelled() {
+                                events.emit(JobEvent::Cancelled {
                                     job,
                                     label: label.clone(),
+                                });
+                                JobRun {
+                                    verdict: JobVerdict::Cancelled,
+                                    attempts: 0,
+                                }
+                            } else {
+                                run_attempts(
+                                    job,
+                                    &label,
+                                    &f,
                                     worker,
-                                },
-                            );
-                            let ctx = JobCtx {
-                                job,
-                                worker,
-                                cancel: cancel.clone(),
-                                events: events.clone(),
+                                    &cancel,
+                                    &events,
+                                    &watchdog,
+                                    policy,
+                                    classify,
+                                    #[cfg(feature = "fault-inject")]
+                                    faults.as_deref(),
+                                )
                             };
-                            match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
-                                Ok(t) => {
-                                    emit(&events, JobEvent::Finished { job, label });
-                                    JobVerdict::Done(t)
-                                }
-                                Err(p) => {
-                                    let error = panic_text(p);
-                                    emit(
-                                        &events,
-                                        JobEvent::Failed {
-                                            job,
-                                            label,
-                                            error: error.clone(),
-                                        },
-                                    );
-                                    JobVerdict::Panicked(error)
-                                }
-                            }
-                        };
-                        results.lock().unwrap()[job] = Some(verdict);
-                    })
-                    .expect("spawn pool worker");
+                            results.lock().unwrap()[job] = Some(resolved);
+                        })
+                        .expect("spawn pool worker")
+                })
+                .collect();
+            for h in handles {
+                let _ = h.join();
             }
+            monitor_done.store(true, Ordering::Relaxed);
+            let _ = monitor.join();
         });
         results
             .into_inner()
@@ -278,9 +546,164 @@ impl JobPool {
     }
 }
 
-fn emit(events: &Option<Sender<JobEvent>>, e: JobEvent) {
-    if let Some(tx) = events {
-        let _ = tx.send(e);
+/// The per-job attempt loop: run, classify, retry with deterministic
+/// backoff, and resolve to a final verdict.
+#[allow(clippy::too_many_arguments)]
+fn run_attempts<T, F, C>(
+    job: usize,
+    label: &str,
+    f: &F,
+    worker: usize,
+    batch_cancel: &CancelToken,
+    events: &Arc<EventSink>,
+    watchdog: &Arc<Watchdog>,
+    policy: &RetryPolicy,
+    classify: &C,
+    #[cfg(feature = "fault-inject")] faults: Option<&crate::chaos::SchedulerFaultPlan>,
+) -> JobRun<T>
+where
+    F: Fn(&JobCtx) -> T,
+    C: Fn(&T) -> Disposition,
+{
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        if batch_cancel.is_cancelled() {
+            events.emit(JobEvent::Cancelled {
+                job,
+                label: label.to_owned(),
+            });
+            return JobRun {
+                verdict: JobVerdict::Cancelled,
+                attempts: attempt - 1,
+            };
+        }
+        events.emit(JobEvent::Started {
+            job,
+            label: label.to_owned(),
+            worker,
+            attempt,
+        });
+        let ctx = JobCtx {
+            job,
+            worker,
+            attempt,
+            cancel: batch_cancel.child(),
+            label: label.to_owned(),
+            events: events.clone(),
+            watchdog: watchdog.clone(),
+        };
+        #[cfg(feature = "fault-inject")]
+        let injected_kill = faults.is_some_and(|p| p.kill_job(job, attempt));
+        #[cfg(not(feature = "fault-inject"))]
+        let injected_kill = false;
+        let outcome: Result<T, String> = if injected_kill {
+            Err("chaos: worker killed mid-job (injected)".to_owned())
+        } else {
+            catch_unwind(AssertUnwindSafe(|| f(&ctx))).map_err(panic_text)
+        };
+        let wedged = watchdog.disarm(worker);
+        match outcome {
+            Err(error) => {
+                if policy.may_retry(attempt) {
+                    events.emit(JobEvent::Retrying {
+                        job,
+                        label: label.to_owned(),
+                        attempt,
+                        error,
+                    });
+                    backoff(policy, job, attempt);
+                    continue;
+                }
+                events.emit(JobEvent::Failed {
+                    job,
+                    label: label.to_owned(),
+                    error,
+                });
+                fail_fast(policy, batch_cancel);
+                return JobRun {
+                    verdict: JobVerdict::Panicked(panic_after_retries(attempt, label)),
+                    attempts: attempt,
+                };
+            }
+            Ok(_) if wedged => {
+                // Monitor already emitted JobEvent::Wedged.
+                fail_fast(policy, batch_cancel);
+                return JobRun {
+                    verdict: JobVerdict::Wedged,
+                    attempts: attempt,
+                };
+            }
+            Ok(t) => match classify(&t) {
+                Disposition::Keep => {
+                    events.emit(JobEvent::Finished {
+                        job,
+                        label: label.to_owned(),
+                    });
+                    return JobRun {
+                        verdict: JobVerdict::Done(t),
+                        attempts: attempt,
+                    };
+                }
+                Disposition::Retry(error) => {
+                    if policy.may_retry(attempt) {
+                        events.emit(JobEvent::Retrying {
+                            job,
+                            label: label.to_owned(),
+                            attempt,
+                            error,
+                        });
+                        backoff(policy, job, attempt);
+                        continue;
+                    }
+                    // Retries exhausted: the result (with its recorded
+                    // failures) stands; the batch may stop here.
+                    events.emit(JobEvent::Failed {
+                        job,
+                        label: label.to_owned(),
+                        error: format!("retries exhausted after {attempt} attempts: {error}"),
+                    });
+                    fail_fast(policy, batch_cancel);
+                    return JobRun {
+                        verdict: JobVerdict::Done(t),
+                        attempts: attempt,
+                    };
+                }
+                Disposition::Fatal(error) => {
+                    events.emit(JobEvent::Failed {
+                        job,
+                        label: label.to_owned(),
+                        error,
+                    });
+                    fail_fast(policy, batch_cancel);
+                    return JobRun {
+                        verdict: JobVerdict::Done(t),
+                        attempts: attempt,
+                    };
+                }
+            },
+        }
+    }
+}
+
+fn backoff(policy: &RetryPolicy, job: usize, attempt: u32) {
+    let ms = policy.backoff_ms(job, attempt);
+    if ms > 0 {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+fn fail_fast(policy: &RetryPolicy, batch_cancel: &CancelToken) {
+    if policy.fail_fast {
+        batch_cancel.cancel();
+    }
+}
+
+fn panic_after_retries(attempts: u32, label: &str) -> String {
+    if attempts > 1 {
+        format!("job `{label}` panicked on all {attempts} attempts")
+    } else {
+        format!("job `{label}` panicked")
     }
 }
 
@@ -320,6 +743,12 @@ impl<T> IsolatedGraph<T> {
         IsolatedGraph(value)
     }
 
+    /// Borrows the wrapped graph on the producing thread (classification
+    /// happens worker-side, before the handoff).
+    pub(crate) fn get(&self) -> &T {
+        &self.0
+    }
+
     /// Unwraps on the receiving thread.
     pub(crate) fn into_inner(self) -> T {
         self.0
@@ -329,9 +758,10 @@ impl<T> IsolatedGraph<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
     use std::sync::mpsc::channel;
 
-    type BoxedJob<T> = Box<dyn FnOnce(&JobCtx) -> T + Send>;
+    type BoxedJob<T> = Box<dyn Fn(&JobCtx) -> T + Send>;
 
     #[test]
     fn results_come_back_in_submission_order() {
@@ -361,7 +791,7 @@ mod tests {
         ];
         let out = pool.run(jobs);
         assert!(matches!(out[0], JobVerdict::Done(1)));
-        assert!(matches!(&out[1], JobVerdict::Panicked(p) if p.contains("exploded")));
+        assert!(matches!(&out[1], JobVerdict::Panicked(_)));
         assert!(matches!(out[2], JobVerdict::Done(3)));
     }
 
@@ -404,5 +834,155 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, ["started", "progress:halfway", "finished"]);
+    }
+
+    #[test]
+    fn a_transient_panic_is_retried_to_success() {
+        let pool = JobPool::new(2);
+        let calls = AtomicU32::new(0);
+        let jobs: Vec<(String, _)> = vec![("flaky".to_owned(), |_ctx: &JobCtx| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient fault");
+            }
+            99u32
+        })];
+        let out = pool.run_classified(jobs, &RetryPolicy::attempts(3), |_| Disposition::Keep);
+        assert!(matches!(out[0].verdict, JobVerdict::Done(99)));
+        assert_eq!(out[0].attempts, 2);
+    }
+
+    #[test]
+    fn retries_exhaust_into_a_panicked_verdict() {
+        let (tx, rx) = channel();
+        let pool = JobPool::new(1).with_events(tx);
+        let jobs: Vec<(String, BoxedJob<u32>)> =
+            vec![("always-dies".into(), Box::new(|_| panic!("permanent")))];
+        let out = pool.run_classified(jobs, &RetryPolicy::attempts(3), |_| Disposition::Keep);
+        assert!(matches!(&out[0].verdict, JobVerdict::Panicked(_)));
+        assert_eq!(out[0].attempts, 3);
+        let retries = rx
+            .try_iter()
+            .filter(|e| matches!(e, JobEvent::Retrying { .. }))
+            .count();
+        assert_eq!(retries, 2, "attempts 1 and 2 retry, attempt 3 fails");
+    }
+
+    #[test]
+    fn classifier_driven_retry_reruns_the_job() {
+        let pool = JobPool::new(1);
+        let calls = AtomicU32::new(0);
+        let jobs: Vec<(String, _)> = vec![("classified".to_owned(), |_ctx: &JobCtx| {
+            calls.fetch_add(1, Ordering::SeqCst) + 1
+        })];
+        let out = pool.run_classified(jobs, &RetryPolicy::attempts(5), |&n: &u32| {
+            if n < 3 {
+                Disposition::Retry(format!("attempt {n} too small"))
+            } else {
+                Disposition::Keep
+            }
+        });
+        assert!(matches!(out[0].verdict, JobVerdict::Done(3)));
+        assert_eq!(out[0].attempts, 3);
+    }
+
+    #[test]
+    fn fail_fast_cancels_the_rest_of_the_batch() {
+        let pool = JobPool::new(1);
+        let jobs: Vec<(String, BoxedJob<u32>)> = vec![
+            ("fatal".into(), Box::new(|_| 0)),
+            ("never-runs".into(), Box::new(|_| 1)),
+        ];
+        let policy = RetryPolicy {
+            fail_fast: true,
+            ..RetryPolicy::attempts(1)
+        };
+        let out = pool.run_classified(jobs, &policy, |&n: &u32| {
+            if n == 0 {
+                Disposition::Fatal("bad input".into())
+            } else {
+                Disposition::Keep
+            }
+        });
+        assert!(matches!(out[0].verdict, JobVerdict::Done(0)));
+        assert!(matches!(out[1].verdict, JobVerdict::Cancelled));
+    }
+
+    #[test]
+    fn the_watchdog_wedges_a_job_that_overstays_its_budget() {
+        let (tx, rx) = channel();
+        let pool = JobPool::new(2).with_events(tx);
+        let jobs: Vec<(String, BoxedJob<u32>)> = vec![
+            (
+                "overstayer".into(),
+                Box::new(|ctx| {
+                    ctx.arm_watchdog(30);
+                    // Poll cooperatively like a real run; without the
+                    // watchdog this would spin for a very long time.
+                    while !ctx.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    0
+                }),
+            ),
+            ("fine".into(), Box::new(|_| 7)),
+        ];
+        let out = pool.run(jobs);
+        assert!(matches!(out[0], JobVerdict::Wedged));
+        assert!(matches!(out[1], JobVerdict::Done(7)));
+        assert!(rx.try_iter().any(|e| matches!(
+            e,
+            JobEvent::Wedged {
+                job: 0,
+                budget_ms: 30,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn watchdog_cancellation_does_not_leak_into_siblings() {
+        let pool = JobPool::new(1);
+        let jobs: Vec<(String, BoxedJob<u32>)> = vec![
+            (
+                "wedges".into(),
+                Box::new(|ctx| {
+                    ctx.arm_watchdog(20);
+                    while !ctx.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    0
+                }),
+            ),
+            (
+                "healthy-after".into(),
+                Box::new(|ctx| {
+                    assert!(!ctx.is_cancelled(), "sibling token must be fresh");
+                    5
+                }),
+            ),
+        ];
+        let out = pool.run(jobs);
+        assert!(matches!(out[0], JobVerdict::Wedged));
+        assert!(matches!(out[1], JobVerdict::Done(5)));
+    }
+
+    #[test]
+    fn dropping_the_event_receiver_does_not_stall_the_pool() {
+        let (tx, rx) = channel();
+        let pool = JobPool::new(2).with_events(tx);
+        drop(rx); // listener gone before the batch even starts
+        let jobs: Vec<(String, _)> = (0..8usize)
+            .map(|i| {
+                (format!("j{i}"), move |ctx: &JobCtx| {
+                    ctx.progress("still emitting into the void");
+                    i
+                })
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 8);
+        for (i, v) in out.iter().enumerate() {
+            assert!(matches!(v, JobVerdict::Done(x) if *x == i));
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! Deterministic retry policy for campaign jobs.
+//!
+//! A 10,000-job campaign cannot afford to lose a row to one transient
+//! fault, and it equally cannot afford retry storms that make batch
+//! output depend on wall-clock luck. The policy here is therefore fully
+//! deterministic: how often a job may run is a fixed `max_attempts`, and
+//! *when* it reruns follows a backoff schedule derived from a seed and
+//! the job's submission index — the same `(seed, job, attempt)` triple
+//! always sleeps the same number of milliseconds, so a failing campaign
+//! replays identically.
+//!
+//! What counts as retryable is decided by the *classifier* the batch
+//! layer installs (see [`Disposition`]): engine panics and injected
+//! allocation faults are transient, while deterministic stops — deadline,
+//! memory budget, parse errors, cancellation — would only repeat, so they
+//! are final on the first occurrence.
+
+/// How the pool should treat a job's finished attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// The result stands; record it.
+    Keep,
+    /// The result contains a transient failure; rerun the job if the
+    /// policy has attempts left. The string names the failure for the
+    /// [`crate::JobEvent::Retrying`] progress line.
+    Retry(String),
+    /// The result contains a permanent failure (wrong input, exhausted
+    /// budget): never rerun, and under `fail_fast` cancel the rest of the
+    /// batch. The string names the failure.
+    Fatal(String),
+}
+
+/// Per-job retry budget and deterministic backoff schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts a job may use (clamped to at least 1). `1` means
+    /// no retries — the pre-campaign behavior.
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds; attempt `n` waits roughly
+    /// `base * 2^(n-1)` plus a seed-derived jitter below `base`. `0`
+    /// disables sleeping entirely (tests).
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+    /// Cancel the whole batch on the first permanent
+    /// ([`Disposition::Fatal`], wedged, or retry-exhausted) failure.
+    pub fail_fast: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            seed: 0xD5EA_51DE,
+            fail_fast: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts and no backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Whether a job that has used `attempt` attempts (1-indexed) may run
+    /// again.
+    pub fn may_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts.max(1)
+    }
+
+    /// The deterministic backoff before attempt `attempt + 1` of `job`:
+    /// exponential in the attempt number with a seed-derived jitter, and
+    /// exactly reproducible for a given policy.
+    pub fn backoff_ms(&self, job: usize, attempt: u32) -> u64 {
+        if self.backoff_base_ms == 0 {
+            return 0;
+        }
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16));
+        let jitter = splitmix64(
+            self.seed ^ (job as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt),
+        ) % self.backoff_base_ms;
+        exp.saturating_add(jitter)
+    }
+}
+
+/// SplitMix64 — the standard 64-bit mixing function; deterministic,
+/// allocation-free, and good enough to decorrelate `(seed, job, attempt)`
+/// triples for jitter and fault scheduling.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_monotone_in_expectation() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_ms: 100,
+            seed: 42,
+            fail_fast: false,
+        };
+        for job in 0..8 {
+            for attempt in 1..4 {
+                assert_eq!(p.backoff_ms(job, attempt), p.backoff_ms(job, attempt));
+                // Exponential floor: attempt n waits at least base * 2^(n-1).
+                assert!(p.backoff_ms(job, attempt) >= 100 << (attempt - 1));
+                assert!(p.backoff_ms(job, attempt) < (100 << (attempt - 1)) + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let p = RetryPolicy::attempts(5);
+        assert_eq!(p.backoff_ms(3, 2), 0);
+    }
+
+    #[test]
+    fn attempt_budget_is_clamped() {
+        let p = RetryPolicy::attempts(0);
+        assert!(!p.may_retry(1));
+        let p = RetryPolicy::attempts(3);
+        assert!(p.may_retry(1) && p.may_retry(2) && !p.may_retry(3));
+    }
+}

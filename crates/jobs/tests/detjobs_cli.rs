@@ -1,0 +1,145 @@
+//! End-to-end `detjobs` binary checks: exit codes for CI gating, and the
+//! checkpoint/resume flags producing byte-identical reports.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn detjobs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_detjobs"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_manifest(dir: &Path, name: &str, body: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+const HEALTHY: &str = r#"{
+  "jobs": [
+    { "name": "a", "src": "var x = 1 + 2;" },
+    { "name": "b", "src": "var y = 3 * 4;", "seeds": [1, 2] }
+  ]
+}"#;
+
+const WITH_BAD_JOB: &str = r#"{
+  "jobs": [
+    { "name": "ok", "src": "var x = 1;" },
+    { "name": "broken", "src": "var x = ;" }
+  ]
+}"#;
+
+#[test]
+fn healthy_batches_exit_zero() {
+    let dir = tmp_dir("cli-ok");
+    let manifest = write_manifest(&dir, "m.json", HEALTHY);
+    let out = detjobs()
+        .args(["--manifest", manifest.to_str().unwrap(), "--quiet"])
+        .output()
+        .expect("run detjobs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_jobs_make_the_exit_code_nonzero() {
+    let dir = tmp_dir("cli-fail");
+    let manifest = write_manifest(&dir, "m.json", WITH_BAD_JOB);
+    let out = detjobs()
+        .args(["--manifest", manifest.to_str().unwrap(), "--quiet"])
+        .output()
+        .expect("run detjobs");
+    assert_eq!(out.status.code(), Some(1));
+    // The failure reason reaches the progress stream, not just a bit.
+    let with_events = detjobs()
+        .args(["--manifest", manifest.to_str().unwrap()])
+        .output()
+        .expect("run detjobs");
+    let stderr = String::from_utf8_lossy(&with_events.stderr);
+    assert!(
+        stderr.contains("FAILED") && stderr.contains("syntax error"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fail_fast_still_exits_nonzero() {
+    let dir = tmp_dir("cli-failfast");
+    let manifest = write_manifest(&dir, "m.json", WITH_BAD_JOB);
+    let out = detjobs()
+        .args([
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--fail-fast",
+            "--workers",
+            "1",
+            "--quiet",
+        ])
+        .output()
+        .expect("run detjobs");
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_then_resume_reproduces_the_report_bytes() {
+    let dir = tmp_dir("cli-resume");
+    let manifest = write_manifest(&dir, "m.json", HEALTHY);
+    let ckpt = dir.join("ck.json");
+    let r1 = dir.join("r1.json");
+    let r2 = dir.join("r2.json");
+    let stats = dir.join("stats.json");
+
+    let first = detjobs()
+        .args([
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--report",
+            r1.to_str().unwrap(),
+            "--retries",
+            "3",
+            "--quiet",
+        ])
+        .output()
+        .expect("run detjobs");
+    assert!(first.status.success());
+
+    let second = detjobs()
+        .args([
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--report",
+            r2.to_str().unwrap(),
+            "--stats",
+            stats.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("run detjobs");
+    assert!(second.status.success());
+    assert!(String::from_utf8_lossy(&second.stderr).contains("resuming from"));
+
+    let bytes1 = std::fs::read(&r1).unwrap();
+    let bytes2 = std::fs::read(&r2).unwrap();
+    assert_eq!(bytes1, bytes2, "resumed report must be byte-identical");
+
+    // Everything was restored: zero attempts spent on the resumed leg.
+    let stats_text = std::fs::read_to_string(&stats).unwrap();
+    assert!(stats_text.contains("\"restored\": 2"), "{stats_text}");
+    assert!(stats_text.contains("\"total_attempts\": 0"), "{stats_text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

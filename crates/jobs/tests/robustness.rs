@@ -1,0 +1,243 @@
+//! Campaign robustness: checkpoint/resume byte-identity, admission-driven
+//! degradation, fail-fast semantics, listener teardown, and the
+//! determinism of the hardened batch path — all without fault injection
+//! (the chaos suite layers that on).
+
+use mujs_jobs::{
+    job_key, run_manifest, run_manifest_with, BatchOptions, Checkpoint, JobEvent, JobPool, JobSpec,
+    JobStatus, Manifest, RetryPolicy,
+};
+use std::path::PathBuf;
+use std::sync::mpsc::channel;
+
+fn small_manifest() -> Manifest {
+    Manifest::new(vec![
+        JobSpec {
+            seeds: Some(vec![1, 2]),
+            ..JobSpec::new(
+                "coin",
+                "var coin = Math.random() < 0.5;\n\
+                 if (coin) { var a = 11; } else { var b = 22; }",
+            )
+        },
+        JobSpec::new("plain", "var x = 1 + 2; var y = x * 3;"),
+        JobSpec::new("calls", "function f(v) { return v + 1; } var r = f(f(1));"),
+        JobSpec::new("strings", "var s = 'a' + 'b'; var t = s + 'c';"),
+    ])
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The hardened path with default options is the plain path: same bytes.
+#[test]
+fn default_options_match_the_plain_batch_path() {
+    let m = small_manifest();
+    let plain = run_manifest(&m, &JobPool::new(2));
+    let hardened = run_manifest_with(&m, &JobPool::new(2), &BatchOptions::default());
+    assert_eq!(plain.report_json(true), hardened.report_json(true));
+}
+
+/// Campaign options (retries armed, checkpointing on) do not disturb the
+/// worker-count invariance of the report.
+#[test]
+fn hardened_batches_stay_schedule_independent() {
+    let m = small_manifest();
+    let dir = tmp_dir("robustness-sched");
+    let mk_opts = |ck: PathBuf| BatchOptions {
+        retry: RetryPolicy::attempts(3),
+        checkpoint_path: Some(ck),
+        checkpoint_every: 1,
+        ..Default::default()
+    };
+    let one = run_manifest_with(&m, &JobPool::new(1), &mk_opts(dir.join("w1.json")));
+    let many = run_manifest_with(&m, &JobPool::new(8), &mk_opts(dir.join("w8.json")));
+    assert_eq!(one.report_json(true), many.report_json(true));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Interrupt/resume byte-identity (the acceptance criterion): a run over a
+/// *prefix* of the manifest — exactly what an interrupted campaign leaves
+/// behind — checkpoints its settled rows; resuming the full manifest from
+/// that checkpoint reproduces the uninterrupted report byte for byte,
+/// without re-executing the completed jobs (their attempt counters stay
+/// 0).
+#[test]
+fn resumed_batches_are_byte_identical_without_reexecution() {
+    let full = small_manifest();
+    let dir = tmp_dir("robustness-resume");
+    let ckpt = dir.join("ck.json");
+
+    let uninterrupted = run_manifest_with(&full, &JobPool::new(2), &BatchOptions::default());
+    let baseline = uninterrupted.report_json(true);
+
+    // "Interrupted" leg: only the first two jobs ran before the kill.
+    let prefix = Manifest::new(full.jobs[..2].to_vec());
+    run_manifest_with(
+        &prefix,
+        &JobPool::new(2),
+        &BatchOptions {
+            checkpoint_path: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            ..Default::default()
+        },
+    );
+
+    let ck = Checkpoint::load(&ckpt).expect("checkpoint parses");
+    assert_eq!(ck.len(), 2);
+    let resumed = run_manifest_with(
+        &full,
+        &JobPool::new(2),
+        &BatchOptions {
+            resume: Some(ck),
+            ..Default::default()
+        },
+    );
+    assert_eq!(baseline, resumed.report_json(true));
+    // Facts-off reports agree too (the splice strips stored fact rows).
+    assert_eq!(uninterrupted.report_json(false), resumed.report_json(false));
+    // The first two jobs were spliced, not re-run.
+    for j in &resumed.jobs[..2] {
+        assert!(j.restored.is_some(), "{} must be restored", j.name);
+        assert_eq!(j.attempts, 0, "{} must not re-execute", j.name);
+    }
+    for j in &resumed.jobs[2..] {
+        assert!(j.restored.is_none());
+        assert!(j.attempts >= 1, "{} must actually run", j.name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Content keying: editing a job's source invalidates its checkpoint row
+/// (the job reruns), while untouched jobs still splice.
+#[test]
+fn stale_checkpoint_rows_miss_on_content_change() {
+    let m = small_manifest();
+    let dir = tmp_dir("robustness-stale");
+    let ckpt = dir.join("ck.json");
+    run_manifest_with(
+        &m,
+        &JobPool::new(2),
+        &BatchOptions {
+            checkpoint_path: Some(ckpt.clone()),
+            ..Default::default()
+        },
+    );
+    let mut edited = m.clone();
+    edited.jobs[1].src = "var x = 999;".to_owned();
+    assert_ne!(job_key(&m.jobs[1], None), job_key(&edited.jobs[1], None));
+    let resumed = run_manifest_with(
+        &edited,
+        &JobPool::new(2),
+        &BatchOptions {
+            resume: Some(Checkpoint::load(&ckpt).unwrap()),
+            ..Default::default()
+        },
+    );
+    assert!(resumed.jobs[0].restored.is_some());
+    assert!(
+        resumed.jobs[1].restored.is_none(),
+        "edited job must not reuse the stale row"
+    );
+    assert!(resumed.jobs[1].attempts >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Admission control: a job declaring more cells than the whole batch
+/// budget runs degraded (reduced budget) instead of failing, the decision
+/// is schedule-independent, and the counters surface it.
+#[test]
+fn oversized_jobs_degrade_instead_of_failing() {
+    let m = Manifest::new(vec![
+        JobSpec {
+            mem_cells: Some(10_000_000),
+            ..JobSpec::new("greedy", "var x = [1, 2, 3]; var y = x.length;")
+        },
+        JobSpec {
+            mem_cells: Some(50_000),
+            ..JobSpec::new("modest", "var a = 5;")
+        },
+        JobSpec::new("undeclared", "var b = 6;"),
+    ]);
+    let opts = || BatchOptions {
+        mem_budget_cells: Some(100_000),
+        ..Default::default()
+    };
+    let (tx, rx) = channel();
+    let batch = run_manifest_with(&m, &JobPool::new(2).with_events(tx), &opts());
+    assert!(matches!(batch.jobs[0].status, JobStatus::Degraded));
+    assert!(matches!(batch.jobs[1].status, JobStatus::Completed));
+    assert!(matches!(batch.jobs[2].status, JobStatus::Completed));
+    assert!(!batch.has_failures(), "degradation is not a failure");
+    assert!(batch.report_json(false).contains("\"degraded\""));
+    assert!(rx.try_iter().any(
+        |e| matches!(e, JobEvent::Degraded { granted_cells, .. } if granted_cells == 100_000)
+    ));
+    let stats = batch.stats_json();
+    assert!(stats.contains("\"degraded\": 1"), "{stats}");
+    // Schedule independence of the degrade decision.
+    let again = run_manifest_with(&m, &JobPool::new(1), &opts());
+    assert_eq!(batch.report_json(true), again.report_json(true));
+}
+
+/// `fail_fast` cancels the remainder of the batch after a permanent
+/// failure (here: a syntax error), and the batch reports a failure.
+#[test]
+fn fail_fast_stops_the_batch_on_a_permanent_failure() {
+    let m = Manifest::new(vec![
+        JobSpec::new("bad", "var x = ;"),
+        JobSpec::new("after-0", "var a = 1;"),
+        JobSpec::new("after-1", "var b = 2;"),
+    ]);
+    let batch = run_manifest_with(
+        &m,
+        &JobPool::new(1),
+        &BatchOptions {
+            retry: RetryPolicy {
+                fail_fast: true,
+                ..RetryPolicy::default()
+            },
+            ..Default::default()
+        },
+    );
+    assert!(matches!(batch.jobs[0].status, JobStatus::Syntax(_)));
+    assert!(matches!(batch.jobs[1].status, JobStatus::Cancelled));
+    assert!(matches!(batch.jobs[2].status, JobStatus::Cancelled));
+    assert!(batch.has_failures());
+}
+
+/// Satellite: dropping the `JobEvent` receiver mid-batch must not stall
+/// the pool or change the report.
+#[test]
+fn listener_teardown_mid_batch_leaves_the_report_unchanged() {
+    let m = small_manifest();
+    let baseline = run_manifest(&m, &JobPool::new(2)).report_json(true);
+    let (tx, rx) = channel();
+    // Read exactly one event, then drop the receiver while jobs are still
+    // emitting.
+    let reader = std::thread::spawn(move || {
+        let _ = rx.recv();
+        drop(rx);
+    });
+    let batch = run_manifest(&m, &JobPool::new(2).with_events(tx));
+    reader.join().unwrap();
+    assert_eq!(baseline, batch.report_json(true));
+}
+
+/// Structured failure reasons reach the JSON report (kind + seed +
+/// message), not just a failed bit.
+#[test]
+fn reports_carry_structured_failure_reasons() {
+    let m = Manifest::new(vec![JobSpec::new("bad", "var x = ;")]);
+    let batch = run_manifest(&m, &JobPool::new(1));
+    let report = batch.report_json(false);
+    assert!(report.contains("syntax error"), "{report}");
+    // Stats counters exist and count the failure.
+    let stats = batch.stats_json();
+    assert!(stats.contains("\"syntax_errors\": 1"), "{stats}");
+    assert!(stats.contains("\"wedged\": 0"), "{stats}");
+    assert!(stats.contains("\"retried_jobs\": 0"), "{stats}");
+}

@@ -5,7 +5,10 @@
 
 use determinacy::multirun::{analyze_many, export_json};
 use determinacy::{AnalysisConfig, DetHarness};
-use mujs_jobs::{analyze_many_pooled, run_manifest, JobPool, JobSpec, Manifest};
+use mujs_jobs::{
+    analyze_many_pooled, run_manifest, run_manifest_with, BatchOptions, Checkpoint, JobPool,
+    JobSpec, Manifest, RetryPolicy,
+};
 
 const BRANCHY: &str = "var coin = Math.random() < 0.5;\n\
                        function pick(v) { var slot = v; return slot; }\n\
@@ -95,4 +98,52 @@ fn small_batches_are_schedule_independent_end_to_end() {
             "report must be byte-identical at {workers} workers"
         );
     }
+}
+
+/// The campaign-hardened path composes end to end across crates: a
+/// checkpointed run over a manifest prefix (an "interrupted" campaign)
+/// resumes into the full manifest with byte-identical output, retries
+/// armed, and stats counters on the side.
+#[test]
+fn interrupted_campaigns_resume_byte_identically_end_to_end() {
+    let mut jobs = vec![
+        JobSpec {
+            seeds: Some(vec![1, 2]),
+            ..JobSpec::new("branchy", BRANCHY)
+        },
+        JobSpec::new("straight", "var a = 1; var b = a + 1;"),
+    ];
+    for (name, src) in mujs_corpus::evalbench::named_sources().into_iter().take(2) {
+        jobs.push(JobSpec::new(name, src));
+    }
+    let full = Manifest::new(jobs);
+    let baseline = run_manifest(&full, &JobPool::new(2)).report_json(true);
+
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("root-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("ck.json");
+    let prefix = Manifest::new(full.jobs[..2].to_vec());
+    run_manifest_with(
+        &prefix,
+        &JobPool::new(2),
+        &BatchOptions {
+            checkpoint_path: Some(ckpt.clone()),
+            ..Default::default()
+        },
+    );
+    let resumed = run_manifest_with(
+        &full,
+        &JobPool::new(2),
+        &BatchOptions {
+            retry: RetryPolicy::attempts(3),
+            resume: Some(Checkpoint::load(&ckpt).expect("checkpoint parses")),
+            ..Default::default()
+        },
+    );
+    assert_eq!(baseline, resumed.report_json(true));
+    assert!(resumed.jobs[..2].iter().all(|j| j.attempts == 0));
+    assert!(resumed.jobs[2..].iter().all(|j| j.attempts == 1));
+    let stats = resumed.stats_json();
+    assert!(stats.contains("\"restored\": 2"), "{stats}");
+    std::fs::remove_dir_all(&dir).ok();
 }
