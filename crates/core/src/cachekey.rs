@@ -1,0 +1,155 @@
+//! Content-address hashing shared by every cache in the workspace.
+//!
+//! Two subsystems key work by *content* rather than by name: the batch
+//! checkpoint (`mujs-jobs`, one key per settled job) and the analysis
+//! service's stage cache (`mujs-serve`, one key per pipeline stage).
+//! Both must agree on one hashing implementation — a checkpoint written
+//! by one build and read by another, or a disk-persisted stage entry,
+//! survives only if the digest function never drifts. This module is that
+//! single implementation: FNV-1a over 64 bits, chained over
+//! length-delimited chunks.
+//!
+//! FNV-1a is not cryptographic; these keys defend against *staleness*
+//! (an input changed, so the key changes), not against an adversary
+//! manufacturing collisions. Every consumer treats a key hit as "the
+//! inputs were byte-identical with overwhelming probability", and every
+//! stored artifact is deterministic given its inputs, so a collision
+//! could at worst resurrect a well-formed row for different inputs —
+//! detectable, and astronomically unlikely at the workspace's key
+//! volumes.
+//!
+//! The digest values are **pinned by tests**: changing the algorithm (or
+//! the chunk-delimiting scheme) silently invalidates every persisted
+//! checkpoint and cache entry, so the stability test below fails loudly
+//! instead.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into the running FNV-1a state `h`.
+#[must_use]
+pub fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV1A64_PRIME);
+    }
+    h
+}
+
+/// A chained content-key builder over heterogeneous fields.
+///
+/// Fields are length-delimited (each chunk is preceded by its byte length
+/// folded into the state), so `("ab", "c")` and `("a", "bc")` produce
+/// different keys — plain concatenation would not.
+///
+/// # Examples
+///
+/// ```
+/// use determinacy::cachekey::KeyHasher;
+/// let a = KeyHasher::new().str("src").u64(7).finish();
+/// let b = KeyHasher::new().str("src").u64(8).finish();
+/// assert_ne!(a, b);
+/// assert_eq!(a.len(), 16, "keys render as 16 hex digits");
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    h: u64,
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        KeyHasher::new()
+    }
+}
+
+impl KeyHasher {
+    /// A hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        KeyHasher { h: FNV1A64_OFFSET }
+    }
+
+    /// Folds a length-delimited byte chunk.
+    #[must_use]
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        self.h = fnv1a64(self.h, &(bytes.len() as u64).to_le_bytes());
+        self.h = fnv1a64(self.h, bytes);
+        self
+    }
+
+    /// Folds a length-delimited string chunk.
+    #[must_use]
+    pub fn str(self, s: &str) -> Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Folds a `u64` (fixed-width little-endian, no length prefix).
+    #[must_use]
+    pub fn u64(mut self, n: u64) -> Self {
+        self.h = fnv1a64(self.h, &n.to_le_bytes());
+        self
+    }
+
+    /// Folds an optional `u64`; `None` hashes as `u64::MAX` with a
+    /// distinguishing tag so `Some(u64::MAX)` and `None` differ.
+    #[must_use]
+    pub fn opt_u64(self, n: Option<u64>) -> Self {
+        match n {
+            Some(v) => self.u64(1).u64(v),
+            None => self.u64(0),
+        }
+    }
+
+    /// The raw 64-bit digest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.h
+    }
+
+    /// The digest rendered as the canonical 16-digit lowercase hex key.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{:016x}", self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The digests below are load-bearing: `mujs-jobs` checkpoints and
+    /// `mujs-serve` cache entries persist keys produced by this module,
+    /// so any change to the algorithm must be deliberate (bump the
+    /// consumers' file-format versions) rather than accidental.
+    #[test]
+    fn digests_are_stable() {
+        // Bare FNV-1a vectors.
+        assert_eq!(fnv1a64(FNV1A64_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(FNV1A64_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(FNV1A64_OFFSET, b"foobar"), 0x85944171f73967e8);
+        // Chained builder vectors (length-delimited chunks).
+        assert_eq!(KeyHasher::new().finish(), "cbf29ce484222325");
+        assert_eq!(KeyHasher::new().str("").finish(), "a8c7f832281a39c5");
+        assert_eq!(
+            KeyHasher::new().str("var x = 1;").u64(42).finish(),
+            "077922be2fcbf85b"
+        );
+        assert_eq!(
+            KeyHasher::new().opt_u64(None).finish(),
+            KeyHasher::new().u64(0).finish()
+        );
+    }
+
+    #[test]
+    fn chunking_is_length_delimited() {
+        let ab_c = KeyHasher::new().str("ab").str("c").finish();
+        let a_bc = KeyHasher::new().str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+        let some_max = KeyHasher::new().opt_u64(Some(u64::MAX)).finish();
+        let none = KeyHasher::new().opt_u64(None).finish();
+        assert_ne!(some_max, none);
+    }
+}

@@ -74,3 +74,97 @@ pub fn injectable_facts(db: &FactDb, prog: &mut Program) -> InjectedFacts {
     }
     out
 }
+
+/// The portable, serialization-friendly form of [`InjectedFacts`]: sites
+/// paired with property-key *strings* and function *indices* instead of
+/// program-bound [`Sym`][mujs_ir::Sym]s.
+///
+/// This is the stage-boundary artifact the analysis service caches: a
+/// `Sym` is an index into one program's interner and dangles the moment
+/// the program is dropped, but lowering is deterministic — re-parsing the
+/// byte-identical source rebuilds the same `StmtId`/`FuncId` space — so a
+/// `(site, key-string)` pair re-interned against a rehydrated program
+/// reproduces the original injection exactly. Pairs are kept sorted by
+/// site so the rendered artifact (and the interner growth on rehydration)
+/// is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InjectablePairs {
+    /// Dynamic property accesses with a determinate key: `(site, key)`,
+    /// ascending by site.
+    pub prop_keys: Vec<(u32, String)>,
+    /// Call sites with a determinate callee: `(site, func)`, ascending by
+    /// site.
+    pub callees: Vec<(u32, u32)>,
+}
+
+impl InjectablePairs {
+    /// Extracts the portable pairs from solver-ready facts (resolving
+    /// each `Sym` through the program that produced it).
+    pub fn from_facts(facts: &InjectedFacts, prog: &Program) -> Self {
+        let mut prop_keys: Vec<(u32, String)> = facts
+            .prop_keys
+            .iter()
+            .map(|(site, sym)| (site.0, prog.interner.resolve(*sym).to_owned()))
+            .collect();
+        prop_keys.sort();
+        let mut callees: Vec<(u32, u32)> = facts
+            .callees
+            .iter()
+            .map(|(site, f)| (site.0, f.0))
+            .collect();
+        callees.sort();
+        InjectablePairs { prop_keys, callees }
+    }
+
+    /// Rebuilds solver-ready facts against `prog` (which must be lowered
+    /// from the byte-identical source that produced the pairs — the
+    /// service guarantees this by content-addressing the parse stage).
+    /// Key strings are interned in ascending site order, matching
+    /// [`injectable_facts`]' deterministic interner growth.
+    pub fn into_facts(&self, prog: &mut Program) -> InjectedFacts {
+        let mut out = InjectedFacts::default();
+        for (site, key) in &self.prop_keys {
+            out.prop_keys
+                .insert(StmtId(*site), prog.interner.intern(key));
+        }
+        for (site, func) in &self.callees {
+            out.callees.insert(StmtId(*site), FuncId(*func));
+        }
+        out
+    }
+
+    /// Total number of pairs.
+    pub fn len(&self) -> usize {
+        self.prop_keys.len() + self.callees.len()
+    }
+
+    /// Whether there is nothing to inject.
+    pub fn is_empty(&self) -> bool {
+        self.prop_keys.is_empty() && self.callees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod pair_tests {
+    use super::*;
+
+    #[test]
+    fn pairs_round_trip_through_a_reparsed_program() {
+        let src = "var o = { f: 1 }; var k = 'f'; var x = o[k];";
+        let mut h = crate::driver::DetHarness::from_src(src).unwrap();
+        let out = h.analyze(crate::AnalysisConfig::default());
+        let facts = injectable_facts(&out.facts, &mut h.program);
+        let pairs = InjectablePairs::from_facts(&facts, &h.program);
+        // Rehydrate against a fresh parse of the same source.
+        let mut h2 = crate::driver::DetHarness::from_src(src).unwrap();
+        let back = pairs.into_facts(&mut h2.program);
+        assert_eq!(facts.prop_keys.len(), back.prop_keys.len());
+        assert_eq!(facts.callees, back.callees);
+        for (site, sym) in &facts.prop_keys {
+            let resolved = h.program.interner.resolve(*sym);
+            let re = back.prop_keys.get(site).expect("site survives");
+            assert_eq!(h2.program.interner.resolve(*re), resolved);
+        }
+        assert_eq!(pairs, InjectablePairs::from_facts(&back, &h2.program));
+    }
+}

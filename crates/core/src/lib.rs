@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod cachekey;
 pub mod config;
 pub mod det;
 pub mod dom_models;
@@ -58,7 +59,7 @@ pub use config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
 pub use det::{DValue, Det, FactValue, SlotAnn};
 pub use driver::{analyze_src, AnalysisOutcome, DetHarness};
 pub use facts::{Fact, FactDb, FactKind, TripFact};
-pub use inject::injectable_facts;
+pub use inject::{injectable_facts, InjectablePairs};
 pub use machine::{DErr, DFlow, DMachine, DObservation};
 #[cfg(feature = "fault-inject")]
 pub use supervisor::FaultPlan;

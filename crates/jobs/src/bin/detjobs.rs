@@ -38,6 +38,7 @@ struct Options {
     watchdog_grace_ms: Option<u64>,
     checkpoint: Option<String>,
     checkpoint_every: u64,
+    checkpoint_every_set: bool,
     resume: Option<String>,
     mem_budget: Option<u64>,
     stats: Option<String>,
@@ -72,7 +73,12 @@ fn usage(problem: &str) -> ! {
          \x20 --checkpoint-every N  flush the checkpoint every N rows (default 1)\n\
          \x20 --resume FILE      splice completed rows from a checkpoint and\n\
          \x20                    run only the remainder (report stays byte-identical)\n\
-         \x20 --stats FILE       write retry/wedged/degraded counters as JSON"
+         \x20 --stats FILE       write retry/wedged/degraded counters as JSON\n\
+         \n\
+         exit status:\n\
+         \x20 0  every job completed cleanly\n\
+         \x20 1  any job failed, panicked, or wedged; lint violations; I/O errors\n\
+         \x20 2  usage errors (bad flags or flag combinations)"
     );
     std::process::exit(2);
 }
@@ -94,6 +100,7 @@ fn parse_args() -> Options {
         watchdog_grace_ms: None,
         checkpoint: None,
         checkpoint_every: 1,
+        checkpoint_every_set: false,
         resume: None,
         mem_budget: None,
         stats: None,
@@ -149,6 +156,7 @@ fn parse_args() -> Options {
             "--checkpoint-every" => {
                 let v = value(&args, &mut i, "--checkpoint-every");
                 o.checkpoint_every = parse_num(&v, "--checkpoint-every");
+                o.checkpoint_every_set = true;
             }
             "--resume" => o.resume = Some(value(&args, &mut i, "--resume")),
             "--stats" => o.stats = Some(value(&args, &mut i, "--stats")),
@@ -164,6 +172,17 @@ fn parse_args() -> Options {
         != 1
     {
         usage("exactly one of --manifest, --dir, --suite is required");
+    }
+    if o.checkpoint.is_none() {
+        if o.checkpoint_every_set {
+            eprintln!("detjobs: warning: --checkpoint-every has no effect without --checkpoint");
+        }
+        if o.resume.is_some() {
+            eprintln!(
+                "detjobs: warning: --resume without --checkpoint: rows settled in this \
+                 run will not be checkpointed, so a second interruption reruns them"
+            );
+        }
     }
     o
 }

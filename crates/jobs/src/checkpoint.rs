@@ -27,36 +27,29 @@
 //! `fact_rows` when facts were not requested.
 
 use crate::spec::JobSpec;
+use determinacy::cachekey::KeyHasher;
 use serde_json::Value;
 use std::io::Write;
 use std::path::Path;
 
 /// The checkpoint file format version; bumped on any incompatible layout
-/// change so stale files are rejected instead of misread.
+/// change so stale files are rejected instead of misread. (The content
+/// *keys* inside come from [`determinacy::cachekey`]; a key-scheme change
+/// needs no version bump — stale keys simply miss and the jobs rerun.)
 const VERSION: f64 = 1.0;
 
 /// The content key of one job: everything that determines its report
-/// bytes, hashed. Jobs with equal keys produce byte-identical rows
-/// (modulo the job name, which the splice path rewrites).
+/// bytes, hashed with the workspace-wide [`determinacy::cachekey`]
+/// scheme (shared with the `mujs-serve` stage cache). Jobs with equal
+/// keys produce byte-identical rows (modulo the job name, which the
+/// splice path rewrites).
 pub fn job_key(spec: &JobSpec, batch_mem_budget: Option<u64>) -> String {
     let cfg = serde_json::to_string(&spec.effective_config()).expect("config serializes");
-    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
-    for chunk in [spec.src.as_str(), "\u{0}", cfg.as_str(), "\u{0}"] {
-        h = fnv1a(h, chunk.as_bytes());
-    }
+    let mut h = KeyHasher::new().str(&spec.src).str(&cfg);
     for seed in spec.effective_seeds() {
-        h = fnv1a(h, &seed.to_le_bytes());
+        h = h.u64(seed);
     }
-    h = fnv1a(h, &batch_mem_budget.unwrap_or(u64::MAX).to_le_bytes());
-    format!("{h:016x}")
-}
-
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    h.opt_u64(batch_mem_budget).finish()
 }
 
 /// A set of settled report rows, keyed by [`job_key`].

@@ -477,7 +477,10 @@ impl JobPool {
                 s.spawn(move || {
                     while !done.load(Ordering::Relaxed) {
                         watchdog.scan(&events);
-                        std::thread::sleep(Duration::from_millis(WATCHDOG_SCAN_MS));
+                        // Parked, not slept: the batch unparks this thread
+                        // when the last worker finishes, so a short batch is
+                        // not held hostage to the scan interval.
+                        std::thread::park_timeout(Duration::from_millis(WATCHDOG_SCAN_MS));
                     }
                     // Final scan so nothing armed right at the end is missed.
                     watchdog.scan(&events);
@@ -535,6 +538,7 @@ impl JobPool {
                 let _ = h.join();
             }
             monitor_done.store(true, Ordering::Relaxed);
+            monitor.thread().unpark();
             let _ = monitor.join();
         });
         results

@@ -143,3 +143,95 @@ fn checkpoint_then_resume_reproduces_the_report_bytes() {
     assert!(stats_text.contains("\"total_attempts\": 0"), "{stats_text}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn orphaned_checkpoint_flags_warn_instead_of_silently_ignoring() {
+    let dir = tmp_dir("cli-warn");
+    let manifest = write_manifest(&dir, "m.json", HEALTHY);
+
+    // --checkpoint-every without --checkpoint: warns, still runs.
+    let out = detjobs()
+        .args([
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--checkpoint-every",
+            "5",
+            "--quiet",
+            "--report",
+            dir.join("r1.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run detjobs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: --checkpoint-every has no effect without --checkpoint"),
+        "{stderr}"
+    );
+
+    // --resume without --checkpoint: warns that this leg is unprotected.
+    let ckpt = dir.join("ck.json");
+    let seeded = detjobs()
+        .args([
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--quiet",
+            "--report",
+            dir.join("r2.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run detjobs");
+    assert!(seeded.status.success());
+    let resumed = detjobs()
+        .args([
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--quiet",
+            "--report",
+            dir.join("r3.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run detjobs");
+    assert!(resumed.status.success());
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("warning: --resume without --checkpoint"),
+        "{stderr}"
+    );
+
+    // The fully-specified spelling stays warning-free.
+    let clean = detjobs()
+        .args([
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "5",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--quiet",
+            "--report",
+            dir.join("r4.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run detjobs");
+    assert!(clean.status.success());
+    assert!(
+        !String::from_utf8_lossy(&clean.stderr).contains("warning:"),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // --help documents the exit-code contract.
+    let help = detjobs().arg("--help").output().expect("run detjobs");
+    assert_eq!(help.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&help.stderr);
+    assert!(text.contains("exit status:"), "{text}");
+    assert!(text.contains("2  usage errors"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,49 @@
+//! # mujs-serve
+//!
+//! `detserved`: a persistent analysis service with content-addressed
+//! pipeline caching.
+//!
+//! The batch layer (`mujs-jobs`) treats every analysis as a cold start:
+//! parse, lower, fan out over seeds, optionally solve pointer analysis —
+//! all from scratch, every time. That is the right shape for one-shot
+//! campaigns, but an interactive workload (an editor probing the same
+//! page after each keystroke, a CI bot re-checking a mostly-unchanged
+//! bundle) re-submits near-identical work constantly. This crate is the
+//! warm path: a long-running daemon that keys every pipeline stage by a
+//! content hash of that stage's *exact inputs* and serves repeats from
+//! cache.
+//!
+//! The stages and their keys (see [`stage`] for the precise scheme):
+//!
+//! ```text
+//! parse  = H(LOWERING_VERSION ∥ src)
+//! facts  = H("facts" ∥ parse ∥ effective-config-json ∥ seeds…)
+//! pta    = H("pta" ∥ (inject ? facts : parse) ∥ budget ∥ inject)
+//! ```
+//!
+//! Each key chains its upstream stage's key, so invalidation is
+//! automatic: change the source and all three keys move; change only the
+//! analysis config and the parse artifact still hits. Keys come from
+//! [`determinacy::cachekey`] — the same FNV-1a scheme the `detjobs`
+//! checkpoint uses — so the two caches can never drift apart on what
+//! "same inputs" means.
+//!
+//! The wire protocol ([`proto`]) is line-delimited JSON over TCP or a
+//! stdin/stdout pipe, streaming the jobs layer's `JobEvent`s as progress
+//! frames and finishing each request with a report row **byte-identical**
+//! to what a cold run produces (both paths render the row from the cached
+//! artifacts, never from live analysis state). Admission control and
+//! watchdog wedging reuse the `mujs-jobs` machinery unchanged.
+//!
+//! Two binaries ship with the crate: `detserved` (the daemon) and
+//! `detload` (a load generator that measures cold-vs-warm throughput and
+//! writes `BENCH_serve.json`).
+
+pub mod cache;
+pub mod proto;
+pub mod server;
+pub mod stage;
+
+pub use cache::{CacheConfig, Stage, StageCache};
+pub use server::{ServeOptions, Server};
+pub use stage::{PipelineCounters, StageKeys, LOWERING_VERSION};

@@ -187,12 +187,16 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 encoded char.
-                let rest =
-                    std::str::from_utf8(&b[*pos..]).map_err(|_| Error("invalid utf-8".into()))?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Bulk-consume the run up to the next quote or escape and
+                // validate it once. Per-char validation of the remaining
+                // buffer would make parsing a long string quadratic.
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| Error("invalid utf-8".into()))?;
+                out.push_str(chunk);
             }
         }
     }
