@@ -38,6 +38,18 @@
 //! $ cargo run --release -p mujs-bench --bin detbench -- --pta --out BENCH_pta.json
 //! $ cargo run --release -p mujs-bench --bin detbench -- --pta --check BENCH_pta.json --max-regress 0.1
 //! ```
+//!
+//! `--pta` also measures the epoch-sharded parallel solver: the
+//! `--threads` list (default `1,2,8`) produces a `threads` scaling
+//! section — the uninjected baseline solve per corpus version at each
+//! thread count — with a result-identity check (export digests must
+//! agree across thread counts, the parallel solver's determinism
+//! contract) and a same-run scaling gate: at least 1.8x the
+//! single-thread throughput at 8 threads on the non-trivial versions.
+//! The scaling gate needs hardware parallelism to be measurable, so it
+//! arms only in release builds on hosts with 8+ CPUs (`host_cpus` is
+//! recorded in the JSON so a baseline file documents where it was
+//! produced); the identity check runs everywhere.
 
 use determinacy::{AnalysisConfig, DetHarness, RunHooks};
 use mujs_corpus::{evalbench, jquery_like, workload};
@@ -84,6 +96,7 @@ fn main() {
     let mut max_regress = 0.25f64;
     let mut iters = 3usize;
     let mut pta = false;
+    let mut threads: Vec<usize> = vec![1, 2, 8];
     let mut i = 0;
     while i < args.len() {
         let need = |i: &mut usize| -> String {
@@ -107,6 +120,19 @@ fn main() {
                     .unwrap_or_else(|_| usage("--max-regress wants a float"))
             }
             "--pta" => pta = true,
+            "--threads" => {
+                threads = need(&mut i)
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage("--threads wants a comma-separated list"))
+                    })
+                    .collect();
+                if threads.is_empty() {
+                    usage("--threads wants at least one thread count");
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -119,6 +145,7 @@ fn main() {
             out_path.as_deref(),
             check_path.as_deref(),
             max_regress,
+            &threads,
         );
         return;
     }
@@ -171,8 +198,8 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: detbench [--pta] [--out FILE] [--label L] [--iters N]\n\
-         \x20               [--check BASELINE.json] [--max-regress F]"
+        "usage: detbench [--pta] [--threads N,N,...] [--out FILE] [--label L]\n\
+         \x20               [--iters N] [--check BASELINE.json] [--max-regress F]"
     );
     std::process::exit(2);
 }
@@ -184,22 +211,41 @@ struct PtaSolverRows {
 }
 
 #[derive(Debug, Serialize)]
+struct PtaThreadsSection {
+    threads: usize,
+    rows: Vec<mujs_bench::pipeline::PtaScaleRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct PtaMeasurement {
     label: String,
     mode: &'static str,
+    /// CPUs visible to the measuring host — the scaling rows are only
+    /// meaningful where this covers the largest thread count.
+    host_cpus: usize,
     budget: u64,
     /// The naive reference solver (pre-optimization algorithm).
     before: PtaSolverRows,
     /// The delta-propagating bitset solver.
     after: PtaSolverRows,
+    /// Thread-scaling study: the baseline solve per version at each
+    /// requested thread count (epoch-sharded solver for counts >= 2).
+    threads: Vec<PtaThreadsSection>,
 }
 
 /// The `--pta` workload: three-way solver comparison over the Table 1
 /// corpus, measured with both the reference ("before") and the
 /// delta-propagating ("after") solver, with a deterministic `--check`
 /// gate plus a same-run relative throughput gate (release only).
-fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_regress: f64) {
+fn run_pta(
+    label: &str,
+    out_path: Option<&str>,
+    check_path: Option<&str>,
+    max_regress: f64,
+    thread_counts: &[usize],
+) {
     let budget = mujs_bench::pipeline::PTA_COMPARE_BUDGET;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let solve_all = |solver| -> Vec<_> {
         mujs_corpus::jquery_like::all_versions()
             .iter()
@@ -209,9 +255,33 @@ fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_re
             })
             .collect()
     };
+
+    // Thread-scaling study: each version's baseline program solved at
+    // every requested thread count; digests collected per (thread,
+    // version) for the cross-thread result-identity check.
+    let cases = mujs_bench::pipeline::pta_scale_cases().expect("scale cases prepare");
+    let mut digests: Vec<Vec<u64>> = Vec::new();
+    let threads: Vec<PtaThreadsSection> = thread_counts
+        .iter()
+        .map(|&t| {
+            let mut section_digests = Vec::new();
+            let rows = cases
+                .iter()
+                .map(|c| {
+                    let (row, digest) = mujs_bench::pipeline::pta_scale_solve(c, budget, t);
+                    section_digests.push(digest);
+                    row
+                })
+                .collect();
+            digests.push(section_digests);
+            PtaThreadsSection { threads: t, rows }
+        })
+        .collect();
+
     let m = PtaMeasurement {
         label: label.to_owned(),
         mode: MODE,
+        host_cpus,
         budget,
         before: PtaSolverRows {
             solver: "reference",
@@ -221,6 +291,7 @@ fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_re
             solver: "delta",
             rows: solve_all(mujs_bench::pipeline::PtaSolverKind::Delta),
         },
+        threads,
     };
     let json = serde_json::to_string_pretty(&m).expect("pta measurement serializes");
     match out_path {
@@ -278,6 +349,76 @@ fn run_pta(label: &str, out_path: Option<&str>, check_path: Option<&str>, max_re
                 );
                 failed = true;
             }
+        }
+    }
+    for section in &m.threads {
+        for r in &section.rows {
+            eprintln!(
+                "  pta-scale t={:<2} {:<6} ok={} work={:<8} {:>8.1}ms {:>5.1}M/s",
+                section.threads,
+                r.version,
+                r.ok,
+                r.work,
+                r.wall_ms,
+                r.work_per_sec / 1e6,
+            );
+        }
+    }
+    // Determinism contract: every thread count must produce the same
+    // work count and the same export digest per version. This holds on
+    // any host — it is what makes `threads` safe to leave out of cache
+    // keys — so it is gated unconditionally.
+    for (ci, case) in cases.iter().enumerate() {
+        for (si, section) in m.threads.iter().enumerate() {
+            let r = &section.rows[ci];
+            let r0 = &m.threads[0].rows[ci];
+            if r.work != r0.work || digests[si][ci] != digests[0][ci] {
+                eprintln!(
+                    "FAIL: {} — results diverge between {} and {} threads \
+                     (work {} vs {}, digest {:#x} vs {:#x})",
+                    case.version,
+                    m.threads[0].threads,
+                    section.threads,
+                    r0.work,
+                    r.work,
+                    digests[0][ci],
+                    digests[si][ci],
+                );
+                failed = true;
+            }
+        }
+    }
+    // Scaling gate: the epoch-sharded solver must actually buy
+    // throughput where hardware parallelism exists. Wall clocks need a
+    // release build and enough real CPUs to host the largest thread
+    // count, and the ratio is only meaningful on versions with
+    // non-trivial baseline work.
+    let one = m.threads.iter().find(|s| s.threads == 1);
+    let eight = m.threads.iter().find(|s| s.threads == 8);
+    if let (Some(one), Some(eight)) = (one, eight) {
+        if MODE == "release" && host_cpus >= 8 {
+            for (r1, r8) in one.rows.iter().zip(&eight.rows) {
+                if r1.work < 100_000 || r1.work_per_sec <= 0.0 {
+                    continue;
+                }
+                let ratio = r8.work_per_sec / r1.work_per_sec;
+                eprintln!(
+                    "  pta-scale gate {:<6} 8t/1t throughput {ratio:.2}x",
+                    r1.version
+                );
+                if ratio < 1.8 {
+                    eprintln!(
+                        "FAIL: {} — 8-thread solver only {ratio:.2}x single-thread throughput",
+                        r1.version
+                    );
+                    failed = true;
+                }
+            }
+        } else {
+            eprintln!(
+                "  pta-scale gate skipped (mode={MODE}, host_cpus={host_cpus}; \
+                 needs release and 8+ CPUs)"
+            );
         }
     }
     if let Some(p) = check_path {

@@ -349,6 +349,93 @@ pub fn run_pta_compare_with(
     })
 }
 
+/// One row of the `--pta` thread-scaling study: the uninjected baseline
+/// solve of one corpus version at one thread count. Work is
+/// deterministic across thread counts (the epoch-sharded solver's
+/// contract); wall time and throughput are the scaling signal.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PtaScaleRow {
+    /// Corpus version label.
+    pub version: String,
+    /// Completed within budget.
+    pub ok: bool,
+    /// Propagation work (thread-count-independent).
+    pub work: u64,
+    /// Solve wall time in milliseconds (machine-dependent).
+    pub wall_ms: f64,
+    /// Propagation throughput (`work / wall`).
+    pub work_per_sec: f64,
+}
+
+/// A prepared per-version workload for the thread-scaling study. The
+/// dynamic-analysis phase dominates preparation cost, so each version is
+/// analyzed once and its baseline program solved at every thread count.
+#[derive(Debug)]
+pub struct PtaScaleCase {
+    /// Corpus version label.
+    pub version: String,
+    /// The baseline (unspecialized, uninjected) program — the heaviest
+    /// of the three comparison workloads, hence the scaling subject.
+    pub program: Program,
+}
+
+/// Prepares the baseline program of every Table 1 corpus version, using
+/// the same DetDOM analysis configuration as [`run_pta_compare`] so the
+/// scaling rows' `work` matches the comparison rows' baseline `work`.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from [`analyze_page`].
+pub fn pta_scale_cases() -> Result<Vec<PtaScaleCase>, PipelineError> {
+    mujs_corpus::jquery_like::all_versions()
+        .iter()
+        .map(|v| {
+            let cfg = AnalysisConfig {
+                det_dom: true,
+                ..Default::default()
+            };
+            let (h, _) = analyze_page(&v.src, &v.doc, &v.plan, cfg)?;
+            Ok(PtaScaleCase {
+                version: v.version.to_owned(),
+                program: h.program,
+            })
+        })
+        .collect()
+}
+
+/// Solves one prepared scaling case at one thread count. Returns the
+/// timed row plus a digest of the full `export_json` (call graph and
+/// points-to relation), letting the harness assert byte-level result
+/// identity across thread counts without holding every export in memory.
+pub fn pta_scale_solve(case: &PtaScaleCase, pta_budget: u64, threads: usize) -> (PtaScaleRow, u64) {
+    let cfg = PtaConfig {
+        budget: pta_budget,
+        threads,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let r = mujs_pta::solve(&case.program, &cfg);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let digest = {
+        use std::hash::Hasher;
+        let mut h = mujs_pta::hash::FxHasher::default();
+        h.write(r.export_json().as_bytes());
+        h.finish()
+    };
+    let row = PtaScaleRow {
+        version: case.version.clone(),
+        ok: r.status == PtaStatus::Completed,
+        work: r.stats.propagations,
+        wall_ms,
+        work_per_sec: if wall_ms > 0.0 {
+            r.stats.propagations as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+    };
+    (row, digest)
+}
+
 /// One row of the §5.2 eval study.
 #[derive(Debug)]
 pub struct EvalElimRow {

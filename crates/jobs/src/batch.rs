@@ -61,6 +61,10 @@ pub struct JobOutcome {
     pub program: mujs_ir::Program,
     /// The source file (for fact rendering/export).
     pub source: mujs_syntax::SourceFile,
+    /// The rendered PTA row, when the batch ran its opt-in PTA stage.
+    /// `None` (the default) leaves the report bytes exactly as a
+    /// PTA-less batch produces them.
+    pub pta: Option<Value>,
 }
 
 impl JobOutcome {
@@ -138,6 +142,15 @@ pub struct BatchOptions {
     /// Batch-wide declared-memory budget (heap cells) for the admission
     /// controller; `None` disables admission control.
     pub mem_budget_cells: Option<u64>,
+    /// When set, every completed job additionally runs a budgeted
+    /// baseline pointer-analysis solve over its lowered program and the
+    /// report row gains a `pta` object. `None` (the default) skips the
+    /// stage entirely and leaves report bytes unchanged.
+    pub pta_budget: Option<u64>,
+    /// Solver threads for the PTA stage (0/1 sequential, >= 2 the
+    /// epoch-sharded parallel solver). Never part of the job key or the
+    /// report: results are identical for every value.
+    pub pta_threads: usize,
     /// Deterministic scheduler chaos (checkpoint truncation); the pool
     /// carries its own copy for kills and event faults.
     #[cfg(feature = "fault-inject")]
@@ -315,7 +328,7 @@ fn render_row(
         }
         _ => Value::Null,
     };
-    Value::Object(vec![
+    let mut fields = vec![
         ("name".to_owned(), Value::Str(name.to_owned())),
         ("status".to_owned(), Value::Str(status_str(status))),
         ("seeds".to_owned(), Value::Array(seeds)),
@@ -325,7 +338,13 @@ fn render_row(
         ("determinate".to_owned(), num(determinate)),
         ("conflicts".to_owned(), num(conflicts)),
         ("fact_rows".to_owned(), fact_rows),
-    ])
+    ];
+    // The `pta` field exists only when the batch ran the opt-in PTA
+    // stage, keeping PTA-less reports byte-identical to earlier versions.
+    if let Some(pta) = outcome.and_then(|o| o.pta.as_ref()) {
+        fields.push(("pta".to_owned(), pta.clone()));
+    }
+    Value::Object(fields)
 }
 
 /// Replaces (or appends) an object field in place.
@@ -400,7 +419,7 @@ pub fn run_manifest_with(manifest: &Manifest, pool: &JobPool, opts: &BatchOption
     let keys: Vec<String> = manifest
         .jobs
         .iter()
-        .map(|s| job_key(s, opts.mem_budget_cells))
+        .map(|s| job_key(s, opts.mem_budget_cells, opts.pta_budget))
         .collect();
     let mut records: Vec<Option<JobRecord>> = (0..n).map(|_| None).collect();
     let mut scheduled: Vec<usize> = Vec::new();
@@ -446,6 +465,7 @@ pub fn run_manifest_with(manifest: &Manifest, pool: &JobPool, opts: &BatchOption
             let key = keys[i].clone();
             let admission = &admission;
             let grace = opts.watchdog_grace_ms;
+            let pta = opts.pta_budget.map(|b| (b, opts.pta_threads));
             let job = move |ctx: &JobCtx| -> IsolatedGraph<SpecRun> {
                 let adm = match admission {
                     Some(c) => c.admit(spec.effective_config().mem_cell_budget),
@@ -462,7 +482,7 @@ pub fn run_manifest_with(manifest: &Manifest, pool: &JobPool, opts: &BatchOption
                         granted_cells: adm.granted.unwrap_or_default(),
                     });
                 }
-                let (status, outcome) = run_spec(&spec, ctx, &adm, grace);
+                let (status, outcome) = run_spec(&spec, ctx, &adm, grace, pta);
                 if let Some(c) = admission {
                     c.release(adm);
                 }
@@ -549,6 +569,7 @@ fn run_spec(
     ctx: &JobCtx,
     adm: &Admission,
     watchdog_grace_ms: Option<u64>,
+    pta: Option<(u64, usize)>,
 ) -> (JobStatus, Option<JobOutcome>) {
     let harness = match DetHarness::from_src(&spec.src) {
         Ok(h) => h,
@@ -564,13 +585,51 @@ fn run_spec(
     let seeds = spec.effective_seeds();
     let doc = DocumentBuilder::new().title(&spec.name).build();
     let plan = EventPlan::new();
-    let outcome = analyze_seeds(harness, &seeds, cfg, &doc, &plan, ctx);
+    let mut outcome = analyze_seeds(harness, &seeds, cfg, &doc, &plan, ctx);
+    if let Some((budget, threads)) = pta {
+        ctx.progress("solving pointer analysis".to_owned());
+        outcome.pta = Some(solve_pta_row(&outcome.program, budget, threads));
+    }
     let status = if adm.degraded {
         JobStatus::Degraded
     } else {
         JobStatus::Completed
     };
     (status, Some(outcome))
+}
+
+/// Runs the opt-in baseline PTA stage over a job's lowered program and
+/// renders its report object. Everything in the row is deterministic —
+/// budget-bounded work, canonical call-graph/precision counts — and
+/// independent of the thread count, so batch reports stay byte-identical
+/// for any `--workers`/`--pta-threads` combination.
+fn solve_pta_row(program: &mujs_ir::Program, budget: u64, threads: usize) -> Value {
+    let cfg = mujs_pta::PtaConfig {
+        budget,
+        threads: threads.max(1),
+        ..mujs_pta::PtaConfig::default()
+    };
+    let r = mujs_pta::solve(program, &cfg);
+    let p = r.precision(program);
+    let num = |n: f64| Value::Num(n);
+    Value::Object(vec![
+        (
+            "status".to_owned(),
+            Value::Str(
+                match r.status {
+                    mujs_pta::PtaStatus::Completed => "completed",
+                    mujs_pta::PtaStatus::BudgetExceeded => "budget exceeded",
+                }
+                .to_owned(),
+            ),
+        ),
+        ("budget".to_owned(), num(budget as f64)),
+        ("propagations".to_owned(), num(r.stats.propagations as f64)),
+        ("call_sites".to_owned(), num(p.call_sites as f64)),
+        ("poly_sites".to_owned(), num(p.poly_sites as f64)),
+        ("avg_points_to".to_owned(), num(p.avg_points_to)),
+        ("reachable_funcs".to_owned(), num(p.reachable_funcs as f64)),
+    ])
 }
 
 /// Runs one seed fan-out sequentially on the current (worker) thread,
@@ -608,6 +667,7 @@ fn analyze_seeds(
         multi,
         program: harness.program,
         source: harness.source,
+        pta: None,
     }
 }
 

@@ -42,6 +42,8 @@ struct Options {
     resume: Option<String>,
     mem_budget: Option<u64>,
     stats: Option<String>,
+    pta_budget: Option<u64>,
+    pta_threads: Option<usize>,
 }
 
 fn usage(problem: &str) -> ! {
@@ -54,7 +56,7 @@ fn usage(problem: &str) -> ! {
          \x20              [--retries N] [--backoff-ms MS] [--fail-fast]\n\
          \x20              [--watchdog-grace MS] [--mem-budget CELLS]\n\
          \x20              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
-         \x20              [--stats FILE]\n\
+         \x20              [--stats FILE] [--pta-budget N] [--pta-threads N]\n\
          \n\
          \x20 --manifest FILE    JSON job manifest (see DESIGN.md §5c for the format)\n\
          \x20 --dir DIR          one default job per *.js file, sorted by name\n\
@@ -74,6 +76,15 @@ fn usage(problem: &str) -> ! {
          \x20 --resume FILE      splice completed rows from a checkpoint and\n\
          \x20                    run only the remainder (report stays byte-identical)\n\
          \x20 --stats FILE       write retry/wedged/degraded counters as JSON\n\
+         \x20 --pta-budget N     additionally run a budgeted pointer-analysis\n\
+         \x20                    solve per job; each report row gains a `pta`\n\
+         \x20                    object (off by default; report bytes are\n\
+         \x20                    unchanged when off)\n\
+         \x20 --pta-threads N    solver threads for the PTA stage (default: the\n\
+         \x20                    host's available parallelism, clamped by\n\
+         \x20                    --mem-budget; 1 = sequential). The solver is\n\
+         \x20                    deterministic: report bytes and checkpoint keys\n\
+         \x20                    are identical for every N\n\
          \n\
          exit status:\n\
          \x20 0  every job completed cleanly\n\
@@ -104,6 +115,8 @@ fn parse_args() -> Options {
         resume: None,
         mem_budget: None,
         stats: None,
+        pta_budget: None,
+        pta_threads: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -160,6 +173,14 @@ fn parse_args() -> Options {
             }
             "--resume" => o.resume = Some(value(&args, &mut i, "--resume")),
             "--stats" => o.stats = Some(value(&args, &mut i, "--stats")),
+            "--pta-budget" => {
+                let v = value(&args, &mut i, "--pta-budget");
+                o.pta_budget = Some(parse_num(&v, "--pta-budget"));
+            }
+            "--pta-threads" => {
+                let v = value(&args, &mut i, "--pta-threads");
+                o.pta_threads = Some(parse_num(&v, "--pta-threads"));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -348,6 +369,10 @@ fn main() {
         checkpoint_every: o.checkpoint_every,
         resume,
         mem_budget_cells: o.mem_budget,
+        pta_budget: o.pta_budget,
+        pta_threads: o
+            .pta_threads
+            .unwrap_or_else(|| mujs_jobs::default_pta_threads(o.mem_budget)),
         #[cfg(feature = "fault-inject")]
         chaos: None,
     };

@@ -43,13 +43,23 @@ const VERSION: f64 = 1.0;
 /// scheme (shared with the `mujs-serve` stage cache). Jobs with equal
 /// keys produce byte-identical rows (modulo the job name, which the
 /// splice path rewrites).
-pub fn job_key(spec: &JobSpec, batch_mem_budget: Option<u64>) -> String {
+///
+/// The PTA budget is folded in only when the batch runs a PTA stage, so
+/// checkpoints from PTA-less campaigns keep their keys across versions.
+/// The PTA *thread count* is deliberately never part of the key: the
+/// parallel solver is deterministic, so rows are reusable across any
+/// `--pta-threads` setting.
+pub fn job_key(spec: &JobSpec, batch_mem_budget: Option<u64>, pta_budget: Option<u64>) -> String {
     let cfg = serde_json::to_string(&spec.effective_config()).expect("config serializes");
     let mut h = KeyHasher::new().str(&spec.src).str(&cfg);
     for seed in spec.effective_seeds() {
         h = h.u64(seed);
     }
-    h.opt_u64(batch_mem_budget).finish()
+    h = h.opt_u64(batch_mem_budget);
+    if let Some(budget) = pta_budget {
+        h = h.str("pta").u64(budget);
+    }
+    h.finish()
 }
 
 /// A set of settled report rows, keyed by [`job_key`].
@@ -188,14 +198,18 @@ mod tests {
         let a = JobSpec::new("a", "var x = 1;");
         let renamed = JobSpec::new("b", "var x = 1;");
         let changed = JobSpec::new("a", "var x = 2;");
-        assert_eq!(job_key(&a, None), job_key(&renamed, None));
-        assert_ne!(job_key(&a, None), job_key(&changed, None));
-        assert_ne!(job_key(&a, None), job_key(&a, Some(1000)));
+        assert_eq!(job_key(&a, None, None), job_key(&renamed, None, None));
+        assert_ne!(job_key(&a, None, None), job_key(&changed, None, None));
+        assert_ne!(job_key(&a, None, None), job_key(&a, Some(1000), None));
         let reseeded = JobSpec {
             seeds: Some(vec![9]),
             ..JobSpec::new("a", "var x = 1;")
         };
-        assert_ne!(job_key(&a, None), job_key(&reseeded, None));
+        assert_ne!(job_key(&a, None, None), job_key(&reseeded, None, None));
+        // Enabling the PTA stage (or changing its budget) moves the key;
+        // the stage adds a `pta` object to the row.
+        assert_ne!(job_key(&a, None, None), job_key(&a, None, Some(1000)));
+        assert_ne!(job_key(&a, None, Some(1000)), job_key(&a, None, Some(2000)));
     }
 
     #[test]

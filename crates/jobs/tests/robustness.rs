@@ -128,7 +128,10 @@ fn stale_checkpoint_rows_miss_on_content_change() {
     );
     let mut edited = m.clone();
     edited.jobs[1].src = "var x = 999;".to_owned();
-    assert_ne!(job_key(&m.jobs[1], None), job_key(&edited.jobs[1], None));
+    assert_ne!(
+        job_key(&m.jobs[1], None, None),
+        job_key(&edited.jobs[1], None, None)
+    );
     let resumed = run_manifest_with(
         &edited,
         &JobPool::new(2),
@@ -240,4 +243,71 @@ fn reports_carry_structured_failure_reasons() {
     assert!(stats.contains("\"syntax_errors\": 1"), "{stats}");
     assert!(stats.contains("\"wedged\": 0"), "{stats}");
     assert!(stats.contains("\"retried_jobs\": 0"), "{stats}");
+}
+
+/// The opt-in PTA stage: enabling it adds a `pta` object to every
+/// completed row, the report stays byte-identical across thread counts
+/// (the parallel solver is deterministic), and leaving it off reproduces
+/// the PTA-less bytes exactly.
+#[test]
+fn pta_stage_is_deterministic_and_strictly_opt_in() {
+    let m = small_manifest();
+    let without = run_manifest(&m, &JobPool::new(2)).report_json(true);
+    assert!(
+        !without.contains("\"pta\""),
+        "a PTA-less report must not mention the stage"
+    );
+
+    let mk_opts = |threads: usize| BatchOptions {
+        pta_budget: Some(50_000),
+        pta_threads: threads,
+        ..Default::default()
+    };
+    let seq = run_manifest_with(&m, &JobPool::new(1), &mk_opts(1));
+    let par = run_manifest_with(&m, &JobPool::new(4), &mk_opts(8));
+    let seq_report = seq.report_json(true);
+    assert_eq!(
+        seq_report,
+        par.report_json(true),
+        "PTA rows must not depend on worker or solver thread counts"
+    );
+    assert!(seq_report.contains("\"pta\""), "{seq_report}");
+    assert!(seq_report.contains("\"propagations\""), "{seq_report}");
+
+    // Checkpoint keys fold the budget (stale rows miss when it changes)
+    // but never the thread count (rows are reusable across -pta-threads).
+    let spec = &m.jobs[0];
+    assert_ne!(
+        job_key(spec, None, Some(50_000)),
+        job_key(spec, None, Some(60_000))
+    );
+    assert_eq!(job_key(spec, None, None), job_key(spec, None, None));
+}
+
+/// PTA rows survive the checkpoint/resume splice byte for byte.
+#[test]
+fn pta_rows_resume_from_checkpoints() {
+    let m = small_manifest();
+    let dir = tmp_dir("robustness-pta-resume");
+    let ckpt = dir.join("ck.json");
+    let mk_opts = || BatchOptions {
+        pta_budget: Some(50_000),
+        pta_threads: 2,
+        checkpoint_path: Some(ckpt.clone()),
+        ..Default::default()
+    };
+    let first = run_manifest_with(&m, &JobPool::new(2), &mk_opts());
+    let resumed = run_manifest_with(
+        &m,
+        &JobPool::new(2),
+        &BatchOptions {
+            resume: Some(Checkpoint::load(&ckpt).unwrap()),
+            pta_budget: Some(50_000),
+            pta_threads: 8,
+            ..Default::default()
+        },
+    );
+    assert!(resumed.jobs.iter().all(|j| j.restored.is_some()));
+    assert_eq!(first.report_json(true), resumed.report_json(true));
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -27,9 +27,11 @@
 
 pub mod hash;
 pub mod nodes;
+pub(crate) mod parallel;
 pub mod pts;
 pub mod reference;
 pub mod scc;
+pub(crate) mod shard;
 pub mod solver;
 
 pub use nodes::{AbsObj, Node};

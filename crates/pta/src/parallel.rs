@@ -1,0 +1,379 @@
+//! The epoch-sharded parallel solver: deterministic for every thread
+//! count, byte-identical to the sequential solvers.
+//!
+//! A solve alternates two phases:
+//!
+//! * **Barrier (sequential).** All *structural* work happens here, on the
+//!   driving thread: constraint generation for newly discovered
+//!   functions, pending-constraint application, online Tarjan collapse
+//!   when due, full union-find compression, cross-shard message routing,
+//!   and partitioning the dirty queue into per-shard worklists (sorted,
+//!   so seeding order is canonical).
+//! * **Flow (parallel).** Shards cascade their delta worklists over the
+//!   frozen graph ([`crate::shard::run_shard`]): sets mutate, structure
+//!   does not. A shard touches only the rows of its own canonical-id
+//!   range; facts for foreign nodes are buffered as messages delivered at
+//!   the next barrier.
+//!
+//! **Why insertion order is schedule-independent.** Work is split into
+//! [`NUM_SHARDS`] shard tasks — a constant, independent of the thread
+//! count — and threads only *execute* shard tasks (stealing indices off
+//! an atomic counter). Within an epoch no shard can observe another: all
+//! shared columns a shard reads (`parent`, `edges`, pending-ness, foreign
+//! messages) are frozen at the barrier, and everything it writes is
+//! owner-private until the next barrier. Each shard's insertion sequence
+//! is therefore a pure function of the barrier state, and the barrier
+//! concatenates per-shard results in fixed shard order — so the global
+//! outcome is identical whether shards run on one thread or sixteen.
+//!
+//! **Budget exactness.** Shards flow without a limit but record every
+//! insertion in a word-granular log. At the barrier the epoch's total is
+//! reconciled against the remaining budget: an overshoot rolls back an
+//! exact log suffix (in reverse shard/causal order), landing on the
+//! configured budget to the element — the same check-before-insert
+//! semantics as the sequential solver: an exact-budget solve completes,
+//! budget−1 truncates.
+//!
+//! At fixpoint the least solution is unique, so `export_json` is
+//! byte-identical to `solve_reference` and the sequential delta solver —
+//! the contract `tests/pta_equivalence.rs` pins across a thread matrix.
+
+use crate::pts::{log_entry_count, lowest_set_bits, Pts};
+use crate::shard::{run_shard, NodeView, ShardMsg, ShardState, NUM_SHARDS};
+use crate::solver::{PtaResult, Solver};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Epochs seeding fewer than this many worklist nodes + messages run
+/// their shard tasks inline on the driving thread: the task code (and
+/// therefore the result) is identical, but tiny programs skip the
+/// barrier wakeups entirely.
+const INLINE_EPOCH_WORK: usize = 64;
+
+/// Drives `s` to fixpoint (or budget exhaustion) with the epoch-sharded
+/// algorithm. Requires `s.cfg.threads >= 2` (the dispatch in `solve`).
+pub(crate) fn solve_epochs(mut s: Solver<'_>) -> PtaResult {
+    s.seed_entry();
+    let workers = s.cfg.threads.min(NUM_SHARDS);
+    let mut shards: Vec<ShardState> = (0..NUM_SHARDS).map(|_| ShardState::new()).collect();
+    let pool = EpochPool::new(workers);
+    std::thread::scope(|scope| {
+        let mut spawned = false;
+        loop {
+            // ---- barrier: structural work on the driving thread ----
+            while !s.exhausted {
+                let Some(f) = s.func_queue.pop_front() else {
+                    break;
+                };
+                s.gen_function(f);
+            }
+            if s.exhausted {
+                break;
+            }
+            if s.edges_since_scc >= s.cfg.scc_interval {
+                s.edges_since_scc = 0;
+                s.collapse_cycles();
+            }
+            let in_flight: usize = shards
+                .iter()
+                .map(|sh| sh.outbox.iter().map(Vec::len).sum::<usize>())
+                .sum();
+            if s.dirty.is_empty() && in_flight == 0 {
+                break; // func_queue already drained: fixpoint
+            }
+            // Full path compression: shard ownership and the read-only
+            // one-hop `find` of the flow phase both assume it.
+            let n = s.nodes.len();
+            for i in 0..n as u32 {
+                let r = s.find(i);
+                s.parent[i as usize] = r;
+            }
+            let chunk = n.div_ceil(NUM_SHARDS).max(1) as u32;
+            // Route last epoch's outboxes in fixed (source, destination)
+            // order; targets re-canonicalize through the fresh parent
+            // table (a collapse above may have merged them).
+            let mut routed: Vec<Vec<ShardMsg>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
+            for sh in &mut shards {
+                for dest_box in &mut sh.outbox {
+                    for mut m in dest_box.drain(..) {
+                        m.target = s.parent[m.target as usize];
+                        routed[(m.target / chunk) as usize].push(m);
+                    }
+                }
+            }
+            let mut epoch_work = 0usize;
+            for (sh, inbox) in shards.iter_mut().zip(routed) {
+                epoch_work += inbox.len();
+                sh.inbox = inbox;
+            }
+            // Partition the dirty queue into per-shard worklists, sorted
+            // ascending: the queue's arrival order depends on barrier
+            // internals only, but sorting makes the seed order obviously
+            // canonical.
+            let mut candidates: Vec<u32> = Vec::new();
+            while let Some(d) = s.dirty.pop_front() {
+                s.on_dirty[d as usize] = false;
+                let r = s.parent[d as usize];
+                if !s.delta[r as usize].is_empty() {
+                    candidates.push(r);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            epoch_work += candidates.len();
+            for &r in &candidates {
+                s.on_dirty[r as usize] = true;
+                shards[(r / chunk) as usize].worklist.push_back(r);
+            }
+            let has_pending: Vec<bool> = s.pending.iter().map(|p| !p.is_empty()).collect();
+            // ---- flow phase: sets mutate, structure is frozen ----
+            // The columns move out of the solver for the phase: the view's
+            // raw pointers target locals the driver provably does not
+            // touch until every shard task has finished.
+            let mut old = std::mem::take(&mut s.old);
+            let mut delta = std::mem::take(&mut s.delta);
+            let mut on_dirty = std::mem::take(&mut s.on_dirty);
+            let parent = std::mem::take(&mut s.parent);
+            let edges = std::mem::take(&mut s.edges);
+            let view = NodeView {
+                old: old.as_mut_ptr(),
+                delta: delta.as_mut_ptr(),
+                on_dirty: on_dirty.as_mut_ptr(),
+                parent: parent.as_ptr(),
+                edges: edges.as_ptr(),
+                has_pending: has_pending.as_ptr(),
+                chunk,
+                n,
+            };
+            if epoch_work < INLINE_EPOCH_WORK {
+                for (i, sh) in shards.iter_mut().enumerate() {
+                    // SAFETY: sequential execution of the shard tasks —
+                    // exclusive access to everything the view targets.
+                    unsafe { run_shard(&view, sh, i) };
+                }
+            } else {
+                if !spawned {
+                    pool.spawn(scope);
+                    spawned = true;
+                }
+                pool.run_epoch(view, &mut shards);
+            }
+            s.old = old;
+            s.delta = delta;
+            s.on_dirty = on_dirty;
+            s.parent = parent;
+            s.edges = edges;
+            // ---- reconcile the epoch against the budget ----
+            let total: u64 = shards.iter().map(|sh| sh.added).sum();
+            let remaining = s.cfg.budget - s.stats.propagations;
+            if total > remaining {
+                rollback(&mut s, &shards, remaining);
+                s.stats.propagations = s.cfg.budget;
+                s.exhausted = true;
+                break;
+            }
+            s.stats.propagations += total;
+            for sh in &mut shards {
+                sh.added = 0;
+                sh.log.clear();
+            }
+            // ---- apply pendings to the epoch's committed deltas ----
+            // (Shard, commit) order mirrors the sequential solver's
+            // flow-then-apply per processed node; `apply_pending` is
+            // idempotent, so one-epoch lag never double-counts.
+            'commits: for sh in &mut shards {
+                let commits = std::mem::take(&mut sh.commits);
+                for (node, d) in commits {
+                    apply_commit(&mut s, node, &d);
+                    if s.exhausted {
+                        break 'commits;
+                    }
+                }
+            }
+            if s.exhausted {
+                break;
+            }
+        }
+        pool.shutdown();
+    });
+    s.finish()
+}
+
+/// Applies node `n`'s pending constraints to the objects of its committed
+/// delta `d` — the barrier half of the sequential solver's `process`.
+fn apply_commit(s: &mut Solver<'_>, n: u32, d: &Pts) {
+    let n_pending = s.pending[n as usize].len();
+    for i in 0..n_pending {
+        let p = s.pending[n as usize][i].clone();
+        for oid in d.iter() {
+            if s.exhausted {
+                return;
+            }
+            let o = s.objs[oid as usize].clone();
+            s.apply_pending(&p, &o);
+        }
+    }
+}
+
+/// Truncates the epoch's insertions to exactly `keep` facts: walks the
+/// concatenated per-shard logs in order, keeping the first `keep`
+/// insertions and clearing everything after (each log entry's bits live
+/// in the node's `delta`, or in `old` if the node was processed after the
+/// insertion). Log order respects shard-local causality and cross-shard
+/// effects are deferred to the next epoch (and dropped here before they
+/// are ever counted), so any shard concatenation order is consistent;
+/// fixed shard order makes it deterministic.
+fn rollback(s: &mut Solver<'_>, shards: &[ShardState], mut keep: u64) {
+    for sh in shards {
+        for e in &sh.log {
+            let c = log_entry_count(e);
+            if keep >= c {
+                keep -= c;
+                continue;
+            }
+            let kept = lowest_set_bits(e.bits, keep as u32);
+            keep = 0;
+            let drop_bits = e.bits & !kept;
+            let node = e.node as usize;
+            let hit = s.delta[node].clear_bits(e.word, drop_bits);
+            let rest = drop_bits & !hit;
+            if rest != 0 {
+                let cleared = s.old[node].clear_bits(e.word, rest);
+                debug_assert_eq!(cleared, rest, "logged fact missing at rollback");
+            }
+        }
+    }
+}
+
+/// The epoch's unit of scheduling, published to the workers.
+#[derive(Clone, Copy)]
+struct Job {
+    view: NodeView,
+    shards: *mut ShardState,
+    count: usize,
+}
+
+// SAFETY: the raw pointers are only dereferenced under the pool's
+// claim-one-index-per-shard discipline while the driver waits.
+unsafe impl Send for Job {}
+
+struct Ctrl {
+    epoch: u64,
+    job: Option<Job>,
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+/// A persistent pool of shard workers, following the `mujs-jobs` pool
+/// idiom (`std::thread` + mutex/condvar): workers park between epochs,
+/// wake on a generation bump, steal shard indices off a shared atomic
+/// counter, and signal the driver when the last one finishes. Spawning
+/// per epoch would cost more than many epochs' worth of flow work.
+struct EpochPool {
+    workers: usize,
+    ctrl: Mutex<Ctrl>,
+    start: Condvar,
+    done: Condvar,
+    next: AtomicUsize,
+}
+
+impl EpochPool {
+    fn new(workers: usize) -> Self {
+        EpochPool {
+            workers,
+            ctrl: Mutex::new(Ctrl {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn spawn<'scope>(&'scope self, scope: &'scope std::thread::Scope<'scope, '_>) {
+        for w in 0..self.workers {
+            std::thread::Builder::new()
+                .name(format!("mujs-pta-shard-{w}"))
+                .spawn_scoped(scope, move || self.worker())
+                .expect("spawn shard worker");
+        }
+    }
+
+    fn worker(&self) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut g = self.ctrl.lock().unwrap();
+                loop {
+                    if g.shutdown {
+                        return;
+                    }
+                    if g.epoch > seen {
+                        seen = g.epoch;
+                        break g.job.expect("armed epoch carries a job");
+                    }
+                    g = self.start.wait(g).unwrap();
+                }
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                let i = self.next.fetch_add(1, Ordering::SeqCst);
+                if i >= job.count {
+                    break;
+                }
+                // SAFETY: `fetch_add` hands index `i` to exactly one
+                // worker, so this worker has exclusive access to shard
+                // `i`'s state and owned rows for the rest of the epoch.
+                unsafe { run_shard(&job.view, &mut *job.shards.add(i), i) };
+            }));
+            let mut g = self.ctrl.lock().unwrap();
+            if result.is_err() {
+                g.panicked = true;
+            }
+            g.active -= 1;
+            if g.active == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Publishes one epoch's job and blocks until every shard task
+    /// completed. Panics (after releasing the workers) if a worker
+    /// panicked — solver state is unreliable past that point.
+    fn run_epoch(&self, view: NodeView, shards: &mut [ShardState]) {
+        {
+            let mut g = self.ctrl.lock().unwrap();
+            self.next.store(0, Ordering::SeqCst);
+            g.job = Some(Job {
+                view,
+                shards: shards.as_mut_ptr(),
+                count: shards.len(),
+            });
+            g.active = self.workers;
+            g.panicked = false;
+            g.epoch += 1;
+            self.start.notify_all();
+        }
+        let mut g = self.ctrl.lock().unwrap();
+        while g.active > 0 {
+            g = self.done.wait(g).unwrap();
+        }
+        g.job = None;
+        if g.panicked {
+            g.shutdown = true;
+            self.start.notify_all();
+            drop(g);
+            panic!("a PTA shard worker panicked");
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut g = self.ctrl.lock().unwrap();
+        g.shutdown = true;
+        self.start.notify_all();
+    }
+}

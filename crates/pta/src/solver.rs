@@ -74,6 +74,12 @@ pub struct PtaConfig {
     /// programs never reach it and run collapse-free; `u64::MAX`
     /// disables collapsing entirely.
     pub scc_interval: u64,
+    /// Solver threads. `0` or `1` runs the classic sequential worklist;
+    /// `≥ 2` runs the epoch-sharded parallel solver (`crate::parallel`),
+    /// whose results — fixpoint sets, exports, call graph, truncation
+    /// point — are schedule-independent: identical for every thread
+    /// count, so the knob never belongs in a cache key.
+    pub threads: usize,
 }
 
 impl Default for PtaConfig {
@@ -82,6 +88,7 @@ impl Default for PtaConfig {
             budget: 25_000_000,
             facts: None,
             scc_interval: 2_048,
+            threads: 1,
         }
     }
 }
@@ -297,9 +304,17 @@ impl PtaResult {
     }
 }
 
-/// Runs the analysis over every function of `prog`.
+/// Runs the analysis over every function of `prog`. With
+/// [`PtaConfig::threads`] ≥ 2 the epoch-sharded parallel solver runs
+/// instead of the sequential worklist; both reach the same unique least
+/// fixpoint and export identical bytes.
 pub fn solve(prog: &Program, cfg: &PtaConfig) -> PtaResult {
-    Solver::new(prog, cfg.clone()).run()
+    let solver = Solver::new(prog, cfg.clone());
+    if cfg.threads >= 2 {
+        crate::parallel::solve_epochs(solver)
+    } else {
+        solver.run()
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -318,37 +333,37 @@ pub(crate) enum Pending {
     },
 }
 
-struct Solver<'p> {
-    prog: &'p Program,
-    cfg: PtaConfig,
+pub(crate) struct Solver<'p> {
+    pub(crate) prog: &'p Program,
+    pub(crate) cfg: PtaConfig,
     resolver: Resolver,
     node_ids: FastMap<Node, u32>,
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     obj_ids: FastMap<AbsObj, u32>,
-    objs: Vec<AbsObj>,
+    pub(crate) objs: Vec<AbsObj>,
     /// Union-find over node ids (path-halving `find`).
-    parent: Vec<u32>,
+    pub(crate) parent: Vec<u32>,
     /// Facts already pushed along every out-edge / applied to every
     /// pending constraint of the node.
-    old: Vec<Pts>,
+    pub(crate) old: Vec<Pts>,
     /// Facts that arrived since the node was last processed.
-    delta: Vec<Pts>,
+    pub(crate) delta: Vec<Pts>,
     /// Outgoing copy edges, stored on representatives. Targets may go
     /// stale after a merge; every use canonicalizes through `find`, and
     /// each collapse pass rebuilds them canonical.
-    edges: Vec<Vec<u32>>,
+    pub(crate) edges: Vec<Vec<u32>>,
     /// Dedupe of canonical `(from, to)` pairs; rebuilt on collapse.
     edge_set: FastSet<u64>,
-    pending: Vec<Vec<Pending>>,
+    pub(crate) pending: Vec<Vec<Pending>>,
     /// Dirty-node worklist: representatives with a non-empty delta.
-    dirty: VecDeque<u32>,
-    on_dirty: Vec<bool>,
+    pub(crate) dirty: VecDeque<u32>,
+    pub(crate) on_dirty: Vec<bool>,
     call_graph: BTreeMap<StmtId, BTreeSet<FuncId>>,
     processed_funcs: FastSet<FuncId>,
-    func_queue: VecDeque<FuncId>,
-    stats: PtaStats,
-    exhausted: bool,
-    edges_since_scc: u64,
+    pub(crate) func_queue: VecDeque<FuncId>,
+    pub(crate) stats: PtaStats,
+    pub(crate) exhausted: bool,
+    pub(crate) edges_since_scc: u64,
 }
 
 fn edge_key(from: u32, to: u32) -> u64 {
@@ -356,7 +371,7 @@ fn edge_key(from: u32, to: u32) -> u64 {
 }
 
 impl<'p> Solver<'p> {
-    fn new(prog: &'p Program, cfg: PtaConfig) -> Self {
+    pub(crate) fn new(prog: &'p Program, cfg: PtaConfig) -> Self {
         Solver {
             prog,
             cfg,
@@ -414,7 +429,7 @@ impl<'p> Solver<'p> {
     }
 
     /// Union-find lookup with path halving.
-    fn find(&mut self, mut x: u32) -> u32 {
+    pub(crate) fn find(&mut self, mut x: u32) -> u32 {
         while self.parent[x as usize] != x {
             let gp = self.parent[self.parent[x as usize] as usize];
             self.parent[x as usize] = gp;
@@ -546,12 +561,18 @@ impl<'p> Solver<'p> {
 
     // -------------------------------------------------------- propagation
 
-    fn run(mut self) -> PtaResult {
+    /// Seeds the entry function: its constraints queue for generation and
+    /// its `this` is the global object. Shared by both solver drivers.
+    pub(crate) fn seed_entry(&mut self) {
         if let Some(entry) = self.prog.entry() {
             self.enqueue_func(entry);
             let this_entry = self.node(Node::This(entry));
             self.seed(this_entry, AbsObj::Global);
         }
+    }
+
+    pub(crate) fn run(mut self) -> PtaResult {
+        self.seed_entry();
         // The analysis is flow-insensitive: generate constraints for all
         // reachable functions, then propagate to fixpoint, interleaved
         // because the call graph is discovered on the fly.
@@ -617,7 +638,7 @@ impl<'p> Solver<'p> {
 
     /// Tarjan pass over the canonical copy-edge graph; merges every
     /// multi-member component into its smallest-id node.
-    fn collapse_cycles(&mut self) {
+    pub(crate) fn collapse_cycles(&mut self) {
         self.stats.scc_passes += 1;
         let n = self.nodes.len();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -700,7 +721,7 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn finish(mut self) -> PtaResult {
+    pub(crate) fn finish(mut self) -> PtaResult {
         self.stats.nodes = self.nodes.len();
         self.stats.call_edges = self.call_graph.values().map(|s| s.len()).sum();
         // Fold unprocessed deltas into the reported sets and fully
@@ -749,7 +770,7 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn apply_pending(&mut self, p: &Pending, o: &AbsObj) {
+    pub(crate) fn apply_pending(&mut self, p: &Pending, o: &AbsObj) {
         match p {
             Pending::Load { key, dst } => self.apply_load(o, *key, *dst),
             Pending::Store { key, src } => self.apply_store(o, *key, *src),
@@ -897,7 +918,7 @@ impl<'p> Solver<'p> {
             .copied()
     }
 
-    fn gen_function(&mut self, fid: FuncId) {
+    pub(crate) fn gen_function(&mut self, fid: FuncId) {
         let prog = self.prog;
         let f = prog.func(fid);
         // Hoisted function declarations.

@@ -1,0 +1,244 @@
+//! Determinism and budget-exactness tests for the epoch-sharded parallel
+//! solver (`PtaConfig::threads >= 2`).
+//!
+//! The solver's contract is that the thread count is unobservable: for
+//! any `threads`, fixpoint exports are byte-identical to the sequential
+//! delta solver and the naive reference solver, and budget-truncated runs
+//! are budget-exact (`propagations == budget`, every partial result
+//! queryable). These tests drive a program big enough to fan out across
+//! all shards and run many epochs, so the cross-shard message path, the
+//! barrier collapse passes, and the word-log rollback all actually fire.
+
+use mujs_pta::{solve, solve_reference, PtaConfig, PtaResult, PtaStatus};
+
+/// A program wide enough that the first epoch seeds work in every shard
+/// (hundreds of simultaneously-dirty nodes) and deep enough that
+/// cross-shard deltas keep flowing for many epochs: lots of closures,
+/// higher-order calls, cross-wired copy chains, and a ⋆-smearing dynamic
+/// property access.
+fn big_src() -> String {
+    let mut s = String::new();
+    s.push_str("function id(x) { return x; }\n");
+    for i in 0..120 {
+        s.push_str(&format!(
+            "function mk{i}() {{ return {{ tag: mk{i}, lift: id }}; }}\n"
+        ));
+        s.push_str(&format!("var v{i} = mk{i}();\n"));
+    }
+    for i in 0..120 {
+        let j = (i + 41) % 120;
+        s.push_str(&format!("v{i} = id(v{j});\n"));
+        s.push_str(&format!("var f{i} = v{i}.tag;\n"));
+        s.push_str(&format!("var w{i} = f{i}();\n"));
+    }
+    s.push_str("var key = somethingUnknown;\n");
+    s.push_str("var smeared = v0[key];\n");
+    s
+}
+
+fn lower(src: &str) -> mujs_ir::Program {
+    let ast = mujs_syntax::parse(src).expect("source parses");
+    mujs_ir::lower_program(&ast)
+}
+
+/// Collapse-free config: with Tarjan collapsing disabled, the number of
+/// propagations at fixpoint is the sum of fixpoint set sizes — an
+/// order-independent quantity — so completion counts must agree exactly
+/// across all solvers and thread counts.
+fn collapse_free() -> PtaConfig {
+    PtaConfig {
+        budget: u64::MAX,
+        scc_interval: u64::MAX,
+        ..Default::default()
+    }
+}
+
+fn sum_points_to(r: &PtaResult) -> u64 {
+    r.all_points_to().iter().map(|(_, s)| s.len() as u64).sum()
+}
+
+/// Fixpoint exports are byte-identical to the reference solver for every
+/// thread count, under the default, aggressive (`scc_interval: 1`), and
+/// collapse-free configs. Thread counts above the shard count are legal
+/// and equally deterministic.
+#[test]
+fn fixpoint_exports_identical_for_every_thread_count() {
+    let prog = lower(&big_src());
+    let configs = [
+        (
+            "default",
+            PtaConfig {
+                budget: u64::MAX,
+                ..Default::default()
+            },
+        ),
+        (
+            "scc=1",
+            PtaConfig {
+                budget: u64::MAX,
+                scc_interval: 1,
+                ..Default::default()
+            },
+        ),
+        ("collapse-free", collapse_free()),
+    ];
+    for (cname, cfg) in configs {
+        let want = solve_reference(&prog, &cfg);
+        assert_eq!(want.status, PtaStatus::Completed, "{cname}: reference");
+        let want = want.export_json();
+        for threads in [1, 2, 3, 8, 16, 32] {
+            let r = solve(
+                &prog,
+                &PtaConfig {
+                    threads,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(r.status, PtaStatus::Completed, "{cname} threads={threads}");
+            assert_eq!(
+                r.export_json(),
+                want,
+                "{cname} threads={threads}: export diverged from reference"
+            );
+        }
+    }
+}
+
+/// Budget boundary semantics, per thread count: a budget of exactly the
+/// required work completes; one less truncates with `propagations ==
+/// budget`. Under the collapse-free config the required work is identical
+/// for all thread counts.
+#[test]
+fn exact_budget_boundary_for_every_thread_count() {
+    let prog = lower(&big_src());
+    let full = solve(&prog, &collapse_free());
+    assert_eq!(full.status, PtaStatus::Completed);
+    let needed = full.stats.propagations;
+    assert!(
+        needed > 1_000,
+        "program too small to be interesting: {needed}"
+    );
+    for threads in [1, 2, 8] {
+        let exact = solve(
+            &prog,
+            &PtaConfig {
+                budget: needed,
+                threads,
+                ..collapse_free()
+            },
+        );
+        assert_eq!(
+            exact.status,
+            PtaStatus::Completed,
+            "threads={threads}: exact budget must complete"
+        );
+        assert_eq!(exact.stats.propagations, needed, "threads={threads}");
+        assert_eq!(exact.export_json(), full.export_json(), "threads={threads}");
+
+        let short = solve(
+            &prog,
+            &PtaConfig {
+                budget: needed - 1,
+                threads,
+                ..collapse_free()
+            },
+        );
+        assert_eq!(
+            short.status,
+            PtaStatus::BudgetExceeded,
+            "threads={threads}: budget-1 must truncate"
+        );
+        assert_eq!(
+            short.stats.propagations,
+            needed - 1,
+            "threads={threads}: truncation must be budget-exact"
+        );
+    }
+}
+
+/// Truncated runs are budget-exact and queryable at every sampled
+/// truncation point: `propagations == budget`, the queryable points-to
+/// facts sum to exactly `budget`, and the two parallel runs (threads 2
+/// and 8) agree byte-for-byte on *which* facts were kept — the epoch
+/// schedule, hence the rollback cut point, is thread-count-independent.
+#[test]
+fn truncation_is_budget_exact_and_deterministic() {
+    let prog = lower(&big_src());
+    let full = solve(&prog, &collapse_free());
+    assert_eq!(full.status, PtaStatus::Completed);
+    let needed = full.stats.propagations;
+    let mut budgets: Vec<u64> = (0..16).map(|k| k * needed / 16).collect();
+    budgets.extend([1, needed / 2 + 1, needed - 1]);
+    budgets.sort_unstable();
+    budgets.dedup();
+    for budget in budgets {
+        let mut exports = Vec::new();
+        for threads in [1, 2, 8] {
+            let r = solve(
+                &prog,
+                &PtaConfig {
+                    budget,
+                    threads,
+                    ..collapse_free()
+                },
+            );
+            assert_eq!(
+                r.status,
+                PtaStatus::BudgetExceeded,
+                "threads={threads} budget={budget}"
+            );
+            assert_eq!(
+                r.stats.propagations, budget,
+                "threads={threads} budget={budget}: propagations must hit the budget exactly"
+            );
+            assert_eq!(
+                sum_points_to(&r),
+                budget,
+                "threads={threads} budget={budget}: queryable facts must sum to the budget"
+            );
+            if threads >= 2 {
+                exports.push(r.export_json());
+            }
+        }
+        assert_eq!(
+            exports[0], exports[1],
+            "budget={budget}: parallel truncation must not depend on the thread count"
+        );
+    }
+}
+
+/// Full stats — not just exports — agree between parallel thread counts,
+/// including collapse activity under the most aggressive scan interval.
+/// (Sequential-vs-sharded *stats* may legitimately differ when collapsing
+/// refunds differ; across thread counts of the epoch solver they cannot.)
+#[test]
+fn stats_identical_across_parallel_thread_counts() {
+    let prog = lower(&big_src());
+    let cfg = PtaConfig {
+        budget: u64::MAX,
+        scc_interval: 1,
+        ..Default::default()
+    };
+    let a = solve(
+        &prog,
+        &PtaConfig {
+            threads: 2,
+            ..cfg.clone()
+        },
+    );
+    let b = solve(&prog, &PtaConfig { threads: 8, ..cfg });
+    assert_eq!(a.status, PtaStatus::Completed);
+    assert_eq!(b.status, PtaStatus::Completed);
+    assert_eq!(a.stats.propagations, b.stats.propagations);
+    assert_eq!(a.stats.nodes, b.stats.nodes);
+    assert_eq!(a.stats.edges, b.stats.edges);
+    assert_eq!(a.stats.call_edges, b.stats.call_edges);
+    assert_eq!(a.stats.scc_passes, b.stats.scc_passes);
+    assert_eq!(a.stats.nodes_merged, b.stats.nodes_merged);
+    assert!(
+        a.stats.nodes_merged > 0,
+        "cycle collapse never fired: {:?}",
+        a.stats
+    );
+    assert_eq!(a.export_json(), b.export_json());
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! detserved --listen 127.0.0.1:0 [--cache-capacity N] [--cache-dir DIR]
-//!           [--mem-budget CELLS] [--watchdog-grace MS]
+//!           [--mem-budget CELLS] [--watchdog-grace MS] [--pta-threads N]
 //! detserved --stdin [same options]
 //! ```
 //!
@@ -35,6 +35,11 @@ fn usage() -> ExitCode {
          \x20 --mem-budget CELLS   server-wide declared-memory budget (admission\n\
          \x20                      control; oversized requests run degraded)\n\
          \x20 --watchdog-grace MS  wedge requests at deadline_ms + MS\n\
+         \x20 --pta-threads N      solver threads for PTA stages (default: the\n\
+         \x20                      host's available parallelism, clamped by\n\
+         \x20                      --mem-budget; 1 = sequential). Results and\n\
+         \x20                      cache keys are identical for every N — the\n\
+         \x20                      knob only changes wall time\n\
          \n\
          exit codes: 0 clean shutdown or EOF; 1 fatal I/O error; 2 usage error"
     );
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
     let mut cache = CacheConfig::default();
     let mut mem_budget = None;
     let mut watchdog_grace = None;
+    let mut pta_threads = None;
 
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -79,6 +85,13 @@ fn main() -> ExitCode {
                             .map_err(|e| format!("--watchdog-grace: {e}"))?,
                     );
                 }
+                "--pta-threads" => {
+                    pta_threads = Some(
+                        value("--pta-threads")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--pta-threads: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
             Ok(())
@@ -94,10 +107,15 @@ fn main() -> ExitCode {
         return usage();
     };
 
+    // Deterministic results mean the default can be aggressive: all the
+    // host's cores, scaled back only where the admission memory budget
+    // says the machine is being kept small.
+    let pta_threads = pta_threads.unwrap_or_else(|| mujs_jobs::default_pta_threads(mem_budget));
     let server = Server::new(ServeOptions {
         cache,
         mem_budget_cells: mem_budget,
         watchdog_grace_ms: watchdog_grace,
+        pta_threads,
     });
 
     let outcome = match transport {

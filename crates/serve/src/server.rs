@@ -41,6 +41,11 @@ pub struct ServeOptions {
     /// Watchdog grace: requests with a deadline are wedged (cancelled and
     /// failed) at `deadline_ms + grace`. `None` disables the watchdog.
     pub watchdog_grace_ms: Option<u64>,
+    /// Solver threads for PTA stages (0 and 1 both mean sequential).
+    /// Purely an execution knob: results — and therefore stage keys and
+    /// cached artifacts — are identical for every value, so operators
+    /// can retune it across restarts without cold-starting the cache.
+    pub pta_threads: usize,
 }
 
 struct Inner {
@@ -48,6 +53,7 @@ struct Inner {
     counters: PipelineCounters,
     admission: Option<AdmissionController>,
     watchdog_grace_ms: Option<u64>,
+    pta_threads: usize,
     requests: AtomicU64,
     responses: AtomicU64,
     errors: AtomicU64,
@@ -70,6 +76,7 @@ impl Server {
                 counters: PipelineCounters::default(),
                 admission: opts.mem_budget_cells.map(AdmissionController::new),
                 watchdog_grace_ms: opts.watchdog_grace_ms,
+                pta_threads: opts.pta_threads,
                 requests: AtomicU64::new(0),
                 responses: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
@@ -185,6 +192,7 @@ impl Server {
             seeds: req.effective_seeds(),
             pta_budget: req.pta_budget,
             inject: req.inject,
+            pta_threads: self.inner.pta_threads,
         };
 
         let (tx, rx) = mpsc::channel();

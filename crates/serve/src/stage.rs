@@ -74,6 +74,12 @@ pub struct StageRequest {
     pub pta_budget: Option<u64>,
     /// Whether the PTA stage consumes the determinacy facts.
     pub inject: bool,
+    /// Solver threads for the PTA stage (0/1 sequential, >= 2 the
+    /// epoch-sharded parallel solver). An execution knob, not an input:
+    /// results are identical for every thread count, so it is
+    /// deliberately absent from [`StageKeys`] — artifacts stay warm when
+    /// the service is restarted with different parallelism.
+    pub pta_threads: usize,
 }
 
 /// The content keys of one request's stages.
@@ -101,6 +107,9 @@ impl StageKeys {
             fh = fh.u64(seed);
         }
         let facts = fh.finish();
+        // `pta_threads` is intentionally not hashed: the parallel solver
+        // is deterministic across thread counts, so hashing it would
+        // only split identical artifacts across distinct keys.
         let pta = req.pta_budget.map(|budget| {
             let upstream = if req.inject { &facts } else { &parse };
             KeyHasher::new()
@@ -554,6 +563,7 @@ fn run_pta_stage(
     let cfg = PtaConfig {
         budget,
         facts,
+        threads: req.pta_threads.max(1),
         ..PtaConfig::default()
     };
     counters.pta_solves.fetch_add(1, Ordering::Relaxed);
@@ -647,6 +657,7 @@ mod tests {
             seeds: vec![AnalysisConfig::default().seed],
             pta_budget: None,
             inject: false,
+            pta_threads: 1,
         }
     }
 
@@ -689,6 +700,19 @@ mod tests {
         let mut bud = a.clone();
         bud.pta_budget = Some(2000);
         assert_ne!(StageKeys::compute(&bud).pta, ka.pta);
+    }
+
+    #[test]
+    fn stage_keys_ignore_the_thread_count() {
+        let mut a = req("f();");
+        a.pta_budget = Some(1000);
+        let mut b = a.clone();
+        b.pta_threads = 8;
+        assert_eq!(
+            StageKeys::compute(&a),
+            StageKeys::compute(&b),
+            "threads is an execution knob, not a content input"
+        );
     }
 
     #[test]
