@@ -1,0 +1,461 @@
+//! Root-cause triage over imprecision provenance.
+//!
+//! The blame-tracked pointer analysis ([`mujs_pta::PtaConfig::provenance`])
+//! labels every points-to tuple with the *first cause* that introduced
+//! it: a ⋆-node smear, an unmodeled native, an eval-lowered chunk, a
+//! havoc edge, or plain (precise) constraint seeding. This pass turns
+//! that raw relation into an actionable report: causes ranked by how
+//! many tuples they account for, each mapped back to its program site
+//! and — where the determinacy machinery has a remedy — to concrete
+//! *fact-injection suggestions*: the dynamic-key access sites whose
+//! property key would have to be proven determinate to kill a smear, or
+//! the call site whose callee fact would de-opaque a native result.
+//!
+//! The report deliberately separates *imprecision* causes from the
+//! precise baseline: tuples blamed on `base` (ordinary seeds and their
+//! copy-closure) and `injected` (facts the dynamic analysis already
+//! supplied) are counted but never ranked — the ranking answers "what
+//! would I fix next", and those two are not broken.
+//!
+//! Suggested sites are cross-referenced by the `detblame` CLI against
+//! `determinacy::injectable_facts`, which this crate cannot do itself
+//! (the determinacy crate sits *above* this one in the dependency
+//! order).
+
+use mujs_ir::resolve::{Binding, Resolver};
+use mujs_ir::{FuncId, Place, Program, PropKey, StmtId, StmtKind};
+use mujs_pta::{AbsObj, BlameCause, Node, PtaResult};
+
+/// What kind of determinacy fact would remove a root cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FixKind {
+    /// A determinate property-key fact at a dynamic access site
+    /// (the specializer's "making dynamic accesses static" rewrite).
+    PropKey,
+    /// A determinate callee fact at a call/new site.
+    Callee,
+}
+
+impl FixKind {
+    /// Stable lowercase name, used in rendered reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FixKind::PropKey => "prop-key",
+            FixKind::Callee => "callee",
+        }
+    }
+}
+
+/// A concrete fact-injection site that would address a root cause.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suggestion {
+    /// The fact kind to inject.
+    pub fix: FixKind,
+    /// The program point to inject at.
+    pub site: StmtId,
+    /// The function containing `site`.
+    pub func: FuncId,
+}
+
+/// One ranked root cause of imprecision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootCause {
+    /// The blame cause (labeling one imprecision source).
+    pub cause: BlameCause,
+    /// Points-to tuples of the canonical relation first-caused by it.
+    pub tuples: u64,
+    /// The cause's own program site, when it has one (eval chunk,
+    /// unmodeled native, injected fact).
+    pub site: Option<StmtId>,
+    /// The function the cause is anchored in: `site`'s owner, or the
+    /// function itself for `arguments`-array causes.
+    pub func: Option<FuncId>,
+    /// Injection sites that would address this cause, deterministic
+    /// (site, fix) order. Empty when no injectable remedy exists
+    /// (havoc flow, `arguments` arrays) or when no live dynamic access
+    /// reaches the smeared object.
+    pub suggestions: Vec<Suggestion>,
+}
+
+/// The full triage report for one solved program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameReport {
+    /// Tuples in the canonical points-to relation, total.
+    pub total_tuples: u64,
+    /// Tuples blamed on precise seeding/copy-closure (`base`).
+    pub precise_tuples: u64,
+    /// Tuples blamed on already-injected determinacy facts.
+    pub injected_tuples: u64,
+    /// Imprecision causes, most tuples first (ties: cause order),
+    /// truncated to the requested `top_k`.
+    pub causes: Vec<RootCause>,
+    /// Distinct imprecision causes before truncation.
+    pub distinct_causes: usize,
+}
+
+/// A dynamic-key property access and what its receiver may point to.
+struct DynAccess {
+    site: StmtId,
+    func: FuncId,
+    objs: Vec<AbsObj>,
+}
+
+/// Follows `specialized_from` links to the original function, mirroring
+/// the solver's canonicalization of named bindings.
+fn canon(prog: &Program, mut f: FuncId) -> FuncId {
+    let mut fuel = 64;
+    while let Some(orig) = prog.func(f).specialized_from {
+        f = orig;
+        fuel -= 1;
+        if fuel == 0 {
+            break;
+        }
+    }
+    f
+}
+
+/// The pointer node a receiver place denotes, mirroring the solver's
+/// `place_node` naming exactly (temps stay per-function, named places
+/// resolve lexically and canonicalize specializer clones).
+fn place_node(prog: &Program, resolver: &Resolver, func: FuncId, place: &Place) -> Node {
+    match place {
+        Place::Temp(t) => Node::Temp(func, t.0),
+        p => {
+            let name = p.as_var_sym().expect("non-temp place has a name");
+            match resolver.resolve(prog, func, name) {
+                Binding::Local(f) => Node::Local(canon(prog, f), name),
+                Binding::Global => Node::Prop(AbsObj::Global, name),
+            }
+        }
+    }
+}
+
+/// Every dynamic-key property access in the program, paired with the
+/// solved points-to set of its receiver. These are the sites a
+/// ⋆-smear can be traced back to: a smear of object `o` is fed by the
+/// dynamic accesses whose receiver may be `o`.
+fn dynamic_accesses(prog: &Program, result: &PtaResult) -> Vec<DynAccess> {
+    let resolver = Resolver::new(prog);
+    let mut out = Vec::new();
+    for f in &prog.funcs {
+        Program::walk_block(&f.body, &mut |s| {
+            let (obj, key) = match &s.kind {
+                StmtKind::GetProp { obj, key, .. }
+                | StmtKind::SetProp { obj, key, .. }
+                | StmtKind::DeleteProp { obj, key, .. } => (obj, key),
+                _ => return,
+            };
+            if !matches!(key, PropKey::Dynamic(_)) {
+                return;
+            }
+            let objs = result.points_to(&place_node(prog, &resolver, f.id, obj));
+            out.push(DynAccess {
+                site: s.id,
+                func: f.id,
+                objs,
+            });
+        });
+    }
+    out
+}
+
+/// The function owning a statement, from the program's side tables.
+fn func_of(prog: &Program, site: StmtId) -> Option<FuncId> {
+    prog.stmt_info.get(site.0 as usize).map(|i| i.func)
+}
+
+/// Injection suggestions for one cause, in deterministic order.
+fn suggest(prog: &Program, cause: &BlameCause, dyn_sites: &[DynAccess]) -> Vec<Suggestion> {
+    let mut v = match cause {
+        BlameCause::StarSmear(o) | BlameCause::UnknownSmear(o) => dyn_sites
+            .iter()
+            .filter(|d| d.objs.contains(o))
+            .map(|d| Suggestion {
+                fix: FixKind::PropKey,
+                site: d.site,
+                func: d.func,
+            })
+            .collect(),
+        BlameCause::Native(site) => func_of(prog, *site)
+            .map(|func| Suggestion {
+                fix: FixKind::Callee,
+                site: *site,
+                func,
+            })
+            .into_iter()
+            .collect(),
+        // Eval chunks are addressed by eval elimination (a rewrite, not
+        // a fact injection); havoc flow and `arguments` arrays have no
+        // injectable remedy.
+        _ => Vec::new(),
+    };
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Builds the ranked root-cause report for a provenance-tracked solve.
+///
+/// Returns `None` when `result` carries no blame (solved without
+/// [`mujs_pta::PtaConfig::provenance`]). `top_k` bounds the ranked
+/// cause list; counts always cover the full relation.
+pub fn blame_report(prog: &Program, result: &PtaResult, top_k: usize) -> Option<BlameReport> {
+    if !result.has_blame() {
+        return None;
+    }
+    let hist = result.blame_histogram();
+    let dyn_sites = dynamic_accesses(prog, result);
+    let mut report = BlameReport {
+        total_tuples: hist.iter().map(|(_, n)| n).sum(),
+        precise_tuples: 0,
+        injected_tuples: 0,
+        causes: Vec::new(),
+        distinct_causes: 0,
+    };
+    for (cause, tuples) in hist {
+        match &cause {
+            BlameCause::Base => {
+                report.precise_tuples += tuples;
+                continue;
+            }
+            BlameCause::Injected(_) => {
+                report.injected_tuples += tuples;
+                continue;
+            }
+            _ => {}
+        }
+        report.distinct_causes += 1;
+        if report.causes.len() >= top_k {
+            continue;
+        }
+        let site = cause.site();
+        let func = match (&cause, site) {
+            (BlameCause::Arguments(f), _) => Some(*f),
+            (_, Some(s)) => func_of(prog, s),
+            _ => None,
+        };
+        let suggestions = suggest(prog, &cause, &dyn_sites);
+        report.causes.push(RootCause {
+            cause,
+            tuples,
+            site,
+            func,
+            suggestions,
+        });
+    }
+    Some(report)
+}
+
+/// Human-readable name of a function: its source name, or `<anon fN>`.
+pub fn func_name(prog: &Program, f: FuncId) -> String {
+    match prog.func(f).name {
+        Some(s) => prog.interner.resolve(s).to_owned(),
+        None => format!("<anon {f}>"),
+    }
+}
+
+impl BlameReport {
+    /// Deterministic JSON rendering of the report (insertion order =
+    /// rank order), the machine surface of the `detblame` CLI.
+    pub fn to_json(&self, prog: &Program) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"total_tuples\":{},\"precise_tuples\":{},\"injected_tuples\":{},\
+             \"distinct_causes\":{},\"causes\":[",
+            self.total_tuples, self.precise_tuples, self.injected_tuples, self.distinct_causes
+        );
+        for (i, c) in self.causes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"label\":\"{}\",\"kind\":\"{}\",\"tuples\":{}",
+                c.cause.label(),
+                c.cause.kind(),
+                c.tuples
+            );
+            if let Some(site) = c.site {
+                let _ = write!(s, ",\"site\":{}", site.0);
+            }
+            if let Some(f) = c.func {
+                let _ = write!(s, ",\"func\":\"{}\"", func_name(prog, f));
+            }
+            s.push_str(",\"suggest\":[");
+            for (j, sg) in c.suggestions.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"fix\":\"{}\",\"site\":{},\"func\":\"{}\"}}",
+                    sg.fix.as_str(),
+                    sg.site.0,
+                    func_name(prog, sg.func)
+                );
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Human-readable rendering: one ranked line per cause with its
+    /// tuple count, anchor, and injection suggestions.
+    pub fn render(&self, prog: &Program) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} tuples: {} precise, {} injected, {} from {} imprecision cause(s)",
+            self.total_tuples,
+            self.precise_tuples,
+            self.injected_tuples,
+            self.total_tuples - self.precise_tuples - self.injected_tuples,
+            self.distinct_causes
+        );
+        for (i, c) in self.causes.iter().enumerate() {
+            let anchor = match (c.site, c.func) {
+                (Some(site), Some(f)) => format!(" at {site} in {}", func_name(prog, f)),
+                (None, Some(f)) => format!(" in {}", func_name(prog, f)),
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                s,
+                "{:>3}. {:>8} tuples  {}{}",
+                i + 1,
+                c.tuples,
+                c.cause.label(),
+                anchor
+            );
+            for sg in &c.suggestions {
+                let _ = writeln!(
+                    s,
+                    "       fix: inject {} fact at {} in {}",
+                    sg.fix.as_str(),
+                    sg.site,
+                    func_name(prog, sg.func)
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mujs_pta::{solve, PtaConfig};
+
+    fn solve_prov(src: &str) -> (Program, PtaResult) {
+        let ast = mujs_syntax::parse(src).expect("parses");
+        let prog = mujs_ir::lower_program(&ast);
+        let cfg = PtaConfig {
+            budget: u64::MAX,
+            provenance: true,
+            ..Default::default()
+        };
+        let r = solve(&prog, &cfg);
+        (prog, r)
+    }
+
+    #[test]
+    fn no_provenance_no_report() {
+        let ast = mujs_syntax::parse("var x = {};").unwrap();
+        let prog = mujs_ir::lower_program(&ast);
+        let r = solve(&prog, &PtaConfig::default());
+        assert!(blame_report(&prog, &r, 10).is_none());
+    }
+
+    #[test]
+    fn smear_causes_suggest_the_feeding_dynamic_access() {
+        let src = r#"
+            function f() { return 1; }
+            var o = {};
+            o.p = f;
+            var key = somethingUnknown;
+            var got = o[key];
+        "#;
+        let (prog, r) = solve_prov(src);
+        let report = blame_report(&prog, &r, 10).expect("blame present");
+        assert!(report.total_tuples > 0);
+        assert!(report.precise_tuples > 0);
+        let smear = report
+            .causes
+            .iter()
+            .find(|c| c.cause.kind() == "star-smear")
+            .expect("the dynamic read smears");
+        assert!(
+            smear.suggestions.iter().any(|s| s.fix == FixKind::PropKey),
+            "smear should point at the dynamic access: {smear:?}"
+        );
+        // The suggested site really is a dynamic-key access.
+        let site = smear.suggestions[0].site;
+        let mut found = false;
+        for f in &prog.funcs {
+            Program::walk_block(&f.body, &mut |s| {
+                if s.id == site {
+                    found = matches!(
+                        &s.kind,
+                        StmtKind::GetProp {
+                            key: PropKey::Dynamic(_),
+                            ..
+                        } | StmtKind::SetProp {
+                            key: PropKey::Dynamic(_),
+                            ..
+                        }
+                    );
+                }
+            });
+        }
+        assert!(found, "suggested site {site} is not a dynamic access");
+    }
+
+    #[test]
+    fn native_causes_suggest_callee_injection_and_report_is_deterministic() {
+        let src = r#"
+            var e = eval("f");
+            var r = e();
+        "#;
+        let (prog, r) = solve_prov(src);
+        let report = blame_report(&prog, &r, 10).expect("blame present");
+        let native = report
+            .causes
+            .iter()
+            .find(|c| c.cause.kind() == "native")
+            .expect("calling an opaque value blames the native site");
+        assert_eq!(native.suggestions.len(), 1);
+        assert_eq!(native.suggestions[0].fix, FixKind::Callee);
+        assert_eq!(Some(native.suggestions[0].site), native.cause.site());
+        assert!(report.causes.iter().any(|c| c.cause.kind() == "eval"));
+        // Ranked most-tuples-first and JSON round is stable.
+        for w in report.causes.windows(2) {
+            assert!(w[0].tuples >= w[1].tuples);
+        }
+        let (prog2, r2) = solve_prov(src);
+        let again = blame_report(&prog2, &r2, 10).unwrap();
+        assert_eq!(report.to_json(&prog), again.to_json(&prog2));
+        assert!(report.to_json(&prog).starts_with("{\"total_tuples\":"));
+    }
+
+    #[test]
+    fn top_k_truncates_but_counts_everything() {
+        let src = r#"
+            var key = somethingUnknown;
+            var a = { x: 1 }; var b = { y: 2 };
+            a.p = b; b.q = a;
+            var g1 = a[key]; var g2 = b[key];
+            var e = eval("1");
+        "#;
+        let (prog, r) = solve_prov(src);
+        let full = blame_report(&prog, &r, usize::MAX).unwrap();
+        let cut = blame_report(&prog, &r, 1).unwrap();
+        assert!(full.causes.len() > 1);
+        assert_eq!(cut.causes.len(), 1);
+        assert_eq!(cut.distinct_causes, full.causes.len());
+        assert_eq!(cut.causes[0], full.causes[0]);
+        assert_eq!(cut.total_tuples, full.total_tuples);
+    }
+}

@@ -14,6 +14,11 @@
 //! * [`cfg`] — basic-block control-flow graphs over the structured IR,
 //!   with exceptional and finally-bypass edges modelled as write-domain
 //!   havoc (the same `vd` the instrumented semantics uses).
+//! * [`blame`] — root-cause triage over the pointer analysis'
+//!   imprecision provenance: ranks blame causes by tuple count, maps
+//!   them back to program sites, and suggests the fact injections
+//!   (property keys, callees) that would remove them. Drives the
+//!   `detblame` CLI.
 //! * [`dataflow`] / [`reaching`] — intraprocedural constant propagation
 //!   and reaching definitions. Constant propagation derives
 //!   *statically* determinate property-key, callee, and condition facts
@@ -26,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod cfg;
 pub mod dataflow;
 pub mod reaching;
 pub mod validate;
 
+pub use blame::{blame_report, BlameReport, FixKind, RootCause, Suggestion};
 pub use cfg::{build_cfg, BasicBlock, BranchInfo, Cfg, Havoc};
 pub use dataflow::{analyze_function, analyze_program, AbsVal, StaticFacts};
 pub use reaching::{reaching_definitions, Def, ReachingDefs, Var};

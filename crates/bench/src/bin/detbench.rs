@@ -97,6 +97,7 @@ fn main() {
     let mut iters = 3usize;
     let mut pta = false;
     let mut threads: Vec<usize> = vec![1, 2, 8];
+    let mut spec_depth: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let need = |i: &mut usize| -> String {
@@ -120,6 +121,13 @@ fn main() {
                     .unwrap_or_else(|_| usage("--max-regress wants a float"))
             }
             "--pta" => pta = true,
+            "--spec-depth" => {
+                spec_depth = Some(
+                    need(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("--spec-depth wants an integer")),
+                )
+            }
             "--threads" => {
                 threads = need(&mut i)
                     .split(',')
@@ -146,11 +154,12 @@ fn main() {
             check_path.as_deref(),
             max_regress,
             &threads,
+            spec_depth,
         );
         return;
     }
 
-    let m = measure(&label, iters);
+    let m = measure(&label, iters, spec_depth);
     let json = serde_json::to_string_pretty(&m).expect("measurement serializes");
     match &out_path {
         Some(p) => {
@@ -198,8 +207,13 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: detbench [--pta] [--threads N,N,...] [--out FILE] [--label L]\n\
-         \x20               [--iters N] [--check BASELINE.json] [--max-regress F]"
+        "usage: detbench [--pta] [--threads N,N,...] [--spec-depth N] [--out FILE]\n\
+         \x20               [--label L] [--iters N] [--check BASELINE.json]\n\
+         \x20               [--max-regress F]\n\
+         \n\
+         \x20 --spec-depth N  specializer context-depth bound (default 4). Unlike\n\
+         \x20                 --threads this changes results, so baselines produced\n\
+         \x20                 at different depths are not comparable"
     );
     std::process::exit(2);
 }
@@ -243,6 +257,7 @@ fn run_pta(
     check_path: Option<&str>,
     max_regress: f64,
     thread_counts: &[usize],
+    spec_depth: Option<usize>,
 ) {
     let budget = mujs_bench::pipeline::PTA_COMPARE_BUDGET;
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -250,7 +265,7 @@ fn run_pta(
         mujs_corpus::jquery_like::all_versions()
             .iter()
             .map(|v| {
-                mujs_bench::pipeline::run_pta_compare_with(v, budget, solver)
+                mujs_bench::pipeline::run_pta_compare_with(v, budget, solver, spec_depth)
                     .expect("pta compare runs")
             })
             .collect()
@@ -319,6 +334,16 @@ fn run_pta(
             r.specialized.ok,
             r.specialized.work,
         );
+        for (rank, c) in r.root_causes.iter().enumerate() {
+            eprintln!(
+                "        cause #{:<2} {:<14} {:>8} tuples  {} suggestion(s)  {}",
+                rank + 1,
+                c.kind,
+                c.tuples,
+                c.suggestions,
+                c.label,
+            );
+        }
         // Hard invariant, baseline file or not: injection must reach a
         // fixpoint wherever source rewriting does.
         if r.specialized.ok && !r.injected.ok {
@@ -493,7 +518,7 @@ fn run_pta(
     }
 }
 
-fn measure(label: &str, iters: usize) -> Measurement {
+fn measure(label: &str, iters: usize, spec_depth: Option<usize>) -> Measurement {
     let micro_cases: Vec<(&str, String)> = vec![
         ("arith_chain_4k", workload::arithmetic_chain(4000)),
         ("object_graph_1500", workload::object_graph(1500)),
@@ -571,7 +596,11 @@ fn measure(label: &str, iters: usize) -> Measurement {
     // for context, not gated.
     let t0 = Instant::now();
     for v in jquery_like::all_versions() {
-        let _ = mujs_bench::pipeline::run_table1(&v, mujs_bench::pipeline::TABLE1_PTA_BUDGET);
+        let _ = mujs_bench::pipeline::run_table1_at_depth(
+            &v,
+            mujs_bench::pipeline::TABLE1_PTA_BUDGET,
+            spec_depth,
+        );
     }
     let table1_full_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 

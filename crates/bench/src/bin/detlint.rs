@@ -7,12 +7,20 @@
 //! propagation and reports how many statically determinate facts each
 //! program yields.
 //!
+//! With `--json`, results stream as machine-readable line-JSON on
+//! stdout — one object per linted source, carrying the status
+//! (`ok` / `parse-error` / `violations`), the violation descriptions,
+//! and (under `--dataflow`) the static-fact counts — so CI and editor
+//! integrations can consume the linter without scraping its prose.
+//!
 //! ```console
 //! $ cargo run -p mujs-bench --bin detlint -- examples/js
 //! $ cargo run -p mujs-bench --bin detlint -- --corpus all --dataflow
+//! $ cargo run -p mujs-bench --bin detlint -- --corpus table1 --json
 //! ```
 
 use mujs_analysis::{analyze_program, validate_program};
+use serde_json::Value;
 use std::path::{Path, PathBuf};
 
 fn usage(problem: &str) -> ! {
@@ -20,8 +28,9 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: detlint [--corpus table1|evalbench|all] [--dataflow] [PATH ...]\n\
-         \x20  PATH: a .js file or a directory scanned for .js files"
+        "usage: detlint [--corpus table1|evalbench|all] [--dataflow] [--json] [PATH ...]\n\
+         \x20  PATH: a .js file or a directory scanned for .js files\n\
+         \x20  --json: one JSON object per source on stdout (line-JSON)"
     );
     std::process::exit(2);
 }
@@ -44,6 +53,45 @@ fn js_files(path: &Path, out: &mut Vec<PathBuf>) {
 struct Report {
     checked: usize,
     failed: usize,
+    json: bool,
+}
+
+/// Emits one line-JSON record for a linted source. Field order is fixed
+/// so the stream is byte-deterministic for a given input set.
+fn json_line(
+    name: &str,
+    status: &str,
+    functions: usize,
+    error: Option<&str>,
+    violations: &[String],
+    facts: Option<&mujs_analysis::StaticFacts>,
+) {
+    let num = |n: usize| Value::Num(n as f64);
+    let mut fields = vec![
+        ("name".to_owned(), Value::Str(name.to_owned())),
+        ("status".to_owned(), Value::Str(status.to_owned())),
+        ("functions".to_owned(), num(functions)),
+    ];
+    if let Some(e) = error {
+        fields.push(("error".to_owned(), Value::Str(e.to_owned())));
+    }
+    fields.push((
+        "violations".to_owned(),
+        Value::Array(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+    ));
+    if let Some(f) = facts {
+        fields.push((
+            "static_facts".to_owned(),
+            Value::Object(vec![
+                ("total".to_owned(), num(f.len())),
+                ("prop_keys".to_owned(), num(f.prop_keys.len())),
+                ("callees".to_owned(), num(f.callees.len())),
+                ("conds".to_owned(), num(f.conds.len())),
+            ]),
+        ));
+    }
+    let line = serde_json::to_string(&Value::Object(fields)).expect("lint row serializes");
+    println!("{line}");
 }
 
 fn lint(name: &str, src: &str, dataflow: bool, report: &mut Report) {
@@ -54,31 +102,52 @@ fn lint(name: &str, src: &str, dataflow: bool, report: &mut Report) {
     let prog = match lowered {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("{name}: parse error: {e}");
+            if report.json {
+                json_line(name, "parse-error", 0, Some(&e.to_string()), &[], None);
+            } else {
+                eprintln!("{name}: parse error: {e}");
+            }
             report.failed += 1;
             return;
         }
     };
     let violations = validate_program(&prog);
-    if violations.is_empty() {
-        let facts = if dataflow {
-            let f = analyze_program(&prog);
-            format!(
+    let described: Vec<String> = violations.iter().map(|v| v.describe(&prog)).collect();
+    let facts = dataflow.then(|| analyze_program(&prog));
+    if report.json {
+        let status = if described.is_empty() {
+            "ok"
+        } else {
+            "violations"
+        };
+        json_line(
+            name,
+            status,
+            prog.funcs.len(),
+            None,
+            &described,
+            facts.as_ref(),
+        );
+        report.failed += usize::from(!described.is_empty());
+        return;
+    }
+    if described.is_empty() {
+        let facts = match &facts {
+            Some(f) => format!(
                 " ({} static facts: {} keys, {} callees, {} conds)",
                 f.len(),
                 f.prop_keys.len(),
                 f.callees.len(),
                 f.conds.len()
-            )
-        } else {
-            String::new()
+            ),
+            None => String::new(),
         };
         println!("{name}: ok — {} functions{facts}", prog.funcs.len());
     } else {
         report.failed += 1;
-        eprintln!("{name}: {} violation(s)", violations.len());
-        for v in &violations {
-            eprintln!("  {}", v.describe(&prog));
+        eprintln!("{name}: {} violation(s)", described.len());
+        for v in &described {
+            eprintln!("  {v}");
         }
     }
 }
@@ -87,6 +156,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut corpus: Option<String> = None;
     let mut dataflow = false;
+    let mut json = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -100,6 +170,7 @@ fn main() {
                 );
             }
             "--dataflow" => dataflow = true,
+            "--json" => json = true,
             "--help" | "-h" => usage(""),
             p => paths.push(PathBuf::from(p)),
         }
@@ -112,6 +183,7 @@ fn main() {
     let mut report = Report {
         checked: 0,
         failed: 0,
+        json,
     };
     match corpus.as_deref() {
         None => {}

@@ -14,7 +14,8 @@
 pub mod pipeline;
 
 pub use pipeline::{
-    analyze_page, eliminate, run_eval_elim, run_eval_elim_pooled, run_pta_compare, run_table1,
-    run_table1_pooled, spec_pipeline, EvalElimRow, PipelineError, PipelineResult, PtaCompareRow,
-    PtaModeRow, Table1Row, TABLE1_PTA_BUDGET,
+    analyze_page, eliminate, root_cause_cols, run_eval_elim, run_eval_elim_pooled, run_pta_compare,
+    run_table1, run_table1_at_depth, run_table1_pooled, spec_config, spec_pipeline, EvalElimRow,
+    PipelineError, PipelineResult, PtaCompareRow, PtaModeRow, RootCauseCol, Table1Row,
+    TABLE1_PTA_BUDGET,
 };

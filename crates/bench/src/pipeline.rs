@@ -95,8 +95,25 @@ pub fn analyze_page(
     Ok((h, out))
 }
 
+/// The specializer configuration for an optional `--spec-depth`
+/// override: `None` keeps the default context depth, `Some(d)` bounds
+/// specialization contexts at depth `d`. Centralized here so every
+/// harness (`detbench`, `detblame`, the Table 1 runner) interprets the
+/// knob identically.
+pub fn spec_config(depth: Option<usize>) -> SpecConfig {
+    match depth {
+        Some(max_context_depth) => SpecConfig {
+            max_context_depth,
+            ..SpecConfig::default()
+        },
+        None => SpecConfig::default(),
+    }
+}
+
 /// Full Spec pipeline: instrumented run → specializer → budgeted PTA.
 /// With `spec: false` the specializer is skipped (Baseline).
+/// `spec_depth` overrides the specializer's context-depth bound
+/// (`None` = default).
 ///
 /// # Errors
 ///
@@ -108,6 +125,7 @@ pub fn spec_pipeline(
     det_dom: bool,
     spec: bool,
     pta_budget: u64,
+    spec_depth: Option<usize>,
 ) -> Result<PipelineResult, PipelineError> {
     let cfg = AnalysisConfig {
         det_dom,
@@ -119,7 +137,7 @@ pub fn spec_pipeline(
             &h.program,
             &analysis.facts,
             &mut analysis.ctxs,
-            &SpecConfig::default(),
+            &spec_config(spec_depth),
         );
         (s.program, Some(s.report))
     } else {
@@ -194,9 +212,25 @@ impl Table1Row {
 ///
 /// Propagates the first [`PipelineError`] from the three configurations.
 pub fn run_table1(v: &JQueryLike, pta_budget: u64) -> Result<Table1Row, PipelineError> {
-    let baseline = spec_pipeline(&v.src, &v.doc, &v.plan, false, false, pta_budget)?;
-    let spec = spec_pipeline(&v.src, &v.doc, &v.plan, false, true, pta_budget)?;
-    let detdom = spec_pipeline(&v.src, &v.doc, &v.plan, true, true, pta_budget)?;
+    run_table1_at_depth(v, pta_budget, None)
+}
+
+/// [`run_table1`] with an explicit specializer context-depth override
+/// (the `--spec-depth` knob).
+///
+/// # Errors
+///
+/// Propagates the first [`PipelineError`] from the three configurations.
+pub fn run_table1_at_depth(
+    v: &JQueryLike,
+    pta_budget: u64,
+    spec_depth: Option<usize>,
+) -> Result<Table1Row, PipelineError> {
+    let baseline = spec_pipeline(
+        &v.src, &v.doc, &v.plan, false, false, pta_budget, spec_depth,
+    )?;
+    let spec = spec_pipeline(&v.src, &v.doc, &v.plan, false, true, pta_budget, spec_depth)?;
+    let detdom = spec_pipeline(&v.src, &v.doc, &v.plan, true, true, pta_budget, spec_depth)?;
     Ok(Table1Row {
         version: v.version,
         baseline_ok: baseline.pta_status == PtaStatus::Completed,
@@ -273,6 +307,21 @@ fn timed_solve(prog: &Program, cfg: &PtaConfig, solver: PtaSolverKind) -> PtaMod
     mode_row(&r, prog, t0.elapsed())
 }
 
+/// One ranked root-cause column of a comparison row: a blame cause of
+/// the uninjected baseline solve, as distilled by
+/// [`mujs_analysis::blame_report`] from a provenance-enabled solve.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RootCauseCol {
+    /// Human-readable cause label (e.g. `star-smear(Alloc(StmtId(12)))`).
+    pub label: String,
+    /// Cause kind slug (`star-smear`, `eval`, `native`, …).
+    pub kind: String,
+    /// Points-to tuples this cause is blamed for.
+    pub tuples: u64,
+    /// Fact-injection sites suggested to remove the cause.
+    pub suggestions: usize,
+}
+
 /// Baseline vs fact-injected vs specialized PTA over one corpus version:
 /// the evidence that injecting determinacy facts into the solver recovers
 /// the precision of the paper's source-rewriting pipeline.
@@ -288,6 +337,9 @@ pub struct PtaCompareRow {
     pub injected: PtaModeRow,
     /// Specialized (source-rewritten) program, plain solver.
     pub specialized: PtaModeRow,
+    /// Top baseline imprecision root causes (provenance-enabled delta
+    /// solve; ranked by blamed tuple count).
+    pub root_causes: Vec<RootCauseCol>,
 }
 
 /// Runs the three-way PTA comparison for one corpus version. Uses the
@@ -298,11 +350,37 @@ pub struct PtaCompareRow {
 ///
 /// Propagates [`PipelineError`] from [`analyze_page`].
 pub fn run_pta_compare(v: &JQueryLike, pta_budget: u64) -> Result<PtaCompareRow, PipelineError> {
-    run_pta_compare_with(v, pta_budget, PtaSolverKind::Delta)
+    run_pta_compare_with(v, pta_budget, PtaSolverKind::Delta, None)
+}
+
+/// Ranks the baseline imprecision root causes of `prog` via one
+/// provenance-enabled delta solve at `budget`, keeping the top `top_k`.
+pub fn root_cause_cols(prog: &Program, budget: u64, top_k: usize) -> Vec<RootCauseCol> {
+    let cfg = PtaConfig {
+        budget,
+        provenance: true,
+        ..Default::default()
+    };
+    let r = mujs_pta::solve(prog, &cfg);
+    mujs_analysis::blame_report(prog, &r, top_k)
+        .map(|report| {
+            report
+                .causes
+                .iter()
+                .map(|c| RootCauseCol {
+                    label: c.cause.label(),
+                    kind: c.cause.kind().to_owned(),
+                    tuples: c.tuples,
+                    suggestions: c.suggestions.len(),
+                })
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 /// [`run_pta_compare`] with an explicit solver choice — `detbench --pta`
-/// runs both to produce its before (reference) / after (delta) pair.
+/// runs both to produce its before (reference) / after (delta) pair —
+/// and specializer depth override (the `--spec-depth` knob).
 ///
 /// # Errors
 ///
@@ -311,6 +389,7 @@ pub fn run_pta_compare_with(
     v: &JQueryLike,
     pta_budget: u64,
     solver: PtaSolverKind,
+    spec_depth: Option<usize>,
 ) -> Result<PtaCompareRow, PipelineError> {
     let cfg = AnalysisConfig {
         det_dom: true,
@@ -336,9 +415,13 @@ pub fn run_pta_compare_with(
         &prog,
         &analysis.facts,
         &mut analysis.ctxs,
-        &SpecConfig::default(),
+        &spec_config(spec_depth),
     );
     let specialized = timed_solve(&spec.program, &base_cfg, solver);
+    // Root causes describe the *baseline program's* imprecision, so the
+    // provenance solve always uses the (deterministic) delta solver —
+    // the reference/delta choice above only affects the timed rows.
+    let root_causes = root_cause_cols(&prog, pta_budget, 3);
 
     Ok(PtaCompareRow {
         version: v.version.to_owned(),
@@ -346,6 +429,7 @@ pub fn run_pta_compare_with(
         baseline,
         injected,
         specialized,
+        root_causes,
     })
 }
 

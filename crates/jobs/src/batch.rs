@@ -151,6 +151,13 @@ pub struct BatchOptions {
     /// epoch-sharded parallel solver). Never part of the job key or the
     /// report: results are identical for every value.
     pub pta_threads: usize,
+    /// When set (and a PTA stage runs), each job's program is specialized
+    /// first — against its own combined dynamic facts, with this
+    /// context-depth bound — and the PTA solves the *specialized*
+    /// program. Unlike `pta_threads` this changes results, so it is part
+    /// of the job key and the `pta` row records it. Ignored without
+    /// [`BatchOptions::pta_budget`].
+    pub spec_depth: Option<usize>,
     /// Deterministic scheduler chaos (checkpoint truncation); the pool
     /// carries its own copy for kills and event faults.
     #[cfg(feature = "fault-inject")]
@@ -419,7 +426,7 @@ pub fn run_manifest_with(manifest: &Manifest, pool: &JobPool, opts: &BatchOption
     let keys: Vec<String> = manifest
         .jobs
         .iter()
-        .map(|s| job_key(s, opts.mem_budget_cells, opts.pta_budget))
+        .map(|s| job_key(s, opts.mem_budget_cells, opts.pta_budget, opts.spec_depth))
         .collect();
     let mut records: Vec<Option<JobRecord>> = (0..n).map(|_| None).collect();
     let mut scheduled: Vec<usize> = Vec::new();
@@ -465,7 +472,9 @@ pub fn run_manifest_with(manifest: &Manifest, pool: &JobPool, opts: &BatchOption
             let key = keys[i].clone();
             let admission = &admission;
             let grace = opts.watchdog_grace_ms;
-            let pta = opts.pta_budget.map(|b| (b, opts.pta_threads));
+            let pta = opts
+                .pta_budget
+                .map(|b| (b, opts.pta_threads, opts.spec_depth));
             let job = move |ctx: &JobCtx| -> IsolatedGraph<SpecRun> {
                 let adm = match admission {
                     Some(c) => c.admit(spec.effective_config().mem_cell_budget),
@@ -569,7 +578,7 @@ fn run_spec(
     ctx: &JobCtx,
     adm: &Admission,
     watchdog_grace_ms: Option<u64>,
-    pta: Option<(u64, usize)>,
+    pta: Option<(u64, usize, Option<usize>)>,
 ) -> (JobStatus, Option<JobOutcome>) {
     let harness = match DetHarness::from_src(&spec.src) {
         Ok(h) => h,
@@ -586,9 +595,36 @@ fn run_spec(
     let doc = DocumentBuilder::new().title(&spec.name).build();
     let plan = EventPlan::new();
     let mut outcome = analyze_seeds(harness, &seeds, cfg, &doc, &plan, ctx);
-    if let Some((budget, threads)) = pta {
-        ctx.progress("solving pointer analysis".to_owned());
-        outcome.pta = Some(solve_pta_row(&outcome.program, budget, threads));
+    if let Some((budget, threads, spec_depth)) = pta {
+        let row = match spec_depth {
+            // The worker still holds the live fact database and context
+            // table, so specialization is a local transform here — no
+            // re-analysis, no serialization round-trip.
+            Some(depth) => {
+                ctx.progress(format!("specializing at depth {depth}"));
+                let spec_cfg = mujs_specialize::SpecConfig {
+                    max_context_depth: depth,
+                    ..Default::default()
+                };
+                let s = mujs_specialize::specialize(
+                    &outcome.program,
+                    &outcome.multi.facts,
+                    &mut outcome.multi.ctxs,
+                    &spec_cfg,
+                );
+                ctx.progress("solving pointer analysis".to_owned());
+                let mut row = solve_pta_row(&s.program, budget, threads);
+                // Recorded only when set, so depth-less reports keep
+                // their historical bytes.
+                set_field(&mut row, "spec_depth", Value::Num(depth as f64));
+                row
+            }
+            None => {
+                ctx.progress("solving pointer analysis".to_owned());
+                solve_pta_row(&outcome.program, budget, threads)
+            }
+        };
+        outcome.pta = Some(row);
     }
     let status = if adm.degraded {
         JobStatus::Degraded

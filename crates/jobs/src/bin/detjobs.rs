@@ -44,6 +44,7 @@ struct Options {
     stats: Option<String>,
     pta_budget: Option<u64>,
     pta_threads: Option<usize>,
+    spec_depth: Option<usize>,
 }
 
 fn usage(problem: &str) -> ! {
@@ -57,6 +58,7 @@ fn usage(problem: &str) -> ! {
          \x20              [--watchdog-grace MS] [--mem-budget CELLS]\n\
          \x20              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \x20              [--stats FILE] [--pta-budget N] [--pta-threads N]\n\
+         \x20              [--spec-depth N]\n\
          \n\
          \x20 --manifest FILE    JSON job manifest (see DESIGN.md §5c for the format)\n\
          \x20 --dir DIR          one default job per *.js file, sorted by name\n\
@@ -85,6 +87,11 @@ fn usage(problem: &str) -> ! {
          \x20                    --mem-budget; 1 = sequential). The solver is\n\
          \x20                    deterministic: report bytes and checkpoint keys\n\
          \x20                    are identical for every N\n\
+         \x20 --spec-depth N     specialize each job's program (against its own\n\
+         \x20                    dynamic facts, context depth bound N) before the\n\
+         \x20                    PTA stage. Unlike --pta-threads this changes\n\
+         \x20                    results, so it is folded into checkpoint keys;\n\
+         \x20                    requires --pta-budget\n\
          \n\
          exit status:\n\
          \x20 0  every job completed cleanly\n\
@@ -117,6 +124,7 @@ fn parse_args() -> Options {
         stats: None,
         pta_budget: None,
         pta_threads: None,
+        spec_depth: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -181,6 +189,10 @@ fn parse_args() -> Options {
                 let v = value(&args, &mut i, "--pta-threads");
                 o.pta_threads = Some(parse_num(&v, "--pta-threads"));
             }
+            "--spec-depth" => {
+                let v = value(&args, &mut i, "--spec-depth");
+                o.spec_depth = Some(parse_num(&v, "--spec-depth"));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -193,6 +205,9 @@ fn parse_args() -> Options {
         != 1
     {
         usage("exactly one of --manifest, --dir, --suite is required");
+    }
+    if o.spec_depth.is_some() && o.pta_budget.is_none() {
+        usage("--spec-depth only affects the PTA stage; it requires --pta-budget");
     }
     if o.checkpoint.is_none() {
         if o.checkpoint_every_set {
@@ -373,6 +388,7 @@ fn main() {
         pta_threads: o
             .pta_threads
             .unwrap_or_else(|| mujs_jobs::default_pta_threads(o.mem_budget)),
+        spec_depth: o.spec_depth,
         #[cfg(feature = "fault-inject")]
         chaos: None,
     };

@@ -46,10 +46,18 @@ const VERSION: f64 = 1.0;
 ///
 /// The PTA budget is folded in only when the batch runs a PTA stage, so
 /// checkpoints from PTA-less campaigns keep their keys across versions.
-/// The PTA *thread count* is deliberately never part of the key: the
-/// parallel solver is deterministic, so rows are reusable across any
-/// `--pta-threads` setting.
-pub fn job_key(spec: &JobSpec, batch_mem_budget: Option<u64>, pta_budget: Option<u64>) -> String {
+/// The specializer context-depth bound (`--spec-depth`) is folded in only
+/// when a PTA stage runs *and* the bound is set, because it changes the
+/// solved program and hence the row; batches without it keep their
+/// historical keys. The PTA *thread count* is deliberately never part of
+/// the key: the parallel solver is deterministic, so rows are reusable
+/// across any `--pta-threads` setting.
+pub fn job_key(
+    spec: &JobSpec,
+    batch_mem_budget: Option<u64>,
+    pta_budget: Option<u64>,
+    spec_depth: Option<usize>,
+) -> String {
     let cfg = serde_json::to_string(&spec.effective_config()).expect("config serializes");
     let mut h = KeyHasher::new().str(&spec.src).str(&cfg);
     for seed in spec.effective_seeds() {
@@ -58,6 +66,9 @@ pub fn job_key(spec: &JobSpec, batch_mem_budget: Option<u64>, pta_budget: Option
     h = h.opt_u64(batch_mem_budget);
     if let Some(budget) = pta_budget {
         h = h.str("pta").u64(budget);
+        if let Some(depth) = spec_depth {
+            h = h.str("spec").u64(depth as u64);
+        }
     }
     h.finish()
 }
@@ -198,18 +209,51 @@ mod tests {
         let a = JobSpec::new("a", "var x = 1;");
         let renamed = JobSpec::new("b", "var x = 1;");
         let changed = JobSpec::new("a", "var x = 2;");
-        assert_eq!(job_key(&a, None, None), job_key(&renamed, None, None));
-        assert_ne!(job_key(&a, None, None), job_key(&changed, None, None));
-        assert_ne!(job_key(&a, None, None), job_key(&a, Some(1000), None));
+        assert_eq!(
+            job_key(&a, None, None, None),
+            job_key(&renamed, None, None, None)
+        );
+        assert_ne!(
+            job_key(&a, None, None, None),
+            job_key(&changed, None, None, None)
+        );
+        assert_ne!(
+            job_key(&a, None, None, None),
+            job_key(&a, Some(1000), None, None)
+        );
         let reseeded = JobSpec {
             seeds: Some(vec![9]),
             ..JobSpec::new("a", "var x = 1;")
         };
-        assert_ne!(job_key(&a, None, None), job_key(&reseeded, None, None));
+        assert_ne!(
+            job_key(&a, None, None, None),
+            job_key(&reseeded, None, None, None)
+        );
         // Enabling the PTA stage (or changing its budget) moves the key;
         // the stage adds a `pta` object to the row.
-        assert_ne!(job_key(&a, None, None), job_key(&a, None, Some(1000)));
-        assert_ne!(job_key(&a, None, Some(1000)), job_key(&a, None, Some(2000)));
+        assert_ne!(
+            job_key(&a, None, None, None),
+            job_key(&a, None, Some(1000), None)
+        );
+        assert_ne!(
+            job_key(&a, None, Some(1000), None),
+            job_key(&a, None, Some(2000), None)
+        );
+        // The specializer depth bound changes the solved program, so it
+        // moves the key — but only when a PTA stage actually runs; a
+        // PTA-less batch ignores it entirely.
+        assert_ne!(
+            job_key(&a, None, Some(1000), None),
+            job_key(&a, None, Some(1000), Some(2))
+        );
+        assert_ne!(
+            job_key(&a, None, Some(1000), Some(2)),
+            job_key(&a, None, Some(1000), Some(3))
+        );
+        assert_eq!(
+            job_key(&a, None, None, None),
+            job_key(&a, None, None, Some(2))
+        );
     }
 
     #[test]

@@ -129,8 +129,8 @@ fn stale_checkpoint_rows_miss_on_content_change() {
     let mut edited = m.clone();
     edited.jobs[1].src = "var x = 999;".to_owned();
     assert_ne!(
-        job_key(&m.jobs[1], None, None),
-        job_key(&edited.jobs[1], None, None)
+        job_key(&m.jobs[1], None, None, None),
+        job_key(&edited.jobs[1], None, None, None)
     );
     let resumed = run_manifest_with(
         &edited,
@@ -278,10 +278,18 @@ fn pta_stage_is_deterministic_and_strictly_opt_in() {
     // but never the thread count (rows are reusable across -pta-threads).
     let spec = &m.jobs[0];
     assert_ne!(
-        job_key(spec, None, Some(50_000)),
-        job_key(spec, None, Some(60_000))
+        job_key(spec, None, Some(50_000), None),
+        job_key(spec, None, Some(60_000), None)
     );
-    assert_eq!(job_key(spec, None, None), job_key(spec, None, None));
+    assert_ne!(
+        job_key(spec, None, Some(50_000), None),
+        job_key(spec, None, Some(50_000), Some(2)),
+        "the spec-depth bound changes the solved program, so it must move the key"
+    );
+    assert_eq!(
+        job_key(spec, None, None, None),
+        job_key(spec, None, None, None)
+    );
 }
 
 /// PTA rows survive the checkpoint/resume splice byte for byte.

@@ -25,6 +25,7 @@
 //! # }
 //! ```
 
+pub mod blame;
 pub mod hash;
 pub mod nodes;
 pub(crate) mod parallel;
@@ -34,6 +35,7 @@ pub mod scc;
 pub(crate) mod shard;
 pub mod solver;
 
+pub use blame::{BlameCause, BlameData};
 pub use nodes::{AbsObj, Node};
 pub use reference::solve_reference;
 pub use solver::{solve, InjectedFacts, PtaConfig, PtaPrecision, PtaResult, PtaStats, PtaStatus};

@@ -16,15 +16,25 @@
 //!   the next barrier.
 //!
 //! **Why insertion order is schedule-independent.** Work is split into
-//! [`NUM_SHARDS`] shard tasks — a constant, independent of the thread
-//! count — and threads only *execute* shard tasks (stealing indices off
-//! an atomic counter). Within an epoch no shard can observe another: all
-//! shared columns a shard reads (`parent`, `edges`, pending-ness, foreign
-//! messages) are frozen at the barrier, and everything it writes is
-//! owner-private until the next barrier. Each shard's insertion sequence
-//! is therefore a pure function of the barrier state, and the barrier
-//! concatenates per-shard results in fixed shard order — so the global
-//! outcome is identical whether shards run on one thread or sixteen.
+//! [`crate::PtaConfig::shards`] shard tasks — a configured count,
+//! independent of the thread count — and threads only *execute* shard
+//! tasks (stealing indices off an atomic counter). Within an epoch no
+//! shard can observe another: all shared columns a shard reads
+//! (`parent`, `edges`, pending-ness, foreign messages) are frozen at the
+//! barrier, and everything it writes is owner-private until the next
+//! barrier. Each shard's insertion sequence is therefore a pure function
+//! of the barrier state, and the barrier concatenates per-shard results
+//! in fixed shard order — so the global outcome is identical whether
+//! shards run on one thread or sixteen.
+//!
+//! **Provenance.** With [`crate::PtaConfig::provenance`] on, this driver
+//! runs even at `threads: 1` (see `solve`'s dispatch): blame is assigned
+//! in insertion order, and only the epoch schedule's insertion order is
+//! thread-count-invariant. Blame rows ride the same move-out/move-back
+//! column protocol as the sets, cross-shard blame travels precomputed in
+//! each message, no flow phase ever interns a tag, and budget rollback
+//! drops the blame entries of every rolled-back tuple — so
+//! `export_blame_json` is byte-identical for every thread count.
 //!
 //! **Budget exactness.** Shards flow without a limit but record every
 //! insertion in a word-granular log. At the barrier the epoch's total is
@@ -39,7 +49,7 @@
 //! the contract `tests/pta_equivalence.rs` pins across a thread matrix.
 
 use crate::pts::{log_entry_count, lowest_set_bits, Pts};
-use crate::shard::{run_shard, NodeView, ShardMsg, ShardState, NUM_SHARDS};
+use crate::shard::{run_shard, NodeView, ShardMsg, ShardState};
 use crate::solver::{PtaResult, Solver};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -51,11 +61,13 @@ use std::sync::{Condvar, Mutex};
 const INLINE_EPOCH_WORK: usize = 64;
 
 /// Drives `s` to fixpoint (or budget exhaustion) with the epoch-sharded
-/// algorithm. Requires `s.cfg.threads >= 2` (the dispatch in `solve`).
+/// algorithm. Entered when `s.cfg.threads >= 2` or `s.cfg.provenance`
+/// (the dispatch in `solve`).
 pub(crate) fn solve_epochs(mut s: Solver<'_>) -> PtaResult {
     s.seed_entry();
-    let workers = s.cfg.threads.min(NUM_SHARDS);
-    let mut shards: Vec<ShardState> = (0..NUM_SHARDS).map(|_| ShardState::new()).collect();
+    let nshards = s.cfg.shards.max(1);
+    let workers = s.cfg.threads.max(1).min(nshards);
+    let mut shards: Vec<ShardState> = (0..nshards).map(|_| ShardState::new(nshards)).collect();
     let pool = EpochPool::new(workers);
     std::thread::scope(|scope| {
         let mut spawned = false;
@@ -88,11 +100,11 @@ pub(crate) fn solve_epochs(mut s: Solver<'_>) -> PtaResult {
                 let r = s.find(i);
                 s.parent[i as usize] = r;
             }
-            let chunk = n.div_ceil(NUM_SHARDS).max(1) as u32;
+            let chunk = n.div_ceil(nshards).max(1) as u32;
             // Route last epoch's outboxes in fixed (source, destination)
             // order; targets re-canonicalize through the fresh parent
             // table (a collapse above may have merged them).
-            let mut routed: Vec<Vec<ShardMsg>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
+            let mut routed: Vec<Vec<ShardMsg>> = (0..nshards).map(|_| Vec::new()).collect();
             for sh in &mut shards {
                 for dest_box in &mut sh.outbox {
                     for mut m in dest_box.drain(..) {
@@ -135,6 +147,11 @@ pub(crate) fn solve_epochs(mut s: Solver<'_>) -> PtaResult {
             let mut on_dirty = std::mem::take(&mut s.on_dirty);
             let parent = std::mem::take(&mut s.parent);
             let edges = std::mem::take(&mut s.edges);
+            let prov_on = s.prov.is_some();
+            let (mut blame_col, stamp_col) = match s.prov.as_mut() {
+                Some(p) => (std::mem::take(&mut p.blame), std::mem::take(&mut p.stamp)),
+                None => (Vec::new(), Vec::new()),
+            };
             let view = NodeView {
                 old: old.as_mut_ptr(),
                 delta: delta.as_mut_ptr(),
@@ -142,6 +159,9 @@ pub(crate) fn solve_epochs(mut s: Solver<'_>) -> PtaResult {
                 parent: parent.as_ptr(),
                 edges: edges.as_ptr(),
                 has_pending: has_pending.as_ptr(),
+                blame: blame_col.as_mut_ptr(),
+                stamp: stamp_col.as_ptr(),
+                prov: prov_on,
                 chunk,
                 n,
             };
@@ -163,6 +183,10 @@ pub(crate) fn solve_epochs(mut s: Solver<'_>) -> PtaResult {
             s.on_dirty = on_dirty;
             s.parent = parent;
             s.edges = edges;
+            if let Some(p) = s.prov.as_mut() {
+                p.blame = blame_col;
+                p.stamp = stamp_col;
+            }
             // ---- reconcile the epoch against the budget ----
             let total: u64 = shards.iter().map(|sh| sh.added).sum();
             let remaining = s.cfg.budget - s.stats.propagations;
@@ -222,7 +246,10 @@ fn apply_commit(s: &mut Solver<'_>, n: u32, d: &Pts) {
 /// insertion). Log order respects shard-local causality and cross-shard
 /// effects are deferred to the next epoch (and dropped here before they
 /// are ever counted), so any shard concatenation order is consistent;
-/// fixed shard order makes it deterministic.
+/// fixed shard order makes it deterministic. Under provenance, blame
+/// entries of rolled-back tuples are dropped too — an entry for a logged
+/// bit was necessarily created by this epoch (the tuple's insertion was
+/// its first), so the removal restores the pre-epoch blame exactly.
 fn rollback(s: &mut Solver<'_>, shards: &[ShardState], mut keep: u64) {
     for sh in shards {
         for e in &sh.log {
@@ -240,6 +267,14 @@ fn rollback(s: &mut Solver<'_>, shards: &[ShardState], mut keep: u64) {
             if rest != 0 {
                 let cleared = s.old[node].clear_bits(e.word, rest);
                 debug_assert_eq!(cleared, rest, "logged fact missing at rollback");
+            }
+            if let Some(p) = s.prov.as_mut() {
+                let mut bits = drop_bits;
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    p.blame[node].remove(&(e.word * 64 + b));
+                }
             }
         }
     }

@@ -408,6 +408,50 @@ pub fn flow_into_logged(
     added
 }
 
+/// [`flow_into`]'s limit semantics *and* [`flow_into_logged`]'s insertion
+/// log: the provenance-tracking sequential path of the solver, which must
+/// stay budget-exact like `flow_into` while still learning exactly which
+/// elements it inserted so blame can be assigned to them. Returns
+/// `(added, truncated)` with `flow_into`'s exact-limit contract.
+pub fn flow_into_limited_logged(
+    src: &Pts,
+    dst_old: &Pts,
+    dst_delta: &mut Pts,
+    limit: u64,
+    target: u32,
+    log: &mut Vec<FlowLogEntry>,
+) -> (u64, bool) {
+    if src.is_empty() {
+        return (0, false);
+    }
+    // No truncation possible: defer to the logged fast path.
+    if limit >= src.len() as u64 {
+        return (
+            flow_into_logged(src, dst_old, dst_delta, target, log),
+            false,
+        );
+    }
+    // Budget-limited path: insert ascending, stop element-exactly
+    // (mirrors `flow_into`'s limited path, logging each insertion).
+    let mut added = 0u64;
+    for v in src.iter() {
+        if dst_old.contains(v) || dst_delta.contains(v) {
+            continue;
+        }
+        if added == limit {
+            return (added, true);
+        }
+        dst_delta.insert(v);
+        log.push(FlowLogEntry {
+            node: target,
+            word: v / 64,
+            bits: 1u64 << (v % 64),
+        });
+        added += 1;
+    }
+    (added, false)
+}
+
 /// Ascending iterator over a [`Pts`].
 pub enum PtsIter<'a> {
     /// Sparse representation walk.
@@ -619,6 +663,35 @@ mod tests {
                 assert_eq!(logged.clear_bits(e.word, e.bits), e.bits);
             }
             assert!(logged.is_empty());
+        }
+    }
+
+    #[test]
+    fn limited_logged_flow_matches_flow_into() {
+        for (limit, dense) in [(49u64, false), (50, false), (200, true), (30, true)] {
+            let mk = |step: usize, n: u32, dense: bool| {
+                let mut p = Pts::new();
+                let scale = if dense { 1 } else { 7 };
+                for v in (0..n).step_by(step) {
+                    p.insert(v * scale);
+                }
+                p
+            };
+            let src = mk(2, 400, dense);
+            let old = mk(3, 400, dense);
+            let mut plain = Pts::new();
+            let mut logged = Pts::new();
+            let mut log = Vec::new();
+            let want = flow_into(&src, &old, &mut plain, limit);
+            let got = flow_into_limited_logged(&src, &old, &mut logged, limit, 9, &mut log);
+            assert_eq!(got, want, "limit={limit} dense={dense}");
+            assert_eq!(
+                logged.iter().collect::<Vec<u32>>(),
+                plain.iter().collect::<Vec<u32>>()
+            );
+            let log_total: u64 = log.iter().map(log_entry_count).sum();
+            assert_eq!(log_total, got.0);
+            assert!(log.iter().all(|e| e.node == 9));
         }
     }
 

@@ -206,6 +206,9 @@ impl<'p> RefSolver<'p> {
             node_ids: self.node_ids,
             objs: self.objs,
             call_graph: self.call_graph,
+            // The oracle checks sets and call graphs, not provenance;
+            // `cfg.provenance` is ignored like `cfg.threads`.
+            blame: None,
         }
     }
 

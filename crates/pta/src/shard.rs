@@ -1,31 +1,36 @@
 //! Shard-local state and the per-shard flow kernel of the epoch-sharded
 //! parallel solver (`crate::parallel`).
 //!
-//! The constraint graph is partitioned into [`NUM_SHARDS`] contiguous
-//! canonical-node-id ranges (recomputed at every epoch barrier, after
-//! union-find compression). A shard owns the `old`/`delta` sets and dirty
-//! flags of its range; during a flow phase it cascades its local worklist
-//! to exhaustion, mutating *only* owned rows. Facts destined for foreign
-//! nodes are buffered as [`ShardMsg`]s and delivered at the next barrier —
-//! cross-shard effects are therefore invisible within an epoch, which is
-//! what makes the schedule (thread count, shard→worker assignment,
-//! interleaving) unobservable: each shard's work is a pure function of
-//! the barrier state.
+//! The constraint graph is partitioned into [`crate::PtaConfig::shards`]
+//! contiguous canonical-node-id ranges (recomputed at every epoch
+//! barrier, after union-find compression). A shard owns the `old`/`delta`
+//! sets and dirty flags of its range; during a flow phase it cascades its
+//! local worklist to exhaustion, mutating *only* owned rows. Facts
+//! destined for foreign nodes are buffered as [`ShardMsg`]s and delivered
+//! at the next barrier — cross-shard effects are therefore invisible
+//! within an epoch, which is what makes the schedule (thread count,
+//! shard→worker assignment, interleaving) unobservable: each shard's work
+//! is a pure function of the barrier state.
 //!
 //! Budget accounting is deferred to the barrier: every insertion is
 //! recorded in a word-granular [`FlowLogEntry`] log whose order respects
 //! shard-local causality, so the barrier can either accept the epoch's
 //! insertions wholesale or roll back an exact suffix to land on the
 //! configured budget to the element.
+//!
+//! Under provenance the same logs double as the blame-assignment stream:
+//! after each flow the kernel walks the entries it just appended and
+//! records a first-cause tag for every inserted tuple — read from the
+//! (owned) source row for local flows, or from the blame payload a
+//! message's sender precomputed for cross-shard flows. Blame rows obey
+//! the same ownership protocol as the sets, and the interned tag table is
+//! frozen during flow phases, so blame is exactly as
+//! schedule-independent as the sets themselves.
 
+use crate::blame::outflow;
+use crate::hash::FastMap;
 use crate::pts::{flow_into_logged, FlowLogEntry, Pts};
 use std::collections::VecDeque;
-
-/// Fixed shard count. Shards — not threads — are the unit of determinism:
-/// any number of workers drains the same [`NUM_SHARDS`] shard tasks, so
-/// results are identical for every thread count. More shards than the
-/// maximum useful thread count keeps work-stealing balanced.
-pub(crate) const NUM_SHARDS: usize = 16;
 
 /// A cross-shard delta: `objs` flowed along an edge into `target`
 /// (canonical at send time; re-canonicalized at routing and delivery,
@@ -34,6 +39,10 @@ pub(crate) const NUM_SHARDS: usize = 16;
 pub(crate) struct ShardMsg {
     pub target: u32,
     pub objs: Pts,
+    /// Outflow blame tags of `objs`, as `(obj, tag)` sorted ascending by
+    /// object (empty when provenance is off). Computed by the *sender*
+    /// from its owned source row, so delivery needs no foreign reads.
+    pub blame: Vec<(u32, u32)>,
 }
 
 /// Per-shard mutable state, owned by the epoch driver between phases and
@@ -57,11 +66,11 @@ pub(crate) struct ShardState {
 }
 
 impl ShardState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(nshards: usize) -> Self {
         ShardState {
             worklist: VecDeque::new(),
             inbox: Vec::new(),
-            outbox: (0..NUM_SHARDS).map(|_| Vec::new()).collect(),
+            outbox: (0..nshards).map(|_| Vec::new()).collect(),
             log: Vec::new(),
             commits: Vec::new(),
             added: 0,
@@ -77,11 +86,15 @@ impl ShardState {
 ///
 /// # Safety protocol
 ///
-/// * `parent`, `edges`, and `has_pending` are read-only for everyone.
-/// * `old`, `delta`, and `on_dirty` rows may be touched only by the
-///   owner of the row's (canonical) index: shard `i` owns indices
+/// * `parent`, `edges`, `has_pending`, and `stamp` are read-only for
+///   everyone, and so is the interned tag table behind the blame tags
+///   (interning is barrier-only).
+/// * `old`, `delta`, `on_dirty`, and `blame` rows may be touched only by
+///   the owner of the row's (canonical) index: shard `i` owns indices
 ///   `[i*chunk, (i+1)*chunk)`. [`run_shard`] upholds this — it reads and
-///   writes sets only for nodes it owns and buffers everything else.
+///   writes sets and blame rows only for nodes it owns and buffers
+///   everything else (cross-shard blame travels precomputed inside
+///   [`ShardMsg`]).
 /// * The driver synchronizes phase start/end with a mutex, so writes are
 ///   ordered with its own accesses.
 #[derive(Clone, Copy, Debug)]
@@ -92,7 +105,13 @@ pub(crate) struct NodeView {
     pub parent: *const u32,
     pub edges: *const Vec<u32>,
     pub has_pending: *const bool,
-    /// Nodes per shard: `ceil(n / NUM_SHARDS)`, ≥ 1.
+    /// Per-node blame rows (`obj → tag`); dangling when `prov` is off.
+    pub blame: *mut FastMap<u32, u32>,
+    /// Per-node havoc outflow stamps; dangling when `prov` is off.
+    pub stamp: *const u32,
+    /// Whether provenance is being tracked this solve.
+    pub prov: bool,
+    /// Nodes per shard: `ceil(n / shards)`, ≥ 1.
     pub chunk: u32,
     /// Total node count (for debug assertions).
     pub n: usize,
@@ -153,6 +172,78 @@ impl NodeView {
     unsafe fn set_dirty_flag(&self, i: u32, v: bool) {
         *self.on_dirty.add(i as usize) = v;
     }
+
+    #[inline]
+    unsafe fn stamp_of(&self, i: u32) -> u32 {
+        *self.stamp.add(i as usize)
+    }
+
+    #[inline]
+    unsafe fn blame_row(&self, i: u32) -> &FastMap<u32, u32> {
+        &*self.blame.add(i as usize)
+    }
+
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // sound under the view's ownership protocol
+    unsafe fn blame_row_mut(&self, i: u32) -> &mut FastMap<u32, u32> {
+        &mut *self.blame.add(i as usize)
+    }
+}
+
+/// Assigns blame for a local flow out of owned node `src`: every tuple
+/// `entries` records as newly inserted inherits `src`'s blame for it (or
+/// `src`'s havoc stamp). Entry targets are owned by the running shard.
+///
+/// # Safety
+///
+/// Caller owns the rows of `src` and of every entry's target.
+unsafe fn assign_blame_local(view: &NodeView, src: u32, entries: &[FlowLogEntry]) {
+    let stamp = view.stamp_of(src);
+    for e in entries {
+        let mut bits = e.bits;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            bits &= bits - 1;
+            let v = e.word * 64 + b;
+            let tag = outflow(view.blame_row(src), stamp, v);
+            view.blame_row_mut(e.node).entry(v).or_insert(tag);
+        }
+    }
+}
+
+/// Assigns blame for an inbox delivery: tags come from the message's
+/// sender-side payload (sorted by object), not from any foreign row.
+///
+/// # Safety
+///
+/// Caller owns the rows of every entry's target.
+unsafe fn assign_blame_msg(view: &NodeView, payload: &[(u32, u32)], entries: &[FlowLogEntry]) {
+    for e in entries {
+        let mut bits = e.bits;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            bits &= bits - 1;
+            let v = e.word * 64 + b;
+            let tag = match payload.binary_search_by_key(&v, |&(o, _)| o) {
+                Ok(i) => payload[i].1,
+                Err(_) => crate::blame::BASE_TAG,
+            };
+            view.blame_row_mut(e.node).entry(v).or_insert(tag);
+        }
+    }
+}
+
+/// The sender-side blame payload of a cross-shard message: the outflow
+/// tag of every element of `d` leaving owned node `src`, ascending by
+/// object (``d.iter()`` is ascending).
+///
+/// # Safety
+///
+/// Caller owns `src`'s row.
+unsafe fn blame_payload(view: &NodeView, src: u32, d: &Pts) -> Vec<(u32, u32)> {
+    let stamp = view.stamp_of(src);
+    let row = view.blame_row(src);
+    d.iter().map(|v| (v, outflow(row, stamp, v))).collect()
 }
 
 /// Runs shard `me`'s flow phase to local exhaustion: delivers the inbox,
@@ -171,8 +262,12 @@ pub(crate) unsafe fn run_shard(view: &NodeView, shard: &mut ShardState, me: usiz
     for msg in &inbox {
         let t = view.find(msg.target);
         debug_assert_eq!(view.owner(t), me, "message routed to the wrong shard");
+        let log_start = shard.log.len();
         let added = flow_into_logged(&msg.objs, view.old(t), view.delta_mut(t), t, &mut shard.log);
         if added > 0 {
+            if view.prov {
+                assign_blame_msg(view, &msg.blame, &shard.log[log_start..]);
+            }
             shard.added += added;
             if !view.dirty_flag(t) {
                 view.set_dirty_flag(t, true);
@@ -199,8 +294,12 @@ pub(crate) unsafe fn run_shard(view: &NodeView, shard: &mut ShardState, me: usiz
             }
             let dest = view.owner(t);
             if dest == me {
+                let log_start = shard.log.len();
                 let added = flow_into_logged(&d, view.old(t), view.delta_mut(t), t, &mut shard.log);
                 if added > 0 {
+                    if view.prov {
+                        assign_blame_local(view, n, &shard.log[log_start..]);
+                    }
                     shard.added += added;
                     if !view.dirty_flag(t) {
                         view.set_dirty_flag(t, true);
@@ -211,6 +310,11 @@ pub(crate) unsafe fn run_shard(view: &NodeView, shard: &mut ShardState, me: usiz
                 shard.outbox[dest].push(ShardMsg {
                     target: t,
                     objs: d.clone(),
+                    blame: if view.prov {
+                        blame_payload(view, n, &d)
+                    } else {
+                        Vec::new()
+                    },
                 });
             }
         }

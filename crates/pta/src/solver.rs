@@ -23,6 +23,7 @@
 //! is exceeded — the deterministic equivalent of the paper's 10-minute
 //! timeout.
 
+use crate::blame::{BlameCause, BlameData, Provenance, INHERIT};
 use crate::hash::{FastMap, FastSet};
 use crate::nodes::{AbsObj, Node};
 use crate::pts::{self, Pts};
@@ -80,6 +81,22 @@ pub struct PtaConfig {
     /// point — are schedule-independent: identical for every thread
     /// count, so the knob never belongs in a cache key.
     pub threads: usize,
+    /// Shard count of the epoch-sharded parallel solver: nodes partition
+    /// into this many contiguous blocks, each a unit of work and of
+    /// message routing. Shards — not threads — are the unit of
+    /// determinism: results are identical for every thread count at a
+    /// fixed shard count, so like `threads` the knob stays out of cache
+    /// keys (results across *different* shard counts agree at fixpoint
+    /// but may truncate differently mid-budget).
+    pub shards: usize,
+    /// Record imprecision provenance: every points-to tuple carries a
+    /// blame tag naming the first cause that introduced it (see
+    /// [`crate::blame`]). Provenance forces the epoch-sharded driver even
+    /// at `threads: 1` so blame assignment follows the epoch schedule —
+    /// byte-identical [`PtaResult::export_blame_json`] for every thread
+    /// count. Off by default; the default solve's exports, propagation
+    /// counts, and budget semantics are bit-for-bit unaffected.
+    pub provenance: bool,
 }
 
 impl Default for PtaConfig {
@@ -89,6 +106,8 @@ impl Default for PtaConfig {
             facts: None,
             scc_interval: 2_048,
             threads: 1,
+            shards: 16,
+            provenance: false,
         }
     }
 }
@@ -160,6 +179,7 @@ pub struct PtaResult {
     pub(crate) node_ids: HashMap<Node, u32>,
     pub(crate) objs: Vec<AbsObj>,
     pub(crate) call_graph: BTreeMap<StmtId, BTreeSet<FuncId>>,
+    pub(crate) blame: Option<BlameData>,
 }
 
 impl PtaResult {
@@ -244,6 +264,91 @@ impl PtaResult {
         s
     }
 
+    /// Whether this result carries imprecision provenance (solved with
+    /// [`PtaConfig::provenance`] on).
+    pub fn has_blame(&self) -> bool {
+        self.blame.is_some()
+    }
+
+    /// The blame causes of a node's points-to tuples, sorted by object —
+    /// empty without provenance or when the node never materialized.
+    /// Merged SCC members report their representative's canonical blame
+    /// set, mirroring [`PtaResult::points_to`].
+    pub fn blame_of(&self, node: &Node) -> Vec<(AbsObj, BlameCause)> {
+        let (Some(b), Some(&id)) = (&self.blame, self.node_ids.get(node)) else {
+            return Vec::new();
+        };
+        let id = self.parent[id as usize];
+        let mut v: Vec<(AbsObj, BlameCause)> = self.pts[id as usize]
+            .iter()
+            .filter_map(|o| {
+                b.cause_of(id, o)
+                    .map(|c| (self.objs[o as usize].clone(), c.clone()))
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Tuple counts per blame cause over the *canonical* points-to
+    /// relation (each collapsed SCC counted once), most-frequent first
+    /// with ties broken by cause order. Empty without provenance.
+    pub fn blame_histogram(&self) -> Vec<(BlameCause, u64)> {
+        let Some(b) = &self.blame else {
+            return Vec::new();
+        };
+        let mut counts: BTreeMap<BlameCause, u64> = BTreeMap::new();
+        for id in 0..self.pts.len() as u32 {
+            if self.parent[id as usize] != id {
+                continue;
+            }
+            for o in self.pts[id as usize].iter() {
+                if let Some(c) = b.cause_of(id, o) {
+                    *counts.entry(c.clone()).or_default() += 1;
+                }
+            }
+        }
+        let mut v: Vec<(BlameCause, u64)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Deterministic JSON rendering of the blame relation: every
+    /// materialized node in sorted order, each of its points-to tuples
+    /// labeled with its cause. The byte-comparison surface of the blame
+    /// determinism tests (identical for every thread count). `None`
+    /// without provenance. Merged SCC members render their
+    /// representative's shared blame set, mirroring
+    /// [`PtaResult::export_json`]'s per-member sets.
+    pub fn export_blame_json(&self) -> Option<String> {
+        use std::fmt::Write;
+        let b = self.blame.as_ref()?;
+        let mut nodes: Vec<(&Node, u32)> = self.node_ids.iter().map(|(n, &id)| (n, id)).collect();
+        nodes.sort();
+        let mut s = String::from("{\"blame\":{");
+        for (i, (node, id)) in nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let id = self.parent[*id as usize];
+            let mut entries: Vec<(AbsObj, String)> = self.pts[id as usize]
+                .iter()
+                .filter_map(|o| {
+                    b.cause_of(id, o)
+                        .map(|c| (self.objs[o as usize].clone(), c.label()))
+                })
+                .collect();
+            entries.sort();
+            let e: Vec<String> = entries
+                .iter()
+                .map(|(o, l)| format!("\"{o:?}\":\"{l}\""))
+                .collect();
+            let _ = write!(s, "\"{node:?}\":{{{}}}", e.join(","));
+        }
+        s.push_str("}}");
+        Some(s)
+    }
+
     /// Precision metrics comparable across baseline / fact-injected /
     /// specialized runs. Call targets are canonicalized through
     /// `specialized_from` so that a specialized program's clones count as
@@ -305,12 +410,14 @@ impl PtaResult {
 }
 
 /// Runs the analysis over every function of `prog`. With
-/// [`PtaConfig::threads`] ≥ 2 the epoch-sharded parallel solver runs
-/// instead of the sequential worklist; both reach the same unique least
-/// fixpoint and export identical bytes.
+/// [`PtaConfig::threads`] ≥ 2 — or [`PtaConfig::provenance`] on, whose
+/// blame assignment must follow the thread-count-invariant epoch
+/// schedule — the epoch-sharded parallel solver runs instead of the
+/// sequential worklist; both reach the same unique least fixpoint and
+/// export identical bytes.
 pub fn solve(prog: &Program, cfg: &PtaConfig) -> PtaResult {
     let solver = Solver::new(prog, cfg.clone());
-    if cfg.threads >= 2 {
+    if cfg.threads >= 2 || cfg.provenance {
         crate::parallel::solve_epochs(solver)
     } else {
         solver.run()
@@ -364,6 +471,10 @@ pub(crate) struct Solver<'p> {
     pub(crate) stats: PtaStats,
     pub(crate) exhausted: bool,
     pub(crate) edges_since_scc: u64,
+    /// Imprecision provenance side state (`Some` iff `cfg.provenance`).
+    pub(crate) prov: Option<Provenance>,
+    /// Reusable insertion-log buffer for provenance-tracked flows.
+    scratch_log: Vec<pts::FlowLogEntry>,
 }
 
 fn edge_key(from: u32, to: u32) -> u64 {
@@ -372,6 +483,7 @@ fn edge_key(from: u32, to: u32) -> u64 {
 
 impl<'p> Solver<'p> {
     pub(crate) fn new(prog: &'p Program, cfg: PtaConfig) -> Self {
+        let prov = cfg.provenance.then(Provenance::new);
         Solver {
             prog,
             cfg,
@@ -394,6 +506,8 @@ impl<'p> Solver<'p> {
             stats: PtaStats::default(),
             exhausted: false,
             edges_since_scc: 0,
+            prov,
+            scratch_log: Vec::new(),
         }
     }
 
@@ -410,6 +524,17 @@ impl<'p> Solver<'p> {
         self.edges.push(Vec::new());
         self.pending.push(Vec::new());
         self.on_dirty.push(false);
+        if let Some(p) = self.prov.as_mut() {
+            // Havoc nodes stamp their own cause onto every outflowing
+            // tuple; interning here keeps flow phases intern-free.
+            let stamp = match &n {
+                Node::StarProps(o) => p.intern(BlameCause::StarSmear(o.clone())),
+                Node::UnknownProps(o) => p.intern(BlameCause::UnknownSmear(o.clone())),
+                Node::ExcPool => p.intern(BlameCause::ExcFlow),
+                _ => INHERIT,
+            };
+            p.push_node(stamp);
+        }
         // Materializing a named property wires it into the ⋆ join.
         if let Node::Prop(o, _) = &n {
             let star = self.node(Node::StarProps(o.clone()));
@@ -460,30 +585,48 @@ impl<'p> Solver<'p> {
             return;
         }
         let src = self.old[f as usize].take();
-        self.flow_from(&src, t);
+        self.flow_from(f, &src, t);
         self.old[f as usize] = src;
         if self.exhausted {
             return;
         }
         let src = self.delta[f as usize].take();
-        self.flow_from(&src, t);
+        self.flow_from(f, &src, t);
         self.delta[f as usize] = src;
     }
 
-    /// Budget-exact bulk union of `src` into node `t`'s delta. Exhaustion
-    /// triggers only when the budget is hit *and* a further new element
-    /// exists, matching the reference solver's check-before-insert.
-    fn flow_from(&mut self, src: &Pts, t: u32) {
+    /// Budget-exact bulk union of `src` (node `f`'s set, moved out by the
+    /// caller) into node `t`'s delta. Exhaustion triggers only when the
+    /// budget is hit *and* a further new element exists, matching the
+    /// reference solver's check-before-insert. Under provenance, each
+    /// inserted tuple inherits `f`'s blame (or `f`'s havoc stamp).
+    fn flow_from(&mut self, f: u32, src: &Pts, t: u32) {
         if src.is_empty() || self.exhausted {
             return;
         }
         let remaining = self.cfg.budget - self.stats.propagations;
-        let (added, truncated) = pts::flow_into(
-            src,
-            &self.old[t as usize],
-            &mut self.delta[t as usize],
-            remaining,
-        );
+        let (added, truncated) = if self.prov.is_some() {
+            let mut log = std::mem::take(&mut self.scratch_log);
+            log.clear();
+            let r = pts::flow_into_limited_logged(
+                src,
+                &self.old[t as usize],
+                &mut self.delta[t as usize],
+                remaining,
+                t,
+                &mut log,
+            );
+            self.assign_blame(f, &log);
+            self.scratch_log = log;
+            r
+        } else {
+            pts::flow_into(
+                src,
+                &self.old[t as usize],
+                &mut self.delta[t as usize],
+                remaining,
+            )
+        };
         self.stats.propagations += added;
         if added > 0 {
             self.mark_dirty(t);
@@ -493,7 +636,28 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn insert(&mut self, node: u32, obj: u32) {
+    /// Assigns blame for the tuples `log` records as newly inserted by a
+    /// flow out of node `f`: havoc stamps override, ordinary nodes pass
+    /// their tuples' blame through. Log targets are never `f` itself
+    /// (self-edges don't flow), so the row reads and writes are disjoint.
+    fn assign_blame(&mut self, f: u32, log: &[pts::FlowLogEntry]) {
+        let Some(p) = self.prov.as_mut() else {
+            return;
+        };
+        let stamp = p.stamp[f as usize];
+        for e in log {
+            let mut bits = e.bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                let v = e.word * 64 + b;
+                let tag = crate::blame::outflow(&p.blame[f as usize], stamp, v);
+                p.record(e.node, v, tag);
+            }
+        }
+    }
+
+    fn insert(&mut self, node: u32, obj: u32, cause: BlameCause) {
         if self.exhausted {
             return;
         }
@@ -510,12 +674,16 @@ impl<'p> Solver<'p> {
         }
         self.delta[n as usize].insert(obj);
         self.stats.propagations += 1;
+        if let Some(p) = self.prov.as_mut() {
+            let tag = p.intern(cause);
+            p.record(n, obj, tag);
+        }
         self.mark_dirty(n);
     }
 
-    fn seed(&mut self, node: u32, o: AbsObj) {
+    fn seed(&mut self, node: u32, o: AbsObj, cause: BlameCause) {
         let oid = self.obj(o);
-        self.insert(node, oid);
+        self.insert(node, oid, cause);
     }
 
     // ------------------------------------------------------------ naming
@@ -567,7 +735,7 @@ impl<'p> Solver<'p> {
         if let Some(entry) = self.prog.entry() {
             self.enqueue_func(entry);
             let this_entry = self.node(Node::This(entry));
-            self.seed(this_entry, AbsObj::Global);
+            self.seed(this_entry, AbsObj::Global, BlameCause::Base);
         }
     }
 
@@ -620,7 +788,7 @@ impl<'p> Solver<'p> {
             let t0 = self.edges[n as usize][i];
             let t = self.find(t0);
             if t != n {
-                self.flow_from(&d, t);
+                self.flow_from(n, &d, t);
             }
         }
         let n_pending = self.pending[n as usize].len();
@@ -714,6 +882,33 @@ impl<'p> Solver<'p> {
             }
             self.stats.nodes_merged += 1;
         }
+        // Merged members share one canonical blame set: member rows drain
+        // into the representative, conflicts keep the Ord-least cause, and
+        // havoc stamps merge the same way — all order-independent, so the
+        // merged blame doesn't depend on which member a tuple arrived at.
+        if let Some(p) = self.prov.as_mut() {
+            use std::collections::hash_map::Entry;
+            for &m in &comp[1..] {
+                let row = std::mem::take(&mut p.blame[m as usize]);
+                for (v, t) in row {
+                    match p.blame[rep as usize].entry(v) {
+                        Entry::Occupied(mut e) => {
+                            if p.tags[t as usize] < p.tags[*e.get() as usize] {
+                                e.insert(t);
+                            }
+                        }
+                        Entry::Vacant(e) => {
+                            e.insert(t);
+                        }
+                    }
+                }
+                let ms = p.stamp[m as usize];
+                let rs = p.stamp[rep as usize];
+                if ms != INHERIT && (rs == INHERIT || p.tags[ms as usize] < p.tags[rs as usize]) {
+                    p.stamp[rep as usize] = ms;
+                }
+            }
+        }
         self.old[rep as usize] = merged_old;
         self.delta[rep as usize] = merged_delta;
         if !self.delta[rep as usize].is_empty() {
@@ -734,6 +929,10 @@ impl<'p> Solver<'p> {
             let r = self.find(i);
             self.parent[i as usize] = r;
         }
+        let blame = self.prov.take().map(|p| BlameData {
+            tags: p.tags,
+            map: p.blame,
+        });
         PtaResult {
             status: if self.exhausted {
                 PtaStatus::BudgetExceeded
@@ -746,6 +945,7 @@ impl<'p> Solver<'p> {
             node_ids: self.node_ids.into_iter().collect(),
             objs: self.objs,
             call_graph: self.call_graph,
+            blame,
         }
     }
 
@@ -780,7 +980,7 @@ impl<'p> Solver<'p> {
                 args,
                 dst,
                 is_new,
-            } => self.apply_call(o, *site, *this, args, *dst, *is_new),
+            } => self.apply_call(o, *site, *this, args, *dst, *is_new, false),
         }
     }
 
@@ -821,6 +1021,11 @@ impl<'p> Solver<'p> {
         self.node(Node::ProtoVar(o.clone()))
     }
 
+    /// `injected` marks a call wired directly by an injected determinate-
+    /// callee fact (rather than by closures flowing in): the tuples it
+    /// introduces carry [`BlameCause::Injected`] so provenance reports
+    /// can separate fact-driven facts from baseline ones.
+    #[allow(clippy::too_many_arguments)]
     fn apply_call(
         &mut self,
         o: &AbsObj,
@@ -829,6 +1034,7 @@ impl<'p> Solver<'p> {
         args: &[u32],
         dst: u32,
         is_new: bool,
+        injected: bool,
     ) {
         match o {
             AbsObj::Closure(f) => {
@@ -850,11 +1056,16 @@ impl<'p> Solver<'p> {
                 self.add_edge(ret, dst);
                 if is_new {
                     // The freshly constructed object.
+                    let cause = if injected {
+                        BlameCause::Injected(site)
+                    } else {
+                        BlameCause::Base
+                    };
                     let alloc = AbsObj::Alloc(site);
-                    self.seed(dst, alloc.clone());
+                    self.seed(dst, alloc.clone(), cause.clone());
                     let this_n = self.node(Node::This(f));
                     let alloc_id = self.obj(alloc.clone());
-                    self.insert(this_n, alloc_id);
+                    self.insert(this_n, alloc_id, cause);
                     // Its prototype chain parent is F.prototype's value.
                     let fproto = self.node(Node::Prop(AbsObj::Closure(f), Sym::PROTOTYPE));
                     let pv = self.node(Node::ProtoVar(alloc));
@@ -871,7 +1082,7 @@ impl<'p> Solver<'p> {
                 for &a in args {
                     self.add_edge(a, sink);
                 }
-                self.seed(dst, AbsObj::Opaque);
+                self.seed(dst, AbsObj::Opaque, BlameCause::Native(site));
             }
             _ => {
                 // Calling a non-function abstract object: no effect (the
@@ -924,23 +1135,23 @@ impl<'p> Solver<'p> {
         // Hoisted function declarations.
         for &(name, nested) in &f.decls.funcs {
             let n = self.named_node(fid, name);
-            self.seed(n, AbsObj::Closure(nested));
+            self.seed(n, AbsObj::Closure(nested), BlameCause::Base);
             self.init_closure(nested);
         }
         // `arguments`: coarse—an opaque array.
         if f.kind == FuncKind::Function {
             let cf = self.canon(fid);
             let n = self.node(Node::Local(cf, Sym::ARGUMENTS));
-            self.seed(n, AbsObj::Opaque);
+            self.seed(n, AbsObj::Opaque, BlameCause::Arguments(cf));
         }
         self.gen_block(fid, &f.body);
     }
 
     fn init_closure(&mut self, f: FuncId) {
         let protos = self.node(Node::Prop(AbsObj::Closure(f), Sym::PROTOTYPE));
-        self.seed(protos, AbsObj::ProtoOf(f));
+        self.seed(protos, AbsObj::ProtoOf(f), BlameCause::Base);
         let ctor = self.node(Node::Prop(AbsObj::ProtoOf(f), Sym::CONSTRUCTOR));
-        self.seed(ctor, AbsObj::Closure(f));
+        self.seed(ctor, AbsObj::Closure(f), BlameCause::Base);
     }
 
     fn gen_block(&mut self, fid: FuncId, block: &[Stmt]) {
@@ -960,14 +1171,14 @@ impl<'p> Solver<'p> {
                 }
                 StmtKind::Closure { dst, func } => {
                     let d = self.place_node(wf, dst);
-                    self.seed(d, AbsObj::Closure(*func));
+                    self.seed(d, AbsObj::Closure(*func), BlameCause::Base);
                     self.init_closure(*func);
                     // On-the-fly call graph: the body is analyzed only
                     // once a call edge reaches the closure.
                 }
                 StmtKind::NewObject { dst, .. } => {
                     let d = self.place_node(wf, dst);
-                    self.seed(d, AbsObj::Alloc(s.id));
+                    self.seed(d, AbsObj::Alloc(s.id), BlameCause::Base);
                 }
                 StmtKind::GetProp { dst, obj, key } => {
                     let d = self.place_node(wf, dst);
@@ -997,7 +1208,7 @@ impl<'p> Solver<'p> {
                         // instead of waiting for closures to flow in.
                         self.stats.injected_calls += 1;
                         self.init_closure(target);
-                        self.apply_call(&AbsObj::Closure(target), s.id, t, &a, d, false);
+                        self.apply_call(&AbsObj::Closure(target), s.id, t, &a, d, false, true);
                     } else {
                         let c = self.place_node(wf, callee);
                         self.attach(
@@ -1018,7 +1229,7 @@ impl<'p> Solver<'p> {
                     if let Some(target) = self.site_callee(s.id) {
                         self.stats.injected_calls += 1;
                         self.init_closure(target);
-                        self.apply_call(&AbsObj::Closure(target), s.id, None, &a, d, true);
+                        self.apply_call(&AbsObj::Closure(target), s.id, None, &a, d, true, true);
                     } else {
                         let c = self.place_node(wf, callee);
                         self.attach(
@@ -1088,13 +1299,13 @@ impl<'p> Solver<'p> {
                 StmtKind::HasProp { .. } | StmtKind::InstanceOf { .. } => {}
                 StmtKind::EnumProps { dst, .. } => {
                     let d = self.place_node(wf, dst);
-                    self.seed(d, AbsObj::Alloc(s.id));
+                    self.seed(d, AbsObj::Alloc(s.id), BlameCause::Base);
                 }
                 StmtKind::Eval { dst, .. } => {
                     // Statically unanalyzable; the specializer's job is to
                     // remove these (§2.3).
                     let d = self.place_node(wf, dst);
-                    self.seed(d, AbsObj::Opaque);
+                    self.seed(d, AbsObj::Opaque, BlameCause::Eval(s.id));
                 }
             }
         }

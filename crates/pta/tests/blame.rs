@@ -1,0 +1,339 @@
+//! Determinism and semantics tests for the imprecision-provenance layer
+//! (`PtaConfig::provenance`).
+//!
+//! The provenance contract: (1) blame is invisible unless asked for —
+//! with provenance off nothing about a solve changes, and with it on the
+//! *sets* still match the provenance-free solve; (2) blame exports are
+//! byte-identical for every thread count, at fixpoint and at every
+//! budget-truncation point (blame rides the epoch schedule, which is
+//! thread-count-invariant at a fixed shard count); (3) every surviving
+//! points-to tuple carries a cause, and the causes name the right
+//! imprecision sources (⋆ smears, eval chunks, opaque natives, havoc).
+//!
+//! Like `tests/pta_equivalence.rs`, thread matrices honor
+//! `PTA_EQ_THREADS` (comma-separated; default `{1, 2, 8}`) so CI can pin
+//! the suite per thread count.
+
+use mujs_pta::{solve, PtaConfig, PtaResult, PtaStatus};
+
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("PTA_EQ_THREADS") {
+        Ok(s) => {
+            let m: Vec<usize> = s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            assert!(!m.is_empty(), "PTA_EQ_THREADS set but empty: {s:?}");
+            m
+        }
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Wide + deep program (cross-shard traffic over many epochs) with a
+/// ⋆-smearing dynamic access; same shape as the parallel solver tests.
+fn big_src() -> String {
+    let mut s = String::new();
+    s.push_str("function id(x) { return x; }\n");
+    for i in 0..60 {
+        s.push_str(&format!(
+            "function mk{i}() {{ return {{ tag: mk{i}, lift: id }}; }}\n"
+        ));
+        s.push_str(&format!("var v{i} = mk{i}();\n"));
+    }
+    for i in 0..60 {
+        let j = (i + 23) % 60;
+        s.push_str(&format!("v{i} = id(v{j});\n"));
+        s.push_str(&format!("var f{i} = v{i}.tag;\n"));
+        s.push_str(&format!("var w{i} = f{i}();\n"));
+    }
+    s.push_str("var key = somethingUnknown;\n");
+    s.push_str("var smeared = v0[key];\n");
+    s
+}
+
+fn lower(src: &str) -> mujs_ir::Program {
+    let ast = mujs_syntax::parse(src).expect("source parses");
+    mujs_ir::lower_program(&ast)
+}
+
+fn prov(cfg: PtaConfig) -> PtaConfig {
+    PtaConfig {
+        provenance: true,
+        ..cfg
+    }
+}
+
+fn unlimited() -> PtaConfig {
+    PtaConfig {
+        budget: u64::MAX,
+        ..Default::default()
+    }
+}
+
+/// Every tuple of every node's (canonical) points-to set must carry a
+/// blame cause — provenance never loses a tuple.
+fn assert_blame_covers_sets(r: &PtaResult, ctx: &str) {
+    for (node, objs) in r.all_points_to() {
+        let blamed: Vec<mujs_pta::AbsObj> = r.blame_of(&node).into_iter().map(|(o, _)| o).collect();
+        assert_eq!(
+            blamed, objs,
+            "{ctx}: node {node:?} has tuples without blame (or vice versa)"
+        );
+    }
+}
+
+/// Provenance is a pure side channel: with it on, status, exports, and
+/// call graph are identical to the provenance-free solve for every
+/// thread count; with it off, no blame surface exists.
+#[test]
+fn provenance_does_not_change_results() {
+    let prog = lower(&big_src());
+    let plain = solve(&prog, &unlimited());
+    assert_eq!(plain.status, PtaStatus::Completed);
+    assert!(!plain.has_blame());
+    assert!(plain.export_blame_json().is_none());
+    assert!(plain.blame_histogram().is_empty());
+    for threads in thread_matrix() {
+        let r = solve(
+            &prog,
+            &prov(PtaConfig {
+                threads,
+                ..unlimited()
+            }),
+        );
+        assert_eq!(r.status, PtaStatus::Completed, "threads={threads}");
+        assert!(r.has_blame());
+        assert_eq!(
+            r.export_json(),
+            plain.export_json(),
+            "threads={threads}: provenance changed the points-to sets"
+        );
+    }
+}
+
+/// Blame exports are byte-identical for every thread count, under the
+/// default, aggressive-collapse, and collapse-free configs — including
+/// thread counts above the shard count.
+#[test]
+fn blame_exports_identical_for_every_thread_count() {
+    let prog = lower(&big_src());
+    let configs = [
+        ("default", unlimited()),
+        (
+            "scc=1",
+            PtaConfig {
+                budget: u64::MAX,
+                scc_interval: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "collapse-free",
+            PtaConfig {
+                budget: u64::MAX,
+                scc_interval: u64::MAX,
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut threads = thread_matrix();
+    threads.extend([3, 32]);
+    for (cname, cfg) in configs {
+        let mut want: Option<String> = None;
+        for &t in &threads {
+            let r = solve(
+                &prog,
+                &prov(PtaConfig {
+                    threads: t,
+                    ..cfg.clone()
+                }),
+            );
+            assert_eq!(r.status, PtaStatus::Completed, "{cname} threads={t}");
+            assert_blame_covers_sets(&r, &format!("{cname} threads={t}"));
+            let got = r.export_blame_json().expect("provenance was on");
+            match &want {
+                None => {
+                    assert!(
+                        got.contains("star-smear"),
+                        "{cname}: the dynamic access never surfaced a ⋆ smear"
+                    );
+                    want = Some(got);
+                }
+                Some(w) => assert_eq!(
+                    &got, w,
+                    "{cname} threads={t}: blame export depends on the thread count"
+                ),
+            }
+        }
+    }
+}
+
+/// Budget-truncated provenance runs stay budget-exact and agree on both
+/// the kept facts *and* their blame for every thread count — the
+/// rollback drops blame entries exactly where it drops tuples.
+#[test]
+fn truncated_blame_is_budget_exact_and_deterministic() {
+    let prog = lower(&big_src());
+    let collapse_free = PtaConfig {
+        budget: u64::MAX,
+        scc_interval: u64::MAX,
+        ..Default::default()
+    };
+    let full = solve(&prog, &prov(collapse_free.clone()));
+    assert_eq!(full.status, PtaStatus::Completed);
+    let needed = full.stats.propagations;
+    assert!(needed > 1_000, "program too small: {needed}");
+    for budget in [needed / 7, needed / 3, needed / 2 + 1, needed - 1] {
+        let mut want: Option<(String, String)> = None;
+        for threads in thread_matrix() {
+            let r = solve(
+                &prog,
+                &prov(PtaConfig {
+                    budget,
+                    threads,
+                    ..collapse_free.clone()
+                }),
+            );
+            assert_eq!(
+                r.status,
+                PtaStatus::BudgetExceeded,
+                "threads={threads} budget={budget}"
+            );
+            assert_eq!(
+                r.stats.propagations, budget,
+                "threads={threads} budget={budget}: truncation must be budget-exact"
+            );
+            assert_blame_covers_sets(&r, &format!("threads={threads} budget={budget}"));
+            let got = (
+                r.export_json(),
+                r.export_blame_json().expect("provenance was on"),
+            );
+            match &want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(
+                    &got, w,
+                    "threads={threads} budget={budget}: truncated blame diverged"
+                ),
+            }
+        }
+    }
+}
+
+/// The shard count changes the partitioning, not the fixpoint: exports
+/// (sets and call graph) are identical across shard counts, and blame
+/// stays complete and deterministic per shard count.
+#[test]
+fn fixpoint_sets_invariant_across_shard_counts() {
+    let prog = lower(&big_src());
+    let want = solve(&prog, &unlimited()).export_json();
+    for shards in [1, 4, 16, 64] {
+        for &threads in &[2, 8] {
+            let r = solve(
+                &prog,
+                &prov(PtaConfig {
+                    threads,
+                    shards,
+                    ..unlimited()
+                }),
+            );
+            assert_eq!(r.status, PtaStatus::Completed, "shards={shards}");
+            assert_eq!(
+                r.export_json(),
+                want,
+                "shards={shards} threads={threads}: fixpoint depends on shard count"
+            );
+            assert_blame_covers_sets(&r, &format!("shards={shards} threads={threads}"));
+        }
+        // Blame itself is pinned per shard count across thread counts.
+        let a = solve(
+            &prog,
+            &prov(PtaConfig {
+                threads: 2,
+                shards,
+                ..unlimited()
+            }),
+        )
+        .export_blame_json();
+        let b = solve(
+            &prog,
+            &prov(PtaConfig {
+                threads: 8,
+                shards,
+                ..unlimited()
+            }),
+        )
+        .export_blame_json();
+        assert_eq!(a, b, "shards={shards}: blame depends on thread count");
+    }
+}
+
+/// The cause taxonomy surfaces the right kinds on a program exercising
+/// each imprecision source: precise seeds are `base`, the ⋆ join smears
+/// a dynamic read, eval results blame the eval site, calling an opaque
+/// value blames the native call site, and thrown values flowing into a
+/// catch variable blame exception havoc.
+#[test]
+fn cause_kinds_name_the_imprecision_sources() {
+    let src = r#"
+        function f() { return 1; }
+        var o = {};
+        o.p = f;
+        var key = somethingUnknown;
+        var got = o[key];
+        var e = eval("f");
+        var r = e();
+        try { throw f; } catch (caught) { var c = caught; }
+    "#;
+    let prog = lower(src);
+    let r = solve(&prog, &prov(unlimited()));
+    assert_eq!(r.status, PtaStatus::Completed);
+    assert_blame_covers_sets(&r, "cause-kinds");
+    let kinds: std::collections::BTreeSet<&'static str> =
+        r.blame_histogram().iter().map(|(c, _)| c.kind()).collect();
+    for want in ["base", "star-smear", "eval", "native", "exc-flow"] {
+        assert!(kinds.contains(want), "missing cause kind {want}: {kinds:?}");
+    }
+    // The histogram counts the canonical relation and is deterministic.
+    let again = solve(&prog, &prov(unlimited()));
+    assert_eq!(r.blame_histogram(), again.blame_histogram());
+    assert_eq!(r.export_blame_json(), again.export_blame_json());
+}
+
+/// SCC collapse preserves provenance: aggressive merging still yields a
+/// complete, thread-count-invariant blame relation, and merged members
+/// report one shared (canonical) blame set.
+#[test]
+fn collapsed_cycles_share_canonical_blame() {
+    let src = r#"
+        function mk() { return { tag: mk }; }
+        var a = mk(); var b = mk(); var c = mk();
+        for (var i = 0; i < 3; i = i + 1) { b = a; c = b; a = c; }
+        var key = somethingUnknown;
+        var sink = a[key];
+    "#;
+    let prog = lower(src);
+    let cfg = PtaConfig {
+        budget: u64::MAX,
+        scc_interval: 1,
+        ..Default::default()
+    };
+    let mut want: Option<String> = None;
+    for threads in thread_matrix() {
+        let r = solve(
+            &prog,
+            &prov(PtaConfig {
+                threads,
+                ..cfg.clone()
+            }),
+        );
+        assert_eq!(r.status, PtaStatus::Completed, "threads={threads}");
+        assert!(
+            r.stats.nodes_merged > 0,
+            "threads={threads}: the copy cycle never collapsed"
+        );
+        assert_blame_covers_sets(&r, &format!("collapse threads={threads}"));
+        let got = r.export_blame_json().expect("provenance was on");
+        match &want {
+            None => want = Some(got),
+            Some(w) => assert_eq!(&got, w, "threads={threads}: merged blame diverged"),
+        }
+    }
+}

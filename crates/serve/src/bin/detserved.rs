@@ -3,6 +3,7 @@
 //! ```text
 //! detserved --listen 127.0.0.1:0 [--cache-capacity N] [--cache-dir DIR]
 //!           [--mem-budget CELLS] [--watchdog-grace MS] [--pta-threads N]
+//!           [--spec-depth N]
 //! detserved --stdin [same options]
 //! ```
 //!
@@ -40,6 +41,13 @@ fn usage() -> ExitCode {
          \x20                      --mem-budget; 1 = sequential). Results and\n\
          \x20                      cache keys are identical for every N — the\n\
          \x20                      knob only changes wall time\n\
+         \x20 --spec-depth N       default specializer context-depth bound for\n\
+         \x20                      PTA stages: solves run over the program\n\
+         \x20                      specialized against the determinacy facts.\n\
+         \x20                      Unlike --pta-threads this changes results and\n\
+         \x20                      is part of the stage keys; a request's own\n\
+         \x20                      spec_depth overrides it, and inject requests\n\
+         \x20                      ignore it\n\
          \n\
          exit codes: 0 clean shutdown or EOF; 1 fatal I/O error; 2 usage error"
     );
@@ -58,6 +66,7 @@ fn main() -> ExitCode {
     let mut mem_budget = None;
     let mut watchdog_grace = None;
     let mut pta_threads = None;
+    let mut spec_depth = None;
 
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -92,6 +101,13 @@ fn main() -> ExitCode {
                             .map_err(|e| format!("--pta-threads: {e}"))?,
                     );
                 }
+                "--spec-depth" => {
+                    spec_depth = Some(
+                        value("--spec-depth")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--spec-depth: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
             Ok(())
@@ -116,6 +132,7 @@ fn main() -> ExitCode {
         mem_budget_cells: mem_budget,
         watchdog_grace_ms: watchdog_grace,
         pta_threads,
+        spec_depth,
     });
 
     let outcome = match transport {

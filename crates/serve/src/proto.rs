@@ -59,6 +59,11 @@ pub struct AnalyzeRequest {
     pub pta_budget: Option<u64>,
     /// Whether PTA consumes the determinacy facts.
     pub inject: bool,
+    /// When present, the PTA stage solves the program specialized
+    /// against the determinacy facts with this context-depth bound.
+    /// Mutually exclusive with `inject` (a solve consumes the facts one
+    /// way or the other, not both); rejected at parse time.
+    pub spec_depth: Option<usize>,
     /// Whether the report row embeds the full fact export.
     pub include_facts: bool,
 }
@@ -145,6 +150,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 _ => None,
             };
             let as_u64 = |field: &str| v.get(field).and_then(Value::as_f64).map(|f| f as u64);
+            let inject = v.get("inject").and_then(Value::as_bool).unwrap_or(false);
+            let spec_depth = as_u64("spec_depth").map(|d| d as usize);
+            if inject && spec_depth.is_some() {
+                return Err(
+                    "analyze request sets both `inject` and `spec_depth`: a solve consumes \
+                     the determinacy facts either by injection or by specialization, not both"
+                        .to_owned(),
+                );
+            }
             Ok(Request::Analyze(Box::new(AnalyzeRequest {
                 id,
                 name,
@@ -154,7 +168,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 deadline_ms: as_u64("deadline_ms"),
                 mem_cells: as_u64("mem_cells"),
                 pta_budget: as_u64("pta_budget"),
-                inject: v.get("inject").and_then(Value::as_bool).unwrap_or(false),
+                inject,
+                spec_depth,
                 include_facts: v
                     .get("include_facts")
                     .and_then(Value::as_bool)
@@ -283,6 +298,22 @@ mod tests {
         assert_eq!(cfg.mem_cell_budget, Some(1000));
         assert_eq!(a.pta_budget, Some(99));
         assert!(a.inject && a.include_facts);
+    }
+
+    #[test]
+    fn spec_depth_parses_and_excludes_inject() {
+        let r = parse_request(r#"{"op":"analyze","src":"f();","pta_budget":99,"spec_depth":3}"#)
+            .unwrap();
+        let Request::Analyze(a) = r else {
+            panic!("expected analyze")
+        };
+        assert_eq!(a.spec_depth, Some(3));
+        assert!(!a.inject);
+        let err = parse_request(
+            r#"{"op":"analyze","src":"f();","pta_budget":99,"inject":true,"spec_depth":3}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("spec_depth"), "got {err}");
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct ServeOptions {
     /// cached artifacts — are identical for every value, so operators
     /// can retune it across restarts without cold-starting the cache.
     pub pta_threads: usize,
+    /// Server-wide default specializer context-depth bound for PTA
+    /// stages. Unlike `pta_threads` this changes results, so it is part
+    /// of the stage keys. A request's own `spec_depth` overrides it; an
+    /// `inject` request ignores it (injection and specialization are
+    /// mutually exclusive ways to consume the facts).
+    pub spec_depth: Option<usize>,
 }
 
 struct Inner {
@@ -54,6 +60,7 @@ struct Inner {
     admission: Option<AdmissionController>,
     watchdog_grace_ms: Option<u64>,
     pta_threads: usize,
+    spec_depth: Option<usize>,
     requests: AtomicU64,
     responses: AtomicU64,
     errors: AtomicU64,
@@ -77,6 +84,7 @@ impl Server {
                 admission: opts.mem_budget_cells.map(AdmissionController::new),
                 watchdog_grace_ms: opts.watchdog_grace_ms,
                 pta_threads: opts.pta_threads,
+                spec_depth: opts.spec_depth,
                 requests: AtomicU64::new(0),
                 responses: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
@@ -186,12 +194,21 @@ impl Server {
         } else {
             "completed"
         };
+        // The request's own depth wins; the server-wide default applies
+        // only to requests that don't inject (the protocol layer already
+        // rejects a request asking for both).
+        let spec_depth = req.spec_depth.or(if req.inject {
+            None
+        } else {
+            self.inner.spec_depth
+        });
         let stage_req = StageRequest {
             src: req.src.clone(),
             cfg,
             seeds: req.effective_seeds(),
             pta_budget: req.pta_budget,
             inject: req.inject,
+            spec_depth,
             pta_threads: self.inner.pta_threads,
         };
 

@@ -17,11 +17,15 @@
 //!   export plus the portable [`InjectablePairs`]. Runs whose outcome
 //!   depended on wall-clock (deadline stops) or external cancellation
 //!   are **never cached** — their bytes are not a function of the key.
-//! * **pta** — `H("pta" ∥ upstream-key ∥ budget ∥ inject)`, where the
-//!   upstream key is the facts key when injecting determinacy facts and
+//! * **pta** — `H("pta" ∥ upstream-key ∥ budget ∥ inject [∥ "spec" ∥
+//!   depth])`, where the upstream key is the facts key when the solve
+//!   consumes the determinacy facts (injection or specialization) and
 //!   the parse key otherwise (a baseline solve does not depend on the
 //!   analysis config, and keying it by the parse stage lets a config
-//!   change keep the baseline artifact warm).
+//!   change keep the baseline artifact warm). The spec-depth fold is
+//!   appended only when a `--spec-depth` request asks for a specialized
+//!   solve, so baseline and injecting keys are unchanged from earlier
+//!   service versions.
 //!
 //! Artifacts are plain JSON values: the in-memory `Program`/`FactDb`
 //! graphs are `Rc`-threaded and thread-bound, so nothing of them crosses
@@ -74,6 +78,12 @@ pub struct StageRequest {
     pub pta_budget: Option<u64>,
     /// Whether the PTA stage consumes the determinacy facts.
     pub inject: bool,
+    /// When set, the PTA stage solves the program *specialized* against
+    /// the determinacy facts with this context-depth bound, instead of
+    /// the lowered baseline. Changes results, so (unlike `pta_threads`)
+    /// it is part of the PTA stage key; mutually exclusive with `inject`
+    /// (enforced at the protocol layer).
+    pub spec_depth: Option<usize>,
     /// Solver threads for the PTA stage (0/1 sequential, >= 2 the
     /// epoch-sharded parallel solver). An execution knob, not an input:
     /// results are identical for every thread count, so it is
@@ -111,13 +121,24 @@ impl StageKeys {
         // is deterministic across thread counts, so hashing it would
         // only split identical artifacts across distinct keys.
         let pta = req.pta_budget.map(|budget| {
-            let upstream = if req.inject { &facts } else { &parse };
-            KeyHasher::new()
+            // Specialization consumes the determinacy facts (like
+            // injection does), so a spec solve chains the facts key; the
+            // depth fold is appended only when set, keeping depth-less
+            // keys byte-identical to earlier service versions.
+            let upstream = if req.inject || req.spec_depth.is_some() {
+                &facts
+            } else {
+                &parse
+            };
+            let mut h = KeyHasher::new()
                 .str("pta")
                 .str(upstream)
                 .u64(budget)
-                .u64(u64::from(req.inject))
-                .finish()
+                .u64(u64::from(req.inject));
+            if let Some(depth) = req.spec_depth {
+                h = h.str("spec").u64(depth as u64);
+            }
+            h.finish()
         });
         StageKeys { parse, facts, pta }
     }
@@ -231,6 +252,11 @@ pub fn execute(
     // The live program, when this request happened to build one. Lazy:
     // a fully warm request never parses.
     let mut harness: Option<DetHarness> = None;
+    // The live seed fan-out outcome, when the facts stage ran cold in
+    // this request. A spec-PTA stage specializes against it; the facts
+    // *artifact* cannot carry it (the FactDb/ContextTable graphs are
+    // Rc-threaded and never cross the cache boundary).
+    let mut live_multi: Option<MultiRunOutcome> = None;
 
     // --- parse ---
     let parse_art = match cache.get(Stage::Parse, &keys.parse) {
@@ -299,7 +325,8 @@ pub fn execute(
                     };
                 }
             };
-            let art = run_facts_stage(req, h, counters, cancel, notify);
+            let (art, multi) = run_facts_stage(req, h, counters, cancel, notify);
+            live_multi = Some(multi);
             // Only artifacts whose bytes are a pure function of the key are
             // cacheable: a deadline stop or external cancellation reflects
             // wall-clock, not content.
@@ -324,11 +351,32 @@ pub fn execute(
                 cached.pta = Some(false);
                 match ensure_harness(&mut harness, req, counters) {
                     Ok(h) => {
-                        let art = run_pta_stage(req, &facts_art, h, counters);
-                        // An injecting solve inherits the facts artifact's
-                        // purity; a baseline solve is always pure.
-                        let clean =
-                            !req.inject || facts_art.get("clean") == Some(&Value::Bool(true));
+                        let is_clean = |a: &Value| a.get("clean") == Some(&Value::Bool(true));
+                        let (art, clean) = if let Some(depth) = req.spec_depth {
+                            // Specialization needs the live fact graphs.
+                            // If the facts stage was warm they no longer
+                            // exist, so the fan-out reruns here — counted
+                            // cold work, but the artifact stays a pure
+                            // function of its key (the rerun is the same
+                            // deterministic computation the facts key
+                            // already addresses).
+                            let (multi, clean) = match live_multi.take() {
+                                Some(m) => (m, is_clean(&facts_art)),
+                                None => {
+                                    notify("re-running determinacy analysis for specialization");
+                                    let (a, m) = run_facts_stage(req, h, counters, cancel, notify);
+                                    let clean = is_clean(&a);
+                                    (m, clean)
+                                }
+                            };
+                            (run_spec_pta_stage(req, depth, multi, h, counters), clean)
+                        } else {
+                            // An injecting solve inherits the facts
+                            // artifact's purity; a baseline solve is
+                            // always pure.
+                            let clean = !req.inject || is_clean(&facts_art);
+                            (run_pta_stage(req, &facts_art, h, counters), clean)
+                        };
                         if clean {
                             Some(cache.put(Stage::Pta, pkey, art))
                         } else {
@@ -394,15 +442,16 @@ fn parse_artifact_err(e: &mujs_syntax::SyntaxError) -> Value {
 }
 
 /// Runs the seed fan-out and distills the combined outcome into the facts
-/// artifact. Mirrors the `detjobs` batch row fields so clients see one
-/// report dialect across both tools.
+/// artifact, returning the live outcome alongside (a spec-PTA stage in
+/// the same request specializes against it). Mirrors the `detjobs` batch
+/// row fields so clients see one report dialect across both tools.
 fn run_facts_stage(
     req: &StageRequest,
     harness: &mut DetHarness,
     counters: &PipelineCounters,
     cancel: &CancelToken,
     notify: &dyn Fn(&str),
-) -> Value {
+) -> (Value, MultiRunOutcome) {
     let doc = DocumentBuilder::new().title(SERVICE_DOC_TITLE).build();
     let plan = EventPlan::new();
     let hooks = RunHooks::with_cancel(cancel.clone());
@@ -463,7 +512,7 @@ fn run_facts_stage(
     let injected = injectable_facts(&multi.facts, &mut harness.program);
     let pairs = InjectablePairs::from_facts(&injected, &harness.program);
 
-    Value::Object(vec![
+    let art = Value::Object(vec![
         ("clean".to_owned(), Value::Bool(clean)),
         (
             "seeds".to_owned(),
@@ -479,7 +528,8 @@ fn run_facts_stage(
         ("conflicts".to_owned(), num(multi.conflicts)),
         ("fact_rows".to_owned(), fact_rows),
         ("pairs".to_owned(), pairs_to_value(&pairs)),
-    ])
+    ]);
+    (art, multi)
 }
 
 fn pairs_to_value(pairs: &InjectablePairs) -> Value {
@@ -571,9 +621,58 @@ fn run_pta_stage(
     counters
         .pta_propagations
         .fetch_add(result.stats.propagations, Ordering::Relaxed);
-    let p = result.precision(&harness.program);
+    pta_artifact(
+        &result,
+        &harness.program,
+        budget,
+        req.inject,
+        injected_count,
+        None,
+    )
+}
+
+/// Specializes the program against the live fact graphs (context depth
+/// bound `depth`) and solves pointer analysis over the residual program.
+fn run_spec_pta_stage(
+    req: &StageRequest,
+    depth: usize,
+    mut multi: MultiRunOutcome,
+    harness: &mut DetHarness,
+    counters: &PipelineCounters,
+) -> Value {
+    let budget = req.pta_budget.expect("pta stage only runs when requested");
+    let spec_cfg = mujs_specialize::SpecConfig {
+        max_context_depth: depth,
+        ..Default::default()
+    };
+    let s = mujs_specialize::specialize(&harness.program, &multi.facts, &mut multi.ctxs, &spec_cfg);
+    let cfg = PtaConfig {
+        budget,
+        threads: req.pta_threads.max(1),
+        ..PtaConfig::default()
+    };
+    counters.pta_solves.fetch_add(1, Ordering::Relaxed);
+    let result = mujs_pta::solve(&s.program, &cfg);
+    counters
+        .pta_propagations
+        .fetch_add(result.stats.propagations, Ordering::Relaxed);
+    pta_artifact(&result, &s.program, budget, false, 0, Some(depth))
+}
+
+/// Renders the PTA artifact shared by the baseline/injecting and the
+/// specializing stage bodies. The `spec_depth` field appears only when
+/// set, so depth-less artifacts keep their historical bytes.
+fn pta_artifact(
+    result: &mujs_pta::PtaResult,
+    program: &mujs_ir::Program,
+    budget: u64,
+    inject: bool,
+    injected_count: usize,
+    spec_depth: Option<usize>,
+) -> Value {
+    let p = result.precision(program);
     let num = |n: f64| Value::Num(n);
-    Value::Object(vec![
+    let mut fields = vec![
         (
             "status".to_owned(),
             Value::Str(
@@ -585,7 +684,7 @@ fn run_pta_stage(
             ),
         ),
         ("budget".to_owned(), num(budget as f64)),
-        ("inject".to_owned(), Value::Bool(req.inject)),
+        ("inject".to_owned(), Value::Bool(inject)),
         ("injected".to_owned(), num(injected_count as f64)),
         (
             "propagations".to_owned(),
@@ -597,7 +696,11 @@ fn run_pta_stage(
         ("avg_points_to".to_owned(), num(p.avg_points_to)),
         ("max_points_to".to_owned(), num(p.max_points_to as f64)),
         ("reachable_funcs".to_owned(), num(p.reachable_funcs as f64)),
-    ])
+    ];
+    if let Some(depth) = spec_depth {
+        fields.push(("spec_depth".to_owned(), num(depth as f64)));
+    }
+    Value::Object(fields)
 }
 
 /// Renders the client-facing report row from artifacts alone. Cold and
@@ -657,6 +760,7 @@ mod tests {
             seeds: vec![AnalysisConfig::default().seed],
             pta_budget: None,
             inject: false,
+            spec_depth: None,
             pta_threads: 1,
         }
     }
@@ -700,6 +804,72 @@ mod tests {
         let mut bud = a.clone();
         bud.pta_budget = Some(2000);
         assert_ne!(StageKeys::compute(&bud).pta, ka.pta);
+    }
+
+    #[test]
+    fn spec_depth_chains_the_facts_key_and_moves_the_pta_key() {
+        let mut base = req("f();");
+        base.pta_budget = Some(1000);
+        let kb = StageKeys::compute(&base);
+        let mut spec = base.clone();
+        spec.spec_depth = Some(4);
+        let ks = StageKeys::compute(&spec);
+        // The depth fold moves the PTA key but no upstream key.
+        assert_eq!(kb.parse, ks.parse);
+        assert_eq!(kb.facts, ks.facts);
+        assert_ne!(kb.pta, ks.pta);
+        // Different depths are different artifacts.
+        let mut deeper = spec.clone();
+        deeper.spec_depth = Some(5);
+        assert_ne!(ks.pta, StageKeys::compute(&deeper).pta);
+        // A specialized solve consumes the facts, so (unlike the
+        // baseline) a config change must move its key.
+        let mut cfg_change = spec.clone();
+        cfg_change.cfg.max_facts = 123;
+        assert_ne!(ks.pta, StageKeys::compute(&cfg_change).pta);
+        // And it remains thread-count independent.
+        let mut threaded = spec.clone();
+        threaded.pta_threads = 8;
+        assert_eq!(ks, StageKeys::compute(&threaded));
+    }
+
+    #[test]
+    fn spec_pta_requests_execute_and_cache() {
+        let cache = StageCache::new(crate::cache::CacheConfig::default());
+        let counters = PipelineCounters::default();
+        let cancel = CancelToken::new();
+        let mut r = req("function f(o) { return o.p; } f({ p: 1 });");
+        r.pta_budget = Some(100_000);
+        r.spec_depth = Some(2);
+        let run = |name: &str| {
+            execute(
+                &r,
+                "completed",
+                false,
+                name,
+                &cache,
+                &counters,
+                &cancel,
+                &|_| {},
+            )
+        };
+        let e1 = run("spec-cold");
+        let pta = e1.report.get("pta").expect("pta row");
+        assert_eq!(pta.get("spec_depth"), Some(&Value::Num(2.0)));
+        assert_eq!(pta.get("inject"), Some(&Value::Bool(false)));
+        assert_eq!(e1.cached.pta, Some(false));
+        // Warm rerun: byte-identical row, no new solves or analyses.
+        let solves = counters.pta_solves.load(Ordering::Relaxed);
+        let analyses = counters.analyses.load(Ordering::Relaxed);
+        let e2 = run("spec-cold");
+        assert_eq!(e2.cached.pta, Some(true));
+        assert!(e2.cached.facts);
+        assert_eq!(
+            serde_json::to_string(&e1.report).unwrap(),
+            serde_json::to_string(&e2.report).unwrap()
+        );
+        assert_eq!(counters.pta_solves.load(Ordering::Relaxed), solves);
+        assert_eq!(counters.analyses.load(Ordering::Relaxed), analyses);
     }
 
     #[test]

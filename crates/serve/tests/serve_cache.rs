@@ -22,6 +22,7 @@ fn req(src: &str) -> StageRequest {
         seeds: vec![AnalysisConfig::default().seed],
         pta_budget: Some(100_000),
         inject: true,
+        spec_depth: None,
         pta_threads: 1,
     }
 }
