@@ -97,6 +97,7 @@ fn main() {
     let mut iters = 3usize;
     let mut pta = false;
     let mut threads: Vec<usize> = vec![1, 2, 8];
+    let mut shards: Vec<usize> = vec![16, 32, 64];
     let mut spec_depth: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
@@ -141,6 +142,19 @@ fn main() {
                     usage("--threads wants at least one thread count");
                 }
             }
+            "--shards" => {
+                shards = need(&mut i)
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage("--shards wants a comma-separated list"))
+                    })
+                    .collect();
+                if shards.is_empty() {
+                    usage("--shards wants at least one shard count");
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -154,6 +168,7 @@ fn main() {
             check_path.as_deref(),
             max_regress,
             &threads,
+            &shards,
             spec_depth,
         );
         return;
@@ -207,7 +222,8 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: detbench [--pta] [--threads N,N,...] [--spec-depth N] [--out FILE]\n\
+        "usage: detbench [--pta] [--threads N,N,...] [--shards N,N,...]\n\
+         \x20               [--spec-depth N] [--out FILE]\n\
          \x20               [--label L] [--iters N] [--check BASELINE.json]\n\
          \x20               [--max-regress F]\n\
          \n\
@@ -231,6 +247,23 @@ struct PtaThreadsSection {
 }
 
 #[derive(Debug, Serialize)]
+struct PtaShardsSection {
+    shards: usize,
+    /// The epoch-sharded driver needs >= 2 threads (or provenance) to
+    /// engage; the sweep pins this so the shard knob is what varies.
+    threads: usize,
+    rows: Vec<mujs_bench::pipeline::PtaScaleRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct ShortcutSection {
+    /// The tight Table 1 budget the comparison runs at — the point of
+    /// shortcuts is completing where injection-only starves.
+    budget: u64,
+    rows: Vec<mujs_bench::pipeline::ShortcutCompareRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct PtaMeasurement {
     label: String,
     mode: &'static str,
@@ -245,6 +278,13 @@ struct PtaMeasurement {
     /// Thread-scaling study: the baseline solve per version at each
     /// requested thread count (epoch-sharded solver for counts >= 2).
     threads: Vec<PtaThreadsSection>,
+    /// Shard-count sweep: the baseline solve of the non-trivial versions
+    /// at each requested shard count (2 threads), identity-checked
+    /// against the first shard count.
+    shards: Vec<PtaShardsSection>,
+    /// Shortcut comparison: injection-only vs injection+summaries at the
+    /// Table 1 budget.
+    shortcuts: ShortcutSection,
 }
 
 /// The `--pta` workload: three-way solver comparison over the Table 1
@@ -257,6 +297,7 @@ fn run_pta(
     check_path: Option<&str>,
     max_regress: f64,
     thread_counts: &[usize],
+    shard_counts: &[usize],
     spec_depth: Option<usize>,
 ) {
     let budget = mujs_bench::pipeline::PTA_COMPARE_BUDGET;
@@ -293,6 +334,52 @@ fn run_pta(
         })
         .collect();
 
+    // Shard-count sweep: the non-trivial versions re-solved at each
+    // requested shard count under the epoch-sharded driver (2 threads —
+    // the smallest count that engages it). Shards are the unit of
+    // determinism, so every count must reproduce the same export.
+    let sweep_cases: Vec<&mujs_bench::pipeline::PtaScaleCase> = cases
+        .iter()
+        .enumerate()
+        .filter(|(ci, _)| threads.first().is_some_and(|s| s.rows[*ci].work >= 100_000))
+        .map(|(_, c)| c)
+        .collect();
+    let mut shard_digests: Vec<Vec<u64>> = Vec::new();
+    let shards: Vec<PtaShardsSection> = shard_counts
+        .iter()
+        .map(|&s| {
+            let mut section_digests = Vec::new();
+            let rows = sweep_cases
+                .iter()
+                .map(|c| {
+                    let (row, digest) =
+                        mujs_bench::pipeline::pta_scale_solve_sharded(c, budget, 2, s);
+                    section_digests.push(digest);
+                    row
+                })
+                .collect();
+            shard_digests.push(section_digests);
+            PtaShardsSection {
+                shards: s,
+                threads: 2,
+                rows,
+            }
+        })
+        .collect();
+
+    // Shortcut comparison at the tight Table 1 budget.
+    let shortcut_budget = mujs_bench::pipeline::TABLE1_PTA_BUDGET;
+    let shortcuts = ShortcutSection {
+        budget: shortcut_budget,
+        rows: mujs_corpus::jquery_like::all_versions()
+            .iter()
+            .map(|v| {
+                mujs_bench::pipeline::run_shortcut_compare(v, shortcut_budget)
+                    .expect("shortcut compare runs")
+            })
+            .collect(),
+    };
+
     let m = PtaMeasurement {
         label: label.to_owned(),
         mode: MODE,
@@ -307,6 +394,8 @@ fn run_pta(
             rows: solve_all(mujs_bench::pipeline::PtaSolverKind::Delta),
         },
         threads,
+        shards,
+        shortcuts,
     };
     let json = serde_json::to_string_pretty(&m).expect("pta measurement serializes");
     match out_path {
@@ -387,6 +476,84 @@ fn run_pta(
                 r.wall_ms,
                 r.work_per_sec / 1e6,
             );
+        }
+    }
+    for section in &m.shards {
+        for r in &section.rows {
+            eprintln!(
+                "  pta-shards s={:<3} {:<6} ok={} work={:<8} {:>8.1}ms {:>5.1}M/s",
+                section.shards,
+                r.version,
+                r.ok,
+                r.work,
+                r.wall_ms,
+                r.work_per_sec / 1e6,
+            );
+        }
+    }
+    for r in &m.shortcuts.rows {
+        eprintln!(
+            "  pta-shortcut {:<6} regions={:<3} tuples={:<5} inj: ok={} work={} poly={} avg={:.3}  \
+             sc: ok={} work={} poly={} avg={:.3}",
+            r.version,
+            r.regions,
+            r.tuples,
+            r.injected.ok,
+            r.injected.work,
+            r.injected.poly_sites,
+            r.injected.avg_points_to,
+            r.shortcut.ok,
+            r.shortcut.work,
+            r.shortcut.poly_sites,
+            r.shortcut.avg_points_to,
+        );
+        // The headline claim, gated baseline file or not: shortcut mode
+        // completes every version at the tight budget and dominates the
+        // injection-only rows on both precision axes.
+        if !r.shortcut.ok {
+            eprintln!(
+                "FAIL: {} — shortcut mode does not complete at budget {}",
+                r.version, m.shortcuts.budget
+            );
+            failed = true;
+        }
+        if r.shortcut.poly_sites > r.injected.poly_sites {
+            eprintln!(
+                "FAIL: {} — shortcut poly sites {} worse than injected {}",
+                r.version, r.shortcut.poly_sites, r.injected.poly_sites
+            );
+            failed = true;
+        }
+        if r.shortcut.avg_points_to > r.injected.avg_points_to + f64::EPSILON {
+            eprintln!(
+                "FAIL: {} — shortcut avg points-to {:.3} worse than injected {:.3}",
+                r.version, r.shortcut.avg_points_to, r.injected.avg_points_to
+            );
+            failed = true;
+        }
+    }
+    // Shard-count determinism: every shard count must reproduce the
+    // first shard count's work and export digest per version. Gated
+    // unconditionally — this is what makes `shards` safe to leave out
+    // of cache keys.
+    for (ci, case) in sweep_cases.iter().enumerate() {
+        for (si, section) in m.shards.iter().enumerate() {
+            let r = &section.rows[ci];
+            let r0 = &m.shards[0].rows[ci];
+            if r.work != r0.work || shard_digests[si][ci] != shard_digests[0][ci] {
+                eprintln!(
+                    "FAIL: {} — results diverge between {} and {} shards \
+                     (work {} vs {}, digest {:#x} vs {:#x})",
+                    case.version,
+                    m.shards[0].shards,
+                    section.shards,
+                    r0.work,
+                    r.work,
+                    shard_digests[0][ci],
+                    shard_digests[si][ci],
+                );
+                failed = true;
+            }
         }
     }
     // Determinism contract: every thread count must produce the same

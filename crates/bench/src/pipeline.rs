@@ -433,6 +433,76 @@ pub fn run_pta_compare_with(
     })
 }
 
+/// One row of the shortcut comparison: injection-only vs
+/// injection+shortcuts at the tight Table 1 budget, the evidence that
+/// fast-forwarding determinate regions past constraint generation
+/// completes where flat fact injection starves.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ShortcutCompareRow {
+    /// Corpus version label.
+    pub version: String,
+    /// Determinate regions the extractor selected.
+    pub candidates: usize,
+    /// Regions that survived replay and carry a summary.
+    pub regions: usize,
+    /// Total points-to tuples across all summaries.
+    pub tuples: usize,
+    /// The replay degraded (summaries dropped, ordinary analysis).
+    pub degraded: bool,
+    /// Fact injection only (the PR 4 mode) at the same budget.
+    pub injected: PtaModeRow,
+    /// Fact injection plus region summaries.
+    pub shortcut: PtaModeRow,
+}
+
+/// Runs the shortcut comparison for one corpus version at `pta_budget`
+/// (the Table 1 budget, where injection-only starves on the heavy
+/// versions). Both solves share one dynamic-analysis run and one
+/// injectable-fact set; the shortcut solve additionally carries the
+/// replayed region summaries.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from [`analyze_page`].
+pub fn run_shortcut_compare(
+    v: &JQueryLike,
+    pta_budget: u64,
+) -> Result<ShortcutCompareRow, PipelineError> {
+    let cfg = AnalysisConfig {
+        det_dom: true,
+        ..Default::default()
+    };
+    let (h, analysis) = analyze_page(&v.src, &v.doc, &v.plan, cfg.clone())?;
+    let mut prog = h.program;
+    let facts = determinacy::injectable_facts(&analysis.facts, &mut prog);
+    let sums =
+        determinacy::shortcut_summaries(&v.src, &v.doc, &v.plan, &cfg, &analysis.facts, &mut prog);
+
+    let inj_cfg = PtaConfig {
+        budget: pta_budget,
+        facts: Some(facts.clone()),
+        ..Default::default()
+    };
+    let injected = timed_solve(&prog, &inj_cfg, PtaSolverKind::Delta);
+    let sc_cfg = PtaConfig {
+        budget: pta_budget,
+        facts: Some(facts),
+        shortcuts: Some(std::sync::Arc::new(sums.summaries.clone())),
+        ..Default::default()
+    };
+    let shortcut = timed_solve(&prog, &sc_cfg, PtaSolverKind::Delta);
+
+    Ok(ShortcutCompareRow {
+        version: v.version.to_owned(),
+        candidates: sums.candidates,
+        regions: sums.summaries.len(),
+        tuples: sums.summaries.tuple_count(),
+        degraded: sums.degraded,
+        injected,
+        shortcut,
+    })
+}
+
 /// One row of the `--pta` thread-scaling study: the uninjected baseline
 /// solve of one corpus version at one thread count. Work is
 /// deterministic across thread counts (the epoch-sharded solver's
@@ -492,9 +562,22 @@ pub fn pta_scale_cases() -> Result<Vec<PtaScaleCase>, PipelineError> {
 /// points-to relation), letting the harness assert byte-level result
 /// identity across thread counts without holding every export in memory.
 pub fn pta_scale_solve(case: &PtaScaleCase, pta_budget: u64, threads: usize) -> (PtaScaleRow, u64) {
+    pta_scale_solve_sharded(case, pta_budget, threads, PtaConfig::default().shards)
+}
+
+/// [`pta_scale_solve`] with an explicit shard count — the `--shards`
+/// sweep solves the same workloads at several shard counts and asserts
+/// export-digest identity (shards, like threads, must not move results).
+pub fn pta_scale_solve_sharded(
+    case: &PtaScaleCase,
+    pta_budget: u64,
+    threads: usize,
+    shards: usize,
+) -> (PtaScaleRow, u64) {
     let cfg = PtaConfig {
         budget: pta_budget,
         threads,
+        shards,
         ..Default::default()
     };
     let t0 = Instant::now();

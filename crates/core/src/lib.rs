@@ -53,6 +53,7 @@ pub mod machine;
 pub mod modeling;
 pub mod multirun;
 pub mod natives;
+pub mod shortcut;
 pub mod supervisor;
 
 pub use config::{AnalysisConfig, AnalysisStats, AnalysisStatus};
@@ -61,6 +62,7 @@ pub use driver::{analyze_src, AnalysisOutcome, DetHarness};
 pub use facts::{Fact, FactDb, FactKind, TripFact};
 pub use inject::{injectable_facts, InjectablePairs};
 pub use machine::{DErr, DFlow, DMachine, DObservation};
+pub use shortcut::{determinate_regions, shortcut_summaries, PortableSummaries, ShortcutOutcome};
 #[cfg(feature = "fault-inject")]
 pub use supervisor::FaultPlan;
 pub use supervisor::{

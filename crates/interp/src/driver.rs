@@ -2,7 +2,7 @@
 //! post-load event plan. This is the programmatic equivalent of loading an
 //! HTML page in the paper's ZombieJS harness.
 
-use crate::machine::{Interp, InterpOptions, Observation, RunError};
+use crate::machine::{HeapTrace, Interp, InterpOptions, Observation, RunError};
 use mujs_dom::document::Document;
 use mujs_dom::events::EventPlan;
 use mujs_ir::Program;
@@ -20,6 +20,8 @@ pub struct Outcome {
     pub steps: u64,
     /// Per-statement observations (when enabled in the options).
     pub observations: Vec<Observation>,
+    /// Recorded heap events (when tracing was enabled in the options).
+    pub trace: Option<HeapTrace>,
 }
 
 impl Outcome {
@@ -136,6 +138,7 @@ impl Harness {
             output: std::mem::take(&mut interp.output),
             steps: interp.steps(),
             observations: std::mem::take(&mut interp.observations),
+            trace: interp.take_trace(),
         }
     }
 
@@ -149,6 +152,7 @@ impl Harness {
             output: std::mem::take(&mut interp.output),
             steps: interp.steps(),
             observations: std::mem::take(&mut interp.observations),
+            trace: interp.take_trace(),
         }
     }
 }

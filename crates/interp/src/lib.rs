@@ -35,5 +35,8 @@ pub mod values;
 
 pub use context::{ContextTable, CtxId};
 pub use driver::{run_src, DriveError, Harness, Outcome};
-pub use machine::{Flow, Frame, Interp, InterpOptions, Observation, RunError};
+pub use machine::{
+    Flow, Frame, HeapTrace, Interp, InterpOptions, Observation, RunError, TraceAbs, TraceCall,
+    TraceConfig,
+};
 pub use values::{NativeId, ObjClass, ObjId, Object, PropMap, ScopeId, Slot, Value};

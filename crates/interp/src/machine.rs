@@ -84,6 +84,10 @@ pub struct InterpOptions {
     pub deadline_ms: Option<u64>,
     /// Statements between cancellation/deadline polls (clamped to ≥ 1).
     pub poll_interval: u64,
+    /// Record a [`HeapTrace`] of abstracted heap effects at the configured
+    /// sites (the dynamic-shortcut summarizer's data source). `None` (the
+    /// default) records nothing and changes no behavior.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for InterpOptions {
@@ -96,8 +100,111 @@ impl Default for InterpOptions {
             cancel: None,
             deadline_ms: None,
             poll_interval: 1024,
+            trace: None,
         }
     }
+}
+
+/// Which program points the heap trace records events at.
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Statement ids whose define / property-write / call events are
+    /// recorded.
+    pub points: std::collections::HashSet<StmtId>,
+    /// Functions whose `return` values are recorded.
+    pub funcs: std::collections::HashSet<FuncId>,
+    /// Cap on distinct recorded events; exceeding it sets
+    /// [`HeapTrace::truncated`] and stops recording (allocation-site
+    /// tagging continues, so already-recorded events stay well-formed).
+    pub max_events: usize,
+}
+
+/// The abstraction of a concrete heap value, resolved *at record time*
+/// (when the machine still knows every object's allocation provenance).
+/// Mirrors the points-to analysis' abstract object domain: site-allocated
+/// objects, closures, per-function `.prototype` records, the global, and
+/// an opaque bucket for everything the analysis does not model (natives,
+/// DOM values, stdlib-internal allocations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceAbs {
+    /// The global (`window`) object.
+    Global,
+    /// A closure of the function.
+    Closure(FuncId),
+    /// The fresh `.prototype` object created with each closure.
+    ProtoOf(FuncId),
+    /// An object allocated at the statement (`{}`/`[]` literals, `for-in`
+    /// key arrays, `new F` results).
+    Alloc(StmtId),
+    /// Unmodeled: native functions and their results, DOM values.
+    Opaque,
+}
+
+/// One recorded call through a trace point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceCall {
+    /// The call/new site.
+    pub site: StmtId,
+    /// The user-code callee; `None` for native/opaque callees (whose
+    /// object arguments escape the modeled world).
+    pub callee: Option<FuncId>,
+    /// The observed `this` abstraction, recorded only when the site
+    /// passes an explicit receiver (mirrors the solver's wiring).
+    pub this: Option<TraceAbs>,
+    /// Argument abstractions (`None` = primitive).
+    pub args: Vec<Option<TraceAbs>>,
+    /// Whether the site is a `new`.
+    pub is_new: bool,
+    /// For `new`: the constructed object's prototype-chain parent.
+    pub proto: Option<TraceAbs>,
+}
+
+/// Deduplicated, abstracted heap events of one concrete run — everything
+/// the dynamic-shortcut summarizer needs to distill a region's effects
+/// into points-to tuples. Event vectors are in first-occurrence order;
+/// consumers sort before use.
+#[derive(Debug, Default)]
+pub struct HeapTrace {
+    /// `(site, value)` for every object value a recorded statement wrote
+    /// into its destination place.
+    pub defines: Vec<(StmtId, TraceAbs)>,
+    /// `(site, base, key, value)` for every object value a recorded
+    /// `SetProp` stored (concrete key, post-coercion).
+    pub writes: Vec<(StmtId, TraceAbs, Sym, TraceAbs)>,
+    /// Calls executed at recorded call/new sites.
+    pub calls: Vec<TraceCall>,
+    /// `(function, value)` for every object value a traced function
+    /// returned.
+    pub rets: Vec<(FuncId, TraceAbs)>,
+    /// The event cap was hit; the trace is incomplete and must not be
+    /// used for summarization.
+    pub truncated: bool,
+}
+
+impl HeapTrace {
+    /// Total recorded (distinct) events.
+    pub fn len(&self) -> usize {
+        self.defines.len() + self.writes.len() + self.calls.len() + self.rets.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Dedup state backing [`HeapTrace`] recording.
+#[derive(Debug, Default)]
+struct TraceState {
+    out: HeapTrace,
+    seen_defines: std::collections::HashSet<(StmtId, TraceAbs)>,
+    seen_writes: std::collections::HashSet<(StmtId, TraceAbs, Sym, TraceAbs)>,
+    seen_calls: std::collections::HashSet<TraceCall>,
+    seen_rets: std::collections::HashSet<(FuncId, TraceAbs)>,
+    /// Allocation provenance: site-allocated objects and closure
+    /// `.prototype` records. Objects absent here abstract to
+    /// [`TraceAbs::Opaque`].
+    tags: HashMap<ObjId, TraceAbs>,
 }
 
 /// One recorded definition event: statement `point` under calling context
@@ -225,6 +332,12 @@ pub struct Interp<'p> {
     pub ctxs: ContextTable,
     /// Recorded observations (when enabled).
     pub observations: Vec<Observation>,
+    /// Heap-trace recording state (when [`InterpOptions::trace`] is set).
+    trace: Option<TraceState>,
+    /// The `new` site currently being constructed (for tagging the fresh
+    /// object inside [`Interp::construct`]); saved/restored across nested
+    /// constructions.
+    trace_new_site: Option<StmtId>,
 }
 
 impl<'p> Interp<'p> {
@@ -272,6 +385,8 @@ impl<'p> Interp<'p> {
             deadline: opts
                 .deadline_ms
                 .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            trace: opts.trace.as_ref().map(|_| TraceState::default()),
+            trace_new_site: None,
             opts,
             output: Vec::new(),
             ctxs: ContextTable::new(),
@@ -565,8 +680,168 @@ impl<'p> Interp<'p> {
         value: Value,
     ) -> Result<(), RunError> {
         self.observe(frame, point, &value);
+        if self.trace.is_some() {
+            self.trace_define(point, &value);
+        }
         self.write_place(frame, dst, value);
         Ok(())
+    }
+
+    // ------------------------------------------------------- heap tracing
+
+    /// Takes the recorded heap trace, ending recording. `None` when
+    /// tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<HeapTrace> {
+        self.trace.take().map(|t| t.out)
+    }
+
+    /// Whether events at `point` are recorded.
+    fn trace_point(&self, point: StmtId) -> bool {
+        self.opts
+            .trace
+            .as_ref()
+            .is_some_and(|c| c.points.contains(&point))
+    }
+
+    /// Tags an object's allocation provenance (always on while tracing,
+    /// regardless of the point filter: objects allocated anywhere can flow
+    /// into recorded events).
+    fn trace_tag(&mut self, obj: ObjId, tag: TraceAbs) {
+        if let Some(t) = self.trace.as_mut() {
+            t.tags.insert(obj, tag);
+        }
+    }
+
+    /// The record-time abstraction of a value; `None` for primitives.
+    fn trace_abs(&self, v: &Value) -> Option<TraceAbs> {
+        match v {
+            Value::Object(id) => Some(self.trace_abs_obj(*id)),
+            _ => None,
+        }
+    }
+
+    fn trace_abs_obj(&self, id: ObjId) -> TraceAbs {
+        if id == self.global {
+            return TraceAbs::Global;
+        }
+        if let ObjClass::Function { func, .. } = &self.obj(id).class {
+            return TraceAbs::Closure(*func);
+        }
+        self.trace
+            .as_ref()
+            .and_then(|t| t.tags.get(&id))
+            .copied()
+            .unwrap_or(TraceAbs::Opaque)
+    }
+
+    /// Checks the event cap; trips `truncated` when full.
+    fn trace_room(&mut self) -> bool {
+        let cap = self.opts.trace.as_ref().map_or(0, |c| c.max_events);
+        let Some(t) = self.trace.as_mut() else {
+            return false;
+        };
+        if t.out.truncated {
+            return false;
+        }
+        if t.out.len() >= cap {
+            t.out.truncated = true;
+            return false;
+        }
+        true
+    }
+
+    fn trace_define(&mut self, point: StmtId, value: &Value) {
+        if !self.trace_point(point) {
+            return;
+        }
+        let Some(abs) = self.trace_abs(value) else {
+            return;
+        };
+        if !self.trace_room() {
+            return;
+        }
+        let t = self.trace.as_mut().expect("room implies state");
+        if t.seen_defines.insert((point, abs)) {
+            t.out.defines.push((point, abs));
+        }
+    }
+
+    fn trace_write(&mut self, site: StmtId, base: &Value, key: Sym, value: &Value) {
+        if !self.trace_point(site) {
+            return;
+        }
+        let (Some(b), Some(v)) = (self.trace_abs(base), self.trace_abs(value)) else {
+            return;
+        };
+        if !self.trace_room() {
+            return;
+        }
+        let t = self.trace.as_mut().expect("room implies state");
+        if t.seen_writes.insert((site, b, key, v)) {
+            t.out.writes.push((site, b, key, v));
+        }
+    }
+
+    fn trace_call_event(&mut self, ev: TraceCall) {
+        if !self.trace_room() {
+            return;
+        }
+        let t = self.trace.as_mut().expect("room implies state");
+        if t.seen_calls.insert(ev.clone()) {
+            t.out.calls.push(ev);
+        }
+    }
+
+    /// Tags an object allocated on behalf of an enclosing `new` site.
+    fn trace_construct_tag(&mut self, obj: ObjId) {
+        if let Some(site) = self.trace_new_site {
+            self.trace_tag(obj, TraceAbs::Alloc(site));
+        }
+    }
+
+    /// Records the call event for the innermost in-flight `new` site.
+    fn trace_construct_event(
+        &mut self,
+        callee_func: Option<FuncId>,
+        args: &[Value],
+        proto: Option<TraceAbs>,
+    ) {
+        let Some(site) = self.trace_new_site else {
+            return;
+        };
+        if self.trace.is_none() || !self.trace_point(site) {
+            return;
+        }
+        let args_abs = args.iter().map(|a| self.trace_abs(a)).collect();
+        self.trace_call_event(TraceCall {
+            site,
+            callee: callee_func,
+            this: None,
+            args: args_abs,
+            is_new: true,
+            proto,
+        });
+    }
+
+    fn trace_ret(&mut self, func: FuncId, value: &Value) {
+        if !self
+            .opts
+            .trace
+            .as_ref()
+            .is_some_and(|c| c.funcs.contains(&func))
+        {
+            return;
+        }
+        let Some(abs) = self.trace_abs(value) else {
+            return;
+        };
+        if !self.trace_room() {
+            return;
+        }
+        let t = self.trace.as_mut().expect("room implies state");
+        if t.seen_rets.insert((func, abs)) {
+            t.out.rets.push((func, abs));
+        }
     }
 
     // ---------------------------------------------------------- execution
@@ -610,6 +885,7 @@ impl<'p> Interp<'p> {
         self.mark_captured(env);
         let clos = self.alloc(ObjClass::Function { func, env }, Some(self.protos.function));
         let proto = self.alloc(ObjClass::Plain, Some(self.protos.object));
+        self.trace_tag(proto, TraceAbs::ProtoOf(func));
         self.set_raw_s(proto, Sym::CONSTRUCTOR, Value::Object(clos));
         self.set_raw_s(clos, Sym::PROTOTYPE, Value::Object(proto));
         let f = self.prog.func(func);
@@ -673,6 +949,7 @@ impl<'p> Interp<'p> {
                 } else {
                     self.alloc(ObjClass::Plain, Some(self.protos.object))
                 };
+                self.trace_tag(o, TraceAbs::Alloc(id));
                 self.define(frame, id, dst, Value::Object(o))?;
             }
             StmtKind::GetProp { dst, obj, key } => {
@@ -685,6 +962,9 @@ impl<'p> Interp<'p> {
                 let o = self.read_place(frame, obj)?;
                 let k = self.key_sym(frame, key)?;
                 let v = self.read_place(frame, val)?;
+                if self.trace.is_some() {
+                    self.trace_write(id, &o, k, &v);
+                }
                 self.set_prop(&o, k, v)?;
             }
             StmtKind::DeleteProp { dst, obj, key } => {
@@ -723,6 +1003,31 @@ impl<'p> Interp<'p> {
                     argv.push(self.read_place(frame, a)?);
                 }
                 let ctx = self.enter_site(frame, id);
+                if self.trace.is_some() && self.trace_point(id) {
+                    if let Value::Object(fo) = &f {
+                        let callee_func = match &self.obj(*fo).class {
+                            ObjClass::Function { func, .. } => Some(Some(*func)),
+                            ObjClass::Native(_) => Some(None),
+                            _ => None,
+                        };
+                        if let Some(callee_func) = callee_func {
+                            let this_abs = if this_arg.is_some() {
+                                self.trace_abs(&this)
+                            } else {
+                                None
+                            };
+                            let args_abs = argv.iter().map(|a| self.trace_abs(a)).collect();
+                            self.trace_call_event(TraceCall {
+                                site: id,
+                                callee: callee_func,
+                                this: this_abs,
+                                args: args_abs,
+                                is_new: false,
+                                proto: None,
+                            });
+                        }
+                    }
+                }
                 let v = self.call_value(&f, this, &argv, ctx)?;
                 self.define(frame, id, dst, v)?;
             }
@@ -733,7 +1038,13 @@ impl<'p> Interp<'p> {
                     argv.push(self.read_place(frame, a)?);
                 }
                 let ctx = self.enter_site(frame, id);
-                let v = self.construct(&f, &argv, ctx)?;
+                let saved_site = self.trace_new_site;
+                if self.trace.is_some() {
+                    self.trace_new_site = Some(id);
+                }
+                let v = self.construct(&f, &argv, ctx);
+                self.trace_new_site = saved_site;
+                let v = v?;
                 self.define(frame, id, dst, v)?;
             }
             StmtKind::If {
@@ -813,6 +1124,9 @@ impl<'p> Interp<'p> {
                     Some(p) => self.read_place(frame, p)?,
                     None => Value::Undefined,
                 };
+                if self.trace.is_some() {
+                    self.trace_ret(frame.func, &v);
+                }
                 return Ok(Flow::Return(v));
             }
             StmtKind::Break => return Ok(Flow::Break),
@@ -878,6 +1192,7 @@ impl<'p> Interp<'p> {
                 let o = self.read_place(frame, obj)?;
                 let keys = self.enum_props(&o);
                 let arr = self.alloc(ObjClass::Array, Some(self.protos.array));
+                self.trace_tag(arr, TraceAbs::Alloc(id));
                 self.set_raw_s(arr, Sym::LENGTH, Value::Num(keys.len() as f64));
                 for (i, k) in keys.into_iter().enumerate() {
                     let text = self.prog.interner.name(k).clone();
@@ -1250,6 +1565,8 @@ impl<'p> Interp<'p> {
         // Special built-in constructors.
         if Some(*fid) == self.specials.array_ctor {
             let arr = self.alloc(ObjClass::Array, Some(self.protos.array));
+            self.trace_construct_tag(arr);
+            self.trace_construct_event(None, args, None);
             if args.len() == 1 {
                 if let Value::Num(n) = args[0] {
                     self.set_raw(arr, "length", Value::Num(n.trunc()));
@@ -1265,10 +1582,14 @@ impl<'p> Interp<'p> {
         }
         if Some(*fid) == self.specials.object_ctor {
             let o = self.alloc(ObjClass::Plain, Some(self.protos.object));
+            self.trace_construct_tag(o);
+            self.trace_construct_event(None, args, None);
             return Ok(Value::Object(o));
         }
         if Some(*fid) == self.specials.error_ctor {
             let e = self.alloc(ObjClass::Plain, Some(self.protos.error));
+            self.trace_construct_tag(e);
+            self.trace_construct_event(None, args, None);
             let msg = match args.first() {
                 Some(v) => coerce::to_string(v).unwrap_or_else(|_| Rc::from("[object]")),
                 None => Rc::from(""),
@@ -1285,6 +1606,11 @@ impl<'p> Interp<'p> {
                     _ => self.protos.object,
                 };
                 let this_obj = self.alloc(ObjClass::Plain, Some(proto));
+                self.trace_construct_tag(this_obj);
+                if self.trace.is_some() {
+                    let proto_abs = self.trace_abs_obj(proto);
+                    self.trace_construct_event(Some(func), args, Some(proto_abs));
+                }
                 let r =
                     self.call_function(func, env, Some(*fid), Value::Object(this_obj), args, ctx)?;
                 Ok(match r {
@@ -1295,6 +1621,8 @@ impl<'p> Interp<'p> {
             ObjClass::Native(nid) => {
                 // Generic natives used with `new`: call with a fresh object.
                 let this_obj = self.alloc(ObjClass::Plain, Some(self.protos.object));
+                self.trace_construct_tag(this_obj);
+                self.trace_construct_event(None, args, None);
                 let f = self.natives[nid.0 as usize].1;
                 let r = f(self, Value::Object(this_obj), args)?;
                 Ok(match r {

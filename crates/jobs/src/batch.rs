@@ -151,6 +151,10 @@ pub struct BatchOptions {
     /// epoch-sharded parallel solver). Never part of the job key or the
     /// report: results are identical for every value.
     pub pta_threads: usize,
+    /// Shard count for the PTA stage's epoch-sharded solver (`0` keeps
+    /// the solver default). Like `pta_threads`, never part of the job
+    /// key or the report: exports are identical for every shard count.
+    pub pta_shards: usize,
     /// When set (and a PTA stage runs), each job's program is specialized
     /// first — against its own combined dynamic facts, with this
     /// context-depth bound — and the PTA solves the *specialized*
@@ -474,7 +478,7 @@ pub fn run_manifest_with(manifest: &Manifest, pool: &JobPool, opts: &BatchOption
             let grace = opts.watchdog_grace_ms;
             let pta = opts
                 .pta_budget
-                .map(|b| (b, opts.pta_threads, opts.spec_depth));
+                .map(|b| (b, opts.pta_threads, opts.pta_shards, opts.spec_depth));
             let job = move |ctx: &JobCtx| -> IsolatedGraph<SpecRun> {
                 let adm = match admission {
                     Some(c) => c.admit(spec.effective_config().mem_cell_budget),
@@ -578,7 +582,7 @@ fn run_spec(
     ctx: &JobCtx,
     adm: &Admission,
     watchdog_grace_ms: Option<u64>,
-    pta: Option<(u64, usize, Option<usize>)>,
+    pta: Option<(u64, usize, usize, Option<usize>)>,
 ) -> (JobStatus, Option<JobOutcome>) {
     let harness = match DetHarness::from_src(&spec.src) {
         Ok(h) => h,
@@ -595,7 +599,7 @@ fn run_spec(
     let doc = DocumentBuilder::new().title(&spec.name).build();
     let plan = EventPlan::new();
     let mut outcome = analyze_seeds(harness, &seeds, cfg, &doc, &plan, ctx);
-    if let Some((budget, threads, spec_depth)) = pta {
+    if let Some((budget, threads, shards, spec_depth)) = pta {
         let row = match spec_depth {
             // The worker still holds the live fact database and context
             // table, so specialization is a local transform here — no
@@ -613,7 +617,7 @@ fn run_spec(
                     &spec_cfg,
                 );
                 ctx.progress("solving pointer analysis".to_owned());
-                let mut row = solve_pta_row(&s.program, budget, threads);
+                let mut row = solve_pta_row(&s.program, budget, threads, shards);
                 // Recorded only when set, so depth-less reports keep
                 // their historical bytes.
                 set_field(&mut row, "spec_depth", Value::Num(depth as f64));
@@ -621,7 +625,7 @@ fn run_spec(
             }
             None => {
                 ctx.progress("solving pointer analysis".to_owned());
-                solve_pta_row(&outcome.program, budget, threads)
+                solve_pta_row(&outcome.program, budget, threads, shards)
             }
         };
         outcome.pta = Some(row);
@@ -637,12 +641,15 @@ fn run_spec(
 /// Runs the opt-in baseline PTA stage over a job's lowered program and
 /// renders its report object. Everything in the row is deterministic —
 /// budget-bounded work, canonical call-graph/precision counts — and
-/// independent of the thread count, so batch reports stay byte-identical
-/// for any `--workers`/`--pta-threads` combination.
-fn solve_pta_row(program: &mujs_ir::Program, budget: u64, threads: usize) -> Value {
+/// independent of the thread and shard counts, so batch reports stay
+/// byte-identical for any `--workers`/`--pta-threads`/`--shards`
+/// combination.
+fn solve_pta_row(program: &mujs_ir::Program, budget: u64, threads: usize, shards: usize) -> Value {
+    let default_shards = mujs_pta::PtaConfig::default().shards;
     let cfg = mujs_pta::PtaConfig {
         budget,
         threads: threads.max(1),
+        shards: if shards == 0 { default_shards } else { shards },
         ..mujs_pta::PtaConfig::default()
     };
     let r = mujs_pta::solve(program, &cfg);

@@ -44,6 +44,7 @@ struct Options {
     stats: Option<String>,
     pta_budget: Option<u64>,
     pta_threads: Option<usize>,
+    pta_shards: Option<usize>,
     spec_depth: Option<usize>,
 }
 
@@ -58,7 +59,7 @@ fn usage(problem: &str) -> ! {
          \x20              [--watchdog-grace MS] [--mem-budget CELLS]\n\
          \x20              [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \x20              [--stats FILE] [--pta-budget N] [--pta-threads N]\n\
-         \x20              [--spec-depth N]\n\
+         \x20              [--shards N] [--spec-depth N]\n\
          \n\
          \x20 --manifest FILE    JSON job manifest (see DESIGN.md §5c for the format)\n\
          \x20 --dir DIR          one default job per *.js file, sorted by name\n\
@@ -87,6 +88,10 @@ fn usage(problem: &str) -> ! {
          \x20                    --mem-budget; 1 = sequential). The solver is\n\
          \x20                    deterministic: report bytes and checkpoint keys\n\
          \x20                    are identical for every N\n\
+         \x20 --shards N         shard count for the PTA stage's epoch-sharded\n\
+         \x20                    solver (default: the solver's built-in count).\n\
+         \x20                    Like --pta-threads it never changes report\n\
+         \x20                    bytes or checkpoint keys\n\
          \x20 --spec-depth N     specialize each job's program (against its own\n\
          \x20                    dynamic facts, context depth bound N) before the\n\
          \x20                    PTA stage. Unlike --pta-threads this changes\n\
@@ -124,6 +129,7 @@ fn parse_args() -> Options {
         stats: None,
         pta_budget: None,
         pta_threads: None,
+        pta_shards: None,
         spec_depth: None,
     };
     let mut i = 0;
@@ -188,6 +194,13 @@ fn parse_args() -> Options {
             "--pta-threads" => {
                 let v = value(&args, &mut i, "--pta-threads");
                 o.pta_threads = Some(parse_num(&v, "--pta-threads"));
+            }
+            "--shards" => {
+                let v = value(&args, &mut i, "--shards");
+                o.pta_shards = match v.parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => usage(&format!("--shards wants a positive integer, got `{v}`")),
+                };
             }
             "--spec-depth" => {
                 let v = value(&args, &mut i, "--spec-depth");
@@ -388,6 +401,7 @@ fn main() {
         pta_threads: o
             .pta_threads
             .unwrap_or_else(|| mujs_jobs::default_pta_threads(o.mem_budget)),
+        pta_shards: o.pta_shards.unwrap_or(0),
         spec_depth: o.spec_depth,
         #[cfg(feature = "fault-inject")]
         chaos: None,

@@ -258,13 +258,14 @@ fn pta_stage_is_deterministic_and_strictly_opt_in() {
         "a PTA-less report must not mention the stage"
     );
 
-    let mk_opts = |threads: usize| BatchOptions {
+    let mk_opts = |threads: usize, shards: usize| BatchOptions {
         pta_budget: Some(50_000),
         pta_threads: threads,
+        pta_shards: shards,
         ..Default::default()
     };
-    let seq = run_manifest_with(&m, &JobPool::new(1), &mk_opts(1));
-    let par = run_manifest_with(&m, &JobPool::new(4), &mk_opts(8));
+    let seq = run_manifest_with(&m, &JobPool::new(1), &mk_opts(1, 0));
+    let par = run_manifest_with(&m, &JobPool::new(4), &mk_opts(8, 0));
     let seq_report = seq.report_json(true);
     assert_eq!(
         seq_report,
@@ -273,9 +274,21 @@ fn pta_stage_is_deterministic_and_strictly_opt_in() {
     );
     assert!(seq_report.contains("\"pta\""), "{seq_report}");
     assert!(seq_report.contains("\"propagations\""), "{seq_report}");
+    // The shard count is equally unobservable (shards are the epoch
+    // solver's determinism unit): reports are byte-identical across
+    // `--shards`, which is what keeps it out of the checkpoint keys.
+    for shards in [16usize, 32, 64] {
+        let sharded = run_manifest_with(&m, &JobPool::new(2), &mk_opts(2, shards));
+        assert_eq!(
+            seq_report,
+            sharded.report_json(true),
+            "PTA rows must not depend on the shard count (shards={shards})"
+        );
+    }
 
     // Checkpoint keys fold the budget (stale rows miss when it changes)
-    // but never the thread count (rows are reusable across -pta-threads).
+    // but never the thread count (rows are reusable across -pta-threads)
+    // or the shard count — `job_key` has no shard input at all.
     let spec = &m.jobs[0];
     assert_ne!(
         job_key(spec, None, Some(50_000), None),

@@ -13,6 +13,8 @@
 //!   result ([`Native`]), the coarse `arguments` array ([`Arguments`]);
 //! * tuples introduced because an injected determinacy fact resolved a
 //!   site are [`Injected`];
+//! * tuples applied from a concrete-execution region summary are
+//!   [`Shortcut`];
 //! * tuples flowing *out of* a havoc node are stamped with that node's
 //!   cause: the per-object ⋆-join feeding dynamic reads
 //!   ([`StarSmear`]), the unknown-name store pool flushed into every read
@@ -34,6 +36,7 @@
 //! [`Native`]: BlameCause::Native
 //! [`Arguments`]: BlameCause::Arguments
 //! [`Injected`]: BlameCause::Injected
+//! [`Shortcut`]: BlameCause::Shortcut
 //! [`StarSmear`]: BlameCause::StarSmear
 //! [`UnknownSmear`]: BlameCause::UnknownSmear
 //! [`ExcFlow`]: BlameCause::ExcFlow
@@ -63,6 +66,9 @@ pub enum BlameCause {
     /// Introduced because an injected determinacy fact resolved the site
     /// (a determinate dynamic key or callee).
     Injected(StmtId),
+    /// Introduced by applying a concrete-execution region summary at the
+    /// named function instead of generating its constraints.
+    Shortcut(FuncId),
     /// The coarse `arguments` array of a function (modeled as opaque).
     Arguments(FuncId),
     /// The result of an eval-lowered chunk (statically unanalyzable).
@@ -87,6 +93,7 @@ impl BlameCause {
         match self {
             BlameCause::Base => "base",
             BlameCause::Injected(_) => "injected",
+            BlameCause::Shortcut(_) => "shortcut",
             BlameCause::Arguments(_) => "arguments",
             BlameCause::Eval(_) => "eval",
             BlameCause::Native(_) => "native",
@@ -119,6 +126,7 @@ impl BlameCause {
             BlameCause::Base => "base".to_owned(),
             BlameCause::ExcFlow => "exc-flow".to_owned(),
             BlameCause::Injected(s) => format!("injected({s:?})"),
+            BlameCause::Shortcut(f) => format!("shortcut({f:?})"),
             BlameCause::Arguments(f) => format!("arguments({f:?})"),
             BlameCause::Eval(s) => format!("eval({s:?})"),
             BlameCause::Native(s) => format!("native({s:?})"),

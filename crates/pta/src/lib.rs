@@ -33,9 +33,11 @@ pub mod pts;
 pub mod reference;
 pub mod scc;
 pub(crate) mod shard;
+pub mod shortcut;
 pub mod solver;
 
 pub use blame::{BlameCause, BlameData};
 pub use nodes::{AbsObj, Node};
 pub use reference::solve_reference;
+pub use shortcut::{RegionSummary, ShortcutSummaries};
 pub use solver::{solve, InjectedFacts, PtaConfig, PtaPrecision, PtaResult, PtaStats, PtaStatus};

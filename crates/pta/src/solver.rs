@@ -97,6 +97,13 @@ pub struct PtaConfig {
     /// count. Off by default; the default solve's exports, propagation
     /// counts, and budget semantics are bit-for-bit unaffected.
     pub provenance: bool,
+    /// Concrete-execution region summaries (see [`crate::shortcut`]).
+    /// When the on-the-fly call graph first reaches a summarized
+    /// function, its summary is applied as budget-accounted insertions
+    /// (blamed [`BlameCause::Shortcut`]) instead of generating the
+    /// region's constraints. `None` leaves every solve bit-for-bit
+    /// unaffected.
+    pub shortcuts: Option<std::sync::Arc<crate::shortcut::ShortcutSummaries>>,
 }
 
 impl Default for PtaConfig {
@@ -108,6 +115,7 @@ impl Default for PtaConfig {
             threads: 1,
             shards: 16,
             provenance: false,
+            shortcuts: None,
         }
     }
 }
@@ -140,6 +148,10 @@ pub struct PtaStats {
     pub scc_passes: u64,
     /// Nodes union-find-merged into a cycle representative.
     pub nodes_merged: u64,
+    /// Functions whose constraints were replaced by a region summary.
+    pub shortcut_regions: usize,
+    /// Points-to tuples applied from region summaries.
+    pub shortcut_tuples: u64,
 }
 
 /// Precision metrics of a finished solve, comparable across baseline,
@@ -1130,6 +1142,12 @@ impl<'p> Solver<'p> {
     }
 
     pub(crate) fn gen_function(&mut self, fid: FuncId) {
+        if let Some(sums) = self.cfg.shortcuts.clone() {
+            if let Some(region) = sums.regions.get(&fid) {
+                self.apply_summary(fid, region);
+                return;
+            }
+        }
         let prog = self.prog;
         let f = prog.func(fid);
         // Hoisted function declarations.
@@ -1145,6 +1163,57 @@ impl<'p> Solver<'p> {
             self.seed(n, AbsObj::Opaque, BlameCause::Arguments(cf));
         }
         self.gen_block(fid, &f.body);
+    }
+
+    /// Applies a region summary in place of `fid`'s constraints: the
+    /// hoisted-declaration prologue is kept (nested declarations are
+    /// closure values other code may call), then the call-graph fragment
+    /// and the summary tuples are applied in their deterministic sorted
+    /// order. Every tuple goes through the ordinary budgeted [`Self::insert`],
+    /// so exact-budget truncation and rollback behave exactly as they do
+    /// mid-`gen_block`.
+    fn apply_summary(&mut self, fid: FuncId, region: &crate::shortcut::RegionSummary) {
+        let prog = self.prog;
+        let f = prog.func(fid);
+        for &(name, nested) in &f.decls.funcs {
+            if self.exhausted {
+                return;
+            }
+            let n = self.named_node(fid, name);
+            self.seed(n, AbsObj::Closure(nested), BlameCause::Base);
+            self.init_closure(nested);
+        }
+        // Keep the coarse `arguments` seeding: a nested (unsummarized)
+        // closure may read the region's `arguments` through the resolver.
+        if f.kind == FuncKind::Function {
+            let cf = self.canon(fid);
+            let n = self.node(Node::Local(cf, Sym::ARGUMENTS));
+            self.seed(n, AbsObj::Opaque, BlameCause::Arguments(cf));
+        }
+        self.stats.shortcut_regions += 1;
+        for &(site, callee) in &region.calls {
+            if self.exhausted {
+                return;
+            }
+            self.call_graph.entry(site).or_default().insert(callee);
+            // The callee's closure record may only have been created
+            // inside a summarized body; seeding it here is idempotent
+            // and keeps the prototype chain wired.
+            self.init_closure(callee);
+            self.enqueue_func(callee);
+        }
+        for (node, obj) in &region.tuples {
+            if self.exhausted {
+                return;
+            }
+            let n = self.node(node.clone());
+            if let AbsObj::Closure(g) = obj {
+                self.init_closure(*g);
+            }
+            let oid = self.obj(obj.clone());
+            self.insert(n, oid, BlameCause::Shortcut(fid));
+            self.stats.shortcut_tuples += 1;
+        }
     }
 
     fn init_closure(&mut self, f: FuncId) {

@@ -1,0 +1,388 @@
+//! Determinism, budget, and provenance tests for the dynamic-shortcut
+//! layer (`PtaConfig::shortcuts`).
+//!
+//! The shortcut contract: (1) summaries are applied in the sequential
+//! barrier phase, so exports are byte-identical for every thread count
+//! *and* every shard count; (2) summary insertions flow through the
+//! ordinary budget accounting, so exact-budget completion and
+//! budget-exact truncation are preserved; (3) every summary-inserted
+//! tuple carries a [`BlameCause::Shortcut`] tag that survives SCC
+//! collapse and budget rollback, and provenance stays a pure side
+//! channel (on or off, the points-to exports do not move a byte);
+//! (4) with `shortcuts` unset nothing about a solve changes.
+//!
+//! Like `tests/blame.rs`, thread matrices honor `PTA_EQ_THREADS`
+//! (comma-separated; default `{1, 2, 8}`).
+
+use mujs_ir::{FuncId, Program};
+use mujs_pta::{
+    solve, AbsObj, BlameCause, Node, PtaConfig, PtaResult, PtaStatus, RegionSummary,
+    ShortcutSummaries,
+};
+use std::sync::Arc;
+
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("PTA_EQ_THREADS") {
+        Ok(s) => {
+            let m: Vec<usize> = s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            assert!(!m.is_empty(), "PTA_EQ_THREADS set but empty: {s:?}");
+            m
+        }
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Wide + deep program (cross-shard traffic over many epochs) with a
+/// ⋆-smearing dynamic access; same shape as the parallel solver tests.
+fn big_src() -> String {
+    let mut s = String::new();
+    s.push_str("function id(x) { return x; }\n");
+    for i in 0..60 {
+        s.push_str(&format!(
+            "function mk{i}() {{ return {{ tag: mk{i}, lift: id }}; }}\n"
+        ));
+        s.push_str(&format!("var v{i} = mk{i}();\n"));
+    }
+    for i in 0..60 {
+        let j = (i + 23) % 60;
+        s.push_str(&format!("v{i} = id(v{j});\n"));
+        s.push_str(&format!("var f{i} = v{i}.tag;\n"));
+        s.push_str(&format!("var w{i} = f{i}();\n"));
+    }
+    s.push_str("var key = somethingUnknown;\n");
+    s.push_str("var smeared = v0[key];\n");
+    s
+}
+
+fn lower(src: &str) -> Program {
+    let ast = mujs_syntax::parse(src).expect("source parses");
+    mujs_ir::lower_program(&ast)
+}
+
+fn func_named(prog: &Program, name: &str) -> FuncId {
+    prog.funcs
+        .iter()
+        .find(|f| f.name.is_some_and(|s| prog.interner.resolve(s) == name))
+        .map(|f| f.id)
+        .unwrap_or_else(|| panic!("no function named {name}"))
+}
+
+/// A hand-built summary for `id`: its return node points at a spread of
+/// `mk*` closures — enough fan-out that callers keep shards busy for
+/// several epochs — plus the identity flow a real replay would record.
+/// (Solver-side tests need no producer; the summary's *content* only has
+/// to be well-formed, its effect on determinism is what's under test.)
+fn test_summaries(prog: &Program) -> ShortcutSummaries {
+    let id = func_named(prog, "id");
+    let mut tuples: Vec<(Node, AbsObj)> = (0..60)
+        .map(|i| {
+            (
+                Node::Ret(id),
+                AbsObj::Closure(func_named(prog, &format!("mk{i}"))),
+            )
+        })
+        .collect();
+    tuples.push((Node::Ret(id), AbsObj::Opaque));
+    tuples.sort();
+    let mut sums = ShortcutSummaries::default();
+    sums.regions.insert(
+        id,
+        RegionSummary {
+            tuples,
+            calls: vec![],
+        },
+    );
+    sums
+}
+
+fn with_shortcuts(prog: &Program, cfg: PtaConfig) -> PtaConfig {
+    PtaConfig {
+        shortcuts: Some(Arc::new(test_summaries(prog))),
+        ..cfg
+    }
+}
+
+fn unlimited() -> PtaConfig {
+    PtaConfig {
+        budget: u64::MAX,
+        ..Default::default()
+    }
+}
+
+/// Exports are byte-identical for every thread count and shard count —
+/// summary application rides the sequential barrier phase of the epoch
+/// schedule, which neither knob perturbs.
+#[test]
+fn shortcut_exports_identical_across_threads_and_shards() {
+    let prog = lower(&big_src());
+    let mut want: Option<String> = None;
+    let mut threads = thread_matrix();
+    threads.push(3);
+    for &t in &threads {
+        for shards in [16usize, 32] {
+            let r = solve(
+                &prog,
+                &with_shortcuts(
+                    &prog,
+                    PtaConfig {
+                        threads: t,
+                        shards,
+                        ..unlimited()
+                    },
+                ),
+            );
+            assert_eq!(
+                r.status,
+                PtaStatus::Completed,
+                "threads={t} shards={shards}"
+            );
+            assert_eq!(r.stats.shortcut_regions, 1, "threads={t} shards={shards}");
+            assert!(r.stats.shortcut_tuples > 0);
+            let got = r.export_json();
+            match &want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(
+                    &got, w,
+                    "threads={t} shards={shards}: shortcut export moved"
+                ),
+            }
+        }
+    }
+}
+
+/// The summarized region changes the solve: the region's constraints are
+/// never generated, and the summary's tuples are present verbatim.
+#[test]
+fn summaries_replace_region_constraints() {
+    let prog = lower(&big_src());
+    let plain = solve(&prog, &unlimited());
+    let sc = solve(&prog, &with_shortcuts(&prog, unlimited()));
+    assert_eq!(plain.status, PtaStatus::Completed);
+    assert_eq!(sc.status, PtaStatus::Completed);
+    assert_eq!(plain.stats.shortcut_regions, 0);
+    assert_eq!(plain.stats.shortcut_tuples, 0);
+    let id = func_named(&prog, "id");
+    let ret = sc.points_to(&Node::Ret(id));
+    assert!(
+        ret.contains(&AbsObj::Opaque),
+        "summary tuple missing from Ret(id): {ret:?}"
+    );
+    assert_ne!(
+        plain.export_json(),
+        sc.export_json(),
+        "the summary had no observable effect"
+    );
+}
+
+/// Budget semantics survive: a budget equal to the fixpoint work
+/// completes, one less truncates budget-exactly — for every thread
+/// count, with identical truncated exports (the word-log rollback also
+/// rolls back summary insertions).
+#[test]
+fn shortcut_budgets_stay_exact() {
+    let prog = lower(&big_src());
+    let collapse_free = PtaConfig {
+        budget: u64::MAX,
+        scc_interval: u64::MAX,
+        ..Default::default()
+    };
+    let full = solve(&prog, &with_shortcuts(&prog, collapse_free.clone()));
+    assert_eq!(full.status, PtaStatus::Completed);
+    let needed = full.stats.propagations;
+    assert!(needed > 1_000, "program too small: {needed}");
+    // Exact budget completes.
+    for threads in thread_matrix() {
+        let r = solve(
+            &prog,
+            &with_shortcuts(
+                &prog,
+                PtaConfig {
+                    budget: needed,
+                    threads,
+                    scc_interval: u64::MAX,
+                    ..Default::default()
+                },
+            ),
+        );
+        assert_eq!(r.status, PtaStatus::Completed, "threads={threads}");
+        assert_eq!(r.stats.propagations, needed);
+    }
+    // Truncation points are budget-exact for every thread count, and
+    // the kept facts are identical across the epoch-path runs (threads
+    // >= 2; the sequential worklist truncates in its own order — same
+    // contract as `tests/parallel.rs`).
+    for budget in [needed / 3, needed / 2 + 1, needed - 1] {
+        let mut want: Option<String> = None;
+        for threads in thread_matrix() {
+            let r = solve(
+                &prog,
+                &with_shortcuts(
+                    &prog,
+                    PtaConfig {
+                        budget,
+                        threads,
+                        scc_interval: u64::MAX,
+                        ..Default::default()
+                    },
+                ),
+            );
+            assert_eq!(
+                r.status,
+                PtaStatus::BudgetExceeded,
+                "threads={threads} budget={budget}"
+            );
+            assert_eq!(r.stats.propagations, budget, "threads={threads}");
+            if threads < 2 {
+                continue;
+            }
+            let got = r.export_json();
+            match &want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(&got, w, "threads={threads} budget={budget}"),
+            }
+        }
+    }
+}
+
+fn shortcut_blamed(r: &PtaResult) -> u64 {
+    r.blame_histogram()
+        .into_iter()
+        .filter(|(c, _)| matches!(c, BlameCause::Shortcut(_)))
+        .map(|(_, n)| n)
+        .sum()
+}
+
+/// Shortcut-blamed tuples survive aggressive SCC collapse, and the blame
+/// export is byte-identical across the thread matrix.
+#[test]
+fn shortcut_blame_survives_collapse_and_is_deterministic() {
+    let prog = lower(&big_src());
+    for scc_interval in [1u64, u64::MAX] {
+        let mut want: Option<String> = None;
+        for threads in thread_matrix() {
+            let r = solve(
+                &prog,
+                &with_shortcuts(
+                    &prog,
+                    PtaConfig {
+                        budget: u64::MAX,
+                        scc_interval,
+                        provenance: true,
+                        threads,
+                        ..Default::default()
+                    },
+                ),
+            );
+            assert_eq!(r.status, PtaStatus::Completed, "threads={threads}");
+            assert!(
+                shortcut_blamed(&r) > 0,
+                "scc={scc_interval} threads={threads}: no shortcut-blamed tuples survive"
+            );
+            let got = r.export_blame_json().expect("provenance was on");
+            assert!(got.contains("shortcut"), "blame export lacks the new kind");
+            match &want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(
+                    &got, w,
+                    "scc={scc_interval} threads={threads}: blame export moved"
+                ),
+            }
+        }
+    }
+}
+
+/// Shortcut blame survives budget rollback: a truncated provenance solve
+/// keeps blame exactly on the kept tuples, still carrying the shortcut
+/// kind once the summary was applied.
+#[test]
+fn shortcut_blame_survives_budget_rollback() {
+    let prog = lower(&big_src());
+    let collapse_free = PtaConfig {
+        budget: u64::MAX,
+        scc_interval: u64::MAX,
+        provenance: true,
+        ..Default::default()
+    };
+    let full = solve(&prog, &with_shortcuts(&prog, collapse_free.clone()));
+    assert_eq!(full.status, PtaStatus::Completed);
+    let needed = full.stats.propagations;
+    let r = solve(
+        &prog,
+        &with_shortcuts(
+            &prog,
+            PtaConfig {
+                budget: needed - 1,
+                ..collapse_free
+            },
+        ),
+    );
+    assert_eq!(r.status, PtaStatus::BudgetExceeded);
+    assert_eq!(r.stats.propagations, needed - 1);
+    assert!(
+        shortcut_blamed(&r) > 0,
+        "rollback dropped every shortcut-blamed tuple"
+    );
+    // Blame still covers the surviving sets exactly.
+    for (node, objs) in r.all_points_to() {
+        let blamed: Vec<AbsObj> = r.blame_of(&node).into_iter().map(|(o, _)| o).collect();
+        assert_eq!(blamed, objs, "node {node:?}: blame diverged from sets");
+    }
+}
+
+/// Provenance is a pure side channel in shortcut mode too: toggling it
+/// moves no export byte.
+#[test]
+fn provenance_toggle_moves_no_shortcut_export_byte() {
+    let prog = lower(&big_src());
+    let off = solve(&prog, &with_shortcuts(&prog, unlimited()));
+    assert!(!off.has_blame());
+    for threads in thread_matrix() {
+        let on = solve(
+            &prog,
+            &with_shortcuts(
+                &prog,
+                PtaConfig {
+                    provenance: true,
+                    threads,
+                    ..unlimited()
+                },
+            ),
+        );
+        assert!(on.has_blame());
+        assert_eq!(
+            on.export_json(),
+            off.export_json(),
+            "threads={threads}: provenance moved a shortcut export byte"
+        );
+    }
+}
+
+/// `shortcuts: None` is exactly the old solver: explicit-None and
+/// default configs agree byte-for-byte on exports and work, with zero
+/// shortcut stats.
+#[test]
+fn unset_shortcuts_change_nothing() {
+    let prog = lower(&big_src());
+    let default = solve(&prog, &unlimited());
+    let explicit = solve(
+        &prog,
+        &PtaConfig {
+            shortcuts: None,
+            ..unlimited()
+        },
+    );
+    assert_eq!(default.export_json(), explicit.export_json());
+    assert_eq!(default.stats.propagations, explicit.stats.propagations);
+    assert_eq!(explicit.stats.shortcut_regions, 0);
+    assert_eq!(explicit.stats.shortcut_tuples, 0);
+    // An *empty* summary table is also a no-op.
+    let empty = solve(
+        &prog,
+        &PtaConfig {
+            shortcuts: Some(Arc::new(ShortcutSummaries::default())),
+            ..unlimited()
+        },
+    );
+    assert_eq!(default.export_json(), empty.export_json());
+    assert_eq!(default.stats.propagations, empty.stats.propagations);
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! detserved --listen 127.0.0.1:0 [--cache-capacity N] [--cache-dir DIR]
 //!           [--mem-budget CELLS] [--watchdog-grace MS] [--pta-threads N]
-//!           [--spec-depth N]
+//!           [--shards N] [--spec-depth N] [--shortcuts]
 //! detserved --stdin [same options]
 //! ```
 //!
@@ -41,6 +41,9 @@ fn usage() -> ExitCode {
          \x20                      --mem-budget; 1 = sequential). Results and\n\
          \x20                      cache keys are identical for every N — the\n\
          \x20                      knob only changes wall time\n\
+         \x20 --shards N           solver shards for PTA stages (default: the\n\
+         \x20                      solver's own). Like --pta-threads, results\n\
+         \x20                      and cache keys are identical for every N\n\
          \x20 --spec-depth N       default specializer context-depth bound for\n\
          \x20                      PTA stages: solves run over the program\n\
          \x20                      specialized against the determinacy facts.\n\
@@ -48,6 +51,11 @@ fn usage() -> ExitCode {
          \x20                      is part of the stage keys; a request's own\n\
          \x20                      spec_depth overrides it, and inject requests\n\
          \x20                      ignore it\n\
+         \x20 --shortcuts          default PTA stages to shortcut mode: a\n\
+         \x20                      summary stage replays the determinate\n\
+         \x20                      regions concretely and the solver consumes\n\
+         \x20                      the distilled summaries. Changes results and\n\
+         \x20                      stage keys; spec_depth requests ignore it\n\
          \n\
          exit codes: 0 clean shutdown or EOF; 1 fatal I/O error; 2 usage error"
     );
@@ -66,7 +74,9 @@ fn main() -> ExitCode {
     let mut mem_budget = None;
     let mut watchdog_grace = None;
     let mut pta_threads = None;
+    let mut pta_shards = 0usize;
     let mut spec_depth = None;
+    let mut shortcuts = false;
 
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -101,6 +111,14 @@ fn main() -> ExitCode {
                             .map_err(|e| format!("--pta-threads: {e}"))?,
                     );
                 }
+                "--shards" => {
+                    pta_shards = value("--shards")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--shards: {e}"))?;
+                    if pta_shards == 0 {
+                        return Err("--shards: must be at least 1".to_owned());
+                    }
+                }
                 "--spec-depth" => {
                     spec_depth = Some(
                         value("--spec-depth")?
@@ -108,6 +126,7 @@ fn main() -> ExitCode {
                             .map_err(|e| format!("--spec-depth: {e}"))?,
                     );
                 }
+                "--shortcuts" => shortcuts = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
             Ok(())
@@ -133,6 +152,8 @@ fn main() -> ExitCode {
         watchdog_grace_ms: watchdog_grace,
         pta_threads,
         spec_depth,
+        shortcuts,
+        pta_shards,
     });
 
     let outcome = match transport {

@@ -38,19 +38,23 @@ pub enum Stage {
     /// Dynamic determinacy analysis over the seed fan-out (artifact: the
     /// combined fact export plus injectable pairs).
     Facts,
+    /// Concrete-replay region summaries (artifact: portable shortcut
+    /// summaries plus extractor counts).
+    Summary,
     /// Budgeted pointer analysis (artifact: precision + work summary).
     Pta,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 3] = [Stage::Parse, Stage::Facts, Stage::Pta];
+    pub const ALL: [Stage; 4] = [Stage::Parse, Stage::Facts, Stage::Summary, Stage::Pta];
 
     /// The stage's stable name (stats keys, disk file prefixes).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Parse => "parse",
             Stage::Facts => "facts",
+            Stage::Summary => "summary",
             Stage::Pta => "pta",
         }
     }
@@ -59,7 +63,8 @@ impl Stage {
         match self {
             Stage::Parse => 0,
             Stage::Facts => 1,
-            Stage::Pta => 2,
+            Stage::Summary => 2,
+            Stage::Pta => 3,
         }
     }
 }
@@ -89,9 +94,9 @@ impl Default for CacheConfig {
 /// recomputation).
 #[derive(Debug, Default)]
 struct Counters {
-    hits: [AtomicU64; 3],
-    misses: [AtomicU64; 3],
-    disk_hits: [AtomicU64; 3],
+    hits: [AtomicU64; 4],
+    misses: [AtomicU64; 4],
+    disk_hits: [AtomicU64; 4],
     insertions: AtomicU64,
     evictions: AtomicU64,
 }

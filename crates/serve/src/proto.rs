@@ -64,6 +64,11 @@ pub struct AnalyzeRequest {
     /// Mutually exclusive with `inject` (a solve consumes the facts one
     /// way or the other, not both); rejected at parse time.
     pub spec_depth: Option<usize>,
+    /// Whether the PTA stage consumes concrete-replay shortcut
+    /// summaries (a summary stage replays the determinate regions).
+    /// Mutually exclusive with `spec_depth` — summaries name functions
+    /// of the unspecialized program; rejected at parse time.
+    pub shortcuts: bool,
     /// Whether the report row embeds the full fact export.
     pub include_facts: bool,
 }
@@ -159,6 +164,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .to_owned(),
                 );
             }
+            let shortcuts = v.get("shortcuts").and_then(Value::as_bool).unwrap_or(false);
+            if shortcuts && spec_depth.is_some() {
+                return Err(
+                    "analyze request sets both `shortcuts` and `spec_depth`: shortcut \
+                     summaries name functions of the unspecialized program"
+                        .to_owned(),
+                );
+            }
             Ok(Request::Analyze(Box::new(AnalyzeRequest {
                 id,
                 name,
@@ -170,6 +183,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 pta_budget: as_u64("pta_budget"),
                 inject,
                 spec_depth,
+                shortcuts,
                 include_facts: v
                     .get("include_facts")
                     .and_then(Value::as_bool)

@@ -52,6 +52,17 @@ pub struct ServeOptions {
     /// `inject` request ignores it (injection and specialization are
     /// mutually exclusive ways to consume the facts).
     pub spec_depth: Option<usize>,
+    /// Server-wide default for shortcut mode (concrete-replay region
+    /// summaries feeding PTA stages). Changes results, so it reaches the
+    /// stage keys; requests can also ask per-request, and a request
+    /// carrying `spec_depth` ignores the default (summaries name
+    /// functions of the unspecialized program).
+    pub shortcuts: bool,
+    /// Solver shards for PTA stages (0 keeps the solver default). Like
+    /// `pta_threads`, purely an execution knob — never part of stage
+    /// keys, so operators can retune it across restarts without
+    /// cold-starting the cache.
+    pub pta_shards: usize,
 }
 
 struct Inner {
@@ -61,6 +72,8 @@ struct Inner {
     watchdog_grace_ms: Option<u64>,
     pta_threads: usize,
     spec_depth: Option<usize>,
+    shortcuts: bool,
+    pta_shards: usize,
     requests: AtomicU64,
     responses: AtomicU64,
     errors: AtomicU64,
@@ -85,6 +98,8 @@ impl Server {
                 watchdog_grace_ms: opts.watchdog_grace_ms,
                 pta_threads: opts.pta_threads,
                 spec_depth: opts.spec_depth,
+                shortcuts: opts.shortcuts,
+                pta_shards: opts.pta_shards,
                 requests: AtomicU64::new(0),
                 responses: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
@@ -202,6 +217,11 @@ impl Server {
         } else {
             self.inner.spec_depth
         });
+        // Same precedence for shortcut mode: the request can ask, the
+        // server-wide default fills in otherwise, and a specializing
+        // request never takes the default (the protocol layer already
+        // rejects a request asking for both explicitly).
+        let shortcuts = req.shortcuts || (self.inner.shortcuts && spec_depth.is_none());
         let stage_req = StageRequest {
             src: req.src.clone(),
             cfg,
@@ -209,7 +229,9 @@ impl Server {
             pta_budget: req.pta_budget,
             inject: req.inject,
             spec_depth,
+            shortcuts,
             pta_threads: self.inner.pta_threads,
+            pta_shards: self.inner.pta_shards,
         };
 
         let (tx, rx) = mpsc::channel();

@@ -17,15 +17,20 @@
 //!   export plus the portable [`InjectablePairs`]. Runs whose outcome
 //!   depended on wall-clock (deadline stops) or external cancellation
 //!   are **never cached** — their bytes are not a function of the key.
+//! * **summary** (shortcut mode only) — `H("shortcut" ∥ facts-key)`.
+//!   The concrete-replay region summaries; the replay consumes exactly
+//!   the facts stage's inputs, so the key chains the facts key alone.
+//!   Computed only when a request asks for shortcut mode — requests
+//!   without it carry the exact key set of earlier service versions.
 //! * **pta** — `H("pta" ∥ upstream-key ∥ budget ∥ inject [∥ "spec" ∥
-//!   depth])`, where the upstream key is the facts key when the solve
-//!   consumes the determinacy facts (injection or specialization) and
-//!   the parse key otherwise (a baseline solve does not depend on the
-//!   analysis config, and keying it by the parse stage lets a config
-//!   change keep the baseline artifact warm). The spec-depth fold is
-//!   appended only when a `--spec-depth` request asks for a specialized
-//!   solve, so baseline and injecting keys are unchanged from earlier
-//!   service versions.
+//!   depth] [∥ "shortcut" ∥ summary-key])`, where the upstream key is
+//!   the facts key when the solve consumes the determinacy facts
+//!   (injection, specialization, or shortcut summaries) and the parse
+//!   key otherwise (a baseline solve does not depend on the analysis
+//!   config, and keying it by the parse stage lets a config change keep
+//!   the baseline artifact warm). The spec-depth and shortcut folds are
+//!   appended only when requested, so baseline and injecting keys are
+//!   unchanged from earlier service versions.
 //!
 //! Artifacts are plain JSON values: the in-memory `Program`/`FactDb`
 //! graphs are `Rc`-threaded and thread-bound, so nothing of them crosses
@@ -84,12 +89,23 @@ pub struct StageRequest {
     /// it is part of the PTA stage key; mutually exclusive with `inject`
     /// (enforced at the protocol layer).
     pub spec_depth: Option<usize>,
+    /// When true, a summary stage replays the determinate regions on the
+    /// concrete interpreter and the PTA stage consumes the distilled
+    /// shortcut summaries alongside any injected facts. Changes results,
+    /// so it is part of the PTA stage key (via the summary key fold);
+    /// mutually exclusive with `spec_depth` (summaries name functions of
+    /// the *unspecialized* program; enforced at the protocol layer).
+    pub shortcuts: bool,
     /// Solver threads for the PTA stage (0/1 sequential, >= 2 the
     /// epoch-sharded parallel solver). An execution knob, not an input:
     /// results are identical for every thread count, so it is
     /// deliberately absent from [`StageKeys`] — artifacts stay warm when
     /// the service is restarted with different parallelism.
     pub pta_threads: usize,
+    /// Solver shards for the PTA stage (0 keeps the solver default).
+    /// Like `pta_threads`, an execution knob: fixpoints are identical
+    /// for every shard count, so it never reaches [`StageKeys`].
+    pub pta_shards: usize,
 }
 
 /// The content keys of one request's stages.
@@ -99,6 +115,10 @@ pub struct StageKeys {
     pub parse: String,
     /// Determinacy-facts stage key.
     pub facts: String,
+    /// Shortcut-summary stage key (`None` unless the request asked for
+    /// shortcut mode — absent, not empty, so shortcut-less requests keep
+    /// their historical key set byte-for-byte).
+    pub summary: Option<String>,
     /// Pointer-analysis stage key (`None` when the request skips PTA).
     pub pta: Option<String>,
 }
@@ -117,15 +137,25 @@ impl StageKeys {
             fh = fh.u64(seed);
         }
         let facts = fh.finish();
-        // `pta_threads` is intentionally not hashed: the parallel solver
-        // is deterministic across thread counts, so hashing it would
-        // only split identical artifacts across distinct keys.
+        // The summary stage consumes exactly the facts stage's inputs
+        // (region selection reads the fact graphs; the replay re-runs the
+        // byte-identical source), so its key chains the facts key alone.
+        // Computed only in shortcut mode — there is no "shortcuts off"
+        // fold anywhere, which is what keeps every pre-shortcut key
+        // byte-identical when the flag is absent.
+        let summary = (req.shortcuts && req.pta_budget.is_some())
+            .then(|| KeyHasher::new().str("shortcut").str(&facts).finish());
+        // `pta_threads`/`pta_shards` are intentionally not hashed: the
+        // parallel solver is deterministic across thread and shard
+        // counts, so hashing them would only split identical artifacts
+        // across distinct keys.
         let pta = req.pta_budget.map(|budget| {
-            // Specialization consumes the determinacy facts (like
-            // injection does), so a spec solve chains the facts key; the
-            // depth fold is appended only when set, keeping depth-less
-            // keys byte-identical to earlier service versions.
-            let upstream = if req.inject || req.spec_depth.is_some() {
+            // Specialization and shortcut summaries consume the
+            // determinacy facts (like injection does), so those solves
+            // chain the facts key; the depth/shortcut folds are appended
+            // only when set, keeping depth-less shortcut-less keys
+            // byte-identical to earlier service versions.
+            let upstream = if req.inject || req.spec_depth.is_some() || req.shortcuts {
                 &facts
             } else {
                 &parse
@@ -138,25 +168,39 @@ impl StageKeys {
             if let Some(depth) = req.spec_depth {
                 h = h.str("spec").u64(depth as u64);
             }
+            if let Some(skey) = &summary {
+                h = h.str("shortcut").str(skey);
+            }
             h.finish()
         });
-        StageKeys { parse, facts, pta }
+        StageKeys {
+            parse,
+            facts,
+            summary,
+            pta,
+        }
     }
 
     /// The keys as a JSON object (embedded in report rows so clients can
     /// correlate and pre-warm).
     pub fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("parse".to_owned(), Value::Str(self.parse.clone())),
             ("facts".to_owned(), Value::Str(self.facts.clone())),
-            (
-                "pta".to_owned(),
-                match &self.pta {
-                    Some(k) => Value::Str(k.clone()),
-                    None => Value::Null,
-                },
-            ),
-        ])
+        ];
+        // Present only in shortcut mode, so shortcut-less report rows
+        // keep their historical bytes.
+        if let Some(k) = &self.summary {
+            fields.push(("summary".to_owned(), Value::Str(k.clone())));
+        }
+        fields.push((
+            "pta".to_owned(),
+            match &self.pta {
+                Some(k) => Value::Str(k.clone()),
+                None => Value::Null,
+            },
+        ));
+        Value::Object(fields)
     }
 }
 
@@ -170,6 +214,8 @@ pub struct PipelineCounters {
     pub parses: AtomicU64,
     /// Supervised per-seed analysis runs executed.
     pub analyses: AtomicU64,
+    /// Concrete shortcut-summary replays executed.
+    pub summary_replays: AtomicU64,
     /// Pointer-analysis solves executed.
     pub pta_solves: AtomicU64,
     /// Points-to propagations performed across all solves.
@@ -183,6 +229,7 @@ impl PipelineCounters {
         Value::Object(vec![
             ("parses".to_owned(), num(&self.parses)),
             ("analyses".to_owned(), num(&self.analyses)),
+            ("summary_replays".to_owned(), num(&self.summary_replays)),
             ("pta_solves".to_owned(), num(&self.pta_solves)),
             ("pta_propagations".to_owned(), num(&self.pta_propagations)),
         ])
@@ -196,24 +243,32 @@ pub struct CachedFlags {
     pub parse: bool,
     /// Facts artifact came from cache.
     pub facts: bool,
+    /// Summary artifact came from cache (`None` = shortcut mode off).
+    pub summary: Option<bool>,
     /// PTA artifact came from cache (`None` = stage not requested).
     pub pta: Option<bool>,
 }
 
 impl CachedFlags {
-    /// The flags as a JSON object for the response frame.
+    /// The flags as a JSON object for the response frame. The `summary`
+    /// entry appears only in shortcut mode, so shortcut-less frames keep
+    /// their historical bytes.
     pub fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("parse".to_owned(), Value::Bool(self.parse)),
             ("facts".to_owned(), Value::Bool(self.facts)),
-            (
-                "pta".to_owned(),
-                match self.pta {
-                    Some(b) => Value::Bool(b),
-                    None => Value::Null,
-                },
-            ),
-        ])
+        ];
+        if let Some(b) = self.summary {
+            fields.push(("summary".to_owned(), Value::Bool(b)));
+        }
+        fields.push((
+            "pta".to_owned(),
+            match self.pta {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            },
+        ));
+        Value::Object(fields)
     }
 }
 
@@ -287,6 +342,7 @@ pub fn execute(
             &format!("syntax error: {error}"),
             None,
             None,
+            None,
             include_facts,
             &keys,
         );
@@ -315,6 +371,7 @@ pub fn execute(
                         &format!("syntax error: {e}"),
                         None,
                         None,
+                        None,
                         include_facts,
                         &keys,
                     );
@@ -338,6 +395,58 @@ pub fn execute(
         }
     };
 
+    // --- summary (shortcut mode only) ---
+    let is_clean = |a: &Value| a.get("clean") == Some(&Value::Bool(true));
+    // Whether the summary artifact's bytes are a pure function of its
+    // key; a cached hit is clean by construction (only clean artifacts
+    // are ever cached).
+    let mut summary_clean = true;
+    let summary_art = match &keys.summary {
+        None => None,
+        Some(skey) => match cache.get(Stage::Summary, skey) {
+            Some(v) => {
+                cached.summary = Some(true);
+                Some(v)
+            }
+            None => {
+                cached.summary = Some(false);
+                match ensure_harness(&mut harness, req, counters) {
+                    Ok(h) => {
+                        // The summarizer needs the live fact graphs. If
+                        // the facts stage was warm they no longer exist,
+                        // so the fan-out reruns here (same discipline as
+                        // the spec-PTA path: counted cold work, but the
+                        // artifact stays a pure function of its key).
+                        let (multi, clean) = match live_multi.take() {
+                            Some(m) => (m, is_clean(&facts_art)),
+                            None => {
+                                notify("re-running determinacy analysis for summaries");
+                                let (a, m) = run_facts_stage(req, h, counters, cancel, notify);
+                                let clean = is_clean(&a);
+                                (m, clean)
+                            }
+                        };
+                        notify("replaying determinate regions");
+                        let art = run_summary_stage(req, &multi, h, counters);
+                        summary_clean = clean;
+                        if clean {
+                            Some(cache.put(Stage::Summary, skey, art))
+                        } else {
+                            Some(Arc::new(art))
+                        }
+                    }
+                    Err(e) => {
+                        summary_clean = false;
+                        Some(Arc::new(Value::Object(vec![(
+                            "error".to_owned(),
+                            Value::Str(e.to_string()),
+                        )])))
+                    }
+                }
+            }
+        },
+    };
+
     // --- pta ---
     let pta_art = match &keys.pta {
         None => None,
@@ -351,7 +460,6 @@ pub fn execute(
                 cached.pta = Some(false);
                 match ensure_harness(&mut harness, req, counters) {
                     Ok(h) => {
-                        let is_clean = |a: &Value| a.get("clean") == Some(&Value::Bool(true));
                         let (art, clean) = if let Some(depth) = req.spec_depth {
                             // Specialization needs the live fact graphs.
                             // If the facts stage was warm they no longer
@@ -371,11 +479,14 @@ pub fn execute(
                             };
                             (run_spec_pta_stage(req, depth, multi, h, counters), clean)
                         } else {
-                            // An injecting solve inherits the facts
-                            // artifact's purity; a baseline solve is
-                            // always pure.
-                            let clean = !req.inject || is_clean(&facts_art);
-                            (run_pta_stage(req, &facts_art, h, counters), clean)
+                            // An injecting or shortcut solve inherits its
+                            // upstream artifacts' purity; a baseline
+                            // solve is always pure.
+                            let clean = (!req.inject || is_clean(&facts_art)) && summary_clean;
+                            (
+                                run_pta_stage(req, &facts_art, summary_art.as_deref(), h, counters),
+                                clean,
+                            )
                         };
                         if clean {
                             Some(cache.put(Stage::Pta, pkey, art))
@@ -396,6 +507,7 @@ pub fn execute(
         name,
         status_label,
         Some(&facts_art),
+        summary_art.as_deref(),
         pta_art.as_deref(),
         include_facts,
         &keys,
@@ -591,11 +703,53 @@ fn pairs_from_value(v: &Value) -> InjectablePairs {
     }
 }
 
+/// Replays the determinate regions on the concrete interpreter and
+/// distills the portable shortcut summaries into the summary artifact.
+/// The replay is deterministic (panic-isolated, step-budgeted, no wall
+/// clock), so the artifact is a pure function of the facts inputs its
+/// key chains.
+fn run_summary_stage(
+    req: &StageRequest,
+    multi: &MultiRunOutcome,
+    harness: &mut DetHarness,
+    counters: &PipelineCounters,
+) -> Value {
+    let doc = DocumentBuilder::new().title(SERVICE_DOC_TITLE).build();
+    let plan = EventPlan::new();
+    // The replay seed is immaterial for determinate regions (that is
+    // what determinacy means), but pin the fan-out's first seed so the
+    // stage is a closed function of its key inputs.
+    let cfg = AnalysisConfig {
+        seed: req.seeds.first().copied().unwrap_or_default(),
+        ..req.cfg.clone()
+    };
+    counters.summary_replays.fetch_add(1, Ordering::Relaxed);
+    let out = determinacy::shortcut_summaries(
+        &req.src,
+        &doc,
+        &plan,
+        &cfg,
+        &multi.facts,
+        &mut harness.program,
+    );
+    let portable = determinacy::PortableSummaries::from_summaries(&out.summaries, &harness.program);
+    let num = |n: usize| Value::Num(n as f64);
+    Value::Object(vec![
+        ("candidates".to_owned(), num(out.candidates)),
+        ("regions".to_owned(), num(portable.len())),
+        ("tuples".to_owned(), num(portable.tuple_count())),
+        ("degraded".to_owned(), Value::Bool(out.degraded)),
+        ("summaries".to_owned(), portable.to_value()),
+    ])
+}
+
 /// Solves pointer analysis over the (already-parsed) program, optionally
-/// rehydrating the cached injectable pairs into solver facts.
+/// rehydrating the cached injectable pairs and shortcut summaries into
+/// solver inputs.
 fn run_pta_stage(
     req: &StageRequest,
     facts_art: &Value,
+    summary_art: Option<&Value>,
     harness: &mut DetHarness,
     counters: &PipelineCounters,
 ) -> Value {
@@ -610,10 +764,19 @@ fn run_pta_stage(
         None
     };
     let injected_count = facts.as_ref().map_or(0, mujs_pta::InjectedFacts::len);
+    // A degraded or malformed summary artifact decodes to no regions:
+    // the solver then analyzes every region ordinarily, which is the
+    // sound fallback by construction.
+    let shortcuts = summary_art
+        .and_then(|a| a.get("summaries"))
+        .and_then(determinacy::PortableSummaries::from_value)
+        .map(|p| Arc::new(p.into_summaries(&mut harness.program)));
     let cfg = PtaConfig {
         budget,
         facts,
+        shortcuts,
         threads: req.pta_threads.max(1),
+        shards: effective_shards(req),
         ..PtaConfig::default()
     };
     counters.pta_solves.fetch_add(1, Ordering::Relaxed);
@@ -628,7 +791,17 @@ fn run_pta_stage(
         req.inject,
         injected_count,
         None,
+        req.shortcuts,
     )
+}
+
+/// The request's shard count, defaulting to the solver's own when unset.
+fn effective_shards(req: &StageRequest) -> usize {
+    if req.pta_shards == 0 {
+        PtaConfig::default().shards
+    } else {
+        req.pta_shards
+    }
 }
 
 /// Specializes the program against the live fact graphs (context depth
@@ -649,6 +822,7 @@ fn run_spec_pta_stage(
     let cfg = PtaConfig {
         budget,
         threads: req.pta_threads.max(1),
+        shards: effective_shards(req),
         ..PtaConfig::default()
     };
     counters.pta_solves.fetch_add(1, Ordering::Relaxed);
@@ -656,12 +830,14 @@ fn run_spec_pta_stage(
     counters
         .pta_propagations
         .fetch_add(result.stats.propagations, Ordering::Relaxed);
-    pta_artifact(&result, &s.program, budget, false, 0, Some(depth))
+    pta_artifact(&result, &s.program, budget, false, 0, Some(depth), false)
 }
 
 /// Renders the PTA artifact shared by the baseline/injecting and the
-/// specializing stage bodies. The `spec_depth` field appears only when
-/// set, so depth-less artifacts keep their historical bytes.
+/// specializing stage bodies. The `spec_depth` and shortcut fields
+/// appear only when set, so depth-less shortcut-less artifacts keep
+/// their historical bytes.
+#[allow(clippy::too_many_arguments)]
 fn pta_artifact(
     result: &mujs_pta::PtaResult,
     program: &mujs_ir::Program,
@@ -669,6 +845,7 @@ fn pta_artifact(
     inject: bool,
     injected_count: usize,
     spec_depth: Option<usize>,
+    shortcuts: bool,
 ) -> Value {
     let p = result.precision(program);
     let num = |n: f64| Value::Num(n);
@@ -700,16 +877,28 @@ fn pta_artifact(
     if let Some(depth) = spec_depth {
         fields.push(("spec_depth".to_owned(), num(depth as f64)));
     }
+    if shortcuts {
+        fields.push((
+            "shortcut_regions".to_owned(),
+            num(result.stats.shortcut_regions as f64),
+        ));
+        fields.push((
+            "shortcut_tuples".to_owned(),
+            num(result.stats.shortcut_tuples as f64),
+        ));
+    }
     Value::Object(fields)
 }
 
 /// Renders the client-facing report row from artifacts alone. Cold and
 /// warm paths both come through here with byte-equal artifacts, which is
 /// what makes their responses byte-identical.
+#[allow(clippy::too_many_arguments)]
 fn render_report(
     name: &str,
     status: &str,
     facts_art: Option<&Value>,
+    summary_art: Option<&Value>,
     pta_art: Option<&Value>,
     include_facts: bool,
     keys: &StageKeys,
@@ -725,7 +914,7 @@ fn render_report(
     } else {
         Value::Null
     };
-    Value::Object(vec![
+    let mut fields = vec![
         ("name".to_owned(), Value::Str(name.to_owned())),
         ("status".to_owned(), Value::Str(status.to_owned())),
         ("seeds".to_owned(), pick("seeds", Value::Array(Vec::new()))),
@@ -744,9 +933,28 @@ fn render_report(
         ),
         ("conflicts".to_owned(), pick("conflicts", Value::Num(0.0))),
         ("fact_rows".to_owned(), fact_rows),
-        ("pta".to_owned(), pta_art.cloned().unwrap_or(Value::Null)),
-        ("stage_keys".to_owned(), keys.to_value()),
-    ])
+    ];
+    // Shortcut mode surfaces the summary counts (but not the — possibly
+    // large — summary tuples themselves); absent otherwise, keeping
+    // shortcut-less rows byte-identical to earlier service versions.
+    if let Some(s) = summary_art {
+        let count = |field: &str| s.get(field).cloned().unwrap_or(Value::Num(0.0));
+        fields.push((
+            "summary".to_owned(),
+            Value::Object(vec![
+                ("candidates".to_owned(), count("candidates")),
+                ("regions".to_owned(), count("regions")),
+                ("tuples".to_owned(), count("tuples")),
+                (
+                    "degraded".to_owned(),
+                    s.get("degraded").cloned().unwrap_or(Value::Bool(false)),
+                ),
+            ]),
+        ));
+    }
+    fields.push(("pta".to_owned(), pta_art.cloned().unwrap_or(Value::Null)));
+    fields.push(("stage_keys".to_owned(), keys.to_value()));
+    Value::Object(fields)
 }
 
 #[cfg(test)]
@@ -761,7 +969,9 @@ mod tests {
             pta_budget: None,
             inject: false,
             spec_depth: None,
+            shortcuts: false,
             pta_threads: 1,
+            pta_shards: 0,
         }
     }
 
@@ -883,6 +1093,168 @@ mod tests {
             StageKeys::compute(&b),
             "threads is an execution knob, not a content input"
         );
+    }
+
+    #[test]
+    fn stage_keys_ignore_the_shard_count() {
+        // Like threads, shards only partition the solver's work: the
+        // fixpoint is identical for every count, so the key must be too
+        // — in every mode, including shortcut mode.
+        for shortcuts in [false, true] {
+            let mut a = req("f();");
+            a.pta_budget = Some(1000);
+            a.inject = true;
+            a.shortcuts = shortcuts;
+            for shards in [16usize, 32, 64] {
+                let mut b = a.clone();
+                b.pta_shards = shards;
+                assert_eq!(
+                    StageKeys::compute(&a),
+                    StageKeys::compute(&b),
+                    "shards is an execution knob, not a content input"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shortcutless_keys_match_the_pre_shortcut_scheme() {
+        use determinacy::cachekey::KeyHasher;
+        // A literal replica of the keying scheme as it stood before the
+        // shortcut layer landed. Any byte drift for shortcut-less
+        // requests would cold-start every deployed cache, so the scheme
+        // is pinned here independently of `StageKeys::compute`.
+        let legacy = |r: &StageRequest| {
+            let cfg_json = serde_json::to_string(&r.cfg).unwrap();
+            let parse = KeyHasher::new().str(LOWERING_VERSION).str(&r.src).finish();
+            let mut fh = KeyHasher::new().str("facts").str(&parse).str(&cfg_json);
+            for &s in &r.seeds {
+                fh = fh.u64(s);
+            }
+            let facts = fh.finish();
+            let pta = r.pta_budget.map(|b| {
+                let upstream = if r.inject || r.spec_depth.is_some() {
+                    &facts
+                } else {
+                    &parse
+                };
+                let mut h = KeyHasher::new()
+                    .str("pta")
+                    .str(upstream)
+                    .u64(b)
+                    .u64(u64::from(r.inject));
+                if let Some(d) = r.spec_depth {
+                    h = h.str("spec").u64(d as u64);
+                }
+                h.finish()
+            });
+            (parse, facts, pta)
+        };
+        let mut baseline = req("f();");
+        baseline.pta_budget = Some(1000);
+        let mut inject = baseline.clone();
+        inject.inject = true;
+        let mut spec = baseline.clone();
+        spec.spec_depth = Some(3);
+        let facts_only = req("f();");
+        for r in [&baseline, &inject, &spec, &facts_only] {
+            let k = StageKeys::compute(r);
+            let (parse, facts, pta) = legacy(r);
+            assert_eq!(k.parse, parse);
+            assert_eq!(k.facts, facts);
+            assert_eq!(k.pta, pta);
+            assert_eq!(k.summary, None, "no summary key without shortcut mode");
+        }
+    }
+
+    #[test]
+    fn shortcut_mode_adds_a_summary_key_and_moves_only_the_pta_key() {
+        use determinacy::cachekey::KeyHasher;
+        let mut base = req("f();");
+        base.pta_budget = Some(1000);
+        base.inject = true;
+        let kb = StageKeys::compute(&base);
+        assert!(kb.summary.is_none());
+        let mut sc = base.clone();
+        sc.shortcuts = true;
+        let ks = StageKeys::compute(&sc);
+        assert_eq!(kb.parse, ks.parse);
+        assert_eq!(kb.facts, ks.facts);
+        assert_ne!(kb.pta, ks.pta, "summaries change the solve's inputs");
+        let skey = ks.summary.clone().expect("shortcut mode has a summary key");
+        assert_eq!(
+            skey,
+            KeyHasher::new().str("shortcut").str(&ks.facts).finish(),
+            "summary key chains the facts key alone"
+        );
+        // Shortcut mode makes even a non-injecting solve consume the
+        // facts, so its pta key must move with the analysis config.
+        let mut pure = sc.clone();
+        pure.inject = false;
+        let kp = StageKeys::compute(&pure);
+        let mut pure_cfg = pure.clone();
+        pure_cfg.cfg.max_facts = 123;
+        assert_ne!(kp.pta, StageKeys::compute(&pure_cfg).pta);
+        // No PTA stage, nothing to shortcut: no summary key either.
+        let mut no_pta = sc.clone();
+        no_pta.pta_budget = None;
+        assert!(StageKeys::compute(&no_pta).summary.is_none());
+        // The report's stage_keys object grows a `summary` entry only in
+        // shortcut mode; shortcut-less rows keep their historical bytes.
+        assert!(kb.to_value().get("summary").is_none());
+        assert_eq!(ks.to_value().get("summary"), Some(&Value::Str(skey)));
+    }
+
+    #[test]
+    fn shortcut_requests_execute_and_cache() {
+        let cache = StageCache::new(crate::cache::CacheConfig::default());
+        let counters = PipelineCounters::default();
+        let cancel = CancelToken::new();
+        let mut r = req("function mk(v) { var o = {}; o.x = v; return o; }\n\
+                         var a = mk({}); var b = mk({});");
+        r.pta_budget = Some(100_000);
+        r.inject = true;
+        r.shortcuts = true;
+        let run = |name: &str| {
+            execute(
+                &r,
+                "completed",
+                false,
+                name,
+                &cache,
+                &counters,
+                &cancel,
+                &|_| {},
+            )
+        };
+        let e1 = run("shortcut-cold");
+        assert_eq!(e1.cached.summary, Some(false));
+        assert_eq!(e1.cached.pta, Some(false));
+        let summary = e1.report.get("summary").expect("summary row");
+        assert_eq!(summary.get("degraded"), Some(&Value::Bool(false)));
+        assert!(summary.get("regions").and_then(Value::as_f64).unwrap() >= 1.0);
+        let pta = e1.report.get("pta").expect("pta row");
+        assert!(
+            pta.get("shortcut_regions").and_then(Value::as_f64).unwrap() >= 1.0,
+            "the solver consumed the summaries"
+        );
+        assert!(pta.get("shortcut_tuples").and_then(Value::as_f64).unwrap() >= 1.0);
+        // Warm rerun: byte-identical row, no new replays/solves/analyses.
+        let replays = counters.summary_replays.load(Ordering::Relaxed);
+        let solves = counters.pta_solves.load(Ordering::Relaxed);
+        let analyses = counters.analyses.load(Ordering::Relaxed);
+        assert_eq!(replays, 1);
+        let e2 = run("shortcut-cold");
+        assert_eq!(e2.cached.summary, Some(true));
+        assert_eq!(e2.cached.pta, Some(true));
+        assert!(e2.cached.facts);
+        assert_eq!(
+            serde_json::to_string(&e1.report).unwrap(),
+            serde_json::to_string(&e2.report).unwrap()
+        );
+        assert_eq!(counters.summary_replays.load(Ordering::Relaxed), replays);
+        assert_eq!(counters.pta_solves.load(Ordering::Relaxed), solves);
+        assert_eq!(counters.analyses.load(Ordering::Relaxed), analyses);
     }
 
     #[test]

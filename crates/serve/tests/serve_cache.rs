@@ -23,7 +23,9 @@ fn req(src: &str) -> StageRequest {
         pta_budget: Some(100_000),
         inject: true,
         spec_depth: None,
+        shortcuts: false,
         pta_threads: 1,
+        pta_shards: 0,
     }
 }
 
@@ -119,6 +121,77 @@ fn thread_count_changes_keep_every_stage_warm() {
         bytes(&cold_par.report),
         bytes(&warm_seq.report),
         "parallel and sequential solves must populate identical artifacts"
+    );
+}
+
+#[test]
+fn shortcut_requests_leave_shortcutless_bytes_untouched() {
+    // Shortcut mode lives under its own summary key and pta-key fold:
+    // interleaving shortcut requests on a shared cache must not move a
+    // single byte of a shortcut-less request's warm response.
+    let cache = StageCache::new(CacheConfig::default());
+    let counters = PipelineCounters::default();
+    let plain = run(&req(SRC), &cache, &counters);
+    assert!(
+        plain.report.get("summary").is_none(),
+        "no summary row without shortcut mode"
+    );
+    assert!(plain
+        .report
+        .get("stage_keys")
+        .unwrap()
+        .get("summary")
+        .is_none());
+
+    let mut sc = req(SRC);
+    sc.shortcuts = true;
+    let shortcut = run(&sc, &cache, &counters);
+    assert!(shortcut.cached.parse && shortcut.cached.facts);
+    assert_eq!(shortcut.cached.summary, Some(false));
+    assert_eq!(
+        shortcut.cached.pta,
+        Some(false),
+        "shortcut solves live under their own pta key"
+    );
+
+    let warm_plain = run(&req(SRC), &cache, &counters);
+    assert_eq!(warm_plain.cached.pta, Some(true));
+    assert_eq!(
+        bytes(&plain.report),
+        bytes(&warm_plain.report),
+        "shortcut traffic must not perturb shortcut-less responses"
+    );
+    // And the shortcut request itself is warm-repeatable.
+    let warm_shortcut = run(&sc, &cache, &counters);
+    assert_eq!(warm_shortcut.cached.summary, Some(true));
+    assert_eq!(warm_shortcut.cached.pta, Some(true));
+    assert_eq!(bytes(&shortcut.report), bytes(&warm_shortcut.report));
+}
+
+#[test]
+fn shard_count_changes_keep_every_stage_warm() {
+    // `pta_shards`, like `pta_threads`, is an execution knob: fixpoints
+    // are shard-invariant, so no shard count may miss a warm cache.
+    let cache = StageCache::new(CacheConfig::default());
+    let counters = PipelineCounters::default();
+    let cold = run(&req(SRC), &cache, &counters);
+    let cold_snapshot = serde_json::to_string(&counters.to_value()).unwrap();
+    for shards in [16usize, 32, 64] {
+        let mut r = req(SRC);
+        r.pta_shards = shards;
+        let warm = run(&r, &cache, &counters);
+        assert_eq!(warm.keys, cold.keys, "shards={shards} must not move keys");
+        assert_eq!(warm.cached.pta, Some(true), "shards={shards} must hit");
+        assert_eq!(
+            bytes(&cold.report),
+            bytes(&warm.report),
+            "shards={shards}: warm report must be byte-identical"
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&counters.to_value()).unwrap(),
+        cold_snapshot,
+        "no shard count may cause recomputation on a warm cache"
     );
 }
 
